@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Reproduces the §5.4 effectiveness experiment: for every application,
+ * record a reference trace (R2), replay it while recording a validation
+ * trace (R3), and compare. The paper's result: the number and the
+ * happens-before ordering of transaction events match everywhere; the
+ * content of all output transactions matches for 9/10 applications,
+ * while DRAM DMA shows rare content divergences (about one per million
+ * transactions) caused by its cycle-dependent status polling — and the
+ * interrupt-patched DMA (§3.6's 10-line fix) shows none.
+ *
+ * Divergence rates are stochastic (they depend on where host jitter
+ * lands polls relative to task completion), so the DMA row aggregates
+ * many seeds to accumulate a meaningful transaction count.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/app_registry.h"
+#include "apps/dram_dma.h"
+#include "core/divergence.h"
+#include "resource/report.h"
+
+namespace {
+
+using namespace vidi;
+
+struct Row
+{
+    std::string app;
+    uint64_t transactions = 0;
+    uint64_t count_div = 0;
+    uint64_t order_div = 0;
+    uint64_t content_div = 0;
+    bool replay_ok = true;
+};
+
+Row
+measure(AppBuilder &app, double scale, unsigned seeds)
+{
+    app.setScale(scale);
+    VidiConfig cfg;
+    cfg.max_cycles = 400'000'000;
+
+    Row row;
+    row.app = app.name();
+    auto *dma = dynamic_cast<DmaAppBuilder *>(&app);
+    for (unsigned s = 0; s < seeds; ++s) {
+        // The DMA rows sample many distinct task contents so the rare
+        // poll race accumulates a meaningful rate.
+        if (dma != nullptr)
+            dma->setContentSeed(0xd3a000 + 1000ull * s);
+        const DivergenceResult result =
+            detectDivergences(app, 9000 + s, cfg);
+        row.replay_ok = row.replay_ok && result.replay.completed;
+        row.transactions += result.report.transactions_compared;
+        for (const auto &d : result.report.divergences) {
+            switch (d.kind) {
+              case Divergence::Kind::TransactionCount:
+                ++row.count_div;
+                break;
+              case Divergence::Kind::EndOrdering:
+                ++row.order_div;
+                break;
+              case Divergence::Kind::OutputContent:
+                ++row.content_div;
+                break;
+            }
+        }
+    }
+    return row;
+}
+
+std::string
+rate(uint64_t divergences, uint64_t transactions)
+{
+    if (divergences == 0)
+        return "0";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1e",
+                  double(divergences) / double(transactions));
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = 1.0;
+    unsigned dma_seeds = 30;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--scale" && i + 1 < argc)
+            scale = std::atof(argv[++i]);
+        else if (arg == "--dma-seeds" && i + 1 < argc)
+            dma_seeds = static_cast<unsigned>(std::atoi(argv[++i]));
+    }
+
+    std::printf("Effectiveness (§5.4): divergences between record and "
+                "replay\n\n");
+
+    TextTable table;
+    table.header({"App", "Transactions", "Count div", "Order div",
+                  "Content div", "Content rate", "Replay"});
+
+    auto emit = [&](const Row &row) {
+        table.row({row.app, std::to_string(row.transactions),
+                   std::to_string(row.count_div),
+                   std::to_string(row.order_div),
+                   std::to_string(row.content_div),
+                   rate(row.content_div, row.transactions),
+                   row.replay_ok ? "ok" : "STALLED"});
+    };
+
+    // All Table 1 applications; the DMA app gets extra seeds so the rare
+    // polling divergence accumulates enough transactions to show a rate.
+    {
+        auto apps = makeTable1Apps();
+        for (auto &app : apps) {
+            const bool is_dma = app->name() == "DMA";
+            emit(measure(*app, scale, is_dma ? dma_seeds : 2));
+        }
+    }
+
+    // The paper's fix: interrupt-style completion.
+    {
+        DmaAppBuilder patched(/*patched=*/true);
+        emit(measure(patched, scale, dma_seeds));
+    }
+
+    std::fputs(table.toString().c_str(), stdout);
+    std::printf("\nExpected shape (paper): zero divergences everywhere "
+                "except rare DMA content divergences (~1e-6 per "
+                "transaction), eliminated by the interrupt patch "
+                "(DMA-irq row).\n");
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of Vidi's trace pipeline: cycle
+ * packet serialization/parsing, encoder packet assembly, trace-store
+ * FIFO movement, and vector-clock operations. Not a paper table —
+ * engineering data points for the library itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "host/host_dram.h"
+#include "replay/vector_clock.h"
+#include "trace/packets.h"
+#include "trace/trace_store.h"
+
+namespace {
+
+using namespace vidi;
+
+TraceMeta
+f1LikeMeta(bool output_content)
+{
+    TraceMeta meta;
+    meta.record_output_content = output_content;
+    for (size_t i = 0; i < 25; ++i) {
+        TraceChannelInfo ch;
+        ch.name = "ch" + std::to_string(i);
+        ch.input = i % 2 == 0;
+        ch.data_bytes = (i % 5 == 1) ? 80 : 16;
+        ch.width_bits = (i % 5 == 1) ? 593 : 91;
+        meta.channels.push_back(ch);
+    }
+    return meta;
+}
+
+CyclePacket
+busyPacket(const TraceMeta &meta)
+{
+    CyclePacket pkt;
+    for (size_t i = 0; i < meta.channelCount(); ++i) {
+        if (meta.channels[i].input && i % 4 == 0) {
+            pkt.starts = bitvec::set(pkt.starts, i);
+            pkt.start_contents.emplace_back(meta.channels[i].data_bytes,
+                                            uint8_t(i));
+        }
+        if (i % 3 == 0)
+            pkt.ends = bitvec::set(pkt.ends, i);
+    }
+    if (meta.record_output_content) {
+        bitvec::forEach(pkt.ends, [&](size_t i) {
+            if (!meta.channels[i].input) {
+                pkt.end_contents.emplace_back(meta.channels[i].data_bytes,
+                                              uint8_t(i));
+            }
+        });
+    }
+    return pkt;
+}
+
+void
+BM_SerializePacket(benchmark::State &state)
+{
+    const TraceMeta meta = f1LikeMeta(state.range(0) != 0);
+    const CyclePacket pkt = busyPacket(meta);
+    std::vector<uint8_t> out;
+    for (auto _ : state) {
+        out.clear();
+        serializePacket(meta, pkt, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            int64_t(packetBytes(meta, pkt)));
+}
+BENCHMARK(BM_SerializePacket)->Arg(0)->Arg(1);
+
+void
+BM_ParsePacket(benchmark::State &state)
+{
+    const TraceMeta meta = f1LikeMeta(state.range(0) != 0);
+    const CyclePacket pkt = busyPacket(meta);
+    std::vector<uint8_t> bytes;
+    serializePacket(meta, pkt, bytes);
+    CyclePacket out;
+    for (auto _ : state) {
+        const size_t n = parsePacket(meta, bytes.data(), bytes.size(),
+                                     out);
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            int64_t(bytes.size()));
+}
+BENCHMARK(BM_ParsePacket)->Arg(0)->Arg(1);
+
+void
+BM_ByteFifoRoundtrip(benchmark::State &state)
+{
+    ByteFifo fifo(1u << 20);
+    std::vector<uint8_t> chunk(size_t(state.range(0)), 0x5a);
+    std::vector<uint8_t> out(chunk.size());
+    for (auto _ : state) {
+        fifo.push(chunk.data(), chunk.size());
+        fifo.peek(out.data(), out.size());
+        fifo.consume(out.size());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            int64_t(chunk.size()));
+}
+BENCHMARK(BM_ByteFifoRoundtrip)->Arg(64)->Arg(512)->Arg(4096);
+
+void
+BM_VectorClockDominates(benchmark::State &state)
+{
+    VectorClock a(25), b(25);
+    for (size_t i = 0; i < 25; ++i) {
+        for (size_t k = 0; k < i + 1; ++k)
+            a.increment(i);
+        for (size_t k = 0; k < i; ++k)
+            b.increment(i);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.dominates(b));
+        benchmark::DoNotOptimize(b.dominates(a));
+    }
+}
+BENCHMARK(BM_VectorClockDominates);
+
+} // namespace
+
+BENCHMARK_MAIN();

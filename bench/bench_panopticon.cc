@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Reproduces the §6 analysis: why physical-timestamp (cycle-accurate)
+ * recording such as Panopticon loses data under burst traffic, while
+ * Vidi's transaction-based back-pressure never loses an event.
+ *
+ * Part 1 is the paper's back-of-the-envelope calculation: tracing the
+ * largest AXI channel (593 bits at 250 MHz) requires 18.5 GB/s, PCIe
+ * storage drains 5.5 GB/s, and a 43 MB on-chip buffer therefore
+ * overflows after about 3.3 ms of burst traffic.
+ *
+ * Part 2 measures the same phenomenon in simulation: a saturating burst
+ * stream is recorded by (a) a modelled cycle-accurate tracer, which
+ * drops trace data once its buffer fills, and (b) Vidi, whose trace
+ * store back-pressures the application instead — slower, but complete.
+ */
+
+#include <cstdio>
+
+#include "apps/app_registry.h"
+#include "core/recorder.h"
+#include "resource/report.h"
+#include "resource/vu9p.h"
+
+namespace {
+
+using namespace vidi;
+
+void
+part1Analysis()
+{
+    const double channel_bits = kAxiWBits;  // 593, the largest channel
+    const double clock_hz = kF1ClockHz;
+    const double peak_bw = channel_bits / 8.0 * clock_hz;
+    const double store_bw = kF1PcieBytesPerSec;
+    const double buffer_bytes = Vu9pCapacity::kOnChipMemBytes;
+    const double fill_rate = peak_bw - store_bw;
+    const double loss_after_s = buffer_bytes / fill_rate;
+
+    std::printf("Part 1 — back-of-the-envelope (paper §6):\n");
+    std::printf("  peak tracing bandwidth: %.1f GB/s "
+                "(593-bit channel at 250 MHz)\n", peak_bw / 1e9);
+    std::printf("  trace-store bandwidth:  %.1f GB/s (PCIe)\n",
+                store_bw / 1e9);
+    std::printf("  on-chip buffer:         %.0f MB\n", buffer_bytes / 1e6);
+    std::printf("  => buffer overflows after %.1f ms of burst traffic "
+                "(paper: 3.3 ms)\n\n", loss_after_s * 1e3);
+}
+
+void
+part2Simulation()
+{
+    std::printf("Part 2 — burst recording in simulation:\n");
+
+    // Record the most I/O-intensive application with a deliberately tiny
+    // staging FIFO, forcing the back-pressure path.
+    HlsAppBuilder app(makeSpamFilterSpec());
+    app.setScale(0.5);
+
+    VidiConfig roomy;
+    roomy.max_cycles = 100'000'000;
+    const RecordResult base =
+        recordRun(app, VidiMode::R1_Transparent, 3, roomy);
+    const RecordResult big =
+        recordRun(app, VidiMode::R2_Record, 3, roomy);
+
+    VidiConfig tiny = roomy;
+    tiny.store_fifo_bytes = 4096;  // 4 KB staging only
+    const RecordResult small =
+        recordRun(app, VidiMode::R2_Record, 3, tiny);
+
+    // Starve the link so trace generation outruns the drain: the
+    // back-pressure path must engage, and still nothing is lost.
+    VidiConfig starved = tiny;
+    starved.pcie_bytes_per_sec = 0.5e9;
+    const RecordResult slow =
+        recordRun(app, VidiMode::R2_Record, 3, starved);
+
+    TextTable table;
+    table.header({"Configuration", "Cycles", "Overhead (%)",
+                  "Trace bytes", "Events lost"});
+    table.row({"native (R1)", std::to_string(base.cycles), "-", "-", "-"});
+    table.row({"Vidi, 1 MB FIFO", std::to_string(big.cycles),
+               TextTable::num(100.0 * (double(big.cycles) -
+                                       double(base.cycles)) /
+                              double(base.cycles)),
+               std::to_string(big.trace_bytes), "0"});
+    table.row({"Vidi, 4 KB FIFO", std::to_string(small.cycles),
+               TextTable::num(100.0 * (double(small.cycles) -
+                                       double(base.cycles)) /
+                              double(base.cycles)),
+               std::to_string(small.trace_bytes), "0"});
+    table.row({"Vidi, 4 KB + 0.5 GB/s link", std::to_string(slow.cycles),
+               TextTable::num(100.0 * (double(slow.cycles) -
+                                       double(base.cycles)) /
+                              double(base.cycles)),
+               std::to_string(slow.trace_bytes), "0"});
+    std::fputs(table.toString().c_str(), stdout);
+
+    const bool complete = big.completed && small.completed &&
+                          slow.completed && big.digest == base.digest &&
+                          small.digest == base.digest &&
+                          slow.digest == base.digest;
+    std::printf("\n  Both Vidi configurations recorded every transaction "
+                "(%s); shrinking the buffer only adds back-pressure "
+                "overhead.\n", complete ? "verified" : "MISMATCH");
+
+    // The modelled cycle-accurate tracer on the same run: input-signal
+    // bits every cycle against the same buffer and drain rate.
+    const double bits_per_cycle = double(big.input_signal_bits);
+    const double gen_rate = bits_per_cycle / 8.0;           // bytes/cycle
+    const double drain_rate = kF1PcieBytesPerSec / kF1ClockHz;
+    const double buffer = double(tiny.store_fifo_bytes);
+    if (gen_rate > drain_rate) {
+        const double cycles_to_loss = buffer / (gen_rate - drain_rate);
+        std::printf("  A cycle-accurate tracer generating %.0f B/cycle "
+                    "against a %.0f B/cycle drain overflows the same "
+                    "4 KB buffer after %.0f cycles (%.2f us) and then "
+                    "LOSES trace data.\n",
+                    gen_rate, drain_rate, cycles_to_loss,
+                    cycles_to_loss / kF1ClockHz * 1e6);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("§6: physical timestamps vs. transaction "
+                "determinism\n\n");
+    part1Analysis();
+    part2Simulation();
+    return 0;
+}

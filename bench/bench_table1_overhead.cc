@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Reproduces Table 1 of the paper: per-application native execution
+ * time, Vidi recording overhead (average ± standard deviation over
+ * repeated runs with different host-timing seeds), recorded trace size,
+ * and the trace-size reduction versus a cycle-accurate recorder
+ * (input-signal bits × executed cycles).
+ *
+ * Absolute times differ from the paper (the substrate is a simulator,
+ * not an F1 instance); the shape to compare is the overhead column
+ * (mostly <2%, with the DMA-heavy applications highest), the relative
+ * trace sizes, and the reduction factors (tens of x for I/O-bound
+ * applications up to millions of x for compute-bound SSSP).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.h"
+#include "core/recorder.h"
+#include "resource/report.h"
+
+namespace {
+
+using namespace vidi;
+
+struct Row
+{
+    std::string app;
+    double native_cycles = 0;
+    double overhead_pct = 0;
+    double overhead_std = 0;
+    double trace_bytes = 0;
+    double reduction = 0;
+};
+
+Row
+measure(AppBuilder &app, unsigned reps, double scale)
+{
+    app.setScale(scale);
+    VidiConfig cfg;
+    cfg.max_cycles = 400'000'000;
+
+    Row row;
+    row.app = app.name();
+    std::vector<double> overheads;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        const uint64_t seed = 1000 + rep;
+        const RecordResult r1 =
+            recordRun(app, VidiMode::R1_Transparent, seed, cfg);
+        const RecordResult r2 =
+            recordRun(app, VidiMode::R2_Record, seed, cfg);
+        if (!r1.completed || !r2.completed) {
+            std::fprintf(stderr, "%s: run did not complete\n",
+                         row.app.c_str());
+            std::exit(1);
+        }
+        if (r1.digest != r2.digest) {
+            std::fprintf(stderr, "%s: recording was not transparent\n",
+                         row.app.c_str());
+            std::exit(1);
+        }
+        overheads.push_back(100.0 * (double(r2.cycles) - double(r1.cycles)) /
+                            double(r1.cycles));
+        row.native_cycles += double(r1.cycles) / reps;
+        row.trace_bytes += double(r2.trace_bytes) / reps;
+        row.reduction +=
+            double(r2.cycleAccurateTraceBytes()) /
+            double(r2.trace_bytes) / reps;
+    }
+    double mean = 0;
+    for (const double o : overheads)
+        mean += o / overheads.size();
+    double var = 0;
+    for (const double o : overheads)
+        var += (o - mean) * (o - mean) / overheads.size();
+    row.overhead_pct = mean;
+    row.overhead_std = std::sqrt(var);
+    return row;
+}
+
+/** Paper values for side-by-side comparison. */
+struct PaperRow
+{
+    const char *app;
+    double et_s;
+    double overhead;
+    double std;
+    double ts_gb;
+    double reduction;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"DMA", 1.66, 5.93, 0.45, 0.81, 97},
+    {"3D", 4.14, 0.54, 2.88, 0.14, 1439},
+    {"BNN", 6.43, 0.63, 1.68, 0.31, 966},
+    {"DigitR", 9.56, 0.03, 0.14, 0.97, 468},
+    {"FaceD", 17.41, -0.05, 1.28, 0.12, 7011},
+    {"SpamF", 1.56, 10.54, 0.40, 0.83, 88},
+    {"OpFlw", 13.79, 1.91, 0.27, 1.33, 490},
+    {"SSSP", 397.83, 0.00, 0.01, 0.002, 10149896},
+    {"SHA", 31.75, 0.64, 0.06, 1.23, 1219},
+    {"MNet", 110.71, 0.11, 0.27, 0.51, 10163},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned reps = 5;
+    double scale = 1.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--reps" && i + 1 < argc)
+            reps = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (arg == "--scale" && i + 1 < argc)
+            scale = std::atof(argv[++i]);
+    }
+
+    std::printf("Table 1: recording overhead and trace size "
+                "(%u repetitions, scale %.2f)\n\n", reps, scale);
+
+    TextTable table;
+    table.header({"App", "ET (cycles)", "Overhead+/-std (%)", "TS",
+                  "Reduction", "| paper: Ovh (%)", "Reduction"});
+    for (size_t i = 0; i < 10; ++i) {
+        auto apps = vidi::makeTable1Apps();
+        Row row = measure(*apps[i], reps, scale);
+        char ovh[64];
+        std::snprintf(ovh, sizeof(ovh), "%.2f+/-%.2f", row.overhead_pct,
+                      row.overhead_std);
+        char paper_ovh[64];
+        std::snprintf(paper_ovh, sizeof(paper_ovh), "| %.2f+/-%.2f",
+                      kPaper[i].overhead, kPaper[i].std);
+        table.row({row.app, TextTable::num(row.native_cycles, 0), ovh,
+                   TextTable::bytes(row.trace_bytes),
+                   TextTable::factor(row.reduction), paper_ovh,
+                   TextTable::factor(kPaper[i].reduction)});
+    }
+    std::fputs(table.toString().c_str(), stdout);
+    std::printf("\nNote: ET is simulated cycles at 250 MHz; the paper "
+                "reports wallclock seconds on F1.\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The §5.2 debugging case study: an echo server built on a buggy Frame
+ * FIFO, exhibiting two bugs that only appear under the right runtime
+ * conditions — and how Vidi makes them reliably reproducible.
+ *
+ * Bug 1 (delayed start): the CPU control thread T2 starts the echo
+ * server *after* the DMA thread T1 begins streaming. The buggy Frame
+ * FIFO silently drops fragments instead of back-pressuring, and T1
+ * observes data loss. The bug depends on the T1/T2 interleaving; Vidi's
+ * trace captures the ordering of the control-register transaction
+ * relative to the DMA transactions, so every replay triggers the same
+ * loss pattern.
+ *
+ * Bug 2 (unaligned DMA): unaligned transfers carry byte strobes that
+ * the echo server ignores, corrupting the echoed stream. The paper
+ * notes simulation does not model unaligned bitmasks — only a trace
+ * recorded from the real execution exposes them; replaying that trace
+ * reproduces the corruption deterministically.
+ */
+
+#include <cstdio>
+
+#include "apps/echo_server.h"
+#include "core/recorder.h"
+#include "core/replayer.h"
+
+using namespace vidi;
+
+namespace {
+
+VidiConfig
+config()
+{
+    VidiConfig cfg;
+    cfg.max_cycles = 50'000'000;
+    return cfg;
+}
+
+/** Record a buggy run, then replay it and compare what the FPGA wrote. */
+bool
+reproduce(const char *title, const EchoConfig &echo_cfg)
+{
+    std::printf("--- %s ---\n", title);
+    EchoAppBuilder app(echo_cfg);
+
+    // A correct run for reference: same server, benign conditions.
+    EchoConfig good_cfg = echo_cfg;
+    good_cfg.start_delay = 0;
+    good_cfg.dma_offset = 0;
+    EchoAppBuilder good(good_cfg);
+    const RecordResult healthy =
+        recordRun(good, VidiMode::R2_Record, 11, config());
+    std::printf("  healthy run:  digest=%016llx, inconsistency=no\n",
+                static_cast<unsigned long long>(healthy.digest));
+
+    // Record the buggy execution on "hardware".
+    const RecordResult buggy =
+        recordRun(app, VidiMode::R2_Record, 11, config());
+    std::printf("  buggy run:    digest=%016llx (%s healthy)\n",
+                static_cast<unsigned long long>(buggy.digest),
+                buggy.digest == healthy.digest ? "same as" :
+                                                 "DIFFERS from");
+
+    // Replay the buggy trace — e.g. in simulation, under a debugger,
+    // or instrumented with a third-party tool like LossCheck. The same
+    // inconsistency pattern must reappear.
+    const ReplayResult replay = replayRun(app, buggy.trace, config());
+    std::printf("  replayed run: digest=%016llx (%s buggy recording)\n",
+                static_cast<unsigned long long>(replay.digest),
+                replay.digest == buggy.digest ? "reproduces" :
+                                                "FAILS to reproduce");
+    const bool reproduced = replay.completed &&
+                            replay.digest == buggy.digest &&
+                            buggy.digest != healthy.digest;
+    std::printf("  => bug %s across record/replay\n\n",
+                reproduced ? "reliably reproduced" : "NOT reproduced");
+    return reproduced;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("§5.2 debugging case study: buggy Frame FIFO echo "
+                "server\n\n");
+
+    // Bug 1: T2 starts the server 4000 cycles after T1 begins DMA; the
+    // buggy FIFO (64 fragments) overflows and drops data.
+    EchoConfig delayed;
+    delayed.fifo_buggy = true;
+    delayed.handle_strobes = true;  // isolate bug 1
+    delayed.start_delay = 4000;
+    const bool bug1 = reproduce("Bug 1: delayed start drops fragments",
+                                delayed);
+
+    // Bug 2: an unaligned DMA write; the server ignores strobes and
+    // enqueues garbage lanes.
+    EchoConfig unaligned;
+    unaligned.fifo_buggy = false;   // isolate bug 2
+    unaligned.handle_strobes = false;
+    unaligned.dma_offset = 4;
+    const bool bug2 = reproduce("Bug 2: unaligned DMA ignores strobes",
+                                unaligned);
+
+    std::printf("Both bugs escape ordinary testing (they need a precise "
+                "thread interleaving or an unaligned production "
+                "request); a Vidi trace pins them down for replay-based "
+                "diagnosis.\n");
+    return bug1 && bug2 ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The §3.6 divergence-detection workflow on the DRAM DMA application.
+ *
+ * Transaction determinism cannot reproduce behaviour that depends on
+ * the exact cycle a signal changes. The DRAM DMA example polls a status
+ * register; whether a poll lands just before or just after the status
+ * settles is cycle-dependent, so about one poll response per ~10^5
+ * transactions differs between record and replay.
+ *
+ * Vidi's two-step workflow finds such behaviour automatically:
+ * record a reference trace with output content (R2), replay while
+ * recording a validation trace (R3), and diff. The report names the
+ * offending channel and transaction, which points the developer
+ * straight at the polling code; the 10-line interrupt patch (doorbell
+ * write after the writebacks are acknowledged) removes the divergence.
+ */
+
+#include <cstdio>
+
+#include "apps/dram_dma.h"
+#include "core/divergence.h"
+
+using namespace vidi;
+
+int
+main()
+{
+    VidiConfig cfg;
+    cfg.max_cycles = 400'000'000;
+
+    std::printf("§3.6 divergence detection on DRAM DMA\n\n");
+
+    // Scan task contents until the cycle-dependent window is hit (the
+    // race is rare by nature; the effectiveness bench measures its rate).
+    DmaAppBuilder buggy(/*patched=*/false);
+    buggy.setScale(1.0);
+    bool found = false;
+    uint64_t divergent_content = 0;
+    for (uint64_t variant = 0; variant < 40 && !found; ++variant) {
+        buggy.setContentSeed(0xd3a000 + 1000 * variant);
+        const DivergenceResult result =
+            detectDivergences(buggy, 4242 + variant, cfg);
+        if (!result.report.identical()) {
+            found = true;
+            divergent_content = variant;
+            std::printf("reference vs validation: %s\n",
+                        result.report.summary().c_str());
+            for (const auto &d : result.report.divergences)
+                std::printf("  %s\n", d.toString().c_str());
+            std::printf("\nThe report points at channel ocl.R — the "
+                        "status-poll response path. The root cause is "
+                        "the CPU's polling of a register raised at a "
+                        "cycle-dependent time.\n\n");
+        }
+    }
+    if (!found) {
+        std::printf("no divergence found in this sweep (the race is "
+                    "rare); try more variants\n");
+        return 1;
+    }
+
+    // Apply the paper's fix: completion via an interrupt-style doorbell
+    // transaction instead of polling. Same workload, no divergence.
+    DmaAppBuilder patched(/*patched=*/true);
+    patched.setScale(1.0);
+    patched.setContentSeed(0xd3a000 + 1000 * divergent_content);
+    const DivergenceResult after =
+        detectDivergences(patched, 4242 + divergent_content, cfg);
+    std::printf("after the interrupt patch: %s\n",
+                after.report.summary().c_str());
+
+    return after.report.identical() ? 0 : 1;
+}

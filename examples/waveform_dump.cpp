@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Waveform example: record an AXI write burst through the Vidi boundary
+ * while dumping the channel signals to a VCD file (viewable in GTKWave)
+ * — then contrast the cycle-level waveform with Vidi's coarse-grained
+ * trace of the same execution.
+ *
+ * The point of the exercise is the paper's §2 observation made visible:
+ * the waveform carries a value for every signal at every cycle, while
+ * the Vidi trace keeps only transaction starts, contents and ends.
+ */
+
+#include <cstdio>
+
+#include "core/boundary.h"
+#include "core/vidi_shim.h"
+#include "host/dma_engine.h"
+#include "host/pcie_bus.h"
+#include "mem/axi_memory.h"
+#include "sim/vcd.h"
+#include "trace/trace_stats.h"
+
+using namespace vidi;
+
+int
+main()
+{
+    Simulator sim;
+    HostMemory host;
+    PcieBus &pcie = sim.add<PcieBus>("pcie");
+    const F1Channels outer = makeF1Channels(sim, "outer");
+    const F1Channels inner = makeF1Channels(sim, "inner");
+
+    // Dump the pcis write path (outer side) to a VCD file.
+    auto &vcd = sim.add<VcdDumper>("vcd", "write_burst.vcd");
+    vcd.watch(*outer.pcis.aw);
+    vcd.watch(*outer.pcis.w);
+    vcd.watch(*outer.pcis.b);
+
+    VidiConfig cfg;
+    VidiShim shim(sim, Boundary::fromF1(outer, inner),
+                  VidiMode::R2_Record, host, pcie, cfg);
+
+    DramModel ddr;
+    sim.add<AxiMemory>(sim, "ddr", inner.pcis, ddr);
+    DmaEngine &dma = sim.add<DmaEngine>(sim, "dma", outer.pcis, &pcie);
+
+    shim.beginRecord();
+    std::vector<uint8_t> payload(4096);
+    for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<uint8_t>(i);
+    dma.startWrite(0x8000, payload);
+
+    uint64_t cycles = 0;
+    while ((!dma.idle() || !shim.recordDrained()) && cycles < 100000) {
+        sim.step();
+        ++cycles;
+    }
+    vcd.finish();
+
+    const Trace trace = shim.collectTrace();
+    std::printf("Recorded a 4 KiB DMA write (%llu cycles).\n\n",
+                static_cast<unsigned long long>(cycles));
+    std::printf("Cycle-level view:   write_burst.vcd (open in GTKWave; "
+                "three channels, every signal every cycle)\n");
+    std::printf("Transaction view:   %zu cycle packets, %llu bytes\n\n",
+                trace.packets.size(),
+                static_cast<unsigned long long>(trace.serializedBytes()));
+    std::fputs(TraceStats::analyze(trace).toString().c_str(), stdout);
+
+    const double vcd_ish =
+        double(cycles) *
+        (kAxiAwBits + kAxiWBits + kAxiBBits + 6) / 8.0;
+    std::printf("\nA cycle-accurate record of just these three channels "
+                "would be ~%.0f bytes; Vidi kept %llu.\n", vcd_ish,
+                static_cast<unsigned long long>(trace.serializedBytes()));
+    return 0;
+}

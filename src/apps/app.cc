@@ -1,0 +1,23 @@
+#include "apps/app.h"
+
+#include "sim/random.h"
+
+namespace vidi {
+
+std::vector<uint8_t>
+patternBytes(uint64_t content_seed, size_t len)
+{
+    SimRandom rng(content_seed);
+    std::vector<uint8_t> out(len);
+    size_t i = 0;
+    while (i + 8 <= len) {
+        const uint64_t v = rng.next();
+        std::memcpy(out.data() + i, &v, 8);
+        i += 8;
+    }
+    for (; i < len; ++i)
+        out[i] = static_cast<uint8_t>(rng.next());
+    return out;
+}
+
+} // namespace vidi

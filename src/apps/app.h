@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the benchmark applications.
+ */
+
+#ifndef VIDI_APPS_APP_H
+#define VIDI_APPS_APP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/app_interface.h"
+
+namespace vidi {
+
+/** Register map shared by the HLS-style accelerators (Vivado HLS style). */
+namespace hlsreg {
+inline constexpr uint32_t kCtrl = 0x00;      ///< w: start; r: busy|done<<1
+inline constexpr uint32_t kInAddrLo = 0x10;  ///< input address, low 32
+inline constexpr uint32_t kInAddrHi = 0x14;  ///< input address, high 32
+inline constexpr uint32_t kInLen = 0x18;     ///< input length in bytes
+inline constexpr uint32_t kOutAddrLo = 0x1c; ///< output address, low 32
+inline constexpr uint32_t kOutAddrHi = 0x20; ///< output address, high 32
+inline constexpr uint32_t kJobId = 0x24;     ///< doorbell payload
+inline constexpr uint32_t kDoorbellLo = 0x28;///< host doorbell addr, low 32
+inline constexpr uint32_t kDoorbellHi = 0x2c;///< host doorbell addr, high
+inline constexpr uint32_t kStatus = 0x30;    ///< polled status (DMA app)
+inline constexpr uint32_t kResultLo = 0x34;  ///< host result buffer, low
+inline constexpr uint32_t kResultHi = 0x38;  ///< host result buffer, high
+} // namespace hlsreg
+
+/** Incremental FNV-1a checksum used for output digests. */
+class Digest
+{
+  public:
+    void
+    add(const uint8_t *data, size_t len)
+    {
+        for (size_t i = 0; i < len; ++i) {
+            h_ ^= data[i];
+            h_ *= 0x100000001b3ull;
+        }
+    }
+
+    void add(const std::vector<uint8_t> &v) { add(v.data(), v.size()); }
+
+    void
+    addU64(uint64_t v)
+    {
+        add(reinterpret_cast<const uint8_t *>(&v), sizeof(v));
+    }
+
+    uint64_t value() const { return h_; }
+
+  private:
+    uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/** Deterministic workload-content generator (independent of run seed). */
+std::vector<uint8_t> patternBytes(uint64_t content_seed, size_t len);
+
+} // namespace vidi
+
+#endif // VIDI_APPS_APP_H

@@ -1,0 +1,24 @@
+#include "apps/app_registry.h"
+
+#include "apps/dram_dma.h"
+
+namespace vidi {
+
+std::vector<std::unique_ptr<AppBuilder>>
+makeTable1Apps()
+{
+    std::vector<std::unique_ptr<AppBuilder>> apps;
+    apps.push_back(std::make_unique<DmaAppBuilder>());
+    apps.push_back(std::make_unique<HlsAppBuilder>(makeRendering3dSpec()));
+    apps.push_back(std::make_unique<HlsAppBuilder>(makeBnnSpec()));
+    apps.push_back(std::make_unique<HlsAppBuilder>(makeDigitRecSpec()));
+    apps.push_back(std::make_unique<HlsAppBuilder>(makeFaceDetectSpec()));
+    apps.push_back(std::make_unique<HlsAppBuilder>(makeSpamFilterSpec()));
+    apps.push_back(std::make_unique<HlsAppBuilder>(makeOpticalFlowSpec()));
+    apps.push_back(std::make_unique<HlsAppBuilder>(makeSsspSpec()));
+    apps.push_back(std::make_unique<HlsAppBuilder>(makeSha256Spec()));
+    apps.push_back(std::make_unique<HlsAppBuilder>(makeMobileNetSpec()));
+    return apps;
+}
+
+} // namespace vidi

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Registry of the Table 1 benchmark applications.
+ *
+ * Nine applications follow the HLS harness (one spec each); the DRAM DMA
+ * example application is a custom design with its own builder (it is the
+ * one with cycle-dependent polling, §3.6). makeTable1Apps() returns them
+ * in the paper's order.
+ */
+
+#ifndef VIDI_APPS_APP_REGISTRY_H
+#define VIDI_APPS_APP_REGISTRY_H
+
+#include <memory>
+#include <vector>
+
+#include "apps/hls_harness.h"
+
+namespace vidi {
+
+/// @name Per-application HLS specs (Rosetta and open-source apps)
+/// @{
+HlsAppSpec makeRendering3dSpec();   ///< (2) 3D Rendering [Rosetta]
+HlsAppSpec makeBnnSpec();           ///< (3) Binarized NN [Rosetta]
+HlsAppSpec makeDigitRecSpec();      ///< (4) Digit Recognition [Rosetta]
+HlsAppSpec makeFaceDetectSpec();    ///< (5) Face Detection [Rosetta]
+HlsAppSpec makeSpamFilterSpec();    ///< (6) Spam Filter [Rosetta]
+HlsAppSpec makeOpticalFlowSpec();   ///< (7) Optical Flow [Rosetta]
+HlsAppSpec makeSsspSpec();          ///< (8) SSSP graph accelerator
+HlsAppSpec makeSha256Spec();        ///< (9) SHA-256 accelerator
+HlsAppSpec makeMobileNetSpec();     ///< (10) iSmartDNN-style MobileNet
+/// @}
+
+/**
+ * All ten Table 1 applications, in the paper's order (DMA first).
+ */
+std::vector<std::unique_ptr<AppBuilder>> makeTable1Apps();
+
+} // namespace vidi
+
+#endif // VIDI_APPS_APP_REGISTRY_H

@@ -1,0 +1,314 @@
+#include "apps/atop_echo.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+AtopEchoKernel::AtopEchoKernel(const std::string &name, DramModel &ddr,
+                               DmaEngine &pcim)
+    : Module(name), ddr_(ddr), pcim_(pcim)
+{
+}
+
+void
+AtopEchoKernel::writeReg(uint32_t addr, uint32_t value)
+{
+    switch (addr) {
+      case hlsreg::kCtrl:
+        if ((value & 1u) && state_ == State::Idle) {
+            state_ = State::Reading;
+            phase_cycles_left_ = in_len_ / 64 + 12;
+        }
+        break;
+      case hlsreg::kInAddrLo:
+        in_addr_ = (in_addr_ & ~0xffffffffull) | value;
+        break;
+      case hlsreg::kInAddrHi:
+        in_addr_ = (in_addr_ & 0xffffffffull) |
+                   (static_cast<uint64_t>(value) << 32);
+        break;
+      case hlsreg::kInLen:
+        in_len_ = value;
+        break;
+      case hlsreg::kResultLo:
+        result_addr_ = (result_addr_ & ~0xffffffffull) | value;
+        break;
+      case hlsreg::kResultHi:
+        result_addr_ = (result_addr_ & 0xffffffffull) |
+                       (static_cast<uint64_t>(value) << 32);
+        break;
+      case hlsreg::kDoorbellLo:
+        doorbell_addr_ = (doorbell_addr_ & ~0xffffffffull) | value;
+        break;
+      case hlsreg::kDoorbellHi:
+        doorbell_addr_ = (doorbell_addr_ & 0xffffffffull) |
+                         (static_cast<uint64_t>(value) << 32);
+        break;
+      case hlsreg::kJobId:
+        job_id_ = value;
+        break;
+      default:
+        break;
+    }
+}
+
+uint32_t
+AtopEchoKernel::readReg(uint32_t addr) const
+{
+    switch (addr) {
+      case hlsreg::kCtrl:
+        return state_ != State::Idle ? 1u : 0u;
+      default:
+        return 0;
+    }
+}
+
+void
+AtopEchoKernel::tick()
+{
+    switch (state_) {
+      case State::Idle:
+        break;
+
+      case State::Reading:
+        if (phase_cycles_left_ > 0) {
+            --phase_cycles_left_;
+            break;
+        }
+        {
+            std::vector<uint8_t> data = ddr_.readVec(in_addr_, in_len_);
+            digest_.add(data);
+            pcim_.startWrite(result_addr_, std::move(data));
+        }
+        state_ = State::Ponging;
+        break;
+
+      case State::Ponging:
+        if (!pcim_.idle())
+            break;
+        {
+            std::vector<uint8_t> payload(kAxiDataBytes, 0);
+            const uint64_t v = job_id_ + 1;
+            std::memcpy(payload.data(), &v, sizeof(v));
+            pcim_.startWrite(doorbell_addr_, std::move(payload));
+        }
+        state_ = State::Doorbell;
+        break;
+
+      case State::Doorbell:
+        if (pcim_.idle()) {
+            ++pongs_;
+            state_ = State::Idle;
+        }
+        break;
+    }
+}
+
+void
+AtopEchoKernel::reset()
+{
+    in_addr_ = 0;
+    in_len_ = 0;
+    result_addr_ = 0;
+    doorbell_addr_ = 0;
+    job_id_ = 0;
+    state_ = State::Idle;
+    phase_cycles_left_ = 0;
+    pongs_ = 0;
+    digest_ = Digest{};
+}
+
+namespace {
+
+class AtopEchoInstance : public AppInstance
+{
+  public:
+    std::unique_ptr<DramModel> ddr;
+    AtopEchoKernel *kernel = nullptr;
+    HlsHostDriver *unused = nullptr;
+    class AtopHostDriver *driver = nullptr;
+
+    bool done() const override;
+    uint64_t outputDigest() const override;
+};
+
+/**
+ * CPU side of the ping/pong test.
+ */
+class AtopHostDriver : public Module
+{
+  public:
+    AtopHostDriver(Simulator &sim, const std::string &name,
+                   std::vector<std::vector<uint8_t>> pings,
+                   MmioMaster &mmio, DmaEngine &dma, HostMemory &host,
+                   uint64_t result_addr, uint64_t doorbell_addr)
+        : Module(name), pings_(std::move(pings)), mmio_(mmio), dma_(dma),
+          host_(host), result_addr_(result_addr),
+          doorbell_addr_(doorbell_addr), rng_(sim.rng().fork())
+    {
+        mmio_.setIssueGap(0, 16);
+        dma_.setIssueGap(0, 16);
+    }
+
+    bool
+    done() const
+    {
+        return state_ == State::AllDone && mmio_.idle() && dma_.idle();
+    }
+
+    bool anyMismatch() const { return mismatch_; }
+
+    void
+    tick() override
+    {
+        static constexpr uint64_t kDdrIn = 0x40000;
+        switch (state_) {
+          case State::StartJob:
+            dma_.startWrite(kDdrIn, pings_[job_]);
+            state_ = State::WaitDma;
+            break;
+          case State::WaitDma:
+            if (!dma_.idle())
+                break;
+            mmio_.issueWrite(hlsreg::kInAddrLo,
+                             static_cast<uint32_t>(kDdrIn));
+            mmio_.issueWrite(hlsreg::kInAddrHi, 0);
+            mmio_.issueWrite(hlsreg::kInLen,
+                             static_cast<uint32_t>(pings_[job_].size()));
+            mmio_.issueWrite(hlsreg::kResultLo,
+                             static_cast<uint32_t>(result_addr_));
+            mmio_.issueWrite(hlsreg::kResultHi,
+                             static_cast<uint32_t>(result_addr_ >> 32));
+            mmio_.issueWrite(hlsreg::kDoorbellLo,
+                             static_cast<uint32_t>(doorbell_addr_));
+            mmio_.issueWrite(hlsreg::kDoorbellHi,
+                             static_cast<uint32_t>(doorbell_addr_ >> 32));
+            mmio_.issueWrite(hlsreg::kJobId,
+                             static_cast<uint32_t>(job_));
+            mmio_.issueWrite(hlsreg::kCtrl, 1);
+            state_ = State::WaitPong;
+            break;
+          case State::WaitPong:
+            if (host_.mem().read64(doorbell_addr_) != job_ + 1)
+                break;
+            if (host_.mem().readVec(result_addr_, pings_[job_].size()) !=
+                pings_[job_])
+                mismatch_ = true;
+            wait_left_ = rng_.range(16, 256);
+            state_ = State::Think;
+            break;
+          case State::Think:
+            if (wait_left_ > 0) {
+                --wait_left_;
+                break;
+            }
+            if (++job_ >= pings_.size())
+                state_ = State::AllDone;
+            else
+                state_ = State::StartJob;
+            break;
+          case State::AllDone:
+            break;
+        }
+    }
+
+    void
+    reset() override
+    {
+        state_ = State::StartJob;
+        job_ = 0;
+        wait_left_ = 0;
+        mismatch_ = false;
+    }
+
+  private:
+    enum class State { StartJob, WaitDma, WaitPong, Think, AllDone };
+
+    std::vector<std::vector<uint8_t>> pings_;
+    MmioMaster &mmio_;
+    DmaEngine &dma_;
+    HostMemory &host_;
+    uint64_t result_addr_;
+    uint64_t doorbell_addr_;
+    SimRandom rng_;
+
+    State state_ = State::StartJob;
+    size_t job_ = 0;
+    uint64_t wait_left_ = 0;
+    bool mismatch_ = false;
+};
+
+bool
+AtopEchoInstance::done() const
+{
+    return driver == nullptr || driver->done();
+}
+
+uint64_t
+AtopEchoInstance::outputDigest() const
+{
+    uint64_t d = kernel->outputChecksum();
+    if (driver != nullptr && driver->anyMismatch())
+        d ^= 0xdeadbeefdeadbeefull;
+    return d;
+}
+
+} // namespace
+
+std::unique_ptr<AppInstance>
+AtopEchoBuilder::build(Simulator &sim, const F1Channels &inner,
+                       const F1Channels *outer, HostMemory *host,
+                       PcieBus *pcie, uint64_t seed)
+{
+    (void)seed;
+    auto instance = std::make_unique<AtopEchoInstance>();
+    instance->ddr = std::make_unique<DramModel>();
+
+    // Private bus between the application logic and the filter; the
+    // filter's downstream side is the recorded pcim interface.
+    Axi4Bus upstream;
+    upstream.aw = &sim.makeChannel<AxiAx>("atop.up.AW", kAxiAwBits);
+    upstream.w = &sim.makeChannel<AxiW>("atop.up.W", kAxiWBits);
+    upstream.b = &sim.makeChannel<AxiB>("atop.up.B", kAxiBBits);
+    upstream.ar = &sim.makeChannel<AxiAx>("atop.up.AR", kAxiArBits);
+    upstream.r = &sim.makeChannel<AxiR>("atop.up.R", kAxiRBits);
+
+    DmaEngine &pcim_master =
+        sim.add<DmaEngine>(sim, "atop.fpga.pcim", upstream);
+    sim.add<AtopFilter>("atop.filter", upstream, inner.pcim,
+                        buggy_filter_);
+    AtopEchoKernel &kernel = sim.add<AtopEchoKernel>(
+        "atop.kernel", *instance->ddr, pcim_master);
+    instance->kernel = &kernel;
+    sim.add<LiteRegFile>(
+        "atop.regs", inner.ocl,
+        [&kernel](uint32_t addr) { return kernel.readReg(addr); },
+        [&kernel](uint32_t addr, uint32_t v) { kernel.writeReg(addr, v); });
+    sim.add<AxiMemory>(sim, "atop.pcis_slave", inner.pcis,
+                       *instance->ddr);
+
+    if (outer != nullptr) {
+        if (host == nullptr)
+            fatal("AtopEchoBuilder: outer channels without host memory");
+        MmioMaster &mmio =
+            sim.add<MmioMaster>(sim, "atop.host.mmio", outer->ocl);
+        DmaEngine &dma =
+            sim.add<DmaEngine>(sim, "atop.host.dma", outer->pcis, pcie);
+        AxiMemory &pcim_target = sim.add<AxiMemory>(
+            sim, "atop.host.pcim", outer->pcim, host->mem());
+        pcim_target.setPcieBus(pcie);
+
+        std::vector<std::vector<uint8_t>> pings;
+        for (size_t j = 0; j < 4; ++j)
+            pings.push_back(patternBytes(0xa700 + j, 1024));
+
+        const uint64_t result = host->alloc(1024, 64);
+        const uint64_t doorbell = host->alloc(64, 64);
+        instance->driver = &sim.add<AtopHostDriver>(
+            sim, "atop.host.driver", std::move(pings), mmio, dma, *host,
+            result, doorbell);
+    }
+    return instance;
+}
+
+} // namespace vidi

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The ping/pong echo application of the §5.3 testing case study.
+ *
+ * The FPGA receives PCIe DMA-write requests ("pings") over pcis, stores
+ * the data to on-FPGA DRAM, and sends PCIe DMA-writes ("pongs") of the
+ * same data back to CPU DRAM over pcim. The pong path runs through an
+ * axi_atop_filter instance configured to filter nothing — exactly the
+ * arrangement in which the paper's mutated replay exposes the filter's
+ * ordering bug.
+ */
+
+#ifndef VIDI_APPS_ATOP_ECHO_H
+#define VIDI_APPS_ATOP_ECHO_H
+
+#include <memory>
+#include <vector>
+
+#include "apps/app.h"
+#include "apps/atop_filter.h"
+#include "apps/hls_harness.h"
+#include "host/dma_engine.h"
+#include "host/mmio_driver.h"
+#include "mem/dram_model.h"
+
+namespace vidi {
+
+/**
+ * FPGA-side control: pull the ping out of DDR and pong it back through
+ * the filter.
+ */
+class AtopEchoKernel : public Module
+{
+  public:
+    AtopEchoKernel(const std::string &name, DramModel &ddr,
+                   DmaEngine &pcim);
+
+    void writeReg(uint32_t addr, uint32_t value);
+    uint32_t readReg(uint32_t addr) const;
+
+    uint64_t outputChecksum() const { return digest_.value(); }
+    uint64_t pongsSent() const { return pongs_; }
+
+    void tick() override;
+    void reset() override;
+
+  private:
+    enum class State { Idle, Reading, Ponging, Doorbell };
+
+    DramModel &ddr_;
+    DmaEngine &pcim_;
+
+    uint64_t in_addr_ = 0;
+    uint32_t in_len_ = 0;
+    uint64_t result_addr_ = 0;
+    uint64_t doorbell_addr_ = 0;
+    uint32_t job_id_ = 0;
+
+    State state_ = State::Idle;
+    uint64_t phase_cycles_left_ = 0;
+    uint64_t pongs_ = 0;
+    Digest digest_;
+};
+
+/**
+ * Builder for the atop-filter echo application.
+ */
+class AtopEchoBuilder : public AppBuilder
+{
+  public:
+    /** @param buggy_filter use the unfixed axi_atop_filter. */
+    explicit AtopEchoBuilder(bool buggy_filter)
+        : buggy_filter_(buggy_filter)
+    {
+    }
+
+    std::string name() const override
+    {
+        return buggy_filter_ ? "AtopEcho-buggy" : "AtopEcho-fixed";
+    }
+
+    std::unique_ptr<AppInstance> build(Simulator &sim,
+                                       const F1Channels &inner,
+                                       const F1Channels *outer,
+                                       HostMemory *host, PcieBus *pcie,
+                                       uint64_t seed) override;
+
+  private:
+    bool buggy_filter_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_APPS_ATOP_ECHO_H

@@ -1,0 +1,68 @@
+#include "apps/atop_filter.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+namespace {
+
+/** Combinationally forward one channel (valid/data downstream, ready
+ *  upstream), optionally gated. */
+void
+forward(ChannelBase &up, ChannelBase &down, bool allowed)
+{
+    uint8_t buf[kMaxPayloadBytes];
+    up.copyData(buf);
+    down.setDataRaw(buf);
+    down.setValid(allowed && up.valid());
+    up.setReady(allowed && down.ready());
+}
+
+} // namespace
+
+AtopFilter::AtopFilter(const std::string &name, const Axi4Bus &upstream,
+                       const Axi4Bus &downstream, bool buggy)
+    : Module(name), up_(upstream), down_(downstream), buggy_(buggy)
+{
+}
+
+void
+AtopFilter::eval()
+{
+    forward(*up_.aw, *down_.aw, true);
+    // The bug: write data is withheld until its burst's write address
+    // has completed downstream. The fixed filter forwards W freely.
+    const bool w_gate = buggy_ ? w_allowed_ : true;
+    forward(*up_.w, *down_.w, w_gate);
+    // Responses flow back upstream; the filter inspects but never
+    // modifies them (it is configured to filter nothing, as in §5.3).
+    forward(*down_.b, *up_.b, true);
+    forward(*up_.ar, *down_.ar, true);
+    forward(*down_.r, *up_.r, true);
+}
+
+void
+AtopFilter::tick()
+{
+    if (down_.aw->fired())
+        ++aw_fired_;
+    if (down_.w->fired()) {
+        ++w_fired_;
+        if (down_.w->data().last)
+            ++w_bursts_done_;
+    }
+    // Register the gate for the next cycle: the current W burst may
+    // flow only if its AW has already fired.
+    w_allowed_ = w_bursts_done_ < aw_fired_;
+}
+
+void
+AtopFilter::reset()
+{
+    aw_fired_ = 0;
+    w_bursts_done_ = 0;
+    w_fired_ = 0;
+    w_allowed_ = false;
+}
+
+} // namespace vidi

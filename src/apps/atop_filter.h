@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The buggy axi_atop_filter of the §5.3 testing case study (after the
+ * pulp-platform AXI library bug the paper references).
+ *
+ * The filter interposes on an AXI write path. Its implementation
+ * assumes that the end event of the write-address (AW) transaction
+ * always happens before the end events of the write-data (W)
+ * transactions of the same burst — so it withholds W beats from the
+ * downstream until the burst's AW has completed. The AXI protocol makes
+ * no such guarantee: a subordinate may accept (and complete) write data
+ * before the write address. When the environment completes W first —
+ * the ordering Vidi's trace mutation creates — the buggy filter
+ * deadlocks: it waits for AW to finish while the environment waits for
+ * W. The fixed filter forwards the channels independently.
+ */
+
+#ifndef VIDI_APPS_ATOP_FILTER_H
+#define VIDI_APPS_ATOP_FILTER_H
+
+#include "axi/f1_interfaces.h"
+#include "channel/channel.h"
+#include "sim/module.h"
+
+namespace vidi {
+
+/**
+ * Write-path filter between an upstream master and a downstream
+ * subordinate; optionally carries the AW-before-W ordering bug.
+ */
+class AtopFilter : public Module
+{
+  public:
+    /**
+     * @param name instance name
+     * @param upstream bus mastered by the application logic
+     * @param downstream bus toward the environment (e.g. inner pcim)
+     * @param buggy enable the ordering-assumption bug
+     */
+    AtopFilter(const std::string &name, const Axi4Bus &upstream,
+               const Axi4Bus &downstream, bool buggy);
+
+    void eval() override;
+    void tick() override;
+    void reset() override;
+
+    uint64_t awForwarded() const { return aw_fired_; }
+    uint64_t wForwarded() const { return w_fired_; }
+
+  private:
+    Axi4Bus up_;
+    Axi4Bus down_;
+    bool buggy_;
+
+    /** Completed AW handshakes on the downstream side. */
+    uint64_t aw_fired_ = 0;
+    /** Completed W bursts (LAST beats) on the downstream side. */
+    uint64_t w_bursts_done_ = 0;
+    uint64_t w_fired_ = 0;
+
+    /** Registered gate: may the current W burst flow? */
+    bool w_allowed_ = false;
+};
+
+} // namespace vidi
+
+#endif // VIDI_APPS_ATOP_FILTER_H

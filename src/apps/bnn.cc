@@ -1,0 +1,125 @@
+/**
+ * @file
+ * (3) Binarized neural network inference [Rosetta BNN].
+ *
+ * Two fully-binarized layers (1024→256→10) evaluated with XNOR +
+ * popcount, sign activation between layers. Weights are a fixed
+ * pseudorandom matrix (the "trained model"); inputs are 1024-bit
+ * samples. Output: per-sample argmax class and its score.
+ */
+
+#include "apps/app_registry.h"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace vidi {
+
+namespace {
+
+constexpr size_t kInBits = 1024;
+constexpr size_t kHidden = 256;
+constexpr size_t kClasses = 10;
+constexpr size_t kInWords = kInBits / 64;
+constexpr size_t kHiddenWords = kHidden / 64;
+
+/** Fixed binarized weights, generated once from a constant seed. */
+struct Model
+{
+    // w1[h][kInWords]: hidden neuron h's input weights.
+    std::vector<uint64_t> w1;
+    // w2[c][kHiddenWords]: class c's hidden weights.
+    std::vector<uint64_t> w2;
+
+    Model()
+    {
+        const auto bytes1 =
+            patternBytes(0xb11bb11b, kHidden * kInWords * 8);
+        w1.resize(kHidden * kInWords);
+        std::memcpy(w1.data(), bytes1.data(), bytes1.size());
+        const auto bytes2 =
+            patternBytes(0xb22bb22b, kClasses * kHiddenWords * 8);
+        w2.resize(kClasses * kHiddenWords);
+        std::memcpy(w2.data(), bytes2.data(), bytes2.size());
+    }
+};
+
+const Model &
+model()
+{
+    static const Model m;
+    return m;
+}
+
+std::vector<uint8_t>
+bnnCompute(const std::vector<uint8_t> &input)
+{
+    const Model &m = model();
+    const size_t sample_bytes = kInBits / 8;
+    const size_t samples = input.size() / sample_bytes;
+
+    std::vector<uint8_t> out;
+    for (size_t s = 0; s < samples; ++s) {
+        uint64_t x[kInWords];
+        std::memcpy(x, input.data() + s * sample_bytes, sample_bytes);
+
+        // Layer 1: sign(popcount matches - mismatches).
+        uint64_t hidden[kHiddenWords] = {};
+        for (size_t h = 0; h < kHidden; ++h) {
+            int match = 0;
+            for (size_t wdx = 0; wdx < kInWords; ++wdx) {
+                match += std::popcount(
+                    ~(x[wdx] ^ m.w1[h * kInWords + wdx]));
+            }
+            const int act = 2 * match - static_cast<int>(kInBits);
+            if (act >= 0)
+                hidden[h / 64] |= 1ull << (h % 64);
+        }
+
+        // Layer 2: integer scores, argmax.
+        int best_c = 0;
+        int best_score = std::numeric_limits<int>::min();
+        for (size_t c = 0; c < kClasses; ++c) {
+            int match = 0;
+            for (size_t wdx = 0; wdx < kHiddenWords; ++wdx) {
+                match += std::popcount(
+                    ~(hidden[wdx] ^ m.w2[c * kHiddenWords + wdx]));
+            }
+            const int score = 2 * match - static_cast<int>(kHidden);
+            if (score > best_score) {
+                best_score = score;
+                best_c = static_cast<int>(c);
+            }
+        }
+        out.push_back(static_cast<uint8_t>(best_c));
+        uint32_t score32 = static_cast<uint32_t>(best_score);
+        const auto *p = reinterpret_cast<const uint8_t *>(&score32);
+        out.insert(out.end(), p, p + 4);
+    }
+    return out;
+}
+
+} // namespace
+
+HlsAppSpec
+makeBnnSpec()
+{
+    HlsAppSpec spec;
+    spec.name = "BNN";
+    spec.compute = bnnCompute;
+    spec.costs.read_bytes_per_cycle = 32;
+    spec.costs.compute_cycles_per_byte = 9.5;
+    spec.costs.compute_fixed_cycles = 1200;
+    spec.costs.write_bytes_per_cycle = 16;
+    spec.workload = [](double scale) {
+        const size_t jobs = std::max<size_t>(1, size_t(6 * scale));
+        std::vector<std::vector<uint8_t>> inputs;
+        for (size_t j = 0; j < jobs; ++j)
+            inputs.push_back(patternBytes(0xb33000 + j, 64 * (1024 / 8)));
+        return inputs;
+    };
+    return spec;
+}
+
+} // namespace vidi

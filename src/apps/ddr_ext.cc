@@ -1,0 +1,289 @@
+#include "apps/ddr_ext.h"
+
+#include "core/boundary.h"
+#include "sim/logging.h"
+
+namespace vidi {
+
+DdrScrubberKernel::DdrScrubberKernel(const std::string &name,
+                                     DmaEngine &ddr_bus,
+                                     DmaEngine &doorbell)
+    : Module(name), ddr_(ddr_bus), doorbell_(doorbell)
+{
+}
+
+void
+DdrScrubberKernel::writeReg(uint32_t addr, uint32_t value)
+{
+    switch (addr) {
+      case hlsreg::kCtrl:
+        if ((value & 1u) && state_ == State::Idle) {
+            ddr_.startWrite(kRegion,
+                            patternBytes(0xdd40000 + pattern_salt_,
+                                         kRegionBytes));
+            state_ = State::Writing;
+        }
+        break;
+      case hlsreg::kInLen:
+        pattern_salt_ = value;
+        break;
+      case hlsreg::kJobId:
+        job_id_ = value;
+        break;
+      case hlsreg::kDoorbellLo:
+        doorbell_addr_ = (doorbell_addr_ & ~0xffffffffull) | value;
+        break;
+      case hlsreg::kDoorbellHi:
+        doorbell_addr_ = (doorbell_addr_ & 0xffffffffull) |
+                         (static_cast<uint64_t>(value) << 32);
+        break;
+      default:
+        break;
+    }
+}
+
+uint32_t
+DdrScrubberKernel::readReg(uint32_t addr) const
+{
+    switch (addr) {
+      case hlsreg::kCtrl:
+        return state_ != State::Idle ? 1u : 0u;
+      default:
+        return 0;
+    }
+}
+
+void
+DdrScrubberKernel::tick()
+{
+    switch (state_) {
+      case State::Idle:
+        break;
+
+      case State::Writing:
+        if (!ddr_.idle())
+            break;
+        ddr_.startRead(kRegion, kRegionBytes);
+        state_ = State::Reading;
+        break;
+
+      case State::Reading:
+        if (!ddr_.readDataAvailable())
+            break;
+        {
+            const std::vector<uint8_t> readback = ddr_.popReadData();
+            digest_.add(readback);
+            // Scrub check: the DDR contents must match the pattern.
+            if (readback !=
+                patternBytes(0xdd40000 + pattern_salt_, kRegionBytes))
+                digest_.addU64(0xbadbadbadull);
+        }
+        {
+            std::vector<uint8_t> payload(kAxiDataBytes, 0);
+            const uint64_t v = job_id_ + 1;
+            std::memcpy(payload.data(), &v, sizeof(v));
+            doorbell_.startWrite(doorbell_addr_, std::move(payload));
+        }
+        state_ = State::Doorbell;
+        break;
+
+      case State::Doorbell:
+        if (doorbell_.idle()) {
+            ++passes_;
+            state_ = State::Idle;
+        }
+        break;
+    }
+}
+
+void
+DdrScrubberKernel::reset()
+{
+    job_id_ = 0;
+    pattern_salt_ = 0;
+    doorbell_addr_ = 0;
+    state_ = State::Idle;
+    passes_ = 0;
+    digest_ = Digest{};
+}
+
+void
+DdrScrubberBuilder::extendBoundary(Simulator &sim, Boundary &boundary,
+                                   bool replaying)
+{
+    replaying_ = replaying;
+    // The §4.1 customization, in full: create the interface's channel
+    // pairs and append them to the boundary. The app masters this bus,
+    // so AW/W/AR flow *out of* the app and B/R *into* it.
+    ddr_outer_.aw = &sim.makeChannel<AxiAx>("outer.ddr.AW", kAxiAwBits);
+    ddr_outer_.w = &sim.makeChannel<AxiW>("outer.ddr.W", kAxiWBits);
+    ddr_outer_.b = &sim.makeChannel<AxiB>("outer.ddr.B", kAxiBBits);
+    ddr_outer_.ar = &sim.makeChannel<AxiAx>("outer.ddr.AR", kAxiArBits);
+    ddr_outer_.r = &sim.makeChannel<AxiR>("outer.ddr.R", kAxiRBits);
+    ddr_inner_.aw = &sim.makeChannel<AxiAx>("inner.ddr.AW", kAxiAwBits);
+    ddr_inner_.w = &sim.makeChannel<AxiW>("inner.ddr.W", kAxiWBits);
+    ddr_inner_.b = &sim.makeChannel<AxiB>("inner.ddr.B", kAxiBBits);
+    ddr_inner_.ar = &sim.makeChannel<AxiAx>("inner.ddr.AR", kAxiArBits);
+    ddr_inner_.r = &sim.makeChannel<AxiR>("inner.ddr.R", kAxiRBits);
+    boundary.add(*ddr_outer_.aw, *ddr_inner_.aw, false, "ddr.AW");
+    boundary.add(*ddr_outer_.w, *ddr_inner_.w, false, "ddr.W");
+    boundary.add(*ddr_outer_.b, *ddr_inner_.b, true, "ddr.B");
+    boundary.add(*ddr_outer_.ar, *ddr_inner_.ar, false, "ddr.AR");
+    boundary.add(*ddr_outer_.r, *ddr_inner_.r, true, "ddr.R");
+}
+
+namespace {
+
+class DdrScrubberInstance : public AppInstance
+{
+  public:
+    std::unique_ptr<DramModel> ddr_backing;
+    DdrScrubberKernel *kernel = nullptr;
+    class DdrScrubHostDriver *driver = nullptr;
+
+    bool done() const override;
+    uint64_t outputDigest() const override;
+};
+
+/** Minimal host: program, start, await doorbell, next job. */
+class DdrScrubHostDriver : public Module
+{
+  public:
+    DdrScrubHostDriver(Simulator &sim, const std::string &name,
+                       size_t jobs, MmioMaster &mmio, HostMemory &host,
+                       uint64_t doorbell_addr)
+        : Module(name), jobs_(jobs), mmio_(mmio), host_(host),
+          doorbell_addr_(doorbell_addr), rng_(sim.rng().fork())
+    {
+        mmio_.setIssueGap(0, 16);
+    }
+
+    bool
+    done() const
+    {
+        return state_ == State::AllDone && mmio_.idle();
+    }
+
+    void
+    tick() override
+    {
+        switch (state_) {
+          case State::StartJob:
+            mmio_.issueWrite(hlsreg::kInLen,
+                             static_cast<uint32_t>(job_));
+            mmio_.issueWrite(hlsreg::kJobId,
+                             static_cast<uint32_t>(job_));
+            mmio_.issueWrite(hlsreg::kDoorbellLo,
+                             static_cast<uint32_t>(doorbell_addr_));
+            mmio_.issueWrite(hlsreg::kDoorbellHi,
+                             static_cast<uint32_t>(doorbell_addr_ >> 32));
+            mmio_.issueWrite(hlsreg::kCtrl, 1);
+            state_ = State::WaitDoorbell;
+            break;
+          case State::WaitDoorbell:
+            if (host_.mem().read64(doorbell_addr_) != job_ + 1)
+                break;
+            wait_left_ = rng_.range(8, 128);
+            state_ = State::Think;
+            break;
+          case State::Think:
+            if (wait_left_ > 0) {
+                --wait_left_;
+                break;
+            }
+            if (++job_ >= jobs_)
+                state_ = State::AllDone;
+            else
+                state_ = State::StartJob;
+            break;
+          case State::AllDone:
+            break;
+        }
+    }
+
+    void
+    reset() override
+    {
+        state_ = State::StartJob;
+        job_ = 0;
+        wait_left_ = 0;
+    }
+
+  private:
+    enum class State { StartJob, WaitDoorbell, Think, AllDone };
+
+    size_t jobs_;
+    MmioMaster &mmio_;
+    HostMemory &host_;
+    uint64_t doorbell_addr_;
+    SimRandom rng_;
+
+    State state_ = State::StartJob;
+    size_t job_ = 0;
+    uint64_t wait_left_ = 0;
+};
+
+bool
+DdrScrubberInstance::done() const
+{
+    return driver == nullptr || driver->done();
+}
+
+uint64_t
+DdrScrubberInstance::outputDigest() const
+{
+    return kernel->outputChecksum() ^ kernel->passesCompleted();
+}
+
+} // namespace
+
+std::unique_ptr<AppInstance>
+DdrScrubberBuilder::build(Simulator &sim, const F1Channels &inner,
+                          const F1Channels *outer, HostMemory *host,
+                          PcieBus *pcie, uint64_t seed)
+{
+    (void)seed;
+    if (ddr_inner_.aw == nullptr)
+        fatal("DdrScrubberBuilder: extendBoundary was not called");
+
+    auto instance = std::make_unique<DdrScrubberInstance>();
+
+    // FPGA side: the kernel masters the (monitored) DDR bus.
+    DmaEngine &ddr_master =
+        sim.add<DmaEngine>(sim, "ddr.fpga.master", ddr_inner_);
+    DmaEngine &pcim_master =
+        sim.add<DmaEngine>(sim, "ddr.fpga.pcim", inner.pcim);
+    DdrScrubberKernel &kernel = sim.add<DdrScrubberKernel>(
+        "ddr.kernel", ddr_master, pcim_master);
+    instance->kernel = &kernel;
+    sim.add<LiteRegFile>(
+        "ddr.regs", inner.ocl,
+        [&kernel](uint32_t addr) { return kernel.readReg(addr); },
+        [&kernel](uint32_t addr, uint32_t v) { kernel.writeReg(addr, v); });
+
+    // The DDR4 controller terminates the *outer* side of the monitored
+    // bus; during replay the channel replayers take its place and
+    // recreate the DDR traffic from the trace.
+    if (outer != nullptr) {
+        instance->ddr_backing = std::make_unique<DramModel>();
+        sim.add<AxiMemory>(sim, "ddr.controller", ddr_outer_,
+                           *instance->ddr_backing, 12, 6);
+
+        if (host == nullptr)
+            fatal("DdrScrubberBuilder: outer channels without host "
+                  "memory");
+        MmioMaster &mmio =
+            sim.add<MmioMaster>(sim, "ddr.host.mmio", outer->ocl);
+        AxiMemory &pcim_target = sim.add<AxiMemory>(
+            sim, "ddr.host.pcim", outer->pcim, host->mem());
+        pcim_target.setPcieBus(pcie);
+
+        const uint64_t doorbell = host->alloc(64, 64);
+        const size_t jobs = std::max<size_t>(1, size_t(3 * scale_));
+        instance->driver = &sim.add<DdrScrubHostDriver>(
+            sim, "ddr.host.driver", jobs, mmio, *host, doorbell);
+    }
+    return instance;
+}
+
+} // namespace vidi

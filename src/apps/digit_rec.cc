@@ -1,0 +1,119 @@
+/**
+ * @file
+ * (4) Digit recognition [Rosetta DigitRec]: k-nearest-neighbours over
+ * 196-bit binary digit images.
+ *
+ * The training set (1000 labelled templates) is fixed pseudorandom data
+ * standing in for the downsampled MNIST templates Rosetta ships; the
+ * kernel classifies each input digit by majority vote among its k=3
+ * nearest templates under Hamming distance.
+ */
+
+#include "apps/app_registry.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace vidi {
+
+namespace {
+
+constexpr size_t kDigitWords = 4;   // 196 bits padded to 256
+constexpr size_t kDigitBytes = kDigitWords * 8;
+constexpr size_t kTraining = 1000;
+constexpr int kNeighbours = 3;
+
+struct TrainingSet
+{
+    std::vector<std::array<uint64_t, kDigitWords>> digits;
+    std::vector<uint8_t> labels;
+
+    TrainingSet()
+    {
+        const auto blob = patternBytes(0xd161700, kTraining * kDigitBytes);
+        digits.resize(kTraining);
+        labels.resize(kTraining);
+        for (size_t i = 0; i < kTraining; ++i) {
+            std::memcpy(digits[i].data(), blob.data() + i * kDigitBytes,
+                        kDigitBytes);
+            // Mask to 196 bits so distances stay in range.
+            digits[i][3] &= (1ull << 4) - 1;
+            labels[i] = static_cast<uint8_t>(digits[i][0] % 10);
+        }
+    }
+};
+
+const TrainingSet &
+trainingSet()
+{
+    static const TrainingSet t;
+    return t;
+}
+
+std::vector<uint8_t>
+digitRecCompute(const std::vector<uint8_t> &input)
+{
+    const TrainingSet &train = trainingSet();
+    const size_t samples = input.size() / kDigitBytes;
+
+    std::vector<uint8_t> out;
+    for (size_t s = 0; s < samples; ++s) {
+        std::array<uint64_t, kDigitWords> x{};
+        std::memcpy(x.data(), input.data() + s * kDigitBytes, kDigitBytes);
+        x[3] &= (1ull << 4) - 1;
+
+        // Track the k nearest (distance, label) pairs.
+        std::array<std::pair<int, uint8_t>, kNeighbours> best;
+        best.fill({1 << 30, 0});
+        for (size_t t = 0; t < kTraining; ++t) {
+            int dist = 0;
+            for (size_t wdx = 0; wdx < kDigitWords; ++wdx)
+                dist += std::popcount(x[wdx] ^ train.digits[t][wdx]);
+            for (int k = 0; k < kNeighbours; ++k) {
+                if (dist < best[k].first) {
+                    for (int m = kNeighbours - 1; m > k; --m)
+                        best[m] = best[m - 1];
+                    best[k] = {dist, train.labels[t]};
+                    break;
+                }
+            }
+        }
+
+        // Majority vote among the k nearest.
+        int votes[10] = {};
+        for (const auto &[dist, label] : best)
+            ++votes[label];
+        int winner = 0;
+        for (int d = 1; d < 10; ++d) {
+            if (votes[d] > votes[winner])
+                winner = d;
+        }
+        out.push_back(static_cast<uint8_t>(winner));
+    }
+    return out;
+}
+
+} // namespace
+
+HlsAppSpec
+makeDigitRecSpec()
+{
+    HlsAppSpec spec;
+    spec.name = "DigitR";
+    spec.compute = digitRecCompute;
+    spec.costs.read_bytes_per_cycle = 32;
+    spec.costs.compute_cycles_per_byte = 35.0;
+    spec.costs.compute_fixed_cycles = 3000;
+    spec.costs.write_bytes_per_cycle = 8;
+    spec.workload = [](double scale) {
+        const size_t jobs = std::max<size_t>(1, size_t(8 * scale));
+        std::vector<std::vector<uint8_t>> inputs;
+        for (size_t j = 0; j < jobs; ++j)
+            inputs.push_back(patternBytes(0xd16000 + j, 96 * kDigitBytes));
+        return inputs;
+    };
+    return spec;
+}
+
+} // namespace vidi

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * (1) The DRAM DMA example application (after the AWS cl_dram_dma
+ * sample), including the paper's §3.6 divergence case.
+ *
+ * The CPU DMA-writes an input buffer to on-FPGA DDR over pcis, starts
+ * the kernel over ocl, and the kernel transforms the buffer in chunks,
+ * writing each transformed chunk both to DDR and back to CPU DRAM over
+ * pcim ("bidirectional PCIe DMA"). Completion signalling is the
+ * interesting part:
+ *
+ *  - In the original design the CPU *polls* a status register, and the
+ *    kernel raises that status as soon as its computation finishes —
+ *    independently of any transaction. Whether a given poll observes
+ *    "done" therefore depends on the exact cycle it lands, which
+ *    transaction determinism does not preserve: replays occasionally
+ *    flip a poll response (about one content divergence per million
+ *    transactions, §5.4).
+ *
+ *  - The patched design (the paper's 10-line fix) signals completion
+ *    with a pcim doorbell write issued after all writeback transactions
+ *    are acknowledged. Every host-visible effect is then ordered by
+ *    transaction events and replays diverge never.
+ */
+
+#ifndef VIDI_APPS_DRAM_DMA_H
+#define VIDI_APPS_DRAM_DMA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app.h"
+#include "apps/hls_harness.h"
+#include "host/dma_engine.h"
+#include "host/mmio_driver.h"
+#include "mem/dram_model.h"
+#include "sim/module.h"
+
+namespace vidi {
+
+/** The chunkwise transform the DMA kernel applies (host cross-checks). */
+std::vector<uint8_t> dmaTransform(const std::vector<uint8_t> &input);
+
+/**
+ * FPGA side of the DRAM DMA application.
+ */
+class DmaAppKernel : public Module
+{
+  public:
+    static constexpr size_t kChunkBytes = 4096;
+
+    /**
+     * @param name instance name
+     * @param ddr on-FPGA DDR
+     * @param pcim FPGA-master engine for writebacks (and the doorbell)
+     * @param patched use the interrupt-style doorbell instead of the
+     *        cycle-dependent status flag
+     */
+    DmaAppKernel(const std::string &name, DramModel &ddr, DmaEngine &pcim,
+                 bool patched);
+
+    void writeReg(uint32_t addr, uint32_t value);
+    uint32_t readReg(uint32_t addr) const;
+
+    uint64_t jobsCompleted() const { return jobs_completed_; }
+    uint64_t outputChecksum() const { return digest_.value(); }
+
+    void tick() override;
+    void reset() override;
+
+  private:
+    enum class State
+    {
+        Idle,
+        Reading,
+        Chunk,
+        WaitWriteback,
+        StatusDelay,
+        WaitAcks,
+    };
+
+    DramModel &ddr_;
+    DmaEngine &pcim_;
+    bool patched_;
+
+    uint64_t in_addr_ = 0;
+    uint32_t in_len_ = 0;
+    uint64_t out_addr_ = 0;
+    uint64_t result_addr_ = 0;    ///< CPU DRAM writeback base
+    uint64_t doorbell_addr_ = 0;  ///< CPU DRAM doorbell (patched mode)
+    uint32_t job_id_ = 0;
+
+    State state_ = State::Idle;
+    uint64_t phase_cycles_left_ = 0;
+    size_t chunk_ = 0;
+    size_t chunks_total_ = 0;
+    std::vector<uint8_t> input_;
+
+    /**
+     * The cycle-dependent completion flag: raised when computation
+     * finishes, not when any transaction completes (the §3.6 bug).
+     */
+    bool compute_done_ = false;
+
+    uint64_t jobs_completed_ = 0;
+    Digest digest_;
+};
+
+/**
+ * CPU side of the DRAM DMA application.
+ */
+class DmaHostDriver : public Module
+{
+  public:
+    DmaHostDriver(Simulator &sim, const std::string &name,
+                  std::vector<std::vector<uint8_t>> inputs,
+                  MmioMaster &mmio, DmaEngine &dma, HostMemory &host,
+                  uint64_t result_addr, uint64_t doorbell_addr,
+                  bool patched, uint64_t poll_interval);
+
+    bool done() const;
+    bool anyMismatch() const { return mismatch_; }
+    uint64_t hostDigest() const { return digest_.value(); }
+
+    void tick() override;
+    void reset() override;
+
+    static constexpr uint64_t kDdrIn = 0x100000;
+    static constexpr uint64_t kDdrOut = 0x900000;
+
+  private:
+    enum class State
+    {
+        StartJob,
+        WaitDma,
+        PollWait,
+        PollIssue,
+        PollResult,
+        WaitDoorbell,
+        WaitRead,
+        Think,
+        AllDone,
+    };
+
+    std::vector<std::vector<uint8_t>> inputs_;
+    MmioMaster &mmio_;
+    DmaEngine &dma_;
+    HostMemory &host_;
+    uint64_t result_addr_;
+    uint64_t doorbell_addr_;
+    bool patched_;
+    uint64_t poll_interval_;
+    SimRandom rng_;
+
+    State state_ = State::StartJob;
+    size_t job_ = 0;
+    std::vector<uint8_t> expected_;
+    uint64_t wait_left_ = 0;
+    bool mismatch_ = false;
+    Digest digest_;
+};
+
+/**
+ * Builder for the DRAM DMA application (Table 1 row 1) and its patched
+ * variant.
+ */
+class DmaAppBuilder : public AppBuilder
+{
+  public:
+    /**
+     * @param patched build the interrupt-patched variant
+     * @param poll_interval host polling period in cycles (the paper's
+     *        500 ms scaled to simulation)
+     */
+    explicit DmaAppBuilder(bool patched = false,
+                           uint64_t poll_interval = 2048)
+        : patched_(patched), poll_interval_(poll_interval)
+    {
+    }
+
+    std::string name() const override
+    {
+        return patched_ ? "DMA-irq" : "DMA";
+    }
+    void setScale(double scale) override { scale_ = scale; }
+
+    /**
+     * Vary the workload *content* (recording runs with different data;
+     * used by the effectiveness bench to sample many distinct tasks).
+     * Content stays fixed within one record/replay pair regardless.
+     */
+    void setContentSeed(uint64_t seed) { content_seed_ = seed; }
+
+    std::unique_ptr<AppInstance> build(Simulator &sim,
+                                       const F1Channels &inner,
+                                       const F1Channels *outer,
+                                       HostMemory *host, PcieBus *pcie,
+                                       uint64_t seed) override;
+
+  private:
+    bool patched_;
+    uint64_t poll_interval_;
+    double scale_ = 1.0;
+    uint64_t content_seed_ = 0xd3a000;
+};
+
+} // namespace vidi
+
+#endif // VIDI_APPS_DRAM_DMA_H

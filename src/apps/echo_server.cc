@@ -1,0 +1,345 @@
+#include "apps/echo_server.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+EchoServer::EchoServer(const std::string &name, const Axi4Bus &pcis,
+                       DramModel &ddr, DmaEngine &pcim,
+                       const EchoConfig &cfg)
+    : Module(name), ddr_(ddr), pcim_(pcim), cfg_(cfg),
+      fifo_(cfg.fifo_capacity, cfg.fifo_buggy), aw_(*pcis.aw, 8),
+      w_(*pcis.w, 1), b_(*pcis.b), ar_(*pcis.ar, 8), r_(*pcis.r)
+{
+}
+
+void
+EchoServer::writeReg(uint32_t addr, uint32_t value)
+{
+    switch (addr) {
+      case kRegCtrl:
+        if (value & 1u)
+            started_ = true;
+        break;
+      case kRegExpectedBeats:
+        expected_beats_ = value;
+        break;
+      case hlsreg::kDoorbellLo:
+        doorbell_addr_ = (doorbell_addr_ & ~0xffffffffull) | value;
+        break;
+      case hlsreg::kDoorbellHi:
+        doorbell_addr_ = (doorbell_addr_ & 0xffffffffull) |
+                         (static_cast<uint64_t>(value) << 32);
+        break;
+      default:
+        break;
+    }
+}
+
+uint32_t
+EchoServer::readReg(uint32_t addr) const
+{
+    switch (addr) {
+      case kRegCtrl:
+        return started_ ? 1u : 0u;
+      case kRegExpectedBeats:
+        return expected_beats_;
+      case kRegFragsWritten:
+        return frags_written_;
+      default:
+        return 0;
+    }
+}
+
+void
+EchoServer::eval()
+{
+    // A correct server back-pressures DMA while the FIFO cannot take a
+    // whole frame; the buggy one stays ready and drops.
+    w_.setEnabled(fifo_.canAcceptFrame());
+    aw_.eval();
+    w_.eval();
+    b_.eval();
+    ar_.eval();
+    r_.eval();
+}
+
+void
+EchoServer::tick()
+{
+    aw_.tick();
+    w_.tick();
+    b_.tick();
+    ar_.tick();
+    r_.tick();
+
+    // Ingest one DMA beat: sixteen 32-bit fragments.
+    if (w_.available()) {
+        const AxiW beat = w_.pop();
+        ++beats_received_;
+        for (size_t frag = 0; frag < 16; ++frag) {
+            const uint64_t lane_strb = (beat.strb >> (4 * frag)) & 0xf;
+            if (cfg_.handle_strobes && lane_strb != 0xf)
+                continue;  // masked lanes carry no data
+            uint32_t value = 0;
+            std::memcpy(&value, beat.data.data() + 4 * frag, 4);
+            fifo_.pushFragment(value);
+        }
+    }
+
+    // Respond to write bursts (addresses are ignored: it is an echo
+    // stream, but the handshake must still complete).
+    while (aw_.available() &&
+           beats_received_ >= acked_beats_ + aw_.front().beats()) {
+        const AxiAx a = aw_.pop();
+        acked_beats_ += a.beats();
+        AxiB resp;
+        resp.id = a.id;
+        pending_b_.push_back({now_ + 4, resp});
+    }
+
+    // Drain (only once the control thread has started the server): the
+    // downstream path sustains a full frame per cycle, at least the
+    // maximum arrival rate, so a started server never overflows and
+    // all loss happens in the ordering-determined pre-start window.
+    for (int lane = 0; lane < 16 && started_ && !fifo_.empty(); ++lane) {
+        const uint32_t frag = fifo_.popFragment();
+        ddr_.write32(kEchoBase + uint64_t(frags_written_) * 4, frag);
+        digest_.addU64(frag);
+        ++frags_written_;
+    }
+
+    // Completion doorbell: all expected beats arrived and were drained.
+    if (!doorbell_sent_ && started_ && expected_beats_ > 0 &&
+        beats_received_ >= expected_beats_ && fifo_.empty() &&
+        doorbell_addr_ != 0) {
+        std::vector<uint8_t> payload(kAxiDataBytes, 0);
+        const uint64_t v = 1;
+        std::memcpy(payload.data(), &v, sizeof(v));
+        pcim_.startWrite(doorbell_addr_, std::move(payload));
+        doorbell_sent_ = true;
+    }
+
+    // Serve readback requests out of DDR.
+    while (ar_.available()) {
+        const AxiAx a = ar_.pop();
+        for (unsigned i = 0; i < a.beats(); ++i) {
+            AxiR beat;
+            ddr_.read(a.addr + uint64_t(i) * kAxiDataBytes,
+                      beat.data.data(), kAxiDataBytes);
+            beat.id = a.id;
+            beat.last = (i + 1 == a.beats()) ? 1 : 0;
+            pending_r_.push_back({now_ + 8 + i, beat});
+        }
+    }
+
+    while (!pending_b_.empty() && pending_b_.front().first <= now_) {
+        b_.queue(pending_b_.front().second);
+        pending_b_.pop_front();
+    }
+    while (!pending_r_.empty() && pending_r_.front().first <= now_) {
+        r_.queue(pending_r_.front().second);
+        pending_r_.pop_front();
+    }
+    ++now_;
+}
+
+void
+EchoServer::reset()
+{
+    aw_.reset();
+    w_.reset();
+    b_.reset();
+    ar_.reset();
+    r_.reset();
+    fifo_.reset();
+    started_ = false;
+    expected_beats_ = 0;
+    beats_received_ = 0;
+    acked_beats_ = 0;
+    frags_written_ = 0;
+    doorbell_sent_ = false;
+    doorbell_addr_ = 0;
+    pending_r_.clear();
+    pending_b_.clear();
+    now_ = 0;
+    digest_ = Digest{};
+}
+
+EchoHostDriver::EchoHostDriver(Simulator &sim, const std::string &name,
+                               const EchoConfig &cfg,
+                               std::vector<uint8_t> payload,
+                               MmioMaster &mmio, DmaEngine &dma,
+                               HostMemory &host, uint64_t doorbell_addr)
+    : Module(name), cfg_(cfg), payload_(std::move(payload)), mmio_(mmio),
+      dma_(dma), host_(host), doorbell_addr_(doorbell_addr)
+{
+    (void)sim;
+    mmio_.setIssueGap(0, 8);
+    dma_.setIssueGap(0, 8);
+}
+
+bool
+EchoHostDriver::done() const
+{
+    return state_ == State::Done && mmio_.idle() && dma_.idle();
+}
+
+void
+EchoHostDriver::tick()
+{
+    // T2: the control thread starts the server after its own delay,
+    // racing T1's DMA traffic (the paper's delayed-start bug).
+    if (!start_issued_ && cycle_ >= cfg_.start_delay) {
+        mmio_.issueWrite(EchoServer::kRegCtrl, 1);
+        start_issued_ = true;
+    }
+    ++cycle_;
+
+    switch (state_) {
+      case State::Setup: {
+        const uint64_t span = cfg_.dma_offset + payload_.size();
+        const uint32_t beats =
+            static_cast<uint32_t>((span + kAxiDataBytes - 1) /
+                                  kAxiDataBytes);
+        mmio_.issueWrite(EchoServer::kRegExpectedBeats, beats);
+        mmio_.issueWrite(hlsreg::kDoorbellLo,
+                         static_cast<uint32_t>(doorbell_addr_));
+        mmio_.issueWrite(hlsreg::kDoorbellHi,
+                         static_cast<uint32_t>(doorbell_addr_ >> 32));
+        state_ = State::DmaWrite;
+        break;
+      }
+
+      case State::DmaWrite:
+        if (mmio_.pendingOps() > 0)
+            break;  // settings first
+        dma_.startWrite(0x1000 + cfg_.dma_offset, payload_);
+        state_ = State::WaitDoorbell;
+        break;
+
+      case State::WaitDoorbell:
+        if (host_.mem().read64(doorbell_addr_) == 1)
+            state_ = State::ReadCount;
+        break;
+
+      case State::ReadCount:
+        mmio_.issueRead(EchoServer::kRegFragsWritten);
+        state_ = State::WaitCount;
+        break;
+
+      case State::WaitCount:
+        if (!mmio_.readAvailable())
+            break;
+        frags_echoed_ = mmio_.popRead();
+        if (frags_echoed_ == 0) {
+            inconsistent_ = true;
+            state_ = State::Done;
+            break;
+        }
+        dma_.startRead(EchoServer::kEchoBase,
+                       size_t(frags_echoed_) * 4);
+        state_ = State::WaitRead;
+        break;
+
+      case State::WaitRead:
+        if (!dma_.readDataAvailable())
+            break;
+        {
+            const std::vector<uint8_t> data = dma_.popReadData();
+            digest_.add(data);
+            // What a *correct* server would echo: every payload word in
+            // order (masked lanes never enter the FIFO).
+            if (data.size() != payload_.size() ||
+                !std::equal(data.begin(), data.end(), payload_.begin()))
+                inconsistent_ = true;
+        }
+        state_ = State::Done;
+        break;
+
+      case State::Done:
+        break;
+    }
+}
+
+void
+EchoHostDriver::reset()
+{
+    state_ = State::Setup;
+    cycle_ = 0;
+    start_issued_ = false;
+    frags_echoed_ = 0;
+    inconsistent_ = false;
+    digest_ = Digest{};
+}
+
+namespace {
+
+class EchoAppInstance : public AppInstance
+{
+  public:
+    std::unique_ptr<DramModel> ddr;
+    EchoServer *server = nullptr;
+    EchoHostDriver *driver = nullptr;
+
+    bool
+    done() const override
+    {
+        return driver == nullptr || driver->done();
+    }
+
+    uint64_t
+    outputDigest() const override
+    {
+        // The fragment stream written to DDR captures exactly which
+        // data survived the buggy FIFO — the "inconsistency pattern"
+        // the case study compares across record and replay.
+        return server->outputChecksum() ^
+               (uint64_t(server->fragsWritten()) << 32);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<AppInstance>
+EchoAppBuilder::build(Simulator &sim, const F1Channels &inner,
+                      const F1Channels *outer, HostMemory *host,
+                      PcieBus *pcie, uint64_t seed)
+{
+    (void)seed;
+    auto instance = std::make_unique<EchoAppInstance>();
+    instance->ddr = std::make_unique<DramModel>();
+
+    DmaEngine &pcim_master =
+        sim.add<DmaEngine>(sim, "echo.fpga.pcim", inner.pcim);
+    EchoServer &server = sim.add<EchoServer>("echo.server", inner.pcis,
+                                             *instance->ddr, pcim_master,
+                                             cfg_);
+    instance->server = &server;
+    last_server_ = &server;
+    sim.add<LiteRegFile>(
+        "echo.regs", inner.ocl,
+        [&server](uint32_t addr) { return server.readReg(addr); },
+        [&server](uint32_t addr, uint32_t v) { server.writeReg(addr, v); });
+
+    if (outer != nullptr) {
+        if (host == nullptr)
+            fatal("EchoAppBuilder: outer channels without host memory");
+        MmioMaster &mmio =
+            sim.add<MmioMaster>(sim, "echo.host.mmio", outer->ocl);
+        DmaEngine &dma =
+            sim.add<DmaEngine>(sim, "echo.host.dma", outer->pcis, pcie);
+        AxiMemory &pcim_target = sim.add<AxiMemory>(
+            sim, "echo.host.pcim", outer->pcim, host->mem());
+        pcim_target.setPcieBus(pcie);
+
+        const uint64_t doorbell = host->alloc(64, 64);
+        instance->driver = &sim.add<EchoHostDriver>(
+            sim, "echo.host.driver", cfg_,
+            patternBytes(0xec400000, cfg_.frames * kAxiDataBytes), mmio,
+            dma, *host, doorbell);
+    }
+    return instance;
+}
+
+} // namespace vidi

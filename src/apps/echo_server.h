@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The echo-server application of the §5.2 debugging case study.
+ *
+ * The FPGA component receives PCIe DMA-write requests from the CPU,
+ * converts each 512-bit write beat into sixteen 32-bit fragments, feeds
+ * them through a Frame FIFO and stores the FIFO output to on-FPGA DRAM;
+ * the CPU reads the echoed data back and checks it. Two bugs from the
+ * paper are reproduced, both only observable under the right ordering
+ * or addressing:
+ *
+ *  - Delayed start: the FIFO accepts fragments as soon as DMA data
+ *    arrives, but only drains once the CPU's control thread (T2) starts
+ *    the server. If T2 starts late, the buggy Frame FIFO fills and
+ *    silently drops fragments.
+ *
+ *  - Unaligned DMA: unaligned transfers carry per-byte strobes; the
+ *    buggy server ignores them and enqueues garbage fragments for the
+ *    masked lanes.
+ */
+
+#ifndef VIDI_APPS_ECHO_SERVER_H
+#define VIDI_APPS_ECHO_SERVER_H
+
+#include <memory>
+#include <vector>
+
+#include "apps/app.h"
+#include "apps/frame_fifo.h"
+#include "apps/hls_harness.h"
+#include "channel/ports.h"
+#include "host/dma_engine.h"
+#include "host/mmio_driver.h"
+#include "mem/dram_model.h"
+#include "sim/module.h"
+
+namespace vidi {
+
+/** Echo-server configuration (which bugs are present, test shape). */
+struct EchoConfig
+{
+    bool fifo_buggy = true;       ///< Frame FIFO drop bug present
+    bool handle_strobes = false;  ///< false = unaligned-DMA bug present
+    /**
+     * Fragment slots. Deliberately *not* a multiple of the 16-fragment
+     * frame size: the buggy FIFO drops exactly the fragments that do
+     * not fit in the remaining capacity, a loss pattern fully
+     * determined by transaction ordering (and therefore reproduced by
+     * every replay).
+     */
+    size_t fifo_capacity = 56;
+    uint64_t start_delay = 0;     ///< cycles before T2 starts the server
+    uint64_t dma_offset = 0;      ///< byte offset: nonzero = unaligned
+    size_t frames = 64;           ///< 64-byte frames T1 sends
+};
+
+/**
+ * FPGA side: pcis slave feeding the Frame FIFO, draining to DDR.
+ */
+class EchoServer : public Module
+{
+  public:
+    /// Echo-server register map (on ocl).
+    static constexpr uint32_t kRegCtrl = 0x40;       ///< bit0: start
+    static constexpr uint32_t kRegExpectedBeats = 0x44;
+    static constexpr uint32_t kRegFragsWritten = 0x48;
+
+    static constexpr uint64_t kEchoBase = 0x200000;  ///< DDR echo buffer
+
+    EchoServer(const std::string &name, const Axi4Bus &pcis, DramModel &ddr,
+               DmaEngine &pcim, const EchoConfig &cfg);
+
+    void writeReg(uint32_t addr, uint32_t value);
+    uint32_t readReg(uint32_t addr) const;
+
+    /** FNV checksum of every fragment written to DDR, in order. */
+    uint64_t outputChecksum() const { return digest_.value(); }
+    uint32_t fragsWritten() const { return frags_written_; }
+    uint64_t fragsDropped() const { return fifo_.dropped(); }
+
+    void eval() override;
+    void tick() override;
+    void reset() override;
+
+  private:
+    DramModel &ddr_;
+    DmaEngine &pcim_;
+    EchoConfig cfg_;
+    FrameFifo fifo_;
+
+    RxSink<AxiAx> aw_;
+    RxSink<AxiW> w_;
+    TxDriver<AxiB> b_;
+    RxSink<AxiAx> ar_;
+    TxDriver<AxiR> r_;
+
+    bool started_ = false;
+    uint32_t expected_beats_ = 0;
+    uint32_t beats_received_ = 0;
+    uint32_t acked_beats_ = 0;
+    uint32_t frags_written_ = 0;
+    bool doorbell_sent_ = false;
+    uint64_t doorbell_addr_ = 0;
+    std::deque<std::pair<uint64_t, AxiR>> pending_r_;
+    std::deque<std::pair<uint64_t, AxiB>> pending_b_;
+    uint64_t now_ = 0;
+
+    Digest digest_;
+};
+
+/**
+ * CPU side: T1 (DMA traffic + validation) and T2 (delayed control
+ * start), as in the paper's two-thread test program.
+ */
+class EchoHostDriver : public Module
+{
+  public:
+    EchoHostDriver(Simulator &sim, const std::string &name,
+                   const EchoConfig &cfg, std::vector<uint8_t> payload,
+                   MmioMaster &mmio, DmaEngine &dma, HostMemory &host,
+                   uint64_t doorbell_addr);
+
+    bool done() const;
+    /** T1 observed echoed data inconsistent with a correct server. */
+    bool observedInconsistency() const { return inconsistent_; }
+    uint64_t hostDigest() const { return digest_.value(); }
+    uint32_t fragsEchoed() const { return frags_echoed_; }
+
+    void tick() override;
+    void reset() override;
+
+  private:
+    enum class State
+    {
+        Setup,
+        DmaWrite,
+        WaitDoorbell,
+        ReadCount,
+        WaitCount,
+        WaitRead,
+        Done,
+    };
+
+    EchoConfig cfg_;
+    std::vector<uint8_t> payload_;
+    MmioMaster &mmio_;
+    DmaEngine &dma_;
+    HostMemory &host_;
+    uint64_t doorbell_addr_;
+
+    State state_ = State::Setup;
+    uint64_t cycle_ = 0;
+    bool start_issued_ = false;
+    uint32_t frags_echoed_ = 0;
+    bool inconsistent_ = false;
+    Digest digest_;
+};
+
+/**
+ * Builder for the echo-server case-study application.
+ */
+class EchoAppBuilder : public AppBuilder
+{
+  public:
+    explicit EchoAppBuilder(EchoConfig cfg) : cfg_(cfg) {}
+
+    std::string name() const override { return "EchoServer"; }
+
+    std::unique_ptr<AppInstance> build(Simulator &sim,
+                                       const F1Channels &inner,
+                                       const F1Channels *outer,
+                                       HostMemory *host, PcieBus *pcie,
+                                       uint64_t seed) override;
+
+    /** Access the FPGA-side server of the last build (for inspection). */
+    EchoServer *lastServer() const { return last_server_; }
+
+  private:
+    EchoConfig cfg_;
+    EchoServer *last_server_ = nullptr;
+};
+
+} // namespace vidi
+
+#endif // VIDI_APPS_ECHO_SERVER_H

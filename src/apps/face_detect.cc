@@ -1,0 +1,133 @@
+/**
+ * @file
+ * (5) Face detection [Rosetta FaceD]: Viola-Jones-style sliding-window
+ * cascade over an integral image.
+ *
+ * Input: a 64x64 8-bit grayscale image. The kernel builds the integral
+ * image and slides a 16x16 window, evaluating a small cascade of
+ * Haar-like rectangle features; windows passing every stage are reported
+ * as detections (x, y, score). Face detection is the longest-running
+ * Rosetta benchmark in Table 1 (17.4 s) with a small trace (7011x
+ * reduction): heavy compute per transferred byte.
+ */
+
+#include "apps/app_registry.h"
+
+#include <cstring>
+
+namespace vidi {
+
+namespace {
+
+constexpr int kImg = 64;
+constexpr int kWin = 16;
+
+struct HaarFeature
+{
+    // Two rectangles (x, y, w, h) within the window; detection compares
+    // mean intensity difference against the threshold.
+    int ax, ay, aw, ah;
+    int bx, by, bw, bh;
+    int threshold;
+};
+
+constexpr HaarFeature kCascade[] = {
+    // Eyes darker than cheeks (horizontal halves).
+    {0, 0, 16, 8, 0, 8, 16, 8, -8},
+    // Nose bridge brighter than eye band (vertical thirds).
+    {5, 2, 6, 10, 0, 2, 5, 10, 4},
+    // Mouth darker than chin.
+    {3, 10, 10, 4, 3, 14, 10, 2, -6},
+};
+
+int64_t
+rectSum(const std::vector<int64_t> &ii, int x, int y, int w, int h)
+{
+    // ii is (kImg+1)^2 with a zero border.
+    const int stride = kImg + 1;
+    return ii[(y + h) * stride + (x + w)] - ii[y * stride + (x + w)] -
+           ii[(y + h) * stride + x] + ii[y * stride + x];
+}
+
+std::vector<uint8_t>
+faceDetectCompute(const std::vector<uint8_t> &input)
+{
+    std::vector<uint8_t> out;
+    const size_t frame_bytes = kImg * kImg;
+    const size_t frames = input.size() / frame_bytes;
+
+    for (size_t f = 0; f < frames; ++f) {
+        const uint8_t *img = input.data() + f * frame_bytes;
+
+        // Integral image with a zero border.
+        std::vector<int64_t> ii((kImg + 1) * (kImg + 1), 0);
+        for (int y = 0; y < kImg; ++y) {
+            int64_t row = 0;
+            for (int x = 0; x < kImg; ++x) {
+                row += img[y * kImg + x];
+                ii[(y + 1) * (kImg + 1) + (x + 1)] =
+                    ii[y * (kImg + 1) + (x + 1)] + row;
+            }
+        }
+
+        // Slide the window with stride 4; evaluate the cascade.
+        for (int wy = 0; wy + kWin <= kImg; wy += 4) {
+            for (int wx = 0; wx + kWin <= kImg; wx += 4) {
+                int score = 0;
+                bool pass = true;
+                for (const HaarFeature &feat : kCascade) {
+                    const int64_t a =
+                        rectSum(ii, wx + feat.ax, wy + feat.ay, feat.aw,
+                                feat.ah) /
+                        (feat.aw * feat.ah);
+                    const int64_t b =
+                        rectSum(ii, wx + feat.bx, wy + feat.by, feat.bw,
+                                feat.bh) /
+                        (feat.bw * feat.bh);
+                    const int64_t diff = a - b;
+                    if ((feat.threshold < 0 && diff > feat.threshold) ||
+                        (feat.threshold >= 0 && diff < feat.threshold)) {
+                        pass = false;
+                        break;
+                    }
+                    score += static_cast<int>(diff);
+                }
+                if (pass) {
+                    out.push_back(static_cast<uint8_t>(wx));
+                    out.push_back(static_cast<uint8_t>(wy));
+                    int16_t s16 = static_cast<int16_t>(score);
+                    const auto *p = reinterpret_cast<const uint8_t *>(&s16);
+                    out.insert(out.end(), p, p + 2);
+                }
+            }
+        }
+        // Frame terminator so output size is content-dependent but
+        // parseable.
+        out.insert(out.end(), {0xff, 0xff, 0xff, 0xff});
+    }
+    return out;
+}
+
+} // namespace
+
+HlsAppSpec
+makeFaceDetectSpec()
+{
+    HlsAppSpec spec;
+    spec.name = "FaceD";
+    spec.compute = faceDetectCompute;
+    spec.costs.read_bytes_per_cycle = 16;
+    spec.costs.compute_cycles_per_byte = 60.0;
+    spec.costs.compute_fixed_cycles = 5000;
+    spec.costs.write_bytes_per_cycle = 8;
+    spec.workload = [](double scale) {
+        const size_t jobs = std::max<size_t>(1, size_t(6 * scale));
+        std::vector<std::vector<uint8_t>> inputs;
+        for (size_t j = 0; j < jobs; ++j)
+            inputs.push_back(patternBytes(0xface00 + j, 4 * kImg * kImg));
+        return inputs;
+    };
+    return spec;
+}
+
+} // namespace vidi

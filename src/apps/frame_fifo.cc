@@ -1,0 +1,4 @@
+#include "apps/frame_fifo.h"
+
+// FrameFifo is header-only; this translation unit verifies that the
+// header is self-contained.

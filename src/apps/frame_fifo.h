@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The buggy Frame FIFO from the FPGA-bug survey, ported for the §5.2
+ * debugging case study.
+ *
+ * The FIFO groups 32-bit data fragments into 16-fragment frames and
+ * enqueues/dequeues fragments one at a time. A correct implementation
+ * blocks incoming data when it is full; the buggy implementation
+ * silently drops fragments when an incoming frame's size is unaligned
+ * with the remaining capacity — i.e. it accepts the frame as long as
+ * *any* space remains and discards whatever does not fit.
+ */
+
+#ifndef VIDI_APPS_FRAME_FIFO_H
+#define VIDI_APPS_FRAME_FIFO_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace vidi {
+
+/**
+ * Frame-grouping fragment FIFO with an optional capacity bug.
+ */
+class FrameFifo
+{
+  public:
+    static constexpr size_t kFrameFragments = 16;
+
+    /**
+     * @param capacity_fragments total fragment slots
+     * @param buggy enable the drop-on-unaligned-capacity bug
+     */
+    FrameFifo(size_t capacity_fragments, bool buggy)
+        : capacity_(capacity_fragments), buggy_(buggy)
+    {
+    }
+
+    size_t size() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+    size_t capacity() const { return capacity_; }
+
+    /**
+     * Whether a full frame can currently be accepted. A correct design
+     * gates the upstream handshake with this; the buggy design only
+     * checks that the FIFO is not completely full.
+     */
+    bool
+    canAcceptFrame() const
+    {
+        if (buggy_)
+            return items_.size() < capacity_;  // the bug: partial room
+        return capacity_ - items_.size() >= kFrameFragments;
+    }
+
+    /**
+     * Enqueue one fragment.
+     *
+     * @return true if the fragment was stored; false if it was dropped
+     *         (only the buggy implementation drops).
+     */
+    bool
+    pushFragment(uint32_t frag)
+    {
+        if (items_.size() >= capacity_) {
+            if (buggy_) {
+                ++dropped_;
+                return false;  // silently dropped
+            }
+            // A correct design never reaches here: the producer was
+            // blocked by canAcceptFrame().
+            ++rejected_;
+            return false;
+        }
+        items_.push_back(frag);
+        return true;
+    }
+
+    uint32_t
+    popFragment()
+    {
+        const uint32_t v = items_.front();
+        items_.pop_front();
+        return v;
+    }
+
+    /** Fragments silently dropped by the bug. */
+    uint64_t dropped() const { return dropped_; }
+
+    /** Fragments refused with back-pressure (correct mode). */
+    uint64_t rejected() const { return rejected_; }
+
+    void
+    reset()
+    {
+        items_.clear();
+        dropped_ = 0;
+        rejected_ = 0;
+    }
+
+  private:
+    size_t capacity_;
+    bool buggy_;
+    std::deque<uint32_t> items_;
+    uint64_t dropped_ = 0;
+    uint64_t rejected_ = 0;
+};
+
+} // namespace vidi
+
+#endif // VIDI_APPS_FRAME_FIFO_H

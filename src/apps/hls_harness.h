@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The shared harness for the HLS-style benchmark applications.
+ *
+ * Provides the AXI-Lite register-file endpoint, the CPU-side driver
+ * program that feeds jobs to a StreamKernel, and an AppBuilder that
+ * assembles the whole heterogeneous application (FPGA side on the inner
+ * channels, CPU side on the outer channels) from a per-application spec.
+ */
+
+#ifndef VIDI_APPS_HLS_HARNESS_H
+#define VIDI_APPS_HLS_HARNESS_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/stream_kernel.h"
+#include "channel/ports.h"
+#include "core/app_interface.h"
+#include "host/mmio_driver.h"
+#include "mem/axi_memory.h"
+
+namespace vidi {
+
+/**
+ * AXI-Lite subordinate register file with application callbacks.
+ */
+class LiteRegFile : public Module
+{
+  public:
+    using ReadFn = std::function<uint32_t(uint32_t)>;
+    using WriteFn = std::function<void(uint32_t, uint32_t)>;
+
+    LiteRegFile(const std::string &name, const LiteBus &bus, ReadFn read_fn,
+                WriteFn write_fn);
+
+    void eval() override;
+    void tick() override;
+    void reset() override;
+
+  private:
+    ReadFn read_fn_;
+    WriteFn write_fn_;
+
+    RxSink<LiteAx> aw_;
+    RxSink<LiteW> w_;
+    TxDriver<LiteB> b_;
+    RxSink<LiteAx> ar_;
+    TxDriver<LiteR> r_;
+};
+
+/**
+ * Specification of one HLS-style benchmark application.
+ */
+struct HlsAppSpec
+{
+    std::string name;
+    StreamKernel::Costs costs;
+    StreamKernel::ComputeFn compute;
+
+    /** Job inputs, deterministic in content (scaled by the bench). */
+    std::function<std::vector<std::vector<uint8_t>>(double scale)> workload;
+
+    /** Max random host-issue gap cycles (MMIO and DMA jitter). */
+    uint64_t host_jitter = 32;
+
+    /** Inter-job host think time, random in [lo, hi] cycles. */
+    uint64_t think_lo = 16;
+    uint64_t think_hi = 512;
+};
+
+/**
+ * The CPU-side program: DMA input → program kernel → await doorbell →
+ * DMA output back → verify against a software implementation.
+ */
+class HlsHostDriver : public Module
+{
+  public:
+    HlsHostDriver(Simulator &sim, const std::string &name,
+                  const HlsAppSpec &spec,
+                  std::vector<std::vector<uint8_t>> inputs,
+                  MmioMaster &mmio, DmaEngine &dma, HostMemory &host,
+                  uint64_t doorbell_addr);
+
+    bool done() const;
+    bool anyMismatch() const { return mismatch_; }
+    uint64_t hostDigest() const { return digest_.value(); }
+
+    void tick() override;
+    void reset() override;
+
+    /** On-FPGA DDR layout shared with the kernel. */
+    static constexpr uint64_t kDdrIn = 0x100000;
+    static constexpr uint64_t kDdrOut = 0x800000;
+
+  private:
+    enum class State
+    {
+        StartJob,
+        WaitDma,
+        WaitDoorbell,
+        WaitRead,
+        Think,
+        AllDone,
+    };
+
+    const HlsAppSpec &spec_;
+    std::vector<std::vector<uint8_t>> inputs_;
+    MmioMaster &mmio_;
+    DmaEngine &dma_;
+    HostMemory &host_;
+    uint64_t doorbell_addr_;
+    SimRandom rng_;
+
+    State state_ = State::StartJob;
+    size_t job_ = 0;
+    std::vector<uint8_t> expected_;
+    uint64_t think_left_ = 0;
+    bool mismatch_ = false;
+    Digest digest_;
+};
+
+/**
+ * Builder assembling one HLS application around the F1 channels.
+ */
+class HlsAppBuilder : public AppBuilder
+{
+  public:
+    explicit HlsAppBuilder(HlsAppSpec spec) : spec_(std::move(spec)) {}
+
+    std::string name() const override { return spec_.name; }
+    void setScale(double scale) override { scale_ = scale; }
+
+    std::unique_ptr<AppInstance> build(Simulator &sim,
+                                       const F1Channels &inner,
+                                       const F1Channels *outer,
+                                       HostMemory *host, PcieBus *pcie,
+                                       uint64_t seed) override;
+
+  private:
+    HlsAppSpec spec_;
+    double scale_ = 1.0;
+};
+
+} // namespace vidi
+
+#endif // VIDI_APPS_HLS_HARNESS_H

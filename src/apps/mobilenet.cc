@@ -1,0 +1,136 @@
+/**
+ * @file
+ * (10) MNet: an iSmartDNN-style quantized MobileNet block.
+ *
+ * Input: an int8 16x16x8 activation tensor. The kernel applies one
+ * depthwise-separable convolution block (3x3 depthwise conv + ReLU +
+ * 1x1 pointwise conv to 16 channels + ReLU) with fixed int8 weights,
+ * then global average pooling — the core computation pattern of the
+ * iSmartDNN edge classifier.
+ */
+
+#include "apps/app_registry.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vidi {
+
+namespace {
+
+constexpr int kDim = 16;
+constexpr int kCin = 8;
+constexpr int kCout = 16;
+
+struct Weights
+{
+    int8_t depthwise[kCin][3][3];
+    int8_t pointwise[kCout][kCin];
+
+    Weights()
+    {
+        const auto blob = patternBytes(
+            0x33e7000, sizeof(depthwise) + sizeof(pointwise));
+        std::memcpy(depthwise, blob.data(), sizeof(depthwise));
+        std::memcpy(pointwise, blob.data() + sizeof(depthwise),
+                    sizeof(pointwise));
+    }
+};
+
+const Weights &
+weights()
+{
+    static const Weights w;
+    return w;
+}
+
+int8_t
+clampQ(int32_t v)
+{
+    return static_cast<int8_t>(std::clamp(v, -128, 127));
+}
+
+std::vector<uint8_t>
+mobileNetCompute(const std::vector<uint8_t> &input)
+{
+    const Weights &w = weights();
+    const size_t tensor_bytes = kDim * kDim * kCin;
+    const size_t frames = input.size() / tensor_bytes;
+
+    std::vector<uint8_t> out;
+    for (size_t f = 0; f < frames; ++f) {
+        const auto *x =
+            reinterpret_cast<const int8_t *>(input.data() +
+                                             f * tensor_bytes);
+        auto at = [&](int c, int y, int xx) -> int8_t {
+            if (y < 0 || y >= kDim || xx < 0 || xx >= kDim)
+                return 0;  // zero padding
+            return x[(c * kDim + y) * kDim + xx];
+        };
+
+        // Depthwise 3x3, stride 1, ReLU, >>5 requantization.
+        std::vector<int8_t> dw(kCin * kDim * kDim);
+        for (int c = 0; c < kCin; ++c) {
+            for (int y = 0; y < kDim; ++y) {
+                for (int xx = 0; xx < kDim; ++xx) {
+                    int32_t acc = 0;
+                    for (int ky = -1; ky <= 1; ++ky) {
+                        for (int kx = -1; kx <= 1; ++kx) {
+                            acc += int32_t(at(c, y + ky, xx + kx)) *
+                                   w.depthwise[c][ky + 1][kx + 1];
+                        }
+                    }
+                    acc = std::max(acc, 0) >> 5;  // ReLU + requantize
+                    dw[(c * kDim + y) * kDim + xx] = clampQ(acc);
+                }
+            }
+        }
+
+        // Pointwise 1x1 to kCout channels, ReLU, >>4, then global
+        // average pool per output channel.
+        for (int oc = 0; oc < kCout; ++oc) {
+            int64_t pool = 0;
+            for (int y = 0; y < kDim; ++y) {
+                for (int xx = 0; xx < kDim; ++xx) {
+                    int32_t acc = 0;
+                    for (int c = 0; c < kCin; ++c) {
+                        acc += int32_t(dw[(c * kDim + y) * kDim + xx]) *
+                               w.pointwise[oc][c];
+                    }
+                    acc = std::max(acc, 0) >> 4;
+                    pool += std::min(acc, 127);
+                }
+            }
+            const int32_t avg =
+                static_cast<int32_t>(pool / (kDim * kDim));
+            out.push_back(static_cast<uint8_t>(clampQ(avg)));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+HlsAppSpec
+makeMobileNetSpec()
+{
+    HlsAppSpec spec;
+    spec.name = "MNet";
+    spec.compute = mobileNetCompute;
+    spec.costs.read_bytes_per_cycle = 16;
+    spec.costs.compute_cycles_per_byte = 55.0;
+    spec.costs.compute_fixed_cycles = 12000;
+    spec.costs.write_bytes_per_cycle = 8;
+    spec.workload = [](double scale) {
+        const size_t jobs = std::max<size_t>(1, size_t(6 * scale));
+        std::vector<std::vector<uint8_t>> inputs;
+        for (size_t j = 0; j < jobs; ++j) {
+            inputs.push_back(
+                patternBytes(0x33e70000 + j, 4 * kDim * kDim * kCin));
+        }
+        return inputs;
+    };
+    return spec;
+}
+
+} // namespace vidi

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * (7) Optical flow [Rosetta OpFlw]: block-matching motion estimation
+ * between two frames.
+ *
+ * Input: two consecutive 64x64 grayscale frames. For every 8x8 block of
+ * the first frame the kernel searches a ±4 pixel window in the second
+ * frame for the displacement minimizing the sum of absolute differences
+ * and emits the (dx, dy, sad) triple. Optical flow has the largest
+ * trace in Table 1 (1.33 GB): frame streams dominate.
+ */
+
+#include "apps/app_registry.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace vidi {
+
+namespace {
+
+constexpr int kImg = 64;
+constexpr int kBlock = 8;
+constexpr int kSearch = 4;
+
+uint32_t
+sadBlock(const uint8_t *a, const uint8_t *b, int ax, int ay, int bx,
+         int by)
+{
+    uint32_t sad = 0;
+    for (int y = 0; y < kBlock; ++y) {
+        for (int x = 0; x < kBlock; ++x) {
+            const int va = a[(ay + y) * kImg + (ax + x)];
+            const int vb = b[(by + y) * kImg + (bx + x)];
+            sad += static_cast<uint32_t>(std::abs(va - vb));
+        }
+    }
+    return sad;
+}
+
+std::vector<uint8_t>
+opticalFlowCompute(const std::vector<uint8_t> &input)
+{
+    const size_t frame_bytes = kImg * kImg;
+    std::vector<uint8_t> out;
+    // The stream is pairs of frames.
+    for (size_t off = 0; off + 2 * frame_bytes <= input.size();
+         off += 2 * frame_bytes) {
+        const uint8_t *f0 = input.data() + off;
+        const uint8_t *f1 = f0 + frame_bytes;
+
+        for (int by = 0; by + kBlock <= kImg; by += kBlock) {
+            for (int bx = 0; bx + kBlock <= kImg; bx += kBlock) {
+                int best_dx = 0, best_dy = 0;
+                uint32_t best_sad = ~0u;
+                for (int dy = -kSearch; dy <= kSearch; ++dy) {
+                    for (int dx = -kSearch; dx <= kSearch; ++dx) {
+                        const int tx = bx + dx;
+                        const int ty = by + dy;
+                        if (tx < 0 || ty < 0 || tx + kBlock > kImg ||
+                            ty + kBlock > kImg)
+                            continue;
+                        const uint32_t sad =
+                            sadBlock(f0, f1, bx, by, tx, ty);
+                        if (sad < best_sad) {
+                            best_sad = sad;
+                            best_dx = dx;
+                            best_dy = dy;
+                        }
+                    }
+                }
+                out.push_back(static_cast<uint8_t>(best_dx + kSearch));
+                out.push_back(static_cast<uint8_t>(best_dy + kSearch));
+                uint16_t sad16 =
+                    static_cast<uint16_t>(std::min(best_sad, 0xffffu));
+                const auto *p = reinterpret_cast<const uint8_t *>(&sad16);
+                out.insert(out.end(), p, p + 2);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+HlsAppSpec
+makeOpticalFlowSpec()
+{
+    HlsAppSpec spec;
+    spec.name = "OpFlw";
+    spec.compute = opticalFlowCompute;
+    spec.costs.read_bytes_per_cycle = 48;
+    spec.costs.compute_cycles_per_byte = 2.7;
+    spec.costs.compute_fixed_cycles = 600;
+    spec.costs.write_bytes_per_cycle = 32;
+    spec.workload = [](double scale) {
+        const size_t jobs = std::max<size_t>(1, size_t(10 * scale));
+        std::vector<std::vector<uint8_t>> inputs;
+        for (size_t j = 0; j < jobs; ++j) {
+            // Three frame pairs per job.
+            inputs.push_back(
+                patternBytes(0x0f100000 + j, 6 * kImg * kImg));
+        }
+        return inputs;
+    };
+    return spec;
+}
+
+} // namespace vidi

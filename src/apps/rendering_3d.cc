@@ -1,0 +1,105 @@
+/**
+ * @file
+ * (2) 3D rendering [Rosetta 3D]: z-buffered triangle rasterization.
+ *
+ * Input: a stream of screen-space triangles (three (x, y) vertices plus
+ * a depth and a color, 16 bytes each). The kernel rasterizes them with
+ * edge functions into a 64x64 framebuffer with a z-buffer and emits the
+ * framebuffer (one color byte per pixel).
+ */
+
+#include "apps/app_registry.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vidi {
+
+namespace {
+
+constexpr int kFb = 64;
+
+struct Triangle
+{
+    uint8_t x0, y0, x1, y1, x2, y2;
+    uint8_t z;
+    uint8_t color;
+    uint8_t pad[8];
+};
+static_assert(sizeof(Triangle) == 16);
+
+int
+edge(int ax, int ay, int bx, int by, int px, int py)
+{
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+}
+
+std::vector<uint8_t>
+render3dCompute(const std::vector<uint8_t> &input)
+{
+    std::vector<uint8_t> fb(kFb * kFb, 0);
+    std::vector<uint8_t> zbuf(kFb * kFb, 0xff);
+
+    const size_t tris = input.size() / sizeof(Triangle);
+    for (size_t t = 0; t < tris; ++t) {
+        Triangle tri;
+        std::memcpy(&tri, input.data() + t * sizeof(Triangle),
+                    sizeof(Triangle));
+        const int x0 = tri.x0 % kFb, y0 = tri.y0 % kFb;
+        const int x1 = tri.x1 % kFb, y1 = tri.y1 % kFb;
+        const int x2 = tri.x2 % kFb, y2 = tri.y2 % kFb;
+
+        const int min_x = std::min({x0, x1, x2});
+        const int max_x = std::max({x0, x1, x2});
+        const int min_y = std::min({y0, y1, y2});
+        const int max_y = std::max({y0, y1, y2});
+        const int area = edge(x0, y0, x1, y1, x2, y2);
+        if (area == 0)
+            continue;
+
+        for (int y = min_y; y <= max_y; ++y) {
+            for (int x = min_x; x <= max_x; ++x) {
+                const int w0 = edge(x1, y1, x2, y2, x, y);
+                const int w1 = edge(x2, y2, x0, y0, x, y);
+                const int w2 = edge(x0, y0, x1, y1, x, y);
+                const bool inside =
+                    area > 0 ? (w0 >= 0 && w1 >= 0 && w2 >= 0)
+                             : (w0 <= 0 && w1 <= 0 && w2 <= 0);
+                if (!inside)
+                    continue;
+                if (tri.z < zbuf[y * kFb + x]) {
+                    zbuf[y * kFb + x] = tri.z;
+                    fb[y * kFb + x] = tri.color;
+                }
+            }
+        }
+    }
+    return fb;
+}
+
+} // namespace
+
+HlsAppSpec
+makeRendering3dSpec()
+{
+    HlsAppSpec spec;
+    spec.name = "3D";
+    spec.compute = render3dCompute;
+    spec.costs.read_bytes_per_cycle = 32;
+    spec.costs.compute_cycles_per_byte = 16.0;
+    spec.costs.compute_fixed_cycles = 3000;
+    spec.costs.write_bytes_per_cycle = 32;
+    spec.workload = [](double scale) {
+        const size_t jobs = std::max<size_t>(1, size_t(6 * scale));
+        std::vector<std::vector<uint8_t>> inputs;
+        for (size_t j = 0; j < jobs; ++j) {
+            // 256 triangles per frame.
+            inputs.push_back(
+                patternBytes(0x3d000000 + j, 256 * sizeof(Triangle)));
+        }
+        return inputs;
+    };
+    return spec;
+}
+
+} // namespace vidi

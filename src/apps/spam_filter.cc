@@ -1,0 +1,107 @@
+/**
+ * @file
+ * (6) Spam filter [Rosetta SpamF]: logistic-regression training with
+ * stochastic gradient descent in fixed-point arithmetic.
+ *
+ * Input: a stream of labelled samples (32 int16 features + a label
+ * word). The kernel runs one SGD epoch over the stream and emits the
+ * trained weight vector followed by its predictions for every sample.
+ * SpamF is the I/O-rate extreme of Table 1 (88x reduction, 10.5%
+ * recording overhead): little compute per streamed byte, so trace
+ * traffic competes hardest with app DMA.
+ */
+
+#include "apps/app_registry.h"
+
+#include <cstring>
+
+namespace vidi {
+
+namespace {
+
+constexpr size_t kFeatures = 32;
+// One sample: 32 x int16 features + int16 label (0/1) + pad = 68 bytes.
+constexpr size_t kSampleBytes = kFeatures * 2 + 4;
+
+// Q8.8 fixed point.
+constexpr int32_t kOne = 256;
+constexpr int32_t kLearningRate = 4;  // ~0.016
+
+/** Piecewise-linear sigmoid approximation in Q8.8 (HLS-style). */
+int32_t
+sigmoidQ(int32_t x)
+{
+    if (x <= -4 * kOne)
+        return 0;
+    if (x >= 4 * kOne)
+        return kOne;
+    return kOne / 2 + x / 8;
+}
+
+std::vector<uint8_t>
+spamCompute(const std::vector<uint8_t> &input)
+{
+    const size_t samples = input.size() / kSampleBytes;
+    std::vector<int32_t> w(kFeatures, 0);
+
+    // One SGD epoch.
+    for (size_t s = 0; s < samples; ++s) {
+        const uint8_t *p = input.data() + s * kSampleBytes;
+        int16_t x[kFeatures];
+        std::memcpy(x, p, kFeatures * 2);
+        int16_t label = 0;
+        std::memcpy(&label, p + kFeatures * 2, 2);
+        label = label & 1;
+
+        int64_t dot = 0;
+        for (size_t f = 0; f < kFeatures; ++f)
+            dot += int64_t(w[f]) * x[f];
+        const int32_t pred = sigmoidQ(static_cast<int32_t>(dot >> 8));
+        const int32_t err = pred - label * kOne;
+        for (size_t f = 0; f < kFeatures; ++f)
+            w[f] -= (kLearningRate * err * x[f]) >> 16;
+    }
+
+    // Output: trained weights + one prediction byte per sample.
+    std::vector<uint8_t> out(kFeatures * 4);
+    std::memcpy(out.data(), w.data(), out.size());
+    for (size_t s = 0; s < samples; ++s) {
+        const uint8_t *p = input.data() + s * kSampleBytes;
+        int16_t x[kFeatures];
+        std::memcpy(x, p, kFeatures * 2);
+        int64_t dot = 0;
+        for (size_t f = 0; f < kFeatures; ++f)
+            dot += int64_t(w[f]) * x[f];
+        out.push_back(sigmoidQ(static_cast<int32_t>(dot >> 8)) >= kOne / 2
+                          ? 1
+                          : 0);
+    }
+    return out;
+}
+
+} // namespace
+
+HlsAppSpec
+makeSpamFilterSpec()
+{
+    HlsAppSpec spec;
+    spec.name = "SpamF";
+    spec.compute = spamCompute;
+    // Streaming SGD: the kernel keeps pace with DMA — I/O bound.
+    spec.costs.read_bytes_per_cycle = 64;
+    spec.costs.compute_cycles_per_byte = 0.45;
+    spec.costs.compute_fixed_cycles = 120;
+    spec.costs.write_bytes_per_cycle = 64;
+    spec.workload = [](double scale) {
+        const size_t jobs = std::max<size_t>(1, size_t(10 * scale));
+        std::vector<std::vector<uint8_t>> inputs;
+        for (size_t j = 0; j < jobs; ++j) {
+            inputs.push_back(
+                patternBytes(0x59a3f000 + j, 256 * kSampleBytes));
+        }
+        return inputs;
+    };
+    return spec;
+}
+
+} // namespace vidi

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * (8) Single-source shortest paths, after github.com/aeonstasis/sssp-fpga.
+ *
+ * Input: a graph as a small header (vertex count, edge count, source)
+ * followed by (u, v, w) edge triples. The kernel runs Bellman-Ford and
+ * emits the distance array. SSSP is the compute-dominated extreme of
+ * Table 1: a tiny trace against an enormous cycle count (the paper
+ * reports a 10,149,896x trace reduction).
+ */
+
+#include "apps/app_registry.h"
+
+#include <cstring>
+#include <limits>
+
+#include "sim/random.h"
+
+namespace vidi {
+
+namespace {
+
+constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max();
+
+std::vector<uint8_t>
+ssspCompute(const std::vector<uint8_t> &input)
+{
+    uint32_t n = 0, m = 0, src = 0;
+    std::memcpy(&n, input.data(), 4);
+    std::memcpy(&m, input.data() + 4, 4);
+    std::memcpy(&src, input.data() + 8, 4);
+
+    struct Edge
+    {
+        uint32_t u, v, w;
+    };
+    std::vector<Edge> edges(m);
+    std::memcpy(edges.data(), input.data() + 12, m * sizeof(Edge));
+
+    std::vector<uint32_t> dist(n, kInf);
+    dist[src % n] = 0;
+    // Bellman-Ford with early exit on a settled pass.
+    for (uint32_t pass = 0; pass + 1 < n; ++pass) {
+        bool changed = false;
+        for (const Edge &e : edges) {
+            if (dist[e.u] == kInf)
+                continue;
+            const uint64_t cand = uint64_t(dist[e.u]) + e.w;
+            if (cand < dist[e.v]) {
+                dist[e.v] = static_cast<uint32_t>(cand);
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    std::vector<uint8_t> out(n * 4);
+    std::memcpy(out.data(), dist.data(), out.size());
+    return out;
+}
+
+/** Deterministic random graph (content seed, not the run seed). */
+std::vector<uint8_t>
+makeGraph(uint64_t seed, uint32_t n, uint32_t m)
+{
+    SimRandom rng(seed);
+    std::vector<uint8_t> blob(12 + m * 12);
+    const uint32_t src = 0;
+    std::memcpy(blob.data(), &n, 4);
+    std::memcpy(blob.data() + 4, &m, 4);
+    std::memcpy(blob.data() + 8, &src, 4);
+    for (uint32_t i = 0; i < m; ++i) {
+        // A connected backbone plus random edges.
+        uint32_t u, v;
+        if (i < n - 1) {
+            u = i;
+            v = i + 1;
+        } else {
+            u = static_cast<uint32_t>(rng.below(n));
+            v = static_cast<uint32_t>(rng.below(n));
+        }
+        const uint32_t w = static_cast<uint32_t>(rng.range(1, 100));
+        std::memcpy(blob.data() + 12 + i * 12, &u, 4);
+        std::memcpy(blob.data() + 16 + i * 12, &v, 4);
+        std::memcpy(blob.data() + 20 + i * 12, &w, 4);
+    }
+    return blob;
+}
+
+} // namespace
+
+HlsAppSpec
+makeSsspSpec()
+{
+    HlsAppSpec spec;
+    spec.name = "SSSP";
+    spec.compute = ssspCompute;
+    // Graph processing is memory-latency bound on-FPGA: many cycles per
+    // input byte, so I/O (and hence the trace) is a vanishing fraction
+    // of the execution.
+    spec.costs.read_bytes_per_cycle = 16;
+    spec.costs.compute_cycles_per_byte = 320.0;
+    spec.costs.compute_fixed_cycles = 80000;
+    spec.costs.write_bytes_per_cycle = 16;
+    spec.workload = [](double scale) {
+        const size_t jobs = std::max<size_t>(1, size_t(2 * scale));
+        std::vector<std::vector<uint8_t>> inputs;
+        for (size_t j = 0; j < jobs; ++j) {
+            inputs.push_back(
+                makeGraph(0x555001 + j, 256, 1024));
+        }
+        return inputs;
+    };
+    return spec;
+}
+
+} // namespace vidi

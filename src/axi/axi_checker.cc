@@ -1,0 +1,134 @@
+#include "axi/axi_checker.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+AxiGroupChecker::AxiGroupChecker(const std::string &name, const Axi4Bus &bus,
+                                 Mode mode)
+    : Module(name), bus_(bus), mode_(mode)
+{
+}
+
+void
+AxiGroupChecker::tick()
+{
+    if (bus_.aw->fired())
+        ++aw_fired_;
+    if (bus_.w->fired() && bus_.w->data().last)
+        ++wlast_fired_;
+    if (bus_.ar->fired())
+        read_beats_outstanding_.push_back(bus_.ar->data().beats());
+
+    if (bus_.b->fired()) {
+        ++b_fired_;
+        if (b_fired_ > std::min(aw_fired_, wlast_fired_)) {
+            report("write response fired before its address and final "
+                   "data beat completed");
+            // Keep counters consistent so one bug yields one report.
+            b_fired_ = std::min(aw_fired_, wlast_fired_);
+        }
+    }
+
+    if (bus_.r->fired()) {
+        if (read_beats_outstanding_.empty()) {
+            report("read data beat fired with no outstanding read address");
+        } else if (--read_beats_outstanding_.front() == 0) {
+            if (!bus_.r->data().last)
+                report("read burst exceeded its address's beat count "
+                       "without LAST");
+            read_beats_outstanding_.pop_front();
+        } else if (bus_.r->data().last) {
+            report("read data beat signalled LAST before the burst "
+                   "completed");
+            read_beats_outstanding_.pop_front();
+        }
+    }
+
+    ++cycle_;
+}
+
+void
+AxiGroupChecker::reset()
+{
+    cycle_ = 0;
+    aw_fired_ = 0;
+    wlast_fired_ = 0;
+    b_fired_ = 0;
+    read_beats_outstanding_.clear();
+    violations_.clear();
+}
+
+void
+AxiGroupChecker::report(const std::string &msg)
+{
+    if (mode_ == Mode::Panic) {
+        panic("AXI ordering violation on %s at cycle %llu: %s",
+              name().c_str(), static_cast<unsigned long long>(cycle_),
+              msg.c_str());
+    }
+    violations_.push_back({cycle_, msg});
+}
+
+LiteGroupChecker::LiteGroupChecker(const std::string &name,
+                                   const LiteBus &bus, Mode mode)
+    : Module(name), bus_(bus), mode_(mode)
+{
+}
+
+void
+LiteGroupChecker::tick()
+{
+    if (bus_.aw->fired())
+        ++aw_fired_;
+    if (bus_.w->fired())
+        ++w_fired_;
+    if (bus_.ar->fired())
+        ++ar_fired_;
+
+    if (bus_.b->fired()) {
+        ++b_fired_;
+        if (b_fired_ > std::min(aw_fired_, w_fired_)) {
+            report("write response fired before its address and data "
+                   "completed");
+            b_fired_ = std::min(aw_fired_, w_fired_);
+        }
+    }
+
+    if (bus_.r->fired()) {
+        ++r_fired_;
+        if (r_fired_ > ar_fired_) {
+            report("read data fired before its address completed");
+            r_fired_ = ar_fired_;
+        }
+    }
+
+    ++cycle_;
+}
+
+void
+LiteGroupChecker::reset()
+{
+    cycle_ = 0;
+    aw_fired_ = 0;
+    w_fired_ = 0;
+    b_fired_ = 0;
+    ar_fired_ = 0;
+    r_fired_ = 0;
+    violations_.clear();
+}
+
+void
+LiteGroupChecker::report(const std::string &msg)
+{
+    if (mode_ == Mode::Panic) {
+        panic("AXI-Lite ordering violation on %s at cycle %llu: %s",
+              name().c_str(), static_cast<unsigned long long>(cycle_),
+              msg.c_str());
+    }
+    violations_.push_back({cycle_, msg});
+}
+
+} // namespace vidi

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Group-level AXI ordering checkers.
+ *
+ * The single-channel protocol checker validates each handshake in
+ * isolation; these modules validate the cross-channel ordering rules of
+ * an AXI interface (Fig. 2 of the paper): a write response (B) may only
+ * fire after the corresponding write address (AW) and the final write
+ * data beat (W with LAST); a read data beat (R) may only fire if an
+ * accepted read address (AR) still has beats outstanding.
+ */
+
+#ifndef VIDI_AXI_AXI_CHECKER_H
+#define VIDI_AXI_AXI_CHECKER_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "axi/f1_interfaces.h"
+#include "sim/module.h"
+
+namespace vidi {
+
+/** A detected cross-channel AXI ordering violation. */
+struct AxiOrderViolation
+{
+    uint64_t cycle;
+    std::string message;
+};
+
+/**
+ * Ordering checker for one 512-bit AXI4 interface.
+ */
+class AxiGroupChecker : public Module
+{
+  public:
+    enum class Mode { Panic, Collect };
+
+    /**
+     * @param name instance name
+     * @param bus the interface to observe
+     * @param cycle reference to the owning simulator's cycle counter
+     *        source (the checker reads channel state only)
+     */
+    AxiGroupChecker(const std::string &name, const Axi4Bus &bus,
+                    Mode mode = Mode::Panic);
+
+    void tick() override;
+    void reset() override;
+
+    const std::vector<AxiOrderViolation> &violations() const
+    {
+        return violations_;
+    }
+
+  private:
+    void report(const std::string &msg);
+
+    Axi4Bus bus_;
+    Mode mode_;
+    uint64_t cycle_ = 0;
+
+    uint64_t aw_fired_ = 0;
+    uint64_t wlast_fired_ = 0;
+    uint64_t b_fired_ = 0;
+    std::deque<unsigned> read_beats_outstanding_;
+
+    std::vector<AxiOrderViolation> violations_;
+};
+
+/**
+ * Ordering checker for one AXI-Lite interface (single-beat writes/reads).
+ */
+class LiteGroupChecker : public Module
+{
+  public:
+    using Mode = AxiGroupChecker::Mode;
+
+    LiteGroupChecker(const std::string &name, const LiteBus &bus,
+                     Mode mode = Mode::Panic);
+
+    void tick() override;
+    void reset() override;
+
+    const std::vector<AxiOrderViolation> &violations() const
+    {
+        return violations_;
+    }
+
+  private:
+    void report(const std::string &msg);
+
+    LiteBus bus_;
+    Mode mode_;
+    uint64_t cycle_ = 0;
+
+    uint64_t aw_fired_ = 0;
+    uint64_t w_fired_ = 0;
+    uint64_t b_fired_ = 0;
+    uint64_t ar_fired_ = 0;
+    uint64_t r_fired_ = 0;
+
+    std::vector<AxiOrderViolation> violations_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_AXI_AXI_CHECKER_H

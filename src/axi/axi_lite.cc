@@ -1,0 +1,4 @@
+#include "axi/axi_lite.h"
+
+// Payload types are header-only; this translation unit exists to verify
+// that the header is self-contained.

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * AXI4-Lite channel payload types for the F1 control-plane interfaces.
+ *
+ * The F1 shell exposes three 32-bit AXI-Lite MMIO interfaces to an
+ * accelerator: ocl, sda and bar1. The logical widths below total 136 bits
+ * per interface, the left edge of Fig. 7 in the paper.
+ */
+
+#ifndef VIDI_AXI_AXI_LITE_H
+#define VIDI_AXI_AXI_LITE_H
+
+#include <cstdint>
+
+namespace vidi {
+
+/// @name Logical wire widths (bits) of the AXI-Lite channels
+/// @{
+inline constexpr unsigned kLiteAwBits = 32;  ///< addr32
+inline constexpr unsigned kLiteWBits = 36;   ///< data32 + strb4
+inline constexpr unsigned kLiteBBits = 2;    ///< resp2
+inline constexpr unsigned kLiteArBits = 32;  ///< addr32
+inline constexpr unsigned kLiteRBits = 34;   ///< data32 + resp2
+/// @}
+
+/** AXI-Lite write-address / read-address beat. */
+struct LiteAx
+{
+    uint32_t addr = 0;
+};
+
+/** AXI-Lite write-data beat. */
+struct LiteW
+{
+    uint32_t data = 0;
+    uint8_t strb = 0xf;
+    uint8_t pad[3] = {0, 0, 0};
+};
+
+/** AXI-Lite write-response beat. */
+struct LiteB
+{
+    uint8_t resp = 0;
+};
+
+/** AXI-Lite read-data beat. */
+struct LiteR
+{
+    uint32_t data = 0;
+    uint8_t resp = 0;
+    uint8_t pad[3] = {0, 0, 0};
+};
+
+static_assert(sizeof(LiteAx) == 4);
+static_assert(sizeof(LiteW) == 8);
+static_assert(sizeof(LiteB) == 1);
+static_assert(sizeof(LiteR) == 8);
+
+} // namespace vidi
+
+#endif // VIDI_AXI_AXI_LITE_H

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * AXI4 channel payload types as used on the AWS F1 data-plane interfaces.
+ *
+ * The F1 shell exposes two 512-bit AXI4 interfaces to an accelerator:
+ * pcis (CPU-master DMA into the FPGA) and pcim (FPGA-master DMA toward the
+ * CPU). Each interface is a group of five unidirectional channels:
+ * write-address (AW), write-data (W), write-response (B), read-address
+ * (AR) and read-data (R); see Fig. 2 of the paper.
+ *
+ * The logical wire widths below reproduce the widths the paper reports
+ * for F1 (the largest channel, W, is 593 bits; a full 512-bit interface
+ * totals 1324 bits; all five F1 interfaces total 3056 bits, the right
+ * edge of Fig. 7).
+ *
+ * All payload structs are trivially copyable, contain no hidden padding
+ * (explicit pad bytes are zero-initialized) and can therefore be hashed
+ * and serialized bytewise by the type-erased channel plane.
+ */
+
+#ifndef VIDI_AXI_AXI_TYPES_H
+#define VIDI_AXI_AXI_TYPES_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace vidi {
+
+/** Bytes per beat on the 512-bit F1 data plane. */
+inline constexpr size_t kAxiDataBytes = 64;
+
+/// @name Logical wire widths (bits) of the F1 AXI4 channels
+/// @{
+inline constexpr unsigned kAxiAwBits = 91;  ///< addr64 + id16 + len8 + size3
+inline constexpr unsigned kAxiWBits = 593;  ///< data512 + strb64 + id16 + last1
+inline constexpr unsigned kAxiBBits = 18;   ///< id16 + resp2
+inline constexpr unsigned kAxiArBits = 91;  ///< addr64 + id16 + len8 + size3
+inline constexpr unsigned kAxiRBits = 531;  ///< data512 + id16 + resp2 + last1
+/// @}
+
+/** AXI response codes (subset). */
+enum class AxiResp : uint8_t
+{
+    Okay = 0,
+    SlvErr = 2,
+    DecErr = 3,
+};
+
+/** Write-address (AW) / read-address (AR) beat. */
+struct AxiAx
+{
+    uint64_t addr = 0;   ///< byte address of the first beat
+    uint16_t id = 0;     ///< transaction id
+    uint8_t len = 0;     ///< burst length minus one (AXI encoding)
+    uint8_t size = 6;    ///< log2(bytes per beat); 6 = 64 B
+    uint8_t pad[4] = {0, 0, 0, 0};
+
+    /** Number of beats in the burst. */
+    unsigned beats() const { return static_cast<unsigned>(len) + 1; }
+};
+
+/** Write-data (W) beat. */
+struct AxiW
+{
+    std::array<uint8_t, kAxiDataBytes> data{};
+    uint64_t strb = ~0ull;  ///< per-byte write strobes
+    uint16_t id = 0;
+    uint8_t last = 0;       ///< final beat of the burst
+    uint8_t pad[5] = {0, 0, 0, 0, 0};
+};
+
+/** Write-response (B) beat. */
+struct AxiB
+{
+    uint16_t id = 0;
+    uint8_t resp = 0;
+    uint8_t pad[1] = {0};
+};
+
+/** Read-data (R) beat. */
+struct AxiR
+{
+    std::array<uint8_t, kAxiDataBytes> data{};
+    uint16_t id = 0;
+    uint8_t resp = 0;
+    uint8_t last = 0;
+};
+
+static_assert(sizeof(AxiAx) == 16);
+static_assert(sizeof(AxiW) == 80);
+static_assert(sizeof(AxiB) == 4);
+static_assert(sizeof(AxiR) == 68);
+
+} // namespace vidi
+
+#endif // VIDI_AXI_AXI_TYPES_H

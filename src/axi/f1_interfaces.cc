@@ -1,0 +1,102 @@
+#include "axi/f1_interfaces.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+const char *
+toString(F1Interface iface)
+{
+    switch (iface) {
+      case F1Interface::Ocl: return "ocl";
+      case F1Interface::Sda: return "sda";
+      case F1Interface::Bar1: return "bar1";
+      case F1Interface::Pcis: return "pcis";
+      case F1Interface::Pcim: return "pcim";
+    }
+    panic("invalid F1Interface");
+}
+
+unsigned
+interfaceWidthBits(F1Interface iface)
+{
+    switch (iface) {
+      case F1Interface::Ocl:
+      case F1Interface::Sda:
+      case F1Interface::Bar1:
+        return kLiteAwBits + kLiteWBits + kLiteBBits + kLiteArBits +
+               kLiteRBits;
+      case F1Interface::Pcis:
+      case F1Interface::Pcim:
+        return kAxiAwBits + kAxiWBits + kAxiBBits + kAxiArBits + kAxiRBits;
+    }
+    panic("invalid F1Interface");
+}
+
+namespace {
+
+LiteBus
+makeLiteBus(Simulator &sim, const std::string &prefix)
+{
+    LiteBus bus;
+    bus.aw = &sim.makeChannel<LiteAx>(prefix + ".AW", kLiteAwBits);
+    bus.w = &sim.makeChannel<LiteW>(prefix + ".W", kLiteWBits);
+    bus.b = &sim.makeChannel<LiteB>(prefix + ".B", kLiteBBits);
+    bus.ar = &sim.makeChannel<LiteAx>(prefix + ".AR", kLiteArBits);
+    bus.r = &sim.makeChannel<LiteR>(prefix + ".R", kLiteRBits);
+    return bus;
+}
+
+Axi4Bus
+makeAxi4Bus(Simulator &sim, const std::string &prefix)
+{
+    Axi4Bus bus;
+    bus.aw = &sim.makeChannel<AxiAx>(prefix + ".AW", kAxiAwBits);
+    bus.w = &sim.makeChannel<AxiW>(prefix + ".W", kAxiWBits);
+    bus.b = &sim.makeChannel<AxiB>(prefix + ".B", kAxiBBits);
+    bus.ar = &sim.makeChannel<AxiAx>(prefix + ".AR", kAxiArBits);
+    bus.r = &sim.makeChannel<AxiR>(prefix + ".R", kAxiRBits);
+    return bus;
+}
+
+} // namespace
+
+std::vector<ChannelBase *>
+F1Channels::all() const
+{
+    return {
+        ocl.aw, ocl.w, ocl.b, ocl.ar, ocl.r,
+        sda.aw, sda.w, sda.b, sda.ar, sda.r,
+        bar1.aw, bar1.w, bar1.b, bar1.ar, bar1.r,
+        pcis.aw, pcis.w, pcis.b, pcis.ar, pcis.r,
+        pcim.aw, pcim.w, pcim.b, pcim.ar, pcim.r,
+    };
+}
+
+bool
+F1Channels::isInput(size_t index)
+{
+    if (index >= kCount)
+        panic("F1Channels::isInput: index %zu out of range", index);
+    const size_t iface = index / 5;
+    const size_t ch = index % 5;  // 0:AW 1:W 2:B 3:AR 4:R
+    const bool cpu_master = iface != 4;  // all but pcim are CPU-master
+    // On a CPU-master interface the FPGA receives AW/W/AR and sends B/R;
+    // on the FPGA-master interface (pcim) the roles are reversed.
+    const bool to_fpga_on_cpu_master = (ch == 0 || ch == 1 || ch == 3);
+    return cpu_master ? to_fpga_on_cpu_master : !to_fpga_on_cpu_master;
+}
+
+F1Channels
+makeF1Channels(Simulator &sim, const std::string &prefix)
+{
+    F1Channels chans;
+    chans.ocl = makeLiteBus(sim, prefix + ".ocl");
+    chans.sda = makeLiteBus(sim, prefix + ".sda");
+    chans.bar1 = makeLiteBus(sim, prefix + ".bar1");
+    chans.pcis = makeAxi4Bus(sim, prefix + ".pcis");
+    chans.pcim = makeAxi4Bus(sim, prefix + ".pcim");
+    return chans;
+}
+
+} // namespace vidi

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The AWS F1 shell interface set.
+ *
+ * An F1 accelerator communicates with the CPU over five AXI interfaces
+ * (§4.1 of the paper): three 32-bit AXI-Lite MMIO buses (ocl, sda, bar1,
+ * all CPU-master) and two 512-bit AXI4 DMA buses (pcis, CPU-master;
+ * pcim, FPGA-master). Each interface is five channels, 25 channels total,
+ * which is exactly the channel set Vidi records and replays in the
+ * paper's evaluation.
+ *
+ * This header creates those channels in a Simulator. Because Vidi
+ * interposes on every channel, each logical channel exists twice: an
+ * *outer* instance facing the environment (CPU) and an *inner* instance
+ * facing the FPGA application; the Vidi shim decides what sits between
+ * them (a transparent bridge, a channel monitor, or a channel replayer).
+ */
+
+#ifndef VIDI_AXI_F1_INTERFACES_H
+#define VIDI_AXI_F1_INTERFACES_H
+
+#include <string>
+#include <vector>
+
+#include "axi/axi_lite.h"
+#include "axi/axi_types.h"
+#include "channel/channel.h"
+#include "sim/simulator.h"
+
+namespace vidi {
+
+/** One 512-bit AXI4 interface (five channels). */
+struct Axi4Bus
+{
+    Channel<AxiAx> *aw = nullptr;
+    Channel<AxiW> *w = nullptr;
+    Channel<AxiB> *b = nullptr;
+    Channel<AxiAx> *ar = nullptr;
+    Channel<AxiR> *r = nullptr;
+};
+
+/** One 32-bit AXI-Lite interface (five channels). */
+struct LiteBus
+{
+    Channel<LiteAx> *aw = nullptr;
+    Channel<LiteW> *w = nullptr;
+    Channel<LiteB> *b = nullptr;
+    Channel<LiteAx> *ar = nullptr;
+    Channel<LiteR> *r = nullptr;
+};
+
+/** Names of the five F1 interfaces, in canonical order. */
+enum class F1Interface { Ocl, Sda, Bar1, Pcis, Pcim };
+
+const char *toString(F1Interface iface);
+
+/** Total logical wire width (bits) of one interface's five channels. */
+unsigned interfaceWidthBits(F1Interface iface);
+
+/**
+ * The full F1 channel set on one side of the record/replay boundary.
+ */
+struct F1Channels
+{
+    LiteBus ocl;
+    LiteBus sda;
+    LiteBus bar1;
+    Axi4Bus pcis;
+    Axi4Bus pcim;
+
+    /**
+     * All 25 channels in canonical order:
+     * [ocl, sda, bar1, pcis, pcim] x [AW, W, B, AR, R].
+     */
+    std::vector<ChannelBase *> all() const;
+
+    /**
+     * Direction of the i-th channel of all(): true if the FPGA application
+     * is the receiver (an *input* channel in the paper's terminology).
+     */
+    static bool isInput(size_t index);
+
+    /** Number of channels (25). */
+    static constexpr size_t kCount = 25;
+};
+
+/**
+ * Create the 25 F1 channels in @p sim, named "<prefix>.<iface>.<ch>".
+ */
+F1Channels makeF1Channels(Simulator &sim, const std::string &prefix);
+
+} // namespace vidi
+
+#endif // VIDI_AXI_F1_INTERFACES_H

@@ -1,0 +1,80 @@
+#include "channel/channel.h"
+
+namespace vidi {
+
+uint64_t
+hashBytes(const uint8_t *data, size_t len)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+ChannelBase::ChannelBase(std::string name, unsigned width_bits,
+                         size_t data_bytes)
+    : name_(std::move(name)), width_bits_(width_bits),
+      data_bytes_(data_bytes)
+{
+    if (data_bytes_ > kMaxPayloadBytes)
+        fatal("channel %s: payload of %zu bytes exceeds the %zu-byte limit",
+              name_.c_str(), data_bytes_, kMaxPayloadBytes);
+}
+
+ChannelBase::~ChannelBase() = default;
+
+void
+ChannelBase::setValid(bool v)
+{
+    if (valid_ != v) {
+        valid_ = v;
+        dirty_ = true;
+    }
+}
+
+void
+ChannelBase::setReady(bool r)
+{
+    if (ready_ != r) {
+        ready_ = r;
+        dirty_ = true;
+    }
+}
+
+uint64_t
+ChannelBase::dataHash() const
+{
+    uint8_t buf[kMaxPayloadBytes];
+    copyData(buf);
+    return hashBytes(buf, data_bytes_);
+}
+
+void
+ChannelBase::latch(uint64_t cycle)
+{
+    fired_ = valid_ && ready_;
+    if (fired_)
+        ++fired_count_;
+    checker_.observe(name_, cycle, valid_, ready_, dataHash());
+}
+
+void
+ChannelBase::postTick()
+{
+    fired_ = false;
+}
+
+void
+ChannelBase::resetState()
+{
+    valid_ = false;
+    ready_ = false;
+    fired_ = false;
+    dirty_ = false;
+    fired_count_ = 0;
+    checker_.resetState();
+}
+
+} // namespace vidi

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Convenience endpoints for driving and sinking handshake channels.
+ *
+ * TxDriver queues payloads and presents them on a channel one transaction
+ * at a time, holding VALID and the payload stable until the handshake
+ * fires (as the protocol requires). RxSink asserts READY while it has
+ * buffer space and collects fired payloads for the owning module to drain.
+ *
+ * Both helpers split their work across the owning module's eval()/tick()
+ * phases and obey the kernel contract (eval is idempotent; state changes
+ * happen in tick).
+ */
+
+#ifndef VIDI_CHANNEL_PORTS_H
+#define VIDI_CHANNEL_PORTS_H
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+
+#include "channel/channel.h"
+
+namespace vidi {
+
+/**
+ * Sender-side endpoint: a queue of payloads presented in order.
+ */
+template <typename T>
+class TxDriver
+{
+  public:
+    explicit TxDriver(Channel<T> &ch) : ch_(ch) {}
+
+    /** Enqueue a payload for transmission (call from tick()). */
+    void queue(const T &v) { queue_.push_back(v); }
+
+    /** Number of payloads not yet transmitted. */
+    size_t pending() const { return queue_.size(); }
+    bool idle() const { return queue_.empty(); }
+
+    /**
+     * Gate presentation (e.g. to model a bandwidth-limited producer).
+     * Must not be toggled while a presented payload is unfired — that
+     * would violate the handshake protocol.
+     */
+    void setEnabled(bool e) { enabled_ = e; }
+
+    /** Drive VALID/payload; call from the owning module's eval(). */
+    void
+    eval()
+    {
+        if (enabled_ && !queue_.empty()) {
+            ch_.setData(queue_.front());
+            ch_.setValid(true);
+        } else {
+            ch_.setValid(false);
+        }
+    }
+
+    /**
+     * Pop the head on a completed handshake; call from tick().
+     *
+     * @return true if a transaction completed this cycle.
+     */
+    bool
+    tick()
+    {
+        if (ch_.fired() && !queue_.empty()) {
+            queue_.pop_front();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    reset()
+    {
+        queue_.clear();
+        enabled_ = true;
+    }
+
+  private:
+    Channel<T> &ch_;
+    bool enabled_ = true;
+    std::deque<T> queue_;
+};
+
+/**
+ * Receiver-side endpoint: asserts READY while buffer space remains and
+ * collects arriving payloads.
+ */
+template <typename T>
+class RxSink
+{
+  public:
+    /**
+     * @param ch channel to sink
+     * @param capacity max payloads buffered before READY deasserts
+     */
+    explicit RxSink(Channel<T> &ch,
+                    size_t capacity = std::numeric_limits<size_t>::max())
+        : ch_(ch), capacity_(capacity)
+    {
+    }
+
+    /** Gate READY (e.g. to model a stalled consumer). */
+    void setEnabled(bool e) { enabled_ = e; }
+
+    /** Drive READY; call from the owning module's eval(). */
+    void
+    eval()
+    {
+        ch_.setReady(enabled_ && buffered_.size() < capacity_);
+    }
+
+    /**
+     * Collect a fired payload; call from tick().
+     *
+     * @return true if a transaction completed this cycle.
+     */
+    bool
+    tick()
+    {
+        if (ch_.fired()) {
+            buffered_.push_back(ch_.data());
+            return true;
+        }
+        return false;
+    }
+
+    bool available() const { return !buffered_.empty(); }
+    size_t buffered() const { return buffered_.size(); }
+
+    /** Oldest collected payload without removing it. */
+    const T &
+    front() const
+    {
+        if (buffered_.empty())
+            panic("RxSink(%s)::front on empty buffer", ch_.name().c_str());
+        return buffered_.front();
+    }
+
+    /** Remove and return the oldest collected payload. */
+    T
+    pop()
+    {
+        if (buffered_.empty())
+            panic("RxSink(%s)::pop on empty buffer", ch_.name().c_str());
+        T v = buffered_.front();
+        buffered_.pop_front();
+        return v;
+    }
+
+    void
+    reset()
+    {
+        buffered_.clear();
+        enabled_ = true;
+    }
+
+  private:
+    Channel<T> &ch_;
+    size_t capacity_;
+    bool enabled_ = true;
+    std::deque<T> buffered_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_CHANNEL_PORTS_H

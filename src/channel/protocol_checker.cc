@@ -1,0 +1,54 @@
+#include "channel/protocol_checker.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+void
+ProtocolChecker::observe(const std::string &channel, uint64_t cycle,
+                         bool valid, bool ready, uint64_t data_hash)
+{
+    if (mode_ == Mode::Off) {
+        prev_valid_ = valid;
+        prev_fired_ = valid && ready;
+        prev_hash_ = data_hash;
+        return;
+    }
+
+    if (prev_valid_ && !prev_fired_) {
+        if (!valid) {
+            report(ProtocolViolation::Kind::ValidDropped, channel, cycle,
+                   "VALID deasserted before the handshake completed");
+        } else if (data_hash != prev_hash_) {
+            report(ProtocolViolation::Kind::DataUnstable, channel, cycle,
+                   "payload changed while VALID was held high");
+        }
+    }
+
+    prev_valid_ = valid;
+    prev_fired_ = valid && ready;
+    prev_hash_ = data_hash;
+}
+
+void
+ProtocolChecker::resetState()
+{
+    prev_valid_ = false;
+    prev_fired_ = false;
+    prev_hash_ = 0;
+}
+
+void
+ProtocolChecker::report(ProtocolViolation::Kind kind,
+                        const std::string &channel, uint64_t cycle,
+                        const std::string &msg)
+{
+    if (mode_ == Mode::Panic) {
+        panic("protocol violation on channel %s at cycle %llu: %s",
+              channel.c_str(), static_cast<unsigned long long>(cycle),
+              msg.c_str());
+    }
+    violations_.push_back({kind, cycle, channel, msg});
+}
+
+} // namespace vidi

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Runtime checker for the single-channel VALID/READY handshake rules.
+ *
+ * The paper (§2.1) assumes every application implements single-channel
+ * handshaking correctly: once VALID is asserted, the payload must be held
+ * stable and VALID must not be deasserted until the handshake completes
+ * (VALID && READY). The checker enforces exactly those rules on every
+ * simulated channel, standing in for the SystemVerilog assertions the
+ * authors proved with JasperGold (§4.1).
+ */
+
+#ifndef VIDI_CHANNEL_PROTOCOL_CHECKER_H
+#define VIDI_CHANNEL_PROTOCOL_CHECKER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vidi {
+
+/** A single detected handshake-protocol violation. */
+struct ProtocolViolation
+{
+    enum class Kind
+    {
+        ValidDropped,   ///< VALID deasserted before the handshake fired.
+        DataUnstable,   ///< Payload changed while VALID was held high.
+    };
+
+    Kind kind;
+    uint64_t cycle;
+    std::string channel;
+    std::string message;
+};
+
+/**
+ * Per-channel protocol checker.
+ *
+ * The owning channel feeds it the latched (settled) signal values each
+ * cycle. Depending on the mode, violations raise SimPanic immediately
+ * (the default: a violation means the design under test is broken) or are
+ * collected for later inspection (used by tests that intentionally violate
+ * the protocol, and by the buggy case-study applications).
+ */
+class ProtocolChecker
+{
+  public:
+    enum class Mode { Panic, Collect, Off };
+
+    ProtocolChecker() = default;
+
+    void setMode(Mode mode) { mode_ = mode; }
+    Mode mode() const { return mode_; }
+
+    /**
+     * Observe one latched cycle of a channel.
+     *
+     * @param channel name of the observed channel (for reports)
+     * @param cycle current simulation cycle
+     * @param valid latched VALID
+     * @param ready latched READY
+     * @param data_hash hash of the latched payload bytes
+     */
+    void observe(const std::string &channel, uint64_t cycle, bool valid,
+                 bool ready, uint64_t data_hash);
+
+    /** Forget inter-cycle state (used on simulator reset). */
+    void resetState();
+
+    const std::vector<ProtocolViolation> &violations() const
+    {
+        return violations_;
+    }
+    void clearViolations() { violations_.clear(); }
+
+  private:
+    void report(ProtocolViolation::Kind kind, const std::string &channel,
+                uint64_t cycle, const std::string &msg);
+
+    Mode mode_ = Mode::Panic;
+    bool prev_valid_ = false;
+    bool prev_fired_ = false;
+    uint64_t prev_hash_ = 0;
+    std::vector<ProtocolViolation> violations_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_CHANNEL_PROTOCOL_CHECKER_H

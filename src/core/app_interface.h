@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The interface between Vidi's runtime and an FPGA application.
+ *
+ * An AppBuilder instantiates one heterogeneous application into a
+ * Simulator: the FPGA-side accelerator wired to the *inner* F1 channels
+ * and, when an environment is present (recording modes), the CPU-side
+ * program wired to the *outer* channels. During replay there is no
+ * environment — the channel replayers take its place — so builders must
+ * tolerate a null outer channel set.
+ */
+
+#ifndef VIDI_CORE_APP_INTERFACE_H
+#define VIDI_CORE_APP_INTERFACE_H
+
+#include <memory>
+#include <string>
+
+#include "axi/f1_interfaces.h"
+#include "host/host_dram.h"
+#include "host/pcie_bus.h"
+#include "sim/simulator.h"
+
+namespace vidi {
+
+/**
+ * A built application instance. Modules are owned by the Simulator; the
+ * instance is a handle for completion and result checking.
+ */
+class AppInstance
+{
+  public:
+    virtual ~AppInstance() = default;
+
+    /**
+     * True when the CPU-side workload has fully completed (recording
+     * modes). During replay (no environment) implementations should
+     * return true; completion is decided by the replayers.
+     */
+    virtual bool done() const = 0;
+
+    /**
+     * A checksum over the application's observable results, used to
+     * verify that recording is transparent (§5.4: R1 and R2 with the
+     * same seed must produce the same output).
+     */
+    virtual uint64_t outputDigest() const = 0;
+};
+
+/**
+ * Factory for one benchmark application.
+ */
+class AppBuilder
+{
+  public:
+    virtual ~AppBuilder() = default;
+
+    /** Short name as used in Table 1 (e.g. "DMA", "SHA"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Instantiate the application into @p sim.
+     *
+     * @param sim simulator that owns all created modules
+     * @param inner FPGA-application-facing channels
+     * @param outer environment-facing channels, or nullptr during replay
+     * @param host host memory (DMA buffers, doorbells), or nullptr
+     *        during replay
+     * @param pcie shared PCIe bandwidth arbiter for host-side data
+     *        movement, or nullptr during replay
+     * @param seed per-run seed for the host's timing jitter
+     */
+    virtual std::unique_ptr<AppInstance> build(Simulator &sim,
+                                               const F1Channels &inner,
+                                               const F1Channels *outer,
+                                               HostMemory *host,
+                                               PcieBus *pcie,
+                                               uint64_t seed) = 0;
+
+    /**
+     * Scale the workload size (1.0 = the default used by the benches).
+     */
+    virtual void setScale(double scale) { (void)scale; }
+
+    /**
+     * Extend the record/replay boundary with additional channels before
+     * the shim is built (the §4.1 customization: e.g. the DDR4
+     * interface or application-internal buses). Channels created here
+     * can be retrieved in build(). Default: no extension.
+     *
+     * @param sim simulator to create channels in
+     * @param boundary boundary to extend
+     * @param replaying true when building for configuration R3
+     */
+    virtual void
+    extendBoundary(Simulator &sim, class Boundary &boundary,
+                   bool replaying)
+    {
+        (void)sim;
+        (void)boundary;
+        (void)replaying;
+    }
+};
+
+} // namespace vidi
+
+#endif // VIDI_CORE_APP_INTERFACE_H

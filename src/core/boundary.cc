@@ -1,0 +1,75 @@
+#include "core/boundary.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+void
+Boundary::add(ChannelBase &outer, ChannelBase &inner, bool input,
+              std::string name)
+{
+    if (outer.dataBytes() != inner.dataBytes())
+        fatal("Boundary channel %s: outer and inner payload sizes differ",
+              name.c_str());
+    if (channels_.size() >= kMaxChannels)
+        fatal("Boundary exceeds the %zu-channel limit", kMaxChannels);
+    channels_.push_back({&outer, &inner, input, std::move(name)});
+}
+
+Boundary
+Boundary::fromF1(const F1Channels &outer, const F1Channels &inner)
+{
+    Boundary b;
+    const auto outs = outer.all();
+    const auto ins = inner.all();
+    for (size_t i = 0; i < F1Channels::kCount; ++i) {
+        // Strip the side prefix ("outer."/"inner.") for the logical name.
+        std::string name = ins[i]->name();
+        const size_t dot = name.find('.');
+        if (dot != std::string::npos)
+            name = name.substr(dot + 1);
+        b.add(*outs[i], *ins[i], F1Channels::isInput(i), std::move(name));
+    }
+    return b;
+}
+
+TraceMeta
+Boundary::traceMeta(bool record_output_content) const
+{
+    TraceMeta meta;
+    meta.record_output_content = record_output_content;
+    for (const auto &ch : channels_) {
+        TraceChannelInfo info;
+        info.name = ch.name;
+        info.input = ch.input;
+        info.data_bytes = static_cast<uint32_t>(ch.inner->dataBytes());
+        info.width_bits = ch.inner->widthBits();
+        meta.channels.push_back(std::move(info));
+    }
+    return meta;
+}
+
+std::vector<ChannelBase *>
+Boundary::innerChannels() const
+{
+    std::vector<ChannelBase *> out;
+    out.reserve(channels_.size());
+    for (const auto &ch : channels_)
+        out.push_back(ch.inner);
+    return out;
+}
+
+uint64_t
+Boundary::inputSignalBits() const
+{
+    uint64_t bits = 0;
+    for (const auto &ch : channels_) {
+        if (ch.input)
+            bits += ch.inner->widthBits() + 1;  // payload + VALID
+        else
+            bits += 1;  // READY
+    }
+    return bits;
+}
+
+} // namespace vidi

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The record/replay boundary.
+ *
+ * Vidi intercepts every transaction-based channel crossing a
+ * user-defined boundary between the FPGA program and its external
+ * environment (§3). Because something always sits between the two sides
+ * (a transparent bridge in R1, a channel monitor in R2, a channel
+ * replayer in R3), each logical channel exists as an *outer* instance
+ * (environment side) and an *inner* instance (FPGA-application side).
+ *
+ * A Boundary is the ordered list of such channel pairs plus direction
+ * metadata. The prototype boundary is the five F1 AXI interfaces
+ * (25 channels), but any channel set can form a boundary — the §4.1
+ * extension experiment adds the DDR4 interface with a few lines.
+ */
+
+#ifndef VIDI_CORE_BOUNDARY_H
+#define VIDI_CORE_BOUNDARY_H
+
+#include <string>
+#include <vector>
+
+#include "axi/f1_interfaces.h"
+#include "channel/channel.h"
+#include "trace/packets.h"
+
+namespace vidi {
+
+/** One monitored channel: its two instances and its direction. */
+struct BoundaryChannel
+{
+    ChannelBase *outer;  ///< environment-facing instance
+    ChannelBase *inner;  ///< FPGA-application-facing instance
+    bool input;          ///< true if data flows environment → application
+    std::string name;
+};
+
+/**
+ * An ordered set of boundary channels.
+ */
+class Boundary
+{
+  public:
+    Boundary() = default;
+
+    /** Append a channel pair; both instances must carry equal payloads. */
+    void add(ChannelBase &outer, ChannelBase &inner, bool input,
+             std::string name);
+
+    /**
+     * Build the standard F1 boundary: all 25 channels of the five AXI
+     * interfaces, in canonical order.
+     */
+    static Boundary fromF1(const F1Channels &outer, const F1Channels &inner);
+
+    const std::vector<BoundaryChannel> &channels() const
+    {
+        return channels_;
+    }
+    size_t size() const { return channels_.size(); }
+
+    /** Trace metadata describing this boundary. */
+    TraceMeta traceMeta(bool record_output_content) const;
+
+    /** Application-facing channels, in boundary order. */
+    std::vector<ChannelBase *> innerChannels() const;
+
+    /**
+     * Total input-signal width of the FPGA program in bits: for every
+     * input channel its payload plus VALID, for every output channel its
+     * READY. A cycle-accurate recorder logs this many bits per cycle;
+     * Table 1's "Trace Reduction" column compares against it.
+     */
+    uint64_t inputSignalBits() const;
+
+  private:
+    std::vector<BoundaryChannel> channels_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_CORE_BOUNDARY_H

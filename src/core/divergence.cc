@@ -1,0 +1,25 @@
+#include "core/divergence.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+DivergenceResult
+detectDivergences(AppBuilder &app, uint64_t seed, const VidiConfig &cfg)
+{
+    VidiConfig detect_cfg = cfg;
+    detect_cfg.record_output_content = true;
+
+    DivergenceResult result;
+    result.record = recordRun(app, VidiMode::R2_Record, seed, detect_cfg);
+    if (!result.record.completed)
+        fatal("detectDivergences(%s): reference recording did not complete",
+              app.name().c_str());
+
+    result.replay = replayRun(app, result.record.trace, detect_cfg);
+    result.report = validateTraces(result.record.trace,
+                                   result.replay.validation);
+    return result;
+}
+
+} // namespace vidi

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The two-step divergence-detection workflow of §3.6.
+ *
+ * Step 1: record a reference trace with output-channel content enabled
+ * (configuration R2). Step 2: replay the reference trace while recording
+ * the replayed transactions as a validation trace (configuration R3).
+ * The two traces are then compared; any difference is a divergence
+ * caused by cycle-dependent application behaviour.
+ */
+
+#ifndef VIDI_CORE_DIVERGENCE_H
+#define VIDI_CORE_DIVERGENCE_H
+
+#include "core/app_interface.h"
+#include "core/recorder.h"
+#include "core/replayer.h"
+#include "core/trace_validator.h"
+#include "core/vidi_config.h"
+
+namespace vidi {
+
+/** Everything produced by one divergence-detection pass. */
+struct DivergenceResult
+{
+    RecordResult record;     ///< step 1: the reference recording
+    ReplayResult replay;     ///< step 2: the replay
+    ValidationReport report; ///< the comparison
+
+    /** Transactions compared (denominator of the §5.4 rate). */
+    uint64_t transactions() const
+    {
+        return report.transactions_compared;
+    }
+};
+
+/**
+ * Run the full detection workflow for @p app with host-jitter seed
+ * @p seed.
+ */
+DivergenceResult detectDivergences(AppBuilder &app, uint64_t seed,
+                                   const VidiConfig &cfg = {});
+
+} // namespace vidi
+
+#endif // VIDI_CORE_DIVERGENCE_H

@@ -1,0 +1,65 @@
+#include "core/recorder.h"
+
+#include "core/boundary.h"
+#include "core/vidi_shim.h"
+#include "host/host_dram.h"
+#include "host/pcie_bus.h"
+#include "sim/logging.h"
+
+namespace vidi {
+
+RecordResult
+recordRun(AppBuilder &app, VidiMode mode, uint64_t seed,
+          const VidiConfig &cfg)
+{
+    if (mode == VidiMode::R3_Replay)
+        fatal("recordRun: use replayRun for configuration R3");
+
+    Simulator sim(seed);
+    HostMemory host;
+    // The PCIe bus must tick before every consumer: register it first.
+    PcieBus &pcie = sim.add<PcieBus>("pcie", cfg.pcie_bytes_per_sec,
+                                     cfg.clock_hz);
+    const F1Channels outer = makeF1Channels(sim, "outer");
+    const F1Channels inner = makeF1Channels(sim, "inner");
+    Boundary boundary = Boundary::fromF1(outer, inner);
+    app.extendBoundary(sim, boundary, /*replaying=*/false);
+
+    RecordResult result;
+    result.app = app.name();
+    result.mode = mode;
+    result.seed = seed;
+    result.input_signal_bits = boundary.inputSignalBits();
+
+    VidiShim shim(sim, std::move(boundary), mode, host, pcie, cfg);
+    auto instance = app.build(sim, inner, &outer, &host, &pcie, seed);
+
+    if (mode == VidiMode::R2_Record)
+        shim.beginRecord();
+
+    while (!instance->done() && sim.cycle() < cfg.max_cycles)
+        sim.step();
+
+    result.completed = instance->done();
+    result.cycles = sim.cycle();
+    result.digest = instance->outputDigest();
+
+    if (mode == VidiMode::R2_Record) {
+        // Let the trace store finish draining to host DRAM (the paper's
+        // runtime saves the trace after the application finishes).
+        uint64_t drain_budget = cfg.max_cycles;
+        while (!shim.recordDrained() && drain_budget-- > 0)
+            sim.step();
+        if (!shim.recordDrained())
+            fatal("recordRun(%s): trace store failed to drain",
+                  result.app.c_str());
+        result.trace = shim.collectTrace();
+        result.trace_bytes = shim.traceBytes();
+        result.transactions = shim.monitoredTransactions();
+        result.monitor_stall_cycles = shim.monitorStallCycles();
+        result.store_fifo_high_water = shim.store()->fifoHighWater();
+    }
+    return result;
+}
+
+} // namespace vidi

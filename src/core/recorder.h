@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Record-side run harness.
+ *
+ * Executes one application under configuration R1 (transparent baseline)
+ * or R2 (recording) and gathers the measurements Table 1 reports:
+ * end-to-end cycles, trace size and the cycle-accurate comparison
+ * inputs. This mirrors the paper's software runtime (§4.2), which
+ * initializes the shim, runs the application, and saves the trace when
+ * the application finishes.
+ */
+
+#ifndef VIDI_CORE_RECORDER_H
+#define VIDI_CORE_RECORDER_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/app_interface.h"
+#include "core/vidi_config.h"
+#include "trace/trace.h"
+
+namespace vidi {
+
+/**
+ * Result of one recorded (or baseline) execution.
+ */
+struct RecordResult
+{
+    std::string app;
+    VidiMode mode = VidiMode::R1_Transparent;
+    uint64_t seed = 0;
+
+    bool completed = false;   ///< the workload finished within budget
+    uint64_t cycles = 0;      ///< end-to-end execution time in cycles
+    uint64_t digest = 0;      ///< application output checksum
+
+    /// @name R2-only measurements
+    /// @{
+    Trace trace;
+    uint64_t trace_bytes = 0;
+    uint64_t transactions = 0;        ///< completed monitored transactions
+    uint64_t monitor_stall_cycles = 0;
+    uint64_t store_fifo_high_water = 0;
+    /// @}
+
+    /** Input-signal bits per cycle a cycle-accurate recorder would log. */
+    uint64_t input_signal_bits = 0;
+
+    /**
+     * Trace a cycle-accurate tool would have produced: input signal
+     * bits x executed cycles, in bytes (Table 1's reduction baseline).
+     */
+    uint64_t cycleAccurateTraceBytes() const
+    {
+        return input_signal_bits * cycles / 8;
+    }
+};
+
+/**
+ * Run @p app once under @p mode (R1 or R2).
+ *
+ * @param app application factory
+ * @param mode VidiMode::R1_Transparent or VidiMode::R2_Record
+ * @param seed host-jitter seed (vary across repetitions)
+ * @param cfg shim tunables
+ */
+RecordResult recordRun(AppBuilder &app, VidiMode mode, uint64_t seed,
+                       const VidiConfig &cfg = {});
+
+} // namespace vidi
+
+#endif // VIDI_CORE_RECORDER_H

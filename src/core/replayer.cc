@@ -1,0 +1,44 @@
+#include "core/replayer.h"
+
+#include "core/boundary.h"
+#include "core/vidi_shim.h"
+#include "host/host_dram.h"
+#include "host/pcie_bus.h"
+
+namespace vidi {
+
+ReplayResult
+replayRun(AppBuilder &app, const Trace &trace, const VidiConfig &cfg)
+{
+    // Replay is deterministic: the seed only affects host jitter, and
+    // there is no host during replay.
+    Simulator sim(0);
+    HostMemory host;
+    // The PCIe bus must tick before every consumer: register it first.
+    PcieBus &pcie = sim.add<PcieBus>("pcie", cfg.pcie_bytes_per_sec,
+                                     cfg.clock_hz);
+    const F1Channels outer = makeF1Channels(sim, "outer");
+    const F1Channels inner = makeF1Channels(sim, "inner");
+    Boundary boundary = Boundary::fromF1(outer, inner);
+    app.extendBoundary(sim, boundary, /*replaying=*/true);
+
+    ReplayResult result;
+    result.app = app.name();
+
+    VidiShim shim(sim, std::move(boundary), VidiMode::R3_Replay, host,
+                  pcie, cfg);
+    auto instance = app.build(sim, inner, nullptr, nullptr, nullptr, 0);
+
+    shim.beginReplay(trace);
+    while (!shim.replayFinished() && sim.cycle() < cfg.max_cycles)
+        sim.step();
+
+    result.completed = shim.replayFinished();
+    result.cycles = sim.cycle();
+    result.replayed_transactions = shim.replayedTransactions();
+    result.digest = instance->outputDigest();
+    result.validation = shim.validationTrace();
+    return result;
+}
+
+} // namespace vidi

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Replay-side run harness (configuration R3 of §5.1).
+ *
+ * Redeploys the FPGA application with channel replayers in place of the
+ * environment, feeds it a previously recorded trace and records the
+ * replayed execution as a validation trace for divergence detection.
+ */
+
+#ifndef VIDI_CORE_REPLAYER_H
+#define VIDI_CORE_REPLAYER_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/app_interface.h"
+#include "core/vidi_config.h"
+#include "trace/trace.h"
+
+namespace vidi {
+
+/**
+ * Result of one replayed execution.
+ */
+struct ReplayResult
+{
+    std::string app;
+    bool completed = false;  ///< the whole trace replayed within budget
+    uint64_t cycles = 0;
+    uint64_t replayed_transactions = 0;
+    uint64_t digest = 0;     ///< FPGA-side output checksum (may be 0)
+
+    /** The execution as observed during replay (§3.6). */
+    Trace validation;
+};
+
+/**
+ * Replay @p trace against a fresh instance of @p app.
+ *
+ * @param app application factory (built without an environment)
+ * @param trace reference trace from a prior R2 run
+ * @param cfg shim tunables (must match the recording configuration)
+ */
+ReplayResult replayRun(AppBuilder &app, const Trace &trace,
+                       const VidiConfig &cfg = {});
+
+} // namespace vidi
+
+#endif // VIDI_CORE_REPLAYER_H

@@ -1,0 +1,54 @@
+#include "core/runtime.h"
+
+#include "sim/logging.h"
+#include "trace/trace_file.h"
+
+namespace vidi {
+
+RecordResult
+recordToFile(AppBuilder &app, const std::string &path, uint64_t seed,
+             const VidiConfig &cfg)
+{
+    RecordResult result = recordRun(app, VidiMode::R2_Record, seed, cfg);
+    if (!result.completed)
+        fatal("recordToFile(%s): recording did not complete",
+              app.name().c_str());
+    saveTrace(path, result.trace);
+    return result;
+}
+
+ReplayResult
+replayFromFile(AppBuilder &app, const std::string &path,
+               const VidiConfig &cfg)
+{
+    const Trace trace = loadTrace(path);
+    return replayRun(app, trace, cfg);
+}
+
+std::string
+describe(const RecordResult &result)
+{
+    std::string s = result.app;
+    s += " [" + std::string(toString(result.mode)) + "]";
+    s += result.completed ? " completed in " : " TIMED OUT at ";
+    s += std::to_string(result.cycles) + " cycles";
+    if (result.mode == VidiMode::R2_Record) {
+        s += ", " + std::to_string(result.transactions) + " transactions, "
+             + std::to_string(result.trace_bytes) + " trace bytes";
+    }
+    return s;
+}
+
+std::string
+describe(const ReplayResult &result)
+{
+    std::string s = result.app;
+    s += " [replay]";
+    s += result.completed ? " completed in " : " STALLED at ";
+    s += std::to_string(result.cycles) + " cycles, " +
+         std::to_string(result.replayed_transactions) +
+         " transactions replayed";
+    return s;
+}
+
+} // namespace vidi

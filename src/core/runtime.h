@@ -1,0 +1,40 @@
+/**
+ * @file
+ * User-facing runtime facade (the paper's §4.2 runtime library).
+ *
+ * Convenience entry points combining the record/replay harnesses with
+ * trace file I/O:
+ *
+ *   vidi::recordToFile(app, "run.vtrc", seed);   // record an execution
+ *   vidi::replayFromFile(app, "run.vtrc");       // replay it later
+ *
+ * plus pretty-printing helpers shared by the examples and benches.
+ */
+
+#ifndef VIDI_CORE_RUNTIME_H
+#define VIDI_CORE_RUNTIME_H
+
+#include <string>
+
+#include "core/recorder.h"
+#include "core/replayer.h"
+
+namespace vidi {
+
+/** Record @p app and save the trace to @p path. */
+RecordResult recordToFile(AppBuilder &app, const std::string &path,
+                          uint64_t seed, const VidiConfig &cfg = {});
+
+/** Load the trace at @p path and replay it against @p app. */
+ReplayResult replayFromFile(AppBuilder &app, const std::string &path,
+                            const VidiConfig &cfg = {});
+
+/** One-line human-readable summary of a recording. */
+std::string describe(const RecordResult &result);
+
+/** One-line human-readable summary of a replay. */
+std::string describe(const ReplayResult &result);
+
+} // namespace vidi
+
+#endif // VIDI_CORE_RUNTIME_H

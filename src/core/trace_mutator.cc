@@ -1,0 +1,115 @@
+#include "core/trace_mutator.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+int64_t
+TraceMutator::findEndPacket(size_t chan, uint64_t k) const
+{
+    uint64_t seen = 0;
+    for (size_t i = 0; i < trace_.packets.size(); ++i) {
+        if (bitvec::test(trace_.packets[i].ends, chan)) {
+            if (seen == k)
+                return static_cast<int64_t>(i);
+            ++seen;
+        }
+    }
+    return -1;
+}
+
+int64_t
+TraceMutator::findStartPacket(size_t chan, uint64_t k) const
+{
+    uint64_t seen = 0;
+    for (size_t i = 0; i < trace_.packets.size(); ++i) {
+        if (bitvec::test(trace_.packets[i].starts, chan)) {
+            if (seen == k)
+                return static_cast<int64_t>(i);
+            ++seen;
+        }
+    }
+    return -1;
+}
+
+std::vector<uint8_t>
+TraceMutator::extractEnd(size_t pkt_index, size_t chan)
+{
+    CyclePacket &pkt = trace_.packets[pkt_index];
+    if (!bitvec::test(pkt.ends, chan))
+        panic("TraceMutator::extractEnd: channel %zu has no end in packet "
+              "%zu", chan, pkt_index);
+
+    std::vector<uint8_t> content;
+    if (trace_.meta.record_output_content &&
+        !trace_.meta.channels[chan].input) {
+        // Locate this channel's entry among the packet's output-end
+        // contents (stored in ascending channel order).
+        size_t ei = 0;
+        bitvec::forEach(pkt.ends, [&](size_t i) {
+            if (trace_.meta.channels[i].input || i > chan)
+                return;
+            if (i == chan) {
+                content = pkt.end_contents[ei];
+                pkt.end_contents.erase(
+                    pkt.end_contents.begin() + static_cast<ptrdiff_t>(ei));
+            } else {
+                ++ei;
+            }
+        });
+    }
+    pkt.ends &= ~(1ull << chan);
+    return content;
+}
+
+bool
+TraceMutator::reorderEndBefore(size_t chan, uint64_t k, size_t other,
+                               uint64_t j)
+{
+    if (chan >= trace_.meta.channelCount() ||
+        other >= trace_.meta.channelCount())
+        fatal("TraceMutator: channel index out of range");
+
+    const int64_t p_src = findEndPacket(chan, k);
+    const int64_t p_dst = findEndPacket(other, j);
+    if (p_src < 0 || p_dst < 0)
+        fatal("TraceMutator: requested end event does not exist "
+              "(channel %zu end %llu / channel %zu end %llu)",
+              chan, static_cast<unsigned long long>(k), other,
+              static_cast<unsigned long long>(j));
+
+    if (p_src < p_dst)
+        return false;  // already strictly before
+
+    // Causality guards: the moved end must stay after its own start and
+    // after the previous end on its channel.
+    if (trace_.meta.channels[chan].input) {
+        const int64_t s = findStartPacket(chan, k);
+        if (s >= 0 && s >= p_dst)
+            fatal("TraceMutator: mutation would move an end before its own "
+                  "transaction's start");
+    }
+    if (k > 0) {
+        const int64_t prev = findEndPacket(chan, k - 1);
+        if (prev >= p_dst)
+            fatal("TraceMutator: mutation would invert same-channel end "
+                  "order");
+    }
+
+    std::vector<uint8_t> content =
+        extractEnd(static_cast<size_t>(p_src), chan);
+
+    // Drop the source packet if the extraction emptied it.
+    if (trace_.packets[static_cast<size_t>(p_src)].empty())
+        trace_.packets.erase(trace_.packets.begin() + p_src);
+
+    CyclePacket moved;
+    moved.ends = bitvec::set(0, chan);
+    if (trace_.meta.record_output_content &&
+        !trace_.meta.channels[chan].input)
+        moved.end_contents.push_back(std::move(content));
+    trace_.packets.insert(trace_.packets.begin() + p_dst, std::move(moved));
+    return true;
+}
+
+} // namespace vidi

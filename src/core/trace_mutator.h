@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The trace mutation tool (§4.2, §5.3 of the paper).
+ *
+ * Reorders transaction events in a recorded trace so that replaying the
+ * mutated trace exercises orderings that are legal under the protocol
+ * but were not observed in production — the paper uses it to move the
+ * end of a DMA write-data transaction before the end of its write-
+ * address transaction, deadlocking the buggy axi_atop_filter.
+ */
+
+#ifndef VIDI_CORE_TRACE_MUTATOR_H
+#define VIDI_CORE_TRACE_MUTATOR_H
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace vidi {
+
+/**
+ * Applies event-reordering mutations to a trace.
+ */
+class TraceMutator
+{
+  public:
+    explicit TraceMutator(Trace trace) : trace_(std::move(trace)) {}
+
+    /**
+     * Move the @p k-th end event of channel @p chan so that it happens
+     * strictly before the @p j-th end event of channel @p other.
+     *
+     * The moved event is removed from its packet and emitted as a new
+     * cycle packet immediately before the packet containing the target
+     * event (splitting a shared packet if the two events were
+     * simultaneous). The mutation refuses to move an event before its
+     * own transaction's start.
+     *
+     * @return true if the trace changed.
+     */
+    bool reorderEndBefore(size_t chan, uint64_t k, size_t other,
+                          uint64_t j);
+
+    /** Index of the packet holding the @p k-th end of @p chan; -1 if
+     *  absent. */
+    int64_t findEndPacket(size_t chan, uint64_t k) const;
+
+    /** Index of the packet holding the @p k-th start of @p chan. */
+    int64_t findStartPacket(size_t chan, uint64_t k) const;
+
+    const Trace &trace() const { return trace_; }
+    Trace take() { return std::move(trace_); }
+
+  private:
+    /** Remove the end event (and any end content) of @p chan from the
+     *  packet at @p pkt_index; returns the extracted content, if any. */
+    std::vector<uint8_t> extractEnd(size_t pkt_index, size_t chan);
+
+    Trace trace_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_CORE_TRACE_MUTATOR_H

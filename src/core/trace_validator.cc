@@ -1,0 +1,180 @@
+#include "core/trace_validator.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+namespace {
+
+std::string
+bytesToHex(const std::vector<uint8_t> &bytes, size_t max = 16)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s;
+    const size_t n = std::min(bytes.size(), max);
+    for (size_t i = 0; i < n; ++i) {
+        s += digits[bytes[i] >> 4];
+        s += digits[bytes[i] & 0xf];
+    }
+    if (bytes.size() > max)
+        s += "...";
+    return s;
+}
+
+const char *
+kindName(Divergence::Kind kind)
+{
+    switch (kind) {
+      case Divergence::Kind::TransactionCount: return "transaction-count";
+      case Divergence::Kind::OutputContent: return "output-content";
+      case Divergence::Kind::EndOrdering: return "end-ordering";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+Divergence::toString() const
+{
+    std::string s = "[" + std::string(kindName(kind)) + "] channel " +
+                    channel_name + " (#" + std::to_string(channel) +
+                    "), transaction " + std::to_string(index);
+    if (!expected.empty() || !actual.empty()) {
+        s += ": expected " + bytesToHex(expected) + ", got " +
+             bytesToHex(actual);
+    }
+    if (!context.empty())
+        s += " — " + context;
+    return s;
+}
+
+std::string
+ValidationReport::summary() const
+{
+    if (identical()) {
+        return "no divergences across " +
+               std::to_string(transactions_compared) + " transactions";
+    }
+    return std::to_string(divergences.size()) + " divergence(s) across " +
+           std::to_string(transactions_compared) + " transactions";
+}
+
+ValidationReport
+validateTraces(const Trace &reference, const Trace &validation,
+               size_t max_divergences)
+{
+    if (!(reference.meta.channels == validation.meta.channels))
+        fatal("validateTraces: traces describe different boundaries");
+    if (!reference.meta.record_output_content)
+        fatal("validateTraces: the reference trace lacks output content; "
+              "record it with divergence detection enabled");
+
+    ValidationReport report;
+    const size_t nchan = reference.meta.channelCount();
+    report.transactions_compared = std::min(
+        reference.totalTransactions(), validation.totalTransactions());
+
+    auto add = [&](Divergence d) {
+        if (report.divergences.size() < max_divergences)
+            report.divergences.push_back(std::move(d));
+    };
+
+    // 1. Per-channel transaction counts.
+    for (size_t c = 0; c < nchan; ++c) {
+        const uint64_t ref_n = reference.endCount(c);
+        const uint64_t val_n = validation.endCount(c);
+        if (ref_n != val_n) {
+            Divergence d;
+            d.kind = Divergence::Kind::TransactionCount;
+            d.channel = c;
+            d.channel_name = reference.meta.channels[c].name;
+            d.index = std::min(ref_n, val_n);
+            d.context = "reference completed " + std::to_string(ref_n) +
+                        ", replay completed " + std::to_string(val_n);
+            add(std::move(d));
+        }
+    }
+
+    // 2. Output transaction content.
+    for (size_t c = 0; c < nchan; ++c) {
+        if (reference.meta.channels[c].input)
+            continue;
+        const auto ref_contents = reference.outputEndContents(c);
+        const auto val_contents = validation.outputEndContents(c);
+        const size_t n = std::min(ref_contents.size(), val_contents.size());
+        for (size_t i = 0; i < n; ++i) {
+            if (ref_contents[i] == val_contents[i])
+                continue;
+            Divergence d;
+            d.kind = Divergence::Kind::OutputContent;
+            d.channel = c;
+            d.channel_name = reference.meta.channels[c].name;
+            d.index = i;
+            d.expected = ref_contents[i];
+            d.actual = val_contents[i];
+            d.context = std::to_string(i) + " transaction(s) completed on "
+                        "this channel before the divergence";
+            add(std::move(d));
+        }
+    }
+
+    // 3. Happens-before ordering of end events. Replay preserves the
+    // *ordering* of end events, not their cycle grouping: events that were
+    // simultaneous in the recording may legally serialize (in any order)
+    // during replay, but two events strictly ordered in the recording must
+    // never invert. We therefore check for inversions: walking the replay's
+    // end events in order, the reference group index of an event must never
+    // drop below that of an event from a strictly earlier replay group.
+    {
+        // Reference group index of the k-th end event on each channel.
+        std::vector<std::vector<uint64_t>> ref_group(nchan);
+        uint64_t group = 0;
+        for (const auto &pkt : reference.packets) {
+            if (pkt.ends == 0)
+                continue;
+            bitvec::forEach(pkt.ends, [&](size_t c) {
+                ref_group[c].push_back(group);
+            });
+            ++group;
+        }
+
+        std::vector<uint64_t> seen(nchan, 0);  // ends consumed per channel
+        // Maximum reference group index over all events in strictly
+        // earlier replay groups; -1 while none have been seen.
+        int64_t max_prev = -1;
+        uint64_t val_group_index = 0;
+        for (const auto &pkt : validation.packets) {
+            if (pkt.ends == 0)
+                continue;
+            int64_t group_max = max_prev;
+            bitvec::forEach(pkt.ends, [&](size_t c) {
+                const uint64_t k = seen[c]++;
+                if (k >= ref_group[c].size())
+                    return;  // count mismatch already reported
+                const int64_t r = static_cast<int64_t>(ref_group[c][k]);
+                if (r < max_prev) {
+                    Divergence d;
+                    d.kind = Divergence::Kind::EndOrdering;
+                    d.channel = c;
+                    d.channel_name = reference.meta.channels[c].name;
+                    d.index = k;
+                    d.context = "end event completed before a "
+                                "happens-before predecessor during replay "
+                                "(replay group " +
+                                std::to_string(val_group_index) + ")";
+                    add(std::move(d));
+                }
+                group_max = std::max(group_max, r);
+            });
+            max_prev = group_max;
+            ++val_group_index;
+        }
+    }
+
+    return report;
+}
+
+} // namespace vidi

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Trace validation (§3.6, §4.2 of the paper).
+ *
+ * Compares a reference trace (recorded under R2) against a validation
+ * trace (recorded while replaying under R3) and reports divergences:
+ * differing transaction counts, differing output-transaction content, or
+ * differing happens-before ordering of end events. The report carries
+ * enough context (channel, transaction index, contents, completions
+ * before the divergence) for a developer to locate cycle-dependent
+ * behaviour, as in the paper's DRAM DMA polling diagnosis.
+ */
+
+#ifndef VIDI_CORE_TRACE_VALIDATOR_H
+#define VIDI_CORE_TRACE_VALIDATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace vidi {
+
+/** One detected record/replay divergence. */
+struct Divergence
+{
+    enum class Kind
+    {
+        TransactionCount,  ///< channel completed a different number
+        OutputContent,     ///< an output transaction's payload differs
+        EndOrdering,       ///< happens-before order of ends differs
+    };
+
+    Kind kind;
+    size_t channel = 0;          ///< boundary channel index
+    std::string channel_name;
+    uint64_t index = 0;          ///< transaction (or ordering-step) index
+    std::vector<uint8_t> expected;
+    std::vector<uint8_t> actual;
+    std::string context;
+
+    std::string toString() const;
+};
+
+/** Outcome of comparing a reference trace with a validation trace. */
+struct ValidationReport
+{
+    std::vector<Divergence> divergences;
+    uint64_t transactions_compared = 0;
+
+    bool identical() const { return divergences.empty(); }
+
+    /** Divergences per compared transaction (the §5.4 metric). */
+    double divergenceRate() const
+    {
+        return transactions_compared == 0
+                   ? 0.0
+                   : static_cast<double>(divergences.size()) /
+                         static_cast<double>(transactions_compared);
+    }
+
+    std::string summary() const;
+};
+
+/**
+ * Compare @p reference (an R2 trace with output content) against
+ * @p validation (recorded during an R3 replay).
+ *
+ * @param max_divergences stop after this many findings
+ */
+ValidationReport validateTraces(const Trace &reference,
+                                const Trace &validation,
+                                size_t max_divergences = 64);
+
+} // namespace vidi
+
+#endif // VIDI_CORE_TRACE_VALIDATOR_H

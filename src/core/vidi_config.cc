@@ -1,0 +1,18 @@
+#include "core/vidi_config.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+const char *
+toString(VidiMode mode)
+{
+    switch (mode) {
+      case VidiMode::R1_Transparent: return "R1";
+      case VidiMode::R2_Record: return "R2";
+      case VidiMode::R3_Replay: return "R3";
+    }
+    panic("invalid VidiMode");
+}
+
+} // namespace vidi

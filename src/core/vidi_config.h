@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Vidi run configuration.
+ *
+ * The three configurations of the paper's evaluation (§5.1):
+ *   R1 — recording and replaying disabled; the shim is a transparent
+ *        bridge (native baseline).
+ *   R2 — recording enabled; channel monitors + trace encoder + trace
+ *        store capture the execution.
+ *   R3 — replaying enabled, with recording of output channels for
+ *        divergence detection; trace decoder + channel replayers drive
+ *        the application.
+ */
+
+#ifndef VIDI_CORE_VIDI_CONFIG_H
+#define VIDI_CORE_VIDI_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+
+#include "host/pcie_link.h"
+#include "monitor/monitor_config.h"
+
+namespace vidi {
+
+/** Shim operating mode. */
+enum class VidiMode
+{
+    R1_Transparent,  ///< record off, replay off
+    R2_Record,       ///< record on, replay off
+    R3_Replay,       ///< replay on, record output channels
+};
+
+const char *toString(VidiMode mode);
+
+/**
+ * Tunables for a Vidi deployment.
+ */
+struct VidiConfig
+{
+    /**
+     * Record the content of output transactions so that divergences can
+     * be detected (§3.6). The paper's evaluation enables this everywhere
+     * (worst case); production deployments can disable it.
+     */
+    bool record_output_content = true;
+
+    /**
+     * Bit mask over boundary channel indices selecting which channels
+     * are monitored during recording; unmonitored channels get a
+     * transparent bridge instead (the §5.5 option of restricting
+     * recording to the interfaces an application actually uses, for
+     * lower overhead). Replaying a trace recorded this way is only
+     * meaningful if the masked-out channels carried no transactions.
+     */
+    uint64_t monitor_mask = ~0ull;
+
+    /** Convenience: monitor only the channels of @p interfaces. */
+    static uint64_t
+    maskFor(std::initializer_list<unsigned> interface_indices)
+    {
+        uint64_t mask = 0;
+        for (const unsigned iface : interface_indices) {
+            for (unsigned ch = 0; ch < 5; ++ch)
+                mask |= 1ull << (iface * 5 + ch);
+        }
+        return mask;
+    }
+
+    /** Trace-store BRAM staging capacity in bytes. */
+    size_t store_fifo_bytes = 1u << 20;
+
+    /** Effective PCIe bandwidth toward host DRAM. */
+    double pcie_bytes_per_sec = kF1PcieBytesPerSec;
+
+    /** FPGA clock frequency (for the bandwidth model). */
+    double clock_hz = kF1ClockHz;
+
+    /** Channel-monitor tunables. */
+    MonitorOptions monitor;
+
+    /** Per-replayer pair-queue depth in the trace decoder. */
+    size_t decoder_queue_capacity = 64;
+
+    /** Host DRAM reserved for the recorded trace. */
+    uint64_t trace_region_bytes = 1ull << 32;
+
+    /** Simulation cycle budget per run (deadlock watchdog). */
+    uint64_t max_cycles = 200'000'000;
+};
+
+} // namespace vidi
+
+#endif // VIDI_CORE_VIDI_CONFIG_H

@@ -1,0 +1,175 @@
+#include "core/vidi_shim.h"
+
+#include "channel/passthrough.h"
+#include "sim/logging.h"
+
+namespace vidi {
+
+VidiShim::VidiShim(Simulator &sim, Boundary boundary, VidiMode mode,
+                   HostMemory &host, PcieBus &bus, const VidiConfig &cfg)
+    : sim_(sim), boundary_(std::move(boundary)), mode_(mode), host_(host),
+      bus_(bus), cfg_(cfg),
+      meta_(boundary_.traceMeta(cfg.record_output_content))
+{
+    switch (mode_) {
+      case VidiMode::R1_Transparent:
+        for (const auto &ch : boundary_.channels()) {
+            ChannelBase &src = ch.input ? *ch.outer : *ch.inner;
+            ChannelBase &dst = ch.input ? *ch.inner : *ch.outer;
+            sim_.add<Passthrough>("bridge." + ch.name, src, dst);
+        }
+        break;
+
+      case VidiMode::R2_Record: {
+        store_ = &sim_.add<TraceStore>("vidi.store", host_, bus_,
+                                       cfg_.store_fifo_bytes);
+        encoder_ = &sim_.add<TraceEncoder>("vidi.encoder", meta_, *store_);
+        if (cfg_.store_fifo_bytes < encoder_->minStoreBytes())
+            fatal("VidiShim: trace-store FIFO of %zu bytes is below the "
+                  "%zu-byte minimum for this boundary (reservation "
+                  "starvation)", cfg_.store_fifo_bytes,
+                  encoder_->minStoreBytes());
+        for (size_t i = 0; i < boundary_.size(); ++i) {
+            const auto &ch = boundary_.channels()[i];
+            ChannelBase &src = ch.input ? *ch.outer : *ch.inner;
+            ChannelBase &dst = ch.input ? *ch.inner : *ch.outer;
+            if (i < 64 && !((cfg_.monitor_mask >> i) & 1u)) {
+                // Restricted recording (§5.5): unmonitored channels are
+                // transparently bridged and contribute no events.
+                sim_.add<Passthrough>("vidi.bridge." + ch.name, src,
+                                      dst);
+                continue;
+            }
+            monitors_.push_back(&sim_.add<ChannelMonitor>(
+                "vidi.mon." + ch.name, src, dst, *encoder_, i,
+                cfg_.monitor));
+            monitors_.back()->setEnabledFlag(&recording_enabled_);
+        }
+        break;
+      }
+
+      case VidiMode::R3_Replay: {
+        store_ = &sim_.add<TraceStore>("vidi.store", host_, bus_,
+                                       cfg_.store_fifo_bytes);
+        decoder_ = &sim_.add<TraceDecoder>("vidi.decoder", meta_, *store_,
+                                           cfg_.decoder_queue_capacity);
+        coordinator_ = &sim_.add<ReplayCoordinator>(
+            "vidi.coord", meta_, boundary_.innerChannels(),
+            cfg_.record_output_content);
+        for (size_t i = 0; i < boundary_.size(); ++i) {
+            const auto &ch = boundary_.channels()[i];
+            replayers_.push_back(&sim_.add<ChannelReplayer>(
+                "vidi.rep." + ch.name, *ch.inner, *decoder_, *coordinator_,
+                i));
+        }
+        break;
+      }
+    }
+}
+
+void
+VidiShim::beginRecord()
+{
+    if (mode_ != VidiMode::R2_Record)
+        fatal("VidiShim::beginRecord requires mode R2");
+    trace_region_ = host_.alloc(cfg_.trace_region_bytes);
+    store_->beginRecord(trace_region_);
+}
+
+void
+VidiShim::setRecording(bool enabled)
+{
+    if (mode_ != VidiMode::R2_Record)
+        fatal("VidiShim::setRecording requires mode R2");
+    recording_enabled_ = enabled;
+}
+
+bool
+VidiShim::recordDrained() const
+{
+    return store_ == nullptr || store_->drained();
+}
+
+uint64_t
+VidiShim::traceBytes() const
+{
+    if (mode_ != VidiMode::R2_Record)
+        fatal("VidiShim::traceBytes requires mode R2");
+    return store_->bytesStored();
+}
+
+Trace
+VidiShim::collectTrace() const
+{
+    if (mode_ != VidiMode::R2_Record)
+        fatal("VidiShim::collectTrace requires mode R2");
+    if (!store_->drained())
+        fatal("VidiShim::collectTrace before the trace store drained");
+    const std::vector<uint8_t> bytes =
+        host_.mem().readVec(trace_region_, store_->bytesStored());
+    return Trace::fromBytes(meta_, bytes.data(), bytes.size());
+}
+
+uint64_t
+VidiShim::monitorStallCycles() const
+{
+    uint64_t n = 0;
+    for (const auto *m : monitors_)
+        n += m->stallCycles();
+    return n;
+}
+
+uint64_t
+VidiShim::monitoredTransactions() const
+{
+    uint64_t n = 0;
+    for (const auto *m : monitors_)
+        n += m->transactions();
+    return n;
+}
+
+void
+VidiShim::beginReplay(const Trace &trace)
+{
+    if (mode_ != VidiMode::R3_Replay)
+        fatal("VidiShim::beginReplay requires mode R3");
+    if (!(trace.meta == meta_))
+        fatal("VidiShim::beginReplay: trace metadata does not match this "
+              "boundary/configuration");
+    const std::vector<uint8_t> bytes = trace.serialize();
+    trace_region_ = host_.alloc(bytes.size() + 1);
+    host_.mem().writeVec(trace_region_, bytes);
+    store_->beginReplay(trace_region_, bytes.size());
+}
+
+bool
+VidiShim::replayFinished() const
+{
+    if (mode_ != VidiMode::R3_Replay)
+        fatal("VidiShim::replayFinished requires mode R3");
+    if (!decoder_->finished())
+        return false;
+    for (const auto *r : replayers_) {
+        if (!r->idle())
+            return false;
+    }
+    return true;
+}
+
+const Trace &
+VidiShim::validationTrace() const
+{
+    if (mode_ != VidiMode::R3_Replay)
+        fatal("VidiShim::validationTrace requires mode R3");
+    return coordinator_->validationTrace();
+}
+
+uint64_t
+VidiShim::replayedTransactions() const
+{
+    if (mode_ != VidiMode::R3_Replay)
+        fatal("VidiShim::replayedTransactions requires mode R3");
+    return coordinator_->completions();
+}
+
+} // namespace vidi

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The Vidi shim (§4.1 of the paper).
+ *
+ * The shim assembles Vidi's hardware around a record/replay boundary
+ * inside a Simulator, exposing the same programming interface in every
+ * mode so that applications "can seamlessly use Vidi":
+ *
+ *  - R1: a transparent Passthrough bridge per channel.
+ *  - R2: a ChannelMonitor per channel feeding a TraceEncoder, whose
+ *        stream a TraceStore drains to host DRAM over PCIe.
+ *  - R3: a TraceStore prefetching the trace from host DRAM, a
+ *        TraceDecoder splitting it into per-channel pair sequences, a
+ *        ChannelReplayer per channel and a ReplayCoordinator holding the
+ *        shared vector clock (and the validation trace).
+ */
+
+#ifndef VIDI_CORE_VIDI_SHIM_H
+#define VIDI_CORE_VIDI_SHIM_H
+
+#include <vector>
+
+#include "core/boundary.h"
+#include "core/vidi_config.h"
+#include "host/host_dram.h"
+#include "host/pcie_bus.h"
+#include "monitor/channel_monitor.h"
+#include "replay/channel_replayer.h"
+#include "replay/replay_coordinator.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "trace/trace_decoder.h"
+#include "trace/trace_encoder.h"
+#include "trace/trace_store.h"
+
+namespace vidi {
+
+/**
+ * Assembles and drives Vidi's components for one mode.
+ *
+ * The shim's modules are owned by the Simulator; the shim itself is a
+ * lightweight handle that must outlive neither.
+ */
+class VidiShim
+{
+  public:
+    /**
+     * Build the shim into @p sim.
+     *
+     * @param sim simulator that will own the shim's modules
+     * @param boundary the record/replay boundary (channels must already
+     *        exist in @p sim)
+     * @param mode operating mode
+     * @param host host memory for the trace region
+     * @param cfg tunables
+     */
+    VidiShim(Simulator &sim, Boundary boundary, VidiMode mode,
+             HostMemory &host, PcieBus &bus, const VidiConfig &cfg = {});
+
+    VidiMode mode() const { return mode_; }
+    const Boundary &boundary() const { return boundary_; }
+    const TraceMeta &traceMeta() const { return meta_; }
+
+    /// @name Recording (R2)
+    /// @{
+    /** Arm recording; call before stepping the simulator. */
+    void beginRecord();
+
+    /**
+     * The §4.2 runtime API: enable/disable recording around an
+     * invocation of the FPGA application. While disabled, monitors
+     * forward transparently and the trace receives no events
+     * (in-flight recorded transactions still complete in the trace).
+     */
+    void setRecording(bool enabled);
+
+    /** Whether the record window is currently open. */
+    bool recordingEnabled() const { return recording_enabled_; }
+
+    /** True once all buffered trace data reached host DRAM. */
+    bool recordDrained() const;
+
+    /** Bytes of trace stored in host DRAM. */
+    uint64_t traceBytes() const;
+
+    /** Decode the recorded trace out of host DRAM. */
+    Trace collectTrace() const;
+
+    /** Total sender-stall cycles across all monitors (back-pressure). */
+    uint64_t monitorStallCycles() const;
+
+    /** Completed transactions observed by all monitors. */
+    uint64_t monitoredTransactions() const;
+    /// @}
+
+    /// @name Replaying (R3)
+    /// @{
+    /** Load @p trace into host DRAM and arm replay. */
+    void beginReplay(const Trace &trace);
+
+    /** True once the trace is exhausted and all replayers are idle. */
+    bool replayFinished() const;
+
+    /** The validation trace recorded during replay (§3.6). */
+    const Trace &validationTrace() const;
+
+    /** Completed transactions during replay. */
+    uint64_t replayedTransactions() const;
+    /// @}
+
+    TraceStore *store() { return store_; }
+    TraceEncoder *encoder() { return encoder_; }
+
+  private:
+    Simulator &sim_;
+    Boundary boundary_;
+    VidiMode mode_;
+    HostMemory &host_;
+    PcieBus &bus_;
+    VidiConfig cfg_;
+    TraceMeta meta_;
+
+    uint64_t trace_region_ = 0;
+    bool recording_enabled_ = true;
+
+    // Non-owning pointers into the simulator's module list.
+    TraceStore *store_ = nullptr;
+    TraceEncoder *encoder_ = nullptr;
+    TraceDecoder *decoder_ = nullptr;
+    ReplayCoordinator *coordinator_ = nullptr;
+    std::vector<ChannelMonitor *> monitors_;
+    std::vector<ChannelReplayer *> replayers_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_CORE_VIDI_SHIM_H

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * CPU-side PCIe DMA engine (master on the pcis interface).
+ *
+ * Models the host driver that moves buffers between CPU DRAM and the
+ * FPGA: writes are split into AXI bursts of up to 16 beats with correct
+ * byte strobes (including unaligned leading/trailing lanes — the
+ * "bitmask" behaviour the §5.2 debugging case study depends on); reads
+ * issue AR bursts and reassemble the returned beats. A random inter-burst
+ * gap models host scheduling jitter.
+ */
+
+#ifndef VIDI_HOST_DMA_ENGINE_H
+#define VIDI_HOST_DMA_ENGINE_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "axi/f1_interfaces.h"
+#include "channel/ports.h"
+#include "host/pcie_bus.h"
+#include "sim/module.h"
+#include "sim/simulator.h"
+
+namespace vidi {
+
+/**
+ * AXI4 master issuing buffer-granular DMA jobs.
+ */
+class DmaEngine : public Module
+{
+  public:
+    DmaEngine(Simulator &sim, const std::string &name, const Axi4Bus &bus,
+              PcieBus *pcie = nullptr);
+
+    /** Random idle cycles inserted between issued bursts. */
+    void setIssueGap(uint64_t lo, uint64_t hi);
+
+    /** Maximum beats per burst (AXI allows up to 256; F1 DMA uses 16). */
+    void setMaxBurstBeats(unsigned beats);
+
+    /**
+     * Queue an asynchronous write of @p data to FPGA address @p addr.
+     * The address may be unaligned; strobes mask the invalid lanes.
+     */
+    void startWrite(uint64_t addr, std::vector<uint8_t> data);
+
+    /** Queue an asynchronous read of @p len bytes at @p addr. */
+    void startRead(uint64_t addr, size_t len);
+
+    /** True once every queued job has fully completed. */
+    bool idle() const;
+
+    /** Number of fully completed read jobs since reset. */
+    uint64_t readsCompleted() const { return reads_completed_; }
+
+    /** Data of the oldest unclaimed completed read. */
+    std::vector<uint8_t> popReadData();
+    bool readDataAvailable() const { return !completed_reads_.empty(); }
+
+    uint64_t writeBurstsAcked() const { return write_bursts_acked_; }
+
+    void eval() override;
+    void tick() override;
+    void reset() override;
+
+  private:
+    struct Job
+    {
+        bool is_write;
+        uint64_t addr;
+        std::vector<uint8_t> data;  // write payload
+        size_t len;                 // read length
+    };
+
+    void issueNextBurst();
+
+    Simulator &sim_;
+    SimRandom rng_;  ///< private stream so jitter draws are identical
+                     ///< across R1/R2 runs with the same seed
+    PcieBus *pcie_;        ///< shared link bandwidth; null = unpaced
+    int64_t tokens_ = 0;   ///< PCIe byte tokens for data beats
+    unsigned max_burst_beats_ = 16;
+    uint64_t gap_lo_ = 0;
+    uint64_t gap_hi_ = 0;
+    uint64_t gap_remaining_ = 0;
+
+    TxDriver<AxiAx> aw_;
+    TxDriver<AxiW> w_;
+    RxSink<AxiB> b_;
+    TxDriver<AxiAx> ar_;
+    RxSink<AxiR> r_;
+
+    std::deque<Job> jobs_;
+    // Progress within the job at the head of jobs_.
+    size_t job_offset_ = 0;
+
+    // Outstanding-burst accounting.
+    uint64_t write_bursts_issued_ = 0;
+    uint64_t write_bursts_acked_ = 0;
+
+    // Read reassembly: beats are returned in order and sliced per job.
+    struct ReadJob
+    {
+        size_t lead;   ///< invalid leading bytes in the first beat
+        size_t len;    ///< requested bytes
+        size_t beats;  ///< total beats covering the request
+    };
+    std::deque<ReadJob> read_jobs_;
+    std::vector<uint8_t> read_accum_;
+    size_t read_beats_expected_ = 0;
+    size_t read_beats_received_ = 0;
+
+    std::deque<std::vector<uint8_t>> completed_reads_;
+    uint64_t reads_completed_ = 0;
+    uint16_t next_id_ = 0;
+};
+
+} // namespace vidi
+
+#endif // VIDI_HOST_DMA_ENGINE_H

@@ -1,0 +1,16 @@
+#include "host/host_dram.h"
+
+namespace vidi {
+
+uint64_t
+HostMemory::alloc(size_t len, size_t align)
+{
+    if (align == 0)
+        align = 1;
+    next_ = (next_ + align - 1) / align * align;
+    const uint64_t addr = next_;
+    next_ += len;
+    return addr;
+}
+
+} // namespace vidi

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CPU-side memory: a DramModel plus a bump allocator for host buffers
+ * (DMA staging areas, the hugepage trace buffer of §4.2, doorbell words).
+ */
+
+#ifndef VIDI_HOST_HOST_DRAM_H
+#define VIDI_HOST_HOST_DRAM_H
+
+#include <cstdint>
+
+#include "mem/dram_model.h"
+
+namespace vidi {
+
+/**
+ * Host memory with region allocation.
+ */
+class HostMemory
+{
+  public:
+    HostMemory() = default;
+
+    /** Allocate @p len bytes with the given alignment; never freed. */
+    uint64_t alloc(size_t len, size_t align = 4096);
+
+    DramModel &mem() { return mem_; }
+    const DramModel &mem() const { return mem_; }
+
+    void
+    reset()
+    {
+        mem_.clear();
+        next_ = kBase;
+    }
+
+  private:
+    static constexpr uint64_t kBase = 0x10000;
+
+    DramModel mem_;
+    uint64_t next_ = kBase;
+};
+
+} // namespace vidi
+
+#endif // VIDI_HOST_HOST_DRAM_H

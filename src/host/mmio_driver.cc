@@ -1,0 +1,118 @@
+#include "host/mmio_driver.h"
+
+namespace vidi {
+
+MmioMaster::MmioMaster(Simulator &sim, const std::string &name,
+                       const LiteBus &bus)
+    : Module(name), sim_(sim), rng_(sim.rng().fork()), aw_(*bus.aw),
+      w_(*bus.w), b_(*bus.b, 16), ar_(*bus.ar), r_(*bus.r, 16)
+{
+}
+
+void
+MmioMaster::setIssueGap(uint64_t lo, uint64_t hi)
+{
+    gap_lo_ = lo;
+    gap_hi_ = hi;
+}
+
+void
+MmioMaster::issueWrite(uint32_t addr, uint32_t data)
+{
+    ops_.push_back({true, addr, data});
+}
+
+void
+MmioMaster::issueRead(uint32_t addr)
+{
+    ops_.push_back({false, addr, 0});
+}
+
+uint32_t
+MmioMaster::popRead()
+{
+    if (read_results_.empty())
+        panic("MmioMaster(%s)::popRead with no completed read",
+              name().c_str());
+    const uint32_t v = read_results_.front();
+    read_results_.pop_front();
+    return v;
+}
+
+bool
+MmioMaster::idle() const
+{
+    return ops_.empty() && writes_acked_ == writes_issued_ &&
+           reads_completed_ == reads_issued_ && aw_.idle() && w_.idle() &&
+           ar_.idle();
+}
+
+void
+MmioMaster::eval()
+{
+    aw_.eval();
+    w_.eval();
+    b_.eval();
+    ar_.eval();
+    r_.eval();
+}
+
+void
+MmioMaster::tick()
+{
+    aw_.tick();
+    w_.tick();
+    ar_.tick();
+    if (b_.tick()) {
+        b_.pop();
+        ++writes_acked_;
+    }
+    if (r_.tick()) {
+        read_results_.push_back(r_.pop().data);
+        ++reads_completed_;
+    }
+
+    if (gap_remaining_ > 0) {
+        --gap_remaining_;
+        return;
+    }
+    if (!ops_.empty()) {
+        const Op op = ops_.front();
+        ops_.pop_front();
+        if (op.is_write) {
+            LiteAx a;
+            a.addr = op.addr;
+            aw_.queue(a);
+            LiteW d;
+            d.data = op.data;
+            w_.queue(d);
+            ++writes_issued_;
+        } else {
+            LiteAx a;
+            a.addr = op.addr;
+            ar_.queue(a);
+            ++reads_issued_;
+        }
+        if (gap_hi_ > 0)
+            gap_remaining_ = rng_.range(gap_lo_, gap_hi_);
+    }
+}
+
+void
+MmioMaster::reset()
+{
+    aw_.reset();
+    w_.reset();
+    b_.reset();
+    ar_.reset();
+    r_.reset();
+    ops_.clear();
+    read_results_.clear();
+    writes_issued_ = 0;
+    writes_acked_ = 0;
+    reads_issued_ = 0;
+    reads_completed_ = 0;
+    gap_remaining_ = 0;
+}
+
+} // namespace vidi

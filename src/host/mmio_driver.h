@@ -1,0 +1,92 @@
+/**
+ * @file
+ * CPU-side AXI-Lite master.
+ *
+ * Models the MMIO path a CPU program uses to poke control registers and
+ * poll status registers on the FPGA (ocl/sda/bar1 on F1). Issued
+ * operations are asynchronous; application drivers check completion via
+ * writesAcked()/readAvailable(). An optional random issue gap models CPU
+ * and PCIe scheduling jitter — the wallclock nondeterminism Vidi records.
+ */
+
+#ifndef VIDI_HOST_MMIO_DRIVER_H
+#define VIDI_HOST_MMIO_DRIVER_H
+
+#include <cstdint>
+#include <deque>
+
+#include "axi/f1_interfaces.h"
+#include "channel/ports.h"
+#include "sim/module.h"
+#include "sim/simulator.h"
+
+namespace vidi {
+
+/**
+ * AXI-Lite master with an operation queue.
+ */
+class MmioMaster : public Module
+{
+  public:
+    MmioMaster(Simulator &sim, const std::string &name, const LiteBus &bus);
+
+    /** Random idle cycles inserted before each issued operation. */
+    void setIssueGap(uint64_t lo, uint64_t hi);
+
+    /** Queue a 32-bit register write. */
+    void issueWrite(uint32_t addr, uint32_t data);
+
+    /** Queue a 32-bit register read. */
+    void issueRead(uint32_t addr);
+
+    /** Writes for which a B response arrived. */
+    uint64_t writesAcked() const { return writes_acked_; }
+
+    /** Whether a completed read result is waiting. */
+    bool readAvailable() const { return !read_results_.empty(); }
+
+    /** Pop the oldest completed read result. */
+    uint32_t popRead();
+
+    /** Operations not yet issued onto the bus. */
+    size_t pendingOps() const { return ops_.size(); }
+
+    /** True when every queued operation has fully completed. */
+    bool idle() const;
+
+    void eval() override;
+    void tick() override;
+    void reset() override;
+
+  private:
+    struct Op
+    {
+        bool is_write;
+        uint32_t addr;
+        uint32_t data;
+    };
+
+    Simulator &sim_;
+    SimRandom rng_;  ///< private stream so jitter draws are identical
+                     ///< across R1/R2 runs with the same seed
+    uint64_t gap_lo_ = 0;
+    uint64_t gap_hi_ = 0;
+    uint64_t gap_remaining_ = 0;
+
+    TxDriver<LiteAx> aw_;
+    TxDriver<LiteW> w_;
+    RxSink<LiteB> b_;
+    TxDriver<LiteAx> ar_;
+    RxSink<LiteR> r_;
+
+    std::deque<Op> ops_;
+    std::deque<uint32_t> read_results_;
+    uint64_t writes_issued_ = 0;
+    uint64_t writes_acked_ = 0;
+    uint64_t reads_issued_ = 0;
+    uint64_t reads_completed_ = 0;
+};
+
+} // namespace vidi
+
+#endif // VIDI_HOST_MMIO_DRIVER_H

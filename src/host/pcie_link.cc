@@ -1,0 +1,36 @@
+#include "host/pcie_link.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+PcieLink::PcieLink(double bytes_per_sec, double clock_hz)
+{
+    if (bytes_per_sec <= 0 || clock_hz <= 0)
+        fatal("PcieLink requires positive bandwidth and clock");
+    // Represent bytes/cycle as num/den with den scaled for precision.
+    den_ = 1u << 20;
+    num_ = static_cast<uint64_t>(
+        std::llround(bytes_per_sec / clock_hz * static_cast<double>(den_)));
+    if (num_ == 0)
+        num_ = 1;
+}
+
+uint64_t
+PcieLink::grant()
+{
+    acc_num_ += num_;
+    const uint64_t bytes = acc_num_ / den_;
+    acc_num_ %= den_;
+    return bytes;
+}
+
+double
+PcieLink::bytesPerCycle() const
+{
+    return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+} // namespace vidi

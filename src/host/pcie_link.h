@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Bandwidth model of the PCIe path between the FPGA and host DRAM.
+ *
+ * The paper's trace store drains cycle packets to CPU-side DRAM over PCIe
+ * DMA with an effective bandwidth of about 5.5 GB/s (§6). PcieLink
+ * converts such a byte rate at a given FPGA clock into a per-cycle byte
+ * budget, carrying fractional remainders so long-run throughput is exact.
+ */
+
+#ifndef VIDI_HOST_PCIE_LINK_H
+#define VIDI_HOST_PCIE_LINK_H
+
+#include <cstdint>
+
+namespace vidi {
+
+/** Default effective PCIe bandwidth on F1, from the paper (§6). */
+inline constexpr double kF1PcieBytesPerSec = 5.5e9;
+
+/** The F1 high-performance clock used by the prototype (§4.1). */
+inline constexpr double kF1ClockHz = 250e6;
+
+/**
+ * Per-cycle byte budget for a fixed-rate link.
+ */
+class PcieLink
+{
+  public:
+    /**
+     * @param bytes_per_sec link bandwidth
+     * @param clock_hz clock at which grant() is called once per cycle
+     */
+    PcieLink(double bytes_per_sec = kF1PcieBytesPerSec,
+             double clock_hz = kF1ClockHz);
+
+    /** Bytes the link may move this cycle; call exactly once per cycle. */
+    uint64_t grant();
+
+    /** Long-run average bytes per cycle (diagnostic). */
+    double bytesPerCycle() const;
+
+    void reset() { acc_num_ = 0; }
+
+  private:
+    // rate = num/den bytes per cycle, in integer fixed point.
+    uint64_t num_;
+    uint64_t den_;
+    uint64_t acc_num_ = 0;
+};
+
+} // namespace vidi
+
+#endif // VIDI_HOST_PCIE_LINK_H

@@ -1,0 +1,115 @@
+#include "mem/axi_memory.h"
+
+namespace vidi {
+
+AxiMemory::AxiMemory(Simulator &sim, const std::string &name,
+                     const Axi4Bus &bus, DramModel &mem,
+                     unsigned read_latency, unsigned write_ack_latency)
+    : Module(name), sim_(sim), bus_(bus), mem_(mem),
+      read_latency_(read_latency),
+      write_ack_latency_(write_ack_latency), aw_(*bus.aw, 8), w_(*bus.w, 64),
+      b_(*bus.b), ar_(*bus.ar, 8), r_(*bus.r)
+{
+}
+
+void
+AxiMemory::eval()
+{
+    if (pcie_ != nullptr) {
+        const int64_t beat = static_cast<int64_t>(kAxiDataBytes);
+        w_.setEnabled(tokens_ >= beat);
+        r_.setEnabled(tokens_ >= beat);
+    }
+    aw_.eval();
+    w_.eval();
+    b_.eval();
+    ar_.eval();
+    r_.eval();
+}
+
+void
+AxiMemory::tick()
+{
+    aw_.tick();
+    if (w_.tick() && pcie_ != nullptr)
+        tokens_ -= static_cast<int64_t>(kAxiDataBytes);
+    b_.tick();
+    ar_.tick();
+    if (r_.tick() && pcie_ != nullptr)
+        tokens_ -= static_cast<int64_t>(kAxiDataBytes);
+
+    if (pcie_ != nullptr) {
+        const bool moving = aw_.available() || w_.buffered() > 0 ||
+                            !pending_r_.empty() || !r_.idle() ||
+                            bus_.w->valid();
+        const int64_t target = 2 * static_cast<int64_t>(kAxiDataBytes);
+        if (moving && tokens_ < target) {
+            tokens_ += static_cast<int64_t>(
+                pcie_->request(static_cast<uint64_t>(target - tokens_)));
+        }
+    }
+
+    const uint64_t now = sim_.cycle();
+
+    // Match a complete write burst: the address plus all of its beats.
+    // Per AXI, byte lanes are relative to the *aligned* address; an
+    // unaligned first beat masks its leading lanes with strobes.
+    while (aw_.available() && w_.buffered() >= aw_.front().beats()) {
+        const AxiAx addr = aw_.pop();
+        const uint64_t base = addr.addr & ~(uint64_t(kAxiDataBytes) - 1);
+        for (unsigned i = 0; i < addr.beats(); ++i) {
+            const AxiW beat = w_.pop();
+            mem_.writeStrobed(base + uint64_t(i) * kAxiDataBytes,
+                              beat.data.data(), kAxiDataBytes, beat.strb);
+        }
+        AxiB resp;
+        resp.id = addr.id;
+        resp.resp = static_cast<uint8_t>(AxiResp::Okay);
+        pending_b_.push_back({now + write_ack_latency_, resp});
+    }
+
+    // Serve read bursts: one beat per cycle after the read latency;
+    // lanes are aligned, as on the write path.
+    while (ar_.available()) {
+        const AxiAx addr = ar_.pop();
+        const uint64_t base = addr.addr & ~(uint64_t(kAxiDataBytes) - 1);
+        for (unsigned i = 0; i < addr.beats(); ++i) {
+            AxiR beat;
+            mem_.read(base + uint64_t(i) * kAxiDataBytes,
+                      beat.data.data(), kAxiDataBytes);
+            beat.id = addr.id;
+            beat.resp = static_cast<uint8_t>(AxiResp::Okay);
+            beat.last = (i + 1 == addr.beats()) ? 1 : 0;
+            pending_r_.push_back({now + read_latency_ + i, beat});
+        }
+    }
+
+    while (!pending_b_.empty() && pending_b_.front().first <= now) {
+        b_.queue(pending_b_.front().second);
+        pending_b_.pop_front();
+        ++writes_completed_;
+    }
+    while (!pending_r_.empty() && pending_r_.front().first <= now) {
+        if (pending_r_.front().second.last)
+            ++reads_completed_;
+        r_.queue(pending_r_.front().second);
+        pending_r_.pop_front();
+    }
+}
+
+void
+AxiMemory::reset()
+{
+    aw_.reset();
+    w_.reset();
+    b_.reset();
+    ar_.reset();
+    r_.reset();
+    pending_b_.clear();
+    pending_r_.clear();
+    writes_completed_ = 0;
+    reads_completed_ = 0;
+    tokens_ = 0;
+}
+
+} // namespace vidi

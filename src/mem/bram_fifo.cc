@@ -1,0 +1,4 @@
+#include "mem/bram_fifo.h"
+
+// BramFifo is header-only; this translation unit verifies that the header
+// is self-contained.

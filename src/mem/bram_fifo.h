@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A bounded FIFO modelling an on-FPGA BRAM buffer.
+ *
+ * Used by the trace store for its staging buffer (whose finite capacity is
+ * what forces back-pressure, §3.3/§6 of the paper) and by several
+ * applications. Tracks a high-water mark so experiments can report
+ * occupancy.
+ */
+
+#ifndef VIDI_MEM_BRAM_FIFO_H
+#define VIDI_MEM_BRAM_FIFO_H
+
+#include <cstddef>
+#include <deque>
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+/**
+ * Bounded FIFO with occupancy statistics.
+ */
+template <typename T>
+class BramFifo
+{
+  public:
+    explicit BramFifo(size_t capacity) : capacity_(capacity) {}
+
+    size_t capacity() const { return capacity_; }
+    size_t size() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+    bool full() const { return items_.size() >= capacity_; }
+    size_t space() const { return capacity_ - items_.size(); }
+
+    /** Highest occupancy observed since reset. */
+    size_t highWater() const { return high_water_; }
+
+    /**
+     * Append an item.
+     *
+     * @return false (and drop nothing) if the FIFO is full.
+     */
+    bool
+    tryPush(const T &v)
+    {
+        if (full())
+            return false;
+        items_.push_back(v);
+        if (items_.size() > high_water_)
+            high_water_ = items_.size();
+        return true;
+    }
+
+    /** Append an item; panics if full (callers must check space). */
+    void
+    push(const T &v)
+    {
+        if (!tryPush(v))
+            panic("BramFifo::push on full FIFO (capacity %zu)", capacity_);
+    }
+
+    const T &
+    front() const
+    {
+        if (items_.empty())
+            panic("BramFifo::front on empty FIFO");
+        return items_.front();
+    }
+
+    T
+    pop()
+    {
+        if (items_.empty())
+            panic("BramFifo::pop on empty FIFO");
+        T v = items_.front();
+        items_.pop_front();
+        return v;
+    }
+
+    void
+    reset()
+    {
+        items_.clear();
+        high_water_ = 0;
+    }
+
+  private:
+    size_t capacity_;
+    size_t high_water_ = 0;
+    std::deque<T> items_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_MEM_BRAM_FIFO_H

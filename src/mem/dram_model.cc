@@ -1,0 +1,105 @@
+#include "mem/dram_model.h"
+
+namespace vidi {
+
+const DramModel::Page *
+DramModel::findPage(uint64_t page_index) const
+{
+    auto it = pages_.find(page_index);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+DramModel::Page &
+DramModel::touchPage(uint64_t page_index)
+{
+    auto it = pages_.find(page_index);
+    if (it == pages_.end())
+        it = pages_.emplace(page_index, Page{}).first;
+    return it->second;
+}
+
+void
+DramModel::read(uint64_t addr, uint8_t *dst, size_t len) const
+{
+    while (len > 0) {
+        const uint64_t page = addr / kPageBytes;
+        const size_t off = addr % kPageBytes;
+        const size_t chunk = std::min(len, kPageBytes - off);
+        if (const Page *p = findPage(page))
+            std::memcpy(dst, p->data() + off, chunk);
+        else
+            std::memset(dst, 0, chunk);
+        dst += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+DramModel::write(uint64_t addr, const uint8_t *src, size_t len)
+{
+    while (len > 0) {
+        const uint64_t page = addr / kPageBytes;
+        const size_t off = addr % kPageBytes;
+        const size_t chunk = std::min(len, kPageBytes - off);
+        std::memcpy(touchPage(page).data() + off, src, chunk);
+        src += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+DramModel::writeStrobed(uint64_t addr, const uint8_t *src, size_t len,
+                        uint64_t strb)
+{
+    for (size_t i = 0; i < len; ++i) {
+        if (i < 64 && !(strb & (1ull << i)))
+            continue;
+        write(addr + i, src + i, 1);
+    }
+}
+
+uint32_t
+DramModel::read32(uint64_t addr) const
+{
+    uint32_t v = 0;
+    read(addr, reinterpret_cast<uint8_t *>(&v), sizeof(v));
+    return v;
+}
+
+void
+DramModel::write32(uint64_t addr, uint32_t value)
+{
+    write(addr, reinterpret_cast<const uint8_t *>(&value), sizeof(value));
+}
+
+uint64_t
+DramModel::read64(uint64_t addr) const
+{
+    uint64_t v = 0;
+    read(addr, reinterpret_cast<uint8_t *>(&v), sizeof(v));
+    return v;
+}
+
+void
+DramModel::write64(uint64_t addr, uint64_t value)
+{
+    write(addr, reinterpret_cast<const uint8_t *>(&value), sizeof(value));
+}
+
+std::vector<uint8_t>
+DramModel::readVec(uint64_t addr, size_t len) const
+{
+    std::vector<uint8_t> v(len);
+    read(addr, v.data(), len);
+    return v;
+}
+
+void
+DramModel::writeVec(uint64_t addr, const std::vector<uint8_t> &data)
+{
+    write(addr, data.data(), data.size());
+}
+
+} // namespace vidi

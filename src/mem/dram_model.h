@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Functional DRAM model.
+ *
+ * A sparse, page-granular byte store used both for the on-FPGA DDR4 the
+ * applications write to and for the CPU-side DRAM that holds host buffers
+ * and Vidi's recorded traces. Timing (access latency, bandwidth) is
+ * modelled by the modules that own a DramModel, not by the store itself.
+ */
+
+#ifndef VIDI_MEM_DRAM_MODEL_H
+#define VIDI_MEM_DRAM_MODEL_H
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace vidi {
+
+/**
+ * Sparse byte-addressable memory. Unwritten locations read as zero.
+ */
+class DramModel
+{
+  public:
+    DramModel() = default;
+
+    /** Copy @p len bytes at @p addr into @p dst. */
+    void read(uint64_t addr, uint8_t *dst, size_t len) const;
+
+    /** Copy @p len bytes from @p src to @p addr. */
+    void write(uint64_t addr, const uint8_t *src, size_t len);
+
+    /**
+     * Strobed write: only bytes whose bit is set in @p strb (bit i covers
+     * byte i) are written. Models AXI WSTRB semantics.
+     */
+    void writeStrobed(uint64_t addr, const uint8_t *src, size_t len,
+                      uint64_t strb);
+
+    uint32_t read32(uint64_t addr) const;
+    void write32(uint64_t addr, uint32_t value);
+    uint64_t read64(uint64_t addr) const;
+    void write64(uint64_t addr, uint64_t value);
+
+    /** Read @p len bytes as a vector (convenience for tests/drivers). */
+    std::vector<uint8_t> readVec(uint64_t addr, size_t len) const;
+    void writeVec(uint64_t addr, const std::vector<uint8_t> &data);
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+    /** Number of resident pages (footprint diagnostic). */
+    size_t residentPages() const { return pages_.size(); }
+
+    static constexpr size_t kPageBytes = 4096;
+
+  private:
+    using Page = std::array<uint8_t, kPageBytes>;
+
+    const Page *findPage(uint64_t page_index) const;
+    Page &touchPage(uint64_t page_index);
+
+    std::unordered_map<uint64_t, Page> pages_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_MEM_DRAM_MODEL_H

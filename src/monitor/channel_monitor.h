@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The channel monitor (§3.1 of the paper).
+ *
+ * A channel monitor transparently interposes on one handshake channel,
+ * coordinating three transactions: with the original sender (the *source*
+ * channel), with the original receiver (the *destination* channel) and
+ * with the trace encoder. VALID, the payload and READY are forwarded
+ * combinationally, so an admitted transaction crosses the monitor with
+ * zero added latency and the source and destination handshakes complete
+ * in the same cycle.
+ *
+ * Before letting a transaction begin, the monitor *eagerly reserves*
+ * encoder space for all of the transaction's events (§3.1's reservation),
+ * guaranteeing the end event is logged in the exact cycle the handshake
+ * completes. Reservations are prefetched into a small pool so that
+ * back-to-back transactions stream at full rate; when the trace store
+ * back-pressures, the pool empties and the monitor stalls the sender by
+ * withholding VALID from the receiver and READY from the sender —
+ * transactions are delayed, never dropped or reordered.
+ *
+ * Monitors on input channels (FPGA is the receiver) log start events
+ * with content plus end events; monitors on output channels log end
+ * events only (plus end content when divergence detection is enabled).
+ */
+
+#ifndef VIDI_MONITOR_CHANNEL_MONITOR_H
+#define VIDI_MONITOR_CHANNEL_MONITOR_H
+
+#include <cstdint>
+
+#include "channel/channel.h"
+#include "monitor/monitor_config.h"
+#include "sim/module.h"
+#include "trace/trace_encoder.h"
+
+namespace vidi {
+
+/**
+ * Transparent recording interposer for one channel.
+ */
+class ChannelMonitor : public Module
+{
+  public:
+    /**
+     * @param name instance name
+     * @param src channel from the original sender
+     * @param dst channel to the original receiver
+     * @param encoder trace encoder
+     * @param chan_index this channel's index in the encoder's TraceMeta
+     * @param opts monitor tunables
+     *
+     * The channel's direction (input vs output) and payload size come
+     * from the encoder's metadata; @p src and @p dst must agree with it.
+     */
+    ChannelMonitor(const std::string &name, ChannelBase &src,
+                   ChannelBase &dst, TraceEncoder &encoder,
+                   size_t chan_index, MonitorOptions opts = {});
+
+    /**
+     * Share an enable flag (owned by the shim) implementing the §4.2
+     * runtime API: while *flag is false the monitor forwards
+     * transparently and records nothing. A transaction whose start was
+     * recorded is always completed in the trace, even if recording is
+     * disabled mid-flight.
+     */
+    void setEnabledFlag(const bool *flag) { enabled_flag_ = flag; }
+
+    void eval() override;
+    void tick() override;
+    void reset() override;
+
+    /** Completed transactions observed since reset. */
+    uint64_t transactions() const { return transactions_; }
+
+    /** Cycles in which the sender was stalled for lack of reservations. */
+    uint64_t stallCycles() const { return stall_cycles_; }
+
+  private:
+    bool recording() const
+    {
+        return enabled_flag_ == nullptr || *enabled_flag_;
+    }
+    bool
+    forwarding() const
+    {
+        return inflight_ || passthrough_inflight_ || pool_ > 0 ||
+               !recording();
+    }
+
+    ChannelBase &src_;
+    ChannelBase &dst_;
+    TraceEncoder &encoder_;
+    size_t chan_index_;
+    MonitorOptions opts_;
+    bool is_input_;
+
+    const bool *enabled_flag_ = nullptr;  ///< §4.2 record window gate
+    size_t pool_ = 0;      ///< prefetched transaction reservations
+    bool inflight_ = false;  ///< a forwarded *recorded* transaction
+    /**
+     * A transaction that began while the record window was closed is
+     * crossing the monitor; it must be forwarded to completion
+     * (unrecorded) even if the window reopens mid-handshake.
+     */
+    bool passthrough_inflight_ = false;
+
+    uint64_t transactions_ = 0;
+    uint64_t stall_cycles_ = 0;
+
+    uint8_t data_buf_[kMaxPayloadBytes] = {};
+};
+
+} // namespace vidi
+
+#endif // VIDI_MONITOR_CHANNEL_MONITOR_H

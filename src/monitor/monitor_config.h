@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Tunables for channel monitors.
+ */
+
+#ifndef VIDI_MONITOR_MONITOR_CONFIG_H
+#define VIDI_MONITOR_MONITOR_CONFIG_H
+
+#include <cstddef>
+
+namespace vidi {
+
+/**
+ * Configuration for one channel monitor.
+ */
+struct MonitorOptions
+{
+    /**
+     * Number of transaction reservations the monitor prefetches from the
+     * trace encoder. With at least two slots, admission is fully
+     * pipelined and a monitor adds no latency to back-to-back
+     * transactions; back-pressure engages only when the trace store
+     * genuinely runs out of space.
+     */
+    size_t reservation_pool = 4;
+};
+
+} // namespace vidi
+
+#endif // VIDI_MONITOR_MONITOR_CONFIG_H

@@ -1,0 +1,88 @@
+#include "replay/channel_replayer.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+ChannelReplayer::ChannelReplayer(const std::string &name, ChannelBase &inner,
+                                 TraceDecoder &decoder,
+                                 ReplayCoordinator &coordinator,
+                                 size_t chan_index)
+    : Module(name), inner_(inner), decoder_(decoder),
+      coordinator_(coordinator), chan_index_(chan_index),
+      is_input_(decoder.meta().channels.at(chan_index).input),
+      t_expected_(decoder.meta().channelCount())
+{
+    if (inner_.dataBytes() != decoder.meta().channels[chan_index].data_bytes)
+        fatal("ChannelReplayer %s: payload size disagrees with the trace "
+              "metadata", name.c_str());
+}
+
+bool
+ChannelReplayer::idle() const
+{
+    return decoder_.queueFor(chan_index_).empty() && !presenting_ &&
+           pending_ends_ == 0;
+}
+
+void
+ChannelReplayer::eval()
+{
+    if (is_input_) {
+        if (presenting_)
+            inner_.setDataRaw(present_buf_);
+        inner_.setValid(presenting_);
+    } else {
+        inner_.setReady(pending_ends_ > 0);
+    }
+}
+
+void
+ChannelReplayer::tick()
+{
+    // Observe this cycle's handshake.
+    if (inner_.fired()) {
+        ++completed_;
+        if (is_input_) {
+            presenting_ = false;
+        } else {
+            if (pending_ends_ == 0)
+                panic("ChannelReplayer %s: output fired without a released "
+                      "end event", name().c_str());
+            --pending_ends_;
+        }
+    }
+
+    // Release as many recorded events as the vector clock allows.
+    auto &queue = decoder_.queueFor(chan_index_);
+    while (!queue.empty()) {
+        const ReplayPair &p = queue.front();
+        if (!coordinator_.current().dominates(t_expected_))
+            break;
+        if (p.start && is_input_) {
+            if (presenting_)
+                break;  // previous input transaction still outstanding
+            if (p.content.size() != inner_.dataBytes())
+                panic("ChannelReplayer %s: recorded content size %zu != "
+                      "payload size %zu", name().c_str(), p.content.size(),
+                      inner_.dataBytes());
+            std::memcpy(present_buf_, p.content.data(), p.content.size());
+            presenting_ = true;
+        }
+        if (p.end && !is_input_)
+            ++pending_ends_;
+        t_expected_.addEnds(p.ends);
+        queue.pop_front();
+    }
+}
+
+void
+ChannelReplayer::reset()
+{
+    presenting_ = false;
+    pending_ends_ = 0;
+    t_expected_.clear();
+    completed_ = 0;
+}
+
+} // namespace vidi

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The channel replayer (§3.5 of the paper).
+ *
+ * One replayer takes the place of the external environment on each
+ * channel of the record/replay boundary. Replayers on *input* channels
+ * act as senders: they recreate each recorded input transaction's start
+ * (VALID + content). Replayers on *output* channels act as receivers:
+ * they control when each recorded output transaction is allowed to end
+ * (READY).
+ *
+ * Each replayer consumes a sequence of ⟨channel packet, Ends⟩ pairs from
+ * the trace decoder and maintains an expected vector clock T_expected;
+ * it releases the events of a pair only once the coordinator's shared
+ * T_current dominates T_expected, then advances T_expected by the pair's
+ * Ends bits. This is exactly the algorithm of §3.5 and is what enforces
+ * transaction determinism.
+ */
+
+#ifndef VIDI_REPLAY_CHANNEL_REPLAYER_H
+#define VIDI_REPLAY_CHANNEL_REPLAYER_H
+
+#include <cstdint>
+
+#include "channel/channel.h"
+#include "replay/replay_coordinator.h"
+#include "replay/vector_clock.h"
+#include "sim/module.h"
+#include "trace/trace_decoder.h"
+
+namespace vidi {
+
+/**
+ * Recreates recorded transactions on one channel.
+ */
+class ChannelReplayer : public Module
+{
+  public:
+    /**
+     * @param name instance name
+     * @param inner the application-facing channel this replayer drives
+     * @param decoder source of the pair sequence
+     * @param coordinator shared vector-clock state
+     * @param chan_index this channel's index in the boundary
+     */
+    ChannelReplayer(const std::string &name, ChannelBase &inner,
+                    TraceDecoder &decoder, ReplayCoordinator &coordinator,
+                    size_t chan_index);
+
+    /** True when every consumed pair has been fully replayed. */
+    bool idle() const;
+
+    /** Transactions this replayer released that have completed. */
+    uint64_t completedTransactions() const { return completed_; }
+
+    void eval() override;
+    void tick() override;
+    void reset() override;
+
+  private:
+    ChannelBase &inner_;
+    TraceDecoder &decoder_;
+    ReplayCoordinator &coordinator_;
+    size_t chan_index_;
+    bool is_input_;
+
+    /// Input side: a start has been released and awaits its handshake.
+    bool presenting_ = false;
+    uint8_t present_buf_[kMaxPayloadBytes] = {};
+
+    /// Output side: end events released but not yet fired.
+    uint64_t pending_ends_ = 0;
+
+    VectorClock t_expected_;
+    uint64_t completed_ = 0;
+};
+
+} // namespace vidi
+
+#endif // VIDI_REPLAY_CHANNEL_REPLAYER_H

@@ -1,0 +1,65 @@
+#include "replay/replay_coordinator.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+ReplayCoordinator::ReplayCoordinator(const std::string &name, TraceMeta meta,
+                                     std::vector<ChannelBase *>
+                                         inner_channels,
+                                     bool record_validation)
+    : Module(name), meta_(std::move(meta)), inner_(std::move(inner_channels)),
+      record_validation_(record_validation),
+      t_current_(meta_.channelCount()), inflight_(meta_.channelCount(),
+                                                  false)
+{
+    if (inner_.size() != meta_.channelCount())
+        fatal("ReplayCoordinator %s: %zu channels but metadata describes "
+              "%zu", name.c_str(), inner_.size(), meta_.channelCount());
+    validation_.meta = meta_;
+    validation_.meta.record_output_content = true;
+}
+
+void
+ReplayCoordinator::tickLate()
+{
+    CyclePacket pkt;
+    for (size_t i = 0; i < inner_.size(); ++i) {
+        ChannelBase *ch = inner_[i];
+        if (ch->valid() && !inflight_[i]) {
+            inflight_[i] = true;
+            if (meta_.channels[i].input) {
+                pkt.starts = bitvec::set(pkt.starts, i);
+                if (record_validation_) {
+                    std::vector<uint8_t> content(ch->dataBytes());
+                    ch->copyData(content.data());
+                    pkt.start_contents.push_back(std::move(content));
+                }
+            }
+        }
+        if (ch->fired()) {
+            inflight_[i] = false;
+            t_current_.increment(i);
+            ++completions_;
+            pkt.ends = bitvec::set(pkt.ends, i);
+            if (record_validation_ && !meta_.channels[i].input) {
+                std::vector<uint8_t> content(ch->dataBytes());
+                ch->copyData(content.data());
+                pkt.end_contents.push_back(std::move(content));
+            }
+        }
+    }
+    if (record_validation_ && !pkt.empty())
+        validation_.packets.push_back(std::move(pkt));
+}
+
+void
+ReplayCoordinator::reset()
+{
+    t_current_.clear();
+    completions_ = 0;
+    std::fill(inflight_.begin(), inflight_.end(), false);
+    validation_.packets.clear();
+}
+
+} // namespace vidi

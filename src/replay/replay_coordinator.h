@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The replay coordinator.
+ *
+ * Implements the completion broadcast of §3.5: whenever a transaction
+ * completes on any channel during replay, every channel replayer's
+ * current vector clock must advance. The coordinator observes the fired
+ * handshakes of all inner channels and maintains the shared T_current
+ * the replayers compare against.
+ *
+ * When divergence detection is enabled (§3.6, configuration R3), the
+ * coordinator simultaneously records the replayed execution as a
+ * *validation trace*: the ordering of all transaction events plus the
+ * content of completing output transactions, ready to be diffed against
+ * the reference trace.
+ */
+
+#ifndef VIDI_REPLAY_REPLAY_COORDINATOR_H
+#define VIDI_REPLAY_REPLAY_COORDINATOR_H
+
+#include <vector>
+
+#include "channel/channel.h"
+#include "replay/vector_clock.h"
+#include "sim/module.h"
+#include "trace/trace.h"
+
+namespace vidi {
+
+/**
+ * Shared vector-clock state and validation recording for a replay.
+ */
+class ReplayCoordinator : public Module
+{
+  public:
+    /**
+     * @param name instance name
+     * @param meta boundary description (channel order must match
+     *        @p inner_channels)
+     * @param inner_channels the application-facing channels, in boundary
+     *        order
+     * @param record_validation build a validation trace while replaying
+     */
+    ReplayCoordinator(const std::string &name, TraceMeta meta,
+                      std::vector<ChannelBase *> inner_channels,
+                      bool record_validation);
+
+    /** The shared T_current all replayers compare against. */
+    const VectorClock &current() const { return t_current_; }
+
+    /** Total completed transactions observed during this replay. */
+    uint64_t completions() const { return completions_; }
+
+    /** The validation trace recorded so far (R3 mode). */
+    const Trace &validationTrace() const { return validation_; }
+
+    void tickLate() override;
+    void reset() override;
+
+  private:
+    TraceMeta meta_;
+    std::vector<ChannelBase *> inner_;
+    bool record_validation_;
+
+    VectorClock t_current_;
+    uint64_t completions_ = 0;
+
+    /** Per-channel "a handshake is in progress" state for start events. */
+    std::vector<bool> inflight_;
+
+    Trace validation_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_REPLAY_REPLAY_COORDINATOR_H

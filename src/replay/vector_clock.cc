@@ -1,0 +1,18 @@
+#include "replay/vector_clock.h"
+
+namespace vidi {
+
+std::string
+VectorClock::toString() const
+{
+    std::string s = "<";
+    for (size_t i = 0; i < channels_; ++i) {
+        if (i > 0)
+            s += ",";
+        s += std::to_string(counts_[i]);
+    }
+    s += ">";
+    return s;
+}
+
+} // namespace vidi

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Vector clocks over channel transaction counts (§3.5 of the paper).
+ *
+ * Vidi associates a logical timestamp ⟨t1 … tn⟩ with every transaction
+ * event, where ti counts completed transactions on the i-th channel.
+ * Channel replayers compare such timestamps pointwise to decide when the
+ * happens-before constraints of the next recorded event are satisfied.
+ */
+
+#ifndef VIDI_REPLAY_VECTOR_CLOCK_H
+#define VIDI_REPLAY_VECTOR_CLOCK_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "trace/bitvec.h"
+
+namespace vidi {
+
+/**
+ * A per-channel transaction-count vector.
+ */
+class VectorClock
+{
+  public:
+    explicit VectorClock(size_t channels = 0) : channels_(channels) {}
+
+    size_t channels() const { return channels_; }
+
+    uint64_t
+    operator[](size_t i) const
+    {
+        return counts_[i];
+    }
+
+    /** Increment channel @p i (a transaction completed there). */
+    void
+    increment(size_t i)
+    {
+        ++counts_[i];
+    }
+
+    /** Increment every channel whose bit is set in @p ends. */
+    void
+    addEnds(uint64_t ends)
+    {
+        bitvec::forEach(ends, [&](size_t i) { ++counts_[i]; });
+    }
+
+    /**
+     * Pointwise ≥: true iff this clock dominates @p other on every
+     * channel (the paper's T_current ≥ T_expected test).
+     */
+    bool
+    dominates(const VectorClock &other) const
+    {
+        for (size_t i = 0; i < channels_; ++i) {
+            if (counts_[i] < other.counts_[i])
+                return false;
+        }
+        return true;
+    }
+
+    void
+    clear()
+    {
+        counts_.fill(0);
+    }
+
+    /** Human-readable form for divergence reports. */
+    std::string toString() const;
+
+    bool operator==(const VectorClock &) const = default;
+
+  private:
+    size_t channels_;
+    std::array<uint64_t, kMaxChannels> counts_{};
+};
+
+} // namespace vidi
+
+#endif // VIDI_REPLAY_VECTOR_CLOCK_H

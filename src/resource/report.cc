@@ -1,0 +1,99 @@
+#include "resource/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace vidi {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::toString() const
+{
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto render = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &c = i < cells.size() ? cells[i] : "";
+            line += c;
+            if (i + 1 < widths.size())
+                line += std::string(widths[i] - c.size() + 2, ' ');
+        }
+        line += "\n";
+        return line;
+    };
+
+    std::string out;
+    if (!header_.empty()) {
+        out += render(header_);
+        size_t total = 0;
+        for (const size_t w : widths)
+            total += w + 2;
+        out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+    }
+    for (const auto &r : rows_)
+        out += render(r);
+    return out;
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::bytes(double v)
+{
+    const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    int u = 0;
+    while (v >= 1024.0 && u < 4) {
+        v /= 1024.0;
+        ++u;
+    }
+    return num(v, u == 0 ? 0 : (v < 10 ? 2 : 1)) + " " + units[u];
+}
+
+std::string
+TextTable::factor(double v)
+{
+    // Group thousands for readability, matching Table 1's style.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f", std::round(v));
+    std::string digits = buf;
+    std::string grouped;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count > 0 && count % 3 == 0)
+            grouped += ',';
+        grouped += *it;
+        ++count;
+    }
+    std::reverse(grouped.begin(), grouped.end());
+    return grouped + "x";
+}
+
+} // namespace vidi

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table formatting for experiment reports.
+ *
+ * The benches print the paper's tables and figure series as aligned
+ * text; TextTable keeps the formatting in one place.
+ */
+
+#ifndef VIDI_RESOURCE_REPORT_H
+#define VIDI_RESOURCE_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace vidi {
+
+/**
+ * A simple column-aligned text table.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with column alignment and a header separator. */
+    std::string toString() const;
+
+    /** Format a double with @p decimals places. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format a byte count with a binary-ish unit (B/KB/MB/GB). */
+    static std::string bytes(double v);
+
+    /** Format a multiplier like "1,439x". */
+    static std::string factor(double v);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_RESOURCE_REPORT_H

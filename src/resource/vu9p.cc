@@ -1,0 +1,4 @@
+#include "resource/vu9p.h"
+
+// Capacities are header-only constants; this translation unit verifies
+// that the header is self-contained.

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Resource capacities of the AWS F1 FPGA (Xilinx Virtex UltraScale+
+ * VU9P) as afforded to an accelerator.
+ *
+ * Table 2 and Fig. 7 of the paper report Vidi's overhead "normalized to
+ * the resource utilization afforded to each accelerator on AWS F1",
+ * i.e. the device capacity left after the F1 shell. The constants below
+ * are the VU9P device totals scaled by the shell's published footprint.
+ */
+
+#ifndef VIDI_RESOURCE_VU9P_H
+#define VIDI_RESOURCE_VU9P_H
+
+namespace vidi {
+
+/**
+ * Capacity afforded to an F1 accelerator.
+ */
+struct Vu9pCapacity
+{
+    /** 6-input LUTs available to user logic. */
+    static constexpr double kLut = 895'000;
+    /** Flip-flops available to user logic. */
+    static constexpr double kFf = 1'790'000;
+    /** BRAM36 blocks available to user logic. */
+    static constexpr double kBram36 = 1'680;
+
+    /** Bits per BRAM36 block. */
+    static constexpr double kBram36Bits = 36864.0;
+
+    /**
+     * Total on-chip memory in bytes usable as a trace buffer (BRAM plus
+     * URAM); the §6 analysis uses the paper's 43 MB figure.
+     */
+    static constexpr double kOnChipMemBytes = 43e6;
+};
+
+} // namespace vidi
+
+#endif // VIDI_RESOURCE_VU9P_H

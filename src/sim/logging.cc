@@ -1,0 +1,47 @@
+#include "sim/logging.h"
+
+#include <cstdarg>
+#include <vector>
+
+namespace vidi {
+
+namespace detail {
+
+std::string
+vformat(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+} // namespace detail
+
+namespace {
+bool g_quiet = false;
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    g_quiet = quiet;
+}
+
+bool
+logQuiet()
+{
+    return g_quiet;
+}
+
+} // namespace vidi

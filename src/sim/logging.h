@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers for the Vidi simulation
+ * substrate, following the gem5 fatal/panic/warn/inform conventions.
+ *
+ * panic() is for internal invariant violations (a bug in the simulator or
+ * in Vidi itself); fatal() is for conditions caused by the user (bad
+ * configuration, malformed trace files). Both raise exceptions rather than
+ * aborting so that library users and tests can observe and recover from
+ * them. warn()/inform() emit status messages and never stop execution.
+ */
+
+#ifndef VIDI_SIM_LOGGING_H
+#define VIDI_SIM_LOGGING_H
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace vidi {
+
+/** Raised by panic(): an internal invariant was violated (simulator bug). */
+class SimPanic : public std::logic_error
+{
+  public:
+    explicit SimPanic(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Raised by fatal(): the user supplied an invalid configuration/input. */
+class SimFatal : public std::runtime_error
+{
+  public:
+    explicit SimFatal(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and raise SimPanic.
+ *
+ * @param fmt printf-style format string followed by its arguments.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args &&...args)
+{
+    throw SimPanic(detail::vformat(fmt, std::forward<Args>(args)...));
+}
+
+/**
+ * Report a user-caused error and raise SimFatal.
+ *
+ * @param fmt printf-style format string followed by its arguments.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args &&...args)
+{
+    throw SimFatal(detail::vformat(fmt, std::forward<Args>(args)...));
+}
+
+/** Global verbosity switch for warn()/inform() output. */
+void setLogQuiet(bool quiet);
+bool logQuiet();
+
+/** Emit a warning: something may not behave as the user expects. */
+template <typename... Args>
+void
+warn(const char *fmt, Args &&...args)
+{
+    if (!logQuiet()) {
+        std::fputs(
+            ("warn: " + detail::vformat(fmt, std::forward<Args>(args)...) +
+             "\n").c_str(),
+            stderr);
+    }
+}
+
+/** Emit an informational status message. */
+template <typename... Args>
+void
+inform(const char *fmt, Args &&...args)
+{
+    if (!logQuiet()) {
+        std::fputs(
+            ("info: " + detail::vformat(fmt, std::forward<Args>(args)...) +
+             "\n").c_str(),
+            stderr);
+    }
+}
+
+} // namespace vidi
+
+#endif // VIDI_SIM_LOGGING_H

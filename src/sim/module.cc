@@ -1,0 +1,9 @@
+#include "sim/module.h"
+
+namespace vidi {
+
+Module::Module(std::string name) : name_(std::move(name)) {}
+
+Module::~Module() = default;
+
+} // namespace vidi

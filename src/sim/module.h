@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Base class for all simulated hardware modules.
+ *
+ * The kernel models synchronous digital logic with a two-phase clock:
+ *
+ *  1. Combinational settling: every module's eval() is called repeatedly
+ *     (in registration order) until no channel signal changes. eval() must
+ *     be a pure function of the module's registered state and of the
+ *     current channel signal values: it drives output signals and must be
+ *     idempotent within a cycle. This supports Mealy-style pass-through
+ *     logic (e.g. a channel monitor forwarding VALID/READY combinationally)
+ *     and detects combinational loops.
+ *
+ *  2. Sequential update: after settling, every channel latches its
+ *     handshake (fired = VALID && READY), then every module's tick() runs
+ *     (observe fired handshakes, update registered state), then every
+ *     module's tickLate() runs. tickLate() exists for aggregators such as
+ *     the trace encoder and the replay coordinator that must observe events
+ *     pushed to them by other modules' tick() in the *same* cycle.
+ */
+
+#ifndef VIDI_SIM_MODULE_H
+#define VIDI_SIM_MODULE_H
+
+#include <string>
+
+namespace vidi {
+
+class Simulator;
+
+/**
+ * A named, clocked hardware module.
+ *
+ * Modules are owned by the Simulator that created them and are evaluated
+ * every cycle in creation order.
+ */
+class Module
+{
+  public:
+    explicit Module(std::string name);
+    virtual ~Module();
+
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    /** Hierarchical instance name, for diagnostics. */
+    const std::string &name() const { return name_; }
+
+    /**
+     * Drive output signals from registered state and current inputs.
+     *
+     * Called one or more times per cycle until signals settle; must be
+     * idempotent and must not modify registered state.
+     */
+    virtual void eval() {}
+
+    /** Observe fired handshakes and update registered state. */
+    virtual void tick() {}
+
+    /** Late sequential phase; runs after every module's tick(). */
+    virtual void tickLate() {}
+
+    /** Return the module to its power-on state. */
+    virtual void reset() {}
+
+  private:
+    std::string name_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_SIM_MODULE_H

@@ -1,0 +1,78 @@
+#include "sim/random.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+SimRandom::SimRandom(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+uint64_t
+SimRandom::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+SimRandom::below(uint64_t bound)
+{
+    if (bound == 0)
+        panic("SimRandom::below called with bound 0");
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // bounds used in simulation (all << 2^64).
+    return next() % bound;
+}
+
+uint64_t
+SimRandom::range(uint64_t lo, uint64_t hi)
+{
+    if (lo > hi)
+        panic("SimRandom::range called with lo > hi");
+    return lo + below(hi - lo + 1);
+}
+
+bool
+SimRandom::chance(uint64_t numer, uint64_t denom)
+{
+    return below(denom) < numer;
+}
+
+SimRandom
+SimRandom::fork()
+{
+    return SimRandom(next() ^ 0xd1b54a32d192ed03ull);
+}
+
+} // namespace vidi

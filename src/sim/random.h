@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulation
+ * substrate.
+ *
+ * All nondeterminism in a simulated execution (host timing jitter, DMA
+ * scheduling, polling intervals) is derived from SimRandom streams seeded
+ * explicitly by the experiment harness. Two runs with the same seeds are
+ * bit-identical; runs with different seeds model distinct "wallclock"
+ * executions of the same application, which is the nondeterminism that
+ * Vidi records and replays.
+ */
+
+#ifndef VIDI_SIM_RANDOM_H
+#define VIDI_SIM_RANDOM_H
+
+#include <cstdint>
+
+namespace vidi {
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256**).
+ *
+ * We implement the generator ourselves instead of using std::mt19937 so
+ * that streams are cheap to construct per-module and the sequence is
+ * stable across standard library implementations.
+ */
+class SimRandom
+{
+  public:
+    /** Construct a stream from a 64-bit seed (SplitMix64 expansion). */
+    explicit SimRandom(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    uint64_t range(uint64_t lo, uint64_t hi);
+
+    /** Bernoulli trial with probability numer/denom. */
+    bool chance(uint64_t numer, uint64_t denom);
+
+    /** Fork a decorrelated child stream (e.g. one per module). */
+    SimRandom fork();
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace vidi
+
+#endif // VIDI_SIM_RANDOM_H

@@ -1,0 +1,92 @@
+#include "sim/simulator.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::step()
+{
+    // Combinational settling: evaluate all modules until no channel signal
+    // changes across a full pass.
+    unsigned iters = 0;
+    while (true) {
+        for (auto &ch : channels_)
+            ch->clearDirty();
+        for (auto &m : modules_)
+            m->eval();
+        ++total_eval_passes_;
+        bool changed = false;
+        for (auto &ch : channels_) {
+            if (ch->dirty()) {
+                changed = true;
+                break;
+            }
+        }
+        if (!changed)
+            break;
+        if (++iters >= max_eval_iterations_) {
+            std::string culprits;
+            for (auto &ch : channels_) {
+                if (ch->dirty()) {
+                    if (!culprits.empty())
+                        culprits += ", ";
+                    culprits += ch->name();
+                }
+            }
+            panic("combinational loop detected at cycle %llu "
+                  "(unsettled channels: %s)",
+                  static_cast<unsigned long long>(cycle_), culprits.c_str());
+        }
+    }
+
+    // Sequential phase.
+    for (auto &ch : channels_)
+        ch->latch(cycle_);
+    for (auto &m : modules_)
+        m->tick();
+    for (auto &m : modules_)
+        m->tickLate();
+    for (auto &ch : channels_)
+        ch->postTick();
+    ++cycle_;
+}
+
+bool
+Simulator::run(uint64_t max_cycles)
+{
+    for (uint64_t i = 0; i < max_cycles; ++i) {
+        if (stop_requested_)
+            return true;
+        step();
+    }
+    return stop_requested_;
+}
+
+void
+Simulator::reset()
+{
+    cycle_ = 0;
+    stop_requested_ = false;
+    total_eval_passes_ = 0;
+    for (auto &ch : channels_)
+        ch->resetState();
+    for (auto &m : modules_)
+        m->reset();
+}
+
+ChannelBase *
+Simulator::findChannel(const std::string &name) const
+{
+    for (auto &ch : channels_) {
+        if (ch->name() == name)
+            return ch.get();
+    }
+    return nullptr;
+}
+
+} // namespace vidi

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The clocked simulation kernel.
+ *
+ * A Simulator owns a set of Modules and ChannelBase instances and advances
+ * them cycle by cycle:
+ *
+ *   per cycle:
+ *     repeat until no channel signal changes (bounded):
+ *         for each module (registration order): eval()
+ *     for each channel: latch handshakes, run protocol checker
+ *     for each module: tick()
+ *     for each module: tickLate()
+ *     for each channel: postTick()
+ *
+ * The bounded combinational-settling loop supports Mealy-style logic (the
+ * channel monitors forward VALID/READY combinationally) and reports
+ * genuine combinational loops as errors.
+ */
+
+#ifndef VIDI_SIM_SIMULATOR_H
+#define VIDI_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "channel/channel.h"
+#include "sim/module.h"
+#include "sim/random.h"
+
+namespace vidi {
+
+/**
+ * Owns and steps a simulated design.
+ */
+class Simulator
+{
+  public:
+    /** @param seed seed for the simulation-wide RNG tree. */
+    explicit Simulator(uint64_t seed = 1);
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /**
+     * Construct a module in place; the simulator owns it.
+     *
+     * @return reference to the constructed module.
+     */
+    template <typename M, typename... Args>
+    M &
+    add(Args &&...args)
+    {
+        auto mod = std::make_unique<M>(std::forward<Args>(args)...);
+        M &ref = *mod;
+        modules_.push_back(std::move(mod));
+        return ref;
+    }
+
+    /**
+     * Construct a typed channel; the simulator owns it.
+     *
+     * @param name diagnostic name
+     * @param width_bits logical protocol width of the payload
+     */
+    template <typename T>
+    Channel<T> &
+    makeChannel(std::string name, unsigned width_bits)
+    {
+        auto ch = std::make_unique<Channel<T>>(std::move(name), width_bits);
+        Channel<T> &ref = *ch;
+        channels_.push_back(std::move(ch));
+        return ref;
+    }
+
+    /** Advance the design by one clock cycle. */
+    void step();
+
+    /**
+     * Run until a module calls requestStop() or @p max_cycles elapse.
+     *
+     * @return true if the run stopped via requestStop(); false if the cycle
+     *         budget was exhausted (a likely deadlock or hang).
+     */
+    bool run(uint64_t max_cycles);
+
+    /** Return all modules and channels to their power-on state. */
+    void reset();
+
+    uint64_t cycle() const { return cycle_; }
+
+    /** Request the end of the current run (typically from a driver). */
+    void requestStop() { stop_requested_ = true; }
+    bool stopRequested() const { return stop_requested_; }
+
+    SimRandom &rng() { return rng_; }
+
+    const std::vector<std::unique_ptr<ChannelBase>> &
+    channels() const
+    {
+        return channels_;
+    }
+
+    /** Find a channel by name; nullptr if absent. */
+    ChannelBase *findChannel(const std::string &name) const;
+
+    /** Cap on combinational settling iterations per cycle. */
+    void setMaxEvalIterations(unsigned n) { max_eval_iterations_ = n; }
+
+    /** Total eval passes executed (settling-cost diagnostic). */
+    uint64_t totalEvalPasses() const { return total_eval_passes_; }
+
+  private:
+    uint64_t cycle_ = 0;
+    bool stop_requested_ = false;
+    unsigned max_eval_iterations_ = 64;
+    uint64_t total_eval_passes_ = 0;
+    SimRandom rng_;
+
+    std::vector<std::unique_ptr<Module>> modules_;
+    std::vector<std::unique_ptr<ChannelBase>> channels_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_SIM_SIMULATOR_H

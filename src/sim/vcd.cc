@@ -1,0 +1,142 @@
+#include "sim/vcd.h"
+
+#include <cinttypes>
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+VcdDumper::VcdDumper(const std::string &name, const std::string &path)
+    : Module(name), path_(path), file_(std::fopen(path.c_str(), "w"))
+{
+    if (file_ == nullptr)
+        fatal("VcdDumper: cannot open %s for writing", path.c_str());
+}
+
+VcdDumper::~VcdDumper()
+{
+    finish();
+}
+
+void
+VcdDumper::finish()
+{
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+std::string
+VcdDumper::idFor(size_t index)
+{
+    // Printable VCD identifier codes: base-94 over '!'..'~'.
+    std::string id;
+    do {
+        id += static_cast<char>('!' + index % 94);
+        index /= 94;
+    } while (index != 0);
+    return id;
+}
+
+void
+VcdDumper::watch(ChannelBase &channel)
+{
+    if (header_written_)
+        fatal("VcdDumper: watch() after the first cycle");
+    Watched w;
+    w.channel = &channel;
+    const size_t base = watched_.size() * 4;
+    w.id_valid = idFor(base);
+    w.id_ready = idFor(base + 1);
+    w.id_fired = idFor(base + 2);
+    w.id_data = idFor(base + 3);
+    watched_.push_back(std::move(w));
+}
+
+void
+VcdDumper::writeHeader()
+{
+    std::fprintf(file_, "$date vidi simulation $end\n");
+    std::fprintf(file_, "$version vidi VcdDumper $end\n");
+    std::fprintf(file_, "$timescale 4ns $end\n");  // 250 MHz cycles
+    std::fprintf(file_, "$scope module vidi $end\n");
+    for (const auto &w : watched_) {
+        std::string base = w.channel->name();
+        for (auto &c : base) {
+            if (c == '.' || c == ' ')
+                c = '_';
+        }
+        std::fprintf(file_, "$var wire 1 %s %s_valid $end\n",
+                     w.id_valid.c_str(), base.c_str());
+        std::fprintf(file_, "$var wire 1 %s %s_ready $end\n",
+                     w.id_ready.c_str(), base.c_str());
+        std::fprintf(file_, "$var wire 1 %s %s_fired $end\n",
+                     w.id_fired.c_str(), base.c_str());
+        const unsigned bits =
+            std::min<unsigned>(64, w.channel->widthBits());
+        std::fprintf(file_, "$var wire %u %s %s_data $end\n", bits,
+                     w.id_data.c_str(), base.c_str());
+    }
+    std::fprintf(file_, "$upscope $end\n$enddefinitions $end\n");
+    header_written_ = true;
+}
+
+void
+VcdDumper::tickLate()
+{
+    if (file_ == nullptr)
+        return;
+    if (!header_written_)
+        writeHeader();
+
+    bool time_stamped = false;
+    auto stamp = [&]() {
+        if (!time_stamped) {
+            std::fprintf(file_, "#%" PRIu64 "\n", time_);
+            time_stamped = true;
+        }
+    };
+
+    for (auto &w : watched_) {
+        const int valid = w.channel->valid() ? 1 : 0;
+        const int ready = w.channel->ready() ? 1 : 0;
+        const int fired = w.channel->fired() ? 1 : 0;
+        uint8_t buf[kMaxPayloadBytes] = {};
+        w.channel->copyData(buf);
+        uint64_t data = 0;
+        std::memcpy(&data, buf,
+                    std::min<size_t>(8, w.channel->dataBytes()));
+
+        if (valid != w.valid) {
+            stamp();
+            std::fprintf(file_, "%d%s\n", valid, w.id_valid.c_str());
+            w.valid = valid;
+        }
+        if (ready != w.ready) {
+            stamp();
+            std::fprintf(file_, "%d%s\n", ready, w.id_ready.c_str());
+            w.ready = ready;
+        }
+        if (fired != w.fired) {
+            stamp();
+            std::fprintf(file_, "%d%s\n", fired, w.id_fired.c_str());
+            w.fired = fired;
+        }
+        if (!w.data_known || data != w.data) {
+            stamp();
+            const unsigned bits =
+                std::min<unsigned>(64, w.channel->widthBits());
+            std::string bin;
+            for (int b = static_cast<int>(bits) - 1; b >= 0; --b)
+                bin += ((data >> b) & 1) ? '1' : '0';
+            std::fprintf(file_, "b%s %s\n", bin.c_str(),
+                         w.id_data.c_str());
+            w.data = data;
+            w.data_known = true;
+        }
+    }
+    ++time_;
+}
+
+} // namespace vidi

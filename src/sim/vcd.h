@@ -1,0 +1,79 @@
+/**
+ * @file
+ * VCD waveform dumping for simulated channels.
+ *
+ * The paper positions Vidi next to waveform-producing simulators (§7);
+ * for debugging the substrate itself (and for illustrating Fig. 1-style
+ * handshakes), VcdDumper samples watched channels every cycle and emits
+ * a standard Value Change Dump file readable by GTKWave & friends. Each
+ * watched channel contributes VALID, READY, a fired marker and up to 64
+ * payload bits.
+ */
+
+#ifndef VIDI_SIM_VCD_H
+#define VIDI_SIM_VCD_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/channel.h"
+#include "sim/module.h"
+
+namespace vidi {
+
+/**
+ * Samples channels each cycle into a VCD file.
+ */
+class VcdDumper : public Module
+{
+  public:
+    /**
+     * @param name instance name
+     * @param path output file path
+     *
+     * @throws SimFatal if the file cannot be opened.
+     */
+    VcdDumper(const std::string &name, const std::string &path);
+    ~VcdDumper() override;
+
+    /**
+     * Add a channel to the dump; must be called before the first cycle.
+     */
+    void watch(ChannelBase &channel);
+
+    /** Flush and close the file (also happens on destruction). */
+    void finish();
+
+    void tickLate() override;
+
+  private:
+    struct Watched
+    {
+        ChannelBase *channel;
+        std::string id_valid;
+        std::string id_ready;
+        std::string id_fired;
+        std::string id_data;
+        // Last emitted values, to dump changes only.
+        int valid = -1;
+        int ready = -1;
+        int fired = -1;
+        uint64_t data = 0;
+        bool data_known = false;
+    };
+
+    void writeHeader();
+    static std::string idFor(size_t index);
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    bool header_written_ = false;
+    uint64_t time_ = 0;
+    std::vector<Watched> watched_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_SIM_VCD_H

@@ -1,0 +1,23 @@
+#include "trace/bitvec.h"
+
+namespace vidi {
+namespace bitvec {
+
+void
+store(uint64_t bits, uint8_t *dst, size_t nbytes)
+{
+    for (size_t i = 0; i < nbytes; ++i)
+        dst[i] = static_cast<uint8_t>(bits >> (8 * i));
+}
+
+uint64_t
+load(const uint8_t *src, size_t nbytes)
+{
+    uint64_t bits = 0;
+    for (size_t i = 0; i < nbytes; ++i)
+        bits |= static_cast<uint64_t>(src[i]) << (8 * i);
+    return bits;
+}
+
+} // namespace bitvec
+} // namespace vidi

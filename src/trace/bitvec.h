@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fixed-width bit-vector helpers for cycle packets.
+ *
+ * A Vidi deployment monitors at most 64 channels (F1 uses 25), so the
+ * Starts/Ends bit-vectors of a cycle packet fit in a uint64_t. These
+ * helpers keep the bit-twiddling in one place.
+ */
+
+#ifndef VIDI_TRACE_BITVEC_H
+#define VIDI_TRACE_BITVEC_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace vidi {
+
+/** Maximum number of channels a single Vidi instance can monitor. */
+inline constexpr size_t kMaxChannels = 64;
+
+namespace bitvec {
+
+inline bool
+test(uint64_t bits, size_t i)
+{
+    return (bits >> i) & 1u;
+}
+
+inline uint64_t
+set(uint64_t bits, size_t i)
+{
+    return bits | (1ull << i);
+}
+
+inline unsigned
+count(uint64_t bits)
+{
+    return static_cast<unsigned>(std::popcount(bits));
+}
+
+/** Invoke @p fn(size_t index) for each set bit, ascending. */
+template <typename Fn>
+void
+forEach(uint64_t bits, Fn &&fn)
+{
+    while (bits != 0) {
+        const size_t i = static_cast<size_t>(std::countr_zero(bits));
+        fn(i);
+        bits &= bits - 1;
+    }
+}
+
+/** Serialize the low @p nbytes bytes of @p bits, little-endian. */
+void store(uint64_t bits, uint8_t *dst, size_t nbytes);
+
+/** Deserialize @p nbytes little-endian bytes into a bit-vector. */
+uint64_t load(const uint8_t *src, size_t nbytes);
+
+} // namespace bitvec
+
+} // namespace vidi
+
+#endif // VIDI_TRACE_BITVEC_H

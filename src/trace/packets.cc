@@ -1,0 +1,118 @@
+#include "trace/packets.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+namespace {
+
+/** Bytes of start content a packet carries (sum of starting inputs). */
+size_t
+startContentBytes(const TraceMeta &meta, uint64_t starts)
+{
+    size_t n = 0;
+    bitvec::forEach(starts, [&](size_t i) {
+        n += meta.channels[i].data_bytes;
+    });
+    return n;
+}
+
+/** Bytes of end content a packet carries (completing outputs). */
+size_t
+endContentBytes(const TraceMeta &meta, uint64_t ends)
+{
+    if (!meta.record_output_content)
+        return 0;
+    size_t n = 0;
+    bitvec::forEach(ends, [&](size_t i) {
+        if (!meta.channels[i].input)
+            n += meta.channels[i].data_bytes;
+    });
+    return n;
+}
+
+} // namespace
+
+size_t
+packetBytes(const TraceMeta &meta, const CyclePacket &pkt)
+{
+    return 2 * meta.bitvecBytes() + startContentBytes(meta, pkt.starts) +
+           endContentBytes(meta, pkt.ends);
+}
+
+void
+serializePacket(const TraceMeta &meta, const CyclePacket &pkt,
+                std::vector<uint8_t> &out)
+{
+    const size_t bv = meta.bitvecBytes();
+    const size_t base = out.size();
+    out.resize(base + 2 * bv);
+    bitvec::store(pkt.starts, out.data() + base, bv);
+    bitvec::store(pkt.ends, out.data() + base + bv, bv);
+
+    size_t ci = 0;
+    bitvec::forEach(pkt.starts, [&](size_t i) {
+        if (ci >= pkt.start_contents.size())
+            panic("serializePacket: missing start content for channel %zu",
+                  i);
+        const auto &c = pkt.start_contents[ci++];
+        if (c.size() != meta.channels[i].data_bytes)
+            panic("serializePacket: channel %zu content size %zu != %u",
+                  i, c.size(), meta.channels[i].data_bytes);
+        out.insert(out.end(), c.begin(), c.end());
+    });
+
+    if (meta.record_output_content) {
+        size_t ei = 0;
+        bitvec::forEach(pkt.ends, [&](size_t i) {
+            if (meta.channels[i].input)
+                return;
+            if (ei >= pkt.end_contents.size())
+                panic("serializePacket: missing end content for channel "
+                      "%zu", i);
+            const auto &c = pkt.end_contents[ei++];
+            if (c.size() != meta.channels[i].data_bytes)
+                panic("serializePacket: channel %zu end content size %zu "
+                      "!= %u", i, c.size(), meta.channels[i].data_bytes);
+            out.insert(out.end(), c.begin(), c.end());
+        });
+    }
+}
+
+size_t
+parsePacket(const TraceMeta &meta, const uint8_t *data, size_t len,
+            CyclePacket &out)
+{
+    const size_t bv = meta.bitvecBytes();
+    if (len < 2 * bv)
+        return 0;
+    out = CyclePacket{};
+    out.starts = bitvec::load(data, bv);
+    out.ends = bitvec::load(data + bv, bv);
+
+    const size_t total = 2 * bv + startContentBytes(meta, out.starts) +
+                         endContentBytes(meta, out.ends);
+    if (len < total)
+        return 0;
+
+    size_t off = 2 * bv;
+    bitvec::forEach(out.starts, [&](size_t i) {
+        const size_t n = meta.channels[i].data_bytes;
+        out.start_contents.emplace_back(data + off, data + off + n);
+        off += n;
+    });
+    if (meta.record_output_content) {
+        bitvec::forEach(out.ends, [&](size_t i) {
+            if (meta.channels[i].input)
+                return;
+            const size_t n = meta.channels[i].data_bytes;
+            out.end_contents.emplace_back(data + off, data + off + n);
+            off += n;
+        });
+    }
+    if (off != total)
+        panic("parsePacket: consumed %zu bytes, expected %zu", off, total);
+    return total;
+}
+
+} // namespace vidi

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Vidi's packet formats (§3.1, §3.2 of the paper).
+ *
+ * Channel monitors emit *channel packets* — (Start?, Content?, End?)
+ * triples describing what happened on one channel in one cycle. The
+ * trace encoder merges the channel packets of a cycle into a *cycle
+ * packet*: two bit-vectors (Starts over channels that began a handshake,
+ * Ends over channels that completed one) plus the concatenated Content
+ * of every starting input channel. When divergence detection is enabled
+ * (§3.6), cycle packets additionally carry the content of completing
+ * output transactions.
+ *
+ * Vidi deliberately records no physical timestamps (§6): cycle packets
+ * are ordered but not timed, and cycles with no events produce no packet
+ * at all — this is the source of the coarse-grained trace-size reduction
+ * of Table 1.
+ */
+
+#ifndef VIDI_TRACE_PACKETS_H
+#define VIDI_TRACE_PACKETS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/bitvec.h"
+
+namespace vidi {
+
+/** Static description of one monitored channel. */
+struct TraceChannelInfo
+{
+    std::string name;      ///< diagnostic channel name
+    bool input = false;    ///< FPGA application is the receiver
+    uint32_t data_bytes = 0;  ///< serialized payload size
+    uint32_t width_bits = 0;  ///< logical wire width (Table 1 comparison)
+
+    bool operator==(const TraceChannelInfo &) const = default;
+};
+
+/** Static description of a recorded boundary; shared by both trace ends. */
+struct TraceMeta
+{
+    std::vector<TraceChannelInfo> channels;
+    /** Record the content of output transactions (divergence detection). */
+    bool record_output_content = false;
+
+    size_t channelCount() const { return channels.size(); }
+    /** Bytes each Starts/Ends bit-vector occupies when serialized. */
+    size_t bitvecBytes() const { return (channels.size() + 7) / 8; }
+
+    bool operator==(const TraceMeta &) const = default;
+};
+
+/** One encoded cycle of boundary activity. */
+struct CyclePacket
+{
+    uint64_t starts = 0;  ///< bit i: channel i began a handshake
+    uint64_t ends = 0;    ///< bit i: channel i completed a handshake
+
+    /** Content of each starting input channel, ascending channel index. */
+    std::vector<std::vector<uint8_t>> start_contents;
+
+    /**
+     * Content of each completing *output* channel, ascending channel
+     * index; only populated when TraceMeta::record_output_content.
+     */
+    std::vector<std::vector<uint8_t>> end_contents;
+
+    bool empty() const { return starts == 0 && ends == 0; }
+
+    bool operator==(const CyclePacket &) const = default;
+};
+
+/**
+ * Serialized size of @p pkt under @p meta, in bytes.
+ */
+size_t packetBytes(const TraceMeta &meta, const CyclePacket &pkt);
+
+/**
+ * Append the serialization of @p pkt to @p out.
+ */
+void serializePacket(const TraceMeta &meta, const CyclePacket &pkt,
+                     std::vector<uint8_t> &out);
+
+/**
+ * Parse one cycle packet from @p data.
+ *
+ * @param meta boundary description
+ * @param data input bytes
+ * @param len available bytes
+ * @param out parsed packet
+ * @return bytes consumed, or 0 if @p len holds less than a full packet
+ */
+size_t parsePacket(const TraceMeta &meta, const uint8_t *data, size_t len,
+                   CyclePacket &out);
+
+} // namespace vidi
+
+#endif // VIDI_TRACE_PACKETS_H

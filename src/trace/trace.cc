@@ -1,0 +1,121 @@
+#include "trace/trace.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+uint64_t
+Trace::serializedBytes() const
+{
+    uint64_t n = 0;
+    for (const auto &pkt : packets)
+        n += packetBytes(meta, pkt);
+    return n;
+}
+
+std::vector<uint8_t>
+Trace::serialize() const
+{
+    std::vector<uint8_t> out;
+    out.reserve(serializedBytes());
+    for (const auto &pkt : packets)
+        serializePacket(meta, pkt, out);
+    return out;
+}
+
+Trace
+Trace::fromBytes(const TraceMeta &meta, const uint8_t *data, size_t len)
+{
+    Trace t;
+    t.meta = meta;
+    size_t off = 0;
+    while (off < len) {
+        CyclePacket pkt;
+        const size_t consumed = parsePacket(meta, data + off, len - off,
+                                            pkt);
+        if (consumed == 0)
+            fatal("Trace::fromBytes: truncated packet at offset %zu", off);
+        t.packets.push_back(std::move(pkt));
+        off += consumed;
+    }
+    return t;
+}
+
+uint64_t
+Trace::startCount(size_t chan) const
+{
+    uint64_t n = 0;
+    for (const auto &pkt : packets)
+        n += bitvec::test(pkt.starts, chan) ? 1 : 0;
+    return n;
+}
+
+uint64_t
+Trace::endCount(size_t chan) const
+{
+    uint64_t n = 0;
+    for (const auto &pkt : packets)
+        n += bitvec::test(pkt.ends, chan) ? 1 : 0;
+    return n;
+}
+
+uint64_t
+Trace::totalTransactions() const
+{
+    uint64_t n = 0;
+    for (const auto &pkt : packets)
+        n += bitvec::count(pkt.ends);
+    return n;
+}
+
+std::vector<std::vector<uint8_t>>
+Trace::inputContents(size_t chan) const
+{
+    std::vector<std::vector<uint8_t>> out;
+    for (const auto &pkt : packets) {
+        if (!bitvec::test(pkt.starts, chan))
+            continue;
+        size_t ci = 0;
+        bitvec::forEach(pkt.starts, [&](size_t i) {
+            if (i == chan)
+                out.push_back(pkt.start_contents[ci]);
+            ++ci;
+        });
+    }
+    return out;
+}
+
+std::vector<std::vector<uint8_t>>
+Trace::outputEndContents(size_t chan) const
+{
+    if (!meta.record_output_content)
+        fatal("outputEndContents requires a trace recorded with output "
+              "content (divergence-detection mode)");
+    std::vector<std::vector<uint8_t>> out;
+    for (const auto &pkt : packets) {
+        if (!bitvec::test(pkt.ends, chan))
+            continue;
+        size_t ei = 0;
+        bitvec::forEach(pkt.ends, [&](size_t i) {
+            if (meta.channels[i].input)
+                return;
+            if (i == chan)
+                out.push_back(pkt.end_contents[ei]);
+            ++ei;
+        });
+    }
+    return out;
+}
+
+std::vector<uint64_t>
+Trace::endOrderSignature() const
+{
+    std::vector<uint64_t> sig;
+    for (const auto &pkt : packets) {
+        if (pkt.ends != 0)
+            sig.push_back(pkt.ends);
+    }
+    return sig;
+}
+
+} // namespace vidi

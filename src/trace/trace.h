@@ -1,0 +1,73 @@
+/**
+ * @file
+ * In-memory representation of a recorded Vidi trace.
+ *
+ * A Trace is the decoded form of the byte stream the trace store wrote
+ * to host DRAM: the boundary metadata plus the ordered sequence of cycle
+ * packets. The offline tools (validator §3.6, mutator §5.3) operate on
+ * this representation.
+ */
+
+#ifndef VIDI_TRACE_TRACE_H
+#define VIDI_TRACE_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/packets.h"
+
+namespace vidi {
+
+/**
+ * A recorded execution trace.
+ */
+class Trace
+{
+  public:
+    TraceMeta meta;
+    std::vector<CyclePacket> packets;
+
+    /** Total serialized size in bytes (the paper's "TS" column). */
+    uint64_t serializedBytes() const;
+
+    /** Serialize all packets into one byte stream. */
+    std::vector<uint8_t> serialize() const;
+
+    /**
+     * Decode a byte stream produced by the trace encoder.
+     *
+     * @throws SimFatal if the stream is truncated or malformed.
+     */
+    static Trace fromBytes(const TraceMeta &meta, const uint8_t *data,
+                           size_t len);
+
+    /** Number of recorded start events on channel @p chan. */
+    uint64_t startCount(size_t chan) const;
+
+    /** Number of recorded end events on channel @p chan. */
+    uint64_t endCount(size_t chan) const;
+
+    /** Total end events over all channels (completed transactions). */
+    uint64_t totalTransactions() const;
+
+    /** Contents of input-channel start events on @p chan, in order. */
+    std::vector<std::vector<uint8_t>> inputContents(size_t chan) const;
+
+    /**
+     * Contents of output-channel end events on @p chan, in order.
+     * Requires meta.record_output_content.
+     */
+    std::vector<std::vector<uint8_t>> outputEndContents(size_t chan) const;
+
+    /**
+     * The sequence of non-empty Ends bit-vectors: the happens-before
+     * signature transaction determinism preserves (§3.5).
+     */
+    std::vector<uint64_t> endOrderSignature() const;
+
+    bool operator==(const Trace &) const = default;
+};
+
+} // namespace vidi
+
+#endif // VIDI_TRACE_TRACE_H

@@ -1,0 +1,89 @@
+#include "trace/trace_decoder.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+TraceDecoder::TraceDecoder(const std::string &name, TraceMeta meta,
+                           TraceStore &store, size_t queue_capacity)
+    : Module(name), meta_(std::move(meta)), store_(store),
+      queue_capacity_(queue_capacity), queues_(meta_.channelCount())
+{
+    // Sanity: the peek buffer in tick() must fit any cycle packet.
+    size_t max_pkt = 2 * meta_.bitvecBytes();
+    for (const auto &ch : meta_.channels)
+        max_pkt += 2 * ch.data_bytes;
+    if (max_pkt > 4096)
+        fatal("TraceDecoder: worst-case packet of %zu bytes exceeds the "
+              "4096-byte parse buffer", max_pkt);
+}
+
+bool
+TraceDecoder::queuesHaveSpace() const
+{
+    for (const auto &q : queues_) {
+        if (q.size() >= queue_capacity_)
+            return false;
+    }
+    return true;
+}
+
+bool
+TraceDecoder::finished() const
+{
+    if (!store_.exhausted())
+        return false;
+    for (const auto &q : queues_) {
+        if (!q.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+TraceDecoder::tick()
+{
+    while (queuesHaveSpace()) {
+        uint8_t buf[4096];
+        const size_t n = store_.peek(buf, sizeof(buf));
+        CyclePacket pkt;
+        const size_t consumed = parsePacket(meta_, buf, n, pkt);
+        if (consumed == 0) {
+            if (n > 0 && store_.exhausted())
+                fatal("TraceDecoder(%s): trailing %zu bytes do not form a "
+                      "complete cycle packet", name().c_str(), n);
+            break;
+        }
+        store_.consume(consumed);
+        ++packets_decoded_;
+
+        // Decompose into one ⟨channel packet, Ends⟩ pair per channel.
+        size_t ci = 0;
+        std::vector<size_t> start_content_of(meta_.channelCount(),
+                                             SIZE_MAX);
+        bitvec::forEach(pkt.starts, [&](size_t i) {
+            start_content_of[i] = ci++;
+        });
+        for (size_t i = 0; i < meta_.channelCount(); ++i) {
+            ReplayPair p;
+            p.ends = pkt.ends;
+            if (bitvec::test(pkt.starts, i)) {
+                p.start = true;
+                p.content = pkt.start_contents[start_content_of[i]];
+            }
+            p.end = bitvec::test(pkt.ends, i);
+            queues_[i].push_back(std::move(p));
+        }
+    }
+}
+
+void
+TraceDecoder::reset()
+{
+    for (auto &q : queues_)
+        q.clear();
+    pending_.clear();
+    packets_decoded_ = 0;
+}
+
+} // namespace vidi

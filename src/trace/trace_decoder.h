@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The trace decoder (§3.4 of the paper).
+ *
+ * During replay, the decoder parses the cycle-packet stream arriving from
+ * the trace store and decomposes each cycle packet into one
+ * ⟨channel packet, Ends⟩ pair *per channel replayer* — every replayer
+ * sees every packet's Ends bit-vector, which is what lets it accumulate
+ * its expected vector clock (§3.5). Pairs are delivered through bounded
+ * per-channel queues; when any queue is full the decoder stalls, exactly
+ * as a hardware decoder with finite per-replayer FIFOs would.
+ */
+
+#ifndef VIDI_TRACE_TRACE_DECODER_H
+#define VIDI_TRACE_TRACE_DECODER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/module.h"
+#include "trace/packets.h"
+#include "trace/trace_store.h"
+
+namespace vidi {
+
+/**
+ * One decoded element of a channel replayer's input sequence: the
+ * channel's own events in one recorded cycle plus that cycle's Ends
+ * bit-vector.
+ */
+struct ReplayPair
+{
+    bool start = false;  ///< this channel began a handshake (inputs only)
+    bool end = false;    ///< this channel completed a handshake
+    std::vector<uint8_t> content;  ///< payload for input starts
+    uint64_t ends = 0;   ///< the cycle packet's Ends bit-vector
+};
+
+/**
+ * Streaming cycle-packet parser feeding the channel replayers.
+ */
+class TraceDecoder : public Module
+{
+  public:
+    /**
+     * @param name instance name
+     * @param meta boundary description the trace was recorded with
+     * @param store trace store in replay mode
+     * @param queue_capacity per-replayer pair-queue depth
+     */
+    TraceDecoder(const std::string &name, TraceMeta meta, TraceStore &store,
+                 size_t queue_capacity = 64);
+
+    const TraceMeta &meta() const { return meta_; }
+
+    /** The pair queue feeding channel @p chan's replayer. */
+    std::deque<ReplayPair> &queueFor(size_t chan) { return queues_[chan]; }
+
+    /** True once the trace is fully parsed and all queues drained. */
+    bool finished() const;
+
+    uint64_t packetsDecoded() const { return packets_decoded_; }
+
+    void tick() override;
+    void reset() override;
+
+  private:
+    bool queuesHaveSpace() const;
+
+    TraceMeta meta_;
+    TraceStore &store_;
+    size_t queue_capacity_;
+
+    std::vector<std::deque<ReplayPair>> queues_;
+    std::vector<uint8_t> pending_;  // bytes peeked but not yet parseable
+
+    uint64_t packets_decoded_ = 0;
+};
+
+} // namespace vidi
+
+#endif // VIDI_TRACE_TRACE_DECODER_H

@@ -1,0 +1,157 @@
+#include "trace/trace_encoder.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+TraceEncoder::TraceEncoder(const std::string &name, TraceMeta meta,
+                           TraceStore &store)
+    : Module(name), meta_(std::move(meta)), store_(store),
+      staged_(meta_.channelCount())
+{
+    if (meta_.channelCount() == 0 || meta_.channelCount() > kMaxChannels)
+        fatal("TraceEncoder: %zu channels unsupported (max %zu)",
+              meta_.channelCount(), kMaxChannels);
+}
+
+size_t
+TraceEncoder::startCost(size_t chan) const
+{
+    // Worst case: the start event lands in its own cycle packet.
+    return 2 * meta_.bitvecBytes() + meta_.channels[chan].data_bytes;
+}
+
+size_t
+TraceEncoder::endCost(size_t chan) const
+{
+    size_t cost = 2 * meta_.bitvecBytes();
+    if (meta_.record_output_content && !meta_.channels[chan].input)
+        cost += meta_.channels[chan].data_bytes;
+    return cost;
+}
+
+bool
+TraceEncoder::tryReserve(size_t chan)
+{
+    const bool input = meta_.channels[chan].input;
+    const size_t cost = (input ? startCost(chan) : 0) + endCost(chan);
+    if (store_.spaceBytes() < reserved_bytes_ + cost) {
+        ++reserve_failures_;
+        return false;
+    }
+    reserved_bytes_ += cost;
+    return true;
+}
+
+void
+TraceEncoder::release(size_t chan)
+{
+    const bool input = meta_.channels[chan].input;
+    const size_t cost = (input ? startCost(chan) : 0) + endCost(chan);
+    if (cost > reserved_bytes_)
+        panic("TraceEncoder(%s): releasing %zu bytes with only %zu "
+              "reserved", name().c_str(), cost, reserved_bytes_);
+    reserved_bytes_ -= cost;
+}
+
+size_t
+TraceEncoder::minStoreBytes() const
+{
+    size_t total = 0;
+    size_t max_cost = 0;
+    for (size_t i = 0; i < meta_.channelCount(); ++i) {
+        const bool input = meta_.channels[i].input;
+        const size_t cost = (input ? startCost(i) : 0) + endCost(i);
+        total += cost;
+        max_cost = std::max(max_cost, cost);
+    }
+    return total + 4 * max_cost;
+}
+
+void
+TraceEncoder::noteStart(size_t chan, const uint8_t *content)
+{
+    Staged &s = staged_[chan];
+    if (s.start)
+        panic("TraceEncoder(%s): duplicate start on channel %zu in one "
+              "cycle", name().c_str(), chan);
+    s.start = true;
+    s.start_content.assign(content,
+                           content + meta_.channels[chan].data_bytes);
+    any_staged_ = true;
+}
+
+void
+TraceEncoder::noteEnd(size_t chan, const uint8_t *content)
+{
+    Staged &s = staged_[chan];
+    if (s.end)
+        panic("TraceEncoder(%s): duplicate end on channel %zu in one "
+              "cycle", name().c_str(), chan);
+    s.end = true;
+    if (meta_.record_output_content && !meta_.channels[chan].input) {
+        if (content == nullptr)
+            panic("TraceEncoder(%s): output end on channel %zu requires "
+                  "content in divergence-detection mode",
+                  name().c_str(), chan);
+        s.end_content.assign(content,
+                             content + meta_.channels[chan].data_bytes);
+    }
+    any_staged_ = true;
+}
+
+void
+TraceEncoder::tickLate()
+{
+    if (!any_staged_)
+        return;
+
+    CyclePacket pkt;
+    size_t released = 0;
+    for (size_t i = 0; i < staged_.size(); ++i) {
+        Staged &s = staged_[i];
+        if (s.start) {
+            pkt.starts = bitvec::set(pkt.starts, i);
+            pkt.start_contents.push_back(std::move(s.start_content));
+            released += startCost(i);
+            ++events_logged_;
+        }
+        if (s.end) {
+            pkt.ends = bitvec::set(pkt.ends, i);
+            if (meta_.record_output_content && !meta_.channels[i].input)
+                pkt.end_contents.push_back(std::move(s.end_content));
+            released += endCost(i);
+            ++events_logged_;
+        }
+        s = Staged{};
+    }
+    any_staged_ = false;
+
+    scratch_.clear();
+    serializePacket(meta_, pkt, scratch_);
+    if (scratch_.size() > released)
+        panic("TraceEncoder(%s): packet of %zu bytes exceeds its %zu-byte "
+              "reservation", name().c_str(), scratch_.size(), released);
+    store_.pushBytes(scratch_.data(), scratch_.size());
+    if (released > reserved_bytes_)
+        panic("TraceEncoder(%s): releasing %zu bytes with only %zu "
+              "reserved", name().c_str(), released, reserved_bytes_);
+    reserved_bytes_ -= released;
+    ++packets_emitted_;
+}
+
+void
+TraceEncoder::reset()
+{
+    reserved_bytes_ = 0;
+    for (auto &s : staged_)
+        s = Staged{};
+    any_staged_ = false;
+    packets_emitted_ = 0;
+    events_logged_ = 0;
+    reserve_failures_ = 0;
+}
+
+} // namespace vidi

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The trace encoder (§3.2 of the paper).
+ *
+ * Channel monitors report transaction start/end events to the encoder
+ * during their tick(); in tickLate() the encoder merges every event of
+ * the cycle into one cycle packet (Starts/Ends bit-vectors plus the
+ * contents of starting input transactions) and streams its serialization
+ * into the trace store. Cycles with no events emit nothing — that
+ * omission is the coarse-grained trace-size win of Table 1.
+ *
+ * The encoder also implements the paper's *eager reservation* protocol
+ * (§3.1): before a monitor lets a transaction begin, it reserves enough
+ * trace-store space for both the start and the end event. This
+ * guarantees the end event can be logged in the exact cycle the 3-way
+ * handshake completes, even when the trace store is near capacity, and
+ * turns storage exhaustion into clean back-pressure instead of data
+ * loss.
+ */
+
+#ifndef VIDI_TRACE_TRACE_ENCODER_H
+#define VIDI_TRACE_TRACE_ENCODER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/module.h"
+#include "trace/packets.h"
+#include "trace/trace_store.h"
+
+namespace vidi {
+
+/**
+ * Merges per-channel events into cycle packets.
+ */
+class TraceEncoder : public Module
+{
+  public:
+    TraceEncoder(const std::string &name, TraceMeta meta,
+                 TraceStore &store);
+
+    const TraceMeta &meta() const { return meta_; }
+
+    /**
+     * Eagerly reserve trace-store space for one transaction on channel
+     * @p chan: start + end for an input channel, end (plus content when
+     * divergence detection is on) for an output channel.
+     *
+     * @return false if the store cannot currently guarantee the space
+     *         (the monitor must stall the transaction).
+     */
+    bool tryReserve(size_t chan);
+
+    /**
+     * Return a previously acquired (unused) reservation on channel
+     * @p chan. Channel monitors release surplus pool entries when their
+     * channel goes idle so that a busy channel is never starved of
+     * trace-store space by idle ones.
+     */
+    void release(size_t chan);
+
+    /**
+     * Smallest trace-store FIFO with which every channel can hold one
+     * reservation plus slack for an active burst; smaller stores risk
+     * reservation starvation and are rejected by the shim.
+     */
+    size_t minStoreBytes() const;
+
+    /**
+     * Log a transaction start on input channel @p chan with its content
+     * (meta().channels[chan].data_bytes bytes). Call from tick().
+     */
+    void noteStart(size_t chan, const uint8_t *content);
+
+    /**
+     * Log a transaction end on channel @p chan. For output channels with
+     * divergence detection enabled, @p content must carry the payload;
+     * otherwise it may be null. Call from tick().
+     */
+    void noteEnd(size_t chan, const uint8_t *content);
+
+    void tickLate() override;
+    void reset() override;
+
+    /// @name Statistics
+    /// @{
+    uint64_t packetsEmitted() const { return packets_emitted_; }
+    uint64_t eventsLogged() const { return events_logged_; }
+    /** Reservations denied: cycles of back-pressure toward monitors. */
+    uint64_t reserveFailures() const { return reserve_failures_; }
+    /// @}
+
+  private:
+    size_t startCost(size_t chan) const;
+    size_t endCost(size_t chan) const;
+
+    TraceMeta meta_;
+    TraceStore &store_;
+
+    // Worst-case bytes reserved for events not yet emitted.
+    size_t reserved_bytes_ = 0;
+
+    // Per-channel staging for the current cycle.
+    struct Staged
+    {
+        bool start = false;
+        bool end = false;
+        std::vector<uint8_t> start_content;
+        std::vector<uint8_t> end_content;
+    };
+    std::vector<Staged> staged_;
+    bool any_staged_ = false;
+
+    std::vector<uint8_t> scratch_;
+
+    uint64_t packets_emitted_ = 0;
+    uint64_t events_logged_ = 0;
+    uint64_t reserve_failures_ = 0;
+};
+
+} // namespace vidi
+
+#endif // VIDI_TRACE_TRACE_ENCODER_H

@@ -1,0 +1,117 @@
+#include "trace/trace_file.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "channel/channel.h"
+#include "sim/logging.h"
+
+namespace vidi {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'I', 'D', 'I', 'T', 'R', 'C', '1'};
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void
+writeAll(std::FILE *f, const void *data, size_t len, const std::string &path)
+{
+    if (std::fwrite(data, 1, len, f) != len)
+        fatal("short write to trace file %s", path.c_str());
+}
+
+void
+readAll(std::FILE *f, void *data, size_t len, const std::string &path)
+{
+    if (std::fread(data, 1, len, f) != len)
+        fatal("short read from trace file %s", path.c_str());
+}
+
+template <typename T>
+void
+writePod(std::FILE *f, const T &v, const std::string &path)
+{
+    writeAll(f, &v, sizeof(T), path);
+}
+
+template <typename T>
+T
+readPod(std::FILE *f, const std::string &path)
+{
+    T v{};
+    readAll(f, &v, sizeof(T), path);
+    return v;
+}
+
+} // namespace
+
+void
+saveTrace(const std::string &path, const Trace &trace)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        fatal("cannot open trace file %s for writing", path.c_str());
+
+    writeAll(f.get(), kMagic, sizeof(kMagic), path);
+    writePod<uint32_t>(f.get(),
+                       static_cast<uint32_t>(trace.meta.channelCount()),
+                       path);
+    writePod<uint8_t>(f.get(), trace.meta.record_output_content ? 1 : 0,
+                      path);
+    for (const auto &ch : trace.meta.channels) {
+        writePod<uint16_t>(f.get(), static_cast<uint16_t>(ch.name.size()),
+                           path);
+        writeAll(f.get(), ch.name.data(), ch.name.size(), path);
+        writePod<uint8_t>(f.get(), ch.input ? 1 : 0, path);
+        writePod<uint32_t>(f.get(), ch.data_bytes, path);
+        writePod<uint32_t>(f.get(), ch.width_bits, path);
+    }
+
+    const std::vector<uint8_t> stream = trace.serialize();
+    writePod<uint64_t>(f.get(), stream.size(), path);
+    writeAll(f.get(), stream.data(), stream.size(), path);
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        fatal("cannot open trace file %s for reading", path.c_str());
+
+    char magic[8];
+    readAll(f.get(), magic, sizeof(magic), path);
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("%s is not a Vidi trace file", path.c_str());
+
+    TraceMeta meta;
+    const auto nchan = readPod<uint32_t>(f.get(), path);
+    if (nchan == 0 || nchan > kMaxChannels)
+        fatal("%s: invalid channel count %u", path.c_str(), nchan);
+    meta.record_output_content = readPod<uint8_t>(f.get(), path) != 0;
+    for (uint32_t i = 0; i < nchan; ++i) {
+        TraceChannelInfo ch;
+        const auto name_len = readPod<uint16_t>(f.get(), path);
+        ch.name.resize(name_len);
+        readAll(f.get(), ch.name.data(), name_len, path);
+        ch.input = readPod<uint8_t>(f.get(), path) != 0;
+        ch.data_bytes = readPod<uint32_t>(f.get(), path);
+        ch.width_bits = readPod<uint32_t>(f.get(), path);
+        if (ch.data_bytes > kMaxPayloadBytes)
+            fatal("%s: channel %u payload too large", path.c_str(), i);
+        meta.channels.push_back(std::move(ch));
+    }
+
+    const auto stream_len = readPod<uint64_t>(f.get(), path);
+    std::vector<uint8_t> stream(stream_len);
+    readAll(f.get(), stream.data(), stream.size(), path);
+    return Trace::fromBytes(meta, stream.data(), stream.size());
+}
+
+} // namespace vidi

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * On-disk trace format.
+ *
+ * Mirrors the paper's software runtime (§4.2), which saves the recorded
+ * trace from the host DRAM buffer to disk when the application finishes
+ * and loads it back for replay. The file carries the boundary metadata
+ * followed by the raw cycle-packet stream.
+ */
+
+#ifndef VIDI_TRACE_TRACE_FILE_H
+#define VIDI_TRACE_TRACE_FILE_H
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace vidi {
+
+/** Write @p trace to @p path; raises SimFatal on I/O failure. */
+void saveTrace(const std::string &path, const Trace &trace);
+
+/** Read a trace from @p path; raises SimFatal on I/O or format errors. */
+Trace loadTrace(const std::string &path);
+
+} // namespace vidi
+
+#endif // VIDI_TRACE_TRACE_FILE_H

@@ -1,0 +1,139 @@
+#include "trace/trace_profile.h"
+
+#include <algorithm>
+
+#include "resource/report.h"
+#include "sim/logging.h"
+
+namespace vidi {
+
+void
+GapStats::add(uint64_t value)
+{
+    if (samples == 0) {
+        min = value;
+        max = value;
+    } else {
+        min = std::min(min, value);
+        max = std::max(max, value);
+    }
+    mean += (double(value) - mean) / double(samples + 1);
+    ++samples;
+}
+
+TraceProfiler::TraceProfiler(const Trace &trace) : trace_(trace)
+{
+    const size_t nchan = trace.meta.channelCount();
+    channels_.resize(nchan);
+    end_groups_.resize(nchan);
+    start_groups_.resize(nchan);
+    for (size_t i = 0; i < nchan; ++i) {
+        channels_[i].name = trace.meta.channels[i].name;
+        channels_[i].input = trace.meta.channels[i].input;
+    }
+
+    // Pass 1: assign each event its end-event group index. Packets with
+    // no end do not advance logical time (the trace records ordering,
+    // not cycles), so starts inherit the index of the next group.
+    uint64_t group = 0;
+    for (const auto &pkt : trace.packets) {
+        bitvec::forEach(pkt.starts, [&](size_t c) {
+            start_groups_[c].push_back(group);
+        });
+        if (pkt.ends != 0) {
+            bitvec::forEach(pkt.ends, [&](size_t c) {
+                end_groups_[c].push_back(group);
+                ++channels_[c].transactions;
+            });
+            ++group;
+        }
+    }
+    total_groups_ = group;
+
+    // Pass 2: per-channel statistics.
+    for (size_t c = 0; c < nchan; ++c) {
+        const auto &ends = end_groups_[c];
+        const auto &starts = start_groups_[c];
+
+        // Handshake latency: k-th start to k-th end (channels carry one
+        // outstanding transaction at a time).
+        const size_t pairs = std::min(starts.size(), ends.size());
+        for (size_t k = 0; k < pairs; ++k) {
+            if (ends[k] >= starts[k]) {
+                channels_[c].handshake_latency.add(ends[k] -
+                                                   starts[k]);
+            }
+        }
+
+        uint64_t burst = 0;
+        for (size_t k = 0; k < ends.size(); ++k) {
+            if (k > 0) {
+                channels_[c].inter_end_gap.add(ends[k] - ends[k - 1]);
+                burst = (ends[k] == ends[k - 1] + 1) ? burst + 1 : 1;
+            } else {
+                burst = 1;
+            }
+            channels_[c].longest_burst =
+                std::max(channels_[c].longest_burst, burst);
+        }
+    }
+}
+
+PairLatency
+TraceProfiler::pairLatency(size_t request_chan,
+                           size_t response_chan) const
+{
+    if (request_chan >= channels_.size() ||
+        response_chan >= channels_.size())
+        fatal("TraceProfiler::pairLatency: channel index out of range");
+
+    PairLatency out;
+    out.request = channels_[request_chan].name;
+    out.response = channels_[response_chan].name;
+
+    const auto &req = end_groups_[request_chan];
+    const auto &resp = end_groups_[response_chan];
+    size_t r = 0;
+    for (const uint64_t req_group : req) {
+        while (r < resp.size() && resp[r] < req_group)
+            ++r;
+        if (r == resp.size())
+            break;
+        out.latency.add(resp[r] - req_group);
+        ++r;  // FIFO matching: each response serves one request
+    }
+    return out;
+}
+
+std::string
+TraceProfiler::toString() const
+{
+    TextTable table;
+    table.header({"Channel", "Dir", "Txns", "HS lat (avg/max)",
+                  "End gap (avg/max)", "Burst"});
+    for (const auto &ch : channels_) {
+        if (ch.transactions == 0)
+            continue;
+        std::string hs = "-";
+        if (ch.handshake_latency.samples > 0) {
+            hs = TextTable::num(ch.handshake_latency.mean, 1) + "/" +
+                 std::to_string(ch.handshake_latency.max);
+        }
+        std::string gap = "-";
+        if (ch.inter_end_gap.samples > 0) {
+            gap = TextTable::num(ch.inter_end_gap.mean, 1) + "/" +
+                  std::to_string(ch.inter_end_gap.max);
+        }
+        table.row({ch.name, ch.input ? "in" : "out",
+                   std::to_string(ch.transactions), hs, gap,
+                   std::to_string(ch.longest_burst)});
+    }
+    std::string out = table.toString();
+    out += "\n(all latencies/gaps are in end-event groups — the trace "
+           "orders events, it does not time them)\n";
+    out += "total end-event groups: " + std::to_string(total_groups_) +
+           "\n";
+    return out;
+}
+
+} // namespace vidi

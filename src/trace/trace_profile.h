@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Trace-based performance profiling.
+ *
+ * The paper's introduction lists performance profiling among the
+ * record/replay use cases: a recorded trace is an exact account of when
+ * every transaction started and ended, so bottleneck questions ("which
+ * channel serializes the pipeline?", "how long do requests wait for
+ * responses?") can be answered offline, without touching the FPGA.
+ *
+ * TraceProfiler derives, per channel: transaction counts, burst
+ * structure (runs of back-to-back packets with activity), inter-end gap
+ * statistics (in packet groups — the trace records order, not cycles),
+ * and handshake latency in groups (start-to-end distance). It also
+ * computes cross-channel response latency for request/response pairs
+ * the caller names (e.g. pcis.AR → pcis.R).
+ */
+
+#ifndef VIDI_TRACE_TRACE_PROFILE_H
+#define VIDI_TRACE_TRACE_PROFILE_H
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace vidi {
+
+/** Simple distribution summary. */
+struct GapStats
+{
+    uint64_t samples = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    double mean = 0;
+
+    void add(uint64_t value);
+};
+
+/** Per-channel profile. */
+struct ChannelProfile
+{
+    std::string name;
+    bool input = false;
+    uint64_t transactions = 0;
+
+    /**
+     * Distance, in end-event groups, between a transaction's start and
+     * its end (0 = single-group handshakes). Measures how long the
+     * receiver made senders wait. Input channels only (outputs record
+     * no starts).
+     */
+    GapStats handshake_latency;
+
+    /** Distance, in end-event groups, between consecutive ends. */
+    GapStats inter_end_gap;
+
+    /** Longest run of consecutive groups with an end on this channel. */
+    uint64_t longest_burst = 0;
+};
+
+/**
+ * Cross-channel request→response latency (e.g. AR end → first R end).
+ */
+struct PairLatency
+{
+    std::string request;
+    std::string response;
+    GapStats latency;  ///< in end-event groups
+};
+
+/**
+ * Offline profiler over a recorded trace.
+ */
+class TraceProfiler
+{
+  public:
+    explicit TraceProfiler(const Trace &trace);
+
+    const std::vector<ChannelProfile> &channels() const
+    {
+        return channels_;
+    }
+
+    /**
+     * Latency from each end on @p request_chan to the next following
+     * end on @p response_chan (FIFO matching).
+     */
+    PairLatency pairLatency(size_t request_chan,
+                            size_t response_chan) const;
+
+    /** Human-readable report (per-channel table + totals). */
+    std::string toString() const;
+
+  private:
+    const Trace &trace_;
+    std::vector<ChannelProfile> channels_;
+    /** End-group index of every end event, per channel, ascending. */
+    std::vector<std::vector<uint64_t>> end_groups_;
+    /** End-group index at (or after) each start event, per channel. */
+    std::vector<std::vector<uint64_t>> start_groups_;
+    uint64_t total_groups_ = 0;
+};
+
+} // namespace vidi
+
+#endif // VIDI_TRACE_TRACE_PROFILE_H

@@ -1,0 +1,70 @@
+#include "trace/trace_stats.h"
+
+#include "resource/report.h"
+
+namespace vidi {
+
+TraceStats
+TraceStats::analyze(const Trace &trace)
+{
+    TraceStats stats;
+    const size_t nchan = trace.meta.channelCount();
+    stats.channels.resize(nchan);
+    for (size_t i = 0; i < nchan; ++i) {
+        stats.channels[i].name = trace.meta.channels[i].name;
+        stats.channels[i].input = trace.meta.channels[i].input;
+    }
+
+    for (const auto &pkt : trace.packets) {
+        ++stats.packets;
+        stats.header_bytes += 2 * trace.meta.bitvecBytes();
+        bitvec::forEach(pkt.starts, [&](size_t i) {
+            ++stats.channels[i].starts;
+            ++stats.events;
+            stats.channels[i].content_bytes +=
+                trace.meta.channels[i].data_bytes;
+            stats.content_bytes += trace.meta.channels[i].data_bytes;
+        });
+        bitvec::forEach(pkt.ends, [&](size_t i) {
+            ++stats.channels[i].ends;
+            ++stats.events;
+            ++stats.transactions;
+            if (trace.meta.record_output_content &&
+                !trace.meta.channels[i].input) {
+                stats.channels[i].content_bytes +=
+                    trace.meta.channels[i].data_bytes;
+                stats.content_bytes += trace.meta.channels[i].data_bytes;
+            }
+        });
+    }
+    stats.serialized_bytes = stats.header_bytes + stats.content_bytes;
+    return stats;
+}
+
+std::string
+TraceStats::toString() const
+{
+    TextTable table;
+    table.header({"Channel", "Dir", "Starts", "Ends", "Content"});
+    for (const auto &ch : channels) {
+        if (ch.starts == 0 && ch.ends == 0)
+            continue;
+        table.row({ch.name, ch.input ? "in" : "out",
+                   std::to_string(ch.starts), std::to_string(ch.ends),
+                   TextTable::bytes(double(ch.content_bytes))});
+    }
+
+    std::string out = table.toString();
+    out += "\n";
+    out += "packets:       " + std::to_string(packets) + "\n";
+    out += "events:        " + std::to_string(events) + " (" +
+           TextTable::num(eventsPerPacket(), 2) + " per packet)\n";
+    out += "transactions:  " + std::to_string(transactions) + "\n";
+    out += "trace size:    " +
+           TextTable::bytes(double(serialized_bytes)) + " (" +
+           TextTable::bytes(double(header_bytes)) + " headers, " +
+           TextTable::bytes(double(content_bytes)) + " content)\n";
+    return out;
+}
+
+} // namespace vidi

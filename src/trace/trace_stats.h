@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Offline trace statistics.
+ *
+ * Summarizes a recorded trace for inspection: per-channel transaction
+ * counts and content volume, packet/event totals, grouping density, and
+ * the storage split between bit-vector headers and contents. Used by the
+ * vidi-trace CLI tool and handy when sizing trace-store FIFOs.
+ */
+
+#ifndef VIDI_TRACE_TRACE_STATS_H
+#define VIDI_TRACE_TRACE_STATS_H
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace vidi {
+
+/** Per-channel summary. */
+struct ChannelStats
+{
+    std::string name;
+    bool input = false;
+    uint64_t starts = 0;
+    uint64_t ends = 0;
+    uint64_t content_bytes = 0;  ///< recorded payload bytes
+};
+
+/**
+ * Whole-trace summary.
+ */
+struct TraceStats
+{
+    /** Compute statistics for @p trace. */
+    static TraceStats analyze(const Trace &trace);
+
+    std::vector<ChannelStats> channels;
+
+    uint64_t packets = 0;         ///< cycle packets in the trace
+    uint64_t events = 0;          ///< start + end events
+    uint64_t transactions = 0;    ///< end events
+    uint64_t serialized_bytes = 0;
+    uint64_t header_bytes = 0;    ///< Starts/Ends bit-vectors
+    uint64_t content_bytes = 0;   ///< payloads
+
+    /** Mean events per cycle packet (grouping density). */
+    double eventsPerPacket() const
+    {
+        return packets == 0 ? 0.0
+                            : double(events) / double(packets);
+    }
+
+    /** Human-readable report. */
+    std::string toString() const;
+};
+
+} // namespace vidi
+
+#endif // VIDI_TRACE_TRACE_STATS_H

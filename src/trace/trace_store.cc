@@ -1,0 +1,152 @@
+#include "trace/trace_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+ByteFifo::ByteFifo(size_t capacity) : buf_(capacity) {}
+
+void
+ByteFifo::push(const uint8_t *src, size_t len)
+{
+    if (len > space())
+        panic("ByteFifo::push of %zu bytes into %zu bytes of space", len,
+              space());
+    // At most two contiguous segments around the ring boundary.
+    const size_t tail = (head_ + size_) % buf_.size();
+    const size_t first = std::min(len, buf_.size() - tail);
+    std::memcpy(buf_.data() + tail, src, first);
+    std::memcpy(buf_.data(), src + first, len - first);
+    size_ += len;
+    high_water_ = std::max(high_water_, size_);
+}
+
+size_t
+ByteFifo::peek(uint8_t *dst, size_t max) const
+{
+    const size_t n = std::min(max, size_);
+    const size_t first = std::min(n, buf_.size() - head_);
+    std::memcpy(dst, buf_.data() + head_, first);
+    std::memcpy(dst + first, buf_.data(), n - first);
+    return n;
+}
+
+void
+ByteFifo::consume(size_t len)
+{
+    if (len > size_)
+        panic("ByteFifo::consume of %zu bytes with %zu buffered", len,
+              size_);
+    head_ = (head_ + len) % buf_.size();
+    size_ -= len;
+}
+
+void
+ByteFifo::reset()
+{
+    head_ = 0;
+    size_ = 0;
+    high_water_ = 0;
+}
+
+TraceStore::TraceStore(const std::string &name, HostMemory &host,
+                       PcieBus &bus, size_t fifo_bytes)
+    : Module(name), host_(host), bus_(bus), fifo_(fifo_bytes)
+{
+}
+
+void
+TraceStore::beginRecord(uint64_t dram_base)
+{
+    mode_ = Mode::Record;
+    dram_base_ = dram_base;
+    dram_pos_ = 0;
+    bytes_stored_ = 0;
+    fifo_.reset();
+}
+
+void
+TraceStore::pushBytes(const uint8_t *src, size_t len)
+{
+    if (mode_ != Mode::Record)
+        panic("TraceStore(%s)::pushBytes outside record mode",
+              name().c_str());
+    fifo_.push(src, len);
+}
+
+void
+TraceStore::beginReplay(uint64_t dram_base, uint64_t len)
+{
+    mode_ = Mode::Replay;
+    dram_base_ = dram_base;
+    dram_pos_ = 0;
+    replay_len_ = len;
+    bytes_stored_ = 0;
+    fifo_.reset();
+}
+
+void
+TraceStore::consume(size_t len)
+{
+    if (mode_ != Mode::Replay)
+        panic("TraceStore(%s)::consume outside replay mode",
+              name().c_str());
+    fifo_.consume(len);
+}
+
+bool
+TraceStore::exhausted() const
+{
+    return mode_ == Mode::Replay && dram_pos_ >= replay_len_ &&
+           fifo_.empty();
+}
+
+void
+TraceStore::tick()
+{
+    if (mode_ == Mode::Record) {
+        // Drain the staging FIFO to host DRAM at PCIe bandwidth.
+        uint64_t budget = bus_.request(fifo_.size());
+        uint8_t buf[512];
+        while (budget > 0 && !fifo_.empty()) {
+            const size_t chunk = std::min<uint64_t>(
+                {budget, fifo_.size(), sizeof(buf)});
+            fifo_.peek(buf, chunk);
+            fifo_.consume(chunk);
+            host_.mem().write(dram_base_ + dram_pos_, buf, chunk);
+            dram_pos_ += chunk;
+            bytes_stored_ += chunk;
+            budget -= chunk;
+        }
+    } else if (mode_ == Mode::Replay) {
+        // Prefetch the trace from host DRAM at PCIe bandwidth.
+        uint64_t budget = bus_.request(
+            std::min<uint64_t>(replay_len_ - dram_pos_, fifo_.space()));
+        uint8_t buf[512];
+        while (budget > 0 && dram_pos_ < replay_len_ && fifo_.space() > 0) {
+            const size_t chunk = std::min<uint64_t>(
+                {budget, replay_len_ - dram_pos_, fifo_.space(),
+                 sizeof(buf)});
+            host_.mem().read(dram_base_ + dram_pos_, buf, chunk);
+            fifo_.push(buf, chunk);
+            dram_pos_ += chunk;
+            budget -= chunk;
+        }
+    }
+}
+
+void
+TraceStore::reset()
+{
+    mode_ = Mode::Idle;
+    dram_base_ = 0;
+    dram_pos_ = 0;
+    replay_len_ = 0;
+    bytes_stored_ = 0;
+    fifo_.reset();
+}
+
+} // namespace vidi

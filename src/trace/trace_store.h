@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The trace store (§3.3 of the paper).
+ *
+ * During recording the trace store buffers the encoder's byte stream in a
+ * finite on-FPGA BRAM FIFO and drains it to host DRAM over the
+ * bandwidth-limited PCIe path, packing the variable-sized cycle packets
+ * into the 64-byte storage-interface lines the F1 platform exposes.
+ * When the FIFO fills, reservations at the encoder fail and the channel
+ * monitors back-pressure the application — no event is ever lost (§6).
+ *
+ * During replay the data path reverses: the store prefetches the trace
+ * from host DRAM into the FIFO at PCIe bandwidth and the trace decoder
+ * consumes it.
+ */
+
+#ifndef VIDI_TRACE_TRACE_STORE_H
+#define VIDI_TRACE_TRACE_STORE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "host/host_dram.h"
+#include "host/pcie_bus.h"
+#include "sim/module.h"
+
+namespace vidi {
+
+/**
+ * Byte-granular ring buffer modelling the trace store's BRAM staging
+ * FIFO.
+ */
+class ByteFifo
+{
+  public:
+    explicit ByteFifo(size_t capacity);
+
+    size_t capacity() const { return buf_.size(); }
+    size_t size() const { return size_; }
+    size_t space() const { return buf_.size() - size_; }
+    bool empty() const { return size_ == 0; }
+    size_t highWater() const { return high_water_; }
+
+    /** Append @p len bytes; panics if they do not fit. */
+    void push(const uint8_t *src, size_t len);
+
+    /** Copy up to @p max bytes from the head without consuming. */
+    size_t peek(uint8_t *dst, size_t max) const;
+
+    /** Drop @p len bytes from the head; panics if unavailable. */
+    void consume(size_t len);
+
+    void reset();
+
+  private:
+    std::vector<uint8_t> buf_;
+    size_t head_ = 0;  // index of the oldest byte
+    size_t size_ = 0;
+    size_t high_water_ = 0;
+};
+
+/**
+ * The trace store module.
+ */
+class TraceStore : public Module
+{
+  public:
+    /** Storage-interface line size on F1 (64-byte DMA granularity). */
+    static constexpr size_t kLineBytes = 64;
+
+    /**
+     * @param name instance name
+     * @param host host memory holding the trace region
+     * @param bus shared PCIe bandwidth arbiter (must tick before this
+     *        module, i.e. be registered with the simulator earlier)
+     * @param fifo_bytes BRAM staging capacity
+     */
+    TraceStore(const std::string &name, HostMemory &host, PcieBus &bus,
+               size_t fifo_bytes = 1u << 20);
+
+    /// @name Recording
+    /// @{
+    /** Start recording into host DRAM at @p dram_base. */
+    void beginRecord(uint64_t dram_base);
+
+    /** FIFO space available for the encoder's reservations. */
+    size_t spaceBytes() const { return fifo_.space(); }
+
+    /** Append encoder output; caller must have reserved the space. */
+    void pushBytes(const uint8_t *src, size_t len);
+
+    /** True once every buffered byte reached host DRAM. */
+    bool drained() const { return fifo_.empty(); }
+
+    /** Bytes written to host DRAM so far. */
+    uint64_t bytesStored() const { return bytes_stored_; }
+
+    /** 64-byte storage lines consumed so far. */
+    uint64_t linesWritten() const
+    {
+        return (bytes_stored_ + kLineBytes - 1) / kLineBytes;
+    }
+    /// @}
+
+    /// @name Replaying
+    /// @{
+    /** Start streaming a trace of @p len bytes at @p dram_base. */
+    void beginReplay(uint64_t dram_base, uint64_t len);
+
+    /** Bytes buffered and ready for the decoder. */
+    size_t availableBytes() const { return fifo_.size(); }
+
+    size_t peek(uint8_t *dst, size_t max) const { return fifo_.peek(dst, max); }
+    void consume(size_t len);
+
+    /** True once the whole trace was fetched and consumed. */
+    bool exhausted() const;
+    /// @}
+
+    size_t fifoHighWater() const { return fifo_.highWater(); }
+
+    void tick() override;
+    void reset() override;
+
+  private:
+    enum class Mode { Idle, Record, Replay };
+
+    HostMemory &host_;
+    PcieBus &bus_;
+    ByteFifo fifo_;
+    Mode mode_ = Mode::Idle;
+
+    uint64_t dram_base_ = 0;
+    uint64_t dram_pos_ = 0;    // next write (record) / fetch (replay) offset
+    uint64_t replay_len_ = 0;
+    uint64_t bytes_stored_ = 0;
+};
+
+} // namespace vidi
+
+#endif // VIDI_TRACE_TRACE_STORE_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Per-application integration tests: every Table 1 application must
+ * (a) complete natively, (b) record transparently (same output digest
+ * as the baseline), and (c) replay with transaction determinism.
+ * Parameterized over the application registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app_registry.h"
+#include "apps/dram_dma.h"
+#include "core/divergence.h"
+
+namespace vidi {
+namespace {
+
+VidiConfig
+testConfig()
+{
+    VidiConfig cfg;
+    cfg.max_cycles = 60'000'000;
+    return cfg;
+}
+
+constexpr double kTestScale = 0.2;
+
+std::unique_ptr<AppBuilder>
+builderByIndex(size_t index)
+{
+    auto apps = makeTable1Apps();
+    return std::move(apps.at(index));
+}
+
+class AppParamTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(AppParamTest, BaselineCompletes)
+{
+    auto app = builderByIndex(GetParam());
+    app->setScale(kTestScale);
+    const RecordResult r1 =
+        recordRun(*app, VidiMode::R1_Transparent, 7, testConfig());
+    EXPECT_TRUE(r1.completed) << app->name() << " stalled at cycle "
+                              << r1.cycles;
+}
+
+TEST_P(AppParamTest, RecordingIsTransparent)
+{
+    auto app = builderByIndex(GetParam());
+    app->setScale(kTestScale);
+    const RecordResult r1 =
+        recordRun(*app, VidiMode::R1_Transparent, 7, testConfig());
+    const RecordResult r2 =
+        recordRun(*app, VidiMode::R2_Record, 7, testConfig());
+    ASSERT_TRUE(r1.completed);
+    ASSERT_TRUE(r2.completed) << app->name() << " stalled under recording";
+    EXPECT_EQ(r1.digest, r2.digest)
+        << app->name() << ": recording altered application output";
+    EXPECT_GT(r2.trace_bytes, 0u);
+    // Recording may only slow the application down, never change its
+    // I/O volume drastically.
+    EXPECT_GE(r2.cycles, r1.cycles / 2);
+}
+
+TEST_P(AppParamTest, ReplayPreservesTransactionDeterminism)
+{
+    auto app = builderByIndex(GetParam());
+    app->setScale(kTestScale);
+    const DivergenceResult result = detectDivergences(*app, 7,
+                                                      testConfig());
+    ASSERT_TRUE(result.record.completed);
+    EXPECT_TRUE(result.replay.completed)
+        << app->name() << " replay stalled at cycle "
+        << result.replay.cycles << " after "
+        << result.replay.replayed_transactions << " transactions";
+    // Ordering and counts must always hold. (Content divergences are
+    // possible for DMA's cycle-dependent polling and are measured by the
+    // effectiveness bench; they must be content-kind only.)
+    for (const auto &d : result.report.divergences) {
+        EXPECT_EQ(d.kind, Divergence::Kind::OutputContent)
+            << app->name() << ": " << d.toString();
+    }
+    if (app->name() != "DMA") {
+        EXPECT_TRUE(result.report.identical())
+            << app->name() << ": " << result.report.summary();
+        EXPECT_EQ(result.record.digest, result.replay.digest);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, AppParamTest, ::testing::Range<size_t>(0, 10),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        auto apps = makeTable1Apps();
+        std::string name = apps.at(info.param)->name();
+        for (auto &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(DmaPatched, ReplayNeverDiverges)
+{
+    DmaAppBuilder app(/*patched=*/true);
+    app.setScale(kTestScale);
+    const DivergenceResult result = detectDivergences(app, 7,
+                                                      testConfig());
+    ASSERT_TRUE(result.record.completed);
+    ASSERT_TRUE(result.replay.completed);
+    EXPECT_TRUE(result.report.identical()) << result.report.summary();
+}
+
+} // namespace
+} // namespace vidi

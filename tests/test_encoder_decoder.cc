@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit tests for the trace encoder (eager reservation, cycle-packet
+ * assembly, empty-cycle elision) and the trace decoder (per-channel
+ * pair distribution, bounded-queue backpressure).
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/pcie_bus.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "trace/trace_decoder.h"
+#include "trace/trace_encoder.h"
+
+namespace vidi {
+namespace {
+
+TraceMeta
+meta3(bool output_content = true)
+{
+    TraceMeta meta;
+    meta.record_output_content = output_content;
+    meta.channels.push_back({"in0", true, 4, 32});
+    meta.channels.push_back({"in1", true, 2, 16});
+    meta.channels.push_back({"out0", false, 4, 32});
+    return meta;
+}
+
+class EncoderFixture : public ::testing::Test
+{
+  protected:
+    explicit EncoderFixture(size_t fifo_bytes = 4096)
+        : bus(sim.add<PcieBus>("pcie")),
+          store(sim.add<TraceStore>("store", host, bus, fifo_bytes)),
+          encoder(sim.add<TraceEncoder>("enc", meta3(), store))
+    {
+        store.beginRecord(0x1000);
+    }
+
+    /** Run until the store drained, then decode everything. */
+    Trace
+    collect()
+    {
+        for (int i = 0; i < 10000 && !store.drained(); ++i)
+            sim.step();
+        EXPECT_TRUE(store.drained());
+        const auto bytes =
+            host.mem().readVec(0x1000, store.bytesStored());
+        return Trace::fromBytes(meta3(), bytes.data(), bytes.size());
+    }
+
+    Simulator sim;
+    HostMemory host;
+    PcieBus &bus;
+    TraceStore &store;
+    TraceEncoder &encoder;
+};
+
+TEST_F(EncoderFixture, EventsOfOneCycleShareAPacket)
+{
+    ASSERT_TRUE(encoder.tryReserve(0));
+    ASSERT_TRUE(encoder.tryReserve(2));
+    const uint8_t c0[4] = {1, 2, 3, 4};
+    const uint8_t c2[4] = {5, 6, 7, 8};
+    encoder.noteStart(0, c0);
+    encoder.noteEnd(2, c2);
+    sim.step();  // tickLate assembles the packet
+
+    // A quiet cycle emits nothing.
+    sim.step();
+    sim.step();
+
+    const Trace t = collect();
+    ASSERT_EQ(t.packets.size(), 1u);
+    EXPECT_EQ(t.packets[0].starts, bitvec::set(0, 0));
+    EXPECT_EQ(t.packets[0].ends, bitvec::set(0, 2));
+    EXPECT_EQ(t.packets[0].start_contents[0],
+              (std::vector<uint8_t>{1, 2, 3, 4}));
+    EXPECT_EQ(t.packets[0].end_contents[0],
+              (std::vector<uint8_t>{5, 6, 7, 8}));
+    EXPECT_EQ(encoder.packetsEmitted(), 1u);
+    EXPECT_EQ(encoder.eventsLogged(), 2u);
+}
+
+TEST_F(EncoderFixture, PacketOrderFollowsCycles)
+{
+    const uint8_t c[4] = {0xaa, 0xbb, 0xcc, 0xdd};
+    ASSERT_TRUE(encoder.tryReserve(0));
+    encoder.noteStart(0, c);
+    sim.step();
+    encoder.noteEnd(0, nullptr);
+    sim.step();
+    ASSERT_TRUE(encoder.tryReserve(1));
+    const uint8_t c1[2] = {7, 9};
+    encoder.noteStart(1, c1);
+    encoder.noteEnd(1, nullptr);
+    sim.step();
+
+    const Trace t = collect();
+    ASSERT_EQ(t.packets.size(), 3u);
+    EXPECT_EQ(t.packets[0].starts, bitvec::set(0, 0));
+    EXPECT_EQ(t.packets[0].ends, 0u);
+    EXPECT_EQ(t.packets[1].ends, bitvec::set(0, 0));
+    EXPECT_EQ(t.packets[2].starts, bitvec::set(0, 1));
+    EXPECT_EQ(t.packets[2].ends, bitvec::set(0, 1));
+}
+
+TEST_F(EncoderFixture, DuplicateEventsInOneCyclePanic)
+{
+    ASSERT_TRUE(encoder.tryReserve(0));
+    const uint8_t c[4] = {};
+    encoder.noteStart(0, c);
+    EXPECT_THROW(encoder.noteStart(0, c), SimPanic);
+}
+
+TEST_F(EncoderFixture, OutputEndRequiresContentInDetectionMode)
+{
+    ASSERT_TRUE(encoder.tryReserve(2));
+    EXPECT_THROW(encoder.noteEnd(2, nullptr), SimPanic);
+}
+
+class TinyEncoderFixture : public EncoderFixture
+{
+  protected:
+    TinyEncoderFixture() : EncoderFixture(32) {}
+};
+
+TEST_F(TinyEncoderFixture, ReservationFailsWhenStoreFull)
+{
+    // in0 costs (2 + 4) + 2 = 8 bytes worst case per transaction.
+    EXPECT_TRUE(encoder.tryReserve(0));
+    EXPECT_TRUE(encoder.tryReserve(0));
+    EXPECT_TRUE(encoder.tryReserve(0));
+    EXPECT_TRUE(encoder.tryReserve(0));
+    // 4 x 8 = 32 bytes reserved: the FIFO is exhausted.
+    EXPECT_FALSE(encoder.tryReserve(0));
+    EXPECT_GT(encoder.reserveFailures(), 0u);
+
+    // Emitting events and draining releases space again.
+    const uint8_t c[4] = {};
+    encoder.noteStart(0, c);
+    encoder.noteEnd(0, nullptr);
+    sim.step();
+    for (int i = 0; i < 10; ++i)
+        sim.step();
+    EXPECT_TRUE(encoder.tryReserve(0));
+}
+
+TEST(TraceEncoderLimits, RejectsTooManyChannels)
+{
+    Simulator sim;
+    HostMemory host;
+    auto &bus = sim.add<PcieBus>("pcie");
+    auto &store = sim.add<TraceStore>("store", host, bus, 4096);
+    TraceMeta meta;
+    for (size_t i = 0; i < kMaxChannels + 1; ++i)
+        meta.channels.push_back({"c", true, 1, 8});
+    EXPECT_THROW(sim.add<TraceEncoder>("enc", meta, store), SimFatal);
+}
+
+class DecoderFixture : public ::testing::Test
+{
+  protected:
+    DecoderFixture()
+        : bus(sim.add<PcieBus>("pcie")),
+          store(sim.add<TraceStore>("store", host, bus, 4096)),
+          decoder(sim.add<TraceDecoder>("dec", meta3(), store, 4))
+    {
+    }
+
+    void
+    load(const Trace &trace)
+    {
+        const auto bytes = trace.serialize();
+        host.mem().writeVec(0x2000, bytes);
+        store.beginReplay(0x2000, bytes.size());
+    }
+
+    Simulator sim;
+    HostMemory host;
+    PcieBus &bus;
+    TraceStore &store;
+    TraceDecoder &decoder;
+};
+
+TEST_F(DecoderFixture, EveryChannelSeesEveryPacketsEnds)
+{
+    Trace t;
+    t.meta = meta3();
+    CyclePacket p0;
+    p0.starts = bitvec::set(0, 0);
+    p0.ends = bitvec::set(bitvec::set(0, 0), 2);
+    p0.start_contents.push_back({1, 2, 3, 4});
+    p0.end_contents.push_back({9, 9, 9, 9});
+    t.packets.push_back(p0);
+    CyclePacket p1;
+    p1.ends = bitvec::set(0, 1);
+    t.packets.push_back(p1);
+    load(t);
+
+    for (int i = 0; i < 100 && decoder.packetsDecoded() < 2; ++i)
+        sim.step();
+    ASSERT_EQ(decoder.packetsDecoded(), 2u);
+
+    for (size_t c = 0; c < 3; ++c) {
+        auto &q = decoder.queueFor(c);
+        ASSERT_EQ(q.size(), 2u) << "channel " << c;
+        EXPECT_EQ(q[0].ends, p0.ends);
+        EXPECT_EQ(q[1].ends, p1.ends);
+    }
+    EXPECT_TRUE(decoder.queueFor(0)[0].start);
+    EXPECT_EQ(decoder.queueFor(0)[0].content,
+              (std::vector<uint8_t>{1, 2, 3, 4}));
+    EXPECT_FALSE(decoder.queueFor(1)[0].start);
+    EXPECT_TRUE(decoder.queueFor(2)[0].end);
+    EXPECT_TRUE(decoder.queueFor(1)[1].end);
+}
+
+TEST_F(DecoderFixture, BoundedQueuesStallDecoding)
+{
+    Trace t;
+    t.meta = meta3();
+    for (int i = 0; i < 20; ++i) {
+        CyclePacket p;
+        p.ends = bitvec::set(0, 1);
+        t.packets.push_back(p);
+    }
+    load(t);
+    for (int i = 0; i < 200; ++i)
+        sim.step();
+    // Queue capacity is 4: decoding must stop there.
+    EXPECT_EQ(decoder.packetsDecoded(), 4u);
+    EXPECT_FALSE(decoder.finished());
+
+    // Draining the queues lets decoding proceed.
+    while (!decoder.finished()) {
+        for (size_t c = 0; c < 3; ++c) {
+            if (!decoder.queueFor(c).empty())
+                decoder.queueFor(c).pop_front();
+        }
+        sim.step();
+    }
+    EXPECT_EQ(decoder.packetsDecoded(), 20u);
+}
+
+TEST_F(DecoderFixture, RoundtripThroughEncoderStoreDecoder)
+{
+    // Use the encoder test's output as decoder input: full pipeline.
+    Trace t;
+    t.meta = meta3();
+    for (uint8_t i = 0; i < 10; ++i) {
+        CyclePacket p;
+        p.starts = bitvec::set(0, i % 2);
+        p.ends = bitvec::set(0, 2);
+        p.start_contents.push_back(std::vector<uint8_t>(
+            t.meta.channels[i % 2].data_bytes, i));
+        p.end_contents.push_back({i, i, i, i});
+        t.packets.push_back(p);
+    }
+    load(t);
+    std::vector<ReplayPair> seen;
+    while (!decoder.finished()) {
+        sim.step();
+        auto &q = decoder.queueFor(0);
+        while (!q.empty()) {
+            seen.push_back(q.front());
+            for (size_t c = 0; c < 3; ++c) {
+                if (!decoder.queueFor(c).empty())
+                    decoder.queueFor(c).pop_front();
+            }
+        }
+        if (sim.cycle() > 10000)
+            FAIL() << "decoder did not finish";
+    }
+    ASSERT_EQ(seen.size(), 10u);
+    for (size_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(seen[i].start, i % 2 == 0);
+        if (seen[i].start) {
+            EXPECT_EQ(seen[i].content,
+                      std::vector<uint8_t>(4, uint8_t(i)));
+        }
+    }
+}
+
+} // namespace
+} // namespace vidi

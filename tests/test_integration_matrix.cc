@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Cross-cutting integration properties over real application traces:
+ * the offline tools (stats, profiler, mutator, validator, file format)
+ * must compose on traces produced by the full record pipeline, and
+ * structural invariants of coarse-grained recording must hold for every
+ * application.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app_registry.h"
+#include "core/recorder.h"
+#include "core/replayer.h"
+#include "core/trace_mutator.h"
+#include "core/trace_validator.h"
+#include "trace/trace_profile.h"
+#include "trace/trace_stats.h"
+
+namespace vidi {
+namespace {
+
+VidiConfig
+cfg()
+{
+    VidiConfig c;
+    c.max_cycles = 30'000'000;
+    return c;
+}
+
+/** One recorded trace shared by the whole fixture (BNN, small). */
+class TraceToolsOnRealTrace : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        HlsAppBuilder app(makeBnnSpec());
+        app.setScale(0.15);
+        result_ = new RecordResult(
+            recordRun(app, VidiMode::R2_Record, 13, cfg()));
+        ASSERT_TRUE(result_->completed);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result_;
+        result_ = nullptr;
+    }
+
+    static const RecordResult &rec() { return *result_; }
+
+  private:
+    static RecordResult *result_;
+};
+
+RecordResult *TraceToolsOnRealTrace::result_ = nullptr;
+
+TEST_F(TraceToolsOnRealTrace, StatsAgreeWithTraceAccounting)
+{
+    const TraceStats stats = TraceStats::analyze(rec().trace);
+    EXPECT_EQ(stats.packets, rec().trace.packets.size());
+    EXPECT_EQ(stats.transactions, rec().trace.totalTransactions());
+    EXPECT_EQ(stats.serialized_bytes, rec().trace.serializedBytes());
+    EXPECT_EQ(stats.serialized_bytes, rec().trace_bytes);
+    // Every event belongs to some packet; density within (0, 2N].
+    EXPECT_GT(stats.eventsPerPacket(), 0.0);
+    EXPECT_LE(stats.eventsPerPacket(),
+              2.0 * rec().trace.meta.channelCount());
+}
+
+TEST_F(TraceToolsOnRealTrace, StructuralInvariantsHoldPerChannel)
+{
+    const Trace &t = rec().trace;
+    for (size_t c = 0; c < t.meta.channelCount(); ++c) {
+        if (t.meta.channels[c].input) {
+            // Handshake channels carry one outstanding transaction:
+            // every recorded start has exactly one recorded end.
+            EXPECT_EQ(t.startCount(c), t.endCount(c))
+                << t.meta.channels[c].name;
+        } else {
+            // Output channels record no starts.
+            EXPECT_EQ(t.startCount(c), 0u) << t.meta.channels[c].name;
+        }
+    }
+}
+
+TEST_F(TraceToolsOnRealTrace, ProfilerCoversEveryActiveChannel)
+{
+    const TraceProfiler prof(rec().trace);
+    uint64_t total = 0;
+    for (const auto &ch : prof.channels())
+        total += ch.transactions;
+    EXPECT_EQ(total, rec().trace.totalTransactions());
+
+    // The MMIO write channel pairs AW-with-W: equal counts.
+    EXPECT_EQ(prof.channels()[0].transactions,
+              prof.channels()[1].transactions);
+}
+
+TEST_F(TraceToolsOnRealTrace, MutatedTraceStaysParseable)
+{
+    // Mutate an arbitrary cross-channel pair (ocl.B end after... any
+    // legal candidate); the result must serialize and parse cleanly
+    // with identical event counts.
+    TraceMutator mut(rec().trace);
+    // Move the 2nd ocl.B end before the 2nd ocl.W end if possible.
+    bool changed = false;
+    try {
+        changed = mut.reorderEndBefore(2, 1, 1, 1);
+    } catch (const SimFatal &) {
+        GTEST_SKIP() << "mutation infeasible on this trace";
+    }
+    const Trace mutated = mut.take();
+    const auto bytes = mutated.serialize();
+    const Trace back =
+        Trace::fromBytes(mutated.meta, bytes.data(), bytes.size());
+    EXPECT_EQ(back, mutated);
+    for (size_t c = 0; c < mutated.meta.channelCount(); ++c) {
+        EXPECT_EQ(mutated.endCount(c), rec().trace.endCount(c));
+        EXPECT_EQ(mutated.startCount(c), rec().trace.startCount(c));
+    }
+    (void)changed;
+}
+
+TEST_F(TraceToolsOnRealTrace, SelfValidationIsCleanAndSymmetric)
+{
+    const ValidationReport self =
+        validateTraces(rec().trace, rec().trace);
+    EXPECT_TRUE(self.identical());
+}
+
+TEST_F(TraceToolsOnRealTrace, ReplayThenProfileMatchesRecording)
+{
+    HlsAppBuilder app(makeBnnSpec());
+    app.setScale(0.15);
+    const ReplayResult rep = replayRun(app, rec().trace, cfg());
+    ASSERT_TRUE(rep.completed);
+
+    // Transaction counts per channel agree between the profiles of the
+    // reference and validation traces.
+    const TraceProfiler ref_prof(rec().trace);
+    const TraceProfiler val_prof(rep.validation);
+    for (size_t c = 0; c < rec().trace.meta.channelCount(); ++c) {
+        EXPECT_EQ(ref_prof.channels()[c].transactions,
+                  val_prof.channels()[c].transactions)
+            << rec().trace.meta.channels[c].name;
+    }
+}
+
+} // namespace
+} // namespace vidi

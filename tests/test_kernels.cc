@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the application compute kernels: known-answer vectors
+ * where the algorithm has them (SHA-256), hand-checkable instances
+ * (SSSP, 3D raster), and structural/determinism properties for all.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "apps/app_registry.h"
+#include "apps/dram_dma.h"
+
+namespace vidi {
+namespace {
+
+std::string
+hex(const std::vector<uint8_t> &v, size_t off, size_t n)
+{
+    static const char d[] = "0123456789abcdef";
+    std::string s;
+    for (size_t i = off; i < off + n; ++i) {
+        s += d[v[i] >> 4];
+        s += d[v[i] & 0xf];
+    }
+    return s;
+}
+
+TEST(ShaKernel, Fips180KnownAnswers)
+{
+    const auto spec = makeSha256Spec();
+    // One chunk: "abc" padded into a 1 KiB stream is NOT the FIPS
+    // vector; feed exactly the message as a sub-1KiB input.
+    const std::vector<uint8_t> abc = {'a', 'b', 'c'};
+    const auto digest = spec.compute(abc);
+    ASSERT_EQ(digest.size(), 32u);
+    EXPECT_EQ(hex(digest, 0, 32),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+
+    const std::vector<uint8_t> empty;
+    EXPECT_EQ(spec.compute(empty).size(), 0u);  // zero chunks
+
+    // 1 KiB of zeros: cross-checked with a reference implementation.
+    const std::vector<uint8_t> kib(1024, 0);
+    EXPECT_EQ(hex(spec.compute(kib), 0, 32),
+              "5f70bf18a086007016e948b04aed3b82"
+              "103a36bea41755b6cddfaf10ace3c6ef");
+}
+
+TEST(ShaKernel, ChunkedStreamHashesEachChunk)
+{
+    const auto spec = makeSha256Spec();
+    const auto data = patternBytes(1, 3 * 1024);
+    const auto out = spec.compute(data);
+    ASSERT_EQ(out.size(), 3 * 32u);
+    // Each 32-byte digest equals the digest of its chunk alone.
+    for (int c = 0; c < 3; ++c) {
+        const std::vector<uint8_t> chunk(data.begin() + c * 1024,
+                                         data.begin() + (c + 1) * 1024);
+        const auto single = spec.compute(chunk);
+        EXPECT_EQ(hex(out, c * 32, 32), hex(single, 0, 32));
+    }
+}
+
+TEST(SsspKernel, HandCheckedGraph)
+{
+    // 4 vertices: 0->1 (5), 1->2 (1), 0->2 (10), 2->3 (2); source 0.
+    struct Edge
+    {
+        uint32_t u, v, w;
+    };
+    const Edge edges[] = {{0, 1, 5}, {1, 2, 1}, {0, 2, 10}, {2, 3, 2}};
+    std::vector<uint8_t> blob(12 + sizeof(edges));
+    const uint32_t n = 4, m = 4, src = 0;
+    std::memcpy(blob.data(), &n, 4);
+    std::memcpy(blob.data() + 4, &m, 4);
+    std::memcpy(blob.data() + 8, &src, 4);
+    std::memcpy(blob.data() + 12, edges, sizeof(edges));
+
+    const auto out = makeSsspSpec().compute(blob);
+    ASSERT_EQ(out.size(), 16u);
+    uint32_t dist[4];
+    std::memcpy(dist, out.data(), 16);
+    EXPECT_EQ(dist[0], 0u);
+    EXPECT_EQ(dist[1], 5u);
+    EXPECT_EQ(dist[2], 6u);
+    EXPECT_EQ(dist[3], 8u);
+}
+
+TEST(Render3dKernel, SingleTriangleCoversExpectedPixels)
+{
+    // A right triangle with vertices (0,0), (8,0), (0,8), color 7.
+    std::vector<uint8_t> tri(16, 0);
+    tri[0] = 0;  // x0
+    tri[1] = 0;  // y0
+    tri[2] = 8;  // x1
+    tri[3] = 0;  // y1
+    tri[4] = 0;  // x2
+    tri[5] = 8;  // y2
+    tri[6] = 100;  // z
+    tri[7] = 7;    // color
+    const auto fb = makeRendering3dSpec().compute(tri);
+    ASSERT_EQ(fb.size(), 64u * 64u);
+    EXPECT_EQ(fb[0 * 64 + 0], 7);   // on the triangle
+    EXPECT_EQ(fb[2 * 64 + 2], 7);   // interior
+    EXPECT_EQ(fb[0 * 64 + 8], 7);   // vertex
+    EXPECT_EQ(fb[9 * 64 + 9], 0);   // outside
+    EXPECT_EQ(fb[63 * 64 + 63], 0);
+}
+
+TEST(Render3dKernel, ZBufferKeepsNearestTriangle)
+{
+    std::vector<uint8_t> tris(32, 0);
+    // Far triangle, color 1.
+    tris[2] = 16;
+    tris[5] = 16;
+    tris[6] = 200;
+    tris[7] = 1;
+    // Near triangle over the same pixels, color 2.
+    tris[16 + 2] = 16;
+    tris[16 + 5] = 16;
+    tris[16 + 6] = 50;
+    tris[16 + 7] = 2;
+    const auto fb = makeRendering3dSpec().compute(tris);
+    EXPECT_EQ(fb[1 * 64 + 1], 2);
+}
+
+TEST(DmaKernelTransform, InvertibleReferenceAgreement)
+{
+    // The host's software cross-check and the kernel use the same
+    // function; verify basic properties: size-preserving, deterministic,
+    // input-sensitive.
+    const auto in = patternBytes(3, 1000);
+    const auto a = dmaTransform(in);
+    const auto b = dmaTransform(in);
+    EXPECT_EQ(a.size(), in.size());
+    EXPECT_EQ(a, b);
+    auto in2 = in;
+    in2[500] ^= 1;
+    const auto c = dmaTransform(in2);
+    EXPECT_NE(a, c);
+    // The running mix propagates: a later byte also differs.
+    EXPECT_NE(std::memcmp(a.data() + 501, c.data() + 501, 400), 0);
+}
+
+/** Every registered kernel must be a pure function of its input. */
+TEST(AllKernels, DeterministicAndShapeStable)
+{
+    const HlsAppSpec specs[] = {
+        makeRendering3dSpec(), makeBnnSpec(),     makeDigitRecSpec(),
+        makeFaceDetectSpec(),  makeSpamFilterSpec(),
+        makeOpticalFlowSpec(), makeSsspSpec(),    makeSha256Spec(),
+        makeMobileNetSpec(),
+    };
+    for (const auto &spec : specs) {
+        const auto inputs = spec.workload(0.2);
+        ASSERT_FALSE(inputs.empty()) << spec.name;
+        const auto out1 = spec.compute(inputs[0]);
+        const auto out2 = spec.compute(inputs[0]);
+        EXPECT_EQ(out1, out2) << spec.name << " is nondeterministic";
+        EXPECT_FALSE(out1.empty()) << spec.name << " produced no output";
+
+        // Workloads must be content-deterministic across invocations
+        // (the run seed controls timing only).
+        const auto inputs2 = spec.workload(0.2);
+        EXPECT_EQ(inputs, inputs2) << spec.name;
+    }
+}
+
+TEST(BnnKernel, OutputFormat)
+{
+    const auto spec = makeBnnSpec();
+    const auto input = patternBytes(9, 4 * 128);  // 4 samples of 1024 bits
+    const auto out = spec.compute(input);
+    ASSERT_EQ(out.size(), 4 * 5u);  // class byte + 4-byte score each
+    for (int s = 0; s < 4; ++s)
+        EXPECT_LT(out[s * 5], 10);  // classes are 0..9
+}
+
+TEST(DigitRecKernel, VotesProduceDigits)
+{
+    const auto spec = makeDigitRecSpec();
+    const auto input = patternBytes(11, 8 * 32);  // 8 digits
+    const auto out = spec.compute(input);
+    ASSERT_EQ(out.size(), 8u);
+    for (const uint8_t label : out)
+        EXPECT_LT(label, 10);
+}
+
+TEST(OpticalFlowKernel, FlowOfIdenticalFramesIsZero)
+{
+    const auto frame = patternBytes(13, 64 * 64);
+    std::vector<uint8_t> pair;
+    pair.insert(pair.end(), frame.begin(), frame.end());
+    pair.insert(pair.end(), frame.begin(), frame.end());
+    const auto out = makeOpticalFlowSpec().compute(pair);
+    ASSERT_EQ(out.size(), 8u * 8u * 4u);  // 64 blocks x (dx, dy, sad16)
+    for (size_t b = 0; b < 64; ++b) {
+        EXPECT_EQ(out[b * 4 + 0], 4);  // dx = 0 (encoded +4)
+        EXPECT_EQ(out[b * 4 + 1], 4);  // dy = 0
+        uint16_t sad;
+        std::memcpy(&sad, out.data() + b * 4 + 2, 2);
+        EXPECT_EQ(sad, 0);
+    }
+}
+
+TEST(SpamFilterKernel, EmitsWeightsAndPredictions)
+{
+    const auto spec = makeSpamFilterSpec();
+    const size_t sample_bytes = 68;
+    const auto input = patternBytes(17, 32 * sample_bytes);
+    const auto out = spec.compute(input);
+    EXPECT_EQ(out.size(), 32u * 4u + 32u);  // weights + predictions
+    for (size_t i = 128; i < out.size(); ++i)
+        EXPECT_LE(out[i], 1);  // binary predictions
+}
+
+TEST(MobileNetKernel, PoolsPerOutputChannel)
+{
+    const auto spec = makeMobileNetSpec();
+    const auto input = patternBytes(19, 2 * 16 * 16 * 8);  // two frames
+    const auto out = spec.compute(input);
+    EXPECT_EQ(out.size(), 2u * 16u);  // kCout pooled values per frame
+}
+
+TEST(FaceDetectKernel, EmitsTerminatedFrames)
+{
+    const auto spec = makeFaceDetectSpec();
+    const auto input = patternBytes(23, 2 * 64 * 64);
+    const auto out = spec.compute(input);
+    // Each frame's record list ends with the 0xffffffff terminator.
+    ASSERT_GE(out.size(), 8u);
+    int terminators = 0;
+    for (size_t i = 0; i + 4 <= out.size(); i += 4) {
+        if (out[i] == 0xff && out[i + 1] == 0xff && out[i + 2] == 0xff &&
+            out[i + 3] == 0xff)
+            ++terminators;
+    }
+    EXPECT_GE(terminators, 2);
+}
+
+} // namespace
+} // namespace vidi

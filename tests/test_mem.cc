@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: sparse DRAM model (page
+ * boundaries, strobed writes, zero-fill), host memory allocation, and
+ * the BRAM FIFO.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/host_dram.h"
+#include "mem/bram_fifo.h"
+#include "mem/dram_model.h"
+
+namespace vidi {
+namespace {
+
+TEST(DramModelTest, UnwrittenReadsAsZero)
+{
+    DramModel mem;
+    EXPECT_EQ(mem.read32(0x1234), 0u);
+    EXPECT_EQ(mem.read64(0xdeadbeef000ull), 0u);
+    EXPECT_EQ(mem.residentPages(), 0u);
+}
+
+TEST(DramModelTest, ReadWriteAcrossPageBoundary)
+{
+    DramModel mem;
+    const uint64_t addr = DramModel::kPageBytes - 3;  // straddles pages
+    std::vector<uint8_t> data = {10, 20, 30, 40, 50, 60};
+    mem.writeVec(addr, data);
+    EXPECT_EQ(mem.readVec(addr, data.size()), data);
+    EXPECT_EQ(mem.residentPages(), 2u);
+    // Around the write: still zero.
+    EXPECT_EQ(mem.read32(addr - 4), 0u);
+}
+
+TEST(DramModelTest, ScalarAccessors)
+{
+    DramModel mem;
+    mem.write32(0x100, 0xa1b2c3d4u);
+    EXPECT_EQ(mem.read32(0x100), 0xa1b2c3d4u);
+    mem.write64(0x200, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read64(0x200), 0x1122334455667788ull);
+    // Little-endian overlap semantics.
+    EXPECT_EQ(mem.read32(0x200), 0x55667788u);
+}
+
+TEST(DramModelTest, StrobedWriteMasksBytes)
+{
+    DramModel mem;
+    std::vector<uint8_t> before(8, 0xff);
+    mem.writeVec(0x300, before);
+    const uint8_t incoming[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    mem.writeStrobed(0x300, incoming, 8, 0b10100101);
+    const auto after = mem.readVec(0x300, 8);
+    EXPECT_EQ(after, (std::vector<uint8_t>{1, 0xff, 3, 0xff, 0xff, 6,
+                                           0xff, 8}));
+}
+
+TEST(DramModelTest, ClearDropsEverything)
+{
+    DramModel mem;
+    mem.write32(0, 7);
+    mem.clear();
+    EXPECT_EQ(mem.read32(0), 0u);
+    EXPECT_EQ(mem.residentPages(), 0u);
+}
+
+TEST(HostMemoryTest, AllocRespectsAlignmentAndDisjointness)
+{
+    HostMemory host;
+    const uint64_t a = host.alloc(100, 64);
+    const uint64_t b = host.alloc(10, 4096);
+    const uint64_t c = host.alloc(1, 1);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 4096, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_GE(c, b + 10);
+}
+
+TEST(BramFifoTest, OrderingAndHighWater)
+{
+    BramFifo<int> fifo(3);
+    EXPECT_TRUE(fifo.tryPush(1));
+    EXPECT_TRUE(fifo.tryPush(2));
+    EXPECT_TRUE(fifo.tryPush(3));
+    EXPECT_FALSE(fifo.tryPush(4));  // full: refused, not dropped
+    EXPECT_TRUE(fifo.full());
+    EXPECT_EQ(fifo.highWater(), 3u);
+    EXPECT_EQ(fifo.pop(), 1);
+    EXPECT_EQ(fifo.front(), 2);
+    EXPECT_EQ(fifo.space(), 1u);
+    fifo.reset();
+    EXPECT_TRUE(fifo.empty());
+    EXPECT_EQ(fifo.highWater(), 0u);
+    EXPECT_THROW(fifo.pop(), SimPanic);
+}
+
+} // namespace
+} // namespace vidi

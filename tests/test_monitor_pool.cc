@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Regression tests for the demand-driven reservation pool: idle
+ * channels must not starve a busy channel of trace-store space, and the
+ * shim must reject stores too small for the boundary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/boundary.h"
+#include "core/vidi_shim.h"
+#include "host/pcie_bus.h"
+#include "monitor/channel_monitor.h"
+#include "trace/trace.h"
+
+namespace vidi {
+namespace {
+
+/**
+ * Two monitored channels sharing one small encoder/store; only channel
+ * 0 ever carries traffic. Before the demand-driven pool, channel 1's
+ * prefetched reservations could permanently exhaust a small store.
+ */
+TEST(ReservationPool, IdleChannelDoesNotStarveBusyOne)
+{
+    TraceMeta meta;
+    meta.record_output_content = true;
+    meta.channels.push_back({"busy", true, 4, 32});
+    meta.channels.push_back({"idle", true, 4, 32});
+    // Costs per transaction: (2 + 4) + 2 = 8 bytes (1-byte bit-vectors).
+    // A 24-byte store fits three reservations: with eager hoarding, the
+    // idle channel's pool of 4 would deadlock the busy one.
+    Simulator sim;
+    HostMemory host;
+    auto &bus = sim.add<PcieBus>("pcie");
+    auto &store = sim.add<TraceStore>("store", host, bus, 24);
+    auto &enc = sim.add<TraceEncoder>("enc", meta, store);
+    auto &busy_src = sim.makeChannel<uint32_t>("bs", 32);
+    auto &busy_dst = sim.makeChannel<uint32_t>("bd", 32);
+    auto &idle_src = sim.makeChannel<uint32_t>("is", 32);
+    auto &idle_dst = sim.makeChannel<uint32_t>("id", 32);
+    // Register the idle monitor FIRST so it gets first grab at space.
+    sim.add<ChannelMonitor>("mon.idle", idle_src, idle_dst, enc, 1);
+    auto &busy_mon =
+        sim.add<ChannelMonitor>("mon.busy", busy_src, busy_dst, enc, 0);
+    store.beginRecord(0x1000);
+
+    // Drive 20 transactions through the busy channel by hand.
+    busy_dst.setReady(true);
+    for (int cycle = 0; cycle < 4000 && busy_dst.firedCount() < 20;
+         ++cycle) {
+        busy_src.push(uint32_t(busy_dst.firedCount()));
+        sim.step();
+    }
+    busy_src.setValid(false);
+    EXPECT_EQ(busy_dst.firedCount(), 20u)
+        << "busy channel starved by idle reservations";
+    EXPECT_EQ(busy_mon.transactions(), 20u);
+}
+
+TEST(ReservationPool, ShimRejectsUndersizedStore)
+{
+    Simulator sim;
+    HostMemory host;
+    auto &bus = sim.add<PcieBus>("pcie");
+    const F1Channels outer = makeF1Channels(sim, "outer");
+    const F1Channels inner = makeF1Channels(sim, "inner");
+    VidiConfig cfg;
+    cfg.store_fifo_bytes = 256;  // far below the 25-channel minimum
+    EXPECT_THROW(VidiShim(sim, Boundary::fromF1(outer, inner),
+                          VidiMode::R2_Record, host, bus, cfg),
+                 SimFatal);
+}
+
+TEST(ReservationPool, MinStoreBytesScalesWithBoundary)
+{
+    Simulator sim;
+    HostMemory host;
+    auto &bus = sim.add<PcieBus>("pcie");
+    auto &store = sim.add<TraceStore>("store", host, bus, 1 << 20);
+
+    TraceMeta small;
+    small.channels.push_back({"a", true, 4, 32});
+    auto &enc_small = sim.add<TraceEncoder>("e1", small, store);
+
+    TraceMeta big = small;
+    big.channels.push_back({"b", true, 64, 512});
+    auto &enc_big = sim.add<TraceEncoder>("e2", big, store);
+
+    EXPECT_GT(enc_big.minStoreBytes(), enc_small.minStoreBytes());
+}
+
+} // namespace
+} // namespace vidi

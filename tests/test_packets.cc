@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit and property tests for cycle-packet serialization: bit-vector
+ * helpers, roundtrips over randomized packets, truncation handling and
+ * size accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "trace/packets.h"
+
+namespace vidi {
+namespace {
+
+TEST(BitVec, Basics)
+{
+    uint64_t v = 0;
+    v = bitvec::set(v, 0);
+    v = bitvec::set(v, 5);
+    v = bitvec::set(v, 63);
+    EXPECT_TRUE(bitvec::test(v, 0));
+    EXPECT_TRUE(bitvec::test(v, 5));
+    EXPECT_TRUE(bitvec::test(v, 63));
+    EXPECT_FALSE(bitvec::test(v, 1));
+    EXPECT_EQ(bitvec::count(v), 3u);
+
+    std::vector<size_t> order;
+    bitvec::forEach(v, [&](size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<size_t>{0, 5, 63}));
+}
+
+TEST(BitVec, StoreLoadRoundtrip)
+{
+    const uint64_t v = 0x0123456789abcdefull;
+    uint8_t buf[8];
+    bitvec::store(v, buf, 8);
+    EXPECT_EQ(bitvec::load(buf, 8), v);
+
+    // Partial widths keep the low bytes.
+    bitvec::store(v, buf, 4);
+    EXPECT_EQ(bitvec::load(buf, 4), v & 0xffffffffull);
+}
+
+TraceMeta
+smallMeta(bool output_content)
+{
+    TraceMeta meta;
+    meta.record_output_content = output_content;
+    const struct
+    {
+        const char *name;
+        bool input;
+        uint32_t bytes;
+    } chans[] = {
+        {"in0", true, 4}, {"out0", false, 8}, {"in1", true, 16},
+        {"out1", false, 2}, {"in2", true, 1},
+    };
+    for (const auto &c : chans)
+        meta.channels.push_back({c.name, c.input, c.bytes, c.bytes * 8});
+    return meta;
+}
+
+CyclePacket
+randomPacket(const TraceMeta &meta, SimRandom &rng)
+{
+    CyclePacket pkt;
+    for (size_t i = 0; i < meta.channelCount(); ++i) {
+        if (meta.channels[i].input && rng.chance(1, 2)) {
+            pkt.starts = bitvec::set(pkt.starts, i);
+            std::vector<uint8_t> content(meta.channels[i].data_bytes);
+            for (auto &b : content)
+                b = static_cast<uint8_t>(rng.next());
+            pkt.start_contents.push_back(std::move(content));
+        }
+        if (rng.chance(1, 2))
+            pkt.ends = bitvec::set(pkt.ends, i);
+    }
+    if (meta.record_output_content) {
+        bitvec::forEach(pkt.ends, [&](size_t i) {
+            if (meta.channels[i].input)
+                return;
+            std::vector<uint8_t> content(meta.channels[i].data_bytes);
+            for (auto &b : content)
+                b = static_cast<uint8_t>(rng.next());
+            pkt.end_contents.push_back(std::move(content));
+        });
+    }
+    return pkt;
+}
+
+class PacketRoundtrip : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(PacketRoundtrip, RandomPacketsSurviveSerialization)
+{
+    const TraceMeta meta = smallMeta(GetParam());
+    SimRandom rng(0x77);
+    for (int trial = 0; trial < 200; ++trial) {
+        const CyclePacket pkt = randomPacket(meta, rng);
+        std::vector<uint8_t> bytes;
+        serializePacket(meta, pkt, bytes);
+        EXPECT_EQ(bytes.size(), packetBytes(meta, pkt));
+
+        CyclePacket parsed;
+        const size_t consumed =
+            parsePacket(meta, bytes.data(), bytes.size(), parsed);
+        EXPECT_EQ(consumed, bytes.size());
+        EXPECT_EQ(parsed, pkt);
+    }
+}
+
+TEST_P(PacketRoundtrip, ConcatenatedStreamParsesInOrder)
+{
+    const TraceMeta meta = smallMeta(GetParam());
+    SimRandom rng(0x88);
+    std::vector<CyclePacket> packets;
+    std::vector<uint8_t> stream;
+    for (int i = 0; i < 50; ++i) {
+        packets.push_back(randomPacket(meta, rng));
+        serializePacket(meta, packets.back(), stream);
+    }
+    size_t off = 0;
+    for (const auto &expected : packets) {
+        CyclePacket parsed;
+        const size_t n =
+            parsePacket(meta, stream.data() + off, stream.size() - off,
+                        parsed);
+        ASSERT_GT(n, 0u);
+        EXPECT_EQ(parsed, expected);
+        off += n;
+    }
+    EXPECT_EQ(off, stream.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(ContentModes, PacketRoundtrip,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &info) {
+                             return info.param ? "WithOutputContent"
+                                               : "InputOnly";
+                         });
+
+TEST(Packets, TruncatedInputReturnsZero)
+{
+    const TraceMeta meta = smallMeta(true);
+    SimRandom rng(0x99);
+    CyclePacket pkt = randomPacket(meta, rng);
+    // Force at least one content-carrying event.
+    pkt.starts = bitvec::set(pkt.starts, 0);
+    if (pkt.start_contents.empty() ||
+        bitvec::count(pkt.starts) != pkt.start_contents.size()) {
+        pkt = CyclePacket{};
+        pkt.starts = bitvec::set(0, 0);
+        pkt.start_contents.push_back({1, 2, 3, 4});
+    }
+    std::vector<uint8_t> bytes;
+    serializePacket(meta, pkt, bytes);
+    CyclePacket parsed;
+    for (size_t cut = 0; cut < bytes.size(); ++cut)
+        EXPECT_EQ(parsePacket(meta, bytes.data(), cut, parsed), 0u);
+}
+
+TEST(Packets, EmptyPacketIsHeaderOnly)
+{
+    const TraceMeta meta = smallMeta(false);
+    const CyclePacket pkt;
+    EXPECT_TRUE(pkt.empty());
+    EXPECT_EQ(packetBytes(meta, pkt), 2 * meta.bitvecBytes());
+}
+
+TEST(Packets, BitvecBytesRounding)
+{
+    TraceMeta meta = smallMeta(false);
+    EXPECT_EQ(meta.bitvecBytes(), 1u);  // 5 channels
+    for (int i = 0; i < 4; ++i)
+        meta.channels.push_back({"x", true, 4, 32});
+    EXPECT_EQ(meta.bitvecBytes(), 2u);  // 9 channels
+}
+
+} // namespace
+} // namespace vidi

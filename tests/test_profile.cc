@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the trace profiler: group indexing, handshake latency,
+ * inter-end gaps, burst detection and request/response pairing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.h"
+#include "trace/trace_profile.h"
+
+namespace vidi {
+namespace {
+
+TraceMeta
+meta3()
+{
+    TraceMeta meta;
+    meta.channels.push_back({"req", true, 4, 32});
+    meta.channels.push_back({"resp", false, 4, 32});
+    meta.channels.push_back({"side", true, 4, 32});
+    return meta;
+}
+
+CyclePacket
+startPkt(size_t chan)
+{
+    CyclePacket p;
+    p.starts = bitvec::set(0, chan);
+    p.start_contents.push_back({0, 0, 0, 0});
+    return p;
+}
+
+CyclePacket
+endPkt(size_t chan)
+{
+    CyclePacket p;
+    p.ends = bitvec::set(0, chan);
+    return p;
+}
+
+TEST(GapStatsTest, RunningSummary)
+{
+    GapStats s;
+    s.add(4);
+    s.add(2);
+    s.add(6);
+    EXPECT_EQ(s.samples, 3u);
+    EXPECT_EQ(s.min, 2u);
+    EXPECT_EQ(s.max, 6u);
+    EXPECT_NEAR(s.mean, 4.0, 1e-9);
+}
+
+TEST(TraceProfilerTest, HandshakeLatencyInGroups)
+{
+    Trace t;
+    t.meta = meta3();
+    // req start; side end (group 0); side end (group 1); req end (g2).
+    t.packets.push_back(startPkt(0));
+    t.packets.push_back(endPkt(2));
+    t.packets.push_back(endPkt(2));
+    t.packets.push_back(endPkt(0));
+
+    const TraceProfiler prof(t);
+    const auto &req = prof.channels()[0];
+    EXPECT_EQ(req.transactions, 1u);
+    ASSERT_EQ(req.handshake_latency.samples, 1u);
+    // Start fell in group 0; its end is group 2: latency 2.
+    EXPECT_EQ(req.handshake_latency.max, 2u);
+}
+
+TEST(TraceProfilerTest, BurstAndGapDetection)
+{
+    Trace t;
+    t.meta = meta3();
+    // Three back-to-back side ends, a req end, then a lone side end.
+    for (int i = 0; i < 3; ++i)
+        t.packets.push_back(endPkt(2));
+    t.packets.push_back(endPkt(0));
+    t.packets.push_back(endPkt(2));
+
+    const TraceProfiler prof(t);
+    const auto &side = prof.channels()[2];
+    EXPECT_EQ(side.transactions, 4u);
+    EXPECT_EQ(side.longest_burst, 3u);
+    ASSERT_EQ(side.inter_end_gap.samples, 3u);
+    EXPECT_EQ(side.inter_end_gap.min, 1u);
+    EXPECT_EQ(side.inter_end_gap.max, 2u);  // jumped over the req end
+}
+
+TEST(TraceProfilerTest, PairLatencyFifoMatching)
+{
+    Trace t;
+    t.meta = meta3();
+    // req end (g0); resp end (g1); req end (g2); side (g3); resp (g4).
+    t.packets.push_back(endPkt(0));
+    t.packets.push_back(endPkt(1));
+    t.packets.push_back(endPkt(0));
+    t.packets.push_back(endPkt(2));
+    t.packets.push_back(endPkt(1));
+
+    const TraceProfiler prof(t);
+    const PairLatency lat = prof.pairLatency(0, 1);
+    EXPECT_EQ(lat.request, "req");
+    EXPECT_EQ(lat.response, "resp");
+    ASSERT_EQ(lat.latency.samples, 2u);
+    EXPECT_EQ(lat.latency.min, 1u);  // g0 -> g1
+    EXPECT_EQ(lat.latency.max, 2u);  // g2 -> g4
+    EXPECT_THROW(prof.pairLatency(0, 99), SimFatal);
+}
+
+TEST(TraceProfilerTest, ReportMentionsActiveChannelsOnly)
+{
+    Trace t;
+    t.meta = meta3();
+    t.packets.push_back(endPkt(0));
+    const TraceProfiler prof(t);
+    const std::string report = prof.toString();
+    EXPECT_NE(report.find("req"), std::string::npos);
+    EXPECT_EQ(report.find("side "), std::string::npos);
+    EXPECT_NE(report.find("total end-event groups: 1"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace vidi

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.h"
+#include "sim/random.h"
+
+namespace vidi {
+namespace {
+
+TEST(SimRandom, SameSeedSameSequence)
+{
+    SimRandom a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SimRandom, DifferentSeedsDiffer)
+{
+    SimRandom a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(SimRandom, BelowStaysInBounds)
+{
+    SimRandom rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+    EXPECT_THROW(rng.below(0), SimPanic);
+}
+
+TEST(SimRandom, RangeInclusive)
+{
+    SimRandom rng(9);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        hit_lo |= v == 3;
+        hit_hi |= v == 6;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+    EXPECT_THROW(rng.range(5, 4), SimPanic);
+}
+
+TEST(SimRandom, ChanceRoughlyCalibrated)
+{
+    SimRandom rng(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(1, 4);
+    EXPECT_NEAR(hits, 2500, 250);
+}
+
+TEST(SimRandom, ForkDecorrelatesButIsDeterministic)
+{
+    SimRandom parent1(5), parent2(5);
+    SimRandom child1 = parent1.fork();
+    SimRandom child2 = parent2.fork();
+    // Forks of identical parents are identical...
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(child1.next(), child2.next());
+    // ...but differ from the parent stream.
+    SimRandom parent3(5);
+    SimRandom child3 = parent3.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent3.next() == child3.next();
+    EXPECT_LT(same, 3);
+}
+
+} // namespace
+} // namespace vidi

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the §4.2 record window (enable/disable recording around an
+ * invocation): only the windowed portion of the execution lands in the
+ * trace, the window's trace replays standalone, and a transaction whose
+ * start was recorded always gets its end recorded even if the window
+ * closes mid-flight.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/boundary.h"
+#include "core/trace_validator.h"
+#include "core/vidi_shim.h"
+#include "host/pcie_bus.h"
+
+namespace vidi {
+namespace {
+
+/** Echoes one word at a time (same shape as the replay unit tests). */
+class EchoApp : public Module
+{
+  public:
+    EchoApp(Channel<uint32_t> &in, Channel<uint32_t> &out)
+        : Module("echo"), in_(in), out_(out)
+    {
+    }
+
+    void
+    eval() override
+    {
+        in_.setReady(!has_);
+        out_.setValid(has_);
+        if (has_)
+            out_.setData(value_);
+    }
+
+    void
+    tick() override
+    {
+        if (in_.fired()) {
+            value_ = in_.data();
+            has_ = true;
+        }
+        if (out_.fired())
+            has_ = false;
+    }
+
+  private:
+    Channel<uint32_t> &in_;
+    Channel<uint32_t> &out_;
+    bool has_ = false;
+    uint32_t value_ = 0;
+};
+
+/**
+ * Sends a scripted word sequence, up to a movable limit so the test can
+ * flip the record window at quiescent points (as the paper's runtime
+ * does around invocations); always ready for responses.
+ */
+class WordHost : public Module
+{
+  public:
+    WordHost(Channel<uint32_t> &in, Channel<uint32_t> &out,
+             std::vector<uint32_t> words)
+        : Module("host"), in_(in), out_(out), words_(std::move(words)),
+          limit_(words_.size())
+    {
+    }
+
+    /** Present only the first @p n words for now. */
+    void setLimit(size_t n) { limit_ = n; }
+
+    void
+    eval() override
+    {
+        const bool present = index_ < words_.size() && index_ < limit_;
+        in_.setValid(present);
+        if (present)
+            in_.setData(words_[index_]);
+        out_.setReady(true);
+    }
+
+    void
+    tick() override
+    {
+        if (in_.fired())
+            ++index_;
+        if (out_.fired())
+            ++echoed_;
+    }
+
+    size_t echoed() const { return echoed_; }
+
+  private:
+    Channel<uint32_t> &in_;
+    Channel<uint32_t> &out_;
+    std::vector<uint32_t> words_;
+    size_t limit_;
+    size_t index_ = 0;
+    size_t echoed_ = 0;
+};
+
+struct WindowRig
+{
+    WindowRig()
+        : bus(sim.add<PcieBus>("pcie")),
+          in_outer(sim.makeChannel<uint32_t>("outer.in", 32)),
+          in_inner(sim.makeChannel<uint32_t>("inner.in", 32)),
+          out_outer(sim.makeChannel<uint32_t>("outer.out", 32)),
+          out_inner(sim.makeChannel<uint32_t>("inner.out", 32))
+    {
+        Boundary boundary;
+        boundary.add(in_outer, in_inner, true, "in");
+        boundary.add(out_outer, out_inner, false, "out");
+        VidiConfig cfg;
+        cfg.store_fifo_bytes = 4096;
+        shim = std::make_unique<VidiShim>(sim, std::move(boundary),
+                                          VidiMode::R2_Record, host, bus,
+                                          cfg);
+        sim.add<EchoApp>(in_inner, out_inner);
+    }
+
+    Simulator sim;
+    HostMemory host;
+    PcieBus &bus;
+    Channel<uint32_t> &in_outer;
+    Channel<uint32_t> &in_inner;
+    Channel<uint32_t> &out_outer;
+    Channel<uint32_t> &out_inner;
+    std::unique_ptr<VidiShim> shim;
+};
+
+TEST(RecordWindow, OnlyWindowedTransactionsAreRecorded)
+{
+    WindowRig rig;
+    auto &host = rig.sim.add<WordHost>(
+        rig.in_outer, rig.out_outer,
+        std::vector<uint32_t>{1, 2, 3, 4, 5, 6});
+    rig.shim->beginRecord();
+
+    // Job 1 (words 1, 2) runs outside the window; flip at quiescence.
+    rig.shim->setRecording(false);
+    host.setLimit(2);
+    while (host.echoed() < 2)
+        rig.sim.step();
+    // Job 2 (words 3, 4) inside the window.
+    rig.shim->setRecording(true);
+    host.setLimit(4);
+    while (host.echoed() < 4)
+        rig.sim.step();
+    // Job 3 (words 5, 6) outside again.
+    rig.shim->setRecording(false);
+    host.setLimit(6);
+    while (host.echoed() < 6)
+        rig.sim.step();
+    while (!rig.shim->recordDrained())
+        rig.sim.step();
+
+    const Trace trace = rig.shim->collectTrace();
+    EXPECT_EQ(trace.startCount(0), 2u);
+    EXPECT_EQ(trace.endCount(0), 2u);
+    EXPECT_EQ(trace.endCount(1), 2u);
+    const auto contents = trace.inputContents(0);
+    ASSERT_EQ(contents.size(), 2u);
+    uint32_t w0 = 0, w1 = 0;
+    std::memcpy(&w0, contents[0].data(), 4);
+    std::memcpy(&w1, contents[1].data(), 4);
+    EXPECT_EQ(w0, 3u);
+    EXPECT_EQ(w1, 4u);
+}
+
+TEST(RecordWindow, WindowTraceReplaysStandalone)
+{
+    Trace window;
+    {
+        WindowRig rig;
+        auto &host = rig.sim.add<WordHost>(
+            rig.in_outer, rig.out_outer,
+            std::vector<uint32_t>{9, 8, 7, 6});
+        rig.shim->beginRecord();
+        rig.shim->setRecording(false);
+        host.setLimit(2);
+        while (host.echoed() < 2)
+            rig.sim.step();
+        rig.shim->setRecording(true);
+        host.setLimit(4);
+        while (host.echoed() < 4)
+            rig.sim.step();
+        while (!rig.shim->recordDrained())
+            rig.sim.step();
+        window = rig.shim->collectTrace();
+    }
+
+    // Replay the windowed trace against a fresh application instance.
+    Simulator sim;
+    HostMemory host_mem;
+    auto &bus = sim.add<PcieBus>("pcie");
+    auto &in_outer = sim.makeChannel<uint32_t>("outer.in", 32);
+    auto &in_inner = sim.makeChannel<uint32_t>("inner.in", 32);
+    auto &out_outer = sim.makeChannel<uint32_t>("outer.out", 32);
+    auto &out_inner = sim.makeChannel<uint32_t>("inner.out", 32);
+    Boundary boundary;
+    boundary.add(in_outer, in_inner, true, "in");
+    boundary.add(out_outer, out_inner, false, "out");
+    VidiConfig cfg;
+    cfg.store_fifo_bytes = 4096;
+    VidiShim shim(sim, std::move(boundary), VidiMode::R3_Replay,
+                  host_mem, bus, cfg);
+    sim.add<EchoApp>(in_inner, out_inner);
+
+    shim.beginReplay(window);
+    for (int i = 0; i < 10000 && !shim.replayFinished(); ++i)
+        sim.step();
+    ASSERT_TRUE(shim.replayFinished());
+    const ValidationReport report =
+        validateTraces(window, shim.validationTrace());
+    EXPECT_TRUE(report.identical()) << report.summary();
+}
+
+TEST(RecordWindow, InflightTransactionCompletesInTrace)
+{
+    // Close the window while a recorded transaction is mid-handshake:
+    // its end must still be recorded (no dangling start).
+    WindowRig rig;
+    rig.shim->beginRecord();
+
+    // Word A is consumed by the echo app, whose response is blocked
+    // (out_outer READY stays low), so the app cannot accept word B:
+    // B's start gets recorded but its handshake cannot complete yet.
+    rig.in_outer.push(0xaa);
+    for (int i = 0; i < 5 && rig.in_inner.firedCount() < 1; ++i)
+        rig.sim.step();
+    ASSERT_EQ(rig.in_inner.firedCount(), 1u);
+    rig.in_outer.push(0xbb);
+    for (int i = 0; i < 5; ++i)
+        rig.sim.step();  // B admitted + start logged, app not ready
+    ASSERT_EQ(rig.in_inner.firedCount(), 1u);
+
+    // Close the window mid-flight, then unblock the response path so
+    // A's response and B's handshake complete.
+    rig.shim->setRecording(false);
+    rig.out_outer.setReady(true);
+    for (int i = 0; i < 20 && rig.in_inner.firedCount() < 2; ++i)
+        rig.sim.step();
+    ASSERT_EQ(rig.in_inner.firedCount(), 2u);
+    rig.in_outer.setValid(false);
+    for (int i = 0; i < 20; ++i)
+        rig.sim.step();
+    while (!rig.shim->recordDrained())
+        rig.sim.step();
+
+    const Trace trace = rig.shim->collectTrace();
+    // Both A's and B's starts were recorded; both ends must be there
+    // too, even though B (and A's response) completed after the window
+    // closed.
+    EXPECT_EQ(trace.startCount(0), 2u);
+    EXPECT_EQ(trace.endCount(0), 2u);
+    EXPECT_EQ(trace.startCount(0), trace.endCount(0))
+        << "dangling start in the trace";
+}
+
+} // namespace
+} // namespace vidi

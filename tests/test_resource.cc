@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the analytic resource model: calibration band, Fig. 7
+ * monotonicity/linearity, per-component accounting and the text-table
+ * formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "resource/cost_model.h"
+#include "resource/report.h"
+
+namespace vidi {
+namespace {
+
+TEST(CostModel, FullConfigurationMatchesTable2Band)
+{
+    const VidiCostModel model;
+    VidiCostModel::Config cfg;  // defaults: all five interfaces
+    cfg.active_interfaces = 3;
+    const ResourcePercent pct = model.estimatePercent(cfg);
+    // Table 2's band for the HLS applications.
+    EXPECT_NEAR(pct.lut, 5.6, 0.4);
+    EXPECT_NEAR(pct.ff, 3.8, 0.4);
+    EXPECT_NEAR(pct.bram, 6.9, 0.2);
+}
+
+TEST(CostModel, DmaStyleAppCostsMore)
+{
+    const VidiCostModel model;
+    VidiCostModel::Config three;
+    three.active_interfaces = 3;
+    VidiCostModel::Config four = three;
+    four.active_interfaces = 4;
+    const auto a = model.estimatePercent(three);
+    const auto b = model.estimatePercent(four);
+    EXPECT_GT(b.lut, a.lut);
+    EXPECT_GT(b.ff, a.ff);
+    EXPECT_EQ(b.bram, a.bram);
+}
+
+TEST(CostModel, ScalesMonotonicallyWithWidth)
+{
+    const VidiCostModel model;
+    const std::vector<std::vector<F1Interface>> combos = {
+        {F1Interface::Sda},
+        {F1Interface::Sda, F1Interface::Ocl},
+        {F1Interface::Sda, F1Interface::Pcim},
+        {F1Interface::Sda, F1Interface::Pcim, F1Interface::Pcis},
+    };
+    double prev_lut = 0, prev_ff = 0;
+    unsigned prev_width = 0;
+    for (const auto &combo : combos) {
+        VidiCostModel::Config cfg;
+        cfg.monitored = combo;
+        cfg.active_interfaces = 1;
+        const unsigned width = VidiCostModel::totalWidthBits(combo);
+        const auto pct = model.estimatePercent(cfg);
+        EXPECT_GT(width, prev_width);
+        EXPECT_GT(pct.lut, prev_lut);
+        EXPECT_GT(pct.ff, prev_ff);
+        prev_width = width;
+        prev_lut = pct.lut;
+        prev_ff = pct.ff;
+    }
+}
+
+TEST(CostModel, IsApproximatelyLinearInWidth)
+{
+    // Fig. 7's claim: cost ~ a + b*width. Fit two points, test a third.
+    const VidiCostModel model;
+    auto lutAt = [&](std::vector<F1Interface> combo) {
+        VidiCostModel::Config cfg;
+        cfg.monitored = std::move(combo);
+        cfg.active_interfaces = 0;
+        return std::pair<double, double>(
+            VidiCostModel::totalWidthBits(cfg.monitored),
+            model.estimate(cfg).lut);
+    };
+    const auto [w1, l1] = lutAt({F1Interface::Sda});
+    const auto [w2, l2] = lutAt({F1Interface::Sda, F1Interface::Pcim,
+                                 F1Interface::Pcis});
+    const auto [w3, l3] = lutAt({F1Interface::Pcim});
+    const double slope = (l2 - l1) / (w2 - w1);
+    const double intercept = l1 - slope * w1;
+    // Within 10%: per-channel constants add small non-width terms.
+    EXPECT_NEAR(l3, intercept + slope * w3,
+                0.1 * l3);
+}
+
+TEST(CostModel, BramComesFromTheStoreFifo)
+{
+    const VidiCostModel model;
+    VidiCostModel::Config cfg;
+    const auto base = model.estimate(cfg);
+    cfg.store_fifo_bytes *= 2;
+    const auto doubled = model.estimate(cfg);
+    EXPECT_NEAR(doubled.bram36, 2 * base.bram36, 1.0);
+    EXPECT_EQ(doubled.lut, base.lut);
+
+    EXPECT_EQ(model.monitorCost(593).bram36, 0);
+    EXPECT_EQ(model.replayerCost(593).bram36, 0);
+    EXPECT_GT(model.storeCost(1u << 20).bram36, 0);
+}
+
+TEST(CostModel, RecordOnlyDeploymentIsCheaper)
+{
+    const VidiCostModel model;
+    VidiCostModel::Config full;
+    VidiCostModel::Config record_only;
+    record_only.include_replay = false;
+    EXPECT_LT(model.estimate(record_only).lut, model.estimate(full).lut);
+    EXPECT_LT(model.estimate(record_only).ff, model.estimate(full).ff);
+}
+
+TEST(CostModel, ChannelWidthsSumToInterfaceWidth)
+{
+    for (const auto iface :
+         {F1Interface::Ocl, F1Interface::Sda, F1Interface::Bar1,
+          F1Interface::Pcis, F1Interface::Pcim}) {
+        unsigned sum = 0;
+        for (const unsigned w : channelWidths(iface))
+            sum += w;
+        EXPECT_EQ(sum, interfaceWidthBits(iface)) << toString(iface);
+    }
+}
+
+TEST(CostModel, SynthesisJitterIsDeterministicAndSmall)
+{
+    const VidiCostModel model;
+    VidiCostModel::Config cfg;
+    cfg.app_name = "SHA";
+    const auto a = model.estimate(cfg);
+    const auto b = model.estimate(cfg);
+    EXPECT_EQ(a.lut, b.lut);
+
+    VidiCostModel::Config plain;
+    const auto base = model.estimate(plain);
+    EXPECT_NEAR(a.lut, base.lut, base.lut * 0.02);
+}
+
+TEST(TextTableTest, AlignmentAndFormatters)
+{
+    TextTable t;
+    t.header({"A", "Bee"});
+    t.row({"x", "1"});
+    t.row({"longer", "2"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("A       Bee"), std::string::npos);
+    EXPECT_NE(s.find("longer  2"), std::string::npos);
+
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::bytes(512), "512 B");
+    EXPECT_EQ(TextTable::bytes(2048), "2.00 KB");
+    EXPECT_EQ(TextTable::factor(1439.4), "1,439x");
+    EXPECT_EQ(TextTable::factor(10149896), "10,149,896x");
+}
+
+} // namespace
+} // namespace vidi

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * End-to-end smoke tests: record a real application under R2, replay it
+ * under R3, and verify transaction determinism held.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app_registry.h"
+#include "core/divergence.h"
+#include "core/recorder.h"
+#include "core/replayer.h"
+#include "core/trace_validator.h"
+
+namespace vidi {
+namespace {
+
+VidiConfig
+smokeConfig()
+{
+    VidiConfig cfg;
+    cfg.max_cycles = 20'000'000;
+    return cfg;
+}
+
+TEST(Smoke, Sha256BaselineCompletes)
+{
+    HlsAppBuilder app(makeSha256Spec());
+    app.setScale(0.25);
+    const RecordResult r1 =
+        recordRun(app, VidiMode::R1_Transparent, 42, smokeConfig());
+    EXPECT_TRUE(r1.completed);
+    EXPECT_GT(r1.cycles, 0u);
+}
+
+TEST(Smoke, Sha256RecordingIsTransparent)
+{
+    HlsAppBuilder app(makeSha256Spec());
+    app.setScale(0.25);
+    const RecordResult r1 =
+        recordRun(app, VidiMode::R1_Transparent, 42, smokeConfig());
+    const RecordResult r2 =
+        recordRun(app, VidiMode::R2_Record, 42, smokeConfig());
+    ASSERT_TRUE(r1.completed);
+    ASSERT_TRUE(r2.completed);
+    EXPECT_EQ(r1.digest, r2.digest);
+    EXPECT_GT(r2.trace_bytes, 0u);
+    EXPECT_GT(r2.transactions, 0u);
+}
+
+TEST(Smoke, Sha256ReplayMatchesRecording)
+{
+    HlsAppBuilder app(makeSha256Spec());
+    app.setScale(0.25);
+    const DivergenceResult result =
+        detectDivergences(app, 42, smokeConfig());
+    EXPECT_TRUE(result.replay.completed)
+        << "replay stalled at cycle " << result.replay.cycles;
+    EXPECT_TRUE(result.report.identical()) << result.report.summary();
+    EXPECT_EQ(result.record.digest, result.replay.digest);
+}
+
+} // namespace
+} // namespace vidi

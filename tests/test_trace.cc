@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the Trace container and the on-disk trace format.
+ */
+
+#include <cstdio>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.h"
+#include "trace/trace.h"
+#include "trace/trace_file.h"
+
+namespace vidi {
+namespace {
+
+TraceMeta
+meta2()
+{
+    TraceMeta meta;
+    meta.record_output_content = true;
+    meta.channels.push_back({"in", true, 4, 32});
+    meta.channels.push_back({"out", false, 2, 16});
+    return meta;
+}
+
+Trace
+sampleTrace()
+{
+    Trace t;
+    t.meta = meta2();
+
+    CyclePacket p0;  // input start+end with content
+    p0.starts = bitvec::set(0, 0);
+    p0.ends = bitvec::set(0, 0);
+    p0.start_contents.push_back({1, 2, 3, 4});
+    t.packets.push_back(p0);
+
+    CyclePacket p1;  // output end with content
+    p1.ends = bitvec::set(0, 1);
+    p1.end_contents.push_back({9, 8});
+    t.packets.push_back(p1);
+
+    CyclePacket p2;  // simultaneous input start and output end
+    p2.starts = bitvec::set(0, 0);
+    p2.ends = bitvec::set(0, 1);
+    p2.start_contents.push_back({5, 6, 7, 8});
+    p2.end_contents.push_back({4, 2});
+    t.packets.push_back(p2);
+
+    return t;
+}
+
+TEST(Trace, Counters)
+{
+    const Trace t = sampleTrace();
+    EXPECT_EQ(t.startCount(0), 2u);
+    EXPECT_EQ(t.startCount(1), 0u);
+    EXPECT_EQ(t.endCount(0), 1u);
+    EXPECT_EQ(t.endCount(1), 2u);
+    EXPECT_EQ(t.totalTransactions(), 3u);
+}
+
+TEST(Trace, ContentExtraction)
+{
+    const Trace t = sampleTrace();
+    const auto ins = t.inputContents(0);
+    ASSERT_EQ(ins.size(), 2u);
+    EXPECT_EQ(ins[0], (std::vector<uint8_t>{1, 2, 3, 4}));
+    EXPECT_EQ(ins[1], (std::vector<uint8_t>{5, 6, 7, 8}));
+
+    const auto outs = t.outputEndContents(1);
+    ASSERT_EQ(outs.size(), 2u);
+    EXPECT_EQ(outs[0], (std::vector<uint8_t>{9, 8}));
+    EXPECT_EQ(outs[1], (std::vector<uint8_t>{4, 2}));
+}
+
+TEST(Trace, OutputContentsRequireDetectionMode)
+{
+    Trace t = sampleTrace();
+    t.meta.record_output_content = false;
+    EXPECT_THROW(t.outputEndContents(1), SimFatal);
+}
+
+TEST(Trace, EndOrderSignatureSkipsEndlessPackets)
+{
+    Trace t = sampleTrace();
+    CyclePacket starts_only;
+    starts_only.starts = bitvec::set(0, 0);
+    starts_only.start_contents.push_back({0, 0, 0, 0});
+    t.packets.insert(t.packets.begin(), starts_only);
+    const auto sig = t.endOrderSignature();
+    ASSERT_EQ(sig.size(), 3u);
+    EXPECT_EQ(sig[0], bitvec::set(0, 0));
+    EXPECT_EQ(sig[1], bitvec::set(0, 1));
+}
+
+TEST(Trace, BytesRoundtrip)
+{
+    const Trace t = sampleTrace();
+    const std::vector<uint8_t> bytes = t.serialize();
+    EXPECT_EQ(bytes.size(), t.serializedBytes());
+    const Trace back = Trace::fromBytes(t.meta, bytes.data(),
+                                        bytes.size());
+    EXPECT_EQ(back, t);
+}
+
+TEST(Trace, FromBytesRejectsTruncation)
+{
+    const Trace t = sampleTrace();
+    const std::vector<uint8_t> bytes = t.serialize();
+    EXPECT_THROW(
+        Trace::fromBytes(t.meta, bytes.data(), bytes.size() - 1),
+        SimFatal);
+}
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tmpPath(const char *name)
+    {
+        return ::testing::TempDir() + "/" + name;
+    }
+};
+
+TEST_F(TraceFileTest, SaveLoadRoundtrip)
+{
+    const Trace t = sampleTrace();
+    const std::string path = tmpPath("roundtrip.vtrc");
+    saveTrace(path, t);
+    const Trace back = loadTrace(path);
+    EXPECT_EQ(back, t);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceFileTest, RejectsMissingFile)
+{
+    EXPECT_THROW(loadTrace(tmpPath("does-not-exist.vtrc")), SimFatal);
+}
+
+TEST_F(TraceFileTest, RejectsBadMagic)
+{
+    const std::string path = tmpPath("bad.vtrc");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOTATRACE-------", f);
+    std::fclose(f);
+    EXPECT_THROW(loadTrace(path), SimFatal);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceFileTest, RejectsTruncatedFile)
+{
+    const Trace t = sampleTrace();
+    const std::string path = tmpPath("trunc.vtrc");
+    saveTrace(path, t);
+    // Truncate the file by a handful of bytes.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long len = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), len - 3), 0);
+    EXPECT_THROW(loadTrace(path), SimFatal);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace vidi

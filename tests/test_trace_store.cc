@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the byte FIFO and the trace store's record/replay data
+ * movement under the PCIe bandwidth model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/pcie_bus.h"
+#include "sim/simulator.h"
+#include "trace/trace_store.h"
+
+namespace vidi {
+namespace {
+
+TEST(ByteFifo, PushPeekConsumeAndWraparound)
+{
+    ByteFifo fifo(8);
+    const uint8_t a[5] = {1, 2, 3, 4, 5};
+    fifo.push(a, 5);
+    EXPECT_EQ(fifo.size(), 5u);
+    EXPECT_EQ(fifo.space(), 3u);
+
+    uint8_t buf[8] = {};
+    EXPECT_EQ(fifo.peek(buf, 3), 3u);
+    EXPECT_EQ(buf[0], 1);
+    EXPECT_EQ(buf[2], 3);
+    fifo.consume(3);
+
+    // Wrap around the ring boundary.
+    const uint8_t b[6] = {6, 7, 8, 9, 10, 11};
+    fifo.push(b, 6);
+    EXPECT_EQ(fifo.size(), 8u);
+    EXPECT_EQ(fifo.space(), 0u);
+    EXPECT_EQ(fifo.highWater(), 8u);
+
+    uint8_t out[8];
+    EXPECT_EQ(fifo.peek(out, 8), 8u);
+    const uint8_t expect[8] = {4, 5, 6, 7, 8, 9, 10, 11};
+    EXPECT_EQ(std::memcmp(out, expect, 8), 0);
+}
+
+TEST(ByteFifo, OverflowAndUnderflowPanic)
+{
+    ByteFifo fifo(4);
+    const uint8_t a[5] = {0, 1, 2, 3, 4};
+    EXPECT_THROW(fifo.push(a, 5), SimPanic);
+    fifo.push(a, 4);
+    EXPECT_THROW(fifo.consume(5), SimPanic);
+}
+
+TEST(PcieLinkModel, LongRunRateIsExact)
+{
+    PcieLink link(5.5e9, 250e6);  // 22 bytes/cycle
+    uint64_t total = 0;
+    for (int i = 0; i < 1000; ++i)
+        total += link.grant();
+    EXPECT_EQ(total, 22000u);
+    EXPECT_NEAR(link.bytesPerCycle(), 22.0, 0.01);
+}
+
+TEST(PcieBusModel, BudgetSharedInRequestOrder)
+{
+    Simulator sim;
+    auto &bus = sim.add<PcieBus>("pcie", 5.5e9, 250e6, 4096);
+    sim.step();  // one refill
+    EXPECT_EQ(bus.request(10), 10u);
+    EXPECT_EQ(bus.request(100), 12u);  // remainder of the 22-byte budget
+    EXPECT_EQ(bus.request(5), 0u);
+    sim.step();
+    EXPECT_EQ(bus.request(100), 22u);
+}
+
+TEST(PcieBusModel, BurstBucketCaps)
+{
+    Simulator sim;
+    auto &bus = sim.add<PcieBus>("pcie", 5.5e9, 250e6, 100);
+    for (int i = 0; i < 50; ++i)
+        sim.step();  // accumulate, capped at 100
+    EXPECT_EQ(bus.request(1000), 100u);
+}
+
+class StoreFixture : public ::testing::Test
+{
+  protected:
+    StoreFixture()
+        : bus(sim.add<PcieBus>("pcie", 5.5e9, 250e6)),
+          store(sim.add<TraceStore>("store", host, bus, 256))
+    {
+    }
+
+    Simulator sim;
+    HostMemory host;
+    PcieBus &bus;
+    TraceStore &store;
+};
+
+TEST_F(StoreFixture, RecordDrainsToHostDram)
+{
+    store.beginRecord(0x4000);
+    std::vector<uint8_t> data(200);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(i);
+    store.pushBytes(data.data(), data.size());
+    EXPECT_EQ(store.spaceBytes(), 56u);
+
+    // 200 bytes at 22 B/cycle need 10 cycles.
+    for (int i = 0; i < 12 && !store.drained(); ++i)
+        sim.step();
+    EXPECT_TRUE(store.drained());
+    EXPECT_EQ(store.bytesStored(), 200u);
+    EXPECT_EQ(store.linesWritten(), 4u);  // ceil(200/64)
+
+    const auto back = host.mem().readVec(0x4000, 200);
+    EXPECT_EQ(back, data);
+}
+
+TEST_F(StoreFixture, ReplayPrefetchesAndServes)
+{
+    std::vector<uint8_t> trace(300);
+    for (size_t i = 0; i < trace.size(); ++i)
+        trace[i] = static_cast<uint8_t>(i * 3);
+    host.mem().writeVec(0x8000, trace);
+    store.beginReplay(0x8000, trace.size());
+
+    std::vector<uint8_t> got;
+    for (int i = 0; i < 100 && !store.exhausted(); ++i) {
+        sim.step();
+        uint8_t buf[64];
+        const size_t n = store.peek(buf, sizeof(buf));
+        store.consume(n);
+        got.insert(got.end(), buf, buf + n);
+    }
+    EXPECT_TRUE(store.exhausted());
+    EXPECT_EQ(got, trace);
+}
+
+TEST_F(StoreFixture, ModeGuards)
+{
+    const uint8_t b = 0;
+    EXPECT_THROW(store.pushBytes(&b, 1), SimPanic);
+    EXPECT_THROW(store.consume(1), SimPanic);
+    store.beginRecord(0);
+    EXPECT_THROW(store.consume(1), SimPanic);
+}
+
+} // namespace
+} // namespace vidi

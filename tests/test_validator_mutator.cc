@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the offline trace tools: the validator's divergence
+ * taxonomy (count, content, ordering) and the mutation tool's event
+ * reordering with its causality guards.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "core/trace_mutator.h"
+#include "sim/logging.h"
+#include "core/trace_validator.h"
+
+namespace vidi {
+namespace {
+
+TraceMeta
+meta2()
+{
+    TraceMeta meta;
+    meta.record_output_content = true;
+    meta.channels.push_back({"in", true, 4, 32});
+    meta.channels.push_back({"out", false, 4, 32});
+    return meta;
+}
+
+std::vector<uint8_t>
+word(uint32_t v)
+{
+    std::vector<uint8_t> b(4);
+    std::memcpy(b.data(), &v, 4);
+    return b;
+}
+
+Trace
+referenceTrace()
+{
+    Trace t;
+    t.meta = meta2();
+    for (uint32_t i = 0; i < 3; ++i) {
+        CyclePacket in_pkt;
+        in_pkt.starts = bitvec::set(0, 0);
+        in_pkt.ends = bitvec::set(0, 0);
+        in_pkt.start_contents.push_back(word(i));
+        t.packets.push_back(in_pkt);
+        CyclePacket out_pkt;
+        out_pkt.ends = bitvec::set(0, 1);
+        out_pkt.end_contents.push_back(word(i * 100));
+        t.packets.push_back(out_pkt);
+    }
+    return t;
+}
+
+TEST(Validator, IdenticalTracesReportClean)
+{
+    const Trace ref = referenceTrace();
+    const ValidationReport report = validateTraces(ref, ref);
+    EXPECT_TRUE(report.identical());
+    EXPECT_EQ(report.transactions_compared, 6u);
+    EXPECT_EQ(report.divergenceRate(), 0.0);
+    EXPECT_NE(report.summary().find("no divergences"),
+              std::string::npos);
+}
+
+TEST(Validator, DetectsTransactionCountMismatch)
+{
+    const Trace ref = referenceTrace();
+    Trace val = ref;
+    val.packets.pop_back();  // lose the last output end
+    const ValidationReport report = validateTraces(ref, val);
+    ASSERT_FALSE(report.identical());
+    bool found = false;
+    for (const auto &d : report.divergences) {
+        if (d.kind == Divergence::Kind::TransactionCount &&
+            d.channel == 1)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Validator, DetectsOutputContentDivergence)
+{
+    const Trace ref = referenceTrace();
+    Trace val = ref;
+    val.packets[3].end_contents[0] = word(0xbad);
+    const ValidationReport report = validateTraces(ref, val);
+    ASSERT_EQ(report.divergences.size(), 1u);
+    const Divergence &d = report.divergences[0];
+    EXPECT_EQ(d.kind, Divergence::Kind::OutputContent);
+    EXPECT_EQ(d.channel, 1u);
+    EXPECT_EQ(d.channel_name, "out");
+    EXPECT_EQ(d.index, 1u);
+    EXPECT_EQ(d.expected, word(100));
+    EXPECT_EQ(d.actual, word(0xbad));
+    EXPECT_NE(d.toString().find("output-content"), std::string::npos);
+}
+
+TEST(Validator, DetectsEndOrderingInversion)
+{
+    const Trace ref = referenceTrace();
+    Trace val = ref;
+    // Swap the second round's input end and the FIRST round's output
+    // end: out0 now completes after in1, inverting the recorded order.
+    std::swap(val.packets[1], val.packets[2]);
+    const ValidationReport report = validateTraces(ref, val);
+    bool found = false;
+    for (const auto &d : report.divergences)
+        found |= d.kind == Divergence::Kind::EndOrdering;
+    EXPECT_TRUE(found);
+}
+
+TEST(Validator, SerializedSimultaneityIsNotADivergence)
+{
+    // Events simultaneous in the reference may legally serialize (in
+    // either order) during replay.
+    Trace ref;
+    ref.meta = meta2();
+    CyclePacket both;
+    both.starts = bitvec::set(0, 0);
+    both.ends = bitvec::set(bitvec::set(0, 0), 1);
+    both.start_contents.push_back(word(1));
+    both.end_contents.push_back(word(2));
+    ref.packets.push_back(both);
+
+    Trace val;
+    val.meta = meta2();
+    CyclePacket out_first;  // serialized the other way around
+    out_first.ends = bitvec::set(0, 1);
+    out_first.end_contents.push_back(word(2));
+    val.packets.push_back(out_first);
+    CyclePacket in_second;
+    in_second.starts = bitvec::set(0, 0);
+    in_second.ends = bitvec::set(0, 0);
+    in_second.start_contents.push_back(word(1));
+    val.packets.push_back(in_second);
+
+    const ValidationReport report = validateTraces(ref, val);
+    EXPECT_TRUE(report.identical()) << report.summary();
+}
+
+TEST(Validator, RequiresOutputContentInReference)
+{
+    Trace ref = referenceTrace();
+    ref.meta.record_output_content = false;
+    for (auto &p : ref.packets)
+        p.end_contents.clear();
+    EXPECT_THROW(validateTraces(ref, ref), SimFatal);
+}
+
+TEST(Validator, RejectsMismatchedBoundaries)
+{
+    const Trace ref = referenceTrace();
+    Trace other = ref;
+    other.meta.channels[0].name = "different";
+    EXPECT_THROW(validateTraces(ref, other), SimFatal);
+}
+
+TEST(Mutator, FindsEventPackets)
+{
+    TraceMutator mut(referenceTrace());
+    EXPECT_EQ(mut.findEndPacket(0, 0), 0);
+    EXPECT_EQ(mut.findEndPacket(1, 0), 1);
+    EXPECT_EQ(mut.findEndPacket(0, 2), 4);
+    EXPECT_EQ(mut.findEndPacket(0, 3), -1);
+    EXPECT_EQ(mut.findStartPacket(0, 1), 2);
+}
+
+TEST(Mutator, ReorderEndMovesEventEarlier)
+{
+    TraceMutator mut(referenceTrace());
+    // Move out's 2nd end (packet 3) before in's 2nd end (packet 2).
+    EXPECT_TRUE(mut.reorderEndBefore(1, 1, 0, 1));
+    const Trace t = mut.take();
+    // The moved end now sits alone right before the old packet 2.
+    EXPECT_EQ(t.packets[2].ends, bitvec::set(0, 1));
+    EXPECT_EQ(t.packets[2].end_contents[0], word(100));
+    EXPECT_EQ(t.packets[3].ends, bitvec::set(0, 0));
+    // Total event counts unchanged.
+    EXPECT_EQ(t.endCount(0), 3u);
+    EXPECT_EQ(t.endCount(1), 3u);
+}
+
+TEST(Mutator, SplitsSimultaneousEvents)
+{
+    Trace t;
+    t.meta = meta2();
+    CyclePacket both;
+    both.ends = bitvec::set(bitvec::set(0, 0), 1);
+    both.end_contents.push_back(word(42));
+    CyclePacket prelude;  // give channel 0 a start for causality
+    prelude.starts = bitvec::set(0, 0);
+    prelude.start_contents.push_back(word(0));
+    t.packets.push_back(prelude);
+    t.packets.push_back(both);
+
+    TraceMutator mut(std::move(t));
+    EXPECT_TRUE(mut.reorderEndBefore(1, 0, 0, 0));
+    const Trace out = mut.take();
+    ASSERT_EQ(out.packets.size(), 3u);
+    EXPECT_EQ(out.packets[1].ends, bitvec::set(0, 1));
+    EXPECT_EQ(out.packets[2].ends, bitvec::set(0, 0));
+}
+
+TEST(Mutator, NoChangeWhenAlreadyOrdered)
+{
+    TraceMutator mut(referenceTrace());
+    // in's 1st end (packet 0) already precedes out's 1st end (packet 1).
+    EXPECT_FALSE(mut.reorderEndBefore(0, 0, 1, 0));
+}
+
+TEST(Mutator, GuardsAgainstBreakingCausality)
+{
+    // Moving an input's end before its own start must be refused.
+    TraceMutator mut(referenceTrace());
+    EXPECT_THROW(mut.reorderEndBefore(0, 1, 1, 0), SimFatal);
+}
+
+TEST(Mutator, GuardsAgainstSameChannelInversion)
+{
+    Trace t;
+    t.meta = meta2();
+    for (int i = 0; i < 3; ++i) {
+        CyclePacket p;
+        p.ends = bitvec::set(0, 1);
+        p.end_contents.push_back(word(uint32_t(i)));
+        t.packets.push_back(p);
+    }
+    TraceMutator mut(std::move(t));
+    // Move out's 3rd end before out's... another channel's event that
+    // precedes out's 2nd end: inverts same-channel order.
+    EXPECT_THROW(mut.reorderEndBefore(1, 2, 1, 0), SimFatal);
+}
+
+TEST(Mutator, RejectsMissingEvents)
+{
+    TraceMutator mut(referenceTrace());
+    EXPECT_THROW(mut.reorderEndBefore(0, 9, 1, 0), SimFatal);
+    EXPECT_THROW(mut.reorderEndBefore(7, 0, 1, 0), SimFatal);
+}
+
+} // namespace
+} // namespace vidi
