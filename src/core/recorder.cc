@@ -50,14 +50,28 @@ recordRun(AppBuilder &app, VidiMode mode, uint64_t seed,
         uint64_t drain_budget = cfg.max_cycles;
         while (!shim.recordDrained() && drain_budget-- > 0)
             sim.step();
-        if (!shim.recordDrained())
-            fatal("recordRun(%s): trace store failed to drain",
-                  result.app.c_str());
-        result.trace = shim.collectTrace();
+        if (!shim.recordDrained()) {
+            const TraceStore *store = shim.store();
+            fatal("recordRun(%s): trace store failed to drain within %llu "
+                  "cycles (%zu bytes still buffered, %llu stall cycles, "
+                  "%llu drain retries — check the PCIe path and the "
+                  "overflow policy)",
+                  result.app.c_str(),
+                  static_cast<unsigned long long>(cfg.max_cycles),
+                  store->availableBytes(),
+                  static_cast<unsigned long long>(store->stallCycles()),
+                  static_cast<unsigned long long>(store->drainRetries()));
+        }
+        result.trace = shim.collectTrace(&result.damage);
         result.trace_bytes = shim.traceBytes();
+        result.trace_lines = shim.store()->linesWritten();
         result.transactions = shim.monitoredTransactions();
         result.monitor_stall_cycles = shim.monitorStallCycles();
         result.store_fifo_high_water = shim.store()->fifoHighWater();
+        result.drain_retries = shim.store()->drainRetries();
+        result.link_stall_cycles = shim.store()->stallCycles();
+        result.overflow_drops = shim.store()->overflowDrops();
+        result.dropped_payload_bytes = shim.store()->droppedPayloadBytes();
     }
     return result;
 }

@@ -38,10 +38,21 @@ struct RecordResult
     /// @name R2-only measurements
     /// @{
     Trace trace;
-    uint64_t trace_bytes = 0;
+    uint64_t trace_bytes = 0;         ///< payload bytes (cycle packets)
+    uint64_t trace_lines = 0;         ///< framed 64 B storage lines
     uint64_t transactions = 0;        ///< completed monitored transactions
     uint64_t monitor_stall_cycles = 0;
     uint64_t store_fifo_high_water = 0;
+    /// @}
+
+    /// @name Robustness accounting (R2)
+    /// @{
+    /** Damage found when decoding the stored line stream. */
+    TraceDamageReport damage;
+    uint64_t drain_retries = 0;       ///< backoff-deferred drain attempts
+    uint64_t link_stall_cycles = 0;   ///< drain cycles with a dead link
+    uint64_t overflow_drops = 0;      ///< drop-with-report sheds
+    uint64_t dropped_payload_bytes = 0;
     /// @}
 
     /** Input-signal bits per cycle a cycle-accurate recorder would log. */

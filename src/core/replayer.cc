@@ -30,7 +30,10 @@ replayRun(AppBuilder &app, const Trace &trace, const VidiConfig &cfg)
     auto instance = app.build(sim, inner, nullptr, nullptr, nullptr, 0);
 
     shim.beginReplay(trace);
-    while (!shim.replayFinished() && sim.cycle() < cfg.max_cycles)
+    // The watchdog turns a wedged replay into a prompt, diagnosable
+    // failure; the coarse cycle budget remains as the backstop.
+    while (!shim.replayFinished() && !shim.replayStalled() &&
+           sim.cycle() < cfg.max_cycles)
         sim.step();
 
     result.completed = shim.replayFinished();
@@ -38,6 +41,9 @@ replayRun(AppBuilder &app, const Trace &trace, const VidiConfig &cfg)
     result.replayed_transactions = shim.replayedTransactions();
     result.digest = instance->outputDigest();
     result.validation = shim.validationTrace();
+    result.watchdog_tripped = shim.replayStalled();
+    result.diagnostic = shim.replayDiagnostic();
+    result.damage = shim.replayDamage();
     return result;
 }
 

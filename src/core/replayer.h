@@ -32,6 +32,18 @@ struct ReplayResult
 
     /** The execution as observed during replay (§3.6). */
     Trace validation;
+
+    /// @name Robustness accounting
+    /// @{
+    /** The replay watchdog declared the run stalled. */
+    bool watchdog_tripped = false;
+
+    /** Per-channel watchdog diagnostic (empty unless tripped). */
+    std::string diagnostic;
+
+    /** Damage observed while fetching the trace from host DRAM. */
+    TraceDamageReport damage;
+    /// @}
 };
 
 /**

@@ -48,6 +48,10 @@ describe(const ReplayResult &result)
     s += std::to_string(result.cycles) + " cycles, " +
          std::to_string(result.replayed_transactions) +
          " transactions replayed";
+    if (result.watchdog_tripped)
+        s += " (watchdog tripped)";
+    if (!result.damage.clean())
+        s += "; " + result.damage.toString();
     return s;
 }
 

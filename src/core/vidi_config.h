@@ -19,8 +19,10 @@
 #include <cstdint>
 #include <initializer_list>
 
+#include "fault/fault_plan.h"
 #include "host/pcie_link.h"
 #include "monitor/monitor_config.h"
+#include "trace/storage_line.h"
 
 namespace vidi {
 
@@ -88,6 +90,38 @@ struct VidiConfig
 
     /** Simulation cycle budget per run (deadlock watchdog). */
     uint64_t max_cycles = 200'000'000;
+
+    /// @name Fault injection & recovery (robustness validation)
+    /// @{
+    /**
+     * Deterministic fault schedule applied to the PCIe/DRAM/trace-file
+     * path. All-zero (the default) disables injection entirely.
+     */
+    FaultSpec fault;
+
+    /** Record-side behavior when the PCIe drain stalls persistently. */
+    OverflowPolicy overflow_policy = OverflowPolicy::Block;
+
+    /** Max cycles between drain retries (exponential backoff cap). */
+    uint64_t drain_backoff_limit = 1024;
+
+    /**
+     * Consecutive zero-progress drain cycles before the overflow policy
+     * engages (drop-with-report only).
+     */
+    uint64_t stall_escalation_cycles = 4096;
+
+    /**
+     * Replay watchdog horizon: cycles without any replay progress
+     * (completions or decoded packets) before the run is declared
+     * stalled and a per-channel diagnostic is produced. 0 disables.
+     * The default tolerates applications that legitimately compute for
+     * millions of cycles between transactions (e.g. SSSP's relaxation
+     * sweeps) while still catching true deadlocks well inside a typical
+     * cycle budget.
+     */
+    uint64_t replay_watchdog_cycles = 10'000'000;
+    /// @}
 };
 
 } // namespace vidi

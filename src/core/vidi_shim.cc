@@ -23,6 +23,9 @@ VidiShim::VidiShim(Simulator &sim, Boundary boundary, VidiMode mode,
       case VidiMode::R2_Record: {
         store_ = &sim_.add<TraceStore>("vidi.store", host_, bus_,
                                        cfg_.store_fifo_bytes);
+        store_->configureDrain(cfg_.overflow_policy,
+                               cfg_.drain_backoff_limit,
+                               cfg_.stall_escalation_cycles);
         encoder_ = &sim_.add<TraceEncoder>("vidi.encoder", meta_, *store_);
         if (cfg_.store_fifo_bytes < encoder_->minStoreBytes())
             fatal("VidiShim: trace-store FIFO of %zu bytes is below the "
@@ -62,8 +65,17 @@ VidiShim::VidiShim(Simulator &sim, Boundary boundary, VidiMode mode,
                 "vidi.rep." + ch.name, *ch.inner, *decoder_, *coordinator_,
                 i));
         }
+        coordinator_->configureWatchdog(
+            cfg_.replay_watchdog_cycles, decoder_,
+            {replayers_.begin(), replayers_.end()});
         break;
       }
+    }
+
+    if (store_ != nullptr && cfg_.fault.any()) {
+        fault_ = std::make_unique<FaultInjector>(cfg_.fault);
+        store_->attachFault(fault_.get());
+        bus_.attachFault(fault_.get());
     }
 }
 
@@ -99,15 +111,25 @@ VidiShim::traceBytes() const
 }
 
 Trace
-VidiShim::collectTrace() const
+VidiShim::collectTrace(TraceDamageReport *report) const
 {
     if (mode_ != VidiMode::R2_Record)
         fatal("VidiShim::collectTrace requires mode R2");
     if (!store_->drained())
         fatal("VidiShim::collectTrace before the trace store drained");
     const std::vector<uint8_t> bytes =
-        host_.mem().readVec(trace_region_, store_->bytesStored());
-    return Trace::fromBytes(meta_, bytes.data(), bytes.size());
+        host_.mem().readVec(trace_region_, store_->dramBytesWritten());
+    TraceDamageReport local;
+    TraceDamageReport &rep = report != nullptr ? *report : local;
+    const std::vector<StreamSegment> segments =
+        deframeStream(bytes.data(), bytes.size(), rep);
+    Trace trace = Trace::fromSegments(meta_, segments, rep);
+    // Payload the store itself shed (drop-with-report overflow) is loss
+    // the line stream can only mark, not measure; fold it in here.
+    rep.payload_bytes_lost += store_->droppedPayloadBytes();
+    if (report == nullptr && !rep.clean())
+        fatal("VidiShim::collectTrace: %s", rep.toString().c_str());
+    return trace;
 }
 
 uint64_t
@@ -136,10 +158,14 @@ VidiShim::beginReplay(const Trace &trace)
     if (!(trace.meta == meta_))
         fatal("VidiShim::beginReplay: trace metadata does not match this "
               "boundary/configuration");
-    const std::vector<uint8_t> bytes = trace.serialize();
-    trace_region_ = host_.alloc(bytes.size() + 1);
-    host_.mem().writeVec(trace_region_, bytes);
-    store_->beginReplay(trace_region_, bytes.size());
+    // Stage the trace in host DRAM as the framed line stream the store's
+    // validating fetch path expects.
+    std::vector<uint64_t> packet_starts;
+    const std::vector<uint8_t> payload = trace.serialize(&packet_starts);
+    const std::vector<uint8_t> lines = frameStream(payload, packet_starts);
+    trace_region_ = host_.alloc(lines.size() + 1);
+    host_.mem().writeVec(trace_region_, lines);
+    store_->beginReplay(trace_region_, lines.size());
 }
 
 bool
@@ -170,6 +196,32 @@ VidiShim::replayedTransactions() const
     if (mode_ != VidiMode::R3_Replay)
         fatal("VidiShim::replayedTransactions requires mode R3");
     return coordinator_->completions();
+}
+
+bool
+VidiShim::replayStalled() const
+{
+    if (mode_ != VidiMode::R3_Replay)
+        fatal("VidiShim::replayStalled requires mode R3");
+    return coordinator_->watchdogTripped();
+}
+
+const std::string &
+VidiShim::replayDiagnostic() const
+{
+    if (mode_ != VidiMode::R3_Replay)
+        fatal("VidiShim::replayDiagnostic requires mode R3");
+    return coordinator_->watchdogDiagnostic();
+}
+
+TraceDamageReport
+VidiShim::replayDamage() const
+{
+    if (mode_ != VidiMode::R3_Replay)
+        fatal("VidiShim::replayDamage requires mode R3");
+    TraceDamageReport report = store_->damage();
+    report.packets_decoded = decoder_->packetsDecoded();
+    return report;
 }
 
 } // namespace vidi

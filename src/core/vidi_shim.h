@@ -18,10 +18,13 @@
 #ifndef VIDI_CORE_VIDI_SHIM_H
 #define VIDI_CORE_VIDI_SHIM_H
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/boundary.h"
 #include "core/vidi_config.h"
+#include "fault/fault_injector.h"
 #include "host/host_dram.h"
 #include "host/pcie_bus.h"
 #include "monitor/channel_monitor.h"
@@ -83,8 +86,15 @@ class VidiShim
     /** Bytes of trace stored in host DRAM. */
     uint64_t traceBytes() const;
 
-    /** Decode the recorded trace out of host DRAM. */
-    Trace collectTrace() const;
+    /**
+     * Decode the recorded trace out of host DRAM, validating every
+     * storage line and resynchronizing past damage.
+     *
+     * @param report when non-null, receives the damage account and the
+     *        call never throws for damage; when null, any damage is
+     *        fatal (the strict legacy contract).
+     */
+    Trace collectTrace(TraceDamageReport *report = nullptr) const;
 
     /** Total sender-stall cycles across all monitors (back-pressure). */
     uint64_t monitorStallCycles() const;
@@ -106,10 +116,22 @@ class VidiShim
 
     /** Completed transactions during replay. */
     uint64_t replayedTransactions() const;
+
+    /** True once the replay watchdog declared the run stalled. */
+    bool replayStalled() const;
+
+    /** The watchdog's per-channel diagnostic (after replayStalled()). */
+    const std::string &replayDiagnostic() const;
+
+    /** Damage observed on the replay fetch path (CRC lines etc.). */
+    TraceDamageReport replayDamage() const;
     /// @}
 
     TraceStore *store() { return store_; }
     TraceEncoder *encoder() { return encoder_; }
+
+    /** The active fault injector, if any (for test assertions). */
+    FaultInjector *fault() { return fault_.get(); }
 
   private:
     Simulator &sim_;
@@ -122,6 +144,9 @@ class VidiShim
 
     uint64_t trace_region_ = 0;
     bool recording_enabled_ = true;
+
+    /** Owns the deterministic fault schedule when cfg.fault.any(). */
+    std::unique_ptr<FaultInjector> fault_;
 
     // Non-owning pointers into the simulator's module list.
     TraceStore *store_ = nullptr;

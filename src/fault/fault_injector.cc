@@ -1,0 +1,127 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan))
+{
+    for (const FaultEvent &e : plan_.events()) {
+        switch (e.kind) {
+          case FaultKind::LineBitFlip:
+            flips_[e.at].push_back(e.a);
+            break;
+          case FaultKind::LineDrop:
+            drops_.insert(e.at);
+            break;
+          case FaultKind::LineDup:
+            dups_.insert(e.at);
+            break;
+          case FaultKind::PcieStall:
+            stalls_.push_back({e.at, e.at + e.a, 0});
+            break;
+          case FaultKind::PcieThrottle:
+            throttles_.push_back({e.at, e.at + e.a, e.b});
+            break;
+          case FaultKind::FileTruncate:
+          case FaultKind::FileHeaderFlip:
+            file_events_.push_back(e);
+            break;
+        }
+    }
+}
+
+bool
+FaultInjector::dropLine(uint64_t seq)
+{
+    if (drops_.count(seq) == 0)
+        return false;
+    ++injected_[size_t(FaultKind::LineDrop)];
+    return true;
+}
+
+bool
+FaultInjector::dupLine(uint64_t seq)
+{
+    if (dups_.count(seq) == 0)
+        return false;
+    ++injected_[size_t(FaultKind::LineDup)];
+    return true;
+}
+
+void
+FaultInjector::corruptLine(uint64_t seq, uint8_t *line, size_t len)
+{
+    const auto it = flips_.find(seq);
+    if (it == flips_.end() || len == 0)
+        return;
+    for (const uint64_t bit : it->second) {
+        line[(bit / 8) % len] ^= uint8_t(1u << (bit % 8));
+        ++injected_[size_t(FaultKind::LineBitFlip)];
+    }
+}
+
+bool
+FaultInjector::pcieStalled(uint64_t cycle) const
+{
+    for (const Window &w : stalls_) {
+        if (cycle >= w.begin && cycle < w.end)
+            return true;
+    }
+    return false;
+}
+
+unsigned
+FaultInjector::pcieThrottlePercent(uint64_t cycle) const
+{
+    unsigned pct = 100;
+    for (const Window &w : throttles_) {
+        if (cycle >= w.begin && cycle < w.end)
+            pct = std::min<unsigned>(pct, unsigned(w.percent));
+    }
+    return pct;
+}
+
+uint64_t
+FaultInjector::truncatedFileLength(uint64_t len)
+{
+    for (const FaultEvent &e : file_events_) {
+        if (e.kind == FaultKind::FileTruncate) {
+            ++injected_[size_t(FaultKind::FileTruncate)];
+            return len * e.a / 1000;
+        }
+    }
+    return len;
+}
+
+void
+FaultInjector::corruptFileHeader(uint8_t *data, size_t len)
+{
+    if (len == 0)
+        return;
+    for (const FaultEvent &e : file_events_) {
+        if (e.kind == FaultKind::FileHeaderFlip) {
+            data[e.at % len] ^= uint8_t(1u << (e.a % 8));
+            ++injected_[size_t(FaultKind::FileHeaderFlip)];
+        }
+    }
+}
+
+uint64_t
+FaultInjector::injectedCount(FaultKind kind) const
+{
+    return injected_[size_t(kind)];
+}
+
+uint64_t
+FaultInjector::injectedTotal() const
+{
+    uint64_t n = 0;
+    for (const uint64_t c : injected_)
+        n += c;
+    return n;
+}
+
+} // namespace vidi

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Runtime application of a FaultPlan.
+ *
+ * A FaultInjector indexes the plan's events by target (storage-line
+ * sequence number, cycle window, file offset) and answers the hot-path
+ * queries the instrumented components ask: the PCIe link asks whether
+ * it is stalled or throttled this cycle, the trace store asks whether a
+ * line it is moving should be dropped, duplicated or bit-flipped, and
+ * the trace-file writer asks how to maul the file image. The injector
+ * also counts what it actually injected, so tests can assert that a
+ * scenario really exercised its fault.
+ */
+
+#ifndef VIDI_FAULT_FAULT_INJECTOR_H
+#define VIDI_FAULT_FAULT_INJECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fault/fault_plan.h"
+
+namespace vidi {
+
+/**
+ * Answers "what breaks here?" for every instrumented component.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan);
+
+    /** Build directly from a spec (generate + construct). */
+    explicit FaultInjector(const FaultSpec &spec)
+        : FaultInjector(FaultPlan::generate(spec))
+    {
+    }
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /// @name Storage-line faults
+    /// @{
+    /** Line @p seq is silently lost on the DMA path. */
+    bool dropLine(uint64_t seq);
+
+    /** Line @p seq is delivered twice (read) / overwrites (write). */
+    bool dupLine(uint64_t seq);
+
+    /** Apply any scheduled bit flips to line @p seq in place. */
+    void corruptLine(uint64_t seq, uint8_t *line, size_t len);
+    /// @}
+
+    /// @name PCIe link faults
+    /// @{
+    /** Link completely stalled at @p cycle. */
+    bool pcieStalled(uint64_t cycle) const;
+
+    /** Bandwidth percentage at @p cycle (100 when unthrottled). */
+    unsigned pcieThrottlePercent(uint64_t cycle) const;
+    /// @}
+
+    /// @name Trace-file faults
+    /// @{
+    /** Post-truncation length for a file of @p len bytes. */
+    uint64_t truncatedFileLength(uint64_t len);
+
+    /** Flip scheduled header bits in the first @p len bytes. */
+    void corruptFileHeader(uint8_t *data, size_t len);
+    /// @}
+
+    /** Faults of @p kind actually applied so far. */
+    uint64_t injectedCount(FaultKind kind) const;
+
+    /** Total faults applied so far. */
+    uint64_t injectedTotal() const;
+
+  private:
+    struct Window
+    {
+        uint64_t begin, end, percent;
+    };
+
+    FaultPlan plan_;
+    std::unordered_map<uint64_t, std::vector<uint64_t>> flips_;
+    std::unordered_set<uint64_t> drops_;
+    std::unordered_set<uint64_t> dups_;
+    std::vector<Window> stalls_;
+    std::vector<Window> throttles_;
+    std::vector<FaultEvent> file_events_;
+
+    uint64_t injected_[8] = {};
+};
+
+} // namespace vidi
+
+#endif // VIDI_FAULT_FAULT_INJECTOR_H

@@ -1,0 +1,116 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+#include "sim/random.h"
+
+namespace vidi {
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::LineBitFlip: return "line-bit-flip";
+      case FaultKind::LineDrop: return "line-drop";
+      case FaultKind::LineDup: return "line-dup";
+      case FaultKind::PcieStall: return "pcie-stall";
+      case FaultKind::PcieThrottle: return "pcie-throttle";
+      case FaultKind::FileTruncate: return "file-truncate";
+      case FaultKind::FileHeaderFlip: return "file-header-flip";
+    }
+    return "unknown-fault";
+}
+
+std::string
+FaultEvent::toString() const
+{
+    std::string s = vidi::toString(kind);
+    s += " at " + std::to_string(at);
+    s += " a=" + std::to_string(a);
+    s += " b=" + std::to_string(b);
+    return s;
+}
+
+FaultPlan
+FaultPlan::generate(const FaultSpec &spec)
+{
+    FaultPlan plan;
+    SimRandom rng(spec.seed ^ 0x76696469'666c74ull);  // "vidi"|"flt"
+
+    const uint64_t line_span = std::max<uint64_t>(spec.line_horizon, 1);
+    for (uint32_t i = 0; i < spec.line_bit_flips; ++i) {
+        plan.events_.push_back({FaultKind::LineBitFlip,
+                                rng.below(line_span), rng.below(512), 0});
+    }
+    for (uint32_t i = 0; i < spec.line_drops; ++i)
+        plan.events_.push_back({FaultKind::LineDrop, rng.below(line_span),
+                                0, 0});
+    for (uint32_t i = 0; i < spec.line_dups; ++i)
+        plan.events_.push_back({FaultKind::LineDup, rng.below(line_span),
+                                0, 0});
+
+    const uint64_t cycle_span = std::max<uint64_t>(spec.cycle_horizon, 1);
+    const uint64_t stall_lo = spec.stall_min_cycles;
+    const uint64_t stall_hi =
+        std::max(spec.stall_max_cycles, spec.stall_min_cycles);
+    for (uint32_t i = 0; i < spec.pcie_stalls; ++i) {
+        plan.events_.push_back({FaultKind::PcieStall,
+                                rng.below(cycle_span),
+                                rng.range(stall_lo, stall_hi), 0});
+    }
+    for (uint32_t i = 0; i < spec.pcie_throttles; ++i) {
+        plan.events_.push_back({FaultKind::PcieThrottle,
+                                rng.below(cycle_span),
+                                rng.range(stall_lo, stall_hi),
+                                spec.throttle_percent});
+    }
+
+    if (spec.file_truncate) {
+        // Cut the file to somewhere in its second half so the header
+        // survives but the line stream loses its tail.
+        plan.events_.push_back({FaultKind::FileTruncate, 0,
+                                rng.range(500, 990), 0});
+    }
+    for (uint32_t i = 0; i < spec.file_header_flips; ++i) {
+        plan.events_.push_back({FaultKind::FileHeaderFlip,
+                                rng.below(64), rng.below(8), 0});
+    }
+
+    std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                     [](const FaultEvent &x, const FaultEvent &y) {
+                         if (x.kind != y.kind)
+                             return x.kind < y.kind;
+                         return x.at < y.at;
+                     });
+    return plan;
+}
+
+std::vector<uint8_t>
+FaultPlan::serialize() const
+{
+    std::vector<uint8_t> out;
+    out.reserve(events_.size() * 25);
+    auto put64 = [&](uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(uint8_t(v >> (8 * i)));
+    };
+    for (const auto &e : events_) {
+        out.push_back(uint8_t(e.kind));
+        put64(e.at);
+        put64(e.a);
+        put64(e.b);
+    }
+    return out;
+}
+
+std::string
+FaultPlan::toString() const
+{
+    std::string s = "fault plan (" + std::to_string(events_.size()) +
+                    " events):";
+    for (const auto &e : events_)
+        s += "\n  " + e.toString();
+    return s;
+}
+
+} // namespace vidi

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic fault plans.
+ *
+ * The record/replay pipeline promises "no event is ever lost" only on a
+ * perfect PCIe/DRAM path. To validate that it instead *degrades
+ * diagnosably* on a hostile one, a FaultPlan expands a seeded FaultSpec
+ * into a fixed schedule of injectable faults — storage-line bit flips,
+ * dropped and duplicated 64 B lines, PCIe stall/throttle windows, and
+ * trace-file truncation/header corruption. Generation is a pure
+ * function of the spec: two plans from the same spec are byte-identical,
+ * so every failing fault scenario is replayable from its seed alone
+ * (the same property rr's chaos mode relies on).
+ */
+
+#ifndef VIDI_FAULT_FAULT_PLAN_H
+#define VIDI_FAULT_FAULT_PLAN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vidi {
+
+/** The injectable fault classes. */
+enum class FaultKind : uint8_t
+{
+    LineBitFlip,    ///< flip bit @c a of storage line @c at
+    LineDrop,       ///< storage line @c at never reaches DRAM
+    LineDup,        ///< storage line @c at is delivered twice / replaces
+                    ///< its successor
+    PcieStall,      ///< link dead for cycles [at, at + a)
+    PcieThrottle,   ///< link at b percent bandwidth for [at, at + a)
+    FileTruncate,   ///< trace file cut to a permille of its length
+    FileHeaderFlip, ///< flip bit @c a of header byte @c at
+};
+
+const char *toString(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::LineBitFlip;
+    uint64_t at = 0;  ///< line seq, cycle, or byte offset (per kind)
+    uint64_t a = 0;   ///< bit index, window length, or permille
+    uint64_t b = 0;   ///< throttle percent
+
+    std::string toString() const;
+
+    bool operator==(const FaultEvent &) const = default;
+};
+
+/**
+ * What to inject; seeded so the schedule is reproducible.
+ * All-zero counts mean "no fault injection" (the default).
+ */
+struct FaultSpec
+{
+    uint64_t seed = 1;
+
+    /// @name Storage-line faults (record-side writes, replay-side reads)
+    /// @{
+    uint32_t line_bit_flips = 0;
+    uint32_t line_drops = 0;
+    uint32_t line_dups = 0;
+    /** Line faults land on sequence numbers in [0, line_horizon). */
+    uint64_t line_horizon = 256;
+    /// @}
+
+    /// @name PCIe link faults
+    /// @{
+    uint32_t pcie_stalls = 0;
+    uint32_t pcie_throttles = 0;
+    /** Stall/throttle windows start in [0, cycle_horizon). */
+    uint64_t cycle_horizon = 200'000;
+    uint64_t stall_min_cycles = 1'000;
+    uint64_t stall_max_cycles = 20'000;
+    uint32_t throttle_percent = 10;  ///< bandwidth during a throttle
+    /// @}
+
+    /// @name Trace-file faults
+    /// @{
+    bool file_truncate = false;
+    uint32_t file_header_flips = 0;
+    /// @}
+
+    /** True when any fault is scheduled. */
+    bool any() const
+    {
+        return line_bit_flips || line_drops || line_dups || pcie_stalls ||
+               pcie_throttles || file_truncate || file_header_flips;
+    }
+};
+
+/**
+ * The expanded, ordered fault schedule.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /** Expand @p spec into a schedule; pure function of the spec. */
+    static FaultPlan generate(const FaultSpec &spec);
+
+    const std::vector<FaultEvent> &events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+
+    /** Canonical byte serialization (for determinism assertions). */
+    std::vector<uint8_t> serialize() const;
+
+    /** One event per line, for diagnostics. */
+    std::string toString() const;
+
+    bool operator==(const FaultPlan &) const = default;
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_FAULT_FAULT_PLAN_H

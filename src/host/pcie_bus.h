@@ -62,6 +62,15 @@ class PcieBus : public Module
     /** Bytes moved over the link since reset (diagnostic). */
     uint64_t grantedTotal() const { return granted_total_; }
 
+    /** Subject the underlying link to injected stall/throttle windows. */
+    void attachFault(const FaultInjector *fault)
+    {
+        link_.attachFault(fault);
+    }
+
+    /** Cycles the link was fully stalled by an injected fault. */
+    uint64_t faultStallCycles() const { return link_.faultStallCycles(); }
+
     void
     tick() override
     {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "fault/fault_injector.h"
 #include "sim/logging.h"
 
 namespace vidi {
@@ -21,7 +22,20 @@ PcieLink::PcieLink(double bytes_per_sec, double clock_hz)
 uint64_t
 PcieLink::grant()
 {
-    acc_num_ += num_;
+    const uint64_t cycle = cycle_++;
+    uint64_t rate = num_;
+    if (fault_ != nullptr) {
+        if (fault_->pcieStalled(cycle)) {
+            // A dead link accumulates nothing: bandwidth lost to a
+            // stall is gone, not deferred.
+            ++fault_stall_cycles_;
+            return 0;
+        }
+        const unsigned pct = fault_->pcieThrottlePercent(cycle);
+        if (pct < 100)
+            rate = num_ * pct / 100;
+    }
+    acc_num_ += rate;
     const uint64_t bytes = acc_num_ / den_;
     acc_num_ %= den_;
     return bytes;

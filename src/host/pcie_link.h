@@ -15,6 +15,8 @@
 
 namespace vidi {
 
+class FaultInjector;
+
 /** Default effective PCIe bandwidth on F1, from the paper (§6). */
 inline constexpr double kF1PcieBytesPerSec = 5.5e9;
 
@@ -40,13 +42,31 @@ class PcieLink
     /** Long-run average bytes per cycle (diagnostic). */
     double bytesPerCycle() const;
 
-    void reset() { acc_num_ = 0; }
+    /**
+     * Subject the link to @p fault's stall/throttle windows (null to
+     * detach). Windows are indexed by the link's own cycle counter,
+     * which increments once per grant().
+     */
+    void attachFault(const FaultInjector *fault) { fault_ = fault; }
+
+    /** Cycles this link fully stalled due to an injected fault. */
+    uint64_t faultStallCycles() const { return fault_stall_cycles_; }
+
+    void reset()
+    {
+        acc_num_ = 0;
+        cycle_ = 0;
+        fault_stall_cycles_ = 0;
+    }
 
   private:
     // rate = num/den bytes per cycle, in integer fixed point.
     uint64_t num_;
     uint64_t den_;
     uint64_t acc_num_ = 0;
+    uint64_t cycle_ = 0;
+    uint64_t fault_stall_cycles_ = 0;
+    const FaultInjector *fault_ = nullptr;
 };
 
 } // namespace vidi

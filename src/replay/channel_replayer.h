@@ -53,6 +53,21 @@ class ChannelReplayer : public Module
     /** Transactions this replayer released that have completed. */
     uint64_t completedTransactions() const { return completed_; }
 
+    /// @name Watchdog diagnostics
+    /// @{
+    /** This channel's index in the boundary. */
+    size_t channelIndex() const { return chan_index_; }
+
+    /** The vector clock the next pair is gated on. */
+    const VectorClock &expected() const { return t_expected_; }
+
+    /** Input side: a released start is still awaiting its handshake. */
+    bool presenting() const { return presenting_; }
+
+    /** Output side: end events released but not yet fired. */
+    uint64_t pendingEnds() const { return pending_ends_; }
+    /// @}
+
     void eval() override;
     void tick() override;
     void reset() override;

@@ -1,6 +1,8 @@
 #include "replay/replay_coordinator.h"
 
+#include "replay/channel_replayer.h"
 #include "sim/logging.h"
+#include "trace/trace_decoder.h"
 
 namespace vidi {
 
@@ -51,6 +53,81 @@ ReplayCoordinator::tickLate()
     }
     if (record_validation_ && !pkt.empty())
         validation_.packets.push_back(std::move(pkt));
+
+    // Replay watchdog: progress means a completed transaction or a
+    // freshly decoded packet. A replay making neither for a whole
+    // horizon is wedged — a coarse cycle budget would eventually notice,
+    // but only this captures *which* channel is stuck on *what*.
+    if (watchdog_horizon_ == 0 || tripped_)
+        return;
+    const uint64_t progress =
+        completions_ +
+        (decoder_ != nullptr ? decoder_->packetsDecoded() : 0);
+    if (progress != last_progress_) {
+        last_progress_ = progress;
+        no_progress_cycles_ = 0;
+        return;
+    }
+    if (++no_progress_cycles_ >= watchdog_horizon_) {
+        tripped_ = true;
+        diagnostic_ = buildDiagnostic();
+        warn("%s", diagnostic_.c_str());
+    }
+}
+
+void
+ReplayCoordinator::configureWatchdog(
+    uint64_t horizon_cycles, const TraceDecoder *decoder,
+    std::vector<const ChannelReplayer *> replayers)
+{
+    watchdog_horizon_ = horizon_cycles;
+    decoder_ = decoder;
+    watched_ = std::move(replayers);
+    last_progress_ = 0;
+    no_progress_cycles_ = 0;
+    tripped_ = false;
+    diagnostic_.clear();
+}
+
+std::string
+ReplayCoordinator::buildDiagnostic() const
+{
+    std::string s = "replay watchdog: no progress for " +
+                    std::to_string(no_progress_cycles_) +
+                    " cycles after " + std::to_string(completions_) +
+                    " completed transactions";
+    if (decoder_ != nullptr) {
+        s += "; decoder: " + std::to_string(decoder_->packetsDecoded()) +
+             " packets decoded, " +
+             (decoder_->finished() ? "finished" : "not finished");
+    }
+    s += "\n  T_current = " + t_current_.toString();
+    for (const ChannelReplayer *r : watched_) {
+        if (r == nullptr)
+            continue;
+        const size_t i = r->channelIndex();
+        const std::string name =
+            i < meta_.channels.size() ? meta_.channels[i].name
+                                      : std::to_string(i);
+        s += "\n  channel " + std::to_string(i) + " (" + name + ", " +
+             (i < meta_.channels.size() && meta_.channels[i].input
+                  ? "input" : "output") +
+             "): T_expected = " + r->expected().toString();
+        if (decoder_ != nullptr)
+            s += ", " + std::to_string(decoder_->queueDepth(i)) +
+                 " pairs queued";
+        if (r->presenting())
+            s += ", start released but unaccepted";
+        if (r->pendingEnds() != 0)
+            s += ", " + std::to_string(r->pendingEnds()) +
+                 " released ends unfired";
+        if (!t_current_.dominates(r->expected()))
+            s += "  <-- blocked: T_current < T_expected";
+        else if (r->idle() &&
+                 (decoder_ == nullptr || decoder_->queueDepth(i) == 0))
+            s += "  (idle: out of pairs)";
+    }
+    return s;
 }
 
 void
@@ -60,6 +137,10 @@ ReplayCoordinator::reset()
     completions_ = 0;
     std::fill(inflight_.begin(), inflight_.end(), false);
     validation_.packets.clear();
+    last_progress_ = 0;
+    no_progress_cycles_ = 0;
+    tripped_ = false;
+    diagnostic_.clear();
 }
 
 } // namespace vidi

@@ -18,6 +18,7 @@
 #ifndef VIDI_REPLAY_REPLAY_COORDINATOR_H
 #define VIDI_REPLAY_REPLAY_COORDINATOR_H
 
+#include <string>
 #include <vector>
 
 #include "channel/channel.h"
@@ -26,6 +27,9 @@
 #include "trace/trace.h"
 
 namespace vidi {
+
+class ChannelReplayer;
+class TraceDecoder;
 
 /**
  * Shared vector-clock state and validation recording for a replay.
@@ -54,10 +58,32 @@ class ReplayCoordinator : public Module
     /** The validation trace recorded so far (R3 mode). */
     const Trace &validationTrace() const { return validation_; }
 
+    /**
+     * Arm the replay watchdog: after @p horizon_cycles consecutive
+     * cycles in which neither a transaction completed nor the decoder
+     * parsed a packet, the replay is declared stalled and a per-channel
+     * diagnostic is captured. @p horizon_cycles 0 disables the watchdog.
+     *
+     * @param decoder for progress tracking and queue depths (may be
+     *        null: progress then means completions only)
+     * @param replayers per-channel state for the diagnostic
+     */
+    void configureWatchdog(uint64_t horizon_cycles,
+                           const TraceDecoder *decoder,
+                           std::vector<const ChannelReplayer *> replayers);
+
+    /** True once the watchdog declared the replay stalled. */
+    bool watchdogTripped() const { return tripped_; }
+
+    /** The diagnostic captured when the watchdog tripped. */
+    const std::string &watchdogDiagnostic() const { return diagnostic_; }
+
     void tickLate() override;
     void reset() override;
 
   private:
+    std::string buildDiagnostic() const;
+
     TraceMeta meta_;
     std::vector<ChannelBase *> inner_;
     bool record_validation_;
@@ -69,6 +95,15 @@ class ReplayCoordinator : public Module
     std::vector<bool> inflight_;
 
     Trace validation_;
+
+    // Watchdog state.
+    uint64_t watchdog_horizon_ = 0;
+    const TraceDecoder *decoder_ = nullptr;
+    std::vector<const ChannelReplayer *> watched_;
+    uint64_t last_progress_ = 0;
+    uint64_t no_progress_cycles_ = 0;
+    bool tripped_ = false;
+    std::string diagnostic_;
 };
 
 } // namespace vidi

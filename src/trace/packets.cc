@@ -90,6 +90,15 @@ parsePacket(const TraceMeta &meta, const uint8_t *data, size_t len,
     out.starts = bitvec::load(data, bv);
     out.ends = bitvec::load(data + bv, bv);
 
+    // A corrupted stream can carry event bits beyond the channel count;
+    // refuse such packets instead of indexing past the channel table.
+    const size_t nchan = meta.channelCount();
+    if (nchan < 64) {
+        const uint64_t mask = (uint64_t(1) << nchan) - 1;
+        if (((out.starts | out.ends) & ~mask) != 0)
+            return 0;
+    }
+
     const size_t total = 2 * bv + startContentBytes(meta, out.starts) +
                          endContentBytes(meta, out.ends);
     if (len < total)

@@ -16,11 +16,46 @@ Trace::serializedBytes() const
 std::vector<uint8_t>
 Trace::serialize() const
 {
+    return serialize(nullptr);
+}
+
+std::vector<uint8_t>
+Trace::serialize(std::vector<uint64_t> *packet_starts) const
+{
     std::vector<uint8_t> out;
     out.reserve(serializedBytes());
-    for (const auto &pkt : packets)
+    for (const auto &pkt : packets) {
+        if (packet_starts != nullptr)
+            packet_starts->push_back(out.size());
         serializePacket(meta, pkt, out);
+    }
     return out;
+}
+
+Trace
+Trace::fromSegments(const TraceMeta &meta,
+                    const std::vector<StreamSegment> &segments,
+                    TraceDamageReport &report)
+{
+    Trace t;
+    t.meta = meta;
+    for (const StreamSegment &seg : segments) {
+        size_t off = 0;
+        while (off < seg.bytes.size()) {
+            CyclePacket pkt;
+            const size_t consumed = parsePacket(
+                meta, seg.bytes.data() + off, seg.bytes.size() - off, pkt);
+            if (consumed == 0) {
+                // A packet the damage cut short; drop the tail.
+                report.tail_bytes_discarded += seg.bytes.size() - off;
+                break;
+            }
+            t.packets.push_back(std::move(pkt));
+            off += consumed;
+        }
+    }
+    report.packets_decoded += t.packets.size();
+    return t;
 }
 
 Trace

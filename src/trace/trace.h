@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "trace/packets.h"
+#include "trace/storage_line.h"
 
 namespace vidi {
 
@@ -34,12 +35,29 @@ class Trace
     std::vector<uint8_t> serialize() const;
 
     /**
+     * Serialize all packets, also reporting where each packet begins in
+     * the stream (the boundaries storage-line framing anchors on).
+     */
+    std::vector<uint8_t> serialize(std::vector<uint64_t> *packet_starts)
+        const;
+
+    /**
      * Decode a byte stream produced by the trace encoder.
      *
      * @throws SimFatal if the stream is truncated or malformed.
      */
     static Trace fromBytes(const TraceMeta &meta, const uint8_t *data,
                            size_t len);
+
+    /**
+     * Decode the validated segments a damaged line stream yielded
+     * (deframeStream). Each segment starts at a packet boundary; a
+     * segment tail that no longer forms a whole packet is discarded and
+     * accounted in @p report, never fatal.
+     */
+    static Trace fromSegments(const TraceMeta &meta,
+                              const std::vector<StreamSegment> &segments,
+                              TraceDamageReport &report);
 
     /** Number of recorded start events on channel @p chan. */
     uint64_t startCount(size_t chan) const;

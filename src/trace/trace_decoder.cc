@@ -49,9 +49,16 @@ TraceDecoder::tick()
         CyclePacket pkt;
         const size_t consumed = parsePacket(meta_, buf, n, pkt);
         if (consumed == 0) {
-            if (n > 0 && store_.exhausted())
-                fatal("TraceDecoder(%s): trailing %zu bytes do not form a "
-                      "complete cycle packet", name().c_str(), n);
+            if (n > 0 && store_.exhausted()) {
+                if (store_.damage().clean())
+                    fatal("TraceDecoder(%s): trailing %zu bytes do not "
+                          "form a complete cycle packet", name().c_str(),
+                          n);
+                // Damaged stream: the tail is a packet cut short by the
+                // damage. Discard it and account it instead of dying.
+                store_.consume(n);
+                store_.noteTailDiscard(n);
+            }
             break;
         }
         store_.consume(consumed);
@@ -74,6 +81,19 @@ TraceDecoder::tick()
             p.end = bitvec::test(pkt.ends, i);
             queues_[i].push_back(std::move(p));
         }
+    }
+
+    if (store_.damageBarrier() && queuesHaveSpace()) {
+        // The loop above consumed every complete packet, so what remains
+        // in the FIFO is the packet the damage cut short. Discard it and
+        // acknowledge the barrier so the re-aligned payload the store
+        // staged can flow.
+        const size_t n = store_.availableBytes();
+        if (n > 0) {
+            store_.consume(n);
+            store_.noteTailDiscard(n);
+        }
+        store_.clearDamageBarrier();
     }
 }
 

@@ -57,6 +57,9 @@ class TraceDecoder : public Module
     /** The pair queue feeding channel @p chan's replayer. */
     std::deque<ReplayPair> &queueFor(size_t chan) { return queues_[chan]; }
 
+    /** Pairs currently queued for channel @p chan (diagnostics). */
+    size_t queueDepth(size_t chan) const { return queues_[chan].size(); }
+
     /** True once the trace is fully parsed and all queues drained. */
     bool finished() const;
 

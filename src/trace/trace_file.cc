@@ -5,13 +5,14 @@
 #include <memory>
 
 #include "channel/channel.h"
+#include "fault/fault_injector.h"
 #include "sim/logging.h"
 
 namespace vidi {
 
 namespace {
 
-constexpr char kMagic[8] = {'V', 'I', 'D', 'I', 'T', 'R', 'C', '1'};
+constexpr char kMagic[8] = {'V', 'I', 'D', 'I', 'T', 'R', 'C', '2'};
 
 struct FileCloser
 {
@@ -20,98 +21,181 @@ struct FileCloser
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 void
-writeAll(std::FILE *f, const void *data, size_t len, const std::string &path)
+append(std::vector<uint8_t> &out, const void *data, size_t len)
 {
-    if (std::fwrite(data, 1, len, f) != len)
-        fatal("short write to trace file %s", path.c_str());
-}
-
-void
-readAll(std::FILE *f, void *data, size_t len, const std::string &path)
-{
-    if (std::fread(data, 1, len, f) != len)
-        fatal("short read from trace file %s", path.c_str());
+    const auto *p = static_cast<const uint8_t *>(data);
+    out.insert(out.end(), p, p + len);
 }
 
 template <typename T>
 void
-writePod(std::FILE *f, const T &v, const std::string &path)
+appendPod(std::vector<uint8_t> &out, const T &v)
 {
-    writeAll(f, &v, sizeof(T), path);
+    append(out, &v, sizeof(T));
 }
 
 template <typename T>
-T
-readPod(std::FILE *f, const std::string &path)
+bool
+takePod(const std::vector<uint8_t> &in, size_t &off, T &v)
 {
-    T v{};
-    readAll(f, &v, sizeof(T), path);
-    return v;
+    if (in.size() - off < sizeof(T))
+        return false;
+    std::memcpy(&v, in.data() + off, sizeof(T));
+    off += sizeof(T);
+    return true;
+}
+
+std::vector<uint8_t>
+serializeMeta(const TraceMeta &meta)
+{
+    std::vector<uint8_t> out;
+    appendPod<uint32_t>(out, uint32_t(meta.channelCount()));
+    appendPod<uint8_t>(out, meta.record_output_content ? 1 : 0);
+    for (const auto &ch : meta.channels) {
+        appendPod<uint16_t>(out, uint16_t(ch.name.size()));
+        append(out, ch.name.data(), ch.name.size());
+        appendPod<uint8_t>(out, ch.input ? 1 : 0);
+        appendPod<uint32_t>(out, ch.data_bytes);
+        appendPod<uint32_t>(out, ch.width_bits);
+    }
+    return out;
+}
+
+TraceMeta
+parseMeta(const std::vector<uint8_t> &bytes, const std::string &path)
+{
+    TraceMeta meta;
+    size_t off = 0;
+    uint32_t nchan = 0;
+    uint8_t record_output = 0;
+    if (!takePod(bytes, off, nchan) || !takePod(bytes, off, record_output))
+        fatal("%s: header corrupt (metadata section truncated)",
+              path.c_str());
+    if (nchan == 0 || nchan > kMaxChannels)
+        fatal("%s: header corrupt (invalid channel count %u)",
+              path.c_str(), nchan);
+    meta.record_output_content = record_output != 0;
+    for (uint32_t i = 0; i < nchan; ++i) {
+        TraceChannelInfo ch;
+        uint16_t name_len = 0;
+        if (!takePod(bytes, off, name_len) ||
+            bytes.size() - off < name_len)
+            fatal("%s: header corrupt (channel %u name truncated)",
+                  path.c_str(), i);
+        ch.name.assign(reinterpret_cast<const char *>(bytes.data() + off),
+                       name_len);
+        off += name_len;
+        uint8_t input = 0;
+        if (!takePod(bytes, off, input) ||
+            !takePod(bytes, off, ch.data_bytes) ||
+            !takePod(bytes, off, ch.width_bits))
+            fatal("%s: header corrupt (channel %u fields truncated)",
+                  path.c_str(), i);
+        ch.input = input != 0;
+        if (ch.data_bytes > kMaxPayloadBytes)
+            fatal("%s: header corrupt (channel %u payload too large)",
+                  path.c_str(), i);
+        meta.channels.push_back(std::move(ch));
+    }
+    return meta;
 }
 
 } // namespace
 
 void
-saveTrace(const std::string &path, const Trace &trace)
+saveTrace(const std::string &path, const Trace &trace, FaultInjector *fault)
 {
+    // Build the whole file image in memory first, so fault injection can
+    // maul it exactly like bit rot or a torn write would.
+    std::vector<uint8_t> image;
+    append(image, kMagic, sizeof(kMagic));
+
+    const std::vector<uint8_t> meta = serializeMeta(trace.meta);
+    appendPod<uint32_t>(image, uint32_t(meta.size()));
+    appendPod<uint32_t>(image, crc32(meta.data(), meta.size()));
+    append(image, meta.data(), meta.size());
+
+    std::vector<uint64_t> packet_starts;
+    const std::vector<uint8_t> payload = trace.serialize(&packet_starts);
+    const std::vector<uint8_t> lines = frameStream(payload, packet_starts);
+    appendPod<uint64_t>(image, uint64_t(payload.size()));
+    appendPod<uint64_t>(image, uint64_t(lines.size() / kStorageLineBytes));
+    append(image, lines.data(), lines.size());
+
+    size_t write_len = image.size();
+    if (fault != nullptr) {
+        fault->corruptFileHeader(image.data(),
+                                 std::min<size_t>(image.size(), 64));
+        write_len = size_t(fault->truncatedFileLength(image.size()));
+    }
+
     FilePtr f(std::fopen(path.c_str(), "wb"));
     if (!f)
         fatal("cannot open trace file %s for writing", path.c_str());
+    if (std::fwrite(image.data(), 1, write_len, f.get()) != write_len)
+        fatal("short write to trace file %s", path.c_str());
+}
 
-    writeAll(f.get(), kMagic, sizeof(kMagic), path);
-    writePod<uint32_t>(f.get(),
-                       static_cast<uint32_t>(trace.meta.channelCount()),
-                       path);
-    writePod<uint8_t>(f.get(), trace.meta.record_output_content ? 1 : 0,
-                      path);
-    for (const auto &ch : trace.meta.channels) {
-        writePod<uint16_t>(f.get(), static_cast<uint16_t>(ch.name.size()),
-                           path);
-        writeAll(f.get(), ch.name.data(), ch.name.size(), path);
-        writePod<uint8_t>(f.get(), ch.input ? 1 : 0, path);
-        writePod<uint32_t>(f.get(), ch.data_bytes, path);
-        writePod<uint32_t>(f.get(), ch.width_bits, path);
+Trace
+loadTrace(const std::string &path, TraceDamageReport &report)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        fatal("cannot open trace file %s for reading", path.c_str());
+    std::vector<uint8_t> image;
+    uint8_t buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0)
+        image.insert(image.end(), buf, buf + n);
+
+    size_t off = 0;
+    if (image.size() < sizeof(kMagic) ||
+        std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0)
+        fatal("%s is not a Vidi trace file", path.c_str());
+    off = sizeof(kMagic);
+
+    uint32_t meta_len = 0, meta_crc = 0;
+    if (!takePod(image, off, meta_len) || !takePod(image, off, meta_crc) ||
+        image.size() - off < meta_len)
+        fatal("%s: header corrupt (metadata section truncated)",
+              path.c_str());
+    if (crc32(image.data() + off, meta_len) != meta_crc)
+        fatal("%s: header corrupt (metadata CRC mismatch — refusing to "
+              "interpret the stream with untrusted channel layout)",
+              path.c_str());
+    const std::vector<uint8_t> meta_bytes(image.begin() + off,
+                                          image.begin() + off + meta_len);
+    off += meta_len;
+    const TraceMeta meta = parseMeta(meta_bytes, path);
+
+    uint64_t payload_len = 0, line_count = 0;
+    if (!takePod(image, off, payload_len) ||
+        !takePod(image, off, line_count))
+        fatal("%s: header corrupt (stream lengths truncated)",
+              path.c_str());
+
+    const size_t body = image.size() - off;
+    const uint64_t expected = line_count * kStorageLineBytes;
+    const std::vector<StreamSegment> segments =
+        deframeStream(image.data() + off, std::min<uint64_t>(body, expected),
+                      report);
+    if (body < expected) {
+        // Whole lines sheared off the end of the file.
+        const uint64_t present = body / kStorageLineBytes;
+        report.note(DamageKind::TruncatedTail, present,
+                    line_count - present, 0);
     }
-
-    const std::vector<uint8_t> stream = trace.serialize();
-    writePod<uint64_t>(f.get(), stream.size(), path);
-    writeAll(f.get(), stream.data(), stream.size(), path);
+    return Trace::fromSegments(meta, segments, report);
 }
 
 Trace
 loadTrace(const std::string &path)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        fatal("cannot open trace file %s for reading", path.c_str());
-
-    char magic[8];
-    readAll(f.get(), magic, sizeof(magic), path);
-    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        fatal("%s is not a Vidi trace file", path.c_str());
-
-    TraceMeta meta;
-    const auto nchan = readPod<uint32_t>(f.get(), path);
-    if (nchan == 0 || nchan > kMaxChannels)
-        fatal("%s: invalid channel count %u", path.c_str(), nchan);
-    meta.record_output_content = readPod<uint8_t>(f.get(), path) != 0;
-    for (uint32_t i = 0; i < nchan; ++i) {
-        TraceChannelInfo ch;
-        const auto name_len = readPod<uint16_t>(f.get(), path);
-        ch.name.resize(name_len);
-        readAll(f.get(), ch.name.data(), name_len, path);
-        ch.input = readPod<uint8_t>(f.get(), path) != 0;
-        ch.data_bytes = readPod<uint32_t>(f.get(), path);
-        ch.width_bits = readPod<uint32_t>(f.get(), path);
-        if (ch.data_bytes > kMaxPayloadBytes)
-            fatal("%s: channel %u payload too large", path.c_str(), i);
-        meta.channels.push_back(std::move(ch));
-    }
-
-    const auto stream_len = readPod<uint64_t>(f.get(), path);
-    std::vector<uint8_t> stream(stream_len);
-    readAll(f.get(), stream.data(), stream.size(), path);
-    return Trace::fromBytes(meta, stream.data(), stream.size());
+    TraceDamageReport report;
+    Trace trace = loadTrace(path, report);
+    if (!report.clean())
+        fatal("%s: %s", path.c_str(), report.toString().c_str());
+    return trace;
 }
 
 } // namespace vidi

@@ -4,8 +4,23 @@
  *
  * Mirrors the paper's software runtime (§4.2), which saves the recorded
  * trace from the host DRAM buffer to disk when the application finishes
- * and loads it back for replay. The file carries the boundary metadata
- * followed by the raw cycle-packet stream.
+ * and loads it back for replay.
+ *
+ * Format "VIDITRC2":
+ *
+ *   magic "VIDITRC2"
+ *   u32 meta_len, u32 meta_crc   CRC32-protected metadata section:
+ *     u32 nchan, u8 record_output_content,
+ *     per channel: u16 name_len + name, u8 input, u32 data_bytes,
+ *                  u32 width_bits
+ *   u64 payload_len              raw cycle-packet stream length
+ *   u64 line_count               framed 64-byte storage lines that follow
+ *   line_count × 64 B            CRC/seq/anchor-framed lines
+ *
+ * The metadata CRC turns header corruption into a structured failure;
+ * the framed line stream lets a reader resynchronize past body damage
+ * and report exactly what was lost instead of dying on the first bad
+ * byte.
  */
 
 #ifndef VIDI_TRACE_TRACE_FILE_H
@@ -13,15 +28,35 @@
 
 #include <string>
 
+#include "trace/storage_line.h"
 #include "trace/trace.h"
 
 namespace vidi {
 
-/** Write @p trace to @p path; raises SimFatal on I/O failure. */
-void saveTrace(const std::string &path, const Trace &trace);
+class FaultInjector;
 
-/** Read a trace from @p path; raises SimFatal on I/O or format errors. */
+/**
+ * Write @p trace to @p path; raises SimFatal on I/O failure.
+ *
+ * @param fault when non-null, the file image is mauled on the way out
+ *        (truncation, header bit flips) — the write-side fault hook.
+ */
+void saveTrace(const std::string &path, const Trace &trace,
+               FaultInjector *fault = nullptr);
+
+/**
+ * Read a trace from @p path, strictly: any damage to the header or the
+ * line stream raises SimFatal (carrying the damage report's text).
+ */
 Trace loadTrace(const std::string &path);
+
+/**
+ * Read a trace from @p path, tolerantly: body damage is survived by
+ * resynchronizing on line anchors and accounted in @p report. Only an
+ * unreadable or corrupt header (magic, metadata CRC) raises SimFatal —
+ * without the metadata the stream cannot be interpreted at all.
+ */
+Trace loadTrace(const std::string &path, TraceDamageReport &report);
 
 } // namespace vidi
 

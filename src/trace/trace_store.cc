@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fault/fault_injector.h"
 #include "sim/logging.h"
 
 namespace vidi {
@@ -22,6 +23,15 @@ ByteFifo::push(const uint8_t *src, size_t len)
     std::memcpy(buf_.data(), src + first, len - first);
     size_ += len;
     high_water_ = std::max(high_water_, size_);
+}
+
+bool
+ByteFifo::tryPush(const uint8_t *src, size_t len)
+{
+    if (len > space())
+        return false;
+    push(src, len);
+    return true;
 }
 
 size_t
@@ -44,6 +54,15 @@ ByteFifo::consume(size_t len)
     size_ -= len;
 }
 
+size_t
+ByteFifo::consumeUpTo(size_t max)
+{
+    const size_t n = std::min(max, size_);
+    head_ = (head_ + n) % buf_.size();
+    size_ -= n;
+    return n;
+}
+
 void
 ByteFifo::reset()
 {
@@ -59,12 +78,31 @@ TraceStore::TraceStore(const std::string &name, HostMemory &host,
 }
 
 void
+TraceStore::configureDrain(OverflowPolicy policy, uint64_t backoff_limit,
+                           uint64_t escalation_cycles)
+{
+    policy_ = policy;
+    backoff_limit_ = std::max<uint64_t>(backoff_limit, 1);
+    escalation_cycles_ = std::max<uint64_t>(escalation_cycles, 1);
+}
+
+void
 TraceStore::beginRecord(uint64_t dram_base)
 {
     mode_ = Mode::Record;
     dram_base_ = dram_base;
     dram_pos_ = 0;
     bytes_stored_ = 0;
+    lines_written_ = 0;
+    push_pos_ = 0;
+    head_pos_ = 0;
+    pkt_starts_.clear();
+    pending_discontinuity_ = false;
+    pushed_since_tick_ = false;
+    carry_bytes_ = 0;
+    backoff_wait_ = 0;
+    next_backoff_ = 1;
+    stall_streak_ = 0;
     fifo_.reset();
 }
 
@@ -74,7 +112,14 @@ TraceStore::pushBytes(const uint8_t *src, size_t len)
     if (mode_ != Mode::Record)
         panic("TraceStore(%s)::pushBytes outside record mode",
               name().c_str());
+    if (len == 0)
+        return;
+    // Each push carries one whole cycle packet: remember the boundary so
+    // the line covering it gets a resynchronization anchor.
+    pkt_starts_.push_back(push_pos_);
     fifo_.push(src, len);
+    push_pos_ += len;
+    pushed_since_tick_ = true;
 }
 
 void
@@ -85,6 +130,13 @@ TraceStore::beginReplay(uint64_t dram_base, uint64_t len)
     dram_pos_ = 0;
     replay_len_ = len;
     bytes_stored_ = 0;
+    carry_bytes_ = 0;
+    fetch_index_ = 0;
+    expected_seq_ = 0;
+    resync_ = false;
+    damage_barrier_ = false;
+    staged_.clear();
+    damage_ = TraceDamageReport{};
     fifo_.reset();
 }
 
@@ -101,41 +153,240 @@ bool
 TraceStore::exhausted() const
 {
     return mode_ == Mode::Replay && dram_pos_ >= replay_len_ &&
-           fifo_.empty();
+           fifo_.empty() && staged_.empty() && !damage_barrier_;
+}
+
+void
+TraceStore::noteTailDiscard(size_t len)
+{
+    damage_.tail_bytes_discarded += len;
+}
+
+void
+TraceStore::emitLine()
+{
+    const size_t len = std::min<size_t>(kStorageLinePayload, fifo_.size());
+    uint8_t payload[kStorageLinePayload];
+    fifo_.peek(payload, len);
+    fifo_.consume(len);
+
+    // The first packet boundary inside this line, if any, becomes the
+    // reader's resynchronization anchor.
+    uint8_t first_off = kNoPacketStart;
+    while (!pkt_starts_.empty() && pkt_starts_.front() < head_pos_ + len) {
+        if (first_off == kNoPacketStart &&
+            pkt_starts_.front() >= head_pos_)
+            first_off = uint8_t(pkt_starts_.front() - head_pos_);
+        pkt_starts_.pop_front();
+    }
+    head_pos_ += len;
+
+    uint8_t line[kStorageLineBytes];
+    const uint8_t flags = pending_discontinuity_ ? kFlagDiscontinuity : 0;
+    const uint64_t seq = lines_written_++;
+    encodeStorageLine(uint32_t(seq), payload, len, first_off, flags, line);
+    pending_discontinuity_ = false;
+    bytes_stored_ += len;
+
+    // Fault hooks model the DMA path: the store believes every write
+    // succeeded, exactly like real posted writes.
+    if (fault_ != nullptr) {
+        if (fault_->dropLine(seq))
+            return;
+        fault_->corruptLine(seq, line, kStorageLineBytes);
+        if (fault_->dupLine(seq)) {
+            host_.mem().write(dram_base_ + dram_pos_, line,
+                              kStorageLineBytes);
+            dram_pos_ += kStorageLineBytes;
+        }
+    }
+    host_.mem().write(dram_base_ + dram_pos_, line, kStorageLineBytes);
+    dram_pos_ += kStorageLineBytes;
+}
+
+void
+TraceStore::shedBufferedPayload()
+{
+    const size_t n = fifo_.size();
+    if (n == 0)
+        return;
+    fifo_.consumeUpTo(n);
+    head_pos_ = push_pos_;
+    pkt_starts_.clear();
+    dropped_payload_bytes_ += n;
+    ++overflow_drops_;
+    pending_discontinuity_ = true;
+    stall_streak_ = 0;
+    warn("TraceStore(%s): PCIe drain stalled past the escalation "
+         "threshold; shed %zu buffered payload bytes (drop-with-report)",
+         name().c_str(), n);
+}
+
+void
+TraceStore::tickRecord()
+{
+    const bool quiet = !pushed_since_tick_;
+    pushed_since_tick_ = false;
+
+    if (fifo_.empty()) {
+        stall_streak_ = 0;
+        backoff_wait_ = 0;
+        next_backoff_ = 1;
+        return;
+    }
+    // Pack full-payload lines while data streams in; flush a partial
+    // line only on quiet cycles (end-of-burst, end-of-run drain).
+    if (fifo_.size() < kStorageLinePayload && !quiet)
+        return;
+
+    if (backoff_wait_ > 0) {
+        --backoff_wait_;
+        ++stall_cycles_;
+        if (++stall_streak_ >= escalation_cycles_ &&
+            policy_ == OverflowPolicy::DropWithReport)
+            shedBufferedPayload();
+        return;
+    }
+
+    const uint64_t lines_needed =
+        (fifo_.size() + kStorageLinePayload - 1) / kStorageLinePayload;
+    const uint64_t want = lines_needed * kStorageLineBytes;
+    uint64_t granted = 0;
+    if (want > carry_bytes_)
+        granted = bus_.request(want - carry_bytes_);
+    carry_bytes_ += granted;
+
+    if (carry_bytes_ < kStorageLineBytes) {
+        // Nothing emittable this cycle: retry with bounded exponential
+        // backoff instead of hammering a stalled link.
+        ++stall_cycles_;
+        ++drain_retries_;
+        backoff_wait_ = next_backoff_;
+        next_backoff_ = std::min(next_backoff_ * 2, backoff_limit_);
+        if (++stall_streak_ >= escalation_cycles_ &&
+            policy_ == OverflowPolicy::DropWithReport)
+            shedBufferedPayload();
+        return;
+    }
+
+    stall_streak_ = 0;
+    next_backoff_ = 1;
+    while (carry_bytes_ >= kStorageLineBytes && !fifo_.empty() &&
+           (fifo_.size() >= kStorageLinePayload || quiet)) {
+        emitLine();
+        carry_bytes_ -= kStorageLineBytes;
+    }
+}
+
+void
+TraceStore::processFetchedLine(const uint8_t *line)
+{
+    damage_.lines_total++;
+    StorageLineView v;
+    if (!decodeStorageLine(line, v)) {
+        damage_.note(DamageKind::CorruptLine, expected_seq_, 1, 0);
+        resync_ = true;
+        ++expected_seq_;  // assume the damaged slot held this line
+        return;
+    }
+    if (v.seq < expected_seq_) {
+        damage_.note(DamageKind::DuplicateLine, v.seq, 1, 0);
+        return;
+    }
+    if (v.seq > expected_seq_) {
+        damage_.note(DamageKind::MissingLines, expected_seq_,
+                     v.seq - expected_seq_, 0);
+        resync_ = true;
+    }
+    expected_seq_ = uint64_t(v.seq) + 1;
+
+    const bool discont = (v.flags & kFlagDiscontinuity) != 0;
+    if (discont && !resync_)
+        damage_.note(DamageKind::Discontinuity, v.seq, 0, 0);
+    if (resync_ || discont) {
+        if (v.first_pkt_off == kNoPacketStart) {
+            // Mid-packet line with no anchor: unusable until one shows.
+            damage_.note(DamageKind::UnalignedSkip, v.seq, 1,
+                         v.payload_len);
+            resync_ = true;
+            return;
+        }
+        const size_t skip = v.first_pkt_off;
+        if (skip > 0)
+            damage_.payload_bytes_lost += skip;
+        damage_.resyncs++;
+        resync_ = false;
+        damage_.lines_ok++;
+        // Park behind a barrier: the decoder must first discard the
+        // partial packet the damage cut short, then this re-aligned
+        // payload resumes the stream.
+        staged_.assign(v.payload + skip, v.payload + v.payload_len);
+        damage_barrier_ = true;
+        return;
+    }
+    damage_.lines_ok++;
+    fifo_.push(v.payload, v.payload_len);
+}
+
+void
+TraceStore::tickReplay()
+{
+    // Flush payload staged at a cleared damage barrier first.
+    if (!damage_barrier_ && !staged_.empty() &&
+        fifo_.space() >= staged_.size()) {
+        fifo_.push(staged_.data(), staged_.size());
+        staged_.clear();
+    }
+    if (damage_barrier_ || !staged_.empty())
+        return;
+
+    uint64_t remaining = replay_len_ - dram_pos_;
+    if (remaining == 0)
+        return;
+    if (remaining < kStorageLineBytes) {
+        // The stream ends inside a line: a truncated tail.
+        damage_.lines_total++;
+        damage_.note(DamageKind::TruncatedTail, expected_seq_, 1,
+                     remaining);
+        dram_pos_ = replay_len_;
+        return;
+    }
+
+    const uint64_t lines = std::min<uint64_t>(
+        remaining / kStorageLineBytes,
+        fifo_.space() / kStorageLinePayload);
+    if (lines == 0)
+        return;
+    const uint64_t want = lines * kStorageLineBytes;
+    if (want > carry_bytes_)
+        carry_bytes_ += bus_.request(want - carry_bytes_);
+
+    while (carry_bytes_ >= kStorageLineBytes && !damage_barrier_ &&
+           staged_.empty() && fifo_.space() >= kStorageLinePayload &&
+           replay_len_ - dram_pos_ >= kStorageLineBytes) {
+        uint8_t line[kStorageLineBytes];
+        host_.mem().read(dram_base_ + dram_pos_, line, kStorageLineBytes);
+        dram_pos_ += kStorageLineBytes;
+        carry_bytes_ -= kStorageLineBytes;
+        const uint64_t slot = fetch_index_++;
+        if (fault_ != nullptr) {
+            if (fault_->dropLine(slot))
+                continue;  // the DMA read lost this line
+            fault_->corruptLine(slot, line, kStorageLineBytes);
+        }
+        processFetchedLine(line);
+        if (fault_ != nullptr && fault_->dupLine(slot))
+            processFetchedLine(line);  // delivered twice
+    }
 }
 
 void
 TraceStore::tick()
 {
-    if (mode_ == Mode::Record) {
-        // Drain the staging FIFO to host DRAM at PCIe bandwidth.
-        uint64_t budget = bus_.request(fifo_.size());
-        uint8_t buf[512];
-        while (budget > 0 && !fifo_.empty()) {
-            const size_t chunk = std::min<uint64_t>(
-                {budget, fifo_.size(), sizeof(buf)});
-            fifo_.peek(buf, chunk);
-            fifo_.consume(chunk);
-            host_.mem().write(dram_base_ + dram_pos_, buf, chunk);
-            dram_pos_ += chunk;
-            bytes_stored_ += chunk;
-            budget -= chunk;
-        }
-    } else if (mode_ == Mode::Replay) {
-        // Prefetch the trace from host DRAM at PCIe bandwidth.
-        uint64_t budget = bus_.request(
-            std::min<uint64_t>(replay_len_ - dram_pos_, fifo_.space()));
-        uint8_t buf[512];
-        while (budget > 0 && dram_pos_ < replay_len_ && fifo_.space() > 0) {
-            const size_t chunk = std::min<uint64_t>(
-                {budget, replay_len_ - dram_pos_, fifo_.space(),
-                 sizeof(buf)});
-            host_.mem().read(dram_base_ + dram_pos_, buf, chunk);
-            fifo_.push(buf, chunk);
-            dram_pos_ += chunk;
-            budget -= chunk;
-        }
-    }
+    if (mode_ == Mode::Record)
+        tickRecord();
+    else if (mode_ == Mode::Replay)
+        tickReplay();
 }
 
 void
@@ -146,6 +397,26 @@ TraceStore::reset()
     dram_pos_ = 0;
     replay_len_ = 0;
     bytes_stored_ = 0;
+    lines_written_ = 0;
+    push_pos_ = 0;
+    head_pos_ = 0;
+    pkt_starts_.clear();
+    pending_discontinuity_ = false;
+    pushed_since_tick_ = false;
+    carry_bytes_ = 0;
+    backoff_wait_ = 0;
+    next_backoff_ = 1;
+    stall_streak_ = 0;
+    drain_retries_ = 0;
+    stall_cycles_ = 0;
+    overflow_drops_ = 0;
+    dropped_payload_bytes_ = 0;
+    fetch_index_ = 0;
+    expected_seq_ = 0;
+    resync_ = false;
+    damage_barrier_ = false;
+    staged_.clear();
+    damage_ = TraceDamageReport{};
     fifo_.reset();
 }
 

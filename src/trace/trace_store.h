@@ -12,19 +12,31 @@
  * During replay the data path reverses: the store prefetches the trace
  * from host DRAM into the FIFO at PCIe bandwidth and the trace decoder
  * consumes it.
+ *
+ * Beyond the paper's model, this store survives a hostile PCIe/DRAM
+ * path: every line it moves carries a CRC32, a sequence number and a
+ * packet-boundary resync anchor (storage_line.h); the record-side drain
+ * retries with bounded exponential backoff when the link stalls and can
+ * escalate to a drop-with-report overflow policy; the replay-side fetch
+ * validates every line, accounts damage in a TraceDamageReport and
+ * re-aligns the decoder past it through a damage-barrier handshake.
  */
 
 #ifndef VIDI_TRACE_TRACE_STORE_H
 #define VIDI_TRACE_TRACE_STORE_H
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "host/host_dram.h"
 #include "host/pcie_bus.h"
 #include "sim/module.h"
+#include "trace/storage_line.h"
 
 namespace vidi {
+
+class FaultInjector;
 
 /**
  * Byte-granular ring buffer modelling the trace store's BRAM staging
@@ -44,11 +56,27 @@ class ByteFifo
     /** Append @p len bytes; panics if they do not fit. */
     void push(const uint8_t *src, size_t len);
 
+    /**
+     * Append @p len bytes if they fit.
+     *
+     * @return false (buffering nothing) when space is insufficient —
+     *         the non-panicking alternative for callers that can stall
+     *         or shed instead of relying on a prior reservation.
+     */
+    bool tryPush(const uint8_t *src, size_t len);
+
     /** Copy up to @p max bytes from the head without consuming. */
     size_t peek(uint8_t *dst, size_t max) const;
 
     /** Drop @p len bytes from the head; panics if unavailable. */
     void consume(size_t len);
+
+    /**
+     * Drop up to @p max bytes from the head.
+     *
+     * @return bytes actually dropped (bounded by size()).
+     */
+    size_t consumeUpTo(size_t max);
 
     void reset();
 
@@ -66,7 +94,7 @@ class TraceStore : public Module
 {
   public:
     /** Storage-interface line size on F1 (64-byte DMA granularity). */
-    static constexpr size_t kLineBytes = 64;
+    static constexpr size_t kLineBytes = kStorageLineBytes;
 
     /**
      * @param name instance name
@@ -78,6 +106,20 @@ class TraceStore : public Module
     TraceStore(const std::string &name, HostMemory &host, PcieBus &bus,
                size_t fifo_bytes = 1u << 20);
 
+    /** Route line traffic through @p fault (may be null to detach). */
+    void attachFault(FaultInjector *fault) { fault_ = fault; }
+
+    /**
+     * Configure the drain's stall handling.
+     *
+     * @param policy what to do when the link stalls persistently
+     * @param backoff_limit max cycles between drain retries (doubling)
+     * @param escalation_cycles zero-grant cycles before the overflow
+     *        policy engages
+     */
+    void configureDrain(OverflowPolicy policy, uint64_t backoff_limit,
+                        uint64_t escalation_cycles);
+
     /// @name Recording
     /// @{
     /** Start recording into host DRAM at @p dram_base. */
@@ -86,25 +128,29 @@ class TraceStore : public Module
     /** FIFO space available for the encoder's reservations. */
     size_t spaceBytes() const { return fifo_.space(); }
 
-    /** Append encoder output; caller must have reserved the space. */
+    /**
+     * Append encoder output; caller must have reserved the space.
+     * Each call carries exactly one serialized cycle packet, which is
+     * how the store learns the packet boundaries it anchors lines on.
+     */
     void pushBytes(const uint8_t *src, size_t len);
 
     /** True once every buffered byte reached host DRAM. */
     bool drained() const { return fifo_.empty(); }
 
-    /** Bytes written to host DRAM so far. */
+    /** Payload bytes packed into storage lines so far. */
     uint64_t bytesStored() const { return bytes_stored_; }
 
-    /** 64-byte storage lines consumed so far. */
-    uint64_t linesWritten() const
-    {
-        return (bytes_stored_ + kLineBytes - 1) / kLineBytes;
-    }
+    /** Storage lines emitted so far. */
+    uint64_t linesWritten() const { return lines_written_; }
+
+    /** DRAM extent of the framed stream (headers included). */
+    uint64_t dramBytesWritten() const { return dram_pos_; }
     /// @}
 
     /// @name Replaying
     /// @{
-    /** Start streaming a trace of @p len bytes at @p dram_base. */
+    /** Start streaming a framed trace of @p len bytes at @p dram_base. */
     void beginReplay(uint64_t dram_base, uint64_t len);
 
     /** Bytes buffered and ready for the decoder. */
@@ -115,6 +161,38 @@ class TraceStore : public Module
 
     /** True once the whole trace was fetched and consumed. */
     bool exhausted() const;
+
+    /**
+     * True while the fetch is parked at a damage-induced resync point.
+     * The decoder must discard the unparseable tail of the FIFO (the
+     * packet the damage cut short) and call clearDamageBarrier() before
+     * re-aligned payload flows again.
+     */
+    bool damageBarrier() const { return damage_barrier_; }
+
+    /** Decoder acknowledges the tail discard; fetch resumes. */
+    void clearDamageBarrier() { damage_barrier_ = false; }
+
+    /** Account @p len bytes of partial-packet tail the decoder dropped. */
+    void noteTailDiscard(size_t len);
+
+    /** Damage observed on the replay fetch path so far. */
+    const TraceDamageReport &damage() const { return damage_; }
+    /// @}
+
+    /// @name Drain-robustness statistics
+    /// @{
+    /** Drain attempts deferred by the retry backoff. */
+    uint64_t drainRetries() const { return drain_retries_; }
+
+    /** Cycles the drain saw a fully stalled link with data pending. */
+    uint64_t stallCycles() const { return stall_cycles_; }
+
+    /** Times the overflow policy shed buffered payload. */
+    uint64_t overflowDrops() const { return overflow_drops_; }
+
+    /** Payload bytes shed by the overflow policy. */
+    uint64_t droppedPayloadBytes() const { return dropped_payload_bytes_; }
     /// @}
 
     size_t fifoHighWater() const { return fifo_.highWater(); }
@@ -125,15 +203,52 @@ class TraceStore : public Module
   private:
     enum class Mode { Idle, Record, Replay };
 
+    void tickRecord();
+    void tickReplay();
+    void emitLine();
+    void shedBufferedPayload();
+    void processFetchedLine(const uint8_t *line);
+
     HostMemory &host_;
     PcieBus &bus_;
     ByteFifo fifo_;
     Mode mode_ = Mode::Idle;
+    FaultInjector *fault_ = nullptr;
+
+    OverflowPolicy policy_ = OverflowPolicy::Block;
+    uint64_t backoff_limit_ = 1024;
+    uint64_t escalation_cycles_ = 4096;
 
     uint64_t dram_base_ = 0;
     uint64_t dram_pos_ = 0;    // next write (record) / fetch (replay) offset
     uint64_t replay_len_ = 0;
-    uint64_t bytes_stored_ = 0;
+
+    // Record-side framing state.
+    uint64_t bytes_stored_ = 0;   // payload bytes packed into lines
+    uint64_t lines_written_ = 0;  // next line sequence number
+    uint64_t push_pos_ = 0;       // payload stream offset of the FIFO tail
+    uint64_t head_pos_ = 0;       // payload stream offset of the FIFO head
+    std::deque<uint64_t> pkt_starts_;  // unframed packet boundaries
+    bool pending_discontinuity_ = false;
+    bool pushed_since_tick_ = false;   // encoder activity last cycle
+    uint64_t carry_bytes_ = 0;    // granted budget not yet a full line
+
+    // Drain retry/backoff state.
+    uint64_t backoff_wait_ = 0;   // cycles until the next drain attempt
+    uint64_t next_backoff_ = 1;
+    uint64_t stall_streak_ = 0;   // consecutive zero-grant cycles
+    uint64_t drain_retries_ = 0;
+    uint64_t stall_cycles_ = 0;
+    uint64_t overflow_drops_ = 0;
+    uint64_t dropped_payload_bytes_ = 0;
+
+    // Replay-side validation state.
+    uint64_t fetch_index_ = 0;    // DRAM line slot being fetched next
+    uint64_t expected_seq_ = 0;
+    bool resync_ = false;
+    bool damage_barrier_ = false;
+    std::vector<uint8_t> staged_;  // re-aligned payload held at a barrier
+    TraceDamageReport damage_;
 };
 
 } // namespace vidi

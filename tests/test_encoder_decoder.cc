@@ -46,8 +46,12 @@ class EncoderFixture : public ::testing::Test
             sim.step();
         EXPECT_TRUE(store.drained());
         const auto bytes =
-            host.mem().readVec(0x1000, store.bytesStored());
-        return Trace::fromBytes(meta3(), bytes.data(), bytes.size());
+            host.mem().readVec(0x1000, store.dramBytesWritten());
+        TraceDamageReport rep;
+        const auto segments =
+            deframeStream(bytes.data(), bytes.size(), rep);
+        EXPECT_TRUE(rep.clean()) << rep.toString();
+        return Trace::fromSegments(meta3(), segments, rep);
     }
 
     Simulator sim;
@@ -172,9 +176,11 @@ class DecoderFixture : public ::testing::Test
     void
     load(const Trace &trace)
     {
-        const auto bytes = trace.serialize();
-        host.mem().writeVec(0x2000, bytes);
-        store.beginReplay(0x2000, bytes.size());
+        std::vector<uint64_t> starts;
+        const auto payload = trace.serialize(&starts);
+        const auto lines = frameStream(payload, starts);
+        host.mem().writeVec(0x2000, lines);
+        store.beginReplay(0x2000, lines.size());
     }
 
     Simulator sim;

@@ -8,12 +8,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
+
 #include "apps/app_registry.h"
 #include "core/divergence.h"
 #include "core/recorder.h"
 #include "core/replayer.h"
 #include "core/trace_validator.h"
+#include "fault/fault_injector.h"
+#include "host/pcie_bus.h"
 #include "sim/random.h"
+#include "sim/simulator.h"
+#include "trace/trace_file.h"
+#include "trace/trace_store.h"
 
 namespace vidi {
 namespace {
@@ -106,6 +114,434 @@ TEST(FaultInjection, ForeignMetadataIsRejectedBeforeReplay)
     ASSERT_TRUE(rec.completed);
     rec.trace.meta.channels.pop_back();
     EXPECT_THROW(replayRun(app, rec.trace, cfg()), SimFatal);
+}
+
+/**
+ * Module-level fault matrix: a store + injector rig that records a known
+ * packet stream (packet k is kPacketBytes copies of byte k) under a
+ * fault plan and inspects the framed DRAM image afterwards.
+ */
+struct FaultMatrixRig
+{
+    static constexpr size_t kPackets = 60;
+    static constexpr size_t kPacketBytes = 16;
+
+    explicit FaultMatrixRig(const FaultSpec &spec, size_t fifo_bytes = 4096,
+                            double link_bytes_per_sec = 5.5e9)
+        : injector(spec),
+          bus(sim.add<PcieBus>("pcie", link_bytes_per_sec)),
+          store(sim.add<TraceStore>("store", host, bus, fifo_bytes))
+    {
+        bus.attachFault(&injector);
+        store.attachFault(&injector);
+    }
+
+    /** Push one packet per cycle, then run until the drain finishes. */
+    void
+    recordAll(uint64_t max_cycles = 50'000)
+    {
+        store.beginRecord(0x4000);
+        size_t sent = 0;
+        for (uint64_t i = 0; i < max_cycles; ++i) {
+            if (sent < kPackets && store.spaceBytes() >= kPacketBytes) {
+                uint8_t pkt[kPacketBytes];
+                std::memset(pkt, int(sent), sizeof(pkt));
+                store.pushBytes(pkt, sizeof(pkt));
+                ++sent;
+            }
+            sim.step();
+            if (sent == kPackets && store.drained())
+                break;
+        }
+        ASSERT_EQ(sent, size_t(kPackets));
+        ASSERT_TRUE(store.drained());
+    }
+
+    /** Deframe whatever reached DRAM. */
+    TraceDamageReport
+    deframed(std::vector<StreamSegment> &segs)
+    {
+        const auto framed =
+            host.mem().readVec(0x4000, store.dramBytesWritten());
+        TraceDamageReport rep;
+        segs = deframeStream(framed.data(), framed.size(), rep);
+        return rep;
+    }
+
+    FaultInjector injector;
+    Simulator sim;
+    HostMemory host;
+    PcieBus &bus;
+    TraceStore &store;
+};
+
+/**
+ * Every recovered segment must start at a packet boundary and consist of
+ * whole constant-byte packets, except for a possibly cut-short tail (the
+ * decoder discards those as tail_bytes).
+ */
+void
+expectPacketAligned(const std::vector<StreamSegment> &segs)
+{
+    for (const auto &seg : segs) {
+        for (size_t off = 0;
+             off + FaultMatrixRig::kPacketBytes <= seg.bytes.size();
+             off += FaultMatrixRig::kPacketBytes) {
+            for (size_t j = 1; j < FaultMatrixRig::kPacketBytes; ++j) {
+                ASSERT_EQ(seg.bytes[off + j], seg.bytes[off])
+                    << "packet body torn at segment offset " << off;
+            }
+        }
+    }
+}
+
+TEST(FaultMatrix, RecordBitFlipsAreDetectedAndResynced)
+{
+    FaultSpec spec;
+    spec.seed = 21;
+    spec.line_bit_flips = 3;
+    spec.line_horizon = 8;
+    FaultMatrixRig rig(spec);
+    rig.recordAll();
+
+    std::vector<StreamSegment> segs;
+    const TraceDamageReport rep = rig.deframed(segs);
+    EXPECT_FALSE(rep.clean());
+    EXPECT_GE(rep.lines_corrupt, 1u);
+    EXPECT_GE(rep.resyncs, 1u);
+    EXPECT_GE(rig.injector.injectedCount(FaultKind::LineBitFlip), 1u);
+    expectPacketAligned(segs);
+}
+
+TEST(FaultMatrix, RecordDroppedLinesLeaveStructuredGaps)
+{
+    FaultSpec spec;
+    spec.seed = 22;
+    spec.line_drops = 2;
+    spec.line_horizon = 8;
+    FaultMatrixRig rig(spec);
+    rig.recordAll();
+
+    std::vector<StreamSegment> segs;
+    const TraceDamageReport rep = rig.deframed(segs);
+    EXPECT_FALSE(rep.clean());
+    EXPECT_GE(rep.lines_missing, 1u);
+    EXPECT_GE(rig.injector.injectedCount(FaultKind::LineDrop), 1u);
+    expectPacketAligned(segs);
+}
+
+TEST(FaultMatrix, RecordDuplicatedLinesLoseNothing)
+{
+    FaultSpec spec;
+    spec.seed = 23;
+    spec.line_dups = 2;
+    spec.line_horizon = 8;
+    FaultMatrixRig rig(spec);
+    rig.recordAll();
+
+    std::vector<StreamSegment> segs;
+    const TraceDamageReport rep = rig.deframed(segs);
+    // The repeat is flagged — but skipped, so the payload is complete.
+    EXPECT_GE(rep.lines_duplicate, 1u);
+    size_t total = 0;
+    for (const auto &seg : segs)
+        total += seg.bytes.size();
+    EXPECT_EQ(total,
+              FaultMatrixRig::kPackets * FaultMatrixRig::kPacketBytes);
+    expectPacketAligned(segs);
+}
+
+TEST(FaultMatrix, RecordRidesOutStallWindowWithBackoff)
+{
+    FaultSpec spec;
+    spec.seed = 24;
+    spec.pcie_stalls = 1;
+    spec.cycle_horizon = 1;  // window starts at cycle 0
+    spec.stall_min_cycles = 2'000;
+    spec.stall_max_cycles = 2'000;
+    FaultMatrixRig rig(spec);
+    rig.recordAll();
+
+    EXPECT_GT(rig.store.drainRetries(), 0u);
+    EXPECT_GT(rig.store.stallCycles(), 0u);
+    EXPECT_GT(rig.bus.faultStallCycles(), 0u);
+    // Block policy: slower, but nothing lost and nothing damaged.
+    std::vector<StreamSegment> segs;
+    const TraceDamageReport rep = rig.deframed(segs);
+    EXPECT_TRUE(rep.clean()) << rep.toString();
+    size_t total = 0;
+    for (const auto &seg : segs)
+        total += seg.bytes.size();
+    EXPECT_EQ(total,
+              FaultMatrixRig::kPackets * FaultMatrixRig::kPacketBytes);
+}
+
+TEST(FaultMatrix, RecordThrottleWindowOnlySlowsTheDrain)
+{
+    FaultSpec spec;
+    spec.seed = 25;
+    spec.pcie_throttles = 1;
+    spec.cycle_horizon = 1;
+    spec.stall_min_cycles = 3'000;
+    spec.stall_max_cycles = 3'000;
+    spec.throttle_percent = 10;
+    FaultMatrixRig rig(spec);
+    rig.recordAll();
+
+    EXPECT_GT(rig.store.drainRetries(), 0u);
+    std::vector<StreamSegment> segs;
+    const TraceDamageReport rep = rig.deframed(segs);
+    EXPECT_TRUE(rep.clean()) << rep.toString();
+    size_t total = 0;
+    for (const auto &seg : segs)
+        total += seg.bytes.size();
+    EXPECT_EQ(total,
+              FaultMatrixRig::kPackets * FaultMatrixRig::kPacketBytes);
+}
+
+TEST(FaultMatrix, OverflowEscalationShedsWithReport)
+{
+    FaultSpec spec;
+    spec.seed = 26;
+    spec.pcie_stalls = 1;
+    spec.cycle_horizon = 1;
+    spec.stall_min_cycles = 5'000;
+    spec.stall_max_cycles = 5'000;
+    FaultMatrixRig rig(spec);
+    rig.store.configureDrain(OverflowPolicy::DropWithReport,
+                             /*backoff_limit=*/16,
+                             /*escalation_cycles=*/200);
+    rig.store.beginRecord(0x4000);
+
+    // Phase 1: stream half the packets into the dead link until the
+    // escalation policy sheds them.
+    size_t sent = 0;
+    for (uint64_t i = 0; i < 2'000 && rig.store.overflowDrops() == 0;
+         ++i) {
+        if (sent < 30) {
+            uint8_t pkt[FaultMatrixRig::kPacketBytes];
+            std::memset(pkt, int(sent), sizeof(pkt));
+            rig.store.pushBytes(pkt, sizeof(pkt));
+            ++sent;
+        }
+        rig.sim.step();
+    }
+    ASSERT_GE(rig.store.overflowDrops(), 1u);
+    EXPECT_GT(rig.store.droppedPayloadBytes(), 0u);
+
+    // Phase 2: once the window passes, later packets flow again and the
+    // first line is marked with a discontinuity.
+    while (rig.sim.cycle() < 5'100)
+        rig.sim.step();
+    for (; sent < FaultMatrixRig::kPackets; ++sent) {
+        uint8_t pkt[FaultMatrixRig::kPacketBytes];
+        std::memset(pkt, int(sent), sizeof(pkt));
+        rig.store.pushBytes(pkt, sizeof(pkt));
+        rig.sim.step();
+    }
+    for (int i = 0; i < 100 && !rig.store.drained(); ++i)
+        rig.sim.step();
+    ASSERT_TRUE(rig.store.drained());
+
+    std::vector<StreamSegment> segs;
+    const TraceDamageReport rep = rig.deframed(segs);
+    EXPECT_FALSE(rep.clean());
+    bool saw_discontinuity = false;
+    for (const auto &r : rep.regions)
+        saw_discontinuity |= r.kind == DamageKind::Discontinuity;
+    EXPECT_TRUE(saw_discontinuity) << rep.toString();
+    // The surviving stream carries only post-shed packets, intact.
+    expectPacketAligned(segs);
+    ASSERT_FALSE(segs.empty());
+    EXPECT_GE(segs.front().bytes.front(), 30);
+}
+
+TEST(FaultMatrix, ReplayFetchSurvivesDropAndCorruption)
+{
+    // A clean framed stream in DRAM, damaged on the fetch path.
+    std::vector<uint8_t> payload;
+    std::vector<uint64_t> starts;
+    for (size_t k = 0; k < FaultMatrixRig::kPackets; ++k) {
+        starts.push_back(payload.size());
+        payload.insert(payload.end(), FaultMatrixRig::kPacketBytes,
+                       uint8_t(k));
+    }
+    const auto lines = frameStream(payload, starts);
+
+    FaultSpec spec;
+    spec.seed = 27;
+    spec.line_bit_flips = 1;
+    spec.line_drops = 1;
+    spec.line_horizon = 8;
+    FaultMatrixRig rig(spec);
+    rig.host.mem().writeVec(0x8000, lines);
+    rig.store.beginReplay(0x8000, lines.size());
+
+    // Emulated decoder: consume whole packets; at a damage barrier,
+    // discard the cut-short tail and acknowledge.
+    std::vector<uint8_t> got;
+    int guard = 0;
+    while (!rig.store.exhausted() && ++guard < 10'000) {
+        rig.sim.step();
+        uint8_t buf[64];
+        while (rig.store.availableBytes() >=
+               FaultMatrixRig::kPacketBytes) {
+            rig.store.peek(buf, FaultMatrixRig::kPacketBytes);
+            rig.store.consume(FaultMatrixRig::kPacketBytes);
+            got.insert(got.end(), buf,
+                       buf + FaultMatrixRig::kPacketBytes);
+        }
+        if (rig.store.damageBarrier()) {
+            const size_t tail = rig.store.availableBytes();
+            rig.store.consume(tail);
+            rig.store.noteTailDiscard(tail);
+            rig.store.clearDamageBarrier();
+        }
+    }
+    ASSERT_TRUE(rig.store.exhausted()) << "replay fetch hung";
+    EXPECT_FALSE(rig.store.damage().clean());
+
+    // Whatever came through is whole packets, in order, with losses.
+    ASSERT_EQ(got.size() % FaultMatrixRig::kPacketBytes, 0u);
+    const size_t packets = got.size() / FaultMatrixRig::kPacketBytes;
+    EXPECT_LT(packets, size_t(FaultMatrixRig::kPackets));
+    EXPECT_GT(packets, FaultMatrixRig::kPackets / 2);
+    int last = -1;
+    for (size_t p = 0; p < packets; ++p) {
+        const uint8_t *pkt = got.data() + p * FaultMatrixRig::kPacketBytes;
+        for (size_t j = 1; j < FaultMatrixRig::kPacketBytes; ++j)
+            ASSERT_EQ(pkt[j], pkt[0]) << "torn packet " << p;
+        EXPECT_GT(int(pkt[0]), last);
+        last = pkt[0];
+    }
+}
+
+TEST(FaultMatrix, ReplayFetchSkipsDuplicatesWithoutLoss)
+{
+    std::vector<uint8_t> payload;
+    std::vector<uint64_t> starts;
+    for (size_t k = 0; k < FaultMatrixRig::kPackets; ++k) {
+        starts.push_back(payload.size());
+        payload.insert(payload.end(), FaultMatrixRig::kPacketBytes,
+                       uint8_t(k));
+    }
+    const auto lines = frameStream(payload, starts);
+
+    FaultSpec spec;
+    spec.seed = 28;
+    spec.line_dups = 2;
+    spec.line_horizon = 8;
+    FaultMatrixRig rig(spec);
+    rig.host.mem().writeVec(0x8000, lines);
+    rig.store.beginReplay(0x8000, lines.size());
+
+    std::vector<uint8_t> got;
+    int guard = 0;
+    while (!rig.store.exhausted() && ++guard < 10'000) {
+        rig.sim.step();
+        uint8_t buf[64];
+        size_t n;
+        while ((n = rig.store.peek(buf, sizeof(buf))) > 0) {
+            rig.store.consume(n);
+            got.insert(got.end(), buf, buf + n);
+        }
+    }
+    ASSERT_TRUE(rig.store.exhausted());
+    EXPECT_GE(rig.store.damage().lines_duplicate, 1u);
+    // The second delivery was rejected: the stream is byte-exact.
+    EXPECT_EQ(got, payload);
+}
+
+TEST(FaultMatrix, RecordEndToEndSurvivesLineFaults)
+{
+    HlsAppBuilder app(makeBnnSpec());
+    app.setScale(0.1);
+    VidiConfig c = cfg();
+    c.fault.seed = 5;
+    c.fault.line_bit_flips = 2;
+    c.fault.line_drops = 1;
+    c.fault.line_horizon = 4;
+    const RecordResult rec = recordRun(app, VidiMode::R2_Record, 1, c);
+    // The workload itself never notices the damaged trace path.
+    EXPECT_TRUE(rec.completed);
+    EXPECT_FALSE(rec.damage.clean());
+    EXPECT_GT(rec.trace.packets.size(), 0u);
+}
+
+TEST(FaultMatrix, ReplayEndToEndFailsStructuredOnDroppedLines)
+{
+    HlsAppBuilder app(makeBnnSpec());
+    app.setScale(0.1);
+    const RecordResult rec = recordRun(app, VidiMode::R2_Record, 1,
+                                       cfg());
+    ASSERT_TRUE(rec.completed);
+
+    VidiConfig rc = cfg(5'000'000);
+    rc.fault.seed = 11;
+    rc.fault.line_drops = 2;
+    rc.fault.line_horizon = 4;
+    rc.replay_watchdog_cycles = 200'000;
+    const ReplayResult rep = replayRun(app, rec.trace, rc);
+
+    // The damage is always surfaced; the run either recovers (ends with
+    // fewer transactions) or the watchdog converts the stall into an
+    // actionable per-channel diagnostic — never a silent hang.
+    EXPECT_FALSE(rep.damage.clean());
+    if (!rep.completed) {
+        EXPECT_TRUE(rep.watchdog_tripped);
+        EXPECT_NE(rep.diagnostic.find("channel"), std::string::npos)
+            << rep.diagnostic;
+        EXPECT_LT(rep.cycles, uint64_t(5'000'000));
+    }
+}
+
+TEST(FaultMatrix, TruncatedFileLoadsTolerantlyFailsStrict)
+{
+    HlsAppBuilder app(makeBnnSpec());
+    app.setScale(0.1);
+    const RecordResult rec = recordRun(app, VidiMode::R2_Record, 1,
+                                       cfg());
+    ASSERT_TRUE(rec.completed);
+
+    const std::string path =
+        ::testing::TempDir() + "/fault-truncate.vtrc";
+    FaultSpec spec;
+    spec.seed = 29;
+    spec.file_truncate = true;
+    FaultInjector inj(spec);
+    saveTrace(path, rec.trace, &inj);
+    EXPECT_GE(inj.injectedCount(FaultKind::FileTruncate), 1u);
+
+    TraceDamageReport rep;
+    const Trace tolerant = loadTrace(path, rep);
+    EXPECT_FALSE(rep.clean());
+    EXPECT_LT(tolerant.packets.size(), rec.trace.packets.size());
+    EXPECT_GT(tolerant.packets.size(), 0u);
+    EXPECT_THROW(loadTrace(path), SimFatal);
+    std::remove(path.c_str());
+}
+
+TEST(FaultMatrix, CorruptHeaderFailsStructuredEvenTolerantly)
+{
+    HlsAppBuilder app(makeBnnSpec());
+    app.setScale(0.1);
+    const RecordResult rec = recordRun(app, VidiMode::R2_Record, 1,
+                                       cfg());
+    ASSERT_TRUE(rec.completed);
+
+    const std::string path = ::testing::TempDir() + "/fault-header.vtrc";
+    FaultSpec spec;
+    spec.seed = 30;
+    spec.file_header_flips = 2;
+    FaultInjector inj(spec);
+    saveTrace(path, rec.trace, &inj);
+
+    // A mangled header is never guessed around: both loaders refuse,
+    // with a structured error rather than garbage packets.
+    TraceDamageReport rep;
+    EXPECT_THROW(loadTrace(path, rep), SimFatal);
+    EXPECT_THROW(loadTrace(path), SimFatal);
+    std::remove(path.c_str());
 }
 
 } // namespace

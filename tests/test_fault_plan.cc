@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for deterministic fault plans: the same seeded FaultSpec
+ * must always expand to the byte-identical schedule (so any failing
+ * fault scenario is replayable from its seed alone), and the injector
+ * must apply the plan consistently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+
+namespace vidi {
+namespace {
+
+FaultSpec
+richSpec(uint64_t seed)
+{
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.line_bit_flips = 4;
+    spec.line_drops = 3;
+    spec.line_dups = 2;
+    spec.line_horizon = 64;
+    spec.pcie_stalls = 2;
+    spec.pcie_throttles = 2;
+    spec.cycle_horizon = 10'000;
+    spec.stall_min_cycles = 100;
+    spec.stall_max_cycles = 500;
+    spec.throttle_percent = 25;
+    spec.file_truncate = true;
+    spec.file_header_flips = 1;
+    return spec;
+}
+
+TEST(FaultPlan, SameSeedIsByteIdentical)
+{
+    const FaultPlan a = FaultPlan::generate(richSpec(42));
+    const FaultPlan b = FaultPlan::generate(richSpec(42));
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.serialize(), b.serialize());
+    EXPECT_FALSE(a.empty());
+    // 15 events of 25 serialized bytes each.
+    EXPECT_EQ(a.events().size(), 15u);
+    EXPECT_EQ(a.serialize().size(), 15u * 25u);
+}
+
+TEST(FaultPlan, DifferentSeedsDiffer)
+{
+    const FaultPlan a = FaultPlan::generate(richSpec(42));
+    const FaultPlan b = FaultPlan::generate(richSpec(43));
+    EXPECT_NE(a.serialize(), b.serialize());
+}
+
+TEST(FaultPlan, EmptySpecSchedulesNothing)
+{
+    const FaultSpec spec;  // all counts zero
+    EXPECT_FALSE(spec.any());
+    const FaultPlan plan = FaultPlan::generate(spec);
+    EXPECT_TRUE(plan.empty());
+    EXPECT_TRUE(plan.serialize().empty());
+}
+
+TEST(FaultPlan, EventsRespectHorizons)
+{
+    const FaultSpec spec = richSpec(7);
+    const FaultPlan plan = FaultPlan::generate(spec);
+    for (const auto &e : plan.events()) {
+        switch (e.kind) {
+          case FaultKind::LineBitFlip:
+            EXPECT_LT(e.at, spec.line_horizon);
+            EXPECT_LT(e.a, 512u);  // any bit of the 64-byte line
+            break;
+          case FaultKind::LineDrop:
+          case FaultKind::LineDup:
+            EXPECT_LT(e.at, spec.line_horizon);
+            break;
+          case FaultKind::PcieStall:
+            EXPECT_LT(e.at, spec.cycle_horizon);
+            EXPECT_GE(e.a, spec.stall_min_cycles);
+            EXPECT_LE(e.a, spec.stall_max_cycles);
+            break;
+          case FaultKind::PcieThrottle:
+            EXPECT_LT(e.at, spec.cycle_horizon);
+            EXPECT_EQ(e.b, spec.throttle_percent);
+            break;
+          case FaultKind::FileTruncate:
+            // Always cuts in the second half: header survives.
+            EXPECT_GE(e.a, 500u);
+            EXPECT_LT(e.a, 1000u);
+            break;
+          case FaultKind::FileHeaderFlip:
+            EXPECT_LT(e.at, 64u);
+            EXPECT_LT(e.a, 8u);
+            break;
+        }
+    }
+    EXPECT_NE(plan.toString().find("line-bit-flip"), std::string::npos);
+}
+
+TEST(FaultPlan, InjectorsFromSameSpecDecideIdentically)
+{
+    FaultSpec spec;
+    spec.seed = 9;
+    spec.line_bit_flips = 3;
+    spec.line_drops = 3;
+    spec.line_dups = 3;
+    spec.line_horizon = 16;
+    spec.pcie_stalls = 1;
+    spec.cycle_horizon = 1'000;
+    spec.stall_min_cycles = 50;
+    spec.stall_max_cycles = 50;
+
+    FaultInjector a(spec);
+    FaultInjector b(spec);
+    for (uint64_t seq = 0; seq < 16; ++seq) {
+        EXPECT_EQ(a.dropLine(seq), b.dropLine(seq)) << seq;
+        EXPECT_EQ(a.dupLine(seq), b.dupLine(seq)) << seq;
+        uint8_t la[64] = {}, lb[64] = {};
+        a.corruptLine(seq, la, sizeof(la));
+        b.corruptLine(seq, lb, sizeof(lb));
+        EXPECT_EQ(std::memcmp(la, lb, sizeof(la)), 0) << seq;
+    }
+    for (uint64_t cycle = 0; cycle < 1'200; ++cycle) {
+        EXPECT_EQ(a.pcieStalled(cycle), b.pcieStalled(cycle)) << cycle;
+        EXPECT_EQ(a.pcieThrottlePercent(cycle),
+                  b.pcieThrottlePercent(cycle))
+            << cycle;
+    }
+    EXPECT_EQ(a.injectedTotal(), b.injectedTotal());
+    EXPECT_GT(a.injectedTotal(), 0u);
+}
+
+TEST(FaultPlan, InjectorCountsWhatItApplies)
+{
+    FaultSpec spec;
+    spec.seed = 31;
+    spec.line_drops = 2;
+    spec.line_horizon = 4;
+    FaultInjector inj(spec);
+    uint64_t drops = 0;
+    for (uint64_t seq = 0; seq < 4; ++seq)
+        drops += inj.dropLine(seq) ? 1 : 0;
+    EXPECT_EQ(inj.injectedCount(FaultKind::LineDrop), drops);
+    EXPECT_GE(drops, 1u);  // two draws over four slots collide at worst
+    EXPECT_EQ(inj.injectedCount(FaultKind::LineDup), 0u);
+}
+
+} // namespace
+} // namespace vidi

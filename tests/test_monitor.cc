@@ -136,9 +136,12 @@ struct MonitorRig
             sim.step();
         EXPECT_TRUE(store.drained());
         const auto bytes =
-            host.mem().readVec(0x1000, store.bytesStored());
-        return Trace::fromBytes(oneChannelMeta(input), bytes.data(),
-                                bytes.size());
+            host.mem().readVec(0x1000, store.dramBytesWritten());
+        TraceDamageReport rep;
+        const auto segments =
+            deframeStream(bytes.data(), bytes.size(), rep);
+        EXPECT_TRUE(rep.clean()) << rep.toString();
+        return Trace::fromSegments(oneChannelMeta(input), segments, rep);
     }
 
     Simulator sim;

@@ -73,9 +73,11 @@ struct ReplayRig
           rep_out(sim.add<ChannelReplayer>("rout", out, decoder,
                                            coordinator, 1))
     {
-        const auto bytes = trace.serialize();
-        host.mem().writeVec(0x3000, bytes);
-        store.beginReplay(0x3000, bytes.size());
+        std::vector<uint64_t> starts;
+        const auto payload = trace.serialize(&starts);
+        const auto lines = frameStream(payload, starts);
+        host.mem().writeVec(0x3000, lines);
+        store.beginReplay(0x3000, lines.size());
     }
 
     bool

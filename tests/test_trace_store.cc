@@ -49,6 +49,34 @@ TEST(ByteFifo, OverflowAndUnderflowPanic)
     EXPECT_THROW(fifo.consume(5), SimPanic);
 }
 
+TEST(ByteFifo, TryPushRefusesWithoutBuffering)
+{
+    ByteFifo fifo(8);
+    const uint8_t a[5] = {1, 2, 3, 4, 5};
+    EXPECT_TRUE(fifo.tryPush(a, 5));
+    // Only 3 bytes of space left: the push is refused atomically.
+    EXPECT_FALSE(fifo.tryPush(a, 5));
+    EXPECT_EQ(fifo.size(), 5u);
+    EXPECT_TRUE(fifo.tryPush(a, 3));
+    EXPECT_EQ(fifo.space(), 0u);
+
+    uint8_t out[8];
+    EXPECT_EQ(fifo.peek(out, 8), 8u);
+    const uint8_t expect[8] = {1, 2, 3, 4, 5, 1, 2, 3};
+    EXPECT_EQ(std::memcmp(out, expect, 8), 0);
+}
+
+TEST(ByteFifo, ConsumeUpToIsBounded)
+{
+    ByteFifo fifo(8);
+    const uint8_t a[6] = {1, 2, 3, 4, 5, 6};
+    fifo.push(a, 6);
+    EXPECT_EQ(fifo.consumeUpTo(4), 4u);
+    EXPECT_EQ(fifo.consumeUpTo(10), 2u);  // bounded by what is buffered
+    EXPECT_EQ(fifo.consumeUpTo(1), 0u);   // empty: a no-op, not a panic
+    EXPECT_TRUE(fifo.empty());
+}
+
 TEST(PcieLinkModel, LongRunRateIsExact)
 {
     PcieLink link(5.5e9, 250e6);  // 22 bytes/cycle
@@ -104,24 +132,32 @@ TEST_F(StoreFixture, RecordDrainsToHostDram)
     store.pushBytes(data.data(), data.size());
     EXPECT_EQ(store.spaceBytes(), 56u);
 
-    // 200 bytes at 22 B/cycle need 10 cycles.
-    for (int i = 0; i < 12 && !store.drained(); ++i)
+    for (int i = 0; i < 64 && !store.drained(); ++i)
         sim.step();
     EXPECT_TRUE(store.drained());
     EXPECT_EQ(store.bytesStored(), 200u);
-    EXPECT_EQ(store.linesWritten(), 4u);  // ceil(200/64)
+    // 200 payload bytes fill ceil(200/52) framed 64-byte lines.
+    EXPECT_EQ(store.linesWritten(), 4u);
+    EXPECT_EQ(store.dramBytesWritten(), 256u);
 
-    const auto back = host.mem().readVec(0x4000, 200);
+    const auto framed = host.mem().readVec(0x4000, 256);
+    TraceDamageReport rep;
+    const auto segments = deframeStream(framed.data(), framed.size(), rep);
+    EXPECT_TRUE(rep.clean()) << rep.toString();
+    std::vector<uint8_t> back;
+    for (const auto &seg : segments)
+        back.insert(back.end(), seg.bytes.begin(), seg.bytes.end());
     EXPECT_EQ(back, data);
 }
 
 TEST_F(StoreFixture, ReplayPrefetchesAndServes)
 {
-    std::vector<uint8_t> trace(300);
-    for (size_t i = 0; i < trace.size(); ++i)
-        trace[i] = static_cast<uint8_t>(i * 3);
-    host.mem().writeVec(0x8000, trace);
-    store.beginReplay(0x8000, trace.size());
+    std::vector<uint8_t> payload(300);
+    for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<uint8_t>(i * 3);
+    const auto lines = frameStream(payload, {0});
+    host.mem().writeVec(0x8000, lines);
+    store.beginReplay(0x8000, lines.size());
 
     std::vector<uint8_t> got;
     for (int i = 0; i < 100 && !store.exhausted(); ++i) {
@@ -132,7 +168,9 @@ TEST_F(StoreFixture, ReplayPrefetchesAndServes)
         got.insert(got.end(), buf, buf + n);
     }
     EXPECT_TRUE(store.exhausted());
-    EXPECT_EQ(got, trace);
+    // The store validates each line and serves only the payload.
+    EXPECT_EQ(got, payload);
+    EXPECT_TRUE(store.damage().clean());
 }
 
 TEST_F(StoreFixture, ModeGuards)

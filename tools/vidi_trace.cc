@@ -4,6 +4,9 @@
  *
  *   vidi_trace info <trace>                      per-channel statistics
  *   vidi_trace dump <trace> [N]                  first N cycle packets
+ *   vidi_trace verify <trace>                    walk the storage lines,
+ *       check every CRC and sequence number, print the damage report;
+ *       exit 0 only for a fully intact trace
  *   vidi_trace validate <reference> <validation> diff two traces (§3.6)
  *   vidi_trace mutate <in> <out> <chanA> <k> <chanB> <j>
  *       move the k-th end of channel <chanA> before the j-th end of
@@ -36,6 +39,7 @@ usage()
         "usage:\n"
         "  vidi_trace info <trace>\n"
         "  vidi_trace dump <trace> [N]\n"
+        "  vidi_trace verify <trace>\n"
         "  vidi_trace profile <trace> [reqChan respChan]\n"
         "  vidi_trace validate <reference> <validation>\n"
         "  vidi_trace mutate <in> <out> <chanA> <k> <chanB> <j>\n",
@@ -91,6 +95,23 @@ cmdDump(const std::string &path, size_t limit)
     if (trace.packets.size() > shown)
         std::printf("... %zu more packets\n",
                     trace.packets.size() - shown);
+    return 0;
+}
+
+int
+cmdVerify(const std::string &path)
+{
+    // Tolerant load: body damage is surveyed, not fatal. Only a corrupt
+    // header (magic, metadata CRC) still throws.
+    TraceDamageReport report;
+    const Trace trace = loadTrace(path, report);
+    std::printf("%s: %s\n", path.c_str(), report.toString().c_str());
+    if (!report.clean()) {
+        std::printf("recovered %zu packets across %llu resync(s)\n",
+                    trace.packets.size(),
+                    static_cast<unsigned long long>(report.resyncs));
+        return 1;
+    }
     return 0;
 }
 
@@ -162,6 +183,8 @@ main(int argc, char **argv)
             return cmdDump(argv[2],
                            argc == 4 ? std::strtoul(argv[3], nullptr, 10)
                                      : 32);
+        if (cmd == "verify" && argc == 3)
+            return cmdVerify(argv[2]);
         if (cmd == "profile" && (argc == 3 || argc == 5)) {
             return cmdProfile(argv[2], argc == 5 ? argv[3] : nullptr,
                               argc == 5 ? argv[4] : nullptr);
