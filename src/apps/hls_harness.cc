@@ -10,6 +10,22 @@ LiteRegFile::LiteRegFile(const std::string &name, const LiteBus &bus,
       write_fn_(std::move(write_fn)), aw_(*bus.aw, 4), w_(*bus.w, 4),
       b_(*bus.b), ar_(*bus.ar, 4), r_(*bus.r)
 {
+    // eval() only drives the port endpoints from registered state;
+    // re-running it mid-settle is needed only when a bus channel moved.
+    sensitive(*bus.aw);
+    sensitive(*bus.w);
+    sensitive(*bus.b);
+    sensitive(*bus.ar);
+    sensitive(*bus.r);
+}
+
+uint64_t
+LiteRegFile::idleUntil(uint64_t now) const
+{
+    if (aw_.available() || w_.available() || ar_.available() ||
+        !b_.idle() || !r_.idle())
+        return now;
+    return kIdleForever;  // a request arriving blocks the skip anyway
 }
 
 void
@@ -68,6 +84,38 @@ HlsHostDriver::HlsHostDriver(Simulator &sim, const std::string &name,
         fatal("HlsHostDriver %s: empty workload", name.c_str());
     mmio_.setIssueGap(0, spec_.host_jitter);
     dma_.setIssueGap(0, spec_.host_jitter);
+    setEvalMode(EvalMode::Never);  // no combinational logic
+}
+
+uint64_t
+HlsHostDriver::idleUntil(uint64_t now) const
+{
+    // The wait states poll conditions that only change through another
+    // module's tick — that module reports itself active until then, and
+    // the kernel re-queries after every executed cycle.
+    switch (state_) {
+      case State::StartJob:
+        return now;
+      case State::WaitDma:
+        return dma_.idle() ? now : kIdleForever;
+      case State::WaitDoorbell:
+        return host_.mem().read64(doorbell_addr_) == job_ + 1
+                   ? now : kIdleForever;
+      case State::WaitRead:
+        return dma_.readDataAvailable() ? now : kIdleForever;
+      case State::Think:
+        return now + think_left_;
+      case State::AllDone:
+        return kIdleForever;
+    }
+    return now;
+}
+
+void
+HlsHostDriver::onCyclesSkipped(uint64_t from, uint64_t to)
+{
+    const uint64_t n = to - from;
+    think_left_ -= n < think_left_ ? n : think_left_;
 }
 
 bool

@@ -39,6 +39,7 @@ class LiteRegFile : public Module
     void eval() override;
     void tick() override;
     void reset() override;
+    uint64_t idleUntil(uint64_t now) const override;
 
   private:
     ReadFn read_fn_;
@@ -90,6 +91,8 @@ class HlsHostDriver : public Module
 
     void tick() override;
     void reset() override;
+    uint64_t idleUntil(uint64_t now) const override;
+    void onCyclesSkipped(uint64_t from, uint64_t to) override;
 
     /** On-FPGA DDR layout shared with the kernel. */
     static constexpr uint64_t kDdrIn = 0x100000;

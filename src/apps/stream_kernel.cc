@@ -14,6 +14,31 @@ StreamKernel::StreamKernel(const std::string &name, DramModel &ddr,
 {
     if (!compute_)
         fatal("StreamKernel %s: compute function required", name.c_str());
+    setEvalMode(EvalMode::Never);  // no combinational logic
+}
+
+uint64_t
+StreamKernel::idleUntil(uint64_t now) const
+{
+    switch (state_) {
+      case State::Idle:
+        // Started by a register write, i.e. by another module's tick.
+        return kIdleForever;
+      case State::Doorbell:
+        // Polling the pcim master for completion.
+        return now;
+      default:
+        // Burning down a phase: the next interesting tick is the one
+        // where the countdown has reached zero and the phase advances.
+        return now + phase_cycles_left_;
+    }
+}
+
+void
+StreamKernel::onCyclesSkipped(uint64_t from, uint64_t to)
+{
+    const uint64_t n = to - from;
+    phase_cycles_left_ -= n < phase_cycles_left_ ? n : phase_cycles_left_;
 }
 
 void

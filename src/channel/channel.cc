@@ -1,5 +1,9 @@
 #include "channel/channel.h"
 
+#include <algorithm>
+
+#include "sim/module.h"
+
 namespace vidi {
 
 uint64_t
@@ -30,7 +34,7 @@ ChannelBase::setValid(bool v)
 {
     if (valid_ != v) {
         valid_ = v;
-        dirty_ = true;
+        markDirty();
     }
 }
 
@@ -39,8 +43,26 @@ ChannelBase::setReady(bool r)
 {
     if (ready_ != r) {
         ready_ = r;
-        dirty_ = true;
+        markDirty();
     }
+}
+
+void
+ChannelBase::markDirty()
+{
+    dirty_ = true;
+    if (settle_flag_)
+        *settle_flag_ = true;
+    for (Module *m : listeners_)
+        m->markNeedsEval();
+}
+
+void
+ChannelBase::addListener(Module *m)
+{
+    if (std::find(listeners_.begin(), listeners_.end(), m) ==
+        listeners_.end())
+        listeners_.push_back(m);
 }
 
 uint64_t

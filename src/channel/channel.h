@@ -21,11 +21,14 @@
 #include <cstring>
 #include <string>
 #include <type_traits>
+#include <vector>
 
 #include "channel/protocol_checker.h"
 #include "sim/logging.h"
 
 namespace vidi {
+
+class Module;
 
 /** Largest payload any channel may carry, in serialized bytes. */
 inline constexpr size_t kMaxPayloadBytes = 256;
@@ -95,10 +98,22 @@ class ChannelBase
     void clearDirty() { dirty_ = false; }
     /** Return the channel to its power-on state. */
     void resetState();
+    /**
+     * Install the owning simulator's settle flag; every markDirty() also
+     * raises it so the activity-driven kernel sees changes without
+     * scanning all channels.
+     */
+    void setSettleFlag(bool *flag) { settle_flag_ = flag; }
     /// @}
 
+    /**
+     * Register @p m to be re-evaluated whenever a signal of this channel
+     * changes (used by Module::sensitive()).
+     */
+    void addListener(Module *m);
+
   protected:
-    void markDirty() { dirty_ = true; }
+    void markDirty();
     /** Hash of the current payload bytes. */
     uint64_t dataHash() const;
 
@@ -112,6 +127,9 @@ class ChannelBase
     bool fired_ = false;
     bool dirty_ = false;
     uint64_t fired_count_ = 0;
+
+    bool *settle_flag_ = nullptr;
+    std::vector<Module *> listeners_;
 
     ProtocolChecker checker_;
 };

@@ -27,6 +27,17 @@ class Passthrough : public Module
     {
         if (src_.dataBytes() != dst_.dataBytes())
             fatal("Passthrough %s: payload sizes differ", name.c_str());
+        // Pure combinational bridge: outputs depend only on src/dst
+        // signals, so eval() only needs to run when one of them changes.
+        setEvalMode(EvalMode::OnDemand);
+        sensitive(src_);
+        sensitive(dst_);
+    }
+
+    uint64_t
+    idleUntil(uint64_t) const override
+    {
+        return kIdleForever;
     }
 
     void

@@ -16,6 +16,7 @@ recordRun(AppBuilder &app, VidiMode mode, uint64_t seed,
         fatal("recordRun: use replayRun for configuration R3");
 
     Simulator sim(seed);
+    sim.setKernelMode(resolveKernelMode(cfg.kernel));
     HostMemory host;
     // The PCIe bus must tick before every consumer: register it first.
     PcieBus &pcie = sim.add<PcieBus>("pcie", cfg.pcie_bytes_per_sec,
@@ -38,7 +39,7 @@ recordRun(AppBuilder &app, VidiMode mode, uint64_t seed,
         shim.beginRecord();
 
     while (!instance->done() && sim.cycle() < cfg.max_cycles)
-        sim.step();
+        sim.stepUntil(cfg.max_cycles);
 
     result.completed = instance->done();
     result.cycles = sim.cycle();
@@ -47,9 +48,9 @@ recordRun(AppBuilder &app, VidiMode mode, uint64_t seed,
     if (mode == VidiMode::R2_Record) {
         // Let the trace store finish draining to host DRAM (the paper's
         // runtime saves the trace after the application finishes).
-        uint64_t drain_budget = cfg.max_cycles;
-        while (!shim.recordDrained() && drain_budget-- > 0)
-            sim.step();
+        const uint64_t drain_deadline = sim.cycle() + cfg.max_cycles;
+        while (!shim.recordDrained() && sim.cycle() < drain_deadline)
+            sim.stepUntil(drain_deadline);
         if (!shim.recordDrained()) {
             const TraceStore *store = shim.store();
             fatal("recordRun(%s): trace store failed to drain within %llu "
@@ -72,7 +73,10 @@ recordRun(AppBuilder &app, VidiMode mode, uint64_t seed,
         result.link_stall_cycles = shim.store()->stallCycles();
         result.overflow_drops = shim.store()->overflowDrops();
         result.dropped_payload_bytes = shim.store()->droppedPayloadBytes();
+        result.encoder_pool_hits = shim.encoder()->poolHits();
+        result.encoder_pool_misses = shim.encoder()->poolMisses();
     }
+    result.kernel = sim.kernelStats();
     return result;
 }
 

@@ -18,6 +18,7 @@
 
 #include "core/app_interface.h"
 #include "core/vidi_config.h"
+#include "sim/simulator.h"
 #include "trace/trace.h"
 
 namespace vidi {
@@ -53,6 +54,14 @@ struct RecordResult
     uint64_t link_stall_cycles = 0;   ///< drain cycles with a dead link
     uint64_t overflow_drops = 0;      ///< drop-with-report sheds
     uint64_t dropped_payload_bytes = 0;
+    /// @}
+
+    /// @name Simulation-kernel counters
+    /// @{
+    /** Kernel activity counters for the run (eval passes, skips, ...). */
+    KernelStats kernel;
+    uint64_t encoder_pool_hits = 0;    ///< CyclePacket pool reuses (R2)
+    uint64_t encoder_pool_misses = 0;  ///< CyclePacket pool allocations
     /// @}
 
     /** Input-signal bits per cycle a cycle-accurate recorder would log. */

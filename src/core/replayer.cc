@@ -13,6 +13,7 @@ replayRun(AppBuilder &app, const Trace &trace, const VidiConfig &cfg)
     // Replay is deterministic: the seed only affects host jitter, and
     // there is no host during replay.
     Simulator sim(0);
+    sim.setKernelMode(resolveKernelMode(cfg.kernel));
     HostMemory host;
     // The PCIe bus must tick before every consumer: register it first.
     PcieBus &pcie = sim.add<PcieBus>("pcie", cfg.pcie_bytes_per_sec,
@@ -34,7 +35,7 @@ replayRun(AppBuilder &app, const Trace &trace, const VidiConfig &cfg)
     // failure; the coarse cycle budget remains as the backstop.
     while (!shim.replayFinished() && !shim.replayStalled() &&
            sim.cycle() < cfg.max_cycles)
-        sim.step();
+        sim.stepUntil(cfg.max_cycles);
 
     result.completed = shim.replayFinished();
     result.cycles = sim.cycle();
@@ -44,6 +45,7 @@ replayRun(AppBuilder &app, const Trace &trace, const VidiConfig &cfg)
     result.watchdog_tripped = shim.replayStalled();
     result.diagnostic = shim.replayDiagnostic();
     result.damage = shim.replayDamage();
+    result.kernel = sim.kernelStats();
     return result;
 }
 

@@ -15,6 +15,7 @@
 
 #include "core/app_interface.h"
 #include "core/vidi_config.h"
+#include "sim/simulator.h"
 #include "trace/trace.h"
 
 namespace vidi {
@@ -44,6 +45,9 @@ struct ReplayResult
     /** Damage observed while fetching the trace from host DRAM. */
     TraceDamageReport damage;
     /// @}
+
+    /** Kernel activity counters for the run (eval passes, skips, ...). */
+    KernelStats kernel;
 };
 
 /**

@@ -22,6 +22,7 @@
 #include "fault/fault_plan.h"
 #include "host/pcie_link.h"
 #include "monitor/monitor_config.h"
+#include "sim/kernel_mode.h"
 #include "trace/storage_line.h"
 
 namespace vidi {
@@ -90,6 +91,16 @@ struct VidiConfig
 
     /** Simulation cycle budget per run (deadlock watchdog). */
     uint64_t max_cycles = 200'000'000;
+
+    /**
+     * Simulation kernel strategy. ActivityDriven (the default) settles
+     * with sensitivity lists and bulk-advances through quiescent
+     * stretches; FullEval is the reference kernel that evaluates every
+     * module every pass and executes every cycle. Both produce
+     * bit-identical traces; the VIDI_KERNEL environment variable
+     * ("full" / "activity") overrides this field for A/B comparison.
+     */
+    KernelMode kernel = KernelMode::ActivityDriven;
 
     /// @name Fault injection & recovery (robustness validation)
     /// @{

@@ -21,6 +21,13 @@ DmaEngine::DmaEngine(Simulator &sim, const std::string &name,
     : Module(name), sim_(sim), rng_(sim.rng().fork()), pcie_(pcie),
       aw_(*bus.aw), w_(*bus.w), b_(*bus.b, 64), ar_(*bus.ar), r_(*bus.r, 64)
 {
+    // eval() only drives the port endpoints from registered state;
+    // re-running it mid-settle is needed only when a bus channel moved.
+    sensitive(*bus.aw);
+    sensitive(*bus.w);
+    sensitive(*bus.b);
+    sensitive(*bus.ar);
+    sensitive(*bus.r);
 }
 
 void
@@ -65,6 +72,29 @@ DmaEngine::idle() const
     return jobs_.empty() && aw_.idle() && w_.idle() && ar_.idle() &&
            write_bursts_acked_ == write_bursts_issued_ &&
            read_beats_received_ == read_beats_expected_;
+}
+
+uint64_t
+DmaEngine::idleUntil(uint64_t now) const
+{
+    // Beats in flight imply per-cycle work (handshakes, PCIe token
+    // refills). With the bus quiet, the only per-cycle state is the
+    // issue-gap countdown before the next burst.
+    const bool quiet = aw_.idle() && w_.idle() && ar_.idle() &&
+                       write_bursts_acked_ == write_bursts_issued_ &&
+                       read_beats_received_ == read_beats_expected_;
+    if (!quiet)
+        return now;
+    if (gap_remaining_ > 0)
+        return now + gap_remaining_;
+    return jobs_.empty() ? kIdleForever : now;
+}
+
+void
+DmaEngine::onCyclesSkipped(uint64_t from, uint64_t to)
+{
+    const uint64_t n = to - from;
+    gap_remaining_ -= n < gap_remaining_ ? n : gap_remaining_;
 }
 
 std::vector<uint8_t>

@@ -64,6 +64,8 @@ class DmaEngine : public Module
     void eval() override;
     void tick() override;
     void reset() override;
+    uint64_t idleUntil(uint64_t now) const override;
+    void onCyclesSkipped(uint64_t from, uint64_t to) override;
 
   private:
     struct Job

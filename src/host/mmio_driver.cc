@@ -7,6 +7,13 @@ MmioMaster::MmioMaster(Simulator &sim, const std::string &name,
     : Module(name), sim_(sim), rng_(sim.rng().fork()), aw_(*bus.aw),
       w_(*bus.w), b_(*bus.b, 16), ar_(*bus.ar), r_(*bus.r, 16)
 {
+    // eval() only drives the port endpoints from registered state;
+    // re-running it mid-settle is needed only when a bus channel moved.
+    sensitive(*bus.aw);
+    sensitive(*bus.w);
+    sensitive(*bus.b);
+    sensitive(*bus.ar);
+    sensitive(*bus.r);
 }
 
 void
@@ -45,6 +52,29 @@ MmioMaster::idle() const
     return ops_.empty() && writes_acked_ == writes_issued_ &&
            reads_completed_ == reads_issued_ && aw_.idle() && w_.idle() &&
            ar_.idle();
+}
+
+uint64_t
+MmioMaster::idleUntil(uint64_t now) const
+{
+    // While operations or responses are in flight every cycle matters.
+    // With the bus quiet, the only per-cycle state is the issue-gap
+    // countdown: the next interesting tick is the one that issues.
+    const bool quiet = aw_.idle() && w_.idle() && ar_.idle() &&
+                       writes_acked_ == writes_issued_ &&
+                       reads_completed_ == reads_issued_;
+    if (!quiet)
+        return now;
+    if (gap_remaining_ > 0)
+        return now + gap_remaining_;
+    return ops_.empty() ? kIdleForever : now;
+}
+
+void
+MmioMaster::onCyclesSkipped(uint64_t from, uint64_t to)
+{
+    const uint64_t n = to - from;
+    gap_remaining_ -= n < gap_remaining_ ? n : gap_remaining_;
 }
 
 void

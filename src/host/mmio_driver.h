@@ -57,6 +57,8 @@ class MmioMaster : public Module
     void eval() override;
     void tick() override;
     void reset() override;
+    uint64_t idleUntil(uint64_t now) const override;
+    void onCyclesSkipped(uint64_t from, uint64_t to) override;
 
   private:
     struct Op

@@ -43,6 +43,7 @@ class PcieBus : public Module
         : Module(name), link_(bytes_per_sec, clock_hz),
           burst_bytes_(burst_bytes)
     {
+        setEvalMode(EvalMode::Never);  // no combinational logic
     }
 
     /**
@@ -66,6 +67,7 @@ class PcieBus : public Module
     void attachFault(const FaultInjector *fault)
     {
         link_.attachFault(fault);
+        fault_attached_ = fault != nullptr;
     }
 
     /** Cycles the link was fully stalled by an injected fault. */
@@ -85,11 +87,32 @@ class PcieBus : public Module
         link_.reset();
     }
 
+    /**
+     * The bus itself never forces a cycle to execute: with nobody
+     * drawing tokens, n per-cycle refills capped at the bucket depth
+     * equal one bulk refill capped once, so the skip path below is
+     * exact. Fault stall/throttle windows are indexed by link cycle,
+     * so with a fault attached every cycle must run for real.
+     */
+    uint64_t
+    idleUntil(uint64_t now) const override
+    {
+        return fault_attached_ ? now : kIdleForever;
+    }
+
+    void
+    onCyclesSkipped(uint64_t from, uint64_t to) override
+    {
+        budget_ =
+            std::min(budget_ + link_.skipGrants(to - from), burst_bytes_);
+    }
+
   private:
     PcieLink link_;
     uint64_t burst_bytes_;
     uint64_t budget_ = 0;
     uint64_t granted_total_ = 0;
+    bool fault_attached_ = false;
 };
 
 } // namespace vidi

@@ -1,5 +1,6 @@
 #include "host/pcie_link.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "fault/fault_injector.h"
@@ -38,6 +39,25 @@ PcieLink::grant()
     acc_num_ += rate;
     const uint64_t bytes = acc_num_ / den_;
     acc_num_ %= den_;
+    return bytes;
+}
+
+uint64_t
+PcieLink::skipGrants(uint64_t n)
+{
+    if (fault_ != nullptr)
+        fatal("PcieLink::skipGrants while a fault is attached");
+    uint64_t bytes = 0;
+    while (n > 0) {
+        // Chunk so acc_num_ + chunk * num_ cannot overflow.
+        const uint64_t chunk =
+            std::min<uint64_t>(n, (~uint64_t(0) - acc_num_) / num_);
+        const uint64_t total = acc_num_ + chunk * num_;
+        bytes += total / den_;
+        acc_num_ = total % den_;
+        cycle_ += chunk;
+        n -= chunk;
+    }
     return bytes;
 }
 

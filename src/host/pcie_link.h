@@ -39,6 +39,14 @@ class PcieLink
     /** Bytes the link may move this cycle; call exactly once per cycle. */
     uint64_t grant();
 
+    /**
+     * Advance the link by @p n fault-free cycles at once, returning the
+     * total byte grant. Exactly equivalent to n grant() calls (the
+     * fractional accumulator phase is preserved); must not be used while
+     * a fault is attached, since stall/throttle windows are per-cycle.
+     */
+    uint64_t skipGrants(uint64_t n);
+
     /** Long-run average bytes per cycle (diagnostic). */
     double bytesPerCycle() const;
 

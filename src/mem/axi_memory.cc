@@ -10,6 +10,36 @@ AxiMemory::AxiMemory(Simulator &sim, const std::string &name,
       write_ack_latency_(write_ack_latency), aw_(*bus.aw, 8), w_(*bus.w, 64),
       b_(*bus.b), ar_(*bus.ar, 8), r_(*bus.r)
 {
+    // eval() only drives the port endpoints from registered state;
+    // re-running it mid-settle is needed only when a bus channel moved.
+    sensitive(*bus.aw);
+    sensitive(*bus.w);
+    sensitive(*bus.b);
+    sensitive(*bus.ar);
+    sensitive(*bus.r);
+}
+
+uint64_t
+AxiMemory::idleUntil(uint64_t now) const
+{
+    // Anything buffered, presented or arriving means per-cycle work. A
+    // W beat held valid by the master also does: with PCIe pacing the
+    // tick refills tokens while data is pending even before the beat
+    // can be accepted.
+    if (aw_.available() || w_.buffered() > 0 || ar_.available() ||
+        !b_.idle() || !r_.idle() || bus_.w->valid())
+        return now;
+    // Read beats awaiting their latency also consume PCIe tokens.
+    if (pcie_ != nullptr && !pending_r_.empty())
+        return now;
+    // Only latency timers remain: responses release in queue order, so
+    // the next interesting tick is whichever front comes due first.
+    uint64_t wake = kIdleForever;
+    if (!pending_b_.empty() && pending_b_.front().first < wake)
+        wake = pending_b_.front().first;
+    if (!pending_r_.empty() && pending_r_.front().first < wake)
+        wake = pending_r_.front().first;
+    return wake <= now ? now : wake;
 }
 
 void

@@ -54,6 +54,7 @@ class AxiMemory : public Module
     void eval() override;
     void tick() override;
     void reset() override;
+    uint64_t idleUntil(uint64_t now) const override;
 
     /** Completed write bursts (B responses sent). */
     uint64_t writesCompleted() const { return writes_completed_; }

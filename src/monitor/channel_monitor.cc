@@ -22,6 +22,24 @@ ChannelMonitor::ChannelMonitor(const std::string &name, ChannelBase &src,
     if (opts_.reservation_pool == 0)
         fatal("ChannelMonitor %s: reservation pool must be nonzero",
               name.c_str());
+    // eval() reads only src/dst signals besides registered state, so the
+    // activity kernel needs to re-run it within a cycle only when one of
+    // the two channels changed (the seed pass covers state changes).
+    sensitive(src_);
+    sensitive(dst_);
+}
+
+uint64_t
+ChannelMonitor::idleUntil(uint64_t now) const
+{
+    // Quiescent only when no transaction is crossing, the sender is
+    // silent, and the reservation pool has settled at its idle target
+    // (one prefetched reservation while recording, none otherwise).
+    const size_t idle_pool = recording() ? 1 : 0;
+    if (src_.valid() || inflight_ || passthrough_inflight_ ||
+        pool_ != idle_pool)
+        return now;
+    return kIdleForever;
 }
 
 void

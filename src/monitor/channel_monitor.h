@@ -69,6 +69,7 @@ class ChannelMonitor : public Module
     void eval() override;
     void tick() override;
     void reset() override;
+    uint64_t idleUntil(uint64_t now) const override;
 
     /** Completed transactions observed since reset. */
     uint64_t transactions() const { return transactions_; }

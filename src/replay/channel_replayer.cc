@@ -16,6 +16,25 @@ ChannelReplayer::ChannelReplayer(const std::string &name, ChannelBase &inner,
     if (inner_.dataBytes() != decoder.meta().channels[chan_index].data_bytes)
         fatal("ChannelReplayer %s: payload size disagrees with the trace "
               "metadata", name.c_str());
+    // eval() drives inner_ purely from registered state; within a cycle
+    // it only needs re-running when the channel itself changed.
+    sensitive(inner_);
+}
+
+uint64_t
+ChannelReplayer::idleUntil(uint64_t now) const
+{
+    // Active while a released event awaits its handshake, or while the
+    // vector clock allows releasing the next queued pair. Otherwise the
+    // replayer is blocked on the clock (which only advances through
+    // completions on other, necessarily active, channels) or out of
+    // pairs (the decoder/store report active while more can arrive).
+    if (presenting_ || pending_ends_ > 0)
+        return now;
+    if (decoder_.queueDepth(chan_index_) > 0 &&
+        coordinator_.current().dominates(t_expected_))
+        return now;
+    return kIdleForever;
 }
 
 bool

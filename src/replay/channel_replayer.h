@@ -71,6 +71,7 @@ class ChannelReplayer : public Module
     void eval() override;
     void tick() override;
     void reset() override;
+    uint64_t idleUntil(uint64_t now) const override;
 
   private:
     ChannelBase &inner_;

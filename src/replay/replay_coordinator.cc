@@ -20,6 +20,7 @@ ReplayCoordinator::ReplayCoordinator(const std::string &name, TraceMeta meta,
               "%zu", name.c_str(), inner_.size(), meta_.channelCount());
     validation_.meta = meta_;
     validation_.meta.record_output_content = true;
+    setEvalMode(EvalMode::Never);  // observes in tickLate only
 }
 
 void
@@ -73,6 +74,29 @@ ReplayCoordinator::tickLate()
         diagnostic_ = buildDiagnostic();
         warn("%s", diagnostic_.c_str());
     }
+}
+
+uint64_t
+ReplayCoordinator::idleUntil(uint64_t now) const
+{
+    // During a frozen stretch tickLate() observes no edges and no fires,
+    // so its only effect is the watchdog count. With the watchdog off
+    // (or already tripped) the coordinator never forces a cycle; armed,
+    // the next interesting tick is the one that would trip it: executing
+    // cycles now .. now+k-1 adds k no-progress counts, reaching the
+    // horizon when k = horizon - no_progress_cycles_.
+    if (watchdog_horizon_ == 0 || tripped_)
+        return kIdleForever;
+    return now + (watchdog_horizon_ - no_progress_cycles_) - 1;
+}
+
+void
+ReplayCoordinator::onCyclesSkipped(uint64_t from, uint64_t to)
+{
+    // Skipped cycles are by construction progress-free.
+    if (watchdog_horizon_ == 0 || tripped_)
+        return;
+    no_progress_cycles_ += to - from;
 }
 
 void

@@ -80,6 +80,8 @@ class ReplayCoordinator : public Module
 
     void tickLate() override;
     void reset() override;
+    uint64_t idleUntil(uint64_t now) const override;
+    void onCyclesSkipped(uint64_t from, uint64_t to) override;
 
   private:
     std::string buildDiagnostic() const;

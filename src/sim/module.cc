@@ -1,9 +1,18 @@
 #include "sim/module.h"
 
+#include "channel/channel.h"
+
 namespace vidi {
 
 Module::Module(std::string name) : name_(std::move(name)) {}
 
 Module::~Module() = default;
+
+void
+Module::sensitive(ChannelBase &ch)
+{
+    ch.addListener(this);
+    has_sensitivities_ = true;
+}
 
 } // namespace vidi

@@ -1,24 +1,48 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 #include "sim/logging.h"
 
 namespace vidi {
 
-Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+Simulator::Simulator(uint64_t seed)
+    : mode_(resolveKernelMode(KernelMode::ActivityDriven)), rng_(seed)
+{
+}
 
 Simulator::~Simulator() = default;
 
 void
-Simulator::step()
+Simulator::settleOverflow()
 {
-    // Combinational settling: evaluate all modules until no channel signal
+    std::string culprits;
+    for (auto &ch : channels_) {
+        if (ch->dirty()) {
+            if (!culprits.empty())
+                culprits += ", ";
+            culprits += ch->name();
+        }
+    }
+    panic("combinational loop detected at cycle %llu "
+          "(unsettled channels: %s)",
+          static_cast<unsigned long long>(cycle_), culprits.c_str());
+}
+
+void
+Simulator::settleFullEval()
+{
+    // Reference schedule: evaluate all modules until no channel signal
     // changes across a full pass.
     unsigned iters = 0;
     while (true) {
         for (auto &ch : channels_)
             ch->clearDirty();
-        for (auto &m : modules_)
+        for (auto &m : modules_) {
             m->eval();
+            ++m->eval_count_;
+            ++module_evals_;
+        }
         ++total_eval_passes_;
         bool changed = false;
         for (auto &ch : channels_) {
@@ -29,20 +53,64 @@ Simulator::step()
         }
         if (!changed)
             break;
-        if (++iters >= max_eval_iterations_) {
-            std::string culprits;
-            for (auto &ch : channels_) {
-                if (ch->dirty()) {
-                    if (!culprits.empty())
-                        culprits += ", ";
-                    culprits += ch->name();
-                }
-            }
-            panic("combinational loop detected at cycle %llu "
-                  "(unsettled channels: %s)",
-                  static_cast<unsigned long long>(cycle_), culprits.c_str());
-        }
+        if (++iters >= max_eval_iterations_)
+            settleOverflow();
     }
+    settle_dirty_ = false;
+}
+
+void
+Simulator::settleActivity()
+{
+    // Sensitivity-driven schedule. The seed pass runs every EveryCycle
+    // module (their eval() may depend on state updated in tick());
+    // settling passes run only modules whose sensitive channels changed
+    // since their last eval. Modules in EveryCycle mode without declared
+    // sensitivities conservatively run in every pass — exactly the
+    // FullEval schedule for them. The combinational network is acyclic
+    // with a unique fixpoint, so evaluating a subset per pass settles to
+    // the same signal values as evaluating everyone.
+    unsigned iters = 0;
+    bool first = true;
+    while (true) {
+        for (auto &ch : channels_)
+            ch->clearDirty();
+        settle_dirty_ = false;
+        for (auto &m : modules_) {
+            bool run = false;
+            switch (m->eval_mode_) {
+            case EvalMode::Never:
+                break;
+            case EvalMode::OnDemand:
+                run = m->needs_eval_;
+                break;
+            case EvalMode::EveryCycle:
+                run = first || m->needs_eval_ || !m->has_sensitivities_;
+                break;
+            }
+            if (run) {
+                m->needs_eval_ = false;
+                m->eval();
+                ++m->eval_count_;
+                ++module_evals_;
+            }
+        }
+        ++total_eval_passes_;
+        if (!settle_dirty_)
+            break;
+        first = false;
+        if (++iters >= max_eval_iterations_)
+            settleOverflow();
+    }
+}
+
+void
+Simulator::stepOnce()
+{
+    if (mode_ == KernelMode::FullEval)
+        settleFullEval();
+    else
+        settleActivity();
 
     // Sequential phase.
     for (auto &ch : channels_)
@@ -54,16 +122,63 @@ Simulator::step()
     for (auto &ch : channels_)
         ch->postTick();
     ++cycle_;
+    settled_once_ = true;
+}
+
+void
+Simulator::trySkip(uint64_t deadline)
+{
+    // The quiescence fast path may only engage from a settled baseline
+    // with no pending signal change (settle_dirty_ is raised by any
+    // markDirty(), including ones made between steps by external code).
+    if (!settled_once_ || settle_dirty_)
+        return;
+
+    uint64_t wake = Module::kIdleForever;
+    for (auto &m : modules_) {
+        const uint64_t w = m->idleUntil(cycle_);
+        if (w <= cycle_)
+            return;
+        wake = std::min(wake, w);
+    }
+    // An in-flight handshake would fire on every skipped cycle.
+    for (auto &ch : channels_) {
+        if (ch->valid() && ch->ready())
+            return;
+    }
+
+    const uint64_t target = std::min(wake, deadline);
+    if (target <= cycle_)
+        return;
+    for (auto &m : modules_)
+        m->onCyclesSkipped(cycle_, target);
+    cycles_skipped_ += target - cycle_;
+    ++skip_events_;
+    cycle_ = target;
+}
+
+void
+Simulator::step()
+{
+    stepOnce();
+}
+
+void
+Simulator::stepUntil(uint64_t deadline)
+{
+    if (mode_ == KernelMode::ActivityDriven && cycle_ < deadline)
+        trySkip(deadline);
+    if (cycle_ >= deadline)
+        return;
+    stepOnce();
 }
 
 bool
 Simulator::run(uint64_t max_cycles)
 {
-    for (uint64_t i = 0; i < max_cycles; ++i) {
-        if (stop_requested_)
-            return true;
-        step();
-    }
+    const uint64_t deadline = cycle_ + max_cycles;
+    while (!stop_requested_ && cycle_ < deadline)
+        stepUntil(deadline);
     return stop_requested_;
 }
 
@@ -73,20 +188,71 @@ Simulator::reset()
     cycle_ = 0;
     stop_requested_ = false;
     total_eval_passes_ = 0;
+    module_evals_ = 0;
+    cycles_skipped_ = 0;
+    skip_events_ = 0;
+    settle_dirty_ = false;
+    settled_once_ = false;
     for (auto &ch : channels_)
         ch->resetState();
-    for (auto &m : modules_)
+    for (auto &m : modules_) {
         m->reset();
+        m->needs_eval_ = true;
+        m->eval_count_ = 0;
+    }
 }
 
 ChannelBase *
 Simulator::findChannel(const std::string &name) const
 {
-    for (auto &ch : channels_) {
-        if (ch->name() == name)
-            return ch.get();
+    auto it = channel_index_.find(name);
+    if (it == channel_index_.end())
+        return nullptr;
+    return channels_[it->second].get();
+}
+
+KernelStats
+Simulator::kernelStats() const
+{
+    KernelStats s;
+    s.mode = mode_;
+    s.cycles = cycle_;
+    s.eval_passes = total_eval_passes_;
+    s.module_evals = module_evals_;
+    s.cycles_skipped = cycles_skipped_;
+    s.skip_events = skip_events_;
+    s.per_module_evals.reserve(modules_.size());
+    for (auto &m : modules_)
+        s.per_module_evals.emplace_back(m->name(), m->eval_count_);
+    return s;
+}
+
+std::string
+KernelStats::toString() const
+{
+    std::string out;
+    out += "kernel mode:        ";
+    out += kernelModeName(mode);
+    out += "\n";
+    auto line = [&out](const char *label, uint64_t v) {
+        out += label;
+        out += std::to_string(v);
+        out += "\n";
+    };
+    line("cycles:             ", cycles);
+    line("eval passes:        ", eval_passes);
+    line("module evals:       ", module_evals);
+    line("cycles skipped:     ", cycles_skipped);
+    line("skip events:        ", skip_events);
+    out += "per-module evals:\n";
+    for (const auto &[name, count] : per_module_evals) {
+        out += "  ";
+        out += name;
+        out += ": ";
+        out += std::to_string(count);
+        out += "\n";
     }
-    return nullptr;
+    return out;
 }
 
 } // namespace vidi

@@ -21,12 +21,146 @@
 #define VIDI_TRACE_PACKETS_H
 
 #include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "trace/bitvec.h"
 
 namespace vidi {
+
+/**
+ * Payload byte buffer with inline storage.
+ *
+ * Channel payloads are small (every F1 channel serializes well under 96
+ * bytes), yet the original std::vector<uint8_t> representation heap-
+ * allocated one block per recorded event — the dominant allocation on
+ * the record and replay hot paths. ContentBuf stores payloads up to
+ * kInlineBytes in place and falls back to the heap only for oversized
+ * ones. It keeps enough of the vector interface (and converts to and
+ * from std::vector<uint8_t>) for the existing call sites and tests.
+ */
+class ContentBuf
+{
+  public:
+    /** Payloads at or below this size never allocate. */
+    static constexpr size_t kInlineBytes = 96;
+
+    ContentBuf() = default;
+
+    ContentBuf(const uint8_t *first, const uint8_t *last)
+    {
+        assign(first, static_cast<size_t>(last - first));
+    }
+
+    ContentBuf(size_t n, uint8_t value)
+    {
+        reserveExact(n);
+        std::memset(data(), value, n);
+    }
+
+    ContentBuf(std::initializer_list<uint8_t> il)
+    {
+        assign(il.begin(), il.size());
+    }
+
+    /* implicit */ ContentBuf(const std::vector<uint8_t> &v)
+    {
+        assign(v.data(), v.size());
+    }
+
+    ContentBuf(const ContentBuf &o) { assign(o.data(), o.size()); }
+
+    ContentBuf(ContentBuf &&o) noexcept
+        : size_(o.size_), heap_(std::move(o.heap_))
+    {
+        if (heap_ == nullptr)
+            std::memcpy(inline_, o.inline_, size_);
+        o.size_ = 0;
+    }
+
+    ContentBuf &
+    operator=(const ContentBuf &o)
+    {
+        if (this != &o)
+            assign(o.data(), o.size());
+        return *this;
+    }
+
+    ContentBuf &
+    operator=(ContentBuf &&o) noexcept
+    {
+        if (this != &o) {
+            size_ = o.size_;
+            heap_ = std::move(o.heap_);
+            if (heap_ == nullptr)
+                std::memcpy(inline_, o.inline_, size_);
+            o.size_ = 0;
+        }
+        return *this;
+    }
+
+    /* implicit */ operator std::vector<uint8_t>() const
+    {
+        return std::vector<uint8_t>(data(), data() + size_);
+    }
+
+    const uint8_t *data() const { return heap_ ? heap_.get() : inline_; }
+    uint8_t *data() { return heap_ ? heap_.get() : inline_; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const uint8_t *begin() const { return data(); }
+    const uint8_t *end() const { return data() + size_; }
+
+    uint8_t &operator[](size_t i) { return data()[i]; }
+    const uint8_t &operator[](size_t i) const { return data()[i]; }
+
+    void
+    clear()
+    {
+        size_ = 0;
+        heap_.reset();
+    }
+
+    bool
+    operator==(const ContentBuf &o) const
+    {
+        return size_ == o.size_ &&
+               std::memcmp(data(), o.data(), size_) == 0;
+    }
+
+    bool
+    operator==(const std::vector<uint8_t> &v) const
+    {
+        return size_ == v.size() &&
+               std::memcmp(data(), v.data(), size_) == 0;
+    }
+
+  private:
+    void
+    reserveExact(size_t n)
+    {
+        if (n > kInlineBytes)
+            heap_ = std::make_unique<uint8_t[]>(n);
+        else
+            heap_.reset();
+        size_ = n;
+    }
+
+    void
+    assign(const uint8_t *src, size_t n)
+    {
+        reserveExact(n);
+        std::memcpy(data(), src, n);
+    }
+
+    size_t size_ = 0;
+    uint8_t inline_[kInlineBytes];
+    std::unique_ptr<uint8_t[]> heap_;  ///< set when size_ > kInlineBytes
+};
 
 /** Static description of one monitored channel. */
 struct TraceChannelInfo
@@ -60,13 +194,13 @@ struct CyclePacket
     uint64_t ends = 0;    ///< bit i: channel i completed a handshake
 
     /** Content of each starting input channel, ascending channel index. */
-    std::vector<std::vector<uint8_t>> start_contents;
+    std::vector<ContentBuf> start_contents;
 
     /**
      * Content of each completing *output* channel, ascending channel
      * index; only populated when TraceMeta::record_output_content.
      */
-    std::vector<std::vector<uint8_t>> end_contents;
+    std::vector<ContentBuf> end_contents;
 
     bool empty() const { return starts == 0 && ends == 0; }
 

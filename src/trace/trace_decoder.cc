@@ -16,6 +16,7 @@ TraceDecoder::TraceDecoder(const std::string &name, TraceMeta meta,
     if (max_pkt > 4096)
         fatal("TraceDecoder: worst-case packet of %zu bytes exceeds the "
               "4096-byte parse buffer", max_pkt);
+    setEvalMode(EvalMode::Never);  // no combinational logic
 }
 
 bool

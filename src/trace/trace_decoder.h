@@ -33,7 +33,7 @@ struct ReplayPair
 {
     bool start = false;  ///< this channel began a handshake (inputs only)
     bool end = false;    ///< this channel completed a handshake
-    std::vector<uint8_t> content;  ///< payload for input starts
+    ContentBuf content;  ///< payload for input starts
     uint64_t ends = 0;   ///< the cycle packet's Ends bit-vector
 };
 
@@ -67,6 +67,22 @@ class TraceDecoder : public Module
 
     void tick() override;
     void reset() override;
+
+    /**
+     * Idle whenever no forward progress is possible: nothing buffered in
+     * the store (the store itself reports active while it can fetch), or
+     * every queue-full stall (a replayer must drain first). A pending
+     * damage barrier always needs a tick to acknowledge.
+     */
+    uint64_t
+    idleUntil(uint64_t now) const override
+    {
+        if (store_.damageBarrier())
+            return now;
+        if (store_.availableBytes() == 0 || !queuesHaveSpace())
+            return kIdleForever;
+        return now;
+    }
 
   private:
     bool queuesHaveSpace() const;

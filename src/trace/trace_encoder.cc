@@ -1,6 +1,7 @@
 #include "trace/trace_encoder.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "sim/logging.h"
 
@@ -14,6 +15,7 @@ TraceEncoder::TraceEncoder(const std::string &name, TraceMeta meta,
     if (meta_.channelCount() == 0 || meta_.channelCount() > kMaxChannels)
         fatal("TraceEncoder: %zu channels unsupported (max %zu)",
               meta_.channelCount(), kMaxChannels);
+    setEvalMode(EvalMode::Never);  // no combinational logic
 }
 
 size_t
@@ -78,8 +80,7 @@ TraceEncoder::noteStart(size_t chan, const uint8_t *content)
         panic("TraceEncoder(%s): duplicate start on channel %zu in one "
               "cycle", name().c_str(), chan);
     s.start = true;
-    s.start_content.assign(content,
-                           content + meta_.channels[chan].data_bytes);
+    std::memcpy(s.start_content, content, meta_.channels[chan].data_bytes);
     any_staged_ = true;
 }
 
@@ -96,8 +97,8 @@ TraceEncoder::noteEnd(size_t chan, const uint8_t *content)
             panic("TraceEncoder(%s): output end on channel %zu requires "
                   "content in divergence-detection mode",
                   name().c_str(), chan);
-        s.end_content.assign(content,
-                             content + meta_.channels[chan].data_bytes);
+        std::memcpy(s.end_content, content,
+                    meta_.channels[chan].data_bytes);
     }
     any_staged_ = true;
 }
@@ -108,29 +109,53 @@ TraceEncoder::tickLate()
     if (!any_staged_)
         return;
 
-    CyclePacket pkt;
+    // Serialize the cycle packet straight from the staging buffers into
+    // the reused scratch vector, byte-for-byte what serializePacket()
+    // would produce: [starts bv][ends bv][start contents, ascending
+    // channel][end contents of outputs, ascending channel].
+    const size_t bv = meta_.bitvecBytes();
+    const size_t cap_before = scratch_.capacity();
+    scratch_.clear();
+    scratch_.resize(2 * bv);
+
+    uint64_t starts = 0;
+    uint64_t ends = 0;
     size_t released = 0;
     for (size_t i = 0; i < staged_.size(); ++i) {
         Staged &s = staged_[i];
         if (s.start) {
-            pkt.starts = bitvec::set(pkt.starts, i);
-            pkt.start_contents.push_back(std::move(s.start_content));
+            starts = bitvec::set(starts, i);
+            scratch_.insert(scratch_.end(), s.start_content,
+                            s.start_content + meta_.channels[i].data_bytes);
             released += startCost(i);
             ++events_logged_;
         }
         if (s.end) {
-            pkt.ends = bitvec::set(pkt.ends, i);
-            if (meta_.record_output_content && !meta_.channels[i].input)
-                pkt.end_contents.push_back(std::move(s.end_content));
+            ends = bitvec::set(ends, i);
             released += endCost(i);
             ++events_logged_;
         }
-        s = Staged{};
     }
+    if (meta_.record_output_content) {
+        for (size_t i = 0; i < staged_.size(); ++i) {
+            Staged &s = staged_[i];
+            if (s.end && !meta_.channels[i].input)
+                scratch_.insert(scratch_.end(), s.end_content,
+                                s.end_content +
+                                    meta_.channels[i].data_bytes);
+        }
+    }
+    bitvec::store(starts, scratch_.data(), bv);
+    bitvec::store(ends, scratch_.data() + bv, bv);
+    for (auto &s : staged_)
+        s.start = s.end = false;
     any_staged_ = false;
 
-    scratch_.clear();
-    serializePacket(meta_, pkt, scratch_);
+    if (scratch_.capacity() == cap_before)
+        ++pool_hits_;
+    else
+        ++pool_misses_;
+
     if (scratch_.size() > released)
         panic("TraceEncoder(%s): packet of %zu bytes exceeds its %zu-byte "
               "reservation", name().c_str(), scratch_.size(), released);
@@ -147,11 +172,13 @@ TraceEncoder::reset()
 {
     reserved_bytes_ = 0;
     for (auto &s : staged_)
-        s = Staged{};
+        s.start = s.end = false;
     any_staged_ = false;
     packets_emitted_ = 0;
     events_logged_ = 0;
     reserve_failures_ = 0;
+    pool_hits_ = 0;
+    pool_misses_ = 0;
 }
 
 } // namespace vidi

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "channel/channel.h"
 #include "sim/module.h"
 #include "trace/packets.h"
 #include "trace/trace_store.h"
@@ -82,12 +83,23 @@ class TraceEncoder : public Module
     void tickLate() override;
     void reset() override;
 
+    /** The encoder only has work in the cycle an event was staged. */
+    uint64_t
+    idleUntil(uint64_t now) const override
+    {
+        return any_staged_ ? now : kIdleForever;
+    }
+
     /// @name Statistics
     /// @{
     uint64_t packetsEmitted() const { return packets_emitted_; }
     uint64_t eventsLogged() const { return events_logged_; }
     /** Reservations denied: cycles of back-pressure toward monitors. */
     uint64_t reserveFailures() const { return reserve_failures_; }
+    /** Packets serialized without growing the reused staging buffer. */
+    uint64_t poolHits() const { return pool_hits_; }
+    /** Packets whose serialization had to grow the staging buffer. */
+    uint64_t poolMisses() const { return pool_misses_; }
     /// @}
 
   private:
@@ -100,22 +112,27 @@ class TraceEncoder : public Module
     // Worst-case bytes reserved for events not yet emitted.
     size_t reserved_bytes_ = 0;
 
-    // Per-channel staging for the current cycle.
+    // Per-channel staging for the current cycle. Fixed-size buffers:
+    // staging an event on the recording hot path must not allocate.
     struct Staged
     {
         bool start = false;
         bool end = false;
-        std::vector<uint8_t> start_content;
-        std::vector<uint8_t> end_content;
+        uint8_t start_content[kMaxPayloadBytes];
+        uint8_t end_content[kMaxPayloadBytes];
     };
     std::vector<Staged> staged_;
     bool any_staged_ = false;
 
+    // Reused serialization buffer; reaches steady-state capacity after
+    // the first few packets (pool_hits_/pool_misses_ track reuse).
     std::vector<uint8_t> scratch_;
 
     uint64_t packets_emitted_ = 0;
     uint64_t events_logged_ = 0;
     uint64_t reserve_failures_ = 0;
+    uint64_t pool_hits_ = 0;
+    uint64_t pool_misses_ = 0;
 };
 
 } // namespace vidi

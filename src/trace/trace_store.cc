@@ -75,6 +75,7 @@ TraceStore::TraceStore(const std::string &name, HostMemory &host,
                        PcieBus &bus, size_t fifo_bytes)
     : Module(name), host_(host), bus_(bus), fifo_(fifo_bytes)
 {
+    setEvalMode(EvalMode::Never);  // no combinational logic
 }
 
 void
@@ -100,6 +101,8 @@ TraceStore::beginRecord(uint64_t dram_base)
     pending_discontinuity_ = false;
     pushed_since_tick_ = false;
     carry_bytes_ = 0;
+    line_batch_.clear();
+    batch_addr_ = 0;
     backoff_wait_ = 0;
     next_backoff_ = 1;
     stall_streak_ = 0;
@@ -189,7 +192,9 @@ TraceStore::emitLine()
     bytes_stored_ += len;
 
     // Fault hooks model the DMA path: the store believes every write
-    // succeeded, exactly like real posted writes.
+    // succeeded, exactly like real posted writes. Dropped lines do not
+    // advance dram_pos_, so faults break write contiguity — take the
+    // per-line path whenever an injector is attached.
     if (fault_ != nullptr) {
         if (fault_->dropLine(seq))
             return;
@@ -199,9 +204,26 @@ TraceStore::emitLine()
                               kStorageLineBytes);
             dram_pos_ += kStorageLineBytes;
         }
+        host_.mem().write(dram_base_ + dram_pos_, line, kStorageLineBytes);
+        dram_pos_ += kStorageLineBytes;
+        return;
     }
-    host_.mem().write(dram_base_ + dram_pos_, line, kStorageLineBytes);
+
+    // Fault-free drain: batch consecutive lines of this tick into one
+    // contiguous host write (flushed at the end of tickRecord()).
+    if (line_batch_.empty())
+        batch_addr_ = dram_base_ + dram_pos_;
+    line_batch_.insert(line_batch_.end(), line, line + kStorageLineBytes);
     dram_pos_ += kStorageLineBytes;
+}
+
+void
+TraceStore::flushLineBatch()
+{
+    if (line_batch_.empty())
+        return;
+    host_.mem().write(batch_addr_, line_batch_.data(), line_batch_.size());
+    line_batch_.clear();
 }
 
 void
@@ -276,6 +298,7 @@ TraceStore::tickRecord()
         emitLine();
         carry_bytes_ -= kStorageLineBytes;
     }
+    flushLineBatch();
 }
 
 void
@@ -389,6 +412,37 @@ TraceStore::tick()
         tickReplay();
 }
 
+uint64_t
+TraceStore::idleUntil(uint64_t now) const
+{
+    // With an injector attached every cycle runs for real (the shared
+    // PcieBus reports the same, but stay self-contained).
+    if (fault_ != nullptr)
+        return now;
+    switch (mode_) {
+    case Mode::Idle:
+        return kIdleForever;
+    case Mode::Record:
+        // A non-empty FIFO means draining (or backing off) every cycle.
+        // An empty FIFO can only refill via the encoder, which reports
+        // active in any cycle it stages events.
+        return fifo_.empty() ? kIdleForever : now;
+    case Mode::Replay:
+        if (exhausted())
+            return kIdleForever;
+        if (damage_barrier_)
+            return kIdleForever; // decoder is active until it acks
+        if (!staged_.empty())
+            return now; // flush re-aligned payload when space allows
+        if (dram_pos_ >= replay_len_)
+            return kIdleForever; // fetched everything; decoder drains
+        if (fifo_.space() >= kStorageLinePayload)
+            return now; // can fetch more lines
+        return kIdleForever; // FIFO full; decoder is active until space
+    }
+    return now;
+}
+
 void
 TraceStore::reset()
 {
@@ -404,6 +458,8 @@ TraceStore::reset()
     pending_discontinuity_ = false;
     pushed_since_tick_ = false;
     carry_bytes_ = 0;
+    line_batch_.clear();
+    batch_addr_ = 0;
     backoff_wait_ = 0;
     next_backoff_ = 1;
     stall_streak_ = 0;

@@ -199,6 +199,7 @@ class TraceStore : public Module
 
     void tick() override;
     void reset() override;
+    uint64_t idleUntil(uint64_t now) const override;
 
   private:
     enum class Mode { Idle, Record, Replay };
@@ -206,6 +207,7 @@ class TraceStore : public Module
     void tickRecord();
     void tickReplay();
     void emitLine();
+    void flushLineBatch();
     void shedBufferedPayload();
     void processFetchedLine(const uint8_t *line);
 
@@ -232,6 +234,11 @@ class TraceStore : public Module
     bool pending_discontinuity_ = false;
     bool pushed_since_tick_ = false;   // encoder activity last cycle
     uint64_t carry_bytes_ = 0;    // granted budget not yet a full line
+
+    // Drain lines accumulated within one tick and land in host DRAM as
+    // a single contiguous write (reused buffer, no per-line DMA call).
+    std::vector<uint8_t> line_batch_;
+    uint64_t batch_addr_ = 0;     // DRAM address of the batch's first line
 
     // Drain retry/backoff state.
     uint64_t backoff_wait_ = 0;   // cycles until the next drain attempt

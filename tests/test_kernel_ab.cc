@@ -1,0 +1,214 @@
+/**
+ * @file
+ * A/B determinism suite for the two simulation kernels.
+ *
+ * The activity-driven kernel (sensitivity lists + quiescence skipping)
+ * is only admissible because it is *observationally identical* to the
+ * reference full-evaluation kernel. This suite pins that property
+ * end-to-end: the same workload recorded under both kernels must
+ * produce byte-identical serialized traces, identical cycle counts and
+ * digests; replays — including mutated and fault-injected ones — must
+ * stall, trip the watchdog, and report damage identically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app_registry.h"
+#include "apps/atop_echo.h"
+#include "apps/dram_dma.h"
+#include "core/divergence.h"
+#include "core/recorder.h"
+#include "core/replayer.h"
+#include "core/trace_mutator.h"
+
+namespace vidi {
+namespace {
+
+VidiConfig
+cfgMode(KernelMode mode, uint64_t max_cycles = 30'000'000)
+{
+    VidiConfig c;
+    c.max_cycles = max_cycles;
+    c.kernel = mode;
+    return c;
+}
+
+void
+expectIdenticalRecords(const RecordResult &full, const RecordResult &act)
+{
+    ASSERT_TRUE(full.completed);
+    ASSERT_TRUE(act.completed);
+    EXPECT_EQ(full.cycles, act.cycles);
+    EXPECT_EQ(full.digest, act.digest);
+    EXPECT_EQ(full.transactions, act.transactions);
+    EXPECT_EQ(full.trace_lines, act.trace_lines);
+    EXPECT_EQ(full.trace_bytes, act.trace_bytes);
+    // The acceptance bar: the serialized trace is byte-identical.
+    EXPECT_EQ(full.trace.serialize(), act.trace.serialize());
+}
+
+TEST(KernelAB, SsspRecordIsBitIdentical)
+{
+    HlsAppBuilder app(makeSsspSpec());
+    app.setScale(0.1);
+    const RecordResult full = recordRun(
+        app, VidiMode::R2_Record, 7, cfgMode(KernelMode::FullEval));
+    const RecordResult act = recordRun(
+        app, VidiMode::R2_Record, 7, cfgMode(KernelMode::ActivityDriven));
+    expectIdenticalRecords(full, act);
+}
+
+TEST(KernelAB, SsspReplayMatches)
+{
+    HlsAppBuilder app(makeSsspSpec());
+    app.setScale(0.1);
+    const RecordResult rec = recordRun(
+        app, VidiMode::R2_Record, 7, cfgMode(KernelMode::ActivityDriven));
+    ASSERT_TRUE(rec.completed);
+
+    const ReplayResult full =
+        replayRun(app, rec.trace, cfgMode(KernelMode::FullEval));
+    const ReplayResult act =
+        replayRun(app, rec.trace, cfgMode(KernelMode::ActivityDriven));
+    ASSERT_TRUE(full.completed);
+    ASSERT_TRUE(act.completed);
+    EXPECT_EQ(full.cycles, act.cycles);
+    EXPECT_EQ(full.digest, act.digest);
+    EXPECT_EQ(full.replayed_transactions, act.replayed_transactions);
+    EXPECT_TRUE(full.validation == act.validation);
+}
+
+TEST(KernelAB, AtopEchoRecordIsBitIdentical)
+{
+    AtopEchoBuilder app(/*buggy=*/true);
+    const RecordResult full =
+        recordRun(app, VidiMode::R2_Record, 9,
+                  cfgMode(KernelMode::FullEval, 2'000'000));
+    const RecordResult act =
+        recordRun(app, VidiMode::R2_Record, 9,
+                  cfgMode(KernelMode::ActivityDriven, 2'000'000));
+    expectIdenticalRecords(full, act);
+}
+
+TEST(KernelAB, AtopEchoMutatedReplayDeadlocksIdentically)
+{
+    // The §5.3 case study: a mutated trace deadlocks the buggy filter.
+    // Both kernels must wedge the same way — same (budget-bounded)
+    // cycle count, same incompleteness — or the activity kernel would
+    // be hiding or inventing timing behaviour.
+    AtopEchoBuilder buggy(/*buggy=*/true);
+    const RecordResult rec =
+        recordRun(buggy, VidiMode::R2_Record, 9,
+                  cfgMode(KernelMode::ActivityDriven, 2'000'000));
+    ASSERT_TRUE(rec.completed);
+
+    TraceMutator mut(rec.trace);
+    constexpr size_t kPcimAw = 20, kPcimW = 21;
+    ASSERT_TRUE(mut.reorderEndBefore(kPcimW, 0, kPcimAw, 0));
+    const Trace mutated = mut.take();
+
+    const ReplayResult full =
+        replayRun(buggy, mutated, cfgMode(KernelMode::FullEval, 500'000));
+    const ReplayResult act = replayRun(
+        buggy, mutated, cfgMode(KernelMode::ActivityDriven, 500'000));
+    EXPECT_FALSE(full.completed);
+    EXPECT_FALSE(act.completed);
+    EXPECT_EQ(full.cycles, act.cycles);
+    EXPECT_EQ(full.watchdog_tripped, act.watchdog_tripped);
+    EXPECT_EQ(full.replayed_transactions, act.replayed_transactions);
+}
+
+TEST(KernelAB, DivergenceDetectionIsIdentical)
+{
+    // The racy DMA polling workload of §3.6: both kernels must detect
+    // the same output-content divergences on the same transactions.
+    DmaAppBuilder buggy(/*patched=*/false);
+    buggy.setScale(1.0);
+    buggy.setContentSeed(0xd3a000 + 1000ull * 7);
+    const DivergenceResult full = detectDivergences(
+        buggy, 31337 + 7, cfgMode(KernelMode::FullEval, 400'000'000));
+    const DivergenceResult act =
+        detectDivergences(buggy, 31337 + 7,
+                          cfgMode(KernelMode::ActivityDriven,
+                                  400'000'000));
+    ASSERT_TRUE(full.replay.completed);
+    ASSERT_TRUE(act.replay.completed);
+    EXPECT_EQ(full.record.cycles, act.record.cycles);
+    EXPECT_EQ(full.replay.cycles, act.replay.cycles);
+    EXPECT_FALSE(full.report.identical());
+    EXPECT_FALSE(act.report.identical());
+    ASSERT_EQ(full.report.divergences.size(),
+              act.report.divergences.size());
+    for (size_t i = 0; i < full.report.divergences.size(); ++i) {
+        EXPECT_EQ(full.report.divergences[i].channel,
+                  act.report.divergences[i].channel);
+        EXPECT_EQ(full.report.divergences[i].expected,
+                  act.report.divergences[i].expected);
+        EXPECT_EQ(full.report.divergences[i].actual,
+                  act.report.divergences[i].actual);
+    }
+    EXPECT_TRUE(full.replay.validation == act.replay.validation);
+}
+
+TEST(KernelAB, RecordSideFaultMatrixIsIdentical)
+{
+    // Injected line faults are indexed by line sequence number and the
+    // PCIe fault windows by cycle; identical cycle streams must produce
+    // identical damage under both kernels.
+    HlsAppBuilder app(makeBnnSpec());
+    app.setScale(0.1);
+    VidiConfig base = cfgMode(KernelMode::FullEval);
+    base.fault.seed = 5;
+    base.fault.line_bit_flips = 2;
+    base.fault.line_drops = 1;
+    base.fault.line_horizon = 4;
+    VidiConfig activity = base;
+    activity.kernel = KernelMode::ActivityDriven;
+
+    const RecordResult full = recordRun(app, VidiMode::R2_Record, 1,
+                                        base);
+    const RecordResult act = recordRun(app, VidiMode::R2_Record, 1,
+                                       activity);
+    ASSERT_TRUE(full.completed);
+    ASSERT_TRUE(act.completed);
+    EXPECT_EQ(full.cycles, act.cycles);
+    EXPECT_EQ(full.digest, act.digest);
+    EXPECT_FALSE(full.damage.clean());
+    EXPECT_FALSE(act.damage.clean());
+    EXPECT_EQ(full.damage.lines_corrupt, act.damage.lines_corrupt);
+    EXPECT_EQ(full.damage.lines_missing, act.damage.lines_missing);
+    EXPECT_EQ(full.damage.payload_bytes_lost,
+              act.damage.payload_bytes_lost);
+    EXPECT_EQ(full.trace.serialize(), act.trace.serialize());
+}
+
+TEST(KernelAB, ReplaySideFaultMatrixIsIdentical)
+{
+    HlsAppBuilder app(makeBnnSpec());
+    app.setScale(0.1);
+    const RecordResult rec = recordRun(
+        app, VidiMode::R2_Record, 1, cfgMode(KernelMode::ActivityDriven));
+    ASSERT_TRUE(rec.completed);
+
+    VidiConfig base = cfgMode(KernelMode::FullEval, 5'000'000);
+    base.fault.seed = 11;
+    base.fault.line_drops = 2;
+    base.fault.line_horizon = 4;
+    base.replay_watchdog_cycles = 200'000;
+    VidiConfig activity = base;
+    activity.kernel = KernelMode::ActivityDriven;
+
+    const ReplayResult full = replayRun(app, rec.trace, base);
+    const ReplayResult act = replayRun(app, rec.trace, activity);
+    EXPECT_EQ(full.completed, act.completed);
+    EXPECT_EQ(full.cycles, act.cycles);
+    EXPECT_EQ(full.watchdog_tripped, act.watchdog_tripped);
+    EXPECT_EQ(full.diagnostic, act.diagnostic);
+    EXPECT_EQ(full.replayed_transactions, act.replayed_transactions);
+    EXPECT_EQ(full.damage.lines_missing, act.damage.lines_missing);
+    EXPECT_EQ(full.damage.payload_bytes_lost,
+              act.damage.payload_bytes_lost);
+}
+
+} // namespace
+} // namespace vidi

@@ -11,6 +11,11 @@
  *   vidi_trace mutate <in> <out> <chanA> <k> <chanB> <j>
  *       move the k-th end of channel <chanA> before the j-th end of
  *       channel <chanB> (§5.3); channels by name or index
+ *   vidi_trace stats <app> [scale] [kernel]      record the named Table 1
+ *       app at the given workload scale (default 0.1) and print the
+ *       simulation-kernel counters: eval passes, per-module eval counts,
+ *       cycles skipped and the encoder packet-pool hit rate. kernel is
+ *       "activity" (default), "full", or "both" (A/B with the reduction)
  *
  * This is the offline-analysis side of the paper's §4.2 tooling,
  * packaged the way a downstream user would invoke it.
@@ -21,6 +26,8 @@
 #include <cstring>
 #include <string>
 
+#include "apps/app_registry.h"
+#include "core/recorder.h"
 #include "core/trace_mutator.h"
 #include "sim/logging.h"
 #include "core/trace_validator.h"
@@ -42,7 +49,8 @@ usage()
         "  vidi_trace verify <trace>\n"
         "  vidi_trace profile <trace> [reqChan respChan]\n"
         "  vidi_trace validate <reference> <validation>\n"
-        "  vidi_trace mutate <in> <out> <chanA> <k> <chanB> <j>\n",
+        "  vidi_trace mutate <in> <out> <chanA> <k> <chanB> <j>\n"
+        "  vidi_trace stats <app> [scale] [activity|full|both]\n",
         stderr);
     return 2;
 }
@@ -168,6 +176,81 @@ cmdMutate(const std::string &in_path, const std::string &out_path,
     return 0;
 }
 
+/** Record @p app once under @p mode and print the kernel counters. */
+RecordResult
+statsRun(AppBuilder &app, double scale, KernelMode mode)
+{
+    app.setScale(scale);
+    VidiConfig cfg;
+    cfg.kernel = mode;
+    const RecordResult r = recordRun(app, VidiMode::R2_Record, 1, cfg);
+    if (!r.completed)
+        fatal("stats: %s did not complete within the cycle budget",
+              app.name().c_str());
+    std::fputs(r.kernel.toString().c_str(), stdout);
+    const uint64_t pool_total = r.encoder_pool_hits +
+                                r.encoder_pool_misses;
+    std::printf("packet pool:        %llu/%llu hits (%.1f%%)\n",
+                static_cast<unsigned long long>(r.encoder_pool_hits),
+                static_cast<unsigned long long>(pool_total),
+                pool_total == 0 ? 0.0
+                                : 100.0 * double(r.encoder_pool_hits) /
+                                      double(pool_total));
+    return r;
+}
+
+int
+cmdStats(const std::string &app_name, double scale,
+         const std::string &kernel)
+{
+    const auto apps = makeTable1Apps();
+    AppBuilder *app = nullptr;
+    for (const auto &candidate : apps) {
+        if (candidate->name() == app_name)
+            app = candidate.get();
+    }
+    if (app == nullptr) {
+        std::string known;
+        for (const auto &candidate : apps)
+            known += " " + candidate->name();
+        fatal("unknown app '%s'; known apps:%s", app_name.c_str(),
+              known.c_str());
+    }
+
+    if (kernel == "activity" || kernel == "full") {
+        statsRun(*app, scale,
+                 kernel == "full" ? KernelMode::FullEval
+                                  : KernelMode::ActivityDriven);
+        return 0;
+    }
+    if (kernel != "both")
+        fatal("unknown kernel '%s' (want activity, full or both)",
+              kernel.c_str());
+
+    std::printf("=== %s, scale %.2f, full-eval kernel ===\n",
+                app_name.c_str(), scale);
+    const RecordResult full =
+        statsRun(*app, scale, KernelMode::FullEval);
+    std::printf("\n=== %s, scale %.2f, activity-driven kernel ===\n",
+                app_name.c_str(), scale);
+    const RecordResult act =
+        statsRun(*app, scale, KernelMode::ActivityDriven);
+
+    if (full.trace.serialize() != act.trace.serialize())
+        fatal("stats: kernels produced different traces — "
+              "determinism bug");
+    std::printf("\ntraces byte-identical: yes\n");
+    if (act.kernel.eval_passes > 0 && act.kernel.module_evals > 0) {
+        std::printf("eval-pass reduction:   %.2fx\n",
+                    double(full.kernel.eval_passes) /
+                        double(act.kernel.eval_passes));
+        std::printf("module-eval reduction: %.2fx\n",
+                    double(full.kernel.module_evals) /
+                        double(act.kernel.module_evals));
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -195,6 +278,12 @@ main(int argc, char **argv)
             return cmdMutate(argv[2], argv[3], argv[4],
                              std::strtoul(argv[5], nullptr, 10), argv[6],
                              std::strtoul(argv[7], nullptr, 10));
+        }
+        if (cmd == "stats" && argc >= 3 && argc <= 5) {
+            return cmdStats(argv[2],
+                            argc >= 4 ? std::strtod(argv[3], nullptr)
+                                      : 0.1,
+                            argc == 5 ? argv[4] : "activity");
         }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "vidi_trace: %s\n", e.what());
