@@ -32,6 +32,9 @@ ChannelBase::~ChannelBase() = default;
 void
 ChannelBase::setValid(bool v)
 {
+    // A module holding a signal at its current value is still driving
+    // it, so the tracker hook fires before the change check.
+    maybeTrackDrive(*this, SignalSide::Forward);
     if (valid_ != v) {
         valid_ = v;
         markDirty();
@@ -41,6 +44,7 @@ ChannelBase::setValid(bool v)
 void
 ChannelBase::setReady(bool r)
 {
+    maybeTrackDrive(*this, SignalSide::Reverse);
     if (ready_ != r) {
         ready_ = r;
         markDirty();

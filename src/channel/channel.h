@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "channel/protocol_checker.h"
+#include "sim/access_tracker.h"
 #include "sim/logging.h"
 
 namespace vidi {
@@ -65,8 +66,20 @@ class ChannelBase
 
     /// @name Signal plane (drive from eval(), read anywhere)
     /// @{
-    bool valid() const { return valid_; }
-    bool ready() const { return ready_; }
+    bool
+    valid() const
+    {
+        maybeTrackRead(*this, SignalSide::Forward);
+        return valid_;
+    }
+
+    bool
+    ready() const
+    {
+        maybeTrackRead(*this, SignalSide::Reverse);
+        return ready_;
+    }
+
     void setValid(bool v);
     void setReady(bool r);
     /// @}
@@ -112,6 +125,13 @@ class ChannelBase
      */
     void addListener(Module *m);
 
+    /**
+     * Modules that declared sensitivity on this channel, in declaration
+     * order (the design linter cross-checks these against the observed
+     * eval()-phase read set).
+     */
+    const std::vector<Module *> &listeners() const { return listeners_; }
+
   protected:
     void markDirty();
     /** Hash of the current payload bytes. */
@@ -151,12 +171,18 @@ class Channel : public ChannelBase
     {
     }
 
-    const T &data() const { return data_; }
+    const T &
+    data() const
+    {
+        maybeTrackRead(*this, SignalSide::Forward);
+        return data_;
+    }
 
     /** Drive the payload; marks the settle loop dirty only on change. */
     void
     setData(const T &d)
     {
+        maybeTrackDrive(*this, SignalSide::Forward);
         if (std::memcmp(&data_, &d, sizeof(T)) != 0) {
             data_ = d;
             markDirty();
@@ -174,6 +200,7 @@ class Channel : public ChannelBase
     void
     copyData(uint8_t *dst) const override
     {
+        maybeTrackRead(*this, SignalSide::Forward);
         std::memcpy(dst, &data_, sizeof(T));
     }
 

@@ -40,6 +40,12 @@ class Passthrough : public Module
         return kIdleForever;
     }
 
+    /// @name Interposition identity (read by the design linter)
+    /// @{
+    const ChannelBase &srcChannel() const { return src_; }
+    const ChannelBase &dstChannel() const { return dst_; }
+    /// @}
+
     void
     eval() override
     {

@@ -1,0 +1,472 @@
+#include "lint/json.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+namespace {
+
+const char *
+kindName(JsonValue::Kind k)
+{
+    switch (k) {
+    case JsonValue::Kind::Null: return "null";
+    case JsonValue::Kind::Bool: return "bool";
+    case JsonValue::Kind::Int: return "int";
+    case JsonValue::Kind::Double: return "double";
+    case JsonValue::Kind::String: return "string";
+    case JsonValue::Kind::Array: return "array";
+    case JsonValue::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+/**
+ * Recursive-descent JSON parser over an in-memory string.
+ */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what) const
+    {
+        fatal("json: parse error at offset %zu: %s", pos_, what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        size_t n = 0;
+        while (lit[n] != '\0')
+            ++n;
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+        case '{': return parseObject();
+        case '[': return parseArray();
+        case '"': return JsonValue(parseString());
+        case 't':
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            return JsonValue(true);
+        case 'f':
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            return JsonValue(false);
+        case 'n':
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return JsonValue();
+        default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue obj = JsonValue::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            obj.set(key, parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue arr = JsonValue::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': appendCodepoint(out, parseHex4()); break;
+            default: fail("bad escape");
+            }
+        }
+    }
+
+    unsigned
+    parseHex4()
+    {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = peek();
+            ++pos_;
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("bad \\u escape");
+        }
+        return v;
+    }
+
+    static void
+    appendCodepoint(std::string &out, unsigned cp)
+    {
+        // Basic Multilingual Plane only; surrogate pairs are not needed
+        // for lint output (names are ASCII) and are rejected upstream by
+        // never being emitted.
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const size_t begin = pos_;
+        if (peek() == '-')
+            ++pos_;
+        bool integral = true;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == begin)
+            fail("expected a value");
+        const std::string tok = text_.substr(begin, pos_ - begin);
+        if (integral) {
+            int64_t v = 0;
+            if (std::sscanf(tok.c_str(), "%" SCNd64, &v) != 1)
+                fail("bad integer");
+            return JsonValue(v);
+        }
+        double d = 0.0;
+        if (std::sscanf(tok.c_str(), "%lf", &d) != 1)
+            fail("bad number");
+        return JsonValue(d);
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        fatal("json: expected bool, have %s", kindName(kind_));
+    return bool_;
+}
+
+int64_t
+JsonValue::asInt() const
+{
+    if (kind_ != Kind::Int)
+        fatal("json: expected int, have %s", kindName(kind_));
+    return int_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    if (kind_ != Kind::Double)
+        fatal("json: expected number, have %s", kindName(kind_));
+    return double_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        fatal("json: expected string, have %s", kindName(kind_));
+    return string_;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    if (kind_ != Kind::Array)
+        fatal("json: push on %s", kindName(kind_));
+    array_.push_back(std::move(v));
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (kind_ != Kind::Array)
+        fatal("json: expected array, have %s", kindName(kind_));
+    return array_;
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (kind_ != Kind::Object)
+        fatal("json: set on %s", kindName(kind_));
+    for (auto &[k, existing] : object_) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    object_.emplace_back(key, std::move(v));
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (v == nullptr)
+        fatal("json: missing member \"%s\"", key.c_str());
+    return *v;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        fatal("json: expected object, have %s", kindName(kind_));
+    return object_;
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    auto newline = [&](int d) {
+        if (!pretty)
+            return;
+        out += '\n';
+        out.append(static_cast<size_t>(indent * d), ' ');
+    };
+
+    switch (kind_) {
+    case Kind::Null:
+        out += "null";
+        break;
+    case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+    case Kind::Int:
+        out += std::to_string(int_);
+        break;
+    case Kind::Double: {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.17g", double_);
+        out += buf;
+        // Keep doubles parseable back as doubles.
+        if (out.find_first_of(".eE", out.size() - std::strlen(buf)) ==
+            std::string::npos)
+            out += ".0";
+        break;
+    }
+    case Kind::String:
+        appendEscaped(out, string_);
+        break;
+    case Kind::Array:
+        out += '[';
+        for (size_t i = 0; i < array_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            newline(depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!array_.empty())
+            newline(depth);
+        out += ']';
+        break;
+    case Kind::Object:
+        out += '{';
+        for (size_t i = 0; i < object_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            newline(depth + 1);
+            appendEscaped(out, object_[i].first);
+            out += pretty ? ": " : ":";
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!object_.empty())
+            newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    Parser p(text);
+    return p.parseDocument();
+}
+
+} // namespace vidi

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Minimal JSON document model for the lint reports.
+ *
+ * The linters emit machine-readable reports (`vidi_lint --json`,
+ * `vidi_trace lint --json`) that downstream tooling and the test suite
+ * parse back; JsonValue is the small self-contained document model both
+ * directions share. Objects preserve insertion order so serialization is
+ * deterministic and a dump/parse round trip is value-identical.
+ *
+ * Supported surface: null, booleans, 64-bit integers, doubles, strings
+ * (with standard escape sequences incl. \uXXXX), arrays and objects.
+ */
+
+#ifndef VIDI_LINT_JSON_H
+#define VIDI_LINT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vidi {
+
+/**
+ * One JSON value (recursively, one JSON document).
+ */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+    /* implicit */ JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    /* implicit */ JsonValue(int64_t i) : kind_(Kind::Int), int_(i) {}
+    /* implicit */ JsonValue(uint64_t u)
+        : kind_(Kind::Int), int_(static_cast<int64_t>(u))
+    {
+    }
+    /* implicit */ JsonValue(int i)
+        : kind_(Kind::Int), int_(static_cast<int64_t>(i))
+    {
+    }
+    /* implicit */ JsonValue(double d) : kind_(Kind::Double), double_(d) {}
+    /* implicit */ JsonValue(std::string s)
+        : kind_(Kind::String), string_(std::move(s))
+    {
+    }
+    /* implicit */ JsonValue(const char *s)
+        : kind_(Kind::String), string_(s)
+    {
+    }
+
+    static JsonValue array() { return ofKind(Kind::Array); }
+    static JsonValue object() { return ofKind(Kind::Object); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+
+    /// @name Scalar accessors (fatal on kind mismatch)
+    /// @{
+    bool asBool() const;
+    int64_t asInt() const;
+    uint64_t asU64() const { return static_cast<uint64_t>(asInt()); }
+    double asDouble() const;  ///< also accepts Int
+    const std::string &asString() const;
+    /// @}
+
+    /// @name Array interface
+    /// @{
+    void push(JsonValue v);
+    const std::vector<JsonValue> &items() const;
+    /// @}
+
+    /// @name Object interface (insertion-ordered)
+    /// @{
+    void set(const std::string &key, JsonValue v);
+    /** Member lookup; nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+    /** Member lookup; fatal when absent. */
+    const JsonValue &at(const std::string &key) const;
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+    /// @}
+
+    /**
+     * Serialize.
+     *
+     * @param indent spaces per nesting level; negative for compact
+     *        single-line output
+     */
+    std::string dump(int indent = -1) const;
+
+    /** Parse a JSON document; raises SimFatal on malformed input. */
+    static JsonValue parse(const std::string &text);
+
+    bool operator==(const JsonValue &) const = default;
+
+  private:
+    static JsonValue
+    ofKind(Kind k)
+    {
+        JsonValue v;
+        v.kind_ = k;
+        return v;
+    }
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_LINT_JSON_H

@@ -1,0 +1,144 @@
+#include "lint/lint_report.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+const char *
+lintSeverityName(LintSeverity s)
+{
+    switch (s) {
+    case LintSeverity::Note: return "note";
+    case LintSeverity::Warning: return "warning";
+    case LintSeverity::Error: return "error";
+    }
+    return "?";
+}
+
+LintSeverity
+lintSeverityFromName(const std::string &name)
+{
+    if (name == "note")
+        return LintSeverity::Note;
+    if (name == "warning")
+        return LintSeverity::Warning;
+    if (name == "error")
+        return LintSeverity::Error;
+    fatal("lint: unknown severity \"%s\"", name.c_str());
+}
+
+std::string
+LintFinding::toString() const
+{
+    std::string out = lintSeverityName(severity);
+    out += " [";
+    out += pass;
+    out += "/";
+    out += code;
+    out += "]";
+    if (!subject.empty()) {
+        out += " ";
+        out += subject;
+    }
+    out += ": ";
+    out += message;
+    return out;
+}
+
+JsonValue
+LintFinding::toJson() const
+{
+    JsonValue v = JsonValue::object();
+    v.set("severity", lintSeverityName(severity));
+    v.set("pass", pass);
+    v.set("code", code);
+    v.set("subject", subject);
+    v.set("message", message);
+    return v;
+}
+
+LintFinding
+LintFinding::fromJson(const JsonValue &v)
+{
+    LintFinding f;
+    f.severity = lintSeverityFromName(v.at("severity").asString());
+    f.pass = v.at("pass").asString();
+    f.code = v.at("code").asString();
+    f.subject = v.at("subject").asString();
+    f.message = v.at("message").asString();
+    return f;
+}
+
+void
+LintReport::merge(const LintReport &other)
+{
+    findings_.insert(findings_.end(), other.findings_.begin(),
+                     other.findings_.end());
+}
+
+size_t
+LintReport::count(LintSeverity s) const
+{
+    size_t n = 0;
+    for (const auto &f : findings_) {
+        if (f.severity == s)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<LintFinding>
+LintReport::sorted() const
+{
+    std::vector<LintFinding> out = findings_;
+    std::stable_sort(out.begin(), out.end(),
+                     [](const LintFinding &a, const LintFinding &b) {
+                         return static_cast<int>(a.severity) >
+                                static_cast<int>(b.severity);
+                     });
+    return out;
+}
+
+std::string
+LintReport::toString() const
+{
+    std::string out;
+    for (const auto &f : sorted()) {
+        out += f.toString();
+        out += "\n";
+    }
+    out += std::to_string(errorCount());
+    out += " error(s), ";
+    out += std::to_string(count(LintSeverity::Warning));
+    out += " warning(s), ";
+    out += std::to_string(count(LintSeverity::Note));
+    out += " note(s)\n";
+    return out;
+}
+
+JsonValue
+LintReport::toJson() const
+{
+    JsonValue arr = JsonValue::array();
+    for (const auto &f : findings_)
+        arr.push(f.toJson());
+    JsonValue v = JsonValue::object();
+    v.set("findings", std::move(arr));
+    v.set("errors", errorCount());
+    v.set("warnings", count(LintSeverity::Warning));
+    v.set("notes", count(LintSeverity::Note));
+    return v;
+}
+
+LintReport
+LintReport::fromJson(const JsonValue &v)
+{
+    LintReport r;
+    for (const auto &item : v.at("findings").items())
+        r.add(LintFinding::fromJson(item));
+    return r;
+}
+
+} // namespace vidi

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unified finding/report model shared by every lint producer.
+ *
+ * All analyses — the static design passes, the dynamic protocol/AXI
+ * checkers and the trace happens-before analyzer — emit LintFinding
+ * records into one LintReport so that tooling (and CI) sees a single
+ * severity-ranked stream regardless of which layer discovered the
+ * problem. A report serializes to human-readable text and to JSON, and
+ * parses back from its own JSON for round-trip tests.
+ */
+
+#ifndef VIDI_LINT_LINT_REPORT_H
+#define VIDI_LINT_LINT_REPORT_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/json.h"
+
+namespace vidi {
+
+/**
+ * How bad a finding is.
+ *
+ * Error findings make `vidi_lint` exit nonzero (CI gate); warnings and
+ * notes are advisory.
+ */
+enum class LintSeverity
+{
+    Note,
+    Warning,
+    Error,
+};
+
+const char *lintSeverityName(LintSeverity s);
+
+/** Parse a severity name; fatal on unknown input. */
+LintSeverity lintSeverityFromName(const std::string &name);
+
+/**
+ * One problem discovered by some analysis.
+ */
+struct LintFinding
+{
+    LintSeverity severity = LintSeverity::Note;
+    /** Analysis that produced the finding, e.g. "comb-loop". */
+    std::string pass;
+    /** Stable machine-readable rule id, e.g. "combinational-loop". */
+    std::string code;
+    /** Module/channel the finding is anchored to (may be empty). */
+    std::string subject;
+    /** Human-readable explanation. */
+    std::string message;
+
+    std::string toString() const;
+    JsonValue toJson() const;
+    static LintFinding fromJson(const JsonValue &v);
+
+    bool operator==(const LintFinding &) const = default;
+};
+
+/**
+ * An ordered collection of findings plus summary helpers.
+ */
+class LintReport
+{
+  public:
+    void
+    add(LintSeverity severity, std::string pass, std::string code,
+        std::string subject, std::string message)
+    {
+        findings_.push_back({severity, std::move(pass), std::move(code),
+                             std::move(subject), std::move(message)});
+    }
+
+    void add(LintFinding f) { findings_.push_back(std::move(f)); }
+
+    /** Append every finding of @p other. */
+    void merge(const LintReport &other);
+
+    const std::vector<LintFinding> &findings() const { return findings_; }
+    bool empty() const { return findings_.empty(); }
+    size_t count(LintSeverity s) const;
+    size_t errorCount() const { return count(LintSeverity::Error); }
+    bool hasErrors() const { return errorCount() > 0; }
+
+    /** Findings sorted most-severe first (stable within a severity). */
+    std::vector<LintFinding> sorted() const;
+
+    /** Multi-line human-readable listing plus a summary line. */
+    std::string toString() const;
+
+    JsonValue toJson() const;
+    static LintReport fromJson(const JsonValue &v);
+
+    bool operator==(const LintReport &) const = default;
+
+  private:
+    std::vector<LintFinding> findings_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_LINT_LINT_REPORT_H

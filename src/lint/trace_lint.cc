@@ -1,0 +1,306 @@
+#include "lint/trace_lint.h"
+
+#include <deque>
+
+#include "trace/trace.h"
+
+namespace vidi {
+
+namespace {
+
+/** Per-channel scan state for the adjacency analysis. */
+struct ChanState
+{
+    bool input = false;
+    int64_t last_end_pkt = -1;   ///< packet of the latest processed end
+    uint64_t last_end_ord = 0;   ///< its per-channel ordinal
+    int64_t prev_end_pkt = -1;   ///< packet of the end before that
+    uint64_t end_count = 0;
+    uint64_t start_count = 0;
+    /** Input side: packets of starts whose end has not been seen yet. */
+    std::deque<uint64_t> inflight_starts;
+
+    /// @name Polling detection
+    /// @{
+    std::vector<uint8_t> last_content;
+    bool has_content = false;
+    uint64_t run = 0;
+    uint64_t best_run = 0;
+    /// @}
+};
+
+} // namespace
+
+TraceLintReport
+lintTrace(const Trace &trace, const TraceLintOptions &opts)
+{
+    TraceLintReport report;
+    const size_t n = trace.meta.channelCount();
+    report.channels = n;
+    report.packets = trace.packets.size();
+
+    std::vector<ChanState> chans(n);
+    for (size_t c = 0; c < n; ++c)
+        chans[c].input = trace.meta.channels[c].input;
+
+    auto channelName = [&](size_t c) { return trace.meta.channels[c].name; };
+
+    for (size_t p = 0; p < trace.packets.size(); ++p) {
+        const CyclePacket &pkt = trace.packets[p];
+
+        // Starts first: a channel that starts and ends in the same cycle
+        // must have its start registered before its end is examined.
+        size_t content_at = 0;
+        for (size_t c = 0; c < n; ++c) {
+            if ((pkt.starts & (1ull << c)) == 0)
+                continue;
+            ChanState &cs = chans[c];
+            ++cs.start_count;
+            if (!cs.input)
+                continue;
+            cs.inflight_starts.push_back(p);
+            // Start contents are stored for input channels in ascending
+            // channel order.
+            if (content_at < pkt.start_contents.size()) {
+                const ContentBuf &content = pkt.start_contents[content_at];
+                ++content_at;
+                std::vector<uint8_t> bytes(content.begin(), content.end());
+                if (cs.has_content && bytes == cs.last_content) {
+                    ++cs.run;
+                } else {
+                    cs.run = 1;
+                    cs.last_content = std::move(bytes);
+                    cs.has_content = true;
+                }
+                if (cs.run > cs.best_run)
+                    cs.best_run = cs.run;
+            }
+        }
+
+        for (size_t cb = 0; cb < n; ++cb) {
+            if ((pkt.ends & (1ull << cb)) == 0)
+                continue;
+            ChanState &b = chans[cb];
+            const uint64_t ord_b = b.end_count;
+            const bool b_has_start = b.input && !b.inflight_starts.empty();
+            const uint64_t start_pkt_b =
+                b_has_start ? b.inflight_starts.front() : 0;
+
+            for (size_t ca = 0; ca < n; ++ca) {
+                if (ca == cb)
+                    continue;
+                const ChanState &a = chans[ca];
+                if (a.last_end_pkt < 0)
+                    continue;
+                const auto pa = static_cast<uint64_t>(a.last_end_pkt);
+                if (p - pa > opts.window)
+                    continue;
+
+                bool concurrent = false;
+                bool simultaneous = false;
+                if (pa == p) {
+                    // Same cycle packet: the trace fixes no order.
+                    concurrent = true;
+                    simultaneous = true;
+                } else if (b_has_start && start_pkt_b < pa) {
+                    // B was in flight across A's completion; swapping the
+                    // two ends is legal iff both per-channel FIFO orders
+                    // survive, i.e. B's previous end precedes A's packet
+                    // (A's own channel order is untouched — A stays the
+                    // latest end on its channel before B moves past it).
+                    concurrent = b.last_end_pkt < static_cast<int64_t>(pa);
+                }
+                if (!concurrent)
+                    continue;
+
+                ++report.concurrent_pairs;
+                if (simultaneous)
+                    ++report.simultaneous_pairs;
+                if (report.pairs.size() < opts.max_pairs) {
+                    ConcurrentPairFinding f;
+                    f.chan_a = channelName(ca);
+                    f.chan_b = channelName(cb);
+                    f.chan_a_index = ca;
+                    f.chan_b_index = cb;
+                    f.end_a = a.last_end_ord;
+                    f.end_b = ord_b;
+                    f.packet_a = pa;
+                    f.packet_b = p;
+                    f.simultaneous = simultaneous;
+                    report.pairs.push_back(std::move(f));
+                }
+            }
+
+            if (b_has_start)
+                b.inflight_starts.pop_front();
+            b.prev_end_pkt = b.last_end_pkt;
+            b.last_end_pkt = static_cast<int64_t>(p);
+            b.last_end_ord = ord_b;
+            ++b.end_count;
+            ++report.end_events;
+        }
+    }
+
+    for (size_t c = 0; c < n; ++c) {
+        const ChanState &cs = chans[c];
+        if (!cs.input || cs.best_run < opts.polling_min_run)
+            continue;
+        PollingFinding f;
+        f.chan = channelName(c);
+        f.chan_index = c;
+        f.run_length = cs.best_run;
+        f.total_starts = cs.start_count;
+        report.polling.push_back(std::move(f));
+    }
+
+    return report;
+}
+
+std::string
+TraceLintReport::toString(const std::string &trace_path) const
+{
+    std::string out;
+    out += "trace: " + std::to_string(channels) + " channels, " +
+           std::to_string(packets) + " packets, " +
+           std::to_string(end_events) + " end events\n";
+    out += "concurrent (happens-before-unordered) adjacent end pairs: " +
+           std::to_string(concurrent_pairs) + " (" +
+           std::to_string(simultaneous_pairs) + " simultaneous)\n";
+    if (!pairs.empty()) {
+        out += "  first " + std::to_string(pairs.size()) + ":\n";
+        for (const auto &f : pairs) {
+            out += "    " + f.chan_b + "[" + std::to_string(f.end_b) +
+                   "] <-> " + f.chan_a + "[" + std::to_string(f.end_a) +
+                   "]  (packets " + std::to_string(f.packet_b) + " / " +
+                   std::to_string(f.packet_a) +
+                   (f.simultaneous ? ", simultaneous)" : ")") + "\n";
+        }
+        // Suggest a concrete mutation: a non-simultaneous pair (two ends
+        // in the same cycle packet are already unordered — there is
+        // nothing for `mutate` to move).
+        for (const auto &f : pairs) {
+            if (f.simultaneous)
+                continue;
+            out += "  each non-simultaneous pair is a legal reordering "
+                   "target, e.g.:\n";
+            out += "    vidi_trace mutate " +
+                   (trace_path.empty() ? std::string("<trace>")
+                                       : trace_path) +
+                   " <out.vtrc> " + std::to_string(f.chan_b_index) + " " +
+                   std::to_string(f.end_b) + " " +
+                   std::to_string(f.chan_a_index) + " " +
+                   std::to_string(f.end_a) + "\n";
+            break;
+        }
+    }
+    if (!polling.empty()) {
+        out += "polling-shaped input channels:\n";
+        for (const auto &f : polling) {
+            out += "  " + f.chan + ": " + std::to_string(f.run_length) +
+                   " consecutive identical start contents (of " +
+                   std::to_string(f.total_starts) +
+                   " starts) — transaction count is timing-dependent; "
+                   "replays of other recordings will diverge here "
+                   "first\n";
+        }
+    }
+    return out;
+}
+
+LintReport
+TraceLintReport::toLintReport() const
+{
+    LintReport r;
+    for (const auto &f : pairs) {
+        r.add(LintSeverity::Note, "trace-hb", "concurrent-pair",
+              f.chan_b + "[" + std::to_string(f.end_b) + "]",
+              std::string(f.simultaneous ? "simultaneous with "
+                                         : "concurrent with ") +
+                  f.chan_a + "[" + std::to_string(f.end_a) +
+                  "] (packets " + std::to_string(f.packet_b) + " / " +
+                  std::to_string(f.packet_a) +
+                  "); a legal execution completes them in the other "
+                  "order");
+    }
+    for (const auto &f : polling) {
+        r.add(LintSeverity::Warning, "trace-hb", "polling-pattern", f.chan,
+              std::to_string(f.run_length) +
+                  " consecutive byte-identical start contents (of " +
+                  std::to_string(f.total_starts) +
+                  " starts) — a polling loop whose transaction count is "
+                  "timing-dependent");
+    }
+    return r;
+}
+
+JsonValue
+TraceLintReport::toJson() const
+{
+    JsonValue v = JsonValue::object();
+    v.set("channels", channels);
+    v.set("packets", packets);
+    v.set("end_events", end_events);
+    v.set("concurrent_pairs", concurrent_pairs);
+    v.set("simultaneous_pairs", simultaneous_pairs);
+    JsonValue parr = JsonValue::array();
+    for (const auto &f : pairs) {
+        JsonValue jf = JsonValue::object();
+        jf.set("chan_a", f.chan_a);
+        jf.set("chan_b", f.chan_b);
+        jf.set("chan_a_index", f.chan_a_index);
+        jf.set("chan_b_index", f.chan_b_index);
+        jf.set("end_a", f.end_a);
+        jf.set("end_b", f.end_b);
+        jf.set("packet_a", f.packet_a);
+        jf.set("packet_b", f.packet_b);
+        jf.set("simultaneous", f.simultaneous);
+        parr.push(std::move(jf));
+    }
+    v.set("pairs", std::move(parr));
+    JsonValue poll = JsonValue::array();
+    for (const auto &f : polling) {
+        JsonValue jf = JsonValue::object();
+        jf.set("chan", f.chan);
+        jf.set("chan_index", f.chan_index);
+        jf.set("run_length", f.run_length);
+        jf.set("total_starts", f.total_starts);
+        poll.push(std::move(jf));
+    }
+    v.set("polling", std::move(poll));
+    return v;
+}
+
+TraceLintReport
+TraceLintReport::fromJson(const JsonValue &v)
+{
+    TraceLintReport r;
+    r.channels = static_cast<size_t>(v.at("channels").asInt());
+    r.packets = v.at("packets").asU64();
+    r.end_events = v.at("end_events").asU64();
+    r.concurrent_pairs = v.at("concurrent_pairs").asU64();
+    r.simultaneous_pairs = v.at("simultaneous_pairs").asU64();
+    for (const auto &jf : v.at("pairs").items()) {
+        ConcurrentPairFinding f;
+        f.chan_a = jf.at("chan_a").asString();
+        f.chan_b = jf.at("chan_b").asString();
+        f.chan_a_index = static_cast<size_t>(jf.at("chan_a_index").asInt());
+        f.chan_b_index = static_cast<size_t>(jf.at("chan_b_index").asInt());
+        f.end_a = jf.at("end_a").asU64();
+        f.end_b = jf.at("end_b").asU64();
+        f.packet_a = jf.at("packet_a").asU64();
+        f.packet_b = jf.at("packet_b").asU64();
+        f.simultaneous = jf.at("simultaneous").asBool();
+        r.pairs.push_back(std::move(f));
+    }
+    for (const auto &jf : v.at("polling").items()) {
+        PollingFinding f;
+        f.chan = jf.at("chan").asString();
+        f.chan_index = static_cast<size_t>(jf.at("chan_index").asInt());
+        f.run_length = jf.at("run_length").asU64();
+        f.total_starts = jf.at("total_starts").asU64();
+        r.polling.push_back(std::move(f));
+    }
+    return r;
+}
+
+} // namespace vidi

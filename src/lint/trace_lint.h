@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Happens-before analysis of a recorded trace (`vidi_trace lint`).
+ *
+ * Replay enforces *transaction determinism* (§3.5): the vector-clock
+ * order of end events. Two end events that this order does not constrain
+ * are *concurrent* — a legal execution exists in which they complete in
+ * the other order, and those are exactly the reorderings
+ * `vidi_trace mutate` (the §5.3 experiment) should target.
+ *
+ * The analyzer reports the *adjacent* concurrent pairs — unordered pairs
+ * of consecutive cross-channel end events whose swap is protocol-legal:
+ *
+ *  - two ends recorded in the same cycle packet are intrinsically
+ *    simultaneous (the trace fixes no order between them);
+ *  - an end B (on an input channel) directly following an end A on
+ *    another channel is concurrent with A when B's transaction was
+ *    already in flight (its recorded start precedes A's packet) and the
+ *    swap preserves both channels' per-channel FIFO order.
+ *
+ * Output-channel ends never qualify as the moved event of a
+ * non-simultaneous pair: their starts are not recorded, so in-flight-ness
+ * cannot be established from the trace alone. The full concurrency
+ * relation is the transitive composition of the adjacent pairs.
+ *
+ * The analyzer also flags *polling-shaped* input channels — long runs of
+ * byte-identical start contents (e.g. dram_dma's kStatus MMIO poll
+ * loop): their transaction *count* is timing-dependent, the classic
+ * source of benign-looking replay divergence.
+ */
+
+#ifndef VIDI_LINT_TRACE_LINT_H
+#define VIDI_LINT_TRACE_LINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/json.h"
+#include "lint/lint_report.h"
+
+namespace vidi {
+
+class Trace;
+
+/**
+ * One adjacent concurrent pair: end B could legally have completed
+ * before end A.
+ */
+struct ConcurrentPairFinding
+{
+    std::string chan_a;
+    std::string chan_b;
+    size_t chan_a_index = 0;
+    size_t chan_b_index = 0;
+    uint64_t end_a = 0;  ///< per-channel end ordinal of A (0-based)
+    uint64_t end_b = 0;  ///< per-channel end ordinal of B (0-based)
+    uint64_t packet_a = 0;
+    uint64_t packet_b = 0;
+    bool simultaneous = false;  ///< both ends in the same cycle packet
+
+    bool operator==(const ConcurrentPairFinding &) const = default;
+};
+
+/** One polling-shaped input channel. */
+struct PollingFinding
+{
+    std::string chan;
+    size_t chan_index = 0;
+    uint64_t run_length = 0;    ///< longest identical-content start run
+    uint64_t total_starts = 0;  ///< start events on the channel
+
+    bool operator==(const PollingFinding &) const = default;
+};
+
+/** Analyzer tunables. */
+struct TraceLintOptions
+{
+    /** Max packet distance between the ends of a reported pair. */
+    uint64_t window = 64;
+
+    /** Cap on detailed ConcurrentPairFinding records (totals are exact). */
+    size_t max_pairs = 32;
+
+    /** Identical-content start run length that counts as polling. */
+    uint64_t polling_min_run = 5;
+};
+
+/**
+ * Result of analyzing one trace.
+ */
+struct TraceLintReport
+{
+    size_t channels = 0;
+    uint64_t packets = 0;
+    uint64_t end_events = 0;
+
+    uint64_t concurrent_pairs = 0;    ///< exact total
+    uint64_t simultaneous_pairs = 0;  ///< subset in the same packet
+    /** Detailed pairs, trace order, capped at TraceLintOptions::max_pairs. */
+    std::vector<ConcurrentPairFinding> pairs;
+    std::vector<PollingFinding> polling;
+
+    /**
+     * Human-readable report. @p trace_path, when non-empty, is spliced
+     * into ready-to-run `vidi_trace mutate` suggestions.
+     */
+    std::string toString(const std::string &trace_path = "") const;
+
+    /** Project into the unified finding stream (pairs → note,
+     *  polling → warning). */
+    LintReport toLintReport() const;
+
+    JsonValue toJson() const;
+    static TraceLintReport fromJson(const JsonValue &v);
+
+    bool operator==(const TraceLintReport &) const = default;
+};
+
+/** Analyze @p trace. */
+TraceLintReport lintTrace(const Trace &trace,
+                          const TraceLintOptions &opts = {});
+
+} // namespace vidi
+
+#endif // VIDI_LINT_TRACE_LINT_H

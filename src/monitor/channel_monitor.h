@@ -77,6 +77,13 @@ class ChannelMonitor : public Module
     /** Cycles in which the sender was stalled for lack of reservations. */
     uint64_t stallCycles() const { return stall_cycles_; }
 
+    /// @name Interposition identity (read by the design linter)
+    /// @{
+    const ChannelBase &srcChannel() const { return src_; }
+    const ChannelBase &dstChannel() const { return dst_; }
+    size_t channelIndex() const { return chan_index_; }
+    /// @}
+
   private:
     bool recording() const
     {

@@ -58,6 +58,9 @@ class ChannelReplayer : public Module
     /** This channel's index in the boundary. */
     size_t channelIndex() const { return chan_index_; }
 
+    /** The application-facing channel this replayer drives. */
+    const ChannelBase &innerChannel() const { return inner_; }
+
     /** The vector clock the next pair is gated on. */
     const VectorClock &expected() const { return t_expected_; }
 

@@ -1,0 +1,26 @@
+#include "sim/access_tracker.h"
+
+namespace vidi {
+
+AccessTracker::~AccessTracker() = default;
+
+// Out-of-line so the hot-path hooks in the header stay a bare pointer
+// test; the context lookup and the virtual dispatch only happen on the
+// cold (tracker-installed) branch.
+void
+trackChannelRead(const ChannelBase &ch, SignalSide side)
+{
+    AccessTracker::current()->noteRead(ch, side,
+                                       AccessTracker::contextModule(),
+                                       AccessTracker::contextPhase());
+}
+
+void
+trackChannelDrive(const ChannelBase &ch, SignalSide side)
+{
+    AccessTracker::current()->noteDrive(ch, side,
+                                        AccessTracker::contextModule(),
+                                        AccessTracker::contextPhase());
+}
+
+} // namespace vidi

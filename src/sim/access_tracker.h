@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Elaboration-time channel-access tracking.
+ *
+ * The design linter (src/lint/) needs to know which module drives and
+ * which module reads each channel signal, and in which clock phase. The
+ * simulated modules never declare this explicitly — their eval()/tick()
+ * bodies simply call the channel accessors — so the information is
+ * gathered empirically during a *calibration run*: an AccessTracker is
+ * installed globally, the Simulator publishes the currently-executing
+ * module and phase, and every channel accessor reports through the
+ * inline hooks below.
+ *
+ * When no tracker is installed (the normal case) each hook is a single
+ * predictable-not-taken branch on a global pointer, so the hot
+ * signal-plane accessors stay effectively free. The simulation kernel is
+ * single-threaded by construction, which is why a plain global suffices.
+ */
+
+#ifndef VIDI_SIM_ACCESS_TRACKER_H
+#define VIDI_SIM_ACCESS_TRACKER_H
+
+#include <cstdint>
+
+namespace vidi {
+
+class ChannelBase;
+class Module;
+
+/** Clock phase the tracked access happened in. */
+enum class SimPhase : uint8_t
+{
+    None,      ///< outside the kernel (drivers, tests, harness code)
+    Eval,      ///< combinational settling — these edges form the
+               ///< drive/sensitivity graph the loop pass analyzes
+    Tick,      ///< sequential update
+    TickLate,  ///< late sequential update (aggregators)
+};
+
+/**
+ * The two signal planes of a handshake channel.
+ *
+ * Forward is the sender-driven half (VALID plus the payload); Reverse is
+ * the receiver-driven half (READY). Loop analysis must distinguish them:
+ * a monitor reading src VALID while driving src READY is normal
+ * handshake plumbing, not a combinational cycle.
+ */
+enum class SignalSide : uint8_t
+{
+    Forward,  ///< VALID + payload (driven by the sender)
+    Reverse,  ///< READY (driven by the receiver)
+};
+
+/**
+ * Observer of channel signal accesses during a calibration run.
+ */
+class AccessTracker
+{
+  public:
+    virtual ~AccessTracker();
+
+    /** @p m read @p side of @p ch during phase @p phase. */
+    virtual void noteRead(const ChannelBase &ch, SignalSide side,
+                          const Module *m, SimPhase phase) = 0;
+
+    /** @p m drove @p side of @p ch during phase @p phase. */
+    virtual void noteDrive(const ChannelBase &ch, SignalSide side,
+                           const Module *m, SimPhase phase) = 0;
+
+    /// @name Global installation (single-threaded kernel)
+    /// @{
+    static AccessTracker *current() { return current_; }
+    static void install(AccessTracker *t) { current_ = t; }
+
+    /** Published by the Simulator around each module callback. */
+    static void
+    setContext(const Module *m, SimPhase phase)
+    {
+        context_module_ = m;
+        context_phase_ = phase;
+    }
+
+    static const Module *contextModule() { return context_module_; }
+    static SimPhase contextPhase() { return context_phase_; }
+    /// @}
+
+  private:
+    static inline AccessTracker *current_ = nullptr;
+    static inline const Module *context_module_ = nullptr;
+    static inline SimPhase context_phase_ = SimPhase::None;
+};
+
+/// @name Inline hooks called from the channel accessors
+/// @{
+void trackChannelRead(const ChannelBase &ch, SignalSide side);
+void trackChannelDrive(const ChannelBase &ch, SignalSide side);
+
+inline void
+maybeTrackRead(const ChannelBase &ch, SignalSide side)
+{
+    if (AccessTracker::current() != nullptr)
+        trackChannelRead(ch, side);
+}
+
+inline void
+maybeTrackDrive(const ChannelBase &ch, SignalSide side)
+{
+    if (AccessTracker::current() != nullptr)
+        trackChannelDrive(ch, side);
+}
+/// @}
+
+/**
+ * RAII guard installing a tracker for the duration of a calibration run.
+ */
+class AccessTrackerScope
+{
+  public:
+    explicit AccessTrackerScope(AccessTracker &t)
+        : previous_(AccessTracker::current())
+    {
+        AccessTracker::install(&t);
+    }
+
+    ~AccessTrackerScope()
+    {
+        AccessTracker::install(previous_);
+        AccessTracker::setContext(nullptr, SimPhase::None);
+    }
+
+    AccessTrackerScope(const AccessTrackerScope &) = delete;
+    AccessTrackerScope &operator=(const AccessTrackerScope &) = delete;
+
+  private:
+    AccessTracker *previous_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_SIM_ACCESS_TRACKER_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/access_tracker.h"
 #include "sim/logging.h"
 
 namespace vidi {
@@ -34,15 +35,20 @@ Simulator::settleFullEval()
 {
     // Reference schedule: evaluate all modules until no channel signal
     // changes across a full pass.
+    const bool tracking = AccessTracker::current() != nullptr;
     unsigned iters = 0;
     while (true) {
         for (auto &ch : channels_)
             ch->clearDirty();
         for (auto &m : modules_) {
+            if (tracking)
+                AccessTracker::setContext(m.get(), SimPhase::Eval);
             m->eval();
             ++m->eval_count_;
             ++module_evals_;
         }
+        if (tracking)
+            AccessTracker::setContext(nullptr, SimPhase::None);
         ++total_eval_passes_;
         bool changed = false;
         for (auto &ch : channels_) {
@@ -70,6 +76,7 @@ Simulator::settleActivity()
     // FullEval schedule for them. The combinational network is acyclic
     // with a unique fixpoint, so evaluating a subset per pass settles to
     // the same signal values as evaluating everyone.
+    const bool tracking = AccessTracker::current() != nullptr;
     unsigned iters = 0;
     bool first = true;
     while (true) {
@@ -90,11 +97,15 @@ Simulator::settleActivity()
             }
             if (run) {
                 m->needs_eval_ = false;
+                if (tracking)
+                    AccessTracker::setContext(m.get(), SimPhase::Eval);
                 m->eval();
                 ++m->eval_count_;
                 ++module_evals_;
             }
         }
+        if (tracking)
+            AccessTracker::setContext(nullptr, SimPhase::None);
         ++total_eval_passes_;
         if (!settle_dirty_)
             break;
@@ -113,12 +124,21 @@ Simulator::stepOnce()
         settleActivity();
 
     // Sequential phase.
+    const bool tracking = AccessTracker::current() != nullptr;
     for (auto &ch : channels_)
         ch->latch(cycle_);
-    for (auto &m : modules_)
+    for (auto &m : modules_) {
+        if (tracking)
+            AccessTracker::setContext(m.get(), SimPhase::Tick);
         m->tick();
-    for (auto &m : modules_)
+    }
+    for (auto &m : modules_) {
+        if (tracking)
+            AccessTracker::setContext(m.get(), SimPhase::TickLate);
         m->tickLate();
+    }
+    if (tracking)
+        AccessTracker::setContext(nullptr, SimPhase::None);
     for (auto &ch : channels_)
         ch->postTick();
     ++cycle_;

@@ -146,6 +146,13 @@ class Simulator
         return channels_;
     }
 
+    /** All owned modules, in registration (schedule) order. */
+    const std::vector<std::unique_ptr<Module>> &
+    modules() const
+    {
+        return modules_;
+    }
+
     /** Find a channel by name; nullptr if absent. O(1) via name index. */
     ChannelBase *findChannel(const std::string &name) const;
 

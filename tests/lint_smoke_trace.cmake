@@ -1,0 +1,32 @@
+# Driven by the `lint_smoke_trace` ctest entry: record a short SSSP
+# trace with `vidi_trace record`, then run the happens-before analyzer
+# over it (both human-readable and JSON output).
+#
+# Expects: -DVIDI_TRACE=<path to vidi_trace> -DWORK_DIR=<scratch dir>
+
+set(trace "${WORK_DIR}/lint_smoke_sssp.vtrc")
+
+execute_process(
+    COMMAND "${VIDI_TRACE}" record SSSP "${trace}" 0.05 1
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "vidi_trace record SSSP failed (exit ${rc})")
+endif()
+
+execute_process(
+    COMMAND "${VIDI_TRACE}" lint "${trace}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "vidi_trace lint failed (exit ${rc})")
+endif()
+
+execute_process(
+    COMMAND "${VIDI_TRACE}" lint "${trace}" --json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE json_out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "vidi_trace lint --json failed (exit ${rc})")
+endif()
+if(NOT json_out MATCHES "\"concurrent_pairs\"")
+    message(FATAL_ERROR "vidi_trace lint --json output missing fields")
+endif()

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Tests for the static design linter: the four seeded-defect classes
+ * (combinational loop, unmonitored boundary channel, under-declared
+ * sensitivity, double-driven channel) must each be caught, and every
+ * registered application must lint clean (zero false positives).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app_registry.h"
+#include "channel/channel.h"
+#include "lint/design_graph.h"
+#include "lint/lint_passes.h"
+#include "lint/lint_report.h"
+#include "lint/linter.h"
+#include "sim/simulator.h"
+
+namespace vidi {
+namespace {
+
+/** Combinational repeater: out.VALID follows in.VALID within the cycle. */
+class Repeater : public Module
+{
+  public:
+    Repeater(std::string name, Channel<uint32_t> &in, Channel<uint32_t> &out)
+        : Module(std::move(name)), in_(in), out_(out)
+    {
+    }
+
+    void
+    eval() override
+    {
+        out_.setValid(in_.valid());
+    }
+
+  private:
+    Channel<uint32_t> &in_;
+    Channel<uint32_t> &out_;
+};
+
+/** OnDemand module whose eval() reads a channel it never declared. */
+class UnderDeclaredTap : public Module
+{
+  public:
+    UnderDeclaredTap(std::string name, Channel<uint32_t> &in,
+                     Channel<uint32_t> &out)
+        : Module(std::move(name)), in_(in), out_(out)
+    {
+        setEvalMode(EvalMode::OnDemand);
+        sensitive(out);  // declares its output — but not `in`
+    }
+
+    void
+    eval() override
+    {
+        out_.setValid(in_.valid());
+    }
+
+  private:
+    Channel<uint32_t> &in_;
+    Channel<uint32_t> &out_;
+};
+
+/** EvalMode::Never module whose eval() nonetheless touches a channel. */
+class NeverButEvals : public Module
+{
+  public:
+    NeverButEvals(std::string name, Channel<uint32_t> &out)
+        : Module(std::move(name)), out_(out)
+    {
+        setEvalMode(EvalMode::Never);
+    }
+
+    void
+    eval() override
+    {
+        out_.setValid(true);
+    }
+
+  private:
+    Channel<uint32_t> &out_;
+};
+
+/** Unconditionally drives a channel's VALID from eval(). */
+class Asserter : public Module
+{
+  public:
+    Asserter(std::string name, Channel<uint32_t> &out)
+        : Module(std::move(name)), out_(out)
+    {
+    }
+
+    void
+    eval() override
+    {
+        out_.setValid(true);
+    }
+
+  private:
+    Channel<uint32_t> &out_;
+};
+
+/**
+ * Calibrate a bare fixture design (no record/replay boundary): run a few
+ * FullEval cycles under an ElabTracker, then elaborate and lint.
+ */
+LintReport
+lintFixture(Simulator &sim)
+{
+    sim.setKernelMode(KernelMode::FullEval);
+    ElabTracker tracker;
+    {
+        AccessTrackerScope scope(tracker);
+        for (int i = 0; i < 4; ++i)
+            sim.step();
+    }
+    const DesignGraph g = elaborateDesign(sim, nullptr, tracker);
+    LintReport report;
+    runLintPasses(g, report);
+    return report;
+}
+
+size_t
+countCode(const LintReport &r, const std::string &code)
+{
+    size_t n = 0;
+    for (const auto &f : r.findings()) {
+        if (f.code == code)
+            ++n;
+    }
+    return n;
+}
+
+const LintFinding *
+findCode(const LintReport &r, const std::string &code)
+{
+    for (const auto &f : r.findings()) {
+        if (f.code == code)
+            return &f;
+    }
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Seeded defect 1: combinational loop (cross-coupled repeaters). The
+// loop is *stable* (all VALIDs false), so only the SCC analysis — not a
+// settle-overflow panic — can find it.
+// ---------------------------------------------------------------------
+
+TEST(LintPasses, CombinationalLoopCaught)
+{
+    Simulator sim;
+    auto &x = sim.makeChannel<uint32_t>("fix.x", 32);
+    auto &y = sim.makeChannel<uint32_t>("fix.y", 32);
+    sim.add<Repeater>("fix.a", x, y);
+    sim.add<Repeater>("fix.b", y, x);
+
+    const LintReport report = lintFixture(sim);
+    ASSERT_GE(countCode(report, "combinational-loop"), 1u);
+    const LintFinding *f = findCode(report, "combinational-loop");
+    EXPECT_EQ(f->severity, LintSeverity::Error);
+    EXPECT_EQ(f->pass, "comb-loop");
+    // The cycle description names both modules and both channels.
+    EXPECT_NE(f->message.find("fix.a"), std::string::npos);
+    EXPECT_NE(f->message.find("fix.b"), std::string::npos);
+    EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(LintPasses, AcyclicChainIsClean)
+{
+    Simulator sim;
+    auto &x = sim.makeChannel<uint32_t>("fix.x", 32);
+    auto &y = sim.makeChannel<uint32_t>("fix.y", 32);
+    auto &z = sim.makeChannel<uint32_t>("fix.z", 32);
+    sim.add<Asserter>("fix.src", x);
+    sim.add<Repeater>("fix.a", x, y);
+    sim.add<Repeater>("fix.b", y, z);
+
+    const LintReport report = lintFixture(sim);
+    EXPECT_EQ(countCode(report, "combinational-loop"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Seeded defect 2: a boundary channel whose monitor was masked out —
+// transactions cross the record/replay boundary unrecorded.
+// ---------------------------------------------------------------------
+
+TEST(LintApp, UnmonitoredBoundaryChannelCaught)
+{
+    const auto apps = makeTable1Apps();
+    AppBuilder *dma = nullptr;
+    for (const auto &app : apps) {
+        if (app->name() == "DMA")
+            dma = app.get();
+    }
+    ASSERT_NE(dma, nullptr);
+
+    LintOptions opts;
+    opts.scale = 0.1;
+    // Knock the five ocl channels (bits 0..4) out of the monitor mask.
+    opts.monitor_mask = ~0ull << 5;
+    const AppLintResult result = lintApp(*dma, opts);
+
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(countCode(result.report, "unmonitored-boundary-channel"), 5u);
+    EXPECT_EQ(result.report.errorCount(), 5u);
+    const LintFinding *f =
+        findCode(result.report, "unmonitored-boundary-channel");
+    EXPECT_EQ(f->pass, "boundary-coverage");
+    EXPECT_NE(f->subject.find("ocl"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Seeded defect 3: an OnDemand module reading a channel it never
+// declared sensitive() on — the activity-driven kernel would skip
+// re-evals the FullEval reference schedule makes.
+// ---------------------------------------------------------------------
+
+TEST(LintPasses, UnderDeclaredSensitivityCaught)
+{
+    Simulator sim;
+    auto &x = sim.makeChannel<uint32_t>("fix.x", 32);
+    auto &y = sim.makeChannel<uint32_t>("fix.y", 32);
+    sim.add<Asserter>("fix.src", x);
+    sim.add<UnderDeclaredTap>("fix.tap", x, y);
+
+    const LintReport report = lintFixture(sim);
+    ASSERT_EQ(countCode(report, "under-declared-sensitivity"), 1u);
+    const LintFinding *f = findCode(report, "under-declared-sensitivity");
+    EXPECT_EQ(f->severity, LintSeverity::Error);
+    EXPECT_EQ(f->pass, "sensitivity");
+    EXPECT_EQ(f->subject, "fix.tap");
+    EXPECT_NE(f->message.find("fix.x"), std::string::npos);
+}
+
+TEST(LintPasses, NeverModeEvalCaught)
+{
+    Simulator sim;
+    auto &x = sim.makeChannel<uint32_t>("fix.x", 32);
+    sim.add<NeverButEvals>("fix.zombie", x);
+
+    const LintReport report = lintFixture(sim);
+    ASSERT_EQ(countCode(report, "never-mode-eval"), 1u);
+    EXPECT_EQ(findCode(report, "never-mode-eval")->severity,
+              LintSeverity::Error);
+}
+
+// ---------------------------------------------------------------------
+// Seeded defect 4: two modules driving the same channel signal.
+// ---------------------------------------------------------------------
+
+TEST(LintPasses, DoubleDrivenChannelCaught)
+{
+    Simulator sim;
+    auto &x = sim.makeChannel<uint32_t>("fix.x", 32);
+    sim.add<Asserter>("fix.d1", x);
+    sim.add<Asserter>("fix.d2", x);
+
+    const LintReport report = lintFixture(sim);
+    ASSERT_EQ(countCode(report, "multiple-drivers"), 1u);
+    const LintFinding *f = findCode(report, "multiple-drivers");
+    EXPECT_EQ(f->severity, LintSeverity::Error);
+    EXPECT_EQ(f->pass, "structural");
+    EXPECT_NE(f->message.find("fix.d1"), std::string::npos);
+    EXPECT_NE(f->message.find("fix.d2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Zero false positives: every registered application, built exactly as
+// a recording run would build it, must produce an empty report.
+// ---------------------------------------------------------------------
+
+TEST(LintApp, AllRegisteredAppsLintClean)
+{
+    LintOptions opts;
+    opts.scale = 0.05;
+    for (const auto &app : makeTable1Apps()) {
+        const AppLintResult result = lintApp(*app, opts);
+        EXPECT_TRUE(result.completed) << app->name();
+        EXPECT_TRUE(result.report.empty())
+            << app->name() << ":\n"
+            << result.report.toString();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report serialization round-trips through JSON.
+// ---------------------------------------------------------------------
+
+TEST(LintReport, JsonRoundTrip)
+{
+    LintReport report;
+    report.add(LintSeverity::Error, "comb-loop", "combinational-loop",
+               "fix.a", "cycle through fix.a -> fix.y -> fix.b -> fix.x");
+    report.add(LintSeverity::Warning, "structural", "undriven-channel",
+               "fix.z", "observed but never driven");
+    report.add(LintSeverity::Note, "trace-hb", "concurrent-pair",
+               "ocl.R[3]", "concurrent with pcim.B[1]");
+
+    const std::string dumped = report.toJson().dump(2);
+    const LintReport parsed = LintReport::fromJson(JsonValue::parse(dumped));
+    EXPECT_EQ(parsed, report);
+    EXPECT_EQ(parsed.errorCount(), 1u);
+    EXPECT_EQ(parsed.count(LintSeverity::Warning), 1u);
+    EXPECT_EQ(parsed.count(LintSeverity::Note), 1u);
+}
+
+TEST(LintReport, SortedOrdersBySeverity)
+{
+    LintReport report;
+    report.add(LintSeverity::Note, "p", "n1", "s", "first note");
+    report.add(LintSeverity::Error, "p", "e1", "s", "the error");
+    report.add(LintSeverity::Warning, "p", "w1", "s", "the warning");
+    const auto sorted = report.sorted();
+    ASSERT_EQ(sorted.size(), 3u);
+    EXPECT_EQ(sorted[0].code, "e1");
+    EXPECT_EQ(sorted[1].code, "w1");
+    EXPECT_EQ(sorted[2].code, "n1");
+}
+
+} // namespace
+} // namespace vidi

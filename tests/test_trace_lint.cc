@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the trace happens-before analyzer (`vidi_trace lint`):
+ * hand-crafted traces with known concurrency structure, a real recorded
+ * dram_dma trace (which must expose concurrent pairs and the status
+ * polling loop), and JSON round-tripping of the report.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app_registry.h"
+#include "core/recorder.h"
+#include "lint/trace_lint.h"
+#include "trace/trace.h"
+
+namespace vidi {
+namespace {
+
+Trace
+makeTrace(std::vector<TraceChannelInfo> channels)
+{
+    Trace t;
+    t.meta.channels = std::move(channels);
+    return t;
+}
+
+TraceChannelInfo
+chan(const std::string &name, bool input)
+{
+    TraceChannelInfo info;
+    info.name = name;
+    info.input = input;
+    info.data_bytes = 4;
+    info.width_bits = 32;
+    return info;
+}
+
+// ---------------------------------------------------------------------
+// Hand-crafted traces: exact happens-before semantics.
+// ---------------------------------------------------------------------
+
+TEST(TraceLint, SameCyclePacketEndsAreSimultaneous)
+{
+    Trace t = makeTrace({chan("out", false), chan("in", true)});
+    CyclePacket pkt;
+    pkt.ends = 0b11;  // both channels complete in the same cycle
+    t.packets.push_back(pkt);
+
+    const TraceLintReport r = lintTrace(t);
+    EXPECT_EQ(r.end_events, 2u);
+    EXPECT_EQ(r.concurrent_pairs, 1u);
+    EXPECT_EQ(r.simultaneous_pairs, 1u);
+    ASSERT_EQ(r.pairs.size(), 1u);
+    EXPECT_TRUE(r.pairs[0].simultaneous);
+}
+
+TEST(TraceLint, InFlightTransactionIsConcurrentWithEarlierEnd)
+{
+    // in starts at packet 0, out ends at packet 1, in ends at packet 2:
+    // in's transaction spans out's completion, so the two ends are
+    // happens-before unordered — a legal execution completes them in
+    // the other order.
+    Trace t = makeTrace({chan("out", false), chan("in", true)});
+    CyclePacket p0;
+    p0.starts = 0b10;
+    p0.start_contents.push_back(ContentBuf({1, 2, 3, 4}));
+    CyclePacket p1;
+    p1.ends = 0b01;
+    CyclePacket p2;
+    p2.ends = 0b10;
+    t.packets = {p0, p1, p2};
+
+    const TraceLintReport r = lintTrace(t);
+    EXPECT_EQ(r.concurrent_pairs, 1u);
+    EXPECT_EQ(r.simultaneous_pairs, 0u);
+    ASSERT_EQ(r.pairs.size(), 1u);
+    EXPECT_EQ(r.pairs[0].chan_b, "in");
+    EXPECT_EQ(r.pairs[0].chan_a, "out");
+    EXPECT_EQ(r.pairs[0].packet_b, 2u);
+    EXPECT_EQ(r.pairs[0].packet_a, 1u);
+    EXPECT_FALSE(r.pairs[0].simultaneous);
+}
+
+TEST(TraceLint, StartAfterEndIsOrdered)
+{
+    // in only *starts* after out's end: the trace orders the two
+    // transactions and no concurrent pair exists.
+    Trace t = makeTrace({chan("out", false), chan("in", true)});
+    CyclePacket p1;
+    p1.ends = 0b01;
+    CyclePacket p2;
+    p2.starts = 0b10;
+    p2.start_contents.push_back(ContentBuf({1, 2, 3, 4}));
+    CyclePacket p3;
+    p3.ends = 0b10;
+    t.packets = {p1, p2, p3};
+
+    const TraceLintReport r = lintTrace(t);
+    EXPECT_EQ(r.concurrent_pairs, 0u);
+    EXPECT_TRUE(r.pairs.empty());
+}
+
+TEST(TraceLint, PollingRunDetected)
+{
+    Trace t = makeTrace({chan("poll", true)});
+    for (int i = 0; i < 6; ++i) {
+        CyclePacket p;
+        p.starts = 0b1;
+        p.ends = 0b1;
+        p.start_contents.push_back(ContentBuf({0xAA, 0x00}));
+        t.packets.push_back(p);
+    }
+
+    const TraceLintReport r = lintTrace(t);
+    ASSERT_EQ(r.polling.size(), 1u);
+    EXPECT_EQ(r.polling[0].chan, "poll");
+    EXPECT_EQ(r.polling[0].run_length, 6u);
+    EXPECT_EQ(r.polling[0].total_starts, 6u);
+    // A single channel can never pair with itself.
+    EXPECT_EQ(r.concurrent_pairs, 0u);
+}
+
+TEST(TraceLint, ChangingContentsAreNotPolling)
+{
+    Trace t = makeTrace({chan("cmd", true)});
+    for (uint8_t i = 0; i < 6; ++i) {
+        CyclePacket p;
+        p.starts = 0b1;
+        p.ends = 0b1;
+        p.start_contents.push_back(ContentBuf({i, 0x00}));
+        t.packets.push_back(p);
+    }
+    EXPECT_TRUE(lintTrace(t).polling.empty());
+}
+
+// ---------------------------------------------------------------------
+// A real recorded dram_dma trace: the driver's status polling loop must
+// show up, and the inflight DMA bursts must yield concurrent pairs the
+// trace mutator could legally reorder.
+// ---------------------------------------------------------------------
+
+TEST(TraceLint, RecordedDmaTraceHasConcurrencyAndPolling)
+{
+    const auto apps = makeTable1Apps();
+    AppBuilder *dma = nullptr;
+    for (const auto &app : apps) {
+        if (app->name() == "DMA")
+            dma = app.get();
+    }
+    ASSERT_NE(dma, nullptr);
+    dma->setScale(0.2);
+    const RecordResult rec = recordRun(*dma, VidiMode::R2_Record, 1);
+    ASSERT_TRUE(rec.completed);
+
+    const TraceLintReport r = lintTrace(rec.trace);
+    EXPECT_GE(r.concurrent_pairs, 1u);
+    EXPECT_FALSE(r.pairs.empty());
+    ASSERT_FALSE(r.polling.empty());
+    // The polling channel is the OCL read-address channel the host
+    // driver uses to poll the DMA status register.
+    bool ocl_polling = false;
+    for (const auto &f : r.polling)
+        ocl_polling = ocl_polling || f.chan.find("ocl") != std::string::npos;
+    EXPECT_TRUE(ocl_polling);
+
+    // The unified-report view: pairs become notes, polling a warning.
+    const LintReport unified = r.toLintReport();
+    EXPECT_EQ(unified.count(LintSeverity::Note), r.pairs.size());
+    EXPECT_EQ(unified.count(LintSeverity::Warning), r.polling.size());
+    EXPECT_FALSE(unified.hasErrors());
+
+    // JSON round-trip of the full report.
+    const std::string dumped = r.toJson().dump(2);
+    const TraceLintReport parsed =
+        TraceLintReport::fromJson(JsonValue::parse(dumped));
+    EXPECT_EQ(parsed, r);
+}
+
+TEST(TraceLint, JsonRoundTripCompactAndIndented)
+{
+    Trace t = makeTrace({chan("out", false), chan("in", true)});
+    CyclePacket p0;
+    p0.starts = 0b10;
+    p0.start_contents.push_back(ContentBuf({9, 9}));
+    CyclePacket p1;
+    p1.ends = 0b11;
+    t.packets = {p0, p1};
+
+    const TraceLintReport r = lintTrace(t);
+    for (int indent : {-1, 0, 2}) {
+        const std::string dumped = r.toJson().dump(indent);
+        EXPECT_EQ(TraceLintReport::fromJson(JsonValue::parse(dumped)), r)
+            << "indent " << indent;
+    }
+}
+
+} // namespace
+} // namespace vidi

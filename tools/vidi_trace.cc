@@ -7,10 +7,17 @@
  *   vidi_trace verify <trace>                    walk the storage lines,
  *       check every CRC and sequence number, print the damage report;
  *       exit 0 only for a fully intact trace
+ *   vidi_trace profile <trace> [reqChan respChan] burst/latency profile,
+ *       optionally with request→response pair latency for two channels
  *   vidi_trace validate <reference> <validation> diff two traces (§3.6)
  *   vidi_trace mutate <in> <out> <chanA> <k> <chanB> <j>
  *       move the k-th end of channel <chanA> before the j-th end of
  *       channel <chanB> (§5.3); channels by name or index
+ *   vidi_trace lint <trace> [--json]             happens-before analysis:
+ *       report concurrent (vector-clock-unordered) end pairs — the legal
+ *       reordering targets for `mutate` — and polling-shaped channels
+ *   vidi_trace record <app> <out> [scale] [seed] record the named Table 1
+ *       app (default scale 0.1, seed 1) and save the trace to <out>
  *   vidi_trace stats <app> [scale] [kernel]      record the named Table 1
  *       app at the given workload scale (default 0.1) and print the
  *       simulation-kernel counters: eval passes, per-module eval counts,
@@ -28,7 +35,9 @@
 
 #include "apps/app_registry.h"
 #include "core/recorder.h"
+#include "core/runtime.h"
 #include "core/trace_mutator.h"
+#include "lint/trace_lint.h"
 #include "sim/logging.h"
 #include "core/trace_validator.h"
 #include "trace/trace_file.h"
@@ -45,12 +54,25 @@ usage()
     std::fputs(
         "usage:\n"
         "  vidi_trace info <trace>\n"
+        "      per-channel event/content statistics\n"
         "  vidi_trace dump <trace> [N]\n"
+        "      print the first N cycle packets (default 32)\n"
         "  vidi_trace verify <trace>\n"
+        "      check storage-line CRCs/sequence numbers; exit 0 iff "
+        "intact\n"
         "  vidi_trace profile <trace> [reqChan respChan]\n"
+        "      burst/latency profile (optional request->response pair)\n"
         "  vidi_trace validate <reference> <validation>\n"
+        "      diff two traces; exit 0 iff identical\n"
         "  vidi_trace mutate <in> <out> <chanA> <k> <chanB> <j>\n"
-        "  vidi_trace stats <app> [scale] [activity|full|both]\n",
+        "      move the k-th end of chanA before the j-th end of chanB\n"
+        "  vidi_trace lint <trace> [--json]\n"
+        "      happens-before analysis: concurrent end pairs (mutate\n"
+        "      targets) and polling-shaped channels\n"
+        "  vidi_trace record <app> <out> [scale] [seed]\n"
+        "      record a Table 1 app and save its trace\n"
+        "  vidi_trace stats <app> [scale] [activity|full|both]\n"
+        "      record an app and print simulation-kernel counters\n",
         stderr);
     return 2;
 }
@@ -176,6 +198,51 @@ cmdMutate(const std::string &in_path, const std::string &out_path,
     return 0;
 }
 
+int
+cmdLint(const std::string &path, bool json)
+{
+    const Trace trace = loadTrace(path);
+    const TraceLintReport report = lintTrace(trace);
+    if (json)
+        std::printf("%s\n", report.toJson().dump(2).c_str());
+    else
+        std::fputs(report.toString(path).c_str(), stdout);
+    return 0;
+}
+
+/** Find a registry app by name; fatal with the known names otherwise. */
+AppBuilder *
+findApp(const std::vector<std::unique_ptr<AppBuilder>> &apps,
+        const std::string &app_name)
+{
+    for (const auto &candidate : apps) {
+        if (candidate->name() == app_name)
+            return candidate.get();
+    }
+    std::string known;
+    for (const auto &candidate : apps) {
+        known += " ";
+        known += candidate->name();
+    }
+    fatal("unknown app '%s'; known apps:%s", app_name.c_str(),
+          known.c_str());
+}
+
+int
+cmdRecord(const std::string &app_name, const std::string &out_path,
+          double scale, uint64_t seed)
+{
+    const auto apps = makeTable1Apps();
+    AppBuilder *app = findApp(apps, app_name);
+    app->setScale(scale);
+    const RecordResult r = recordToFile(*app, out_path, seed);
+    if (!r.completed)
+        fatal("record: %s did not complete within the cycle budget",
+              app_name.c_str());
+    std::printf("%s\n", describe(r).c_str());
+    return 0;
+}
+
 /** Record @p app once under @p mode and print the kernel counters. */
 RecordResult
 statsRun(AppBuilder &app, double scale, KernelMode mode)
@@ -204,18 +271,7 @@ cmdStats(const std::string &app_name, double scale,
          const std::string &kernel)
 {
     const auto apps = makeTable1Apps();
-    AppBuilder *app = nullptr;
-    for (const auto &candidate : apps) {
-        if (candidate->name() == app_name)
-            app = candidate.get();
-    }
-    if (app == nullptr) {
-        std::string known;
-        for (const auto &candidate : apps)
-            known += " " + candidate->name();
-        fatal("unknown app '%s'; known apps:%s", app_name.c_str(),
-              known.c_str());
-    }
+    AppBuilder *app = findApp(apps, app_name);
 
     if (kernel == "activity" || kernel == "full") {
         statsRun(*app, scale,
@@ -278,6 +334,21 @@ main(int argc, char **argv)
             return cmdMutate(argv[2], argv[3], argv[4],
                              std::strtoul(argv[5], nullptr, 10), argv[6],
                              std::strtoul(argv[7], nullptr, 10));
+        }
+        if (cmd == "lint" && (argc == 3 || argc == 4)) {
+            const bool json =
+                argc == 4 && std::strcmp(argv[3], "--json") == 0;
+            if (argc == 4 && !json)
+                return usage();
+            return cmdLint(argv[2], json);
+        }
+        if (cmd == "record" && argc >= 4 && argc <= 6) {
+            return cmdRecord(argv[2], argv[3],
+                             argc >= 5 ? std::strtod(argv[4], nullptr)
+                                       : 0.1,
+                             argc == 6
+                                 ? std::strtoull(argv[5], nullptr, 0)
+                                 : 1);
         }
         if (cmd == "stats" && argc >= 3 && argc <= 5) {
             return cmdStats(argv[2],
