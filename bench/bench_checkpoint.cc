@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Checkpoint overhead microbenchmarks (google-benchmark).
+ *
+ * Pins the cost of crash-consistent checkpointing across PRs. Two
+ * recordings are driven through the session harness:
+ *
+ *  - DRAM DMA at scale 1.0: compute-bound, ~200k cycles of real work,
+ *    the raw commit-cost curve versus checkpoint cadence;
+ *  - SSSP at scale 0.1 (the fig7 scaling app): idle-heavy, 4M cycles
+ *    that the activity-driven kernel crosses in milliseconds — the
+ *    case the wall-clock commit throttle
+ *    (VidiConfig::checkpoint_min_interval_ms) exists for.
+ *
+ * BENCH_CHECKPOINT.json reports the overhead of the default settings
+ * (100k-cycle cadence, 250ms throttle) against the no-checkpoint
+ * baseline; the acceptance bar is <5% wall-clock overhead.
+ *
+ * Benchmark arguments: Args({checkpoint_every, min_interval_ms}),
+ * with checkpoint_every == 0 as the baseline. Counters report commit
+ * count, image size and mean commit latency so regressions can be
+ * attributed (bigger images vs. slower I/O vs. more commits).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "apps/app_registry.h"
+#include "apps/dram_dma.h"
+#include "checkpoint/session_runner.h"
+
+namespace {
+
+using namespace vidi;
+
+std::string
+sessionDir()
+{
+    const char *tmp = std::getenv("TMPDIR");
+    return std::string(tmp != nullptr ? tmp : "/tmp") +
+           "/vidi_bench_ckpt";
+}
+
+void
+runSession(benchmark::State &state, AppBuilder &app, double scale)
+{
+    const auto every = uint64_t(state.range(0));
+    VidiConfig cfg;
+    cfg.checkpoint_min_interval_ms = uint64_t(state.range(1));
+
+    uint64_t cycles = 0, checkpoints = 0, bytes_last = 0, commit_ns = 0;
+    for (auto _ : state) {
+        const RecordResult r =
+            recordSession(app, sessionDir(), scale, /*seed=*/1, every,
+                          /*trace_out=*/"", cfg);
+        if (!r.completed)
+            state.SkipWithError("recording did not complete");
+        cycles = r.cycles;
+        checkpoints = r.checkpoint.checkpoints;
+        bytes_last = r.checkpoint.bytes_last;
+        commit_ns = r.checkpoint.checkpoints > 0
+                        ? r.checkpoint.commit_ns_total /
+                              r.checkpoint.checkpoints
+                        : 0;
+    }
+
+    state.counters["cycles"] = double(cycles);
+    state.counters["checkpoints"] = double(checkpoints);
+    state.counters["ckpt_bytes"] = double(bytes_last);
+    state.counters["commit_us_avg"] = double(commit_ns) / 1000.0;
+}
+
+/** Compute-bound recording: raw commit cost versus cadence. */
+void
+BM_RecordSessionDma(benchmark::State &state)
+{
+    DmaAppBuilder app;
+    runSession(state, app, /*scale=*/1.0);
+}
+
+/** Idle-heavy fig7 app: the throttle must keep overhead bounded. */
+void
+BM_RecordSessionSssp(benchmark::State &state)
+{
+    HlsAppBuilder app(makeSsspSpec());
+    runSession(state, app, /*scale=*/0.1);
+}
+
+BENCHMARK(BM_RecordSessionDma)
+    ->Args({0, 250})        // baseline: no periodic checkpoints
+    ->Args({100000, 250})   // default settings
+    ->Args({20000, 250})
+    ->Args({100000, 0})     // throttle off: raw cadence cost
+    ->Args({20000, 0})
+    ->Args({5000, 0})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_RecordSessionSssp)
+    ->Args({0, 250})        // baseline
+    ->Args({100000, 250})   // default settings (throttle engaged)
+    ->Args({100000, 0})     // throttle off: why the throttle exists
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

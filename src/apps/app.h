@@ -52,6 +52,9 @@ class Digest
 
     uint64_t value() const { return h_; }
 
+    /** Overwrite the running hash (checkpoint restore). */
+    void restore(uint64_t h) { h_ = h; }
+
   private:
     uint64_t h_ = 0xcbf29ce484222325ull;
 };

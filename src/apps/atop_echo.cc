@@ -1,5 +1,7 @@
 #include "apps/atop_echo.h"
 
+#include "checkpoint/state_io.h"
+
 #include "sim/logging.h"
 
 namespace vidi {
@@ -221,6 +223,32 @@ class AtopHostDriver : public Module
         mismatch_ = false;
     }
 
+    void
+    saveState(StateWriter &w) const override
+    {
+        uint64_t rng_state[4];
+        rng_.getState(rng_state);
+        for (const uint64_t v : rng_state)
+            w.u64(v);
+        w.u8(uint8_t(state_));
+        w.u64(job_);
+        w.u64(wait_left_);
+        w.b(mismatch_);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        uint64_t rng_state[4];
+        for (uint64_t &v : rng_state)
+            v = r.u64();
+        rng_.setState(rng_state);
+        state_ = State(r.u8());
+        job_ = r.u64();
+        wait_left_ = r.u64();
+        mismatch_ = r.b();
+    }
+
   private:
     enum class State { StartJob, WaitDma, WaitPong, Think, AllDone };
 
@@ -284,8 +312,11 @@ AtopEchoBuilder::build(Simulator &sim, const F1Channels &inner,
         "atop.regs", inner.ocl,
         [&kernel](uint32_t addr) { return kernel.readReg(addr); },
         [&kernel](uint32_t addr, uint32_t v) { kernel.writeReg(addr, v); });
-    sim.add<AxiMemory>(sim, "atop.pcis_slave", inner.pcis,
-                       *instance->ddr);
+    AxiMemory &pcis_slave = sim.add<AxiMemory>(
+        sim, "atop.pcis_slave", inner.pcis, *instance->ddr);
+    // The instance DDR is reachable only through this app; the slave
+    // carries its image in checkpoints (the kernel shares the pointer).
+    pcis_slave.setCheckpointOwnsMem(true);
 
     if (outer != nullptr) {
         if (host == nullptr)
@@ -309,6 +340,34 @@ AtopEchoBuilder::build(Simulator &sim, const F1Channels &inner,
             result, doorbell);
     }
     return instance;
+}
+
+void
+AtopEchoKernel::saveState(StateWriter &w) const
+{
+    w.u64(in_addr_);
+    w.u32(in_len_);
+    w.u64(result_addr_);
+    w.u64(doorbell_addr_);
+    w.u32(job_id_);
+    w.u8(uint8_t(state_));
+    w.u64(phase_cycles_left_);
+    w.u64(pongs_);
+    w.u64(digest_.value());
+}
+
+void
+AtopEchoKernel::loadState(StateReader &r)
+{
+    in_addr_ = r.u64();
+    in_len_ = r.u32();
+    result_addr_ = r.u64();
+    doorbell_addr_ = r.u64();
+    job_id_ = r.u32();
+    state_ = State(r.u8());
+    phase_cycles_left_ = r.u64();
+    pongs_ = r.u64();
+    digest_.restore(r.u64());
 }
 
 } // namespace vidi

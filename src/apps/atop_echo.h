@@ -43,6 +43,8 @@ class AtopEchoKernel : public Module
 
     void tick() override;
     void reset() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     enum class State { Idle, Reading, Ponging, Doorbell };

@@ -1,5 +1,7 @@
 #include "apps/atop_filter.h"
 
+#include "checkpoint/state_io.h"
+
 #include "sim/logging.h"
 
 namespace vidi {
@@ -63,6 +65,24 @@ AtopFilter::reset()
     w_bursts_done_ = 0;
     w_fired_ = 0;
     w_allowed_ = false;
+}
+
+void
+AtopFilter::saveState(StateWriter &w) const
+{
+    w.u64(aw_fired_);
+    w.u64(w_bursts_done_);
+    w.u64(w_fired_);
+    w.b(w_allowed_);
+}
+
+void
+AtopFilter::loadState(StateReader &r)
+{
+    aw_fired_ = r.u64();
+    w_bursts_done_ = r.u64();
+    w_fired_ = r.u64();
+    w_allowed_ = r.b();
 }
 
 } // namespace vidi

@@ -43,6 +43,8 @@ class AtopFilter : public Module
     void eval() override;
     void tick() override;
     void reset() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
     uint64_t awForwarded() const { return aw_fired_; }
     uint64_t wForwarded() const { return w_fired_; }

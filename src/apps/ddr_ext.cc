@@ -1,5 +1,7 @@
 #include "apps/ddr_ext.h"
 
+#include "checkpoint/state_io.h"
+
 #include "core/boundary.h"
 #include "sim/logging.h"
 
@@ -209,6 +211,30 @@ class DdrScrubHostDriver : public Module
         wait_left_ = 0;
     }
 
+    void
+    saveState(StateWriter &w) const override
+    {
+        uint64_t rng_state[4];
+        rng_.getState(rng_state);
+        for (const uint64_t v : rng_state)
+            w.u64(v);
+        w.u8(uint8_t(state_));
+        w.u64(job_);
+        w.u64(wait_left_);
+    }
+
+    void
+    loadState(StateReader &r) override
+    {
+        uint64_t rng_state[4];
+        for (uint64_t &v : rng_state)
+            v = r.u64();
+        rng_.setState(rng_state);
+        state_ = State(r.u8());
+        job_ = r.u64();
+        wait_left_ = r.u64();
+    }
+
   private:
     enum class State { StartJob, WaitDoorbell, Think, AllDone };
 
@@ -266,8 +292,12 @@ DdrScrubberBuilder::build(Simulator &sim, const F1Channels &inner,
     // recreate the DDR traffic from the trace.
     if (outer != nullptr) {
         instance->ddr_backing = std::make_unique<DramModel>();
-        sim.add<AxiMemory>(sim, "ddr.controller", ddr_outer_,
-                           *instance->ddr_backing, 12, 6);
+        AxiMemory &controller = sim.add<AxiMemory>(
+            sim, "ddr.controller", ddr_outer_, *instance->ddr_backing, 12,
+            6);
+        // No other checkpointed component reaches the controller's
+        // backing DRAM, so the controller carries it.
+        controller.setCheckpointOwnsMem(true);
 
         if (host == nullptr)
             fatal("DdrScrubberBuilder: outer channels without host "
@@ -284,6 +314,28 @@ DdrScrubberBuilder::build(Simulator &sim, const F1Channels &inner,
             sim, "ddr.host.driver", jobs, mmio, *host, doorbell);
     }
     return instance;
+}
+
+void
+DdrScrubberKernel::saveState(StateWriter &w) const
+{
+    w.u32(job_id_);
+    w.u32(pattern_salt_);
+    w.u64(doorbell_addr_);
+    w.u8(uint8_t(state_));
+    w.u64(passes_);
+    w.u64(digest_.value());
+}
+
+void
+DdrScrubberKernel::loadState(StateReader &r)
+{
+    job_id_ = r.u32();
+    pattern_salt_ = r.u32();
+    doorbell_addr_ = r.u64();
+    state_ = State(r.u8());
+    passes_ = r.u64();
+    digest_.restore(r.u64());
 }
 
 } // namespace vidi

@@ -54,6 +54,8 @@ class DdrScrubberKernel : public Module
 
     void tick() override;
     void reset() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
     static constexpr uint64_t kRegion = 0x10000;
     static constexpr size_t kRegionBytes = 8192;

@@ -1,5 +1,7 @@
 #include "apps/dram_dma.h"
 
+#include "checkpoint/state_io.h"
+
 #include "sim/logging.h"
 
 namespace vidi {
@@ -382,8 +384,11 @@ DmaAppBuilder::build(Simulator &sim, const F1Channels &inner,
         name() + ".regs", inner.ocl,
         [&kernel](uint32_t addr) { return kernel.readReg(addr); },
         [&kernel](uint32_t addr, uint32_t v) { kernel.writeReg(addr, v); });
-    sim.add<AxiMemory>(sim, name() + ".pcis_slave", inner.pcis,
-                       *instance->ddr);
+    AxiMemory &pcis_slave = sim.add<AxiMemory>(
+        sim, name() + ".pcis_slave", inner.pcis, *instance->ddr);
+    // The instance DDR is reachable only through this app; the slave
+    // carries its image in checkpoints (the kernel shares the pointer).
+    pcis_slave.setCheckpointOwnsMem(true);
 
     if (outer != nullptr) {
         if (host == nullptr)
@@ -409,6 +414,74 @@ DmaAppBuilder::build(Simulator &sim, const F1Channels &inner,
             *host, result, doorbell, patched_, poll_interval_);
     }
     return instance;
+}
+
+void
+DmaAppKernel::saveState(StateWriter &w) const
+{
+    w.u64(in_addr_);
+    w.u32(in_len_);
+    w.u64(out_addr_);
+    w.u64(result_addr_);
+    w.u64(doorbell_addr_);
+    w.u32(job_id_);
+    w.u8(uint8_t(state_));
+    w.u64(phase_cycles_left_);
+    w.u64(chunk_);
+    w.u64(chunks_total_);
+    w.blob(input_);
+    w.b(compute_done_);
+    w.u64(jobs_completed_);
+    w.u64(digest_.value());
+}
+
+void
+DmaAppKernel::loadState(StateReader &r)
+{
+    in_addr_ = r.u64();
+    in_len_ = r.u32();
+    out_addr_ = r.u64();
+    result_addr_ = r.u64();
+    doorbell_addr_ = r.u64();
+    job_id_ = r.u32();
+    state_ = State(r.u8());
+    phase_cycles_left_ = r.u64();
+    chunk_ = r.u64();
+    chunks_total_ = r.u64();
+    input_ = r.blob();
+    compute_done_ = r.b();
+    jobs_completed_ = r.u64();
+    digest_.restore(r.u64());
+}
+
+void
+DmaHostDriver::saveState(StateWriter &w) const
+{
+    uint64_t rng_state[4];
+    rng_.getState(rng_state);
+    for (const uint64_t v : rng_state)
+        w.u64(v);
+    w.u8(uint8_t(state_));
+    w.u64(job_);
+    w.blob(expected_);
+    w.u64(wait_left_);
+    w.b(mismatch_);
+    w.u64(digest_.value());
+}
+
+void
+DmaHostDriver::loadState(StateReader &r)
+{
+    uint64_t rng_state[4];
+    for (uint64_t &v : rng_state)
+        v = r.u64();
+    rng_.setState(rng_state);
+    state_ = State(r.u8());
+    job_ = r.u64();
+    expected_ = r.blob();
+    wait_left_ = r.u64();
+    mismatch_ = r.b();
+    digest_.restore(r.u64());
 }
 
 } // namespace vidi

@@ -67,6 +67,8 @@ class DmaAppKernel : public Module
 
     void tick() override;
     void reset() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     enum class State
@@ -124,6 +126,8 @@ class DmaHostDriver : public Module
 
     void tick() override;
     void reset() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
     static constexpr uint64_t kDdrIn = 0x100000;
     static constexpr uint64_t kDdrOut = 0x900000;

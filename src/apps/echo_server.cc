@@ -1,5 +1,7 @@
 #include "apps/echo_server.h"
 
+#include "checkpoint/state_io.h"
+
 #include "sim/logging.h"
 
 namespace vidi {
@@ -340,6 +342,93 @@ EchoAppBuilder::build(Simulator &sim, const F1Channels &inner,
             dma, *host, doorbell);
     }
     return instance;
+}
+
+void
+EchoServer::saveState(StateWriter &w) const
+{
+    aw_.saveState(w);
+    w_.saveState(w);
+    b_.saveState(w);
+    ar_.saveState(w);
+    r_.saveState(w);
+    fifo_.saveState(w);
+    w.b(started_);
+    w.u32(expected_beats_);
+    w.u32(beats_received_);
+    w.u32(acked_beats_);
+    w.u32(frags_written_);
+    w.b(doorbell_sent_);
+    w.u64(doorbell_addr_);
+    w.u32(uint32_t(pending_r_.size()));
+    for (const auto &[due, beat] : pending_r_) {
+        w.u64(due);
+        w.pod(beat);
+    }
+    w.u32(uint32_t(pending_b_.size()));
+    for (const auto &[due, resp] : pending_b_) {
+        w.u64(due);
+        w.pod(resp);
+    }
+    w.u64(now_);
+    w.u64(digest_.value());
+    // No pcis slave module fronts this app's DDR: the server owns it.
+    ddr_.saveState(w);
+}
+
+void
+EchoServer::loadState(StateReader &rd)
+{
+    aw_.loadState(rd);
+    w_.loadState(rd);
+    b_.loadState(rd);
+    ar_.loadState(rd);
+    r_.loadState(rd);
+    fifo_.loadState(rd);
+    started_ = rd.b();
+    expected_beats_ = rd.u32();
+    beats_received_ = rd.u32();
+    acked_beats_ = rd.u32();
+    frags_written_ = rd.u32();
+    doorbell_sent_ = rd.b();
+    doorbell_addr_ = rd.u64();
+    pending_r_.clear();
+    const uint32_t nr = rd.u32();
+    for (uint32_t i = 0; i < nr; ++i) {
+        const uint64_t due = rd.u64();
+        pending_r_.push_back({due, rd.pod<AxiR>()});
+    }
+    pending_b_.clear();
+    const uint32_t nb = rd.u32();
+    for (uint32_t i = 0; i < nb; ++i) {
+        const uint64_t due = rd.u64();
+        pending_b_.push_back({due, rd.pod<AxiB>()});
+    }
+    now_ = rd.u64();
+    digest_.restore(rd.u64());
+    ddr_.loadState(rd);
+}
+
+void
+EchoHostDriver::saveState(StateWriter &w) const
+{
+    w.u8(uint8_t(state_));
+    w.u64(cycle_);
+    w.b(start_issued_);
+    w.u32(frags_echoed_);
+    w.b(inconsistent_);
+    w.u64(digest_.value());
+}
+
+void
+EchoHostDriver::loadState(StateReader &r)
+{
+    state_ = State(r.u8());
+    cycle_ = r.u64();
+    start_issued_ = r.b();
+    frags_echoed_ = r.u32();
+    inconsistent_ = r.b();
+    digest_.restore(r.u64());
 }
 
 } // namespace vidi

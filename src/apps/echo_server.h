@@ -81,6 +81,8 @@ class EchoServer : public Module
     void eval() override;
     void tick() override;
     void reset() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     DramModel &ddr_;
@@ -128,6 +130,8 @@ class EchoHostDriver : public Module
 
     void tick() override;
     void reset() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     enum class State

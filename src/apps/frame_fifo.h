@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "checkpoint/state_io.h"
+
 namespace vidi {
 
 /**
@@ -98,6 +100,25 @@ class FrameFifo
         dropped_ = 0;
         rejected_ = 0;
     }
+
+    /// @name Checkpointing (called from the owning module's hooks)
+    /// @{
+    void
+    saveState(StateWriter &w) const
+    {
+        w.podDeque(items_);
+        w.u64(dropped_);
+        w.u64(rejected_);
+    }
+
+    void
+    loadState(StateReader &r)
+    {
+        r.podDeque(items_);
+        dropped_ = r.u64();
+        rejected_ = r.u64();
+    }
+    /// @}
 
   private:
     size_t capacity_;

@@ -1,5 +1,7 @@
 #include "apps/hls_harness.h"
 
+#include "checkpoint/state_io.h"
+
 #include "sim/logging.h"
 
 namespace vidi {
@@ -257,8 +259,11 @@ HlsAppBuilder::build(Simulator &sim, const F1Channels &inner,
         spec_.name + ".regs", inner.ocl,
         [&kernel](uint32_t addr) { return kernel.readReg(addr); },
         [&kernel](uint32_t addr, uint32_t v) { kernel.writeReg(addr, v); });
-    sim.add<AxiMemory>(sim, spec_.name + ".pcis_slave", inner.pcis,
-                       *instance->ddr);
+    AxiMemory &pcis_slave = sim.add<AxiMemory>(
+        sim, spec_.name + ".pcis_slave", inner.pcis, *instance->ddr);
+    // The instance DDR is reachable only through this app; the slave
+    // carries its image in checkpoints (the kernel shares the pointer).
+    pcis_slave.setCheckpointOwnsMem(true);
 
     // CPU side (recording modes only).
     if (outer != nullptr) {
@@ -278,6 +283,56 @@ HlsAppBuilder::build(Simulator &sim, const F1Channels &inner,
             spec_.workload(scale_), mmio, dma, *host, doorbell);
     }
     return instance;
+}
+
+void
+LiteRegFile::saveState(StateWriter &w) const
+{
+    aw_.saveState(w);
+    w_.saveState(w);
+    b_.saveState(w);
+    ar_.saveState(w);
+    r_.saveState(w);
+}
+
+void
+LiteRegFile::loadState(StateReader &r)
+{
+    aw_.loadState(r);
+    w_.loadState(r);
+    b_.loadState(r);
+    ar_.loadState(r);
+    r_.loadState(r);
+}
+
+void
+HlsHostDriver::saveState(StateWriter &w) const
+{
+    uint64_t rng_state[4];
+    rng_.getState(rng_state);
+    for (const uint64_t v : rng_state)
+        w.u64(v);
+    w.u8(uint8_t(state_));
+    w.u64(job_);
+    w.blob(expected_);
+    w.u64(think_left_);
+    w.b(mismatch_);
+    w.u64(digest_.value());
+}
+
+void
+HlsHostDriver::loadState(StateReader &r)
+{
+    uint64_t rng_state[4];
+    for (uint64_t &v : rng_state)
+        v = r.u64();
+    rng_.setState(rng_state);
+    state_ = State(r.u8());
+    job_ = r.u64();
+    expected_ = r.blob();
+    think_left_ = r.u64();
+    mismatch_ = r.b();
+    digest_.restore(r.u64());
 }
 
 } // namespace vidi

@@ -40,6 +40,8 @@ class LiteRegFile : public Module
     void tick() override;
     void reset() override;
     uint64_t idleUntil(uint64_t now) const override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     ReadFn read_fn_;
@@ -93,6 +95,8 @@ class HlsHostDriver : public Module
     void reset() override;
     uint64_t idleUntil(uint64_t now) const override;
     void onCyclesSkipped(uint64_t from, uint64_t to) override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
     /** On-FPGA DDR layout shared with the kernel. */
     static constexpr uint64_t kDdrIn = 0x100000;

@@ -1,5 +1,7 @@
 #include "apps/stream_kernel.h"
 
+#include "checkpoint/state_io.h"
+
 #include <cmath>
 
 #include "sim/logging.h"
@@ -182,6 +184,38 @@ StreamKernel::reset()
     output_.clear();
     jobs_completed_ = 0;
     digest_ = Digest{};
+}
+
+void
+StreamKernel::saveState(StateWriter &w) const
+{
+    w.u64(in_addr_);
+    w.u32(in_len_);
+    w.u64(out_addr_);
+    w.u32(job_id_);
+    w.u64(doorbell_addr_);
+    w.u8(uint8_t(state_));
+    w.b(done_);
+    w.u64(phase_cycles_left_);
+    w.blob(output_);
+    w.u64(jobs_completed_);
+    w.u64(digest_.value());
+}
+
+void
+StreamKernel::loadState(StateReader &r)
+{
+    in_addr_ = r.u64();
+    in_len_ = r.u32();
+    out_addr_ = r.u64();
+    job_id_ = r.u32();
+    doorbell_addr_ = r.u64();
+    state_ = State(r.u8());
+    done_ = r.b();
+    phase_cycles_left_ = r.u64();
+    output_ = r.blob();
+    jobs_completed_ = r.u64();
+    digest_.restore(r.u64());
 }
 
 } // namespace vidi

@@ -50,6 +50,9 @@ class AxiGroupChecker : public Module
     void tick() override;
     void reset() override;
 
+    /** Debug observer with unserialized history: not checkpointable. */
+    bool checkpointable() const override { return false; }
+
     const std::vector<AxiOrderViolation> &violations() const
     {
         return violations_;
@@ -83,6 +86,9 @@ class LiteGroupChecker : public Module
 
     void tick() override;
     void reset() override;
+
+    /** Debug observer with unserialized history: not checkpointable. */
+    bool checkpointable() const override { return false; }
 
     const std::vector<AxiOrderViolation> &violations() const
     {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "checkpoint/state_io.h"
 #include "sim/module.h"
 
 namespace vidi {
@@ -90,6 +91,37 @@ void
 ChannelBase::postTick()
 {
     fired_ = false;
+}
+
+void
+ChannelBase::saveState(StateWriter &w) const
+{
+    uint8_t buf[kMaxPayloadBytes];
+    copyData(buf);
+    w.bytes(buf, data_bytes_);
+    w.b(valid_);
+    w.b(ready_);
+    w.b(fired_);
+    w.b(dirty_);
+    w.u64(fired_count_);
+    checker_.saveState(w);
+}
+
+void
+ChannelBase::loadState(StateReader &r)
+{
+    // Payload first: setDataRaw() routes through setData(), which marks
+    // the channel dirty on change — the saved flags overwrite that below
+    // so the restored signal plane is bit-exact.
+    uint8_t buf[kMaxPayloadBytes];
+    r.bytes(buf, data_bytes_);
+    setDataRaw(buf);
+    valid_ = r.b();
+    ready_ = r.b();
+    fired_ = r.b();
+    dirty_ = r.b();
+    fired_count_ = r.u64();
+    checker_.loadState(r);
 }
 
 void

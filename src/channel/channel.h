@@ -30,6 +30,8 @@
 namespace vidi {
 
 class Module;
+class StateReader;
+class StateWriter;
 
 /** Largest payload any channel may carry, in serialized bytes. */
 inline constexpr size_t kMaxPayloadBytes = 256;
@@ -117,6 +119,14 @@ class ChannelBase
      * scanning all channels.
      */
     void setSettleFlag(bool *flag) { settle_flag_ = flag; }
+    /// @}
+
+    /// @name Checkpointing (called by Simulator::saveState/loadState)
+    /// @{
+    /** Serialize payload, handshake plane and checker state. */
+    void saveState(StateWriter &w) const;
+    /** Restore state written by saveState(). */
+    void loadState(StateReader &r);
     /// @}
 
     /**

@@ -20,6 +20,7 @@
 #include <limits>
 
 #include "channel/channel.h"
+#include "checkpoint/state_io.h"
 
 namespace vidi {
 
@@ -79,6 +80,23 @@ class TxDriver
         queue_.clear();
         enabled_ = true;
     }
+
+    /// @name Checkpointing (called from the owning module's hooks)
+    /// @{
+    void
+    saveState(StateWriter &w) const
+    {
+        w.b(enabled_);
+        w.podDeque(queue_);
+    }
+
+    void
+    loadState(StateReader &r)
+    {
+        enabled_ = r.b();
+        r.podDeque(queue_);
+    }
+    /// @}
 
   private:
     Channel<T> &ch_;
@@ -158,6 +176,23 @@ class RxSink
         buffered_.clear();
         enabled_ = true;
     }
+
+    /// @name Checkpointing (called from the owning module's hooks)
+    /// @{
+    void
+    saveState(StateWriter &w) const
+    {
+        w.b(enabled_);
+        w.podDeque(buffered_);
+    }
+
+    void
+    loadState(StateReader &r)
+    {
+        enabled_ = r.b();
+        r.podDeque(buffered_);
+    }
+    /// @}
 
   private:
     Channel<T> &ch_;

@@ -1,5 +1,6 @@
 #include "channel/protocol_checker.h"
 
+#include "checkpoint/state_io.h"
 #include "sim/logging.h"
 
 namespace vidi {
@@ -36,6 +37,40 @@ ProtocolChecker::resetState()
     prev_valid_ = false;
     prev_fired_ = false;
     prev_hash_ = 0;
+}
+
+void
+ProtocolChecker::saveState(StateWriter &w) const
+{
+    w.b(prev_valid_);
+    w.b(prev_fired_);
+    w.u64(prev_hash_);
+    w.u32(uint32_t(violations_.size()));
+    for (const ProtocolViolation &v : violations_) {
+        w.u8(uint8_t(v.kind));
+        w.u64(v.cycle);
+        w.str(v.channel);
+        w.str(v.message);
+    }
+}
+
+void
+ProtocolChecker::loadState(StateReader &r)
+{
+    prev_valid_ = r.b();
+    prev_fired_ = r.b();
+    prev_hash_ = r.u64();
+    const uint32_t n = r.u32();
+    violations_.clear();
+    violations_.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        ProtocolViolation v;
+        v.kind = ProtocolViolation::Kind(r.u8());
+        v.cycle = r.u64();
+        v.channel = r.str();
+        v.message = r.str();
+        violations_.push_back(std::move(v));
+    }
 }
 
 void

@@ -19,6 +19,9 @@
 
 namespace vidi {
 
+class StateReader;
+class StateWriter;
+
 /** A single detected handshake-protocol violation. */
 struct ProtocolViolation
 {
@@ -73,6 +76,14 @@ class ProtocolChecker
         return violations_;
     }
     void clearViolations() { violations_.clear(); }
+
+    /// @name Checkpointing
+    /// @{
+    /** Serialize inter-cycle state and collected violations. */
+    void saveState(StateWriter &w) const;
+    /** Restore state written by saveState(). */
+    void loadState(StateReader &r);
+    /// @}
 
   private:
     void report(ProtocolViolation::Kind kind, const std::string &channel,

@@ -1,0 +1,203 @@
+#include "checkpoint/atomic_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+namespace {
+
+/** RAII fd. */
+class Fd
+{
+  public:
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return fd_; }
+    bool ok() const { return fd_ >= 0; }
+
+    int
+    release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+  private:
+    int fd_;
+};
+
+void
+writeAll(int fd, const uint8_t *data, size_t len, const std::string &path)
+{
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::write(fd, data + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("write to %s failed: %s", path.c_str(),
+                  std::strerror(errno));
+        }
+        off += size_t(n);
+    }
+}
+
+std::string
+parentDir(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+/** Write the tmp file and fsync it; returns the tmp path. */
+std::string
+writeTmp(const std::string &path, const void *data, size_t len)
+{
+    const std::string tmp = path + ".tmp";
+    Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
+    if (!fd.ok())
+        fatal("cannot open %s for writing: %s", tmp.c_str(),
+              std::strerror(errno));
+    writeAll(fd.get(), static_cast<const uint8_t *>(data), len, tmp);
+    if (::fsync(fd.get()) != 0)
+        fatal("fsync of %s failed: %s", tmp.c_str(),
+              std::strerror(errno));
+    return tmp;
+}
+
+} // namespace
+
+void
+fsyncParentDir(const std::string &path)
+{
+    const std::string dir = parentDir(path);
+    Fd fd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY));
+    if (!fd.ok())
+        fatal("cannot open directory %s for fsync: %s", dir.c_str(),
+              std::strerror(errno));
+    // Some filesystems refuse fsync on directories; EINVAL there is not
+    // a durability bug we can fix, so only real I/O errors are fatal.
+    if (::fsync(fd.get()) != 0 && errno != EINVAL)
+        fatal("fsync of directory %s failed: %s", dir.c_str(),
+              std::strerror(errno));
+}
+
+void
+writeFileAtomic(const std::string &path, const void *data, size_t len)
+{
+    const std::string tmp = writeTmp(path, data, len);
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("rename %s -> %s failed: %s", tmp.c_str(), path.c_str(),
+              std::strerror(errno));
+    fsyncParentDir(path);
+}
+
+void
+writeFileTorn(const std::string &path, const void *data, size_t len,
+              uint64_t permille)
+{
+    if (permille > 1000)
+        permille = 1000;
+    const size_t torn_len = size_t(uint64_t(len) * permille / 1000);
+    const std::string tmp = path + ".tmp";
+    Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
+    if (!fd.ok())
+        fatal("cannot open %s for writing: %s", tmp.c_str(),
+              std::strerror(errno));
+    writeAll(fd.get(), static_cast<const uint8_t *>(data), torn_len, tmp);
+    // No fsync, no rename: the crash happened mid-write.
+}
+
+void
+appendFileDurable(const std::string &path, const void *data, size_t len)
+{
+    Fd fd(::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644));
+    if (!fd.ok())
+        fatal("cannot open %s for appending: %s", path.c_str(),
+              std::strerror(errno));
+    writeAll(fd.get(), static_cast<const uint8_t *>(data), len, path);
+    if (::fsync(fd.get()) != 0)
+        fatal("fsync of %s failed: %s", path.c_str(),
+              std::strerror(errno));
+}
+
+std::vector<uint8_t>
+readFileBytes(const std::string &path)
+{
+    Fd fd(::open(path.c_str(), O_RDONLY));
+    if (!fd.ok())
+        fatal("cannot open %s for reading: %s", path.c_str(),
+              std::strerror(errno));
+    std::vector<uint8_t> out;
+    uint8_t buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("read from %s failed: %s", path.c_str(),
+                  std::strerror(errno));
+        }
+        if (n == 0)
+            break;
+        out.insert(out.end(), buf, buf + n);
+    }
+    return out;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+void
+makeDirs(const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::string partial;
+    size_t pos = 0;
+    while (pos != std::string::npos) {
+        const size_t slash = path.find('/', pos + 1);
+        partial = slash == std::string::npos ? path
+                                             : path.substr(0, slash);
+        pos = slash;
+        if (partial.empty() || partial == "/" || partial == ".")
+            continue;
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
+            fatal("cannot create directory %s: %s", partial.c_str(),
+                  std::strerror(errno));
+    }
+}
+
+void
+removeFileIfExists(const std::string &path)
+{
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT)
+        fatal("cannot remove %s: %s", path.c_str(),
+              std::strerror(errno));
+}
+
+} // namespace vidi

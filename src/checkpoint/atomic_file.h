@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Crash-safe file primitives.
+ *
+ * Every durable artifact (checkpoints, the session journal, saved
+ * traces, lint reports) is written with the classic commit protocol:
+ * write the full image to `<path>.tmp`, fsync the file, rename() it over
+ * the destination, fsync the parent directory. A crash at any point
+ * leaves either the old file, the new file, or a stray `.tmp` — never a
+ * torn destination.
+ *
+ * All failures raise SimFatal carrying errno/strerror so the operator
+ * learns *why* the write failed (ENOSPC, EROFS, ...), not just that it
+ * did.
+ */
+
+#ifndef VIDI_CHECKPOINT_ATOMIC_FILE_H
+#define VIDI_CHECKPOINT_ATOMIC_FILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vidi {
+
+/** Write @p len bytes to @p path atomically (tmp + fsync + rename). */
+void writeFileAtomic(const std::string &path, const void *data,
+                     size_t len);
+
+inline void
+writeFileAtomic(const std::string &path, const std::vector<uint8_t> &data)
+{
+    writeFileAtomic(path, data.data(), data.size());
+}
+
+/**
+ * Simulated crash during an atomic write: writes only the first
+ * @p permille thousandths of the image to `<path>.tmp` and returns
+ * without ever renaming — exactly the on-disk residue of a process
+ * killed mid-checkpoint. The destination file is untouched.
+ */
+void writeFileTorn(const std::string &path, const void *data, size_t len,
+                   uint64_t permille);
+
+/** Append @p len bytes to @p path and fsync (journal commit record). */
+void appendFileDurable(const std::string &path, const void *data,
+                       size_t len);
+
+/** Read the whole file; raises SimFatal with errno detail on failure. */
+std::vector<uint8_t> readFileBytes(const std::string &path);
+
+/** Whether a plain file exists at @p path. */
+bool fileExists(const std::string &path);
+
+/** Create @p path as a directory (parents included); ok if it exists. */
+void makeDirs(const std::string &path);
+
+/** Delete @p path if present; errors other than ENOENT are fatal. */
+void removeFileIfExists(const std::string &path);
+
+/** fsync the directory containing @p path (rename durability). */
+void fsyncParentDir(const std::string &path);
+
+} // namespace vidi
+
+#endif // VIDI_CHECKPOINT_ATOMIC_FILE_H

@@ -1,0 +1,106 @@
+#include "checkpoint/checkpoint.h"
+
+#include <cstring>
+
+#include "sim/logging.h"
+#include "trace/storage_line.h"
+
+namespace vidi {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'I', 'D', 'I', 'C', 'K', 'P', '1'};
+constexpr uint32_t kVersion = 1;
+/** Header-field bytes covered by the header CRC: [8, 41). */
+constexpr size_t kHeaderFieldsLen = 4 + 1 + 8 + 8 + 8 + 4;
+constexpr size_t kHeaderLen = sizeof(kMagic) + kHeaderFieldsLen + 4;
+
+void
+put(std::vector<uint8_t> &out, const void *src, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(src);
+    out.insert(out.end(), p, p + len);
+}
+
+template <typename T>
+void
+putPod(std::vector<uint8_t> &out, const T &v)
+{
+    put(out, &v, sizeof(T));
+}
+
+template <typename T>
+T
+getPod(const uint8_t *p)
+{
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    return v;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeCheckpoint(const CheckpointImage &image)
+{
+    std::vector<uint8_t> out;
+    out.reserve(kHeaderLen + image.body.size());
+    put(out, kMagic, sizeof(kMagic));
+    putPod<uint32_t>(out, kVersion);
+    putPod<uint8_t>(out, image.mode);
+    putPod<uint64_t>(out, image.seed);
+    putPod<uint64_t>(out, image.cycle);
+    putPod<uint64_t>(out, uint64_t(image.body.size()));
+    putPod<uint32_t>(out, crc32(image.body.data(), image.body.size()));
+    putPod<uint32_t>(out,
+                     crc32(out.data() + sizeof(kMagic), kHeaderFieldsLen));
+    put(out, image.body.data(), image.body.size());
+    return out;
+}
+
+bool
+probeCheckpoint(const uint8_t *data, size_t len, CheckpointInfo *info)
+{
+    if (len < kHeaderLen ||
+        std::memcmp(data, kMagic, sizeof(kMagic)) != 0)
+        return false;
+    const uint8_t *fields = data + sizeof(kMagic);
+    const uint32_t header_crc =
+        getPod<uint32_t>(fields + kHeaderFieldsLen);
+    if (crc32(fields, kHeaderFieldsLen) != header_crc)
+        return false;
+    if (getPod<uint32_t>(fields) != kVersion)
+        return false;
+    const uint64_t body_len = getPod<uint64_t>(fields + 4 + 1 + 8 + 8);
+    if (len - kHeaderLen != body_len)
+        return false;
+    const uint32_t body_crc =
+        getPod<uint32_t>(fields + 4 + 1 + 8 + 8 + 8);
+    if (crc32(data + kHeaderLen, size_t(body_len)) != body_crc)
+        return false;
+    if (info != nullptr) {
+        info->mode = getPod<uint8_t>(fields + 4);
+        info->seed = getPod<uint64_t>(fields + 4 + 1);
+        info->cycle = getPod<uint64_t>(fields + 4 + 1 + 8);
+        info->body_len = body_len;
+    }
+    return true;
+}
+
+CheckpointImage
+decodeCheckpoint(const uint8_t *data, size_t len,
+                 const std::string &context)
+{
+    CheckpointInfo info;
+    if (!probeCheckpoint(data, len, &info))
+        fatal("%s: not a valid checkpoint (torn write or corruption — "
+              "magic/CRC/length validation failed)", context.c_str());
+    CheckpointImage image;
+    image.mode = info.mode;
+    image.seed = info.seed;
+    image.cycle = info.cycle;
+    image.body.assign(data + kHeaderLen, data + len);
+    return image;
+}
+
+} // namespace vidi

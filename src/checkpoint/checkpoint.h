@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Checkpoint file images (format VIDICKP1).
+ *
+ * A checkpoint is one self-validating file: a fixed header carrying the
+ * session mode, seed, snapshot cycle and two CRC32s (one over the header
+ * fields, one over the body), followed by the body — the StateWriter
+ * image of the complete session state (shim, host DRAM, simulator), each
+ * part bracketed in a named section.
+ *
+ * Layout:
+ *
+ *   offset 0   u8[8] magic "VIDICKP1"
+ *   offset 8   u32   format version (1)
+ *   offset 12  u8    VidiMode at capture
+ *   offset 13  u64   recording seed
+ *   offset 21  u64   snapshot cycle
+ *   offset 29  u64   body length
+ *   offset 37  u32   crc32 over the body
+ *   offset 41  u32   crc32 over bytes [8, 41) (the header fields)
+ *   offset 45  ...   body
+ *
+ * probeCheckpoint() never throws: recovery walks candidate files with it
+ * and simply skips anything torn or corrupted. decodeCheckpoint() is the
+ * strict variant for a file that recovery already vouched for.
+ */
+
+#ifndef VIDI_CHECKPOINT_CHECKPOINT_H
+#define VIDI_CHECKPOINT_CHECKPOINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vidi {
+
+/** One checkpoint in memory. */
+struct CheckpointImage
+{
+    uint8_t mode = 0;    ///< VidiMode at capture (R2 or R3)
+    uint64_t seed = 0;   ///< recording seed (0 for replay sessions)
+    uint64_t cycle = 0;  ///< simulation cycle of the snapshot
+    /** StateWriter image: sections "shim", "host", "sim" in order. */
+    std::vector<uint8_t> body;
+};
+
+/** Parsed checkpoint header (body not retained). */
+struct CheckpointInfo
+{
+    uint8_t mode = 0;
+    uint64_t seed = 0;
+    uint64_t cycle = 0;
+    uint64_t body_len = 0;
+};
+
+/** Serialize @p image into the VIDICKP1 file format. */
+std::vector<uint8_t> encodeCheckpoint(const CheckpointImage &image);
+
+/**
+ * Validate a candidate checkpoint file image: magic, version, header
+ * CRC, body length and body CRC.
+ *
+ * @param info when non-null and the image is valid, receives the header
+ * @return true iff the image is a complete, uncorrupted checkpoint
+ */
+bool probeCheckpoint(const uint8_t *data, size_t len,
+                     CheckpointInfo *info = nullptr);
+
+/**
+ * Decode a checkpoint image; any validation failure is fatal, naming
+ * @p context (typically the file path).
+ */
+CheckpointImage decodeCheckpoint(const uint8_t *data, size_t len,
+                                 const std::string &context);
+
+} // namespace vidi
+
+#endif // VIDI_CHECKPOINT_CHECKPOINT_H

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Checkpoint cadence/size/latency counters, reported alongside the
+ * record/replay results so overhead is visible in the same place as the
+ * paper's Table 1 measurements.
+ */
+
+#ifndef VIDI_CHECKPOINT_CHECKPOINT_STATS_H
+#define VIDI_CHECKPOINT_CHECKPOINT_STATS_H
+
+#include <cstdint>
+
+namespace vidi {
+
+/** Accounting for one checkpointed session run. */
+struct CheckpointStats
+{
+    uint64_t checkpoints = 0;     ///< commits this run
+    uint64_t bytes_last = 0;      ///< encoded size of the last commit
+    uint64_t bytes_total = 0;     ///< encoded bytes across all commits
+    uint64_t commit_ns_total = 0; ///< wall time spent committing
+    uint64_t commit_ns_max = 0;   ///< slowest single commit
+    bool resumed = false;         ///< run continued from a checkpoint
+    uint64_t resumed_at_cycle = 0; ///< snapshot cycle resumed from
+};
+
+} // namespace vidi
+
+#endif // VIDI_CHECKPOINT_CHECKPOINT_STATS_H

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Crash-consistent session directories.
+ *
+ * A session directory holds everything needed to resume an interrupted
+ * record or replay run:
+ *
+ *   <dir>/manifest.vssn   what is being run (app, mode, seed, scale,
+ *                         checkpoint cadence, trace path, full
+ *                         VidiConfig); written once, atomically
+ *   <dir>/journal.vjnl    append-only commit log: one CRC-guarded
+ *                         record per committed checkpoint
+ *   <dir>/ckpt-<cycle>.vckp  the checkpoints themselves (VIDICKP1)
+ *
+ * Commit protocol for one checkpoint:
+ *
+ *   1. write the image to ckpt-<cycle>.vckp.tmp, fsync
+ *   2. rename over ckpt-<cycle>.vckp, fsync the directory
+ *   3. append the journal record, fsync the journal
+ *
+ * A crash before (3) leaves a checkpoint file no journal record names —
+ * recovery ignores it. A crash inside (1) leaves only a stray .tmp.
+ * A torn journal tail fails its record CRC and is treated as absent.
+ * Recovery therefore walks the journal newest-to-oldest and returns the
+ * first entry whose file still validates end-to-end (probeCheckpoint),
+ * so damage to the newest checkpoint silently falls back to the one
+ * before it. Only the last two checkpoints are retained.
+ */
+
+#ifndef VIDI_CHECKPOINT_SESSION_H
+#define VIDI_CHECKPOINT_SESSION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checkpoint/checkpoint.h"
+#include "core/vidi_config.h"
+
+namespace vidi {
+
+class FaultInjector;
+class StateReader;
+class StateWriter;
+
+/** What a session runs; persisted in <dir>/manifest.vssn. */
+struct SessionManifest
+{
+    std::string app;       ///< registry name (e.g. "DMA", "SHA")
+    uint8_t mode = 0;      ///< VidiMode: R2_Record or R3_Replay
+    uint64_t seed = 1;     ///< recording seed
+    double scale = 0.1;    ///< workload scale passed to the builder
+    uint64_t checkpoint_every = 0;  ///< cycles between checkpoints
+    /** Record: trace output path. Replay: trace input path. */
+    std::string trace_path;
+    VidiConfig cfg;        ///< full shim configuration
+};
+
+/** Serialize every VidiConfig field (the manifest versioning boundary). */
+void saveVidiConfig(StateWriter &w, const VidiConfig &cfg);
+VidiConfig loadVidiConfig(StateReader &r);
+
+/** One committed checkpoint, as named by the journal. */
+struct JournalEntry
+{
+    uint64_t cycle = 0;
+    std::string file;  ///< file name relative to the session directory
+};
+
+/**
+ * Handle on a session directory.
+ */
+class Session
+{
+  public:
+    /**
+     * Initialize @p dir as a fresh session: create the directory,
+     * write the manifest atomically and truncate any prior journal
+     * (leftover checkpoint files from an earlier session are ignored
+     * because the new journal no longer names them).
+     */
+    static Session create(const std::string &dir,
+                          const SessionManifest &manifest);
+
+    /** Open an existing session: load the manifest, scan the journal. */
+    static Session open(const std::string &dir);
+
+    const std::string &dir() const { return dir_; }
+    const SessionManifest &manifest() const { return manifest_; }
+
+    /** Committed checkpoints, oldest first (torn journal tail dropped). */
+    const std::vector<JournalEntry> &journal() const { return journal_; }
+
+    /** Absolute path of a journaled or candidate checkpoint file. */
+    std::string filePath(const std::string &file) const;
+
+    /**
+     * Durably commit @p image as the checkpoint for @p cycle, then
+     * prune checkpoints beyond the retention window (last two).
+     *
+     * When @p fault carries a pending CrashDuringCheckpointWrite, the
+     * commit instead writes a torn temp file and throws SimulatedCrash —
+     * the exact on-disk residue of a process killed mid-checkpoint.
+     *
+     * @return encoded checkpoint size in bytes
+     */
+    uint64_t commitCheckpoint(uint64_t cycle, const CheckpointImage &image,
+                              FaultInjector *fault = nullptr);
+
+    /**
+     * Newest committed checkpoint that still validates end-to-end.
+     *
+     * @param image receives the decoded checkpoint on success
+     * @param path when non-null, receives the winning file's path
+     * @param diagnosis when non-null, receives one line per skipped
+     *        (damaged or missing) newer checkpoint file
+     * @return false when no usable checkpoint exists (resume restarts
+     *         from cycle 0)
+     */
+    bool latestCheckpoint(CheckpointImage *image,
+                          std::string *path = nullptr,
+                          std::string *diagnosis = nullptr) const;
+
+  private:
+    Session(std::string dir, SessionManifest manifest,
+            std::vector<JournalEntry> journal);
+
+    std::string manifestPath() const;
+    std::string journalPath() const;
+    void appendJournal(const JournalEntry &entry);
+    void pruneRetired();
+
+    std::string dir_;
+    SessionManifest manifest_;
+    std::vector<JournalEntry> journal_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_CHECKPOINT_SESSION_H

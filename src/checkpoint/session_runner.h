@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Checkpointed record/replay harnesses.
+ *
+ * These mirror recordRun()/replayRun() exactly — same construction
+ * order, same main/drain loops — and add a crash-consistent session
+ * directory (session.h): the full session state is committed every
+ * `checkpoint_every` cycles, and an interrupted run resumes from the
+ * newest committed checkpoint.
+ *
+ * Resume invariants:
+ *
+ *  - The session is reconstructed from the manifest exactly as the
+ *    original run was built (same seed, same module/channel topology,
+ *    same RNG fork order), then the checkpoint body overwrites every
+ *    piece of dynamic state: shim flags, the whole of host DRAM
+ *    (which carries the framed trace prefix already drained), and the
+ *    simulator's kernel, channel and module state.
+ *  - A resumed recording therefore appends to the trace exactly where
+ *    the committed line offset left it; a resumed replay continues from
+ *    the checkpointed decoder/fetch position.
+ *  - Crash-then-resume produces a bit-identical trace (record) or
+ *    validation outcome (replay) versus the uninterrupted run.
+ *  - Crash-fault fields are cleared from the resumed configuration so
+ *    the run does not re-kill itself at the same point.
+ *  - With no committed checkpoint (crash before the first commit, or
+ *    during the first commit's write), resume restarts from cycle 0.
+ *
+ * Simulated crashes surface as SimulatedCrash exceptions (ASan-clean,
+ * catchable by the crash-matrix tests), leaving exactly the on-disk
+ * state a `kill -9` would: a possibly-torn temp file, never a torn
+ * committed checkpoint or journal record that recovery would trust.
+ */
+
+#ifndef VIDI_CHECKPOINT_SESSION_RUNNER_H
+#define VIDI_CHECKPOINT_SESSION_RUNNER_H
+
+#include <cstdint>
+#include <string>
+
+#include "checkpoint/session.h"
+#include "core/recorder.h"
+#include "core/replayer.h"
+
+namespace vidi {
+
+/**
+ * Record @p app into a fresh session at @p dir, checkpointing every
+ * @p checkpoint_every cycles (0 = only the session scaffolding, no
+ * periodic checkpoints). On completion the trace is saved atomically to
+ * @p trace_out (skipped when empty).
+ */
+RecordResult recordSession(AppBuilder &app, const std::string &dir,
+                           double scale, uint64_t seed,
+                           uint64_t checkpoint_every,
+                           const std::string &trace_out,
+                           const VidiConfig &cfg = {});
+
+/**
+ * Resume the recording session at @p dir from its newest committed
+ * checkpoint (or from cycle 0 when none committed). @p app must be the
+ * registry builder named by the manifest; its scale is set from the
+ * manifest.
+ */
+RecordResult resumeRecordSession(AppBuilder &app, const std::string &dir);
+
+/**
+ * Replay the trace at @p trace_path against @p app under a fresh
+ * session at @p dir, checkpointing every @p checkpoint_every cycles.
+ */
+ReplayResult replaySession(AppBuilder &app, const std::string &dir,
+                           double scale, const std::string &trace_path,
+                           uint64_t checkpoint_every,
+                           const VidiConfig &cfg = {});
+
+/** Resume the replay session at @p dir (trace reloaded per manifest). */
+ReplayResult resumeReplaySession(AppBuilder &app, const std::string &dir);
+
+} // namespace vidi
+
+#endif // VIDI_CHECKPOINT_SESSION_RUNNER_H

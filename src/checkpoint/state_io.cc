@@ -1,0 +1,109 @@
+#include "checkpoint/state_io.h"
+
+#include "sim/logging.h"
+
+namespace vidi {
+
+size_t
+StateWriter::beginSection(const std::string &name)
+{
+    str(name);
+    const size_t mark = out_.size();
+    u64(0);  // length placeholder, patched by endSection()
+    return mark;
+}
+
+void
+StateWriter::endSection(size_t mark)
+{
+    if (mark + 8 > out_.size())
+        panic("StateWriter::endSection: invalid mark");
+    const uint64_t body_len = out_.size() - (mark + 8);
+    std::memcpy(out_.data() + mark, &body_len, sizeof(body_len));
+}
+
+StateReader::StateReader(const uint8_t *data, size_t len,
+                         std::string context)
+    : p_(data), len_(len), ctx_(std::move(context))
+{
+}
+
+void
+StateReader::need(size_t n, const char *what) const
+{
+    if (len_ - off_ < n)
+        fatal("checkpoint state [%s]: truncated reading %s "
+              "(need %zu bytes, have %zu)",
+              ctx_.c_str(), what, n, len_ - off_);
+}
+
+void
+StateReader::checkCount(uint64_t count, size_t elem_size) const
+{
+    if (elem_size != 0 && count > (len_ - off_) / elem_size)
+        fatal("checkpoint state [%s]: implausible element count %llu "
+              "(only %zu bytes remain)",
+              ctx_.c_str(), static_cast<unsigned long long>(count),
+              len_ - off_);
+}
+
+uint8_t
+StateReader::u8()
+{
+    need(1, "u8");
+    return p_[off_++];
+}
+
+void
+StateReader::bytes(void *dst, size_t len)
+{
+    need(len, "raw bytes");
+    std::memcpy(dst, p_ + off_, len);
+    off_ += len;
+}
+
+std::string
+StateReader::str()
+{
+    const uint32_t n = u32();
+    need(n, "string body");
+    std::string s(reinterpret_cast<const char *>(p_ + off_), n);
+    off_ += n;
+    return s;
+}
+
+std::vector<uint8_t>
+StateReader::blob()
+{
+    const uint64_t n = u64();
+    need(n, "blob body");
+    std::vector<uint8_t> v(p_ + off_, p_ + off_ + n);
+    off_ += n;
+    return v;
+}
+
+StateReader
+StateReader::enterSection(const std::string &expect)
+{
+    const std::string name = str();
+    if (name != expect)
+        fatal("checkpoint state [%s]: expected section '%s' but found "
+              "'%s' — checkpoint layout does not match this build",
+              ctx_.c_str(), expect.c_str(), name.c_str());
+    const uint64_t body_len = u64();
+    need(body_len, "section body");
+    StateReader sub(p_ + off_, size_t(body_len), ctx_ + "/" + expect);
+    off_ += body_len;
+    return sub;
+}
+
+void
+StateReader::expectEnd() const
+{
+    if (!atEnd())
+        fatal("checkpoint state [%s]: %zu unconsumed bytes — component "
+              "read less state than was saved",
+              ctx_.c_str(), remaining());
+}
+
+} // namespace vidi

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Binary state serialization for checkpoints.
+ *
+ * A StateWriter accumulates a flat byte image of the session state; a
+ * StateReader replays it with hard bounds checking. The format is a
+ * stream of primitive values with two structuring devices:
+ *
+ *  - strings and blobs are length-prefixed;
+ *  - named, length-prefixed *sections* bracket each component's state,
+ *    so that a mismatched save/load pair is detected at the component
+ *    boundary (wrong name, or bytes left over) instead of silently
+ *    shearing every later field.
+ *
+ * Any structural problem raises SimFatal naming the enclosing section:
+ * a checkpoint that cannot be interpreted must never be half-applied.
+ */
+
+#ifndef VIDI_CHECKPOINT_STATE_IO_H
+#define VIDI_CHECKPOINT_STATE_IO_H
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace vidi {
+
+/**
+ * Append-only serializer for checkpoint state.
+ */
+class StateWriter
+{
+  public:
+    void u8(uint8_t v) { out_.push_back(v); }
+    void b(bool v) { u8(v ? 1 : 0); }
+    void u16(uint16_t v) { pod(v); }
+    void u32(uint32_t v) { pod(v); }
+    void u64(uint64_t v) { pod(v); }
+
+    void
+    bytes(const void *src, size_t len)
+    {
+        const auto *p = static_cast<const uint8_t *>(src);
+        out_.insert(out_.end(), p, p + len);
+    }
+
+    template <typename T>
+    void
+    pod(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "StateWriter::pod requires a trivially copyable type");
+        bytes(&v, sizeof(T));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(uint32_t(s.size()));
+        bytes(s.data(), s.size());
+    }
+
+    void
+    blob(const std::vector<uint8_t> &v)
+    {
+        u64(v.size());
+        bytes(v.data(), v.size());
+    }
+
+    template <typename T>
+    void
+    podVec(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        u64(v.size());
+        bytes(v.data(), v.size() * sizeof(T));
+    }
+
+    template <typename T>
+    void
+    podDeque(const std::deque<T> &d)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        u64(d.size());
+        for (const T &v : d)
+            pod(v);
+    }
+
+    /**
+     * Open a named section; returns a mark to pass to endSection().
+     * Sections may nest.
+     */
+    size_t beginSection(const std::string &name);
+
+    /** Close the section opened at @p mark (patches its length). */
+    void endSection(size_t mark);
+
+    const std::vector<uint8_t> &data() const { return out_; }
+    size_t size() const { return out_.size(); }
+
+  private:
+    std::vector<uint8_t> out_;
+};
+
+/**
+ * Bounds-checked deserializer over a byte image.
+ *
+ * Every structural violation (underflow, bad section name, trailing
+ * bytes) raises SimFatal carrying the reader's context path.
+ */
+class StateReader
+{
+  public:
+    StateReader(const uint8_t *data, size_t len, std::string context);
+
+    uint8_t u8();
+    bool b() { return u8() != 0; }
+    uint16_t u16() { return pod<uint16_t>(); }
+    uint32_t u32() { return pod<uint32_t>(); }
+    uint64_t u64() { return pod<uint64_t>(); }
+
+    void bytes(void *dst, size_t len);
+
+    template <typename T>
+    T
+    pod()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        bytes(&v, sizeof(T));
+        return v;
+    }
+
+    std::string str();
+    std::vector<uint8_t> blob();
+
+    template <typename T>
+    void
+    podVec(std::vector<T> &out)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const uint64_t n = u64();
+        checkCount(n, sizeof(T));
+        out.resize(size_t(n));
+        bytes(out.data(), out.size() * sizeof(T));
+    }
+
+    template <typename T>
+    void
+    podDeque(std::deque<T> &out)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const uint64_t n = u64();
+        checkCount(n, sizeof(T));
+        out.clear();
+        for (uint64_t i = 0; i < n; ++i)
+            out.push_back(pod<T>());
+    }
+
+    /**
+     * Enter a section that must be named @p expect; returns a sub-reader
+     * scoped to exactly the section body and advances past it.
+     */
+    StateReader enterSection(const std::string &expect);
+
+    size_t remaining() const { return len_ - off_; }
+    bool atEnd() const { return off_ == len_; }
+
+    /** Raise SimFatal if unconsumed bytes remain. */
+    void expectEnd() const;
+
+    const std::string &context() const { return ctx_; }
+
+  private:
+    void need(size_t n, const char *what) const;
+    void checkCount(uint64_t count, size_t elem_size) const;
+
+    const uint8_t *p_;
+    size_t len_;
+    size_t off_ = 0;
+    std::string ctx_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_CHECKPOINT_STATE_IO_H

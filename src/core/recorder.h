@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "checkpoint/checkpoint_stats.h"
 #include "core/app_interface.h"
 #include "core/vidi_config.h"
 #include "sim/simulator.h"
@@ -63,6 +64,9 @@ struct RecordResult
     uint64_t encoder_pool_hits = 0;    ///< CyclePacket pool reuses (R2)
     uint64_t encoder_pool_misses = 0;  ///< CyclePacket pool allocations
     /// @}
+
+    /** Checkpoint accounting (session runs only; zero otherwise). */
+    CheckpointStats checkpoint;
 
     /** Input-signal bits per cycle a cycle-accurate recorder would log. */
     uint64_t input_signal_bits = 0;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "checkpoint/checkpoint_stats.h"
 #include "core/app_interface.h"
 #include "core/vidi_config.h"
 #include "sim/simulator.h"
@@ -45,6 +46,9 @@ struct ReplayResult
     /** Damage observed while fetching the trace from host DRAM. */
     TraceDamageReport damage;
     /// @}
+
+    /** Checkpoint accounting (session runs only; zero otherwise). */
+    CheckpointStats checkpoint;
 
     /** Kernel activity counters for the run (eval passes, skips, ...). */
     KernelStats kernel;

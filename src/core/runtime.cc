@@ -5,6 +5,28 @@
 
 namespace vidi {
 
+namespace {
+
+// Render checkpoint accounting for describe(); empty for non-session
+// runs so the existing one-line summaries are unchanged.
+std::string
+describeCheckpoints(const CheckpointStats &ckpt)
+{
+    std::string s;
+    if (ckpt.resumed)
+        s += ", resumed at cycle " + std::to_string(ckpt.resumed_at_cycle);
+    if (ckpt.checkpoints > 0) {
+        s += ", " + std::to_string(ckpt.checkpoints) + " checkpoints (" +
+             std::to_string(ckpt.bytes_last) + " bytes last, avg commit " +
+             std::to_string(ckpt.commit_ns_total /
+                            (ckpt.checkpoints * 1000)) +
+             " us)";
+    }
+    return s;
+}
+
+} // namespace
+
 RecordResult
 recordToFile(AppBuilder &app, const std::string &path, uint64_t seed,
              const VidiConfig &cfg)
@@ -36,6 +58,7 @@ describe(const RecordResult &result)
         s += ", " + std::to_string(result.transactions) + " transactions, "
              + std::to_string(result.trace_bytes) + " trace bytes";
     }
+    s += describeCheckpoints(result.checkpoint);
     return s;
 }
 
@@ -50,6 +73,7 @@ describe(const ReplayResult &result)
          " transactions replayed";
     if (result.watchdog_tripped)
         s += " (watchdog tripped)";
+    s += describeCheckpoints(result.checkpoint);
     if (!result.damage.clean())
         s += "; " + result.damage.toString();
     return s;

@@ -132,6 +132,21 @@ struct VidiConfig
      * cycle budget.
      */
     uint64_t replay_watchdog_cycles = 10'000'000;
+
+    /**
+     * Minimum wall-clock milliseconds between checkpoint commits in a
+     * session run (0 = commit at every cadence boundary). Checkpoint
+     * cadence is expressed in cycles, but an idle-heavy design under
+     * the activity-driven kernel can burn through millions of cycles
+     * per wall millisecond — committing at every cycle boundary would
+     * then cost orders of magnitude more than the simulation itself.
+     * The throttle bounds checkpoint overhead to roughly
+     * commit_latency / (min_interval + commit_latency) regardless of
+     * simulation speed; a cadence boundary that arrives too early is
+     * simply skipped (checkpoint *placement* never affects results,
+     * only where a crashed run resumes from).
+     */
+    uint64_t checkpoint_min_interval_ms = 250;
     /// @}
 };
 

@@ -1,6 +1,7 @@
 #include "core/vidi_shim.h"
 
 #include "channel/passthrough.h"
+#include "checkpoint/state_io.h"
 #include "sim/logging.h"
 
 namespace vidi {
@@ -222,6 +223,30 @@ VidiShim::replayDamage() const
     TraceDamageReport report = store_->damage();
     report.packets_decoded = decoder_->packetsDecoded();
     return report;
+}
+
+void
+VidiShim::saveState(StateWriter &w) const
+{
+    w.u8(uint8_t(mode_));
+    w.u64(trace_region_);
+    w.b(recording_enabled_);
+}
+
+void
+VidiShim::loadState(StateReader &r)
+{
+    const auto mode = VidiMode(r.u8());
+    if (mode != mode_)
+        fatal("checkpoint: shim mode mismatch (checkpoint %s, design %s)",
+              toString(mode), toString(mode_));
+    const uint64_t region = r.u64();
+    if (region != trace_region_)
+        fatal("checkpoint: trace region moved (checkpoint %llu, rebuilt "
+              "%llu) — session reconstruction is not deterministic",
+              static_cast<unsigned long long>(region),
+              static_cast<unsigned long long>(trace_region_));
+    recording_enabled_ = r.b();
 }
 
 } // namespace vidi

@@ -133,6 +133,24 @@ class VidiShim
     /** The active fault injector, if any (for test assertions). */
     FaultInjector *fault() { return fault_.get(); }
 
+    /// @name Checkpointing (src/checkpoint/)
+    /// @{
+    /**
+     * Serialize the shim-held session state (the record-window flag and
+     * the trace-region base). Module/channel state lives with the
+     * Simulator; host DRAM with HostMemory.
+     */
+    void saveState(StateWriter &w) const;
+
+    /**
+     * Restore shim state into an identically reconstructed shim, after
+     * beginRecord()/beginReplay() re-ran. Verifies the deterministic
+     * reconstruction actually placed the trace region where the
+     * checkpointed run had it.
+     */
+    void loadState(StateReader &r);
+    /// @}
+
   private:
     Simulator &sim_;
     Boundary boundary_;

@@ -6,6 +6,25 @@
 
 namespace vidi {
 
+namespace {
+
+std::string
+crashMessage(FaultKind kind, uint64_t cycle)
+{
+    std::string s = "simulated crash (";
+    s += toString(kind);
+    s += ") at cycle " + std::to_string(cycle);
+    return s;
+}
+
+} // namespace
+
+SimulatedCrash::SimulatedCrash(FaultKind kind, uint64_t cycle)
+    : std::runtime_error(crashMessage(kind, cycle)), kind_(kind),
+      cycle_(cycle)
+{
+}
+
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan))
 {
     for (const FaultEvent &e : plan_.events()) {
@@ -28,6 +47,15 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan))
           case FaultKind::FileTruncate:
           case FaultKind::FileHeaderFlip:
             file_events_.push_back(e);
+            break;
+          case FaultKind::CrashAtCycle:
+            crash_cycle_ = e.at;
+            break;
+          case FaultKind::CrashDuringCheckpointWrite:
+            crash_ckpt_permille_ = e.a;
+            break;
+          case FaultKind::CrashDuringTraceAppend:
+            crash_append_line_ = e.at;
             break;
         }
     }
@@ -107,6 +135,37 @@ FaultInjector::corruptFileHeader(uint8_t *data, size_t len)
             ++injected_[size_t(FaultKind::FileHeaderFlip)];
         }
     }
+}
+
+bool
+FaultInjector::crashAtCycle(uint64_t cycle)
+{
+    if (cycle < crash_cycle_)
+        return false;
+    crash_cycle_ = kNoCrash;
+    ++injected_[size_t(FaultKind::CrashAtCycle)];
+    return true;
+}
+
+uint64_t
+FaultInjector::crashCheckpointPermille()
+{
+    const uint64_t permille = crash_ckpt_permille_;
+    if (permille != 0) {
+        crash_ckpt_permille_ = 0;
+        ++injected_[size_t(FaultKind::CrashDuringCheckpointWrite)];
+    }
+    return permille;
+}
+
+bool
+FaultInjector::crashAtTraceAppend(uint64_t lines)
+{
+    if (lines < crash_append_line_)
+        return false;
+    crash_append_line_ = kNoCrash;
+    ++injected_[size_t(FaultKind::CrashDuringTraceAppend)];
+    return true;
 }
 
 uint64_t

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -24,6 +25,25 @@
 #include "fault/fault_plan.h"
 
 namespace vidi {
+
+/**
+ * Thrown when a scheduled process-crash fault fires (the in-process
+ * stand-in for `kill -9`). Distinct from SimFatal so crash-matrix tests
+ * can catch exactly the simulated death and then exercise resume, while
+ * real errors still propagate as failures.
+ */
+class SimulatedCrash : public std::runtime_error
+{
+  public:
+    SimulatedCrash(FaultKind kind, uint64_t cycle);
+
+    FaultKind kind() const { return kind_; }
+    uint64_t cycle() const { return cycle_; }
+
+  private:
+    FaultKind kind_;
+    uint64_t cycle_;
+};
 
 /**
  * Answers "what breaks here?" for every instrumented component.
@@ -71,6 +91,27 @@ class FaultInjector
     void corruptFileHeader(uint8_t *data, size_t len);
     /// @}
 
+    /// @name Process-crash faults (each fires at most once)
+    /// @{
+    /** Cycle of the pending CrashAtCycle fault; UINT64_MAX when none. */
+    uint64_t pendingCrashCycle() const { return crash_cycle_; }
+
+    /** Consume the CrashAtCycle fault once @p cycle reached it. */
+    bool crashAtCycle(uint64_t cycle);
+
+    /**
+     * Consume the CrashDuringCheckpointWrite fault.
+     *
+     * @return 0 when none is pending; otherwise the permille of the
+     *         checkpoint temp file to write before dying.
+     */
+    uint64_t crashCheckpointPermille();
+
+    /** Consume the CrashDuringTraceAppend fault once @p lines reached
+     *  its seeded line threshold. */
+    bool crashAtTraceAppend(uint64_t lines);
+    /// @}
+
     /** Faults of @p kind actually applied so far. */
     uint64_t injectedCount(FaultKind kind) const;
 
@@ -91,7 +132,12 @@ class FaultInjector
     std::vector<Window> throttles_;
     std::vector<FaultEvent> file_events_;
 
-    uint64_t injected_[8] = {};
+    static constexpr uint64_t kNoCrash = ~0ull;
+    uint64_t crash_cycle_ = kNoCrash;        ///< consumed -> kNoCrash
+    uint64_t crash_ckpt_permille_ = 0;       ///< consumed -> 0
+    uint64_t crash_append_line_ = kNoCrash;  ///< consumed -> kNoCrash
+
+    uint64_t injected_[16] = {};
 };
 
 } // namespace vidi

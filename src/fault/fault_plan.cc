@@ -17,6 +17,11 @@ toString(FaultKind kind)
       case FaultKind::PcieThrottle: return "pcie-throttle";
       case FaultKind::FileTruncate: return "file-truncate";
       case FaultKind::FileHeaderFlip: return "file-header-flip";
+      case FaultKind::CrashAtCycle: return "crash-at-cycle";
+      case FaultKind::CrashDuringCheckpointWrite:
+        return "crash-during-checkpoint-write";
+      case FaultKind::CrashDuringTraceAppend:
+        return "crash-during-trace-append";
     }
     return "unknown-fault";
 }
@@ -74,6 +79,23 @@ FaultPlan::generate(const FaultSpec &spec)
     for (uint32_t i = 0; i < spec.file_header_flips; ++i) {
         plan.events_.push_back({FaultKind::FileHeaderFlip,
                                 rng.below(64), rng.below(8), 0});
+    }
+
+    // Crash faults draw last so enabling them never perturbs the
+    // schedule of the earlier fault classes for a given seed.
+    if (spec.crash_at_cycle != 0) {
+        plan.events_.push_back({FaultKind::CrashAtCycle,
+                                spec.crash_at_cycle, 0, 0});
+    }
+    if (spec.crash_during_checkpoint) {
+        // Die after writing only part of the temp file — anywhere from a
+        // bare header to nearly the whole image.
+        plan.events_.push_back({FaultKind::CrashDuringCheckpointWrite, 0,
+                                rng.range(100, 900), 0});
+    }
+    if (spec.crash_during_trace_append) {
+        plan.events_.push_back({FaultKind::CrashDuringTraceAppend,
+                                rng.range(1, 64), 0, 0});
     }
 
     std::stable_sort(plan.events_.begin(), plan.events_.end(),

@@ -33,6 +33,11 @@ enum class FaultKind : uint8_t
     PcieThrottle,   ///< link at b percent bandwidth for [at, at + a)
     FileTruncate,   ///< trace file cut to a permille of its length
     FileHeaderFlip, ///< flip bit @c a of header byte @c at
+    CrashAtCycle,   ///< process dies once the run reaches cycle @c at
+    CrashDuringCheckpointWrite, ///< process dies mid-checkpoint, leaving
+                    ///< a permille-@c a prefix of the temp file
+    CrashDuringTraceAppend,     ///< process dies once @c at storage
+                    ///< lines were appended to the trace
 };
 
 const char *toString(FaultKind kind);
@@ -84,11 +89,23 @@ struct FaultSpec
     uint32_t file_header_flips = 0;
     /// @}
 
+    /// @name Process-crash faults (checkpoint/resume validation)
+    /// @{
+    /** Kill the run at this cycle (0 disables). */
+    uint64_t crash_at_cycle = 0;
+    /** Kill the run in the middle of a checkpoint commit. */
+    bool crash_during_checkpoint = false;
+    /** Kill the run after a seeded number of trace-line appends. */
+    bool crash_during_trace_append = false;
+    /// @}
+
     /** True when any fault is scheduled. */
     bool any() const
     {
         return line_bit_flips || line_drops || line_dups || pcie_stalls ||
-               pcie_throttles || file_truncate || file_header_flips;
+               pcie_throttles || file_truncate || file_header_flips ||
+               crash_at_cycle || crash_during_checkpoint ||
+               crash_during_trace_append;
     }
 };
 

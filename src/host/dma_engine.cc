@@ -1,5 +1,7 @@
 #include "host/dma_engine.h"
 
+#include "checkpoint/state_io.h"
+
 #include <algorithm>
 
 namespace vidi {
@@ -257,6 +259,88 @@ DmaEngine::reset()
     gap_remaining_ = 0;
     next_id_ = 0;
     tokens_ = 0;
+}
+
+void
+DmaEngine::saveState(StateWriter &w) const
+{
+    uint64_t rng_state[4];
+    rng_.getState(rng_state);
+    for (const uint64_t v : rng_state)
+        w.u64(v);
+    w.u64(uint64_t(tokens_));
+    w.u64(gap_remaining_);
+
+    aw_.saveState(w);
+    w_.saveState(w);
+    b_.saveState(w);
+    ar_.saveState(w);
+    r_.saveState(w);
+
+    w.u32(uint32_t(jobs_.size()));
+    for (const Job &j : jobs_) {
+        w.b(j.is_write);
+        w.u64(j.addr);
+        w.blob(j.data);
+        w.u64(j.len);
+    }
+    w.u64(job_offset_);
+    w.u64(write_bursts_issued_);
+    w.u64(write_bursts_acked_);
+
+    w.podDeque(read_jobs_);
+    w.podVec(read_accum_);
+    w.u64(read_beats_expected_);
+    w.u64(read_beats_received_);
+
+    w.u32(uint32_t(completed_reads_.size()));
+    for (const auto &data : completed_reads_)
+        w.blob(data);
+    w.u64(reads_completed_);
+    w.u16(next_id_);
+}
+
+void
+DmaEngine::loadState(StateReader &r)
+{
+    uint64_t rng_state[4];
+    for (uint64_t &v : rng_state)
+        v = r.u64();
+    rng_.setState(rng_state);
+    tokens_ = int64_t(r.u64());
+    gap_remaining_ = r.u64();
+
+    aw_.loadState(r);
+    w_.loadState(r);
+    b_.loadState(r);
+    ar_.loadState(r);
+    r_.loadState(r);
+
+    jobs_.clear();
+    const uint32_t njobs = r.u32();
+    for (uint32_t i = 0; i < njobs; ++i) {
+        Job j;
+        j.is_write = r.b();
+        j.addr = r.u64();
+        j.data = r.blob();
+        j.len = r.u64();
+        jobs_.push_back(std::move(j));
+    }
+    job_offset_ = r.u64();
+    write_bursts_issued_ = r.u64();
+    write_bursts_acked_ = r.u64();
+
+    r.podDeque(read_jobs_);
+    r.podVec(read_accum_);
+    read_beats_expected_ = r.u64();
+    read_beats_received_ = r.u64();
+
+    completed_reads_.clear();
+    const uint32_t nreads = r.u32();
+    for (uint32_t i = 0; i < nreads; ++i)
+        completed_reads_.push_back(r.blob());
+    reads_completed_ = r.u64();
+    next_id_ = r.u16();
 }
 
 } // namespace vidi

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "checkpoint/state_io.h"
 #include "mem/dram_model.h"
 
 namespace vidi {
@@ -33,6 +34,23 @@ class HostMemory
         mem_.clear();
         next_ = kBase;
     }
+
+    /// @name Checkpointing
+    /// @{
+    void
+    saveState(StateWriter &w) const
+    {
+        w.u64(next_);
+        mem_.saveState(w);
+    }
+
+    void
+    loadState(StateReader &r)
+    {
+        next_ = r.u64();
+        mem_.loadState(r);
+    }
+    /// @}
 
   private:
     static constexpr uint64_t kBase = 0x10000;

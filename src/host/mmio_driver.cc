@@ -1,5 +1,7 @@
 #include "host/mmio_driver.h"
 
+#include "checkpoint/state_io.h"
+
 namespace vidi {
 
 MmioMaster::MmioMaster(Simulator &sim, const std::string &name,
@@ -143,6 +145,52 @@ MmioMaster::reset()
     reads_issued_ = 0;
     reads_completed_ = 0;
     gap_remaining_ = 0;
+}
+
+void
+MmioMaster::saveState(StateWriter &w) const
+{
+    uint64_t rng_state[4];
+    rng_.getState(rng_state);
+    for (const uint64_t v : rng_state)
+        w.u64(v);
+    w.u64(gap_remaining_);
+
+    aw_.saveState(w);
+    w_.saveState(w);
+    b_.saveState(w);
+    ar_.saveState(w);
+    r_.saveState(w);
+
+    w.podDeque(ops_);
+    w.podDeque(read_results_);
+    w.u64(writes_issued_);
+    w.u64(writes_acked_);
+    w.u64(reads_issued_);
+    w.u64(reads_completed_);
+}
+
+void
+MmioMaster::loadState(StateReader &r)
+{
+    uint64_t rng_state[4];
+    for (uint64_t &v : rng_state)
+        v = r.u64();
+    rng_.setState(rng_state);
+    gap_remaining_ = r.u64();
+
+    aw_.loadState(r);
+    w_.loadState(r);
+    b_.loadState(r);
+    ar_.loadState(r);
+    r_.loadState(r);
+
+    r.podDeque(ops_);
+    r.podDeque(read_results_);
+    writes_issued_ = r.u64();
+    writes_acked_ = r.u64();
+    reads_issued_ = r.u64();
+    reads_completed_ = r.u64();
 }
 
 } // namespace vidi

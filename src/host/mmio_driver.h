@@ -59,6 +59,8 @@ class MmioMaster : public Module
     void reset() override;
     uint64_t idleUntil(uint64_t now) const override;
     void onCyclesSkipped(uint64_t from, uint64_t to) override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     struct Op

@@ -107,6 +107,9 @@ class PcieBus : public Module
             std::min(budget_ + link_.skipGrants(to - from), burst_bytes_);
     }
 
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
+
   private:
     PcieLink link_;
     uint64_t burst_bytes_;

@@ -1,5 +1,8 @@
 #include "host/pcie_link.h"
 
+#include "checkpoint/state_io.h"
+#include "host/pcie_bus.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -65,6 +68,38 @@ double
 PcieLink::bytesPerCycle() const
 {
     return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+void
+PcieLink::saveState(StateWriter &w) const
+{
+    w.u64(acc_num_);
+    w.u64(cycle_);
+    w.u64(fault_stall_cycles_);
+}
+
+void
+PcieLink::loadState(StateReader &r)
+{
+    acc_num_ = r.u64();
+    cycle_ = r.u64();
+    fault_stall_cycles_ = r.u64();
+}
+
+void
+PcieBus::saveState(StateWriter &w) const
+{
+    link_.saveState(w);
+    w.u64(budget_);
+    w.u64(granted_total_);
+}
+
+void
+PcieBus::loadState(StateReader &r)
+{
+    link_.loadState(r);
+    budget_ = r.u64();
+    granted_total_ = r.u64();
 }
 
 } // namespace vidi

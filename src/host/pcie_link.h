@@ -67,6 +67,12 @@ class PcieLink
         fault_stall_cycles_ = 0;
     }
 
+    /// @name Checkpointing (dynamic state only; the rate is config)
+    /// @{
+    void saveState(class StateWriter &w) const;
+    void loadState(class StateReader &r);
+    /// @}
+
   private:
     // rate = num/den bytes per cycle, in integer fixed point.
     uint64_t num_;

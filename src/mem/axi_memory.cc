@@ -1,5 +1,7 @@
 #include "mem/axi_memory.h"
 
+#include "checkpoint/state_io.h"
+
 namespace vidi {
 
 AxiMemory::AxiMemory(Simulator &sim, const std::string &name,
@@ -140,6 +142,70 @@ AxiMemory::reset()
     writes_completed_ = 0;
     reads_completed_ = 0;
     tokens_ = 0;
+}
+
+void
+AxiMemory::saveState(StateWriter &w) const
+{
+    w.u64(uint64_t(tokens_));
+
+    aw_.saveState(w);
+    w_.saveState(w);
+    b_.saveState(w);
+    ar_.saveState(w);
+    r_.saveState(w);
+
+    w.u32(uint32_t(pending_b_.size()));
+    for (const auto &[due, resp] : pending_b_) {
+        w.u64(due);
+        w.pod(resp);
+    }
+    w.u32(uint32_t(pending_r_.size()));
+    for (const auto &[due, beat] : pending_r_) {
+        w.u64(due);
+        w.pod(beat);
+    }
+    w.u64(writes_completed_);
+    w.u64(reads_completed_);
+
+    w.b(checkpoint_owns_mem_);
+    if (checkpoint_owns_mem_)
+        mem_.saveState(w);
+}
+
+void
+AxiMemory::loadState(StateReader &r)
+{
+    tokens_ = int64_t(r.u64());
+
+    aw_.loadState(r);
+    w_.loadState(r);
+    b_.loadState(r);
+    ar_.loadState(r);
+    r_.loadState(r);
+
+    pending_b_.clear();
+    const uint32_t nb = r.u32();
+    for (uint32_t i = 0; i < nb; ++i) {
+        const uint64_t due = r.u64();
+        pending_b_.push_back({due, r.pod<AxiB>()});
+    }
+    pending_r_.clear();
+    const uint32_t nr = r.u32();
+    for (uint32_t i = 0; i < nr; ++i) {
+        const uint64_t due = r.u64();
+        pending_r_.push_back({due, r.pod<AxiR>()});
+    }
+    writes_completed_ = r.u64();
+    reads_completed_ = r.u64();
+
+    const bool owned = r.b();
+    if (owned != checkpoint_owns_mem_)
+        fatal("checkpoint: %s memory-ownership flag mismatch "
+              "(checkpoint %d, design %d)",
+              name().c_str(), int(owned), int(checkpoint_owns_mem_));
+    if (checkpoint_owns_mem_)
+        mem_.loadState(r);
 }
 
 } // namespace vidi

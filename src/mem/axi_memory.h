@@ -51,10 +51,21 @@ class AxiMemory : public Module
      */
     void setPcieBus(PcieBus *bus) { pcie_ = bus; }
 
+    /**
+     * Make this module serialize its backing DramModel in its own
+     * checkpoint state. Set exactly when no other checkpointed component
+     * covers @p mem (e.g. the DDR-extension controller, whose DramModel
+     * is otherwise unreachable); host memory and kernel-owned DDR are
+     * serialized by their owners and must leave this off.
+     */
+    void setCheckpointOwnsMem(bool owns) { checkpoint_owns_mem_ = owns; }
+
     void eval() override;
     void tick() override;
     void reset() override;
     uint64_t idleUntil(uint64_t now) const override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
     /** Completed write bursts (B responses sent). */
     uint64_t writesCompleted() const { return writes_completed_; }
@@ -69,6 +80,7 @@ class AxiMemory : public Module
     unsigned write_ack_latency_;
     PcieBus *pcie_ = nullptr;
     int64_t tokens_ = 0;
+    bool checkpoint_owns_mem_ = false;
 
     RxSink<AxiAx> aw_;
     RxSink<AxiW> w_;

@@ -1,5 +1,9 @@
 #include "mem/dram_model.h"
 
+#include <algorithm>
+
+#include "checkpoint/state_io.h"
+
 namespace vidi {
 
 const DramModel::Page *
@@ -100,6 +104,33 @@ void
 DramModel::writeVec(uint64_t addr, const std::vector<uint8_t> &data)
 {
     write(addr, data.data(), data.size());
+}
+
+void
+DramModel::saveState(StateWriter &w) const
+{
+    std::vector<uint64_t> indices;
+    indices.reserve(pages_.size());
+    for (const auto &[index, page] : pages_)
+        indices.push_back(index);
+    std::sort(indices.begin(), indices.end());
+    w.u64(indices.size());
+    for (const uint64_t index : indices) {
+        w.u64(index);
+        w.bytes(pages_.at(index).data(), kPageBytes);
+    }
+}
+
+void
+DramModel::loadState(StateReader &r)
+{
+    pages_.clear();
+    const uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t index = r.u64();
+        Page &page = pages_[index];
+        r.bytes(page.data(), kPageBytes);
+    }
 }
 
 } // namespace vidi

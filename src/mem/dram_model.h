@@ -19,6 +19,9 @@
 
 namespace vidi {
 
+class StateReader;
+class StateWriter;
+
 /**
  * Sparse byte-addressable memory. Unwritten locations read as zero.
  */
@@ -54,6 +57,14 @@ class DramModel
 
     /** Number of resident pages (footprint diagnostic). */
     size_t residentPages() const { return pages_.size(); }
+
+    /// @name Checkpointing
+    /// @{
+    /** Serialize all resident pages (sorted by index: deterministic). */
+    void saveState(StateWriter &w) const;
+    /** Replace the whole contents with the serialized image. */
+    void loadState(StateReader &r);
+    /// @}
 
     static constexpr size_t kPageBytes = 4096;
 

@@ -1,5 +1,7 @@
 #include "monitor/channel_monitor.h"
 
+#include "checkpoint/state_io.h"
+
 #include "sim/logging.h"
 
 namespace vidi {
@@ -121,6 +123,28 @@ ChannelMonitor::reset()
     passthrough_inflight_ = false;
     transactions_ = 0;
     stall_cycles_ = 0;
+}
+
+void
+ChannelMonitor::saveState(StateWriter &w) const
+{
+    w.u64(pool_);
+    w.b(inflight_);
+    w.b(passthrough_inflight_);
+    w.u64(transactions_);
+    w.u64(stall_cycles_);
+    w.bytes(data_buf_, sizeof(data_buf_));
+}
+
+void
+ChannelMonitor::loadState(StateReader &r)
+{
+    pool_ = size_t(r.u64());
+    inflight_ = r.b();
+    passthrough_inflight_ = r.b();
+    transactions_ = r.u64();
+    stall_cycles_ = r.u64();
+    r.bytes(data_buf_, sizeof(data_buf_));
 }
 
 } // namespace vidi

@@ -70,6 +70,8 @@ class ChannelMonitor : public Module
     void tick() override;
     void reset() override;
     uint64_t idleUntil(uint64_t now) const override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
     /** Completed transactions observed since reset. */
     uint64_t transactions() const { return transactions_; }

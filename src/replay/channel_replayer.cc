@@ -1,5 +1,7 @@
 #include "replay/channel_replayer.h"
 
+#include "checkpoint/state_io.h"
+
 #include "sim/logging.h"
 
 namespace vidi {
@@ -102,6 +104,34 @@ ChannelReplayer::reset()
     pending_ends_ = 0;
     t_expected_.clear();
     completed_ = 0;
+}
+
+void
+ChannelReplayer::saveState(StateWriter &w) const
+{
+    w.b(presenting_);
+    w.bytes(present_buf_, sizeof(present_buf_));
+    w.u64(pending_ends_);
+    w.u32(uint32_t(t_expected_.channels()));
+    for (size_t i = 0; i < t_expected_.channels(); ++i)
+        w.u64(t_expected_[i]);
+    w.u64(completed_);
+}
+
+void
+ChannelReplayer::loadState(StateReader &r)
+{
+    presenting_ = r.b();
+    r.bytes(present_buf_, sizeof(present_buf_));
+    pending_ends_ = r.u64();
+    const uint32_t n = r.u32();
+    if (n != t_expected_.channels())
+        fatal("checkpoint state [%s]: vector clock spans %zu channels, "
+              "checkpoint has %u",
+              r.context().c_str(), t_expected_.channels(), n);
+    for (size_t i = 0; i < t_expected_.channels(); ++i)
+        t_expected_.setCount(i, r.u64());
+    completed_ = r.u64();
 }
 
 } // namespace vidi

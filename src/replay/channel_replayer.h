@@ -75,6 +75,8 @@ class ChannelReplayer : public Module
     void tick() override;
     void reset() override;
     uint64_t idleUntil(uint64_t now) const override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     ChannelBase &inner_;

@@ -1,5 +1,7 @@
 #include "replay/replay_coordinator.h"
 
+#include "checkpoint/state_io.h"
+
 #include "replay/channel_replayer.h"
 #include "sim/logging.h"
 #include "trace/trace_decoder.h"
@@ -165,6 +167,50 @@ ReplayCoordinator::reset()
     no_progress_cycles_ = 0;
     tripped_ = false;
     diagnostic_.clear();
+}
+
+void
+ReplayCoordinator::saveState(StateWriter &w) const
+{
+    w.u32(uint32_t(t_current_.channels()));
+    for (size_t i = 0; i < t_current_.channels(); ++i)
+        w.u64(t_current_[i]);
+    w.u64(completions_);
+    w.u32(uint32_t(inflight_.size()));
+    for (const bool f : inflight_)
+        w.b(f);
+    w.blob(validation_.serialize());
+    w.u64(last_progress_);
+    w.u64(no_progress_cycles_);
+    w.b(tripped_);
+    w.str(diagnostic_);
+}
+
+void
+ReplayCoordinator::loadState(StateReader &r)
+{
+    const uint32_t nc = r.u32();
+    if (nc != t_current_.channels())
+        fatal("checkpoint state [%s]: vector clock spans %zu channels, "
+              "checkpoint has %u",
+              r.context().c_str(), t_current_.channels(), nc);
+    for (size_t i = 0; i < t_current_.channels(); ++i)
+        t_current_.setCount(i, r.u64());
+    completions_ = r.u64();
+    const uint32_t ni = r.u32();
+    if (ni != inflight_.size())
+        fatal("checkpoint state [%s]: %zu inner channels, checkpoint "
+              "has %u",
+              r.context().c_str(), inflight_.size(), ni);
+    for (size_t i = 0; i < inflight_.size(); ++i)
+        inflight_[i] = r.b();
+    const std::vector<uint8_t> validation = r.blob();
+    validation_ = Trace::fromBytes(meta_, validation.data(),
+                                   validation.size());
+    last_progress_ = r.u64();
+    no_progress_cycles_ = r.u64();
+    tripped_ = r.b();
+    diagnostic_ = r.str();
 }
 
 } // namespace vidi

@@ -82,6 +82,8 @@ class ReplayCoordinator : public Module
     void reset() override;
     uint64_t idleUntil(uint64_t now) const override;
     void onCyclesSkipped(uint64_t from, uint64_t to) override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     std::string buildDiagnostic() const;

@@ -42,6 +42,9 @@ class VectorClock
         ++counts_[i];
     }
 
+    /** Overwrite channel @p i's count (checkpoint restore). */
+    void setCount(size_t i, uint64_t v) { counts_[i] = v; }
+
     /** Increment every channel whose bit is set in @p ends. */
     void
     addEnds(uint64_t ends)

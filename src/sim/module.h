@@ -37,6 +37,8 @@ namespace vidi {
 
 class ChannelBase;
 class Simulator;
+class StateReader;
+class StateWriter;
 
 /**
  * How the activity-driven kernel schedules a module's eval().
@@ -118,6 +120,27 @@ class Module
         (void)from;
         (void)to;
     }
+
+    /// @name Checkpoint serialization (src/checkpoint/)
+    /// @{
+    /**
+     * Whether this module supports saveState()/loadState(). Debug-only
+     * observers (VCD dumpers, protocol group checkers) return false; a
+     * checkpointed session that contains one is refused up front rather
+     * than silently resumed with half its state missing.
+     */
+    virtual bool checkpointable() const { return true; }
+
+    /**
+     * Serialize all registered state into @p w. The default is correct
+     * only for stateless modules; every module with registers must
+     * override both hooks symmetrically.
+     */
+    virtual void saveState(StateWriter &w) const { (void)w; }
+
+    /** Restore exactly the state written by saveState(). */
+    virtual void loadState(StateReader &r) { (void)r; }
+    /// @}
 
     /// @name Activity-kernel plumbing (read by Simulator and channels)
     /// @{

@@ -46,6 +46,25 @@ class SimRandom
     /** Fork a decorrelated child stream (e.g. one per module). */
     SimRandom fork();
 
+    /// @name Checkpointing
+    /// @{
+    /** Copy the 256-bit generator state into @p out. */
+    void
+    getState(uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = s_[i];
+    }
+
+    /** Overwrite the generator state (restoring a checkpoint). */
+    void
+    setState(const uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = in[i];
+    }
+    /// @}
+
   private:
     uint64_t s_[4];
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "checkpoint/state_io.h"
 #include "sim/access_tracker.h"
 #include "sim/logging.h"
 
@@ -273,6 +274,111 @@ KernelStats::toString() const
         out += "\n";
     }
     return out;
+}
+
+void
+Simulator::saveState(StateWriter &w) const
+{
+    const size_t kernel = w.beginSection("kernel");
+    w.u64(cycle_);
+    w.b(stop_requested_);
+    w.u64(total_eval_passes_);
+    w.u64(module_evals_);
+    w.u64(cycles_skipped_);
+    w.u64(skip_events_);
+    w.b(settle_dirty_);
+    w.b(settled_once_);
+    uint64_t rng_state[4];
+    rng_.getState(rng_state);
+    for (const uint64_t s : rng_state)
+        w.u64(s);
+    w.endSection(kernel);
+
+    const size_t chans = w.beginSection("channels");
+    w.u32(uint32_t(channels_.size()));
+    for (const auto &ch : channels_) {
+        w.str(ch->name());
+        ch->saveState(w);
+    }
+    w.endSection(chans);
+
+    const size_t mods = w.beginSection("modules");
+    w.u32(uint32_t(modules_.size()));
+    for (const auto &m : modules_) {
+        if (!m->checkpointable())
+            fatal("checkpoint: module %s does not support state "
+                  "serialization — remove it from the design or "
+                  "implement saveState/loadState",
+                  m->name().c_str());
+        const size_t sec = w.beginSection(m->name());
+        w.b(m->needs_eval_);
+        w.u64(m->eval_count_);
+        m->saveState(w);
+        w.endSection(sec);
+    }
+    w.endSection(mods);
+}
+
+void
+Simulator::loadState(StateReader &r)
+{
+    StateReader kernel = r.enterSection("kernel");
+    const uint64_t cycle = kernel.u64();
+    const bool stop_requested = kernel.b();
+    const uint64_t total_eval_passes = kernel.u64();
+    const uint64_t module_evals = kernel.u64();
+    const uint64_t cycles_skipped = kernel.u64();
+    const uint64_t skip_events = kernel.u64();
+    const bool settle_dirty = kernel.b();
+    const bool settled_once = kernel.b();
+    uint64_t rng_state[4];
+    for (uint64_t &s : rng_state)
+        s = kernel.u64();
+    kernel.expectEnd();
+
+    StateReader chans = r.enterSection("channels");
+    const uint32_t nchan = chans.u32();
+    if (nchan != channels_.size())
+        fatal("checkpoint: design has %zu channels but the checkpoint "
+              "holds %u — the session was built differently",
+              channels_.size(), nchan);
+    for (const auto &ch : channels_) {
+        const std::string name = chans.str();
+        if (name != ch->name())
+            fatal("checkpoint: channel order mismatch (design has %s, "
+                  "checkpoint has %s)",
+                  ch->name().c_str(), name.c_str());
+        ch->loadState(chans);
+    }
+    chans.expectEnd();
+
+    StateReader mods = r.enterSection("modules");
+    const uint32_t nmod = mods.u32();
+    if (nmod != modules_.size())
+        fatal("checkpoint: design has %zu modules but the checkpoint "
+              "holds %u — the session was built differently",
+              modules_.size(), nmod);
+    for (const auto &m : modules_) {
+        StateReader sec = mods.enterSection(m->name());
+        m->needs_eval_ = sec.b();
+        m->eval_count_ = sec.u64();
+        m->loadState(sec);
+        sec.expectEnd();
+    }
+    mods.expectEnd();
+
+    // Kernel scalars last: channel/module restoration above may have
+    // raised settle_dirty_ via markDirty(), and the saved value is the
+    // one that reproduces the original schedule.
+    cycle_ = cycle;
+    stop_requested_ = stop_requested;
+    total_eval_passes_ = total_eval_passes;
+    module_evals_ = module_evals;
+    cycles_skipped_ = cycles_skipped;
+    skip_events_ = skip_events;
+    settle_dirty_ = settle_dirty;
+    settled_once_ = settled_once;
+    rng_.setState(rng_state);
 }
 
 } // namespace vidi

@@ -172,6 +172,24 @@ class Simulator
     /** Snapshot of the scheduling counters. */
     KernelStats kernelStats() const;
 
+    /// @name Checkpointing (src/checkpoint/)
+    /// @{
+    /**
+     * Serialize the complete dynamic state of the simulation: kernel
+     * counters and RNG, every channel's signal plane and every module's
+     * registered state, each under a named section. Raises SimFatal if
+     * any registered module is not checkpointable.
+     */
+    void saveState(StateWriter &w) const;
+
+    /**
+     * Restore state written by saveState() into an identically
+     * constructed design (same channels and modules, same order). Any
+     * topology mismatch raises SimFatal naming the divergent element.
+     */
+    void loadState(StateReader &r);
+    /// @}
+
   private:
     void stepOnce();
     void settleFullEval();

@@ -48,6 +48,9 @@ class VcdDumper : public Module
 
     void tickLate() override;
 
+    /** Debug observer: streams to an open file, not checkpointable. */
+    bool checkpointable() const override { return false; }
+
   private:
     struct Watched
     {

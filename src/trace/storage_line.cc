@@ -1,5 +1,7 @@
 #include "trace/storage_line.h"
 
+#include "checkpoint/state_io.h"
+
 #include <algorithm>
 #include <array>
 #include <cstring>
@@ -294,6 +296,42 @@ deframeStream(const uint8_t *data, size_t len, TraceDamageReport &report)
     if (!segments.empty() && segments.back().bytes.empty())
         segments.pop_back();
     return segments;
+}
+
+void
+TraceDamageReport::saveState(StateWriter &w) const
+{
+    w.u64(lines_total);
+    w.u64(lines_ok);
+    w.u64(lines_corrupt);
+    w.u64(lines_missing);
+    w.u64(lines_duplicate);
+    w.u64(lines_skipped);
+    w.u64(payload_bytes_lost);
+    w.u64(tail_bytes_discarded);
+    w.u64(resyncs);
+    w.u64(packets_decoded);
+    w.pod(first_bad_seq);
+    w.pod(last_bad_seq);
+    w.podVec(regions);
+}
+
+void
+TraceDamageReport::loadState(StateReader &r)
+{
+    lines_total = r.u64();
+    lines_ok = r.u64();
+    lines_corrupt = r.u64();
+    lines_missing = r.u64();
+    lines_duplicate = r.u64();
+    lines_skipped = r.u64();
+    payload_bytes_lost = r.u64();
+    tail_bytes_discarded = r.u64();
+    resyncs = r.u64();
+    packets_decoded = r.u64();
+    first_bad_seq = r.pod<int64_t>();
+    last_bad_seq = r.pod<int64_t>();
+    r.podVec(regions);
 }
 
 } // namespace vidi

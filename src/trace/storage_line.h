@@ -162,6 +162,12 @@ struct TraceDamageReport
     /** Record a damaged region and update the aggregate counters. */
     void note(DamageKind kind, uint64_t first_seq, uint64_t lines,
               uint64_t bytes);
+
+    /// @name Checkpointing
+    /// @{
+    void saveState(class StateWriter &w) const;
+    void loadState(class StateReader &r);
+    /// @}
 };
 
 /**

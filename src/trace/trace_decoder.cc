@@ -1,5 +1,8 @@
 #include "trace/trace_decoder.h"
 
+#include "channel/channel.h"
+#include "checkpoint/state_io.h"
+
 #include "sim/logging.h"
 
 namespace vidi {
@@ -105,6 +108,55 @@ TraceDecoder::reset()
         q.clear();
     pending_.clear();
     packets_decoded_ = 0;
+}
+
+void
+TraceDecoder::saveState(StateWriter &w) const
+{
+    w.u32(uint32_t(queues_.size()));
+    for (const auto &q : queues_) {
+        w.u32(uint32_t(q.size()));
+        for (const ReplayPair &p : q) {
+            w.b(p.start);
+            w.b(p.end);
+            w.u64(p.ends);
+            w.u32(uint32_t(p.content.size()));
+            w.bytes(p.content.data(), p.content.size());
+        }
+    }
+    w.podVec(pending_);
+    w.u64(packets_decoded_);
+}
+
+void
+TraceDecoder::loadState(StateReader &r)
+{
+    const uint32_t nq = r.u32();
+    if (nq != queues_.size())
+        fatal("checkpoint state [%s]: decoder has %zu queues, "
+              "checkpoint has %u",
+              r.context().c_str(), queues_.size(), nq);
+    for (auto &q : queues_) {
+        q.clear();
+        const uint32_t n = r.u32();
+        for (uint32_t i = 0; i < n; ++i) {
+            ReplayPair p;
+            p.start = r.b();
+            p.end = r.b();
+            p.ends = r.u64();
+            const uint32_t clen = r.u32();
+            uint8_t buf[kMaxPayloadBytes];
+            if (clen > sizeof(buf))
+                fatal("checkpoint state [%s]: replay-pair content of %u "
+                      "bytes exceeds the payload limit",
+                      r.context().c_str(), clen);
+            r.bytes(buf, clen);
+            p.content = ContentBuf(buf, buf + clen);
+            q.push_back(std::move(p));
+        }
+    }
+    r.podVec(pending_);
+    packets_decoded_ = r.u64();
 }
 
 } // namespace vidi

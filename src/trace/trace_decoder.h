@@ -67,6 +67,8 @@ class TraceDecoder : public Module
 
     void tick() override;
     void reset() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
     /**
      * Idle whenever no forward progress is possible: nothing buffered in

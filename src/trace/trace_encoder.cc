@@ -1,5 +1,7 @@
 #include "trace/trace_encoder.h"
 
+#include "checkpoint/state_io.h"
+
 #include <algorithm>
 #include <cstring>
 
@@ -179,6 +181,56 @@ TraceEncoder::reset()
     reserve_failures_ = 0;
     pool_hits_ = 0;
     pool_misses_ = 0;
+}
+
+void
+TraceEncoder::saveState(StateWriter &w) const
+{
+    w.u64(reserved_bytes_);
+    w.b(any_staged_);
+    w.u32(uint32_t(staged_.size()));
+    for (size_t i = 0; i < staged_.size(); ++i) {
+        const Staged &st = staged_[i];
+        const size_t nbytes = meta_.channels[i].data_bytes;
+        w.b(st.start);
+        w.b(st.end);
+        if (st.start)
+            w.bytes(st.start_content, nbytes);
+        if (st.end)
+            w.bytes(st.end_content, nbytes);
+    }
+    w.u64(packets_emitted_);
+    w.u64(events_logged_);
+    w.u64(reserve_failures_);
+    w.u64(pool_hits_);
+    w.u64(pool_misses_);
+}
+
+void
+TraceEncoder::loadState(StateReader &r)
+{
+    reserved_bytes_ = size_t(r.u64());
+    any_staged_ = r.b();
+    const uint32_t n = r.u32();
+    if (n != staged_.size())
+        fatal("checkpoint state [%s]: encoder has %zu channels, "
+              "checkpoint has %u",
+              r.context().c_str(), staged_.size(), n);
+    for (size_t i = 0; i < staged_.size(); ++i) {
+        Staged &st = staged_[i];
+        const size_t nbytes = meta_.channels[i].data_bytes;
+        st.start = r.b();
+        st.end = r.b();
+        if (st.start)
+            r.bytes(st.start_content, nbytes);
+        if (st.end)
+            r.bytes(st.end_content, nbytes);
+    }
+    packets_emitted_ = r.u64();
+    events_logged_ = r.u64();
+    reserve_failures_ = r.u64();
+    pool_hits_ = r.u64();
+    pool_misses_ = r.u64();
 }
 
 } // namespace vidi

@@ -82,6 +82,8 @@ class TraceEncoder : public Module
 
     void tickLate() override;
     void reset() override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
     /** The encoder only has work in the cycle an event was staged. */
     uint64_t

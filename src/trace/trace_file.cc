@@ -1,10 +1,9 @@
 #include "trace/trace_file.h"
 
-#include <cstdio>
 #include <cstring>
-#include <memory>
 
 #include "channel/channel.h"
+#include "checkpoint/atomic_file.h"
 #include "fault/fault_injector.h"
 #include "sim/logging.h"
 
@@ -13,12 +12,6 @@ namespace vidi {
 namespace {
 
 constexpr char kMagic[8] = {'V', 'I', 'D', 'I', 'T', 'R', 'C', '2'};
-
-struct FileCloser
-{
-    void operator()(std::FILE *f) const { std::fclose(f); }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 void
 append(std::vector<uint8_t> &out, const void *data, size_t len)
@@ -129,24 +122,17 @@ saveTrace(const std::string &path, const Trace &trace, FaultInjector *fault)
         write_len = size_t(fault->truncatedFileLength(image.size()));
     }
 
-    FilePtr f(std::fopen(path.c_str(), "wb"));
-    if (!f)
-        fatal("cannot open trace file %s for writing", path.c_str());
-    if (std::fwrite(image.data(), 1, write_len, f.get()) != write_len)
-        fatal("short write to trace file %s", path.c_str());
+    // Crash-safe commit: the (possibly fault-mauled) image lands via
+    // temp file + fsync + rename, so a crash mid-save leaves the old
+    // trace or none — never a half-written .vtrc. I/O failures raise
+    // SimFatal carrying errno/strerror.
+    writeFileAtomic(path, image.data(), write_len);
 }
 
 Trace
 loadTrace(const std::string &path, TraceDamageReport &report)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        fatal("cannot open trace file %s for reading", path.c_str());
-    std::vector<uint8_t> image;
-    uint8_t buf[1 << 16];
-    size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0)
-        image.insert(image.end(), buf, buf + n);
+    const std::vector<uint8_t> image = readFileBytes(path);
 
     size_t off = 0;
     if (image.size() < sizeof(kMagic) ||

@@ -1,5 +1,7 @@
 #include "trace/trace_store.h"
 
+#include "checkpoint/state_io.h"
+
 #include <algorithm>
 #include <cstring>
 
@@ -474,6 +476,96 @@ TraceStore::reset()
     staged_.clear();
     damage_ = TraceDamageReport{};
     fifo_.reset();
+}
+
+void
+ByteFifo::saveState(StateWriter &w) const
+{
+    w.u64(high_water_);
+    std::vector<uint8_t> contents(size_);
+    peek(contents.data(), contents.size());
+    w.blob(contents);
+}
+
+void
+ByteFifo::loadState(StateReader &r)
+{
+    const uint64_t high_water = r.u64();
+    const std::vector<uint8_t> contents = r.blob();
+    if (contents.size() > buf_.size())
+        fatal("checkpoint state [%s]: FIFO holds %zu bytes but this "
+              "build's capacity is only %zu — the session was configured "
+              "with a larger store_fifo_bytes",
+              r.context().c_str(), contents.size(), buf_.size());
+    reset();
+    push(contents.data(), contents.size());
+    high_water_ = size_t(high_water);
+}
+
+void
+TraceStore::saveState(StateWriter &w) const
+{
+    w.u8(uint8_t(mode_));
+    fifo_.saveState(w);
+    w.u64(dram_base_);
+    w.u64(dram_pos_);
+    w.u64(replay_len_);
+    w.u64(bytes_stored_);
+    w.u64(lines_written_);
+    w.u64(push_pos_);
+    w.u64(head_pos_);
+    w.podDeque(pkt_starts_);
+    w.b(pending_discontinuity_);
+    w.b(pushed_since_tick_);
+    w.u64(carry_bytes_);
+    w.podVec(line_batch_);
+    w.u64(batch_addr_);
+    w.u64(backoff_wait_);
+    w.u64(next_backoff_);
+    w.u64(stall_streak_);
+    w.u64(drain_retries_);
+    w.u64(stall_cycles_);
+    w.u64(overflow_drops_);
+    w.u64(dropped_payload_bytes_);
+    w.u64(fetch_index_);
+    w.u64(expected_seq_);
+    w.b(resync_);
+    w.b(damage_barrier_);
+    w.podVec(staged_);
+    damage_.saveState(w);
+}
+
+void
+TraceStore::loadState(StateReader &r)
+{
+    mode_ = Mode(r.u8());
+    fifo_.loadState(r);
+    dram_base_ = r.u64();
+    dram_pos_ = r.u64();
+    replay_len_ = r.u64();
+    bytes_stored_ = r.u64();
+    lines_written_ = r.u64();
+    push_pos_ = r.u64();
+    head_pos_ = r.u64();
+    r.podDeque(pkt_starts_);
+    pending_discontinuity_ = r.b();
+    pushed_since_tick_ = r.b();
+    carry_bytes_ = r.u64();
+    r.podVec(line_batch_);
+    batch_addr_ = r.u64();
+    backoff_wait_ = r.u64();
+    next_backoff_ = r.u64();
+    stall_streak_ = r.u64();
+    drain_retries_ = r.u64();
+    stall_cycles_ = r.u64();
+    overflow_drops_ = r.u64();
+    dropped_payload_bytes_ = r.u64();
+    fetch_index_ = r.u64();
+    expected_seq_ = r.u64();
+    resync_ = r.b();
+    damage_barrier_ = r.b();
+    r.podVec(staged_);
+    damage_.loadState(r);
 }
 
 } // namespace vidi

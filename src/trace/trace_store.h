@@ -80,6 +80,12 @@ class ByteFifo
 
     void reset();
 
+    /// @name Checkpointing
+    /// @{
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+    /// @}
+
   private:
     std::vector<uint8_t> buf_;
     size_t head_ = 0;  // index of the oldest byte
@@ -200,6 +206,8 @@ class TraceStore : public Module
     void tick() override;
     void reset() override;
     uint64_t idleUntil(uint64_t now) const override;
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
   private:
     enum class Mode { Idle, Record, Replay };

@@ -18,6 +18,8 @@
  *                 (default: all channels; use e.g. 0x1ffffff minus some
  *                 bits to preview the coverage holes a restricted
  *                 recording would open)
+ *   --out <path>  write the report to <path> instead of stdout, via a
+ *                 crash-safe atomic write (temp file + fsync + rename)
  *
  * Exit status: 0 when no Error-severity findings, 1 when at least one
  * (the CI gate), 2 for usage errors.
@@ -30,6 +32,7 @@
 #include <vector>
 
 #include "apps/app_registry.h"
+#include "checkpoint/atomic_file.h"
 #include "lint/linter.h"
 #include "sim/logging.h"
 
@@ -42,7 +45,7 @@ usage()
 {
     std::fputs("usage:\n"
                "  vidi_lint <app> [--json] [--dynamic] [--scale s] "
-               "[--seed n] [--mask hex]\n"
+               "[--seed n] [--mask hex] [--out path]\n"
                "  vidi_lint --all [same options]\n"
                "  vidi_lint --list\n",
                stderr);
@@ -55,6 +58,7 @@ struct CliArgs
     bool all = false;
     bool list = false;
     bool json = false;
+    std::string out_path;
     LintOptions opts;
 };
 
@@ -89,6 +93,11 @@ parseArgs(int argc, char **argv, CliArgs &out)
             if (v == nullptr)
                 return false;
             out.opts.monitor_mask = std::strtoull(v, nullptr, 16);
+        } else if (arg == "--out") {
+            const char *v = value();
+            if (v == nullptr)
+                return false;
+            out.out_path = v;
         } else if (!arg.empty() && arg[0] == '-') {
             return false;
         } else if (out.app.empty()) {
@@ -141,6 +150,7 @@ main(int argc, char **argv)
         }
 
         bool any_errors = false;
+        std::string text_out;
         JsonValue results = JsonValue::array();
         for (AppBuilder *app : selected) {
             const AppLintResult result = lintApp(*app, cli.opts);
@@ -148,14 +158,20 @@ main(int argc, char **argv)
             if (cli.json)
                 results.push(result.toJson());
             else
-                std::fputs((result.toString() + "\n").c_str(), stdout);
+                text_out += result.toString() + "\n";
         }
         if (cli.json) {
-            const std::string out =
-                cli.all ? results.dump(2)
-                        : results.items().front().dump(2);
-            std::printf("%s\n", out.c_str());
+            text_out = cli.all ? results.dump(2)
+                               : results.items().front().dump(2);
+            text_out += "\n";
         }
+        if (cli.out_path.empty())
+            std::fputs(text_out.c_str(), stdout);
+        else
+            // Crash-safe report write: a crash mid-save must not leave
+            // a truncated report a CI consumer would half-parse.
+            writeFileAtomic(cli.out_path, text_out.data(),
+                            text_out.size());
         return any_errors ? 1 : 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "vidi_lint: %s\n", e.what());

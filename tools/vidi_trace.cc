@@ -17,12 +17,22 @@
  *       report concurrent (vector-clock-unordered) end pairs — the legal
  *       reordering targets for `mutate` — and polling-shaped channels
  *   vidi_trace record <app> <out> [scale] [seed] record the named Table 1
- *       app (default scale 0.1, seed 1) and save the trace to <out>
+ *       app (default scale 0.1, seed 1) and save the trace to <out>;
+ *       with --session <dir> [--checkpoint-every N] the run becomes a
+ *       crash-consistent session: full state is committed to <dir>
+ *       every N cycles (default 100000) and an interrupted run can be
+ *       continued with `vidi_trace resume <dir>`
  *   vidi_trace stats <app> [scale] [kernel]      record the named Table 1
  *       app at the given workload scale (default 0.1) and print the
  *       simulation-kernel counters: eval passes, per-module eval counts,
  *       cycles skipped and the encoder packet-pool hit rate. kernel is
  *       "activity" (default), "full", or "both" (A/B with the reduction)
+ *   vidi_trace checkpoint <dir>                  inspect a session
+ *       directory: manifest, journal entries, which checkpoint recovery
+ *       would resume from and why newer ones were skipped
+ *   vidi_trace resume <dir>                      resume the interrupted
+ *       record or replay session at <dir> from its newest committed
+ *       checkpoint (or from cycle 0 when none committed)
  *
  * This is the offline-analysis side of the paper's §4.2 tooling,
  * packaged the way a downstream user would invoke it.
@@ -32,8 +42,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "apps/app_registry.h"
+#include "checkpoint/session.h"
+#include "checkpoint/session_runner.h"
 #include "core/recorder.h"
 #include "core/runtime.h"
 #include "core/trace_mutator.h"
@@ -70,9 +83,15 @@ usage()
         "      happens-before analysis: concurrent end pairs (mutate\n"
         "      targets) and polling-shaped channels\n"
         "  vidi_trace record <app> <out> [scale] [seed]\n"
-        "      record a Table 1 app and save its trace\n"
+        "             [--session <dir>] [--checkpoint-every N]\n"
+        "      record a Table 1 app and save its trace; with --session\n"
+        "      the run checkpoints into <dir> and is resumable\n"
         "  vidi_trace stats <app> [scale] [activity|full|both]\n"
-        "      record an app and print simulation-kernel counters\n",
+        "      record an app and print simulation-kernel counters\n"
+        "  vidi_trace checkpoint <dir>\n"
+        "      inspect a session: manifest, journal, resume point\n"
+        "  vidi_trace resume <dir>\n"
+        "      resume an interrupted record/replay session\n",
         stderr);
     return 2;
 }
@@ -230,15 +249,81 @@ findApp(const std::vector<std::unique_ptr<AppBuilder>> &apps,
 
 int
 cmdRecord(const std::string &app_name, const std::string &out_path,
-          double scale, uint64_t seed)
+          double scale, uint64_t seed, const std::string &session_dir,
+          uint64_t checkpoint_every)
 {
     const auto apps = makeTable1Apps();
     AppBuilder *app = findApp(apps, app_name);
-    app->setScale(scale);
-    const RecordResult r = recordToFile(*app, out_path, seed);
+    RecordResult r;
+    if (session_dir.empty()) {
+        app->setScale(scale);
+        r = recordToFile(*app, out_path, seed);
+    } else {
+        r = recordSession(*app, session_dir, scale, seed,
+                          checkpoint_every, out_path);
+    }
     if (!r.completed)
         fatal("record: %s did not complete within the cycle budget",
               app_name.c_str());
+    std::printf("%s\n", describe(r).c_str());
+    return 0;
+}
+
+int
+cmdCheckpoint(const std::string &dir)
+{
+    const Session session = Session::open(dir);
+    const SessionManifest &m = session.manifest();
+    std::printf("%s: %s session of %s (seed %llu, scale %.2f)\n",
+                dir.c_str(), toString(VidiMode(m.mode)), m.app.c_str(),
+                static_cast<unsigned long long>(m.seed), m.scale);
+    std::printf("  checkpoint every %llu cycles; trace path %s\n",
+                static_cast<unsigned long long>(m.checkpoint_every),
+                m.trace_path.empty() ? "(none)" : m.trace_path.c_str());
+    std::printf("  journal: %zu committed checkpoint(s)\n",
+                session.journal().size());
+    for (const JournalEntry &e : session.journal())
+        std::printf("    cycle %-12llu %s\n",
+                    static_cast<unsigned long long>(e.cycle),
+                    e.file.c_str());
+
+    CheckpointImage latest;
+    std::string path;
+    std::string diagnosis;
+    if (session.latestCheckpoint(&latest, &path, &diagnosis)) {
+        if (!diagnosis.empty())
+            std::printf("  skipped damaged checkpoint(s):\n%s",
+                        diagnosis.c_str());
+        std::printf("  resume point: cycle %llu (%s, %zu state bytes)\n",
+                    static_cast<unsigned long long>(latest.cycle),
+                    path.c_str(), latest.body.size());
+        return 0;
+    }
+    if (!diagnosis.empty())
+        std::printf("  damaged checkpoint(s):\n%s", diagnosis.c_str());
+    std::printf("  resume point: none committed (resume restarts from "
+                "cycle 0)\n");
+    // An inspectable session is not an error even without checkpoints,
+    // but damage that removed every resume point is.
+    return diagnosis.empty() ? 0 : 1;
+}
+
+int
+cmdResume(const std::string &dir)
+{
+    const Session session = Session::open(dir);
+    const SessionManifest &m = session.manifest();
+    const auto apps = makeTable1Apps();
+    AppBuilder *app = findApp(apps, m.app);
+    if (VidiMode(m.mode) == VidiMode::R3_Replay) {
+        const ReplayResult r = resumeReplaySession(*app, dir);
+        std::printf("%s\n", describe(r).c_str());
+        return r.completed ? 0 : 1;
+    }
+    const RecordResult r = resumeRecordSession(*app, dir);
+    if (!r.completed)
+        fatal("resume: %s did not complete within the cycle budget",
+              m.app.c_str());
     std::printf("%s\n", describe(r).c_str());
     return 0;
 }
@@ -342,14 +427,41 @@ main(int argc, char **argv)
                 return usage();
             return cmdLint(argv[2], json);
         }
-        if (cmd == "record" && argc >= 4 && argc <= 6) {
-            return cmdRecord(argv[2], argv[3],
-                             argc >= 5 ? std::strtod(argv[4], nullptr)
-                                       : 0.1,
-                             argc == 6
-                                 ? std::strtoull(argv[5], nullptr, 0)
-                                 : 1);
+        if (cmd == "record" && argc >= 4) {
+            std::vector<std::string> pos;
+            std::string session_dir;
+            uint64_t every = 100'000;
+            for (int i = 2; i < argc; ++i) {
+                const std::string arg = argv[i];
+                if (arg == "--session") {
+                    if (++i >= argc)
+                        return usage();
+                    session_dir = argv[i];
+                } else if (arg == "--checkpoint-every") {
+                    if (++i >= argc)
+                        return usage();
+                    every = std::strtoull(argv[i], nullptr, 0);
+                } else if (!arg.empty() && arg[0] == '-') {
+                    return usage();
+                } else {
+                    pos.push_back(arg);
+                }
+            }
+            if (pos.size() < 2 || pos.size() > 4)
+                return usage();
+            return cmdRecord(
+                pos[0], pos[1],
+                pos.size() >= 3 ? std::strtod(pos[2].c_str(), nullptr)
+                                : 0.1,
+                pos.size() == 4
+                    ? std::strtoull(pos[3].c_str(), nullptr, 0)
+                    : 1,
+                session_dir, every);
         }
+        if (cmd == "checkpoint" && argc == 3)
+            return cmdCheckpoint(argv[2]);
+        if (cmd == "resume" && argc == 3)
+            return cmdResume(argv[2]);
         if (cmd == "stats" && argc >= 3 && argc <= 5) {
             return cmdStats(argv[2],
                             argc >= 4 ? std::strtod(argv[3], nullptr)
