@@ -1,0 +1,252 @@
+/**
+ * @file
+ * vidi_serve daemon microbenchmarks (google-benchmark).
+ *
+ * Pins the service-layer costs across PRs — everything here is daemon
+ * overhead on top of the simulation itself:
+ *
+ *  - BM_ServeThroughput: N concurrent clients pushing record jobs
+ *    through the full stack (socket framing, admission, worker
+ *    dispatch, session build, supervised run, reply). Reports
+ *    sessions/sec and p50/p99 job latency.
+ *  - BM_ServeEvictRehydrate: two tenants alternating step-budgeted
+ *    resumes against a max_live=1 daemon, so every job pays a full
+ *    evict (checkpoint commit) + rehydrate (restore) round trip — the
+ *    graceful-degradation path's price tag.
+ *  - BM_ServeStatus: control-plane round trip — the floor for one
+ *    frame each way with no simulation behind it.
+ *
+ * BENCH_SERVE.json records the headline numbers; the acceptance bar is
+ * that daemon overhead (status round trip) stays under a millisecond
+ * and evict+rehydrate churn stays within 3x the uninterrupted run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace vidi;
+
+std::string
+scratchDir(const std::string &leaf)
+{
+    const char *tmp = std::getenv("TMPDIR");
+    return std::string(tmp != nullptr ? tmp : "/tmp") + "/vidi_bench_" +
+           leaf;
+}
+
+ServeOptions
+serveOptions(const std::string &leaf, size_t workers, size_t max_live)
+{
+    ServeOptions opts;
+    const std::string dir = scratchDir(leaf);
+    opts.socket_path = dir + "/serve.sock";
+    opts.root_dir = dir + "/sessions";
+    opts.workers = workers;
+    opts.queue_capacity = 256;
+    opts.max_live_sessions = max_live;
+    opts.base_cfg.checkpoint_min_interval_ms = 0;
+    return opts;
+}
+
+JobRequest
+echoRecord(const std::string &tenant, const std::string &job_id)
+{
+    JobRequest request;
+    request.job_id = job_id;
+    request.kind = JobKind::Record;
+    request.tenant = tenant;
+    request.app = "EchoServer";
+    request.seed = 7;
+    request.scale = 1.0;
+    request.checkpoint_every = 0;
+    return request;
+}
+
+double
+percentileMs(std::vector<double> &samples, double pct)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const size_t idx = std::min(
+        samples.size() - 1, size_t(pct / 100.0 * double(samples.size())));
+    return samples[idx];
+}
+
+/** Full-stack job throughput and latency across concurrent clients. */
+void
+BM_ServeThroughput(benchmark::State &state)
+{
+    const size_t clients = size_t(state.range(0));
+    const size_t jobs_per_client = 4;
+
+    VidiServer server(serveOptions("throughput", /*workers=*/4,
+                                   /*max_live=*/clients + 1));
+    std::string err;
+    if (!server.start(&err)) {
+        state.SkipWithError(err.c_str());
+        return;
+    }
+    ClientOptions copts;
+    copts.socket_path = serveOptions("throughput", 4, 1).socket_path;
+
+    uint64_t sessions = 0;
+    std::vector<double> latencies_ms;
+    std::mutex mu;
+    for (auto _ : state) {
+        std::vector<std::thread> threads;
+        for (size_t c = 0; c < clients; ++c) {
+            threads.emplace_back([&, c] {
+                VidiClient client(copts);
+                std::vector<double> local;
+                for (size_t j = 0; j < jobs_per_client; ++j) {
+                    const std::string id =
+                        "bench-" + std::to_string(c) + "-" +
+                        std::to_string(j) + "-" +
+                        std::to_string(state.iterations());
+                    JobRequest request = echoRecord(
+                        "tenant-" + std::to_string(c), id);
+                    JobReply reply;
+                    std::string cerr;
+                    const auto t0 = std::chrono::steady_clock::now();
+                    if (!client.submit(request, &reply, &cerr) ||
+                        reply.status != JobStatus::Ok)
+                        continue;
+                    local.push_back(
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+                }
+                std::lock_guard<std::mutex> lk(mu);
+                latencies_ms.insert(latencies_ms.end(), local.begin(),
+                                    local.end());
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+        sessions += clients * jobs_per_client;
+    }
+    server.requestShutdown();
+    server.wait();
+
+    state.counters["sessions_per_sec"] = benchmark::Counter(
+        double(sessions), benchmark::Counter::kIsRate);
+    state.counters["p50_ms"] = percentileMs(latencies_ms, 50.0);
+    state.counters["p99_ms"] = percentileMs(latencies_ms, 99.0);
+}
+
+/** Evict+rehydrate round-trip cost under forced LRU churn. */
+void
+BM_ServeEvictRehydrate(benchmark::State &state)
+{
+    VidiServer server(
+        serveOptions("churn", /*workers=*/1, /*max_live=*/1));
+    std::string err;
+    if (!server.start(&err)) {
+        state.SkipWithError(err.c_str());
+        return;
+    }
+    ClientOptions copts;
+    copts.socket_path = serveOptions("churn", 1, 1).socket_path;
+    VidiClient client(copts);
+
+    uint64_t round = 0;
+    for (auto _ : state) {
+        // Fresh pair of sessions, then alternate step-budgeted resumes:
+        // with max_live=1 every job evicts one tenant and rehydrates
+        // the other.
+        const char *names[] = {"churn-a", "churn-b"};
+        for (const char *name : names) {
+            JobRequest request = echoRecord(
+                name, "bench-create-" + std::to_string(round) + name);
+            request.checkpoint_every = 200;
+            request.step_budget = 300;
+            JobReply reply;
+            if (!client.submit(request, &reply, &err) ||
+                reply.status != JobStatus::Running) {
+                state.SkipWithError("create did not pause");
+                break;
+            }
+        }
+        size_t finished = 0;
+        for (int i = 0; finished < 2 && i < 64; ++i) {
+            JobRequest resume;
+            resume.kind = JobKind::Resume;
+            resume.tenant = names[i % 2];
+            resume.job_id = "bench-resume-" + std::to_string(round) +
+                            "-" + std::to_string(i);
+            resume.step_budget = 300;
+            JobReply reply;
+            if (!client.submit(resume, &reply, &err)) {
+                state.SkipWithError(err.c_str());
+                break;
+            }
+            if (reply.status == JobStatus::Ok)
+                ++finished;
+            else if (reply.status != JobStatus::Running &&
+                     reply.status != JobStatus::InvalidRequest) {
+                state.SkipWithError(reply.detail.c_str());
+                break;
+            }
+        }
+        ++round;
+    }
+    const VidiServer::Stats stats = server.stats();
+    server.requestShutdown();
+    server.wait();
+
+    state.counters["evictions"] = double(stats.sessions.evictions);
+    state.counters["rehydrations"] = double(stats.sessions.rehydrations);
+    state.counters["evict_rehydrate_per_sec"] = benchmark::Counter(
+        double(stats.sessions.evictions + stats.sessions.rehydrations),
+        benchmark::Counter::kIsRate);
+}
+
+/** Control-plane floor: one Status frame each way, no simulation. */
+void
+BM_ServeStatus(benchmark::State &state)
+{
+    VidiServer server(
+        serveOptions("status", /*workers=*/1, /*max_live=*/1));
+    std::string err;
+    if (!server.start(&err)) {
+        state.SkipWithError(err.c_str());
+        return;
+    }
+    ClientOptions copts;
+    copts.socket_path = serveOptions("status", 1, 1).socket_path;
+    VidiClient client(copts);
+
+    JobRequest status;
+    status.kind = JobKind::Status;
+    status.job_id = "bench-status";
+    for (auto _ : state) {
+        JobReply reply;
+        if (!client.submitOnce(status, &reply, &err))
+            state.SkipWithError(err.c_str());
+        benchmark::DoNotOptimize(reply.detail);
+    }
+    server.requestShutdown();
+    server.wait();
+}
+
+BENCHMARK(BM_ServeThroughput)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ServeEvictRehydrate)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ServeStatus)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Incremental, evictable record/replay sessions.
+ *
+ * A LiveSession is one tenant's run held in memory: the simulator, the
+ * shim, the application instance and the crash-consistent session
+ * directory (session.h) that backs it. Unlike the one-shot harnesses it
+ * advances in bounded steps, which is what a long-running service needs:
+ *
+ *  - step(budget) advances up to @p budget cycles (committing
+ *    checkpoints at the manifest cadence) and returns, so a supervisor
+ *    can interleave wall-clock deadline checks and a worker thread is
+ *    never captured for an unbounded stretch;
+ *  - evict() commits a checkpoint of the *current* state — after it the
+ *    in-memory object can be destroyed and hydrate() rebuilds the run
+ *    bit-identically from the session directory, which is how the
+ *    session manager bounds daemon memory: a durable starting point is
+ *    guaranteed before any in-memory state is dropped;
+ *  - injected faults (SimulatedCrash, trace damage from src/fault)
+ *    surface as exceptions out of step(); committed checkpoints survive
+ *    the loss of the in-memory object, so a supervisor converts the
+ *    crash into a structured error and the tenant can resume.
+ *
+ * The one-shot session_runner harnesses are thin drivers over this
+ * class, so every crash-matrix and checkpoint test exercises the same
+ * engine the vidi_serve daemon runs.
+ */
+
+#ifndef VIDI_CHECKPOINT_LIVE_SESSION_H
+#define VIDI_CHECKPOINT_LIVE_SESSION_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "checkpoint/session.h"
+#include "core/recorder.h"
+#include "core/replayer.h"
+
+namespace vidi {
+
+class Boundary;
+class VidiShim;
+
+class LiveSession
+{
+  public:
+    /** Where the run stands; step() drives Running -> Finished. */
+    enum class Phase : uint8_t
+    {
+        Running,   ///< workload (record) or trace (replay) in progress
+        Draining,  ///< record only: flushing the trace store to DRAM
+        Finished,  ///< results available; step() is a no-op
+    };
+
+    /**
+     * Create a fresh session at @p dir per @p manifest and build the
+     * design. For replay manifests the input trace is loaded from
+     * manifest.trace_path.
+     *
+     * Built designs may hold references into the builder (the HLS host
+     * drivers keep a reference to their builder-owned spec), so @p app
+     * must outlive the session. The run harnesses keep the builder on
+     * their stack for the whole run; long-lived holders must use the
+     * owning overload.
+     */
+    static std::unique_ptr<LiveSession> create(
+        AppBuilder &app, const std::string &dir,
+        const SessionManifest &manifest);
+
+    /** As above, with the session taking ownership of the builder. */
+    static std::unique_ptr<LiveSession> create(
+        std::unique_ptr<AppBuilder> app, const std::string &dir,
+        const SessionManifest &manifest);
+
+    /**
+     * Rebuild the session at @p dir from its newest committed
+     * checkpoint (or cycle 0 when none committed). Crash-fault fields
+     * are cleared from the effective configuration so a resumed run
+     * does not re-kill itself. Same builder-lifetime contract as
+     * create().
+     */
+    static std::unique_ptr<LiveSession> hydrate(AppBuilder &app,
+                                                const std::string &dir);
+
+    /** As above, with the session taking ownership of the builder. */
+    static std::unique_ptr<LiveSession> hydrate(
+        std::unique_ptr<AppBuilder> app, const std::string &dir);
+
+    ~LiveSession();
+
+    Phase phase() const { return phase_; }
+    bool finished() const { return phase_ == Phase::Finished; }
+    uint64_t cycle() const;
+    bool isRecord() const;
+    const SessionManifest &manifest() const;
+    const std::string &dir() const;
+
+    /**
+     * Advance the run by up to @p cycle_budget cycles (~0ull = until a
+     * phase boundary or the configured cycle budgets), committing
+     * checkpoints at the manifest cadence along the way. Throws
+     * SimulatedCrash when an injected crash fault fires; the in-memory
+     * object must then be discarded, and hydrate() resumes from the
+     * last committed checkpoint.
+     */
+    Phase step(uint64_t cycle_budget = ~0ull);
+
+    /**
+     * Commit a checkpoint of the current state: the eviction barrier.
+     * No-op once Finished (a finished session has nothing to resume).
+     */
+    void evict();
+
+    /** Checkpoints committed so far (monotonic, includes evictions). */
+    uint64_t checkpointsCommitted() const;
+
+    /// @name Results
+    /// @{
+    /** Move the finished record result out; requires Finished + R2. */
+    RecordResult takeRecordResult();
+
+    /** Move the finished replay result out; requires Finished + R3. */
+    ReplayResult takeReplayResult();
+
+    /**
+     * Minimal result for a run abandoned before Finished (wall-clock
+     * timeout): identity, cycles and checkpoint stats, timed_out set,
+     * no trace. Pair with evict() so the tenant can resume.
+     */
+    RecordResult partialRecordResult() const;
+    ReplayResult partialReplayResult() const;
+    /// @}
+
+  private:
+    struct Impl;
+
+    explicit LiveSession(std::unique_ptr<Impl> impl);
+
+    void stepRecord(uint64_t slice_end);
+    void stepReplay(uint64_t slice_end);
+    void finalizeRecord();
+    void finalizeReplay();
+    void maybeCommit();
+
+    std::unique_ptr<Impl> impl_;
+    Phase phase_ = Phase::Running;
+};
+
+} // namespace vidi
+
+#endif // VIDI_CHECKPOINT_LIVE_SESSION_H

@@ -37,24 +37,11 @@ saveVidiConfig(StateWriter &w, const VidiConfig &cfg)
     w.u64(cfg.stall_escalation_cycles);
     w.u64(cfg.replay_watchdog_cycles);
     w.u64(cfg.checkpoint_min_interval_ms);
+    w.u64(cfg.job_timeout_ms);
+    w.u32(cfg.max_retries);
+    w.u64(cfg.retry_backoff_ms);
 
-    const FaultSpec &f = cfg.fault;
-    w.u64(f.seed);
-    w.u32(f.line_bit_flips);
-    w.u32(f.line_drops);
-    w.u32(f.line_dups);
-    w.u64(f.line_horizon);
-    w.u32(f.pcie_stalls);
-    w.u32(f.pcie_throttles);
-    w.u64(f.cycle_horizon);
-    w.u64(f.stall_min_cycles);
-    w.u64(f.stall_max_cycles);
-    w.u32(f.throttle_percent);
-    w.b(f.file_truncate);
-    w.u32(f.file_header_flips);
-    w.u64(f.crash_at_cycle);
-    w.b(f.crash_during_checkpoint);
-    w.b(f.crash_during_trace_append);
+    saveFaultSpec(w, cfg.fault);
 }
 
 VidiConfig
@@ -76,24 +63,11 @@ loadVidiConfig(StateReader &r)
     cfg.stall_escalation_cycles = r.u64();
     cfg.replay_watchdog_cycles = r.u64();
     cfg.checkpoint_min_interval_ms = r.u64();
+    cfg.job_timeout_ms = r.u64();
+    cfg.max_retries = r.u32();
+    cfg.retry_backoff_ms = r.u64();
 
-    FaultSpec &f = cfg.fault;
-    f.seed = r.u64();
-    f.line_bit_flips = r.u32();
-    f.line_drops = r.u32();
-    f.line_dups = r.u32();
-    f.line_horizon = r.u64();
-    f.pcie_stalls = r.u32();
-    f.pcie_throttles = r.u32();
-    f.cycle_horizon = r.u64();
-    f.stall_min_cycles = r.u64();
-    f.stall_max_cycles = r.u64();
-    f.throttle_percent = r.u32();
-    f.file_truncate = r.b();
-    f.file_header_flips = r.u32();
-    f.crash_at_cycle = r.u64();
-    f.crash_during_checkpoint = r.b();
-    f.crash_during_trace_append = r.b();
+    cfg.fault = loadFaultSpec(r);
     return cfg;
 }
 

@@ -1,346 +1,45 @@
 #include "checkpoint/session_runner.h"
 
-#include <algorithm>
-#include <chrono>
-
-#include "checkpoint/state_io.h"
-#include "core/boundary.h"
-#include "core/vidi_shim.h"
-#include "fault/fault_injector.h"
-#include "host/host_dram.h"
-#include "host/pcie_bus.h"
+#include "checkpoint/live_session.h"
+#include "core/job_clock.h"
 #include "sim/logging.h"
-#include "trace/trace_file.h"
 
 namespace vidi {
 
 namespace {
 
-/** Snapshot the complete session state: shim, host DRAM, simulator. */
-CheckpointImage
-captureImage(Simulator &sim, VidiShim &shim, HostMemory &host,
-             uint8_t mode, uint64_t seed)
-{
-    StateWriter w;
-    size_t mark = w.beginSection("shim");
-    shim.saveState(w);
-    w.endSection(mark);
-    mark = w.beginSection("host");
-    host.saveState(w);
-    w.endSection(mark);
-    mark = w.beginSection("sim");
-    sim.saveState(w);
-    w.endSection(mark);
-
-    CheckpointImage image;
-    image.mode = mode;
-    image.seed = seed;
-    image.cycle = sim.cycle();
-    image.body = w.data();
-    return image;
-}
-
-/** Overwrite a freshly reconstructed session with checkpointed state. */
-void
-restoreImage(const CheckpointImage &image, Simulator &sim, VidiShim &shim,
-             HostMemory &host, const std::string &context)
-{
-    StateReader r(image.body.data(), image.body.size(), context);
-    {
-        StateReader s = r.enterSection("shim");
-        shim.loadState(s);
-        s.expectEnd();
-    }
-    {
-        StateReader s = r.enterSection("host");
-        host.loadState(s);
-        s.expectEnd();
-    }
-    {
-        StateReader s = r.enterSection("sim");
-        sim.loadState(s);
-        s.expectEnd();
-    }
-    r.expectEnd();
-    if (sim.cycle() != image.cycle)
-        fatal("%s: restored cycle %llu does not match header cycle %llu",
-              context.c_str(),
-              static_cast<unsigned long long>(sim.cycle()),
-              static_cast<unsigned long long>(image.cycle));
-}
-
-/** Commit one checkpoint, folding latency/size into @p stats. */
-void
-commitWithStats(Session &session, Simulator &sim, VidiShim &shim,
-                HostMemory &host, uint8_t mode, uint64_t seed,
-                FaultInjector *fault, CheckpointStats &stats)
-{
-    const auto t0 = std::chrono::steady_clock::now();
-    const CheckpointImage image =
-        captureImage(sim, shim, host, mode, seed);
-    const uint64_t bytes =
-        session.commitCheckpoint(image.cycle, image, fault);
-    const auto ns = uint64_t(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - t0)
-            .count());
-    ++stats.checkpoints;
-    stats.bytes_last = bytes;
-    stats.bytes_total += bytes;
-    stats.commit_ns_total += ns;
-    stats.commit_ns_max = std::max(stats.commit_ns_max, ns);
-}
-
 /**
- * Wall-clock commit throttle: a cadence boundary that arrives sooner
- * than VidiConfig::checkpoint_min_interval_ms after the previous commit
- * is skipped, bounding checkpoint overhead even when the activity-driven
- * kernel burns through millions of cycles per wall millisecond.
+ * Drive a live session to completion, honoring the wall-clock job
+ * budget (VidiConfig::job_timeout_ms). On timeout the session is
+ * evicted — committing a checkpoint so the run is resumable — and a
+ * partial result with `timed_out` set is returned.
  */
-class CommitThrottle
-{
-  public:
-    explicit CommitThrottle(uint64_t min_interval_ms)
-        : min_ms_(min_interval_ms),
-          last_(std::chrono::steady_clock::now())
-    {
-    }
-
-    bool
-    due() const
-    {
-        return min_ms_ == 0 ||
-               std::chrono::steady_clock::now() - last_ >=
-                   std::chrono::milliseconds(min_ms_);
-    }
-
-    void committed() { last_ = std::chrono::steady_clock::now(); }
-
-  private:
-    uint64_t min_ms_;
-    std::chrono::steady_clock::time_point last_;
-};
-
-/** Next checkpoint boundary strictly after the current cycle. */
-uint64_t
-nextCheckpointCycle(uint64_t cycle, uint64_t every)
-{
-    if (every == 0)
-        return ~0ull;
-    return (cycle / every + 1) * every;
-}
-
-/** Throw SimulatedCrash if a scheduled crash fault is due. */
-void
-checkCrash(FaultInjector *fault, uint64_t cycle, const TraceStore *store)
-{
-    if (fault == nullptr)
-        return;
-    if (fault->crashAtCycle(cycle))
-        throw SimulatedCrash(FaultKind::CrashAtCycle, cycle);
-    if (store != nullptr &&
-        fault->crashAtTraceAppend(store->linesWritten()))
-        throw SimulatedCrash(FaultKind::CrashDuringTraceAppend, cycle);
-}
-
-/** The record harness behind both recordSession and its resume. */
 RecordResult
-runRecord(AppBuilder &app, Session &session, bool resume)
+driveRecord(LiveSession &live)
 {
-    const SessionManifest &m = session.manifest();
-    app.setScale(m.scale);
-    VidiConfig cfg = m.cfg;
-
-    CheckpointImage resume_image;
-    std::string resume_path;
-    bool have_resume = false;
-    if (resume) {
-        have_resume =
-            session.latestCheckpoint(&resume_image, &resume_path);
-        // The resumed run must not re-kill itself at the same point.
-        cfg.fault.crash_at_cycle = 0;
-        cfg.fault.crash_during_checkpoint = false;
-        cfg.fault.crash_during_trace_append = false;
-    }
-
-    // From here the construction mirrors recordRun() exactly — resume
-    // depends on rebuilding an identical design before restoring state.
-    Simulator sim(m.seed);
-    sim.setKernelMode(resolveKernelMode(cfg.kernel));
-    HostMemory host;
-    PcieBus &pcie = sim.add<PcieBus>("pcie", cfg.pcie_bytes_per_sec,
-                                     cfg.clock_hz);
-    const F1Channels outer = makeF1Channels(sim, "outer");
-    const F1Channels inner = makeF1Channels(sim, "inner");
-    Boundary boundary = Boundary::fromF1(outer, inner);
-    app.extendBoundary(sim, boundary, /*replaying=*/false);
-
-    RecordResult result;
-    result.app = app.name();
-    result.mode = VidiMode::R2_Record;
-    result.seed = m.seed;
-    result.input_signal_bits = boundary.inputSignalBits();
-
-    VidiShim shim(sim, std::move(boundary), VidiMode::R2_Record, host,
-                  pcie, cfg);
-    auto instance = app.build(sim, inner, &outer, &host, &pcie, m.seed);
-
-    shim.beginRecord();
-    if (have_resume)
-        restoreImage(resume_image, sim, shim, host, resume_path);
-
-    CheckpointStats &stats = result.checkpoint;
-    stats.resumed = have_resume;
-    stats.resumed_at_cycle = have_resume ? resume_image.cycle : 0;
-
-    FaultInjector *fault = shim.fault();
-    const uint64_t every = m.checkpoint_every;
-    uint64_t next_ckpt = nextCheckpointCycle(sim.cycle(), every);
-    CommitThrottle throttle(cfg.checkpoint_min_interval_ms);
-
-    while (!instance->done() && sim.cycle() < cfg.max_cycles) {
-        checkCrash(fault, sim.cycle(), shim.store());
-        uint64_t deadline = std::min(cfg.max_cycles, next_ckpt);
-        if (fault != nullptr)
-            deadline = std::min(deadline, fault->pendingCrashCycle());
-        sim.stepUntil(deadline);
-        checkCrash(fault, sim.cycle(), shim.store());
-        if (sim.cycle() >= next_ckpt) {
-            if (throttle.due()) {
-                commitWithStats(session, sim, shim, host, m.mode,
-                                m.seed, fault, stats);
-                throttle.committed();
-            }
-            next_ckpt = nextCheckpointCycle(sim.cycle(), every);
+    const JobClock clock(live.manifest().cfg.job_timeout_ms);
+    while (!live.finished()) {
+        if (clock.expired()) {
+            live.evict();
+            return live.partialRecordResult();
         }
+        live.step(clock.sliceCycles());
     }
-
-    result.completed = instance->done();
-    result.cycles = sim.cycle();
-    result.digest = instance->outputDigest();
-
-    // Drain the trace store to host DRAM, still checkpointing — a crash
-    // during the post-workload drain must be resumable too.
-    const uint64_t drain_deadline = sim.cycle() + cfg.max_cycles;
-    while (!shim.recordDrained() && sim.cycle() < drain_deadline) {
-        checkCrash(fault, sim.cycle(), shim.store());
-        uint64_t deadline = std::min(drain_deadline, next_ckpt);
-        if (fault != nullptr)
-            deadline = std::min(deadline, fault->pendingCrashCycle());
-        sim.stepUntil(deadline);
-        checkCrash(fault, sim.cycle(), shim.store());
-        if (sim.cycle() >= next_ckpt) {
-            if (throttle.due()) {
-                commitWithStats(session, sim, shim, host, m.mode,
-                                m.seed, fault, stats);
-                throttle.committed();
-            }
-            next_ckpt = nextCheckpointCycle(sim.cycle(), every);
-        }
-    }
-    if (!shim.recordDrained())
-        fatal("recordSession(%s): trace store failed to drain within "
-              "%llu cycles", result.app.c_str(),
-              static_cast<unsigned long long>(cfg.max_cycles));
-
-    result.trace = shim.collectTrace(&result.damage);
-    result.trace_bytes = shim.traceBytes();
-    result.trace_lines = shim.store()->linesWritten();
-    result.transactions = shim.monitoredTransactions();
-    result.monitor_stall_cycles = shim.monitorStallCycles();
-    result.store_fifo_high_water = shim.store()->fifoHighWater();
-    result.drain_retries = shim.store()->drainRetries();
-    result.link_stall_cycles = shim.store()->stallCycles();
-    result.overflow_drops = shim.store()->overflowDrops();
-    result.dropped_payload_bytes = shim.store()->droppedPayloadBytes();
-    result.encoder_pool_hits = shim.encoder()->poolHits();
-    result.encoder_pool_misses = shim.encoder()->poolMisses();
-    result.kernel = sim.kernelStats();
-
-    if (result.completed && !m.trace_path.empty())
-        saveTrace(m.trace_path, result.trace);
-    return result;
+    return live.takeRecordResult();
 }
 
-/** The replay harness behind both replaySession and its resume. */
 ReplayResult
-runReplay(AppBuilder &app, const Trace &trace, Session &session,
-          bool resume)
+driveReplay(LiveSession &live)
 {
-    const SessionManifest &m = session.manifest();
-    app.setScale(m.scale);
-    VidiConfig cfg = m.cfg;
-
-    CheckpointImage resume_image;
-    std::string resume_path;
-    bool have_resume = false;
-    if (resume) {
-        have_resume =
-            session.latestCheckpoint(&resume_image, &resume_path);
-        cfg.fault.crash_at_cycle = 0;
-        cfg.fault.crash_during_checkpoint = false;
-        cfg.fault.crash_during_trace_append = false;
-    }
-
-    // Mirrors replayRun() exactly (see runRecord for why).
-    Simulator sim(0);
-    sim.setKernelMode(resolveKernelMode(cfg.kernel));
-    HostMemory host;
-    PcieBus &pcie = sim.add<PcieBus>("pcie", cfg.pcie_bytes_per_sec,
-                                     cfg.clock_hz);
-    const F1Channels outer = makeF1Channels(sim, "outer");
-    const F1Channels inner = makeF1Channels(sim, "inner");
-    Boundary boundary = Boundary::fromF1(outer, inner);
-    app.extendBoundary(sim, boundary, /*replaying=*/true);
-
-    ReplayResult result;
-    result.app = app.name();
-
-    VidiShim shim(sim, std::move(boundary), VidiMode::R3_Replay, host,
-                  pcie, cfg);
-    auto instance = app.build(sim, inner, nullptr, nullptr, nullptr, 0);
-
-    shim.beginReplay(trace);
-    if (have_resume)
-        restoreImage(resume_image, sim, shim, host, resume_path);
-
-    CheckpointStats &stats = result.checkpoint;
-    stats.resumed = have_resume;
-    stats.resumed_at_cycle = have_resume ? resume_image.cycle : 0;
-
-    FaultInjector *fault = shim.fault();
-    const uint64_t every = m.checkpoint_every;
-    uint64_t next_ckpt = nextCheckpointCycle(sim.cycle(), every);
-    CommitThrottle throttle(cfg.checkpoint_min_interval_ms);
-
-    while (!shim.replayFinished() && !shim.replayStalled() &&
-           sim.cycle() < cfg.max_cycles) {
-        checkCrash(fault, sim.cycle(), nullptr);
-        uint64_t deadline = std::min(cfg.max_cycles, next_ckpt);
-        if (fault != nullptr)
-            deadline = std::min(deadline, fault->pendingCrashCycle());
-        sim.stepUntil(deadline);
-        checkCrash(fault, sim.cycle(), nullptr);
-        if (sim.cycle() >= next_ckpt) {
-            if (throttle.due()) {
-                commitWithStats(session, sim, shim, host, m.mode, 0,
-                                fault, stats);
-                throttle.committed();
-            }
-            next_ckpt = nextCheckpointCycle(sim.cycle(), every);
+    const JobClock clock(live.manifest().cfg.job_timeout_ms);
+    while (!live.finished()) {
+        if (clock.expired()) {
+            live.evict();
+            return live.partialReplayResult();
         }
+        live.step(clock.sliceCycles());
     }
-
-    result.completed = shim.replayFinished();
-    result.cycles = sim.cycle();
-    result.replayed_transactions = shim.replayedTransactions();
-    result.digest = instance->outputDigest();
-    result.validation = shim.validationTrace();
-    result.watchdog_tripped = shim.replayStalled();
-    result.diagnostic = shim.replayDiagnostic();
-    result.damage = shim.replayDamage();
-    result.kernel = sim.kernelStats();
-    return result;
+    return live.takeReplayResult();
 }
 
 } // namespace
@@ -358,23 +57,19 @@ recordSession(AppBuilder &app, const std::string &dir, double scale,
     m.checkpoint_every = checkpoint_every;
     m.trace_path = trace_out;
     m.cfg = cfg;
-    Session session = Session::create(dir, m);
-    return runRecord(app, session, /*resume=*/false);
+    auto live = LiveSession::create(app, dir, m);
+    return driveRecord(*live);
 }
 
 RecordResult
 resumeRecordSession(AppBuilder &app, const std::string &dir)
 {
-    Session session = Session::open(dir);
-    const SessionManifest &m = session.manifest();
-    if (VidiMode(m.mode) != VidiMode::R2_Record)
+    auto live = LiveSession::hydrate(app, dir);
+    if (!live->isRecord())
         fatal("resumeRecordSession(%s): session is not a recording "
-              "(mode %s)", dir.c_str(), toString(VidiMode(m.mode)));
-    if (app.name() != m.app)
-        fatal("resumeRecordSession(%s): manifest records app '%s' but "
-              "'%s' was supplied", dir.c_str(), m.app.c_str(),
-              app.name().c_str());
-    return runRecord(app, session, /*resume=*/true);
+              "(mode %s)", dir.c_str(),
+              toString(VidiMode(live->manifest().mode)));
+    return driveRecord(*live);
 }
 
 ReplayResult
@@ -390,25 +85,19 @@ replaySession(AppBuilder &app, const std::string &dir, double scale,
     m.checkpoint_every = checkpoint_every;
     m.trace_path = trace_path;
     m.cfg = cfg;
-    Session session = Session::create(dir, m);
-    const Trace trace = loadTrace(trace_path);
-    return runReplay(app, trace, session, /*resume=*/false);
+    auto live = LiveSession::create(app, dir, m);
+    return driveReplay(*live);
 }
 
 ReplayResult
 resumeReplaySession(AppBuilder &app, const std::string &dir)
 {
-    Session session = Session::open(dir);
-    const SessionManifest &m = session.manifest();
-    if (VidiMode(m.mode) != VidiMode::R3_Replay)
+    auto live = LiveSession::hydrate(app, dir);
+    if (live->isRecord())
         fatal("resumeReplaySession(%s): session is not a replay "
-              "(mode %s)", dir.c_str(), toString(VidiMode(m.mode)));
-    if (app.name() != m.app)
-        fatal("resumeReplaySession(%s): manifest records app '%s' but "
-              "'%s' was supplied", dir.c_str(), m.app.c_str(),
-              app.name().c_str());
-    const Trace trace = loadTrace(m.trace_path);
-    return runReplay(app, trace, session, /*resume=*/true);
+              "(mode %s)", dir.c_str(),
+              toString(VidiMode(live->manifest().mode)));
+    return driveReplay(*live);
 }
 
 } // namespace vidi

@@ -2,11 +2,15 @@
  * @file
  * Checkpointed record/replay harnesses.
  *
- * These mirror recordRun()/replayRun() exactly — same construction
- * order, same main/drain loops — and add a crash-consistent session
- * directory (session.h): the full session state is committed every
- * `checkpoint_every` cycles, and an interrupted run resumes from the
- * newest committed checkpoint.
+ * Thin one-shot drivers over the incremental LiveSession engine
+ * (live_session.h), which mirrors recordRun()/replayRun() exactly —
+ * same construction order, same main/drain loops — and adds a
+ * crash-consistent session directory (session.h): the full session
+ * state is committed every `checkpoint_every` cycles, and an
+ * interrupted run resumes from the newest committed checkpoint. The
+ * drivers also honor VidiConfig::job_timeout_ms: a run that exceeds
+ * its wall-clock budget is evicted (checkpointed) and returned with
+ * `timed_out` set, still resumable.
  *
  * Resume invariants:
  *

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cooperative wall-clock job deadline.
+ *
+ * The cycle-domain watchdogs (VidiConfig::max_cycles, the replay
+ * watchdog) catch simulations that stop making progress; JobClock
+ * catches ones that progress steadily but will never finish inside an
+ * acceptable wall time. The run harnesses step the simulator in bounded
+ * slices and consult the clock between slices, so enforcement is
+ * cooperative with slice granularity — good enough for supervision,
+ * with zero cost (and unchanged single-call stepping) when disabled.
+ */
+
+#ifndef VIDI_CORE_JOB_CLOCK_H
+#define VIDI_CORE_JOB_CLOCK_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace vidi {
+
+class JobClock
+{
+  public:
+    /**
+     * Arm a deadline @p timeout_ms from now; 0 disables. An armed
+     * clock's slice defaults to kDefaultSlice; pass @p slice_cycles to
+     * trade stepping overhead for deadline promptness (the vidi_serve
+     * supervisor uses a finer slice so worker threads notice expiry
+     * quickly).
+     */
+    explicit JobClock(uint64_t timeout_ms,
+                      uint64_t slice_cycles = kDefaultSlice)
+        : armed_(timeout_ms != 0), slice_(slice_cycles),
+          deadline_(std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms))
+    {
+    }
+
+    bool armed() const { return armed_; }
+
+    bool
+    expired() const
+    {
+        return armed_ && std::chrono::steady_clock::now() >= deadline_;
+    }
+
+    /**
+     * Max cycles to step before re-checking the deadline. Effectively
+     * unlimited when the clock is disarmed, so `min(budget, cycle +
+     * slice())` degenerates to the pre-supervision single-call
+     * stepping. Deliberately NOT ~0ull: harnesses compute
+     * `cycle + sliceCycles()` and a true all-ones value would wrap to
+     * `cycle - 1`, turning the step loop into a spin.
+     */
+    uint64_t
+    sliceCycles() const
+    {
+        return armed_ ? slice_ : kUnbounded;
+    }
+
+    /** Disarmed slice: larger than any run, safe against overflow. */
+    static constexpr uint64_t kUnbounded = 1ull << 62;
+
+    /** Milliseconds left; 0 when expired, ~0 when disarmed. */
+    uint64_t
+    remainingMs() const
+    {
+        if (!armed_)
+            return ~0ull;
+        const auto left = deadline_ - std::chrono::steady_clock::now();
+        if (left <= std::chrono::milliseconds(0))
+            return 0;
+        return uint64_t(
+            std::chrono::duration_cast<std::chrono::milliseconds>(left)
+                .count());
+    }
+
+    /**
+     * Default deadline-check granularity. A quarter-million cycles is
+     * ~0.5 s of full-eval simulation on the heaviest Table 1 app and
+     * microseconds under the activity kernel's bulk skipping — prompt
+     * enough for a supervisor, cheap enough to never matter.
+     */
+    static constexpr uint64_t kDefaultSlice = 256 * 1024;
+
+  private:
+    bool armed_;
+    uint64_t slice_;
+    std::chrono::steady_clock::time_point deadline_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_CORE_JOB_CLOCK_H

@@ -1,6 +1,9 @@
 #include "core/recorder.h"
 
+#include <algorithm>
+
 #include "core/boundary.h"
+#include "core/job_clock.h"
 #include "core/vidi_shim.h"
 #include "host/host_dram.h"
 #include "host/pcie_bus.h"
@@ -38,8 +41,15 @@ recordRun(AppBuilder &app, VidiMode mode, uint64_t seed,
     if (mode == VidiMode::R2_Record)
         shim.beginRecord();
 
-    while (!instance->done() && sim.cycle() < cfg.max_cycles)
-        sim.stepUntil(cfg.max_cycles);
+    const JobClock clock(cfg.job_timeout_ms);
+    while (!instance->done() && sim.cycle() < cfg.max_cycles) {
+        if (clock.expired()) {
+            result.timed_out = true;
+            break;
+        }
+        sim.stepUntil(std::min(cfg.max_cycles,
+                               sim.cycle() + clock.sliceCycles()));
+    }
 
     result.completed = instance->done();
     result.cycles = sim.cycle();
@@ -49,8 +59,17 @@ recordRun(AppBuilder &app, VidiMode mode, uint64_t seed,
         // Let the trace store finish draining to host DRAM (the paper's
         // runtime saves the trace after the application finishes).
         const uint64_t drain_deadline = sim.cycle() + cfg.max_cycles;
-        while (!shim.recordDrained() && sim.cycle() < drain_deadline)
-            sim.stepUntil(drain_deadline);
+        while (!shim.recordDrained() && sim.cycle() < drain_deadline) {
+            if (clock.expired()) {
+                result.timed_out = true;
+                result.completed = false;
+                break;
+            }
+            sim.stepUntil(std::min(drain_deadline,
+                                   sim.cycle() + clock.sliceCycles()));
+        }
+        if (result.timed_out)
+            return result;
         if (!shim.recordDrained()) {
             const TraceStore *store = shim.store();
             fatal("recordRun(%s): trace store failed to drain within %llu "

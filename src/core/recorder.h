@@ -34,6 +34,9 @@ struct RecordResult
     uint64_t seed = 0;
 
     bool completed = false;   ///< the workload finished within budget
+    /** The wall-clock job budget (VidiConfig::job_timeout_ms) expired
+     *  before completion; `completed` is false when set. */
+    bool timed_out = false;
     uint64_t cycles = 0;      ///< end-to-end execution time in cycles
     uint64_t digest = 0;      ///< application output checksum
 

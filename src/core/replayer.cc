@@ -1,6 +1,9 @@
 #include "core/replayer.h"
 
+#include <algorithm>
+
 #include "core/boundary.h"
+#include "core/job_clock.h"
 #include "core/vidi_shim.h"
 #include "host/host_dram.h"
 #include "host/pcie_bus.h"
@@ -32,10 +35,18 @@ replayRun(AppBuilder &app, const Trace &trace, const VidiConfig &cfg)
 
     shim.beginReplay(trace);
     // The watchdog turns a wedged replay into a prompt, diagnosable
-    // failure; the coarse cycle budget remains as the backstop.
+    // failure; the coarse cycle budget remains as the backstop and the
+    // wall-clock job budget bounds steady-but-endless progress.
+    const JobClock clock(cfg.job_timeout_ms);
     while (!shim.replayFinished() && !shim.replayStalled() &&
-           sim.cycle() < cfg.max_cycles)
-        sim.stepUntil(cfg.max_cycles);
+           sim.cycle() < cfg.max_cycles) {
+        if (clock.expired()) {
+            result.timed_out = true;
+            break;
+        }
+        sim.stepUntil(std::min(cfg.max_cycles,
+                               sim.cycle() + clock.sliceCycles()));
+    }
 
     result.completed = shim.replayFinished();
     result.cycles = sim.cycle();

@@ -28,6 +28,9 @@ struct ReplayResult
 {
     std::string app;
     bool completed = false;  ///< the whole trace replayed within budget
+    /** The wall-clock job budget (VidiConfig::job_timeout_ms) expired
+     *  before completion; `completed` is false when set. */
+    bool timed_out = false;
     uint64_t cycles = 0;
     uint64_t replayed_transactions = 0;
     uint64_t digest = 0;     ///< FPGA-side output checksum (may be 0)

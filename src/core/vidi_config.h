@@ -148,7 +148,52 @@ struct VidiConfig
      */
     uint64_t checkpoint_min_interval_ms = 250;
     /// @}
+
+    /// @name Job supervision & client retry (CLI and vidi_serve)
+    /// @{
+    /**
+     * Wall-clock budget for one record/replay/resume job in
+     * milliseconds; 0 disables. The cycle-domain watchdogs above catch
+     * a *stalled* simulation; this catches a simulation that makes
+     * steady progress but will never finish inside an acceptable wall
+     * time (a runaway workload scale, a pathological retry storm). The
+     * run harnesses check the deadline between bounded stepping slices
+     * and return with `timed_out` set instead of looping to the cycle
+     * budget. vidi_serve supervisors rely on it to guarantee a worker
+     * is always reclaimed.
+     */
+    uint64_t job_timeout_ms = 0;
+
+    /**
+     * Client-side retry budget for transient submit failures (connect
+     * refused while the daemon restarts, explicit overload replies).
+     * Total attempts are 1 + max_retries.
+     */
+    uint32_t max_retries = 4;
+
+    /**
+     * Base wall-clock backoff between client retries in milliseconds;
+     * doubles per retry (bounded exponential, mirroring the trace
+     * store's cycle-domain drain backoff).
+     */
+    uint64_t retry_backoff_ms = 50;
+    /// @}
 };
+
+/**
+ * Apply `VIDI_*` environment overrides to @p cfg:
+ *
+ *   VIDI_JOB_TIMEOUT_MS    -> job_timeout_ms
+ *   VIDI_MAX_RETRIES       -> max_retries
+ *   VIDI_RETRY_BACKOFF_MS  -> retry_backoff_ms
+ *
+ * (VIDI_KERNEL is handled separately by resolveKernelMode(), which
+ * consults the environment on every run.) Unset or non-numeric
+ * variables leave the field untouched. Both the CLI tools and the
+ * vidi_serve daemon call this once at startup so deployments can tune
+ * supervision without recompiling.
+ */
+void applyEnvOverrides(VidiConfig &cfg);
 
 } // namespace vidi
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "checkpoint/state_io.h"
 #include "sim/random.h"
 
 namespace vidi {
@@ -133,6 +134,121 @@ FaultPlan::toString() const
     for (const auto &e : events_)
         s += "\n  " + e.toString();
     return s;
+}
+
+void
+saveFaultSpec(StateWriter &w, const FaultSpec &f)
+{
+    w.u64(f.seed);
+    w.u32(f.line_bit_flips);
+    w.u32(f.line_drops);
+    w.u32(f.line_dups);
+    w.u64(f.line_horizon);
+    w.u32(f.pcie_stalls);
+    w.u32(f.pcie_throttles);
+    w.u64(f.cycle_horizon);
+    w.u64(f.stall_min_cycles);
+    w.u64(f.stall_max_cycles);
+    w.u32(f.throttle_percent);
+    w.b(f.file_truncate);
+    w.u32(f.file_header_flips);
+    w.u64(f.crash_at_cycle);
+    w.b(f.crash_during_checkpoint);
+    w.b(f.crash_during_trace_append);
+}
+
+FaultSpec
+loadFaultSpec(StateReader &r)
+{
+    FaultSpec f;
+    f.seed = r.u64();
+    f.line_bit_flips = r.u32();
+    f.line_drops = r.u32();
+    f.line_dups = r.u32();
+    f.line_horizon = r.u64();
+    f.pcie_stalls = r.u32();
+    f.pcie_throttles = r.u32();
+    f.cycle_horizon = r.u64();
+    f.stall_min_cycles = r.u64();
+    f.stall_max_cycles = r.u64();
+    f.throttle_percent = r.u32();
+    f.file_truncate = r.b();
+    f.file_header_flips = r.u32();
+    f.crash_at_cycle = r.u64();
+    f.crash_during_checkpoint = r.b();
+    f.crash_during_trace_append = r.b();
+    return f;
+}
+
+namespace {
+
+/** The named-knob table; one row per FaultSpec field. */
+struct FaultKnob
+{
+    const char *name;
+    void (*set)(FaultSpec &, uint64_t);
+};
+
+constexpr FaultKnob kFaultKnobs[] = {
+    {"seed", [](FaultSpec &f, uint64_t v) { f.seed = v; }},
+    {"line_bit_flips",
+     [](FaultSpec &f, uint64_t v) { f.line_bit_flips = uint32_t(v); }},
+    {"line_drops",
+     [](FaultSpec &f, uint64_t v) { f.line_drops = uint32_t(v); }},
+    {"line_dups",
+     [](FaultSpec &f, uint64_t v) { f.line_dups = uint32_t(v); }},
+    {"line_horizon",
+     [](FaultSpec &f, uint64_t v) { f.line_horizon = v; }},
+    {"pcie_stalls",
+     [](FaultSpec &f, uint64_t v) { f.pcie_stalls = uint32_t(v); }},
+    {"pcie_throttles",
+     [](FaultSpec &f, uint64_t v) { f.pcie_throttles = uint32_t(v); }},
+    {"cycle_horizon",
+     [](FaultSpec &f, uint64_t v) { f.cycle_horizon = v; }},
+    {"stall_min_cycles",
+     [](FaultSpec &f, uint64_t v) { f.stall_min_cycles = v; }},
+    {"stall_max_cycles",
+     [](FaultSpec &f, uint64_t v) { f.stall_max_cycles = v; }},
+    {"throttle_percent",
+     [](FaultSpec &f, uint64_t v) { f.throttle_percent = uint32_t(v); }},
+    {"file_truncate",
+     [](FaultSpec &f, uint64_t v) { f.file_truncate = v != 0; }},
+    {"file_header_flips",
+     [](FaultSpec &f, uint64_t v) { f.file_header_flips = uint32_t(v); }},
+    {"crash_at_cycle",
+     [](FaultSpec &f, uint64_t v) { f.crash_at_cycle = v; }},
+    {"crash_during_checkpoint",
+     [](FaultSpec &f, uint64_t v) { f.crash_during_checkpoint = v != 0; }},
+    {"crash_during_trace_append",
+     [](FaultSpec &f, uint64_t v) {
+         f.crash_during_trace_append = v != 0;
+     }},
+};
+
+} // namespace
+
+bool
+applyFaultKnob(FaultSpec &spec, const std::string &key, uint64_t value)
+{
+    for (const FaultKnob &knob : kFaultKnobs) {
+        if (key == knob.name) {
+            knob.set(spec, value);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+faultKnobNames()
+{
+    std::string names;
+    for (const FaultKnob &knob : kFaultKnobs) {
+        if (!names.empty())
+            names += ' ';
+        names += knob.name;
+    }
+    return names;
 }
 
 } // namespace vidi

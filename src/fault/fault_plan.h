@@ -109,6 +109,33 @@ struct FaultSpec
     }
 };
 
+class StateReader;
+class StateWriter;
+
+/**
+ * Serialize every FaultSpec field. This is a versioning boundary shared
+ * by the session manifest (checkpoint/session.cc) and the vidi_serve
+ * wire protocol — a tenant's submit can carry a full fault schedule, so
+ * the daemon's robustness contract is testable over the socket.
+ */
+void saveFaultSpec(StateWriter &w, const FaultSpec &spec);
+FaultSpec loadFaultSpec(StateReader &r);
+
+/**
+ * Set the FaultSpec field named @p key (e.g. "crash_at_cycle",
+ * "line_bit_flips", "file_truncate") to @p value. The named-knob form
+ * is how fault injection reaches a running daemon: `vidi_serve submit
+ * --fault key=value` and the server's request decoder both resolve
+ * knobs through this single table.
+ *
+ * @return false when @p key names no FaultSpec field
+ */
+bool applyFaultKnob(FaultSpec &spec, const std::string &key,
+                    uint64_t value);
+
+/** Space-separated knob names accepted by applyFaultKnob (for usage). */
+std::string faultKnobNames();
+
 /**
  * The expanded, ordered fault schedule.
  */

@@ -1,0 +1,66 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "serve/wire.h"
+
+namespace vidi {
+
+bool
+VidiClient::submitOnce(const JobRequest &request, JobReply *reply,
+                       std::string *err)
+{
+    wire::Fd conn = wire::connectUnix(opts_.socket_path, err);
+    if (!conn.valid())
+        return false;
+    if (!wire::setIoTimeout(conn.get(), opts_.io_timeout_ms, err))
+        return false;
+    if (!wire::sendFrame(conn.get(), request.encode(), err))
+        return false;
+    std::vector<uint8_t> payload;
+    if (wire::recvFrame(conn.get(), &payload, err) != 1) {
+        if (err != nullptr && err->empty())
+            *err = "connection closed before reply";
+        return false;
+    }
+    return JobReply::decode(payload, reply, err);
+}
+
+bool
+VidiClient::submit(const JobRequest &request, JobReply *reply,
+                   std::string *err)
+{
+    constexpr uint64_t kMaxBackoffMs = 2'000;
+    std::string attempt_err;
+    last_attempts_ = 0;
+
+    for (uint32_t attempt = 0; attempt <= opts_.max_retries; ++attempt) {
+        if (attempt != 0) {
+            const uint64_t backoff = std::min<uint64_t>(
+                kMaxBackoffMs,
+                opts_.retry_backoff_ms << (attempt - 1));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff));
+        }
+        ++last_attempts_;
+        attempt_err.clear();
+        if (submitOnce(request, reply, &attempt_err)) {
+            if (!isRetryable(reply->status))
+                return true;
+            attempt_err = "retryable reply: " +
+                          std::string(toString(reply->status));
+            continue;
+        }
+        // Transport failure: the job may still be running server-side.
+        // The idempotent job_id makes the re-submit safe.
+    }
+    if (err != nullptr)
+        *err = "job " + request.job_id + " not settled after " +
+               std::to_string(last_attempts_) +
+               " attempts (last error: " + attempt_err + ")";
+    return false;
+}
+
+} // namespace vidi

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Resilient vidi_serve client.
+ *
+ * submit() wraps the one-frame-each-way transport in a bounded
+ * retry/backoff loop driven by the VidiConfig knobs (max_retries,
+ * retry_backoff_ms). Retries always reuse the caller's job_id, and the
+ * daemon's idempotency cache turns a re-submit of a finished job into
+ * its recorded reply — so the client can retry aggressively without
+ * ever double-running a recording:
+ *
+ *  - transport failures (connect refused, I/O timeout, torn reply) are
+ *    retried: the job may well be executing, and the re-submit either
+ *    lands InFlight or collects the cached outcome;
+ *  - retryable statuses (Overloaded, InFlight, ShuttingDown) are
+ *    retried after exponential backoff;
+ *  - terminal statuses (Ok, Failed, Crashed, ...) are returned as-is.
+ */
+
+#ifndef VIDI_SERVE_CLIENT_H
+#define VIDI_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace vidi {
+
+struct ClientOptions
+{
+    std::string socket_path;
+    uint32_t max_retries = 4;        ///< additional attempts after the first
+    uint64_t retry_backoff_ms = 50;  ///< base backoff, doubled per retry
+    uint64_t io_timeout_ms = 10'000; ///< per-attempt socket timeout
+};
+
+class VidiClient
+{
+  public:
+    explicit VidiClient(ClientOptions opts) : opts_(std::move(opts)) {}
+
+    /**
+     * Submit @p request with bounded retry/backoff.
+     * @return true when a terminal reply was received; false (with
+     *         @p err) when attempts were exhausted on transport errors
+     *         or retryable statuses.
+     */
+    bool submit(const JobRequest &request, JobReply *reply,
+                std::string *err);
+
+    /** One transport attempt, no retries. */
+    bool submitOnce(const JobRequest &request, JobReply *reply,
+                    std::string *err);
+
+    /** Attempts consumed by the last submit() call. */
+    uint32_t lastAttempts() const { return last_attempts_; }
+
+  private:
+    ClientOptions opts_;
+    uint32_t last_attempts_ = 0;
+};
+
+} // namespace vidi
+
+#endif // VIDI_SERVE_CLIENT_H

@@ -1,0 +1,396 @@
+#include "serve/server.h"
+
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "checkpoint/atomic_file.h"
+#include "serve/supervisor.h"
+#include "sim/logging.h"
+
+namespace vidi {
+
+namespace {
+
+/** The one server routed to by the process signal handlers. */
+std::atomic<VidiServer *> g_signal_server{nullptr};
+
+void
+onTermSignal(int)
+{
+    VidiServer *server = g_signal_server.load();
+    if (server != nullptr)
+        server->requestShutdown();
+}
+
+} // namespace
+
+VidiServer::VidiServer(ServeOptions opts)
+    : opts_(std::move(opts)),
+      sessions_(opts_.root_dir, opts_.max_live_sessions)
+{
+}
+
+VidiServer::~VidiServer()
+{
+    if (started_) {
+        requestShutdown();
+        wait();
+    }
+    if (wake_pipe_[0] >= 0)
+        ::close(wake_pipe_[0]);
+    if (wake_pipe_[1] >= 0)
+        ::close(wake_pipe_[1]);
+}
+
+bool
+VidiServer::start(std::string *err)
+{
+    makeDirs(opts_.root_dir);
+    if (::pipe(wake_pipe_) != 0) {
+        if (err != nullptr)
+            *err = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+    ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+
+    listen_fd_ = wire::listenUnix(opts_.socket_path, 64, err);
+    if (!listen_fd_.valid())
+        return false;
+
+    started_ = true;
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    workers_.reserve(opts_.workers);
+    for (size_t i = 0; i < opts_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    return true;
+}
+
+void
+VidiServer::wait()
+{
+    if (!started_)
+        return;
+    if (acceptor_.joinable())
+        acceptor_.join();
+    {
+        // Acceptor is gone: nothing new can enter the queue. Wake the
+        // workers so they finish the backlog and exit.
+        std::lock_guard<std::mutex> lk(mu_);
+        drained_.store(true);
+        cv_.notify_all();
+    }
+    for (std::thread &worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
+    workers_.clear();
+    // All leases returned: every live session is idle and drainable.
+    sessions_.drainAll();
+    ::unlink(opts_.socket_path.c_str());
+    started_ = false;
+}
+
+void
+VidiServer::requestShutdown()
+{
+    // Async-signal-safe: one atomic store and one write().
+    stop_.store(true);
+    if (wake_pipe_[1] >= 0) {
+        const char byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+    }
+}
+
+void
+VidiServer::installSignalHandlers(VidiServer *server)
+{
+    g_signal_server.store(server);
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = server != nullptr ? onTermSignal : SIG_DFL;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+}
+
+void
+VidiServer::acceptLoop()
+{
+    while (!stop_.load()) {
+        pollfd fds[2];
+        fds[0].fd = listen_fd_.get();
+        fds[0].events = POLLIN;
+        fds[1].fd = wake_pipe_[0];
+        fds[1].events = POLLIN;
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("vidi_serve: poll failed: %s", std::strerror(errno));
+            break;
+        }
+        if ((fds[1].revents & POLLIN) != 0 || stop_.load())
+            break;
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+        wire::Fd conn(::accept(listen_fd_.get(), nullptr, nullptr));
+        if (!conn.valid())
+            continue;
+        handleConnection(std::move(conn));
+    }
+    // Stop admitting, then flush the queue with retryable rejections —
+    // the workers only need to finish what they already started.
+    std::deque<Job> rejected;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        rejected.swap(queue_);
+        stats_.rejected_shutdown += rejected.size();
+        cv_.notify_all();
+    }
+    for (Job &job : rejected) {
+        JobReply reply;
+        reply.job_id = job.request.job_id;
+        reply.status = JobStatus::ShuttingDown;
+        reply.detail = "daemon draining; retry against the next instance";
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            in_flight_.erase(job.request.job_id);
+        }
+        std::string err;
+        wire::sendFrame(job.conn.get(), reply.encode(), &err);
+    }
+}
+
+void
+VidiServer::handleConnection(wire::Fd conn)
+{
+    std::string err;
+    wire::setIoTimeout(conn.get(), opts_.io_timeout_ms, &err);
+
+    std::vector<uint8_t> payload;
+    if (wire::recvFrame(conn.get(), &payload, &err) != 1) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.invalid;
+        return;  // nothing decodable to reply to
+    }
+
+    JobRequest request;
+    JobReply reply;
+    if (!JobRequest::decode(payload, &request, &err)) {
+        reply.status = JobStatus::InvalidRequest;
+        reply.detail = err;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.invalid;
+        }
+        wire::sendFrame(conn.get(), reply.encode(), &err);
+        return;
+    }
+    reply.job_id = request.job_id;
+
+    // Control-plane requests are answered inline so they keep working
+    // when the queue is saturated — overload must be observable.
+    if (request.kind == JobKind::Status) {
+        reply.status = JobStatus::Ok;
+        reply.detail = statusText();
+        wire::sendFrame(conn.get(), reply.encode(), &err);
+        return;
+    }
+    if (request.kind == JobKind::Shutdown) {
+        requestShutdown();
+        reply.status = JobStatus::Ok;
+        reply.detail = "draining";
+        wire::sendFrame(conn.get(), reply.encode(), &err);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stop_.load()) {
+            reply.status = JobStatus::ShuttingDown;
+            reply.detail = "daemon draining";
+            ++stats_.rejected_shutdown;
+        } else if (request.job_id.empty()) {
+            reply.status = JobStatus::InvalidRequest;
+            reply.detail = "empty job_id";
+            ++stats_.invalid;
+        } else if (auto it = reply_cache_.find(request.job_id);
+                   it != reply_cache_.end()) {
+            // Idempotent re-submit: hand back the recorded outcome so a
+            // client retry can never double-run a job.
+            reply = it->second;
+            reply.cached = true;
+            ++stats_.cache_hits;
+        } else if (in_flight_.count(request.job_id) != 0) {
+            reply.status = JobStatus::InFlight;
+            reply.detail = "job still executing; retry for its result";
+            ++stats_.inflight_hits;
+        } else if (queue_.size() >= opts_.queue_capacity) {
+            reply.status = JobStatus::Overloaded;
+            reply.detail = "admission queue full (" +
+                           std::to_string(queue_.size()) +
+                           " jobs); retry with backoff";
+            ++stats_.rejected_overload;
+        } else {
+            in_flight_[request.job_id] = true;
+            queue_.push_back(Job{std::move(request), std::move(conn)});
+            ++stats_.accepted;
+            cv_.notify_one();
+            return;  // the worker owns the connection and the reply
+        }
+    }
+    wire::sendFrame(conn.get(), reply.encode(), &err);
+}
+
+void
+VidiServer::workerLoop()
+{
+    while (true) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [this] {
+                return !queue_.empty() || drained_.load();
+            });
+            if (queue_.empty())
+                return;  // stopping and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        JobReply reply = execute(job.request);
+        reply.job_id = job.request.job_id;
+        finishJob(job.request.job_id, std::move(reply),
+                  std::move(job.conn));
+    }
+}
+
+void
+VidiServer::finishJob(const std::string &job_id, JobReply reply,
+                      wire::Fd conn)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        in_flight_.erase(job_id);
+        cacheReplyLocked(job_id, reply);
+        ++stats_.completed;
+    }
+    std::string err;
+    if (!wire::sendFrame(conn.get(), reply.encode(), &err))
+        warn("vidi_serve: reply for job %s lost: %s", job_id.c_str(),
+             err.c_str());
+}
+
+void
+VidiServer::cacheReplyLocked(const std::string &job_id,
+                             const JobReply &reply)
+{
+    if (reply_cache_.emplace(job_id, reply).second)
+        reply_order_.push_back(job_id);
+    while (reply_order_.size() > opts_.reply_cache_capacity) {
+        reply_cache_.erase(reply_order_.front());
+        reply_order_.pop_front();
+    }
+}
+
+JobReply
+VidiServer::execute(const JobRequest &request)
+{
+    switch (request.kind) {
+      case JobKind::Record:
+      case JobKind::Replay:
+      case JobKind::Resume:
+        return executeSession(request);
+      case JobKind::Verify:
+        return superviseVerify(request.trace_path);
+      default: {
+        JobReply reply;
+        reply.status = JobStatus::InvalidRequest;
+        reply.detail = "unexpected job kind";
+        return reply;
+      }
+    }
+}
+
+JobReply
+VidiServer::executeSession(const JobRequest &request)
+{
+    SessionManager::Lease lease;
+    if (request.kind == JobKind::Resume) {
+        lease = sessions_.acquireExisting(request.tenant);
+    } else {
+        SessionManifest manifest;
+        manifest.app = request.app;
+        manifest.mode = uint8_t(request.kind == JobKind::Record
+                                    ? VidiMode::R2_Record
+                                    : VidiMode::R3_Replay);
+        manifest.seed = request.seed;
+        manifest.scale = request.scale;
+        manifest.checkpoint_every = request.checkpoint_every;
+        manifest.trace_path = request.trace_path;
+        manifest.cfg = opts_.base_cfg;
+        // The request's FaultSpec is the server-side injection hook:
+        // faults are scoped to this tenant's session and nothing else.
+        manifest.cfg.fault = request.fault;
+        lease = sessions_.acquireFresh(request.tenant, manifest);
+    }
+
+    if (lease.session == nullptr) {
+        JobReply reply;
+        reply.status = lease.status;
+        reply.detail = lease.error;
+        if (lease.status == JobStatus::Failed)
+            reply.error_class = "session-setup";
+        return reply;
+    }
+
+    const uint64_t timeout_ms = request.job_timeout_ms != 0
+                                    ? request.job_timeout_ms
+                                    : opts_.job_timeout_ms;
+    SuperviseOutcome outcome =
+        superviseSession(*lease.session, request.step_budget, timeout_ms);
+    if (lease.rehydrated)
+        outcome.reply.detail += " [rehydrated]";
+    sessions_.release(request.tenant, outcome.disposition);
+    return outcome.reply;
+}
+
+std::string
+VidiServer::statusText() const
+{
+    const Stats s = stats();
+    std::string text;
+    text += "accepted=" + std::to_string(s.accepted);
+    text += " completed=" + std::to_string(s.completed);
+    text += " overloaded=" + std::to_string(s.rejected_overload);
+    text += " shutdown_rejects=" + std::to_string(s.rejected_shutdown);
+    text += " invalid=" + std::to_string(s.invalid);
+    text += " cache_hits=" + std::to_string(s.cache_hits);
+    text += " inflight_hits=" + std::to_string(s.inflight_hits);
+    text += " queue_depth=" + std::to_string(s.queue_depth);
+    text += " sessions_live=" + std::to_string(s.sessions.live);
+    text += " sessions_busy=" + std::to_string(s.sessions.busy);
+    text += " creations=" + std::to_string(s.sessions.creations);
+    text += " rehydrations=" + std::to_string(s.sessions.rehydrations);
+    text += " evictions=" + std::to_string(s.sessions.evictions);
+    return text;
+}
+
+VidiServer::Stats
+VidiServer::stats() const
+{
+    Stats s;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        s = stats_;
+        s.queue_depth = queue_.size();
+    }
+    s.sessions = sessions_.stats();
+    return s;
+}
+
+} // namespace vidi

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The vidi_serve daemon: a multi-tenant record/replay service.
+ *
+ * Architecture (one process):
+ *
+ *   acceptor thread ── poll(listen, self-pipe)
+ *        │  reads one request frame per connection (bounded I/O
+ *        │  timeout), answers Status/cached/duplicate/overload
+ *        │  replies inline, otherwise enqueues the job
+ *        ▼
+ *   bounded job queue ── admission control: when full the client gets
+ *        │  an explicit Overloaded reply instead of latency
+ *        ▼
+ *   worker pool ── each worker leases the tenant's session from the
+ *        SessionManager, runs it under a supervisor (wall-clock and
+ *        cycle budgets, structured failure conversion) and writes the
+ *        reply
+ *
+ * Failure containment: a tenant whose session crashes (injected fault,
+ * SimFatal, anything thrown) costs the daemon one error reply and one
+ * poisoned in-memory session; every other tenant's job proceeds
+ * untouched, and the poisoned tenant can resume from its last committed
+ * checkpoint.
+ *
+ * Shutdown (SIGTERM / Shutdown request / requestShutdown): stop
+ * accepting, reject still-queued jobs with retryable ShuttingDown
+ * replies, finish in-flight jobs, then commit every live session's
+ * checkpoint (SessionManager::drainAll) so nothing is lost.
+ */
+
+#ifndef VIDI_SERVE_SERVER_H
+#define VIDI_SERVE_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/vidi_config.h"
+#include "serve/protocol.h"
+#include "serve/session_manager.h"
+#include "serve/wire.h"
+
+namespace vidi {
+
+struct ServeOptions
+{
+    std::string socket_path;  ///< Unix socket to listen on
+    std::string root_dir;     ///< parent of tenant session directories
+    size_t workers = 4;
+    size_t queue_capacity = 32;     ///< admission bound
+    size_t max_live_sessions = 8;   ///< SessionManager cap
+    /** Default per-job wall-clock budget; requests may override. */
+    uint64_t job_timeout_ms = 30'000;
+    uint64_t io_timeout_ms = 5'000; ///< per-connection socket timeout
+    size_t reply_cache_capacity = 256;  ///< idempotency window (jobs)
+    VidiConfig base_cfg;      ///< shim config template for sessions
+};
+
+class VidiServer
+{
+  public:
+    explicit VidiServer(ServeOptions opts);
+    ~VidiServer();
+
+    VidiServer(const VidiServer &) = delete;
+    VidiServer &operator=(const VidiServer &) = delete;
+
+    /**
+     * Bind the socket and start the acceptor + worker threads.
+     * @return false with @p err when the socket cannot be bound.
+     */
+    bool start(std::string *err);
+
+    /** Block until shutdown completes (all sessions drained). */
+    void wait();
+
+    /** Initiate graceful shutdown; async-signal-safe. */
+    void requestShutdown();
+
+    /**
+     * Route SIGTERM/SIGINT to requestShutdown() for @p server (pass
+     * nullptr to uninstall). One server at a time.
+     */
+    static void installSignalHandlers(VidiServer *server);
+
+    const ServeOptions &options() const { return opts_; }
+
+    /** Point-in-time counters (also served via JobKind::Status). */
+    struct Stats
+    {
+        uint64_t accepted = 0;        ///< jobs admitted to the queue
+        uint64_t completed = 0;       ///< jobs executed to a reply
+        uint64_t rejected_overload = 0;
+        uint64_t rejected_shutdown = 0;
+        uint64_t invalid = 0;         ///< malformed requests
+        uint64_t cache_hits = 0;      ///< idempotent re-submits served
+        uint64_t inflight_hits = 0;   ///< duplicate while executing
+        uint64_t queue_depth = 0;
+        SessionManager::Stats sessions;
+    };
+    Stats stats() const;
+
+  private:
+    struct Job
+    {
+        JobRequest request;
+        wire::Fd conn;
+    };
+
+    void acceptLoop();
+    void workerLoop();
+    void handleConnection(wire::Fd conn);
+    JobReply execute(const JobRequest &request);
+    JobReply executeSession(const JobRequest &request);
+    void finishJob(const std::string &job_id, JobReply reply,
+                   wire::Fd conn);
+    void cacheReplyLocked(const std::string &job_id, const JobReply &reply);
+    std::string statusText() const;
+
+    ServeOptions opts_;
+    SessionManager sessions_;
+
+    wire::Fd listen_fd_;
+    int wake_pipe_[2] = {-1, -1};  ///< self-pipe: shutdown wakeup
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> drained_{false};  ///< acceptor gone, queue flushed
+    bool started_ = false;
+
+    std::thread acceptor_;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Job> queue_;
+    std::map<std::string, JobReply> reply_cache_;
+    std::deque<std::string> reply_order_;  ///< FIFO cache eviction
+    std::map<std::string, bool> in_flight_;
+    Stats stats_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_SERVE_SERVER_H

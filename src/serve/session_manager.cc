@@ -1,0 +1,283 @@
+#include "serve/session_manager.h"
+
+#include <exception>
+#include <utility>
+
+#include "apps/app_registry.h"
+#include "apps/echo_server.h"
+#include "checkpoint/atomic_file.h"
+
+namespace vidi {
+
+std::unique_ptr<AppBuilder>
+makeServeApp(const std::string &app)
+{
+    if (app == "EchoServer") {
+        // The daemon serves the *correct* echo server: both case-study
+        // bugs disabled, so recorded traffic replays clean.
+        EchoConfig cfg;
+        cfg.fifo_buggy = false;
+        cfg.handle_strobes = true;
+        return std::make_unique<EchoAppBuilder>(cfg);
+    }
+    for (auto &builder : makeTable1Apps()) {
+        if (builder->name() == app)
+            return std::move(builder);
+    }
+    return nullptr;
+}
+
+std::string
+serveAppNames()
+{
+    std::string names = "EchoServer";
+    for (const auto &builder : makeTable1Apps())
+        names += ", " + builder->name();
+    return names;
+}
+
+SessionManager::SessionManager(std::string root_dir, size_t max_live)
+    : root_dir_(std::move(root_dir)), max_live_(max_live)
+{
+}
+
+std::string
+SessionManager::dirFor(const std::string &tenant) const
+{
+    return root_dir_ + "/" + tenant;
+}
+
+bool
+SessionManager::validTenant(const std::string &tenant)
+{
+    if (tenant.empty() || tenant.size() > 128 || tenant[0] == '.')
+        return false;
+    for (const char c : tenant) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                        c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+SessionManager::Lease
+SessionManager::install(std::unique_lock<std::mutex> &lk,
+                        const std::string &tenant,
+                        std::unique_ptr<LiveSession> live, bool rehydrated)
+{
+    Lease lease;
+    lease.session = live.get();
+    lease.rehydrated = rehydrated;
+
+    Entry &entry = entries_[tenant];
+    entry.live = std::move(live);
+    entry.busy = true;
+    entry.last_used = ++use_clock_;
+    if (rehydrated)
+        ++rehydrations_;
+    else
+        ++creations_;
+    evictToCap(lk);
+    return lease;
+}
+
+SessionManager::Lease
+SessionManager::acquireFresh(const std::string &tenant,
+                             const SessionManifest &manifest)
+{
+    Lease lease;
+    if (!validTenant(tenant)) {
+        lease.status = JobStatus::InvalidRequest;
+        lease.error = "invalid tenant name '" + tenant + "'";
+        return lease;
+    }
+
+    std::unique_ptr<AppBuilder> app = makeServeApp(manifest.app);
+    if (app == nullptr) {
+        lease.status = JobStatus::InvalidRequest;
+        lease.error = "unknown app '" + manifest.app +
+                      "' (known: " + serveAppNames() + ")";
+        return lease;
+    }
+
+    std::unique_lock<std::mutex> lk(mu_);
+    Entry &entry = entries_[tenant];
+    if (entry.busy) {
+        lease.status = JobStatus::Overloaded;
+        lease.error = "tenant session busy";
+        return lease;
+    }
+    // Pin the slot, then build outside the lock: design construction
+    // and checkpoint restore are the slow path and must not stall other
+    // tenants' acquires.
+    entry.busy = true;
+    std::unique_ptr<LiveSession> old = std::move(entry.live);
+    lk.unlock();
+
+    old.reset();
+    std::unique_ptr<LiveSession> live;
+    std::string error;
+    try {
+        live = LiveSession::create(std::move(app), dirFor(tenant),
+                                   manifest);
+    } catch (const std::exception &e) {
+        error = e.what();
+    }
+
+    lk.lock();
+    if (live == nullptr) {
+        entries_.erase(tenant);
+        lease.status = JobStatus::Failed;
+        lease.error = "session create failed: " + error;
+        return lease;
+    }
+    return install(lk, tenant, std::move(live), false);
+}
+
+SessionManager::Lease
+SessionManager::acquireExisting(const std::string &tenant)
+{
+    Lease lease;
+    if (!validTenant(tenant)) {
+        lease.status = JobStatus::InvalidRequest;
+        lease.error = "invalid tenant name '" + tenant + "'";
+        return lease;
+    }
+
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = entries_.find(tenant);
+    if (it != entries_.end() && it->second.busy) {
+        lease.status = JobStatus::Overloaded;
+        lease.error = "tenant session busy";
+        return lease;
+    }
+    if (it != entries_.end() && it->second.live != nullptr) {
+        it->second.busy = true;
+        it->second.last_used = ++use_clock_;
+        lease.session = it->second.live.get();
+        return lease;
+    }
+
+    const std::string dir = dirFor(tenant);
+    if (!fileExists(dir + "/manifest.vssn")) {
+        lease.status = JobStatus::InvalidRequest;
+        lease.error = "no session for tenant '" + tenant + "'";
+        return lease;
+    }
+    // Pin before the slow rehydrate, as in acquireFresh.
+    entries_[tenant].busy = true;
+    lk.unlock();
+
+    std::unique_ptr<LiveSession> live;
+    std::string error;
+    try {
+        const Session session = Session::open(dir);
+        std::unique_ptr<AppBuilder> app =
+            makeServeApp(session.manifest().app);
+        if (app == nullptr)
+            error = "unknown app '" + session.manifest().app + "'";
+        else
+            live = LiveSession::hydrate(std::move(app), dir);
+    } catch (const std::exception &e) {
+        error = e.what();
+    }
+
+    lk.lock();
+    if (live == nullptr) {
+        entries_.erase(tenant);
+        lease.status = JobStatus::Failed;
+        lease.error = "session rehydrate failed: " + error;
+        return lease;
+    }
+    return install(lk, tenant, std::move(live), true);
+}
+
+void
+SessionManager::release(const std::string &tenant,
+                        SessionDisposition disposition)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = entries_.find(tenant);
+    if (it == entries_.end() || !it->second.busy)
+        return;
+    it->second.busy = false;
+    it->second.last_used = ++use_clock_;
+    if (disposition != SessionDisposition::Idle) {
+        // Finished: nothing left to resume. Poisoned: the in-memory
+        // object is untrusted; the session directory's last committed
+        // checkpoint is the tenant's resume point. Either way the
+        // entry goes — acquireExisting falls back to the directory.
+        entries_.erase(it);
+        return;
+    }
+    evictToCap(lk);
+}
+
+void
+SessionManager::evictToCap(std::unique_lock<std::mutex> &lk)
+{
+    while (true) {
+        uint64_t live_count = 0;
+        std::map<std::string, Entry>::iterator victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->second.live == nullptr)
+                continue;
+            ++live_count;
+            if (it->second.busy)
+                continue;
+            if (victim == entries_.end() ||
+                it->second.last_used < victim->second.last_used) {
+                victim = it;
+            }
+        }
+        if (live_count <= max_live_ || victim == entries_.end())
+            return;
+
+        // Pin the victim and commit outside the lock — the eviction
+        // barrier is fsync-heavy. A concurrent acquire for this tenant
+        // sees busy and replies retryably.
+        const std::string tenant = victim->first;
+        victim->second.busy = true;
+        std::unique_ptr<LiveSession> live = std::move(victim->second.live);
+        lk.unlock();
+        live->evict();
+        live.reset();
+        lk.lock();
+        ++evictions_;
+        entries_.erase(tenant);
+    }
+}
+
+void
+SessionManager::drainAll()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (auto &kv : entries_) {
+        if (kv.second.live == nullptr || kv.second.busy)
+            continue;
+        kv.second.live->evict();
+        kv.second.live.reset();
+        ++evictions_;
+    }
+}
+
+SessionManager::Stats
+SessionManager::stats() const
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    Stats stats;
+    for (const auto &kv : entries_) {
+        if (kv.second.live != nullptr)
+            ++stats.live;
+        if (kv.second.busy)
+            ++stats.busy;
+    }
+    stats.creations = creations_;
+    stats.rehydrations = rehydrations_;
+    stats.evictions = evictions_;
+    return stats;
+}
+
+} // namespace vidi

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tenant session cache with LRU eviction — the daemon's graceful
+ * degradation layer.
+ *
+ * The manager owns every LiveSession the daemon holds in memory, keyed
+ * by tenant name, and enforces two invariants:
+ *
+ *  - bounded memory: at most `max_live` sessions are live at once.
+ *    When an acquire or release pushes past the cap, the
+ *    least-recently-used *idle* session is evicted: its state is
+ *    committed to its session directory (LiveSession::evict — the
+ *    durable barrier) and the in-memory object destroyed. A later
+ *    acquire rehydrates it bit-identically from disk, so eviction is
+ *    invisible to the tenant apart from latency.
+ *
+ *  - exclusive leases: a session is leased to exactly one worker at a
+ *    time. acquire marks it busy, release returns it with a
+ *    disposition (Idle / Finished / Poisoned). A second job for a busy
+ *    tenant gets a retryable error instead of a data race.
+ *
+ * All failures are reported as a status + message in the Lease; the
+ * manager never throws across its API.
+ */
+
+#ifndef VIDI_SERVE_SESSION_MANAGER_H
+#define VIDI_SERVE_SESSION_MANAGER_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "checkpoint/live_session.h"
+#include "serve/protocol.h"
+#include "serve/supervisor.h"
+
+namespace vidi {
+
+/**
+ * Fresh builder for @p app: any Table 1 registry name, or "EchoServer"
+ * (the correct, bug-free server — the daemon's traffic workload).
+ * Returns nullptr for unknown names. A new builder per call keeps
+ * concurrent session construction race-free.
+ */
+std::unique_ptr<AppBuilder> makeServeApp(const std::string &app);
+
+/** Comma-separated list of the names makeServeApp accepts. */
+std::string serveAppNames();
+
+class SessionManager
+{
+  public:
+    /**
+     * @param root_dir parent of all tenant session directories
+     * @param max_live in-memory session cap (exceeded only transiently
+     *        when every resident session is busy)
+     */
+    SessionManager(std::string root_dir, size_t max_live);
+
+    struct Lease
+    {
+        /** Leased session; nullptr on failure (see status/error). */
+        LiveSession *session = nullptr;
+        JobStatus status = JobStatus::Ok;
+        std::string error;
+        bool rehydrated = false;  ///< rebuilt from disk for this lease
+    };
+
+    /**
+     * Lease a brand-new session for @p tenant, discarding any previous
+     * in-memory state and re-initializing the session directory.
+     * Fails Overloaded when the tenant's session is busy.
+     */
+    Lease acquireFresh(const std::string &tenant,
+                       const SessionManifest &manifest);
+
+    /**
+     * Lease @p tenant's existing session: the live object when
+     * resident, else rehydrated from the session directory. Fails
+     * Overloaded when busy, InvalidRequest when no session exists.
+     */
+    Lease acquireExisting(const std::string &tenant);
+
+    /** Return a leased session with the supervisor's disposition. */
+    void release(const std::string &tenant, SessionDisposition disposition);
+
+    /**
+     * Evict every idle live session to disk (SIGTERM drain). Call with
+     * no outstanding leases to guarantee *all* sessions are committed.
+     */
+    void drainAll();
+
+    struct Stats
+    {
+        uint64_t live = 0;          ///< sessions resident in memory
+        uint64_t busy = 0;          ///< of which currently leased
+        uint64_t creations = 0;
+        uint64_t rehydrations = 0;
+        uint64_t evictions = 0;     ///< includes drainAll commits
+    };
+    Stats stats() const;
+
+    std::string dirFor(const std::string &tenant) const;
+
+    /** Tenant names are path components: [A-Za-z0-9._-]+, no leading dot. */
+    static bool validTenant(const std::string &tenant);
+
+  private:
+    struct Entry
+    {
+        std::unique_ptr<LiveSession> live;
+        bool busy = false;
+        uint64_t last_used = 0;
+    };
+
+    Lease install(std::unique_lock<std::mutex> &lk,
+                  const std::string &tenant,
+                  std::unique_ptr<LiveSession> live, bool rehydrated);
+    void evictToCap(std::unique_lock<std::mutex> &lk);
+
+    const std::string root_dir_;
+    const size_t max_live_;
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> entries_;
+    uint64_t use_clock_ = 0;
+    uint64_t creations_ = 0;
+    uint64_t rehydrations_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+} // namespace vidi
+
+#endif // VIDI_SERVE_SESSION_MANAGER_H

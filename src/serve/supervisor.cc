@@ -1,0 +1,172 @@
+#include "serve/supervisor.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "checkpoint/live_session.h"
+#include "core/job_clock.h"
+#include "core/runtime.h"
+#include "fault/fault_injector.h"
+#include "sim/logging.h"
+#include "trace/trace_file.h"
+
+namespace vidi {
+
+namespace {
+
+/** Fill the result-bearing reply fields from a finished record run. */
+void
+fillFromRecord(JobReply &reply, const RecordResult &result)
+{
+    reply.cycle = result.cycles;
+    reply.digest = result.digest;
+    reply.completed = result.completed;
+    reply.detail = describe(result);
+    if (result.completed) {
+        reply.status = JobStatus::Ok;
+        if (!result.damage.clean()) {
+            reply.status = JobStatus::TraceDamage;
+            reply.error_class = "trace-damage";
+        }
+    } else {
+        reply.status = JobStatus::Failed;
+        reply.error_class = "cycle-budget";
+    }
+}
+
+/** Fill the result-bearing reply fields from a finished replay run. */
+void
+fillFromReplay(JobReply &reply, const ReplayResult &result)
+{
+    reply.cycle = result.cycles;
+    reply.digest = result.digest;
+    reply.completed = result.completed;
+    reply.detail = describe(result);
+    if (result.watchdog_tripped) {
+        reply.status = JobStatus::Failed;
+        reply.error_class = "watchdog";
+        if (!result.diagnostic.empty())
+            reply.detail += "\n" + result.diagnostic;
+    } else if (!result.damage.clean()) {
+        reply.status = JobStatus::TraceDamage;
+        reply.error_class = "trace-damage";
+    } else if (result.completed) {
+        reply.status = JobStatus::Ok;
+    } else {
+        reply.status = JobStatus::Failed;
+        reply.error_class = "cycle-budget";
+    }
+}
+
+} // namespace
+
+SuperviseOutcome
+superviseSession(LiveSession &live, uint64_t step_budget,
+                 uint64_t timeout_ms)
+{
+    SuperviseOutcome out;
+    JobReply &reply = out.reply;
+    const uint64_t checkpoints_before = live.checkpointsCommitted();
+    // A finer slice than the CLI harnesses use: a daemon worker should
+    // notice an expired budget within milliseconds, not half-seconds.
+    const JobClock clock(timeout_ms, /*slice_cycles=*/8 * 1024);
+    const uint64_t budget = step_budget == 0 ? ~0ull : step_budget;
+
+    try {
+        uint64_t stepped = 0;
+        while (!live.finished() && stepped < budget) {
+            if (clock.expired()) {
+                // Commit before declaring the timeout so the reply's
+                // promise of resumability is already durable on disk.
+                live.evict();
+                reply.status = JobStatus::Timeout;
+                reply.error_class = "job-timeout";
+                reply.detail = "wall-clock budget of " +
+                               std::to_string(timeout_ms) +
+                               " ms expired; session checkpointed";
+                reply.cycle = live.cycle();
+                reply.checkpoints =
+                    live.checkpointsCommitted() - checkpoints_before;
+                out.disposition = SessionDisposition::Idle;
+                return out;
+            }
+            const uint64_t chunk =
+                std::min(budget - stepped, clock.sliceCycles());
+            const uint64_t before = live.cycle();
+            live.step(chunk);
+            // Draining makes no cycle progress on the final flush step,
+            // so floor the accounting at 1 to guarantee termination.
+            stepped += std::max<uint64_t>(live.cycle() - before, 1);
+        }
+
+        if (!live.finished()) {
+            reply.status = JobStatus::Running;
+            reply.detail = "step budget exhausted; session live";
+            reply.cycle = live.cycle();
+            reply.checkpoints =
+                live.checkpointsCommitted() - checkpoints_before;
+            out.disposition = SessionDisposition::Idle;
+            return out;
+        }
+
+        if (live.isRecord())
+            fillFromRecord(reply, live.takeRecordResult());
+        else
+            fillFromReplay(reply, live.takeReplayResult());
+        reply.checkpoints =
+            live.checkpointsCommitted() - checkpoints_before;
+        out.disposition = SessionDisposition::Finished;
+        return out;
+    } catch (const SimulatedCrash &e) {
+        reply.status = JobStatus::Crashed;
+        reply.error_class = "SimulatedCrash";
+        reply.detail = e.what();
+    } catch (const SimFatal &e) {
+        reply.status = JobStatus::Failed;
+        reply.error_class = "SimFatal";
+        reply.detail = e.what();
+    } catch (const SimPanic &e) {
+        reply.status = JobStatus::Failed;
+        reply.error_class = "SimPanic";
+        reply.detail = e.what();
+    } catch (const std::exception &e) {
+        reply.status = JobStatus::Failed;
+        reply.error_class = "exception";
+        reply.detail = e.what();
+    }
+    // The throw may have interrupted the engine anywhere; the in-memory
+    // object is untrusted from here on. Only already-committed
+    // checkpoints (crash-consistent by construction) back a resume.
+    reply.cycle = live.cycle();
+    reply.checkpoints = live.checkpointsCommitted() - checkpoints_before;
+    out.disposition = SessionDisposition::Poisoned;
+    return out;
+}
+
+JobReply
+superviseVerify(const std::string &trace_path)
+{
+    JobReply reply;
+    try {
+        TraceDamageReport report;
+        const Trace trace = loadTrace(trace_path, report);
+        reply.cycle = trace.packets.size();
+        reply.completed = report.clean();
+        if (report.clean()) {
+            reply.status = JobStatus::Ok;
+            reply.detail = "trace ok: " +
+                           std::to_string(report.lines_ok) + " lines";
+        } else {
+            reply.status = JobStatus::TraceDamage;
+            reply.error_class = "trace-damage";
+            reply.detail = report.toString();
+        }
+    } catch (const std::exception &e) {
+        reply.status = JobStatus::Failed;
+        reply.error_class = "SimFatal";
+        reply.detail = e.what();
+    }
+    return reply;
+}
+
+} // namespace vidi

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-job supervision for session workers.
+ *
+ * A supervisor drives one tenant's LiveSession for one job and owns
+ * the robustness contract around it:
+ *
+ *  - budgets — the job advances in bounded slices, enforcing the
+ *    tenant's step budget and the wall-clock timeout
+ *    (VidiConfig::job_timeout_ms semantics); on timeout the session is
+ *    evicted first, so the reply can honestly promise "resumable";
+ *  - failure conversion — injected crashes (SimulatedCrash), user
+ *    errors (SimFatal), internal invariant violations (SimPanic) and
+ *    anything else thrown out of the engine become a structured
+ *    JobReply with an error class, never an escaped exception: one
+ *    tenant's death must cost the daemon exactly one error reply;
+ *  - disposition — the caller learns whether the in-memory session is
+ *    still leasable (Idle), done (Finished), or must be discarded
+ *    (Poisoned: resume goes back to the last committed checkpoint).
+ */
+
+#ifndef VIDI_SERVE_SUPERVISOR_H
+#define VIDI_SERVE_SUPERVISOR_H
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace vidi {
+
+class LiveSession;
+
+/** What to do with the in-memory session after a supervised job. */
+enum class SessionDisposition : uint8_t
+{
+    Idle,      ///< still live and leasable (Running / Timeout replies)
+    Finished,  ///< run complete; nothing left to resume
+    Poisoned,  ///< in-memory state must be discarded; the session
+               ///< directory (last committed checkpoint) stays valid
+};
+
+struct SuperviseOutcome
+{
+    JobReply reply;
+    SessionDisposition disposition = SessionDisposition::Poisoned;
+};
+
+/**
+ * Run @p live for one job: up to @p step_budget cycles (0 = to
+ * completion) under a wall-clock budget of @p timeout_ms (0 = none).
+ * Fills every outcome field of the reply except job_id/cached, which
+ * belong to the transport layer.
+ */
+SuperviseOutcome superviseSession(LiveSession &live, uint64_t step_budget,
+                                  uint64_t timeout_ms);
+
+/** Verify the trace at @p trace_path (storage-line CRC/seq walk). */
+JobReply superviseVerify(const std::string &trace_path);
+
+} // namespace vidi
+
+#endif // VIDI_SERVE_SUPERVISOR_H

@@ -1,0 +1,222 @@
+#include "serve/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace vidi {
+namespace wire {
+
+namespace {
+
+std::string
+errnoString(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+/** Fill a sockaddr_un; false when @p path exceeds sun_path. */
+bool
+makeAddr(const std::string &path, sockaddr_un *addr, std::string *err)
+{
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr->sun_path)) {
+        if (err != nullptr)
+            *err = "socket path too long: " + path;
+        return false;
+    }
+    std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+/** Write exactly @p len bytes, retrying short writes and EINTR. */
+bool
+writeAll(int fd, const uint8_t *data, size_t len, std::string *err)
+{
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err != nullptr)
+                *err = errnoString("send");
+            return false;
+        }
+        off += size_t(n);
+    }
+    return true;
+}
+
+/**
+ * Read exactly @p len bytes. @return 1 ok, 0 clean EOF at offset 0,
+ * -1 on error/timeout/short EOF.
+ */
+int
+readAll(int fd, uint8_t *data, size_t len, std::string *err)
+{
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::recv(fd, data + off, len - off, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err != nullptr)
+                *err = errnoString("recv");
+            return -1;
+        }
+        if (n == 0) {
+            if (off == 0)
+                return 0;
+            if (err != nullptr)
+                *err = "connection closed mid-frame";
+            return -1;
+        }
+        off += size_t(n);
+    }
+    return 1;
+}
+
+void
+put32(uint8_t *p, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = uint8_t(v >> (8 * i));
+}
+
+uint32_t
+get32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= uint32_t(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Fd
+listenUnix(const std::string &path, int backlog, std::string *err)
+{
+    sockaddr_un addr;
+    if (!makeAddr(path, &addr, err))
+        return Fd();
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) {
+        if (err != nullptr)
+            *err = errnoString("socket");
+        return Fd();
+    }
+    // A stale socket file from a dead daemon would make bind fail with
+    // EADDRINUSE forever; unlink it first (a live daemon still holds
+    // the listening socket itself, so this cannot steal a live path's
+    // traffic — the old daemon just stops receiving new connections,
+    // which is the desired takeover semantics for a restart).
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        if (err != nullptr)
+            *err = errnoString("bind");
+        return Fd();
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+        if (err != nullptr)
+            *err = errnoString("listen");
+        return Fd();
+    }
+    return fd;
+}
+
+Fd
+connectUnix(const std::string &path, std::string *err)
+{
+    sockaddr_un addr;
+    if (!makeAddr(path, &addr, err))
+        return Fd();
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) {
+        if (err != nullptr)
+            *err = errnoString("socket");
+        return Fd();
+    }
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (err != nullptr)
+            *err = errnoString("connect");
+        return Fd();
+    }
+    return fd;
+}
+
+bool
+setIoTimeout(int fd, uint64_t timeout_ms, std::string *err)
+{
+    timeval tv;
+    tv.tv_sec = time_t(timeout_ms / 1000);
+    tv.tv_usec = suseconds_t((timeout_ms % 1000) * 1000);
+    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+        if (err != nullptr)
+            *err = errnoString("setsockopt");
+        return false;
+    }
+    return true;
+}
+
+bool
+sendFrame(int fd, const std::vector<uint8_t> &payload, std::string *err)
+{
+    if (payload.size() > kMaxFrameBytes) {
+        if (err != nullptr)
+            *err = "frame payload exceeds " +
+                   std::to_string(kMaxFrameBytes) + " bytes";
+        return false;
+    }
+    uint8_t header[8];
+    put32(header, kFrameMagic);
+    put32(header + 4, uint32_t(payload.size()));
+    if (!writeAll(fd, header, sizeof(header), err))
+        return false;
+    return writeAll(fd, payload.data(), payload.size(), err);
+}
+
+int
+recvFrame(int fd, std::vector<uint8_t> *payload, std::string *err)
+{
+    uint8_t header[8];
+    const int rc = readAll(fd, header, sizeof(header), err);
+    if (rc <= 0)
+        return rc;
+    if (get32(header) != kFrameMagic) {
+        if (err != nullptr)
+            *err = "bad frame magic";
+        return -1;
+    }
+    const uint32_t len = get32(header + 4);
+    if (len > kMaxFrameBytes) {
+        if (err != nullptr)
+            *err = "frame payload of " + std::to_string(len) +
+                   " bytes exceeds the cap";
+        return -1;
+    }
+    payload->resize(len);
+    if (len != 0 && readAll(fd, payload->data(), len, err) != 1)
+        return -1;
+    return 1;
+}
+
+} // namespace wire
+} // namespace vidi

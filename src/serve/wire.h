@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Length-prefixed framing over Unix-domain sockets.
+ *
+ * The vidi_serve transport is deliberately minimal: one request frame,
+ * one reply frame, connection closed. A frame is an 8-byte header —
+ * u32 magic "VSR1", u32 payload length, both little-endian — followed
+ * by the payload (a serialized protocol message, protocol.h).
+ *
+ * Robustness contract: every operation is bounded. Sockets carry
+ * send/receive timeouts so a slow or wedged peer can never capture the
+ * acceptor or a worker forever; payload length is capped so a rogue
+ * client cannot balloon daemon memory; all failures are returned as
+ * error strings, never exceptions — a malformed connection must cost
+ * the daemon exactly one reply, not a worker.
+ */
+
+#ifndef VIDI_SERVE_WIRE_H
+#define VIDI_SERVE_WIRE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vidi {
+namespace wire {
+
+/** Frame header magic ("VSR1", little-endian). */
+constexpr uint32_t kFrameMagic = 0x31525356;
+
+/** Hard cap on one frame's payload (16 MiB). */
+constexpr size_t kMaxFrameBytes = 16u << 20;
+
+/** Close-on-destroy file descriptor. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(Fd &&other) noexcept : fd_(other.release()) {}
+    Fd &
+    operator=(Fd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    int
+    release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind and listen on a Unix socket at @p path (any stale socket file is
+ * unlinked first). Returns an invalid Fd and sets @p err on failure.
+ */
+Fd listenUnix(const std::string &path, int backlog, std::string *err);
+
+/** Connect to the Unix socket at @p path. */
+Fd connectUnix(const std::string &path, std::string *err);
+
+/** Apply send+receive timeouts (0 = blocking) to @p fd. */
+bool setIoTimeout(int fd, uint64_t timeout_ms, std::string *err);
+
+/** Send one frame; false + @p err on error or timeout. */
+bool sendFrame(int fd, const std::vector<uint8_t> &payload,
+               std::string *err);
+
+/**
+ * Receive one frame into @p payload.
+ *
+ * @return 1 on success, 0 on clean EOF before any header byte,
+ *         -1 on error/timeout/malformed header (with @p err set)
+ */
+int recvFrame(int fd, std::vector<uint8_t> *payload, std::string *err);
+
+} // namespace wire
+} // namespace vidi
+
+#endif // VIDI_SERVE_WIRE_H

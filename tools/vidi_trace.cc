@@ -36,6 +36,20 @@
  *
  * This is the offline-analysis side of the paper's §4.2 tooling,
  * packaged the way a downstream user would invoke it.
+ *
+ * Exit codes (uniform across subcommands, scriptable):
+ *   0  success
+ *   1  usage error (unknown subcommand, bad arguments)
+ *   2  runtime failure (I/O error, incomplete run, invalid input)
+ *   3  trace damage or verification mismatch (verify found damaged
+ *      lines, validate found divergences, checkpoint found only
+ *      damaged resume points)
+ *
+ * Environment: VIDI_JOB_TIMEOUT_MS, VIDI_MAX_RETRIES and
+ * VIDI_RETRY_BACKOFF_MS override the corresponding VidiConfig knobs
+ * for `record` runs (see core/vidi_config.h); a recording that hits
+ * the wall-clock budget under --session is checkpointed and exits 2
+ * with a resume hint.
  */
 
 #include <cstdio>
@@ -91,9 +105,11 @@ usage()
         "  vidi_trace checkpoint <dir>\n"
         "      inspect a session: manifest, journal, resume point\n"
         "  vidi_trace resume <dir>\n"
-        "      resume an interrupted record/replay session\n",
+        "      resume an interrupted record/replay session\n"
+        "exit codes: 0 ok, 1 usage, 2 runtime failure, 3 trace damage "
+        "or verify mismatch\n",
         stderr);
-    return 2;
+    return 1;
 }
 
 /** Resolve a channel given by name or decimal index. */
@@ -159,7 +175,7 @@ cmdVerify(const std::string &path)
         std::printf("recovered %zu packets across %llu resync(s)\n",
                     trace.packets.size(),
                     static_cast<unsigned long long>(report.resyncs));
-        return 1;
+        return 3;
     }
     return 0;
 }
@@ -194,7 +210,7 @@ cmdValidate(const std::string &ref_path, const std::string &val_path)
     std::printf("%s\n", report.summary().c_str());
     for (const auto &d : report.divergences)
         std::printf("  %s\n", d.toString().c_str());
-    return report.identical() ? 0 : 1;
+    return report.identical() ? 0 : 3;
 }
 
 int
@@ -254,13 +270,26 @@ cmdRecord(const std::string &app_name, const std::string &out_path,
 {
     const auto apps = makeTable1Apps();
     AppBuilder *app = findApp(apps, app_name);
+    VidiConfig cfg;
+    applyEnvOverrides(cfg);
     RecordResult r;
     if (session_dir.empty()) {
         app->setScale(scale);
-        r = recordToFile(*app, out_path, seed);
+        r = recordToFile(*app, out_path, seed, cfg);
     } else {
         r = recordSession(*app, session_dir, scale, seed,
-                          checkpoint_every, out_path);
+                          checkpoint_every, out_path, cfg);
+    }
+    if (r.timed_out) {
+        if (!session_dir.empty())
+            fatal("record: wall-clock budget (VIDI_JOB_TIMEOUT_MS) "
+                  "expired at cycle %llu; session checkpointed — "
+                  "continue with `vidi_trace resume %s`",
+                  static_cast<unsigned long long>(r.cycles),
+                  session_dir.c_str());
+        fatal("record: wall-clock budget (VIDI_JOB_TIMEOUT_MS) expired "
+              "at cycle %llu",
+              static_cast<unsigned long long>(r.cycles));
     }
     if (!r.completed)
         fatal("record: %s did not complete within the cycle budget",
@@ -305,7 +334,7 @@ cmdCheckpoint(const std::string &dir)
                 "cycle 0)\n");
     // An inspectable session is not an error even without checkpoints,
     // but damage that removed every resume point is.
-    return diagnosis.empty() ? 0 : 1;
+    return diagnosis.empty() ? 0 : 3;
 }
 
 int
@@ -318,9 +347,14 @@ cmdResume(const std::string &dir)
     if (VidiMode(m.mode) == VidiMode::R3_Replay) {
         const ReplayResult r = resumeReplaySession(*app, dir);
         std::printf("%s\n", describe(r).c_str());
-        return r.completed ? 0 : 1;
+        return r.completed ? 0 : 2;
     }
     const RecordResult r = resumeRecordSession(*app, dir);
+    if (r.timed_out)
+        fatal("resume: wall-clock budget expired at cycle %llu; "
+              "session re-checkpointed — run `vidi_trace resume %s` "
+              "again to continue",
+              static_cast<unsigned long long>(r.cycles), dir.c_str());
     if (!r.completed)
         fatal("resume: %s did not complete within the cycle budget",
               m.app.c_str());
@@ -470,7 +504,7 @@ main(int argc, char **argv)
         }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "vidi_trace: %s\n", e.what());
-        return 1;
+        return 2;
     }
     return usage();
 }
