@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <csignal>
 #include <cstring>
 
@@ -65,6 +66,9 @@ VidiServer::start(std::string *err)
 
     started_ = true;
     acceptor_ = std::thread([this] { acceptLoop(); });
+    io_pool_.reserve(std::max<size_t>(opts_.io_workers, 1));
+    for (size_t i = 0; i < std::max<size_t>(opts_.io_workers, 1); ++i)
+        io_pool_.emplace_back([this] { ioLoop(); });
     workers_.reserve(opts_.workers);
     for (size_t i = 0; i < opts_.workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -79,7 +83,20 @@ VidiServer::wait()
     if (acceptor_.joinable())
         acceptor_.join();
     {
-        // Acceptor is gone: nothing new can enter the queue. Wake the
+        // Acceptor is gone: no new connections. Wake the I/O pool so it
+        // drains the connection backlog (closing, not reading — the
+        // client treats EOF as a retryable transport failure) and exits.
+        std::lock_guard<std::mutex> lk(conn_mu_);
+        conn_drained_ = true;
+        conn_cv_.notify_all();
+    }
+    for (std::thread &io : io_pool_) {
+        if (io.joinable())
+            io.join();
+    }
+    io_pool_.clear();
+    {
+        // I/O pool is gone: nothing new can enter the queue. Wake the
         // workers so they finish the backlog and exit.
         std::lock_guard<std::mutex> lk(mu_);
         drained_.store(true);
@@ -141,10 +158,28 @@ VidiServer::acceptLoop()
         wire::Fd conn(::accept(listen_fd_.get(), nullptr, nullptr));
         if (!conn.valid())
             continue;
-        handleConnection(std::move(conn));
+        // Hand the fd to the I/O pool: the acceptor itself never reads
+        // from a peer, so a wedged client costs one pooled I/O wait,
+        // never admission latency for everyone else.
+        bool dropped = false;
+        {
+            std::lock_guard<std::mutex> lk(conn_mu_);
+            if (conn_queue_.size() >= opts_.conn_backlog) {
+                dropped = true;  // close: retryable connect-level failure
+            } else {
+                conn_queue_.push_back(std::move(conn));
+                conn_cv_.notify_one();
+            }
+        }
+        if (dropped) {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.dropped_conns;
+        }
     }
-    // Stop admitting, then flush the queue with retryable rejections —
-    // the workers only need to finish what they already started.
+    // Stop admitting (poll-failure exits must drain too), then flush
+    // the queue with retryable rejections — the workers only need to
+    // finish what they already started.
+    stop_.store(true);
     std::deque<Job> rejected;
     {
         std::lock_guard<std::mutex> lk(mu_);
@@ -159,10 +194,38 @@ VidiServer::acceptLoop()
         reply.detail = "daemon draining; retry against the next instance";
         {
             std::lock_guard<std::mutex> lk(mu_);
-            in_flight_.erase(job.request.job_id);
+            in_flight_.erase(keyOf(job.request));
         }
         std::string err;
         wire::sendFrame(job.conn.get(), reply.encode(), &err);
+    }
+}
+
+void
+VidiServer::ioLoop()
+{
+    while (true) {
+        wire::Fd conn;
+        {
+            std::unique_lock<std::mutex> lk(conn_mu_);
+            conn_cv_.wait(lk, [this] {
+                return !conn_queue_.empty() || conn_drained_;
+            });
+            if (conn_queue_.empty())
+                return;  // drained and nothing left to serve
+            conn = std::move(conn_queue_.front());
+            conn_queue_.pop_front();
+        }
+        if (stop_.load()) {
+            // Draining: close without reading rather than spend up to
+            // io_timeout_ms per backlogged peer; the client library
+            // retries transport failures with the same idempotent
+            // job_id.
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.dropped_conns;
+            continue;
+        }
+        handleConnection(std::move(conn));
     }
 }
 
@@ -219,14 +282,16 @@ VidiServer::handleConnection(wire::Fd conn)
             reply.status = JobStatus::InvalidRequest;
             reply.detail = "empty job_id";
             ++stats_.invalid;
-        } else if (auto it = reply_cache_.find(request.job_id);
+        } else if (auto it = reply_cache_.find(keyOf(request));
                    it != reply_cache_.end()) {
             // Idempotent re-submit: hand back the recorded outcome so a
-            // client retry can never double-run a job.
+            // client retry can never double-run a job. Keys are scoped
+            // per tenant — another tenant reusing the id is a distinct
+            // job, not a cache hit.
             reply = it->second;
             reply.cached = true;
             ++stats_.cache_hits;
-        } else if (in_flight_.count(request.job_id) != 0) {
+        } else if (in_flight_.count(keyOf(request)) != 0) {
             reply.status = JobStatus::InFlight;
             reply.detail = "job still executing; retry for its result";
             ++stats_.inflight_hits;
@@ -237,7 +302,7 @@ VidiServer::handleConnection(wire::Fd conn)
                            " jobs); retry with backoff";
             ++stats_.rejected_overload;
         } else {
-            in_flight_[request.job_id] = true;
+            in_flight_[keyOf(request)] = true;
             queue_.push_back(Job{std::move(request), std::move(conn)});
             ++stats_.accepted;
             cv_.notify_one();
@@ -264,33 +329,37 @@ VidiServer::workerLoop()
         }
         JobReply reply = execute(job.request);
         reply.job_id = job.request.job_id;
-        finishJob(job.request.job_id, std::move(reply),
+        finishJob(keyOf(job.request), std::move(reply),
                   std::move(job.conn));
     }
 }
 
 void
-VidiServer::finishJob(const std::string &job_id, JobReply reply,
-                      wire::Fd conn)
+VidiServer::finishJob(const JobKey &key, JobReply reply, wire::Fd conn)
 {
     {
         std::lock_guard<std::mutex> lk(mu_);
-        in_flight_.erase(job_id);
-        cacheReplyLocked(job_id, reply);
+        in_flight_.erase(key);
+        // A retryable outcome (e.g. Overloaded because the tenant's
+        // session was briefly busy) is not a settled result: caching it
+        // would pin the idempotency key to the transient failure and a
+        // retry of the same job_id could never execute. Only terminal
+        // outcomes settle the key.
+        if (!isRetryable(reply.status))
+            cacheReplyLocked(key, reply);
         ++stats_.completed;
     }
     std::string err;
     if (!wire::sendFrame(conn.get(), reply.encode(), &err))
-        warn("vidi_serve: reply for job %s lost: %s", job_id.c_str(),
+        warn("vidi_serve: reply for job %s lost: %s", key.second.c_str(),
              err.c_str());
 }
 
 void
-VidiServer::cacheReplyLocked(const std::string &job_id,
-                             const JobReply &reply)
+VidiServer::cacheReplyLocked(const JobKey &key, const JobReply &reply)
 {
-    if (reply_cache_.emplace(job_id, reply).second)
-        reply_order_.push_back(job_id);
+    if (reply_cache_.emplace(key, reply).second)
+        reply_order_.push_back(key);
     while (reply_order_.size() > opts_.reply_cache_capacity) {
         reply_cache_.erase(reply_order_.front());
         reply_order_.pop_front();
@@ -348,9 +417,16 @@ VidiServer::executeSession(const JobRequest &request)
         return reply;
     }
 
-    const uint64_t timeout_ms = request.job_timeout_ms != 0
-                                    ? request.job_timeout_ms
-                                    : opts_.job_timeout_ms;
+    // Client-supplied budgets are clamped server-side: an unchecked
+    // huge u64 would overflow the JobClock's signed millisecond
+    // deadline arithmetic into a past (or garbage) deadline.
+    uint64_t timeout_ms = request.job_timeout_ms != 0
+                              ? request.job_timeout_ms
+                              : opts_.job_timeout_ms;
+    if (opts_.max_job_timeout_ms != 0 &&
+        timeout_ms > opts_.max_job_timeout_ms) {
+        timeout_ms = opts_.max_job_timeout_ms;
+    }
     SuperviseOutcome outcome =
         superviseSession(*lease.session, request.step_budget, timeout_ms);
     if (lease.rehydrated)
@@ -371,6 +447,7 @@ VidiServer::statusText() const
     text += " invalid=" + std::to_string(s.invalid);
     text += " cache_hits=" + std::to_string(s.cache_hits);
     text += " inflight_hits=" + std::to_string(s.inflight_hits);
+    text += " dropped_conns=" + std::to_string(s.dropped_conns);
     text += " queue_depth=" + std::to_string(s.queue_depth);
     text += " sessions_live=" + std::to_string(s.sessions.live);
     text += " sessions_busy=" + std::to_string(s.sessions.busy);

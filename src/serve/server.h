@@ -5,7 +5,12 @@
  * Architecture (one process):
  *
  *   acceptor thread ── poll(listen, self-pipe)
- *        │  reads one request frame per connection (bounded I/O
+ *        │  only accepts and enqueues the connection fd (bounded
+ *        │  backlog; overflow closes the fd, a retryable transport
+ *        │  failure for the client) — it never does socket I/O on a
+ *        │  peer's behalf, so a wedged client cannot capture it
+ *        ▼
+ *   I/O pool ── reads one request frame per connection (bounded I/O
  *        │  timeout), answers Status/cached/duplicate/overload
  *        │  replies inline, otherwise enqueues the job
  *        ▼
@@ -40,6 +45,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/vidi_config.h"
@@ -54,10 +60,18 @@ struct ServeOptions
     std::string socket_path;  ///< Unix socket to listen on
     std::string root_dir;     ///< parent of tenant session directories
     size_t workers = 4;
+    size_t io_workers = 2;          ///< framing I/O pool size
     size_t queue_capacity = 32;     ///< admission bound
+    size_t conn_backlog = 64;       ///< accepted-but-unread fd bound
     size_t max_live_sessions = 8;   ///< SessionManager cap
     /** Default per-job wall-clock budget; requests may override. */
     uint64_t job_timeout_ms = 30'000;
+    /**
+     * Hard cap on any request's job_timeout_ms override (0 = no cap).
+     * Keeps a hostile/buggy client's huge u64 from overflowing the
+     * JobClock deadline arithmetic.
+     */
+    uint64_t max_job_timeout_ms = 3'600'000;
     uint64_t io_timeout_ms = 5'000; ///< per-connection socket timeout
     size_t reply_cache_capacity = 256;  ///< idempotency window (jobs)
     VidiConfig base_cfg;      ///< shim config template for sessions
@@ -102,6 +116,7 @@ class VidiServer
         uint64_t invalid = 0;         ///< malformed requests
         uint64_t cache_hits = 0;      ///< idempotent re-submits served
         uint64_t inflight_hits = 0;   ///< duplicate while executing
+        uint64_t dropped_conns = 0;   ///< closed: conn backlog full/drain
         uint64_t queue_depth = 0;
         SessionManager::Stats sessions;
     };
@@ -114,14 +129,27 @@ class VidiServer
         wire::Fd conn;
     };
 
+    /**
+     * Idempotency scope: (tenant, job_id). Tenants choose job ids
+     * independently, so two tenants reusing the same id must neither
+     * see each other's cached replies nor shadow each other in flight.
+     */
+    using JobKey = std::pair<std::string, std::string>;
+
+    static JobKey
+    keyOf(const JobRequest &request)
+    {
+        return JobKey(request.tenant, request.job_id);
+    }
+
     void acceptLoop();
+    void ioLoop();
     void workerLoop();
     void handleConnection(wire::Fd conn);
     JobReply execute(const JobRequest &request);
     JobReply executeSession(const JobRequest &request);
-    void finishJob(const std::string &job_id, JobReply reply,
-                   wire::Fd conn);
-    void cacheReplyLocked(const std::string &job_id, const JobReply &reply);
+    void finishJob(const JobKey &key, JobReply reply, wire::Fd conn);
+    void cacheReplyLocked(const JobKey &key, const JobReply &reply);
     std::string statusText() const;
 
     ServeOptions opts_;
@@ -134,14 +162,21 @@ class VidiServer
     bool started_ = false;
 
     std::thread acceptor_;
+    std::vector<std::thread> io_pool_;
     std::vector<std::thread> workers_;
+
+    /** Accepted connections awaiting their request frame (I/O pool). */
+    std::mutex conn_mu_;
+    std::condition_variable conn_cv_;
+    std::deque<wire::Fd> conn_queue_;
+    bool conn_drained_ = false;  ///< acceptor gone; I/O pool may exit
 
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::deque<Job> queue_;
-    std::map<std::string, JobReply> reply_cache_;
-    std::deque<std::string> reply_order_;  ///< FIFO cache eviction
-    std::map<std::string, bool> in_flight_;
+    std::map<JobKey, JobReply> reply_cache_;
+    std::deque<JobKey> reply_order_;  ///< FIFO cache eviction
+    std::map<JobKey, bool> in_flight_;
     Stats stats_;
 };
 

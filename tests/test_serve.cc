@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <map>
@@ -545,6 +546,134 @@ TEST_F(ServeEndToEnd, OverloadAndInvalidRequestsAreStructured)
     JobRequest evil = recordRequest("../../etc", "ev-1", 0);
     ASSERT_TRUE(client2.submit(evil, &reply, &err)) << err;
     EXPECT_EQ(reply.status, JobStatus::InvalidRequest);
+    server_->requestShutdown();
+    server_->wait();
+}
+
+TEST_F(ServeEndToEnd, IdempotencyKeysAreScopedPerTenant)
+{
+    const Reference &ref = dmaReference();
+    startServer("xtenant", /*workers=*/2, /*queue=*/16, /*max_live=*/4);
+    VidiClient client(clientOptions());
+    std::string err;
+
+    JobRequest a = recordRequest("xa", "shared-id", 0);
+    JobReply ra;
+    ASSERT_TRUE(client.submit(a, &ra, &err)) << err;
+    ASSERT_EQ(ra.status, JobStatus::Ok) << ra.detail;
+
+    // Tenant B reusing A's job_id is a distinct job: it must execute
+    // and produce B's own trace — not leak A's cached reply while B's
+    // job silently never runs.
+    JobRequest b = recordRequest("xb", "shared-id", 0);
+    JobReply rb;
+    ASSERT_TRUE(client.submit(b, &rb, &err)) << err;
+    EXPECT_EQ(rb.status, JobStatus::Ok) << rb.detail;
+    EXPECT_FALSE(rb.cached);
+    EXPECT_EQ(rb.digest, ref.digest);
+    EXPECT_EQ(readFileBytes(dir_ + "/xb.vtrc"), ref.trace_bytes);
+
+    // Each tenant's own retry still hits its own cache entry.
+    JobReply ra2;
+    ASSERT_TRUE(client.submit(a, &ra2, &err)) << err;
+    EXPECT_TRUE(ra2.cached);
+    EXPECT_EQ(ra2.digest, ra.digest);
+
+    server_->requestShutdown();
+    server_->wait();
+}
+
+TEST_F(ServeEndToEnd, RetryableBusyRepliesAreNotCached)
+{
+    const Reference &ref = dmaReference();
+    startServer("busycache", /*workers=*/2, /*queue=*/16, /*max_live=*/4);
+    std::string err;
+
+    // A long recording holds the tenant's session lease...
+    JobRequest slow = recordRequest("busy", "busy-slow", 0);
+    slow.scale = 3 * kScale;
+    std::atomic<bool> slow_done{false};
+    std::thread slow_thread([this, &slow, &slow_done] {
+        VidiClient client(clientOptions());
+        JobReply reply;
+        std::string terr;
+        client.submit(slow, &reply, &terr);
+        slow_done.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // ...so a second job for the same tenant gets a retryable
+    // "session busy" Overloaded reply. That transient must not settle
+    // the duplicate's idempotency key: once the tenant frees up, a
+    // retry of the very same job_id has to actually execute instead of
+    // being served Overloaded from the cache forever.
+    VidiClient client(clientOptions());
+    JobRequest dup = recordRequest("busy", "busy-dup", 0);
+    JobReply poll;
+    bool saw_busy = false;
+    for (int i = 0; i < 2'000 && !saw_busy && !slow_done.load(); ++i) {
+        ASSERT_TRUE(client.submitOnce(dup, &poll, &err)) << err;
+        if (poll.status == JobStatus::Overloaded)
+            saw_busy = true;
+        else if (!isRetryable(poll.status))
+            break;  // the duplicate won the race and settled first
+    }
+    slow_thread.join();
+
+    JobReply reply;
+    ASSERT_TRUE(client.submit(dup, &reply, &err)) << err;
+    EXPECT_EQ(reply.status, JobStatus::Ok) << reply.detail;
+    EXPECT_EQ(reply.digest, ref.digest);
+
+    server_->requestShutdown();
+    server_->wait();
+}
+
+TEST_F(ServeEndToEnd, WedgedClientDoesNotCaptureAcceptor)
+{
+    startServer("wedged", /*workers=*/1, /*queue=*/8, /*max_live=*/2);
+    std::string err;
+
+    // A client that connects and never sends its request frame costs
+    // one pooled I/O thread a bounded wait at most — the acceptor keeps
+    // accepting and control-plane requests keep being served well
+    // inside the daemon's 5 s per-connection I/O timeout.
+    wire::Fd wedged = wire::connectUnix(dir_ + "/serve.sock", &err);
+    ASSERT_TRUE(wedged.valid()) << err;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    ClientOptions copts = clientOptions();
+    copts.io_timeout_ms = 2'000;
+    VidiClient client(copts);
+    JobRequest status;
+    status.job_id = "wedge-status";
+    status.kind = JobKind::Status;
+    JobReply reply;
+    ASSERT_TRUE(client.submitOnce(status, &reply, &err)) << err;
+    EXPECT_EQ(reply.status, JobStatus::Ok);
+
+    wedged.reset();  // release the I/O thread before the drain
+    server_->requestShutdown();
+    server_->wait();
+}
+
+TEST_F(ServeEndToEnd, HugeJobTimeoutIsClamped)
+{
+    const Reference &ref = dmaReference();
+    startServer("clamp", /*workers=*/1, /*queue=*/8, /*max_live=*/2);
+    VidiClient client(clientOptions());
+    std::string err;
+
+    // An all-ones timeout override would overflow the JobClock's signed
+    // millisecond deadline into the past and kill the job instantly;
+    // the server must clamp it so the run completes normally.
+    JobRequest request = recordRequest("clamped", "clamp-1", 0);
+    request.job_timeout_ms = ~0ull;
+    JobReply reply;
+    ASSERT_TRUE(client.submit(request, &reply, &err)) << err;
+    EXPECT_EQ(reply.status, JobStatus::Ok) << reply.detail;
+    EXPECT_EQ(reply.digest, ref.digest);
+
     server_->requestShutdown();
     server_->wait();
 }
