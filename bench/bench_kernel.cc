@@ -14,13 +14,20 @@
  *  - fig7-style scaling: R2 records monitoring 1/3/5 of the F1
  *    interfaces (VidiConfig::maskFor), reporting eval-pass counters so
  *    tools/bench_report can compute the FullEval-to-ActivityDriven
- *    reduction at every scaling point.
+ *    reduction at every scaling point;
+ *  - parallel active cycles: the same 16-pair active design under the
+ *    island-sharded Parallel kernel, swept across thread counts
+ *    (1/2/4/hardware) — the wall-clock ratio against 1 thread is the
+ *    parallel speedup tools/bench_report gates on (multi-core hosts
+ *    only), and results are bit-identical across the sweep.
  *
- * Every benchmark takes a trailing 0/1 argument selecting the kernel:
- * 0 = FullEval (reference), 1 = ActivityDriven.
+ * The single-kernel benchmarks take a trailing 0/1 argument selecting
+ * the kernel: 0 = FullEval (reference), 1 = ActivityDriven.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <thread>
 
 #include "apps/app_registry.h"
 #include "channel/channel.h"
@@ -98,14 +105,22 @@ class IdleTimer : public Module
     uint64_t wakes_ = 0;
 };
 
-/** Presents a fresh value every cycle: the channel never settles early. */
+/**
+ * Presents a fresh value every cycle: the channel never settles early.
+ * @p work adds that many integer-mixing rounds per produced value,
+ * modelling a compute-bound module (the parallel sweep uses it so
+ * per-island work amortizes the per-cycle fork-join barrier).
+ */
 class Producer : public Module
 {
   public:
-    explicit Producer(Channel<uint64_t> &out)
-        : Module("producer"), out_(&out)
+    explicit Producer(Channel<uint64_t> &out, int work = 0)
+        : Module("producer"), out_(&out), work_(work)
     {
         sensitive(out);
+        // The sensitivity is the complete footprint: eligible for
+        // island partitioning under the Parallel kernel.
+        setPartitionSafe();
     }
 
     void eval() override { out_->push(next_); }
@@ -113,13 +128,22 @@ class Producer : public Module
     void
     tick() override
     {
-        if (out_->fired())
-            ++next_;
+        if (!out_->fired())
+            return;
+        uint64_t x = ++next_;
+        for (int r = 0; r < work_; ++r) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        mix_ = x;
     }
 
   private:
     Channel<uint64_t> *out_;
+    int work_;
     uint64_t next_ = 0;
+    uint64_t mix_ = 0;
 };
 
 /** Always-ready sink; eval() re-runs only when its channel changes. */
@@ -130,8 +154,9 @@ class Consumer : public Module
     {
         sensitive(in);
         // eval() reads nothing but the declared channel: safe to run
-        // only when it changes.
+        // only when it changes, and eligible for island partitioning.
         setEvalMode(EvalMode::OnDemand);
+        setPartitionSafe();
     }
 
     void eval() override { in_->setReady(true); }
@@ -218,6 +243,53 @@ BM_ActiveCycles(benchmark::State &state)
     state.counters["module_evals"] = double(ks.module_evals);
 }
 BENCHMARK(BM_ActiveCycles)->Arg(0)->Arg(1);
+
+/**
+ * Parallel active cycles: the 16-pair active design under the
+ * island-sharded kernel, with compute-bound producers (kMixWork mixing
+ * rounds per cycle) so per-island work amortizes the fork-join
+ * barrier. Each pair declares its complete footprint, so the
+ * partitioner cuts the design into 16 independent islands; the sweep
+ * argument is the thread budget. The simulated outcome is bit-identical
+ * at any width — only wall clock changes. The 1-thread row is the
+ * scaling baseline bench_report divides by.
+ */
+constexpr int kMixWork = 512; ///< mixing rounds per producer per cycle
+
+void
+BM_ParallelActiveCycles(benchmark::State &state)
+{
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    Simulator sim(1);
+    sim.setKernelMode(KernelMode::Parallel);
+    sim.setSimThreads(threads);
+    for (int i = 0; i < kPairs; ++i) {
+        auto &ch = sim.makeChannel<uint64_t>(
+            "ch" + std::to_string(i), 64);
+        sim.add<Producer>(ch, kMixWork);
+        sim.add<Consumer>(ch);
+    }
+    for (auto _ : state)
+        stepChunk(sim);
+    state.SetItemsProcessed(int64_t(sim.cycle()));
+    const KernelStats ks = sim.kernelStats();
+    state.counters["threads"] = double(ks.threads);
+    state.counters["islands"] = double(ks.islands.size());
+    // Cumulative counters scale with however many iterations the
+    // harness chose; cycles lets the report normalize per cycle so
+    // the determinism cross-check compares like with like.
+    state.counters["cycles"] = double(sim.cycle());
+    state.counters["eval_passes"] = double(ks.eval_passes);
+    state.counters["module_evals"] = double(ks.module_evals);
+    state.counters["imbalance"] = ks.islandImbalance();
+}
+BENCHMARK(BM_ParallelActiveCycles)
+    ->Apply([](benchmark::internal::Benchmark *b) {
+        b->Arg(1)->Arg(2)->Arg(4);
+        const int hw = int(std::thread::hardware_concurrency());
+        if (hw > 4)
+            b->Arg(hw);
+    });
 
 /**
  * Idle skip: one timer waking every 1000 cycles, everything else

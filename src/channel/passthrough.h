@@ -32,6 +32,9 @@ class Passthrough : public Module
         setEvalMode(EvalMode::OnDemand);
         sensitive(src_);
         sensitive(dst_);
+        // The two sensitivities above are the complete footprint: the
+        // bridge touches nothing else, so it can be island-partitioned.
+        setPartitionSafe();
     }
 
     uint64_t

@@ -40,6 +40,7 @@ saveVidiConfig(StateWriter &w, const VidiConfig &cfg)
     w.u64(cfg.job_timeout_ms);
     w.u32(cfg.max_retries);
     w.u64(cfg.retry_backoff_ms);
+    w.u32(cfg.sim_threads);
 
     saveFaultSpec(w, cfg.fault);
 }
@@ -66,6 +67,7 @@ loadVidiConfig(StateReader &r)
     cfg.job_timeout_ms = r.u64();
     cfg.max_retries = r.u32();
     cfg.retry_backoff_ms = r.u64();
+    cfg.sim_threads = r.u32();
 
     cfg.fault = loadFaultSpec(r);
     return cfg;

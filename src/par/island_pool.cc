@@ -1,0 +1,97 @@
+#include "par/island_pool.h"
+
+namespace vidi {
+
+IslandPool::IslandPool(unsigned workers)
+{
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+IslandPool::~IslandPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+IslandPool::drain(const std::shared_ptr<Batch> &batch)
+{
+    // Each worker drains through its own snapshot of the batch, so a
+    // straggler that wakes late only ever sees an exhausted cursor —
+    // it can never touch a newer batch's state by accident.
+    bool finished_last = false;
+    while (true) {
+        const size_t i =
+            batch->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch->count)
+            break;
+        batch->fn(i);
+        if (batch->completed.fetch_add(1, std::memory_order_acq_rel) +
+                1 == batch->count)
+            finished_last = true;
+    }
+    if (finished_last) {
+        // Publish completion under the mutex so the joiner's cv wait
+        // observes it without a lost wakeup.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            batch->done = true;
+        }
+        done_cv_.notify_all();
+    }
+}
+
+void
+IslandPool::workerLoop()
+{
+    uint64_t seen = 0;
+    while (true) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] {
+                return shutdown_ || generation_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            batch = batch_;
+        }
+        if (batch)
+            drain(batch);
+    }
+}
+
+void
+IslandPool::run(size_t count, const std::function<void(size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    auto batch = std::make_shared<Batch>();
+    batch->count = count;
+    batch->fn = fn;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch_ = batch;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+    drain(batch);
+    {
+        // The phase barrier: every island task of this batch has
+        // returned before run() does. The mutex handoff orders all
+        // worker writes before the caller's subsequent reads.
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] { return batch->done; });
+        batch_.reset();
+    }
+}
+
+} // namespace vidi

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fixed-size fork-join worker pool for the parallel simulation kernel.
+ *
+ * One pool serves one Simulator. Per cycle the kernel forks a batch of
+ * independent island tasks, the calling thread participates in draining
+ * them, and join() — the *phase barrier* — returns only when every task
+ * of the batch has completed. Work is claimed from a shared atomic
+ * cursor, so load balancing is dynamic; this is safe for determinism
+ * because islands share no state, so the result of a cycle does not
+ * depend on which thread ran which island. Task bodies must not throw:
+ * the kernel catches per-island exceptions itself and commits them at
+ * the barrier in island order.
+ *
+ * The pool is runtime-only machinery: it is created lazily on the first
+ * parallel cycle, never serialized into checkpoints (saveState happens
+ * only at barriers, when all workers are idle), and torn down with the
+ * Simulator.
+ */
+
+#ifndef VIDI_PAR_ISLAND_POOL_H
+#define VIDI_PAR_ISLAND_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vidi {
+
+class IslandPool
+{
+  public:
+    /**
+     * @param workers helper threads to spawn (>= 1). The caller of
+     *        run() always participates too, so total parallelism is
+     *        workers + 1.
+     */
+    explicit IslandPool(unsigned workers);
+    ~IslandPool();
+
+    IslandPool(const IslandPool &) = delete;
+    IslandPool &operator=(const IslandPool &) = delete;
+
+    /**
+     * Execute fn(i) for every i in [0, count) across the pool plus the
+     * calling thread, then barrier: returns only when all count calls
+     * have finished. @p fn must be safe to invoke concurrently for
+     * distinct i and must not throw.
+     */
+    void run(size_t count, const std::function<void(size_t)> &fn);
+
+    unsigned workers() const { return unsigned(threads_.size()); }
+
+  private:
+    /** All state of one fork-join batch; snapshotted per worker so a
+     *  late-waking thread can never touch a newer batch. */
+    struct Batch
+    {
+        size_t count = 0;
+        std::function<void(size_t)> fn;
+        std::atomic<size_t> next{0};       ///< task cursor
+        std::atomic<size_t> completed{0};  ///< finished tasks
+        bool done = false;                 ///< set under pool mutex
+    };
+
+    void workerLoop();
+    /** Drain tasks of @p batch until its cursor is exhausted; whoever
+     *  completes the final task signals the joiner. */
+    void drain(const std::shared_ptr<Batch> &batch);
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;  ///< workers wait for a new batch
+    std::condition_variable done_cv_;  ///< caller waits for completion
+    uint64_t generation_ = 0;          ///< batch sequence number
+    std::shared_ptr<Batch> batch_;     ///< current batch (under mutex_)
+    bool shutdown_ = false;
+
+    std::vector<std::thread> threads_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_PAR_ISLAND_POOL_H

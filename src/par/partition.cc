@@ -1,0 +1,184 @@
+#include "par/partition.h"
+
+#include <algorithm>
+#include <map>
+
+#include "channel/channel.h"
+#include "sim/module.h"
+
+namespace vidi {
+
+namespace {
+
+/** Plain union-find with path halving over node ids. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(size_t n) : parent_(n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            parent_[i] = i;
+    }
+
+    size_t
+    find(size_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void
+    merge(size_t a, size_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent_[std::max(a, b)] = std::min(a, b);
+    }
+
+  private:
+    std::vector<size_t> parent_;
+};
+
+} // namespace
+
+Partition
+computePartition(const std::vector<const Module *> &modules,
+                 const std::vector<const ChannelBase *> &channels)
+{
+    const size_t nmod = modules.size();
+    const size_t nchan = channels.size();
+    // Node ids: [0, nmod) are modules, [nmod, nmod + nchan) channels.
+    UnionFind uf(nmod + nchan);
+
+    std::map<const Module *, size_t> mod_of;
+    std::map<const ChannelBase *, size_t> chan_of;
+    for (size_t i = 0; i < nmod; ++i)
+        mod_of[modules[i]] = i;
+    for (size_t i = 0; i < nchan; ++i)
+        chan_of[channels[i]] = i;
+
+    // Claim and couple edges. Claims naming channels (or peers) outside
+    // the design — possible in unit fixtures wiring channels by hand —
+    // are ignored rather than crashed on.
+    for (size_t i = 0; i < nmod; ++i) {
+        for (const ChannelBase *ch : modules[i]->claimedChannels()) {
+            auto it = chan_of.find(ch);
+            if (it != chan_of.end())
+                uf.merge(i, nmod + it->second);
+        }
+        for (const Module *peer : modules[i]->coupledModules()) {
+            auto it = mod_of.find(peer);
+            if (it != mod_of.end())
+                uf.merge(i, it->second);
+        }
+    }
+
+    // Fuse every non-partition-safe module into one residual component:
+    // their channel accesses are undeclared, so they may only be
+    // scheduled together (where registration-order execution makes any
+    // sharing safe, exactly as in the sequential kernel).
+    size_t residual_anchor = Partition::kNone;
+    for (size_t i = 0; i < nmod; ++i) {
+        if (modules[i]->partitionSafe())
+            continue;
+        if (residual_anchor == Partition::kNone)
+            residual_anchor = i;
+        else
+            uf.merge(residual_anchor, i);
+    }
+
+    // Unclaimed channels can only be touched by legacy modules (a
+    // partition-safe module claims everything it touches), so they
+    // belong to the residual component too.
+    for (size_t i = 0; i < nchan; ++i) {
+        bool claimed = false;
+        for (size_t m = 0; m < nmod && !claimed; ++m) {
+            const auto &claims = modules[m]->claimedChannels();
+            claimed = std::find(claims.begin(), claims.end(),
+                                channels[i]) != claims.end();
+        }
+        if (claimed)
+            continue;
+        if (residual_anchor == Partition::kNone) {
+            // Fully opted-in design with an untouched channel: park it
+            // with the first module so it still has an owner.
+            if (nmod > 0)
+                uf.merge(0, nmod + i);
+        } else {
+            uf.merge(residual_anchor, nmod + i);
+        }
+    }
+
+    // Collect components that contain at least one module, in canonical
+    // order (components are rooted at their smallest node id, and module
+    // ids precede channel ids, so root order == lowest-module order).
+    Partition part;
+    part.module_island.assign(nmod, Partition::kNone);
+    part.channel_island.assign(nchan, Partition::kNone);
+    std::map<size_t, size_t> island_of_root;
+    for (size_t i = 0; i < nmod; ++i) {
+        const size_t root = uf.find(i);
+        auto [it, fresh] =
+            island_of_root.emplace(root, part.islands.size());
+        if (fresh)
+            part.islands.emplace_back();
+        part.islands[it->second].modules.push_back(i);
+        part.module_island[i] = it->second;
+    }
+    for (size_t i = 0; i < nchan; ++i) {
+        const size_t root = uf.find(nmod + i);
+        auto it = island_of_root.find(root);
+        size_t island;
+        if (it == island_of_root.end()) {
+            // Channel-only component (no modules at all in the design):
+            // attach to island 0, creating it if necessary.
+            if (part.islands.empty()) {
+                part.islands.emplace_back();
+                island_of_root.emplace(root, 0);
+            }
+            island = 0;
+        } else {
+            island = it->second;
+        }
+        part.islands[island].channels.push_back(i);
+        part.channel_island[i] = island;
+    }
+
+    if (residual_anchor != Partition::kNone) {
+        part.residual = part.module_island[residual_anchor];
+        part.islands[part.residual].residual = true;
+    }
+    return part;
+}
+
+std::string
+Partition::summary() const
+{
+    size_t nmod = 0;
+    size_t nchan = 0;
+    size_t largest = 0;
+    for (const IslandDef &i : islands) {
+        nmod += i.modules.size();
+        nchan += i.channels.size();
+        largest = std::max(largest, i.modules.size());
+    }
+    std::string out = std::to_string(islands.size()) + " island";
+    if (islands.size() != 1)
+        out += "s";
+    out += " (" + std::to_string(nmod) + " modules, " +
+           std::to_string(nchan) + " channels; largest island " +
+           std::to_string(largest) + " modules";
+    if (residual != kNone) {
+        out += "; residual island has " +
+               std::to_string(islands[residual].modules.size()) +
+               " undeclared modules";
+    }
+    out += ")";
+    return out;
+}
+
+} // namespace vidi

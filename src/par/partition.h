@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Island partitioning for the parallel simulation kernel.
+ *
+ * An *island* is a set of modules and channels that is closed under
+ * every declared interaction: all claimants of a channel live in the
+ * channel's island, and directly coupled modules share an island. Two
+ * islands therefore share no mutable simulation state at all, which is
+ * what lets the Parallel kernel evaluate them on different threads with
+ * no locks and still produce bit-identical traces: the per-cycle phase
+ * barrier (see simulator.h) is the only synchronization, and every
+ * cross-island effect (counter deltas, raised exceptions) is staged
+ * per island and committed at the barrier in fixed island order.
+ *
+ * The inputs are the footprint declarations of Module: claim() /
+ * sensitive() edges between modules and channels, couple() edges
+ * between modules, and the partitionSafe() completeness assertion.
+ * Partitioning is conservative:
+ *
+ *  - every module that does NOT assert partitionSafe() is fused into a
+ *    single *residual* island (its undeclared accesses could reach
+ *    anything owned by another legacy module);
+ *  - every channel with no claimants at all joins the residual island;
+ *  - claim and couple edges union islands transitively.
+ *
+ * A design whose modules never opted in therefore degenerates to one
+ * island — exactly the sequential activity schedule, still correct,
+ * just not parallel. The lint "partition" pass reports the island cut
+ * and flags the degeneration plus any partition-safe module whose
+ * *observed* calibration accesses exceed its declarations.
+ *
+ * Islands are canonically ordered by their lowest module registration
+ * index, and module/channel lists inside an island are sorted in
+ * registration order, so the partition — and everything scheduled from
+ * it — is a pure function of the design, independent of thread count.
+ */
+
+#ifndef VIDI_PAR_PARTITION_H
+#define VIDI_PAR_PARTITION_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vidi {
+
+class ChannelBase;
+class Module;
+
+/** One island of the partition. */
+struct IslandDef
+{
+    /** Module indices (into the design's registration order), sorted. */
+    std::vector<size_t> modules;
+    /** Channel indices (into the design's creation order), sorted. */
+    std::vector<size_t> channels;
+    /** Whether this is the residual island of non-partition-safe
+     *  modules and unclaimed channels. */
+    bool residual = false;
+};
+
+/**
+ * The island cut of one design.
+ */
+struct Partition
+{
+    static constexpr size_t kNone = ~size_t(0);
+
+    /** Islands in canonical order (lowest module index first). */
+    std::vector<IslandDef> islands;
+    /** Island index of each module, by registration index. */
+    std::vector<size_t> module_island;
+    /** Island index of each channel, by creation index. */
+    std::vector<size_t> channel_island;
+    /** Index of the residual island, or kNone if all modules opted in. */
+    size_t residual = kNone;
+
+    size_t islandCount() const { return islands.size(); }
+
+    /** One-line summary, e.g. "3 islands (16 modules, 16 channels; ...". */
+    std::string summary() const;
+};
+
+/**
+ * Compute the island cut of a design.
+ *
+ * @param modules design modules in registration order
+ * @param channels design channels in creation order
+ */
+Partition computePartition(const std::vector<const Module *> &modules,
+                           const std::vector<const ChannelBase *> &channels);
+
+} // namespace vidi
+
+#endif // VIDI_PAR_PARTITION_H

@@ -49,7 +49,7 @@ isRetryable(JobStatus status)
 
 namespace {
 
-constexpr uint8_t kRequestVersion = 1;
+constexpr uint8_t kRequestVersion = 2;
 constexpr uint8_t kReplyVersion = 1;
 
 /** Decode under the StateReader's SimFatal contract -> bool + err. */
@@ -85,6 +85,7 @@ JobRequest::encode() const
     w.u64(step_budget);
     w.str(trace_path);
     w.u64(job_timeout_ms);
+    w.u32(sim_threads);
     saveFaultSpec(w, fault);
     w.endSection(mark);
     return w.data();
@@ -110,6 +111,7 @@ JobRequest::decode(const std::vector<uint8_t> &payload, JobRequest *out,
         out->step_budget = s.u64();
         out->trace_path = s.str();
         out->job_timeout_ms = s.u64();
+        out->sim_threads = s.u32();
         out->fault = loadFaultSpec(s);
         s.expectEnd();
         r.expectEnd();

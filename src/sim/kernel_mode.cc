@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 namespace vidi {
 
@@ -13,6 +14,8 @@ kernelModeName(KernelMode mode)
         return "full-eval";
     case KernelMode::ActivityDriven:
         return "activity-driven";
+    case KernelMode::Parallel:
+        return "parallel";
     }
     return "?";
 }
@@ -30,7 +33,30 @@ resolveKernelMode(KernelMode configured)
         return KernelMode::FullEval;
     if (v == "activity" || v == "activitydriven" || v == "activity-driven")
         return KernelMode::ActivityDriven;
+    if (v == "parallel" || v == "par")
+        return KernelMode::Parallel;
     return configured;
+}
+
+unsigned
+resolveSimThreads(unsigned configured)
+{
+    unsigned threads = configured;
+    const char *env = std::getenv("VIDI_THREADS");
+    if (env != nullptr && *env != '\0') {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != nullptr && *end == '\0')
+            threads = unsigned(v);
+    }
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    if (threads > 256)
+        threads = 256;
+    return threads;
 }
 
 } // namespace vidi

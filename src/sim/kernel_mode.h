@@ -5,9 +5,15 @@
  * FullEval is the brute-force reference schedule (every module evaluated
  * in every settling pass, every cycle executed). ActivityDriven is the
  * optimised schedule: sensitivity-driven settling plus a quiescence fast
- * path that skips fully idle cycles in bulk. Both produce bit-identical
- * traces; ActivityDriven is the default, and the VIDI_KERNEL environment
- * variable ("full" / "activity") overrides whatever was configured.
+ * path that skips fully idle cycles in bulk. Parallel shards the design
+ * into islands (see src/par/partition.h) and evaluates them on a worker
+ * pool with a deterministic phase barrier per cycle; islands that share
+ * no state execute concurrently, and each island keeps the activity
+ * kernel's sensitivity pruning and quiescence skipping. All three modes
+ * produce bit-identical traces; ActivityDriven is the default, and the
+ * VIDI_KERNEL environment variable ("full" / "activity" / "parallel")
+ * overrides whatever was configured. VIDI_THREADS sizes the Parallel
+ * worker pool.
  */
 
 #ifndef VIDI_SIM_KERNEL_MODE_H
@@ -18,8 +24,9 @@
 namespace vidi {
 
 enum class KernelMode : uint8_t {
-    FullEval,      ///< reference schedule: all modules, all cycles
-    ActivityDriven ///< sensitivity lists + quiescence cycle skipping
+    FullEval,       ///< reference schedule: all modules, all cycles
+    ActivityDriven, ///< sensitivity lists + quiescence cycle skipping
+    Parallel        ///< island-sharded activity kernel on a worker pool
 };
 
 /** Human-readable kernel-mode name. */
@@ -29,10 +36,19 @@ const char *kernelModeName(KernelMode mode);
  * Apply the VIDI_KERNEL environment override to @p configured.
  *
  * Recognised values: "full" / "fulleval" / "full-eval" select FullEval;
- * "activity" / "activitydriven" / "activity-driven" select ActivityDriven.
- * Unset or unrecognised values leave @p configured unchanged.
+ * "activity" / "activitydriven" / "activity-driven" select
+ * ActivityDriven; "parallel" / "par" select Parallel. Unset or
+ * unrecognised values leave @p configured unchanged.
  */
 KernelMode resolveKernelMode(KernelMode configured);
+
+/**
+ * Apply the VIDI_THREADS environment override to @p configured and
+ * resolve the worker count: 0 means "auto" (the hardware concurrency),
+ * anything else is clamped to [1, 256]. The result is the number of
+ * threads the Parallel kernel may use; the other kernel modes ignore it.
+ */
+unsigned resolveSimThreads(unsigned configured);
 
 } // namespace vidi
 

@@ -1,5 +1,7 @@
 #include "sim/module.h"
 
+#include <algorithm>
+
 #include "channel/channel.h"
 
 namespace vidi {
@@ -13,6 +15,22 @@ Module::sensitive(ChannelBase &ch)
 {
     ch.addListener(this);
     has_sensitivities_ = true;
+    claim(ch);
+}
+
+void
+Module::claim(ChannelBase &ch)
+{
+    if (std::find(claims_.begin(), claims_.end(), &ch) == claims_.end())
+        claims_.push_back(&ch);
+}
+
+void
+Module::couple(Module &other)
+{
+    if (std::find(couples_.begin(), couples_.end(), &other) ==
+        couples_.end())
+        couples_.push_back(&other);
 }
 
 } // namespace vidi

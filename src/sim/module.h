@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace vidi {
 
@@ -153,15 +154,68 @@ class Module
     void markNeedsEval() { needs_eval_ = true; }
     /// @}
 
+    /// @name Partition footprint (read by the island partitioner)
+    /// @{
+    /**
+     * Whether this module asserts that its declared footprint — the
+     * channels passed to claim()/sensitive() and the peers passed to
+     * couple() — is *complete*: it touches no channel and no foreign
+     * module state beyond what it declared. Only partition-safe modules
+     * may be placed in their own island; everything else is
+     * conservatively fused into one residual island (see
+     * src/par/partition.h). The lint "partition" pass cross-checks
+     * these declarations against the accesses observed during the
+     * calibration run.
+     */
+    bool partitionSafe() const { return partition_safe_; }
+
+    /** Channels this module declared it may touch, in declaration order. */
+    const std::vector<const ChannelBase *> &
+    claimedChannels() const
+    {
+        return claims_;
+    }
+
+    /** Modules this module declared direct (non-channel) coupling with. */
+    const std::vector<const Module *> &
+    coupledModules() const
+    {
+        return couples_;
+    }
+    /// @}
+
   protected:
     /** Select how the activity-driven kernel schedules eval(). */
     void setEvalMode(EvalMode m) { eval_mode_ = m; }
 
     /**
      * Declare that eval() reads @p ch: the channel will mark this module
-     * for re-evaluation whenever one of its signals changes.
+     * for re-evaluation whenever one of its signals changes. Implies
+     * claim(ch).
      */
     void sensitive(ChannelBase &ch);
+
+    /**
+     * Declare that this module may read or drive @p ch in some phase
+     * (without subscribing to re-evaluation). Partitioning input: a
+     * channel's island is the union of its claimants' islands.
+     */
+    void claim(ChannelBase &ch);
+
+    /**
+     * Declare direct object coupling with @p other (method calls, shared
+     * buffers — anything that bypasses channels). The partitioner keeps
+     * coupled modules in the same island.
+     */
+    void couple(Module &other);
+
+    /**
+     * Assert that every channel access and every direct module coupling
+     * of this module is covered by claim()/sensitive()/couple()
+     * declarations, making it eligible for island placement outside the
+     * residual island.
+     */
+    void setPartitionSafe() { partition_safe_ = true; }
 
   private:
     friend class Simulator;
@@ -170,7 +224,10 @@ class Module
     EvalMode eval_mode_ = EvalMode::EveryCycle;
     bool needs_eval_ = true;
     bool has_sensitivities_ = false;
+    bool partition_safe_ = false;
     uint64_t eval_count_ = 0;
+    std::vector<const ChannelBase *> claims_;
+    std::vector<const Module *> couples_;
 };
 
 } // namespace vidi

@@ -210,6 +210,45 @@ TEST_P(CrashMatrix, CrashDuringTraceAppendResumesBitIdentical)
     EXPECT_EQ(readFileBytes(out), ref.trace_bytes);
 }
 
+TEST_P(CrashMatrix, ParallelCrashResumeMatchesSequentialReference)
+{
+    // The Parallel kernel under the crash matrix: record under
+    // Parallel x 4 threads, crash mid-run, resume (the manifest
+    // remembers kernel and thread count) — the result must be
+    // bit-identical to the *sequential* uninterrupted reference.
+    // Crashes land between steps, i.e. at the phase barrier, so the
+    // checkpointed state the resume starts from is exactly what the
+    // sequential kernel would have committed.
+    const std::string name = GetParam();
+    const Reference &ref = reference(name);
+    ASSERT_GT(ref.cycles, 0u);
+
+    const std::string dir = tempDir(name, "parallel");
+    const std::string out = dir + ".vtrc";
+    removeFileIfExists(out);
+
+    VidiConfig cfg;
+    cfg.checkpoint_min_interval_ms = 0;  // deterministic commit points
+    cfg.kernel = KernelMode::Parallel;
+    cfg.sim_threads = 4;
+    cfg.fault.crash_at_cycle = ref.cycles / 2;
+    cfg.fault.seed = 0xc5aa;
+
+    auto app = makeApp(name);
+    EXPECT_THROW(recordSession(*app, dir, kScale, kSeed, ref.cycles / 4,
+                               out, cfg),
+                 SimulatedCrash);
+    EXPECT_FALSE(fileExists(out));
+
+    auto app2 = makeApp(name);
+    const RecordResult resumed = resumeRecordSession(*app2, dir);
+    ASSERT_TRUE(resumed.completed);
+    EXPECT_TRUE(resumed.checkpoint.resumed);
+    EXPECT_EQ(resumed.cycles, ref.cycles);
+    EXPECT_EQ(resumed.digest, ref.digest);
+    EXPECT_EQ(readFileBytes(out), ref.trace_bytes);
+}
+
 TEST_P(CrashMatrix, CrashMidReplayResumesAndValidates)
 {
     const std::string name = GetParam();

@@ -9,6 +9,12 @@
  * produce byte-identical serialized traces, identical cycle counts and
  * digests; replays — including mutated and fault-injected ones — must
  * stall, trip the watchdog, and report damage identically.
+ *
+ * The island-sharded Parallel kernel extends the same contract with a
+ * third axis: thread count. The ParallelAB matrix records and replays
+ * every Table 1 application under Parallel x {1,2,4} threads and
+ * requires byte-identical traces against the sequential baseline —
+ * thread count must be a pure performance knob.
  */
 
 #include <gtest/gtest.h>
@@ -180,6 +186,114 @@ TEST(KernelAB, RecordSideFaultMatrixIsIdentical)
     EXPECT_EQ(full.damage.payload_bytes_lost,
               act.damage.payload_bytes_lost);
     EXPECT_EQ(full.trace.serialize(), act.trace.serialize());
+}
+
+// ---------------------------------------------------------------------
+// Parallel kernel: the full Table 1 matrix across thread counts.
+// ---------------------------------------------------------------------
+
+VidiConfig
+cfgParallel(unsigned threads, uint64_t max_cycles = 30'000'000)
+{
+    VidiConfig c = cfgMode(KernelMode::Parallel, max_cycles);
+    c.sim_threads = threads;
+    return c;
+}
+
+std::unique_ptr<AppBuilder>
+appByName(const std::string &name)
+{
+    auto apps = makeTable1Apps();
+    for (auto &app : apps) {
+        if (app->name() == name)
+            return std::move(app);
+    }
+    ADD_FAILURE() << "unknown app " << name;
+    return nullptr;
+}
+
+class ParallelAB : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ParallelAB, RecordAndReplayBitIdenticalAcrossThreads)
+{
+    auto app = appByName(GetParam());
+    ASSERT_NE(app, nullptr);
+    app->setScale(0.05);
+
+    // Sequential activity-driven baseline for record and replay.
+    const RecordResult base = recordRun(
+        *app, VidiMode::R2_Record, 7, cfgMode(KernelMode::ActivityDriven));
+    ASSERT_TRUE(base.completed);
+    const std::vector<uint8_t> base_bytes = base.trace.serialize();
+
+    const ReplayResult rep_base =
+        replayRun(*app, base.trace, cfgMode(KernelMode::ActivityDriven));
+    ASSERT_TRUE(rep_base.completed);
+
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        const RecordResult par = recordRun(*app, VidiMode::R2_Record, 7,
+                                           cfgParallel(threads));
+        ASSERT_TRUE(par.completed) << "threads=" << threads;
+        EXPECT_EQ(par.cycles, base.cycles) << "threads=" << threads;
+        EXPECT_EQ(par.digest, base.digest) << "threads=" << threads;
+        EXPECT_EQ(par.transactions, base.transactions)
+            << "threads=" << threads;
+        EXPECT_EQ(par.trace.serialize(), base_bytes)
+            << "threads=" << threads;
+
+        const ReplayResult rep =
+            replayRun(*app, base.trace, cfgParallel(threads));
+        ASSERT_TRUE(rep.completed) << "threads=" << threads;
+        EXPECT_EQ(rep.cycles, rep_base.cycles) << "threads=" << threads;
+        EXPECT_EQ(rep.digest, rep_base.digest) << "threads=" << threads;
+        EXPECT_EQ(rep.replayed_transactions,
+                  rep_base.replayed_transactions)
+            << "threads=" << threads;
+        EXPECT_TRUE(rep.validation == rep_base.validation)
+            << "threads=" << threads;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, ParallelAB,
+                         ::testing::Values("DMA", "3D", "BNN", "DigitR",
+                                           "FaceD", "SpamF", "OpFlw",
+                                           "SSSP", "SHA", "MNet"));
+
+TEST(KernelAB, ParallelRecordSideFaultMatrixIsIdentical)
+{
+    // Fault injection is indexed by line sequence number and cycle;
+    // identical cycle streams must produce identical damage no matter
+    // which kernel — or how many threads — produced them.
+    HlsAppBuilder app(makeBnnSpec());
+    app.setScale(0.1);
+    VidiConfig base = cfgMode(KernelMode::ActivityDriven);
+    base.fault.seed = 5;
+    base.fault.line_bit_flips = 2;
+    base.fault.line_drops = 1;
+    base.fault.line_horizon = 4;
+
+    const RecordResult seq = recordRun(app, VidiMode::R2_Record, 1, base);
+    ASSERT_TRUE(seq.completed);
+    ASSERT_FALSE(seq.damage.clean());
+
+    for (const unsigned threads : {2u, 4u}) {
+        VidiConfig parallel = base;
+        parallel.kernel = KernelMode::Parallel;
+        parallel.sim_threads = threads;
+        const RecordResult par =
+            recordRun(app, VidiMode::R2_Record, 1, parallel);
+        ASSERT_TRUE(par.completed) << "threads=" << threads;
+        EXPECT_EQ(par.cycles, seq.cycles) << "threads=" << threads;
+        EXPECT_EQ(par.digest, seq.digest) << "threads=" << threads;
+        EXPECT_EQ(par.damage.lines_corrupt, seq.damage.lines_corrupt);
+        EXPECT_EQ(par.damage.lines_missing, seq.damage.lines_missing);
+        EXPECT_EQ(par.damage.payload_bytes_lost,
+                  seq.damage.payload_bytes_lost);
+        EXPECT_EQ(par.trace.serialize(), seq.trace.serialize())
+            << "threads=" << threads;
+    }
 }
 
 TEST(KernelAB, ReplaySideFaultMatrixIsIdentical)

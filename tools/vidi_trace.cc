@@ -26,7 +26,11 @@
  *       app at the given workload scale (default 0.1) and print the
  *       simulation-kernel counters: eval passes, per-module eval counts,
  *       cycles skipped and the encoder packet-pool hit rate. kernel is
- *       "activity" (default), "full", or "both" (A/B with the reduction)
+ *       "activity" (default), "full", "parallel" (adds per-island
+ *       columns: module counts, eval passes, executed/skipped cycles
+ *       and the max/mean imbalance; VIDI_THREADS sizes the pool), or
+ *       "both" (full/activity/parallel A/B with the reductions and a
+ *       byte-identity check across all three traces)
  *   vidi_trace checkpoint <dir>                  inspect a session
  *       directory: manifest, journal entries, which checkpoint recovery
  *       would resume from and why newer ones were skipped
@@ -100,8 +104,11 @@ usage()
         "             [--session <dir>] [--checkpoint-every N]\n"
         "      record a Table 1 app and save its trace; with --session\n"
         "      the run checkpoints into <dir> and is resumable\n"
-        "  vidi_trace stats <app> [scale] [activity|full|both]\n"
+        "  vidi_trace stats <app> [scale] "
+        "[activity|full|parallel|both]\n"
         "      record an app and print simulation-kernel counters\n"
+        "      (parallel adds per-island columns; VIDI_THREADS sizes "
+        "the pool)\n"
         "  vidi_trace checkpoint <dir>\n"
         "      inspect a session: manifest, journal, resume point\n"
         "  vidi_trace resume <dir>\n"
@@ -392,14 +399,17 @@ cmdStats(const std::string &app_name, double scale,
     const auto apps = makeTable1Apps();
     AppBuilder *app = findApp(apps, app_name);
 
-    if (kernel == "activity" || kernel == "full") {
+    if (kernel == "activity" || kernel == "full" ||
+        kernel == "parallel") {
         statsRun(*app, scale,
-                 kernel == "full" ? KernelMode::FullEval
-                                  : KernelMode::ActivityDriven);
+                 kernel == "full"       ? KernelMode::FullEval
+                 : kernel == "parallel" ? KernelMode::Parallel
+                                        : KernelMode::ActivityDriven);
         return 0;
     }
     if (kernel != "both")
-        fatal("unknown kernel '%s' (want activity, full or both)",
+        fatal("unknown kernel '%s' (want activity, full, parallel or "
+              "both)",
               kernel.c_str());
 
     std::printf("=== %s, scale %.2f, full-eval kernel ===\n",
@@ -410,11 +420,19 @@ cmdStats(const std::string &app_name, double scale,
                 app_name.c_str(), scale);
     const RecordResult act =
         statsRun(*app, scale, KernelMode::ActivityDriven);
+    std::printf("\n=== %s, scale %.2f, parallel kernel ===\n",
+                app_name.c_str(), scale);
+    const RecordResult par =
+        statsRun(*app, scale, KernelMode::Parallel);
 
     if (full.trace.serialize() != act.trace.serialize())
-        fatal("stats: kernels produced different traces — "
-              "determinism bug");
-    std::printf("\ntraces byte-identical: yes\n");
+        fatal("stats: full-eval and activity kernels produced "
+              "different traces — determinism bug");
+    if (full.trace.serialize() != par.trace.serialize())
+        fatal("stats: full-eval and parallel kernels produced "
+              "different traces — determinism bug");
+    std::printf("\ntraces byte-identical: yes (full = activity = "
+                "parallel)\n");
     if (act.kernel.eval_passes > 0 && act.kernel.module_evals > 0) {
         std::printf("eval-pass reduction:   %.2fx\n",
                     double(full.kernel.eval_passes) /
