@@ -114,13 +114,19 @@ class IdleTimer : public Module
 class Producer : public Module
 {
   public:
-    explicit Producer(Channel<uint64_t> &out, int work = 0)
+    explicit Producer(Channel<uint64_t> &out, int work = 0,
+                      bool footprint = false)
         : Module("producer"), out_(&out), work_(work)
     {
         sensitive(out);
         // The sensitivity is the complete footprint: eligible for
-        // island partitioning under the Parallel kernel.
-        setPartitionSafe();
+        // island partitioning under the Parallel kernel — either via the
+        // hand-audited assertion or, for the auto-partition variant, via
+        // a machine-checkable footprint declaration.
+        if (footprint)
+            declareFootprint().readsWrites(out);
+        else
+            setPartitionSafe();
     }
 
     void eval() override { out_->push(next_); }
@@ -150,13 +156,17 @@ class Producer : public Module
 class Consumer : public Module
 {
   public:
-    explicit Consumer(Channel<uint64_t> &in) : Module("consumer"), in_(&in)
+    explicit Consumer(Channel<uint64_t> &in, bool footprint = false)
+        : Module("consumer"), in_(&in)
     {
         sensitive(in);
         // eval() reads nothing but the declared channel: safe to run
         // only when it changes, and eligible for island partitioning.
         setEvalMode(EvalMode::OnDemand);
-        setPartitionSafe();
+        if (footprint)
+            declareFootprint().readsWrites(in);
+        else
+            setPartitionSafe();
     }
 
     void eval() override { in_->setReady(true); }
@@ -290,6 +300,46 @@ BENCHMARK(BM_ParallelActiveCycles)
         if (hw > 4)
             b->Arg(hw);
     });
+
+/**
+ * Auto-partition variant of the parallel sweep: the pairs carry
+ * declareFootprint() contracts instead of the hand-audited
+ * setPartitionSafe(), and the partitioner runs under
+ * VIDI_PARTITION=auto — the island cut comes entirely from proven
+ * contracts. The second argument arms VidiSan (paranoid mode), pricing
+ * the shadow checker's per-access cost against the plain auto row.
+ */
+void
+BM_AutoPartitionActiveCycles(benchmark::State &state)
+{
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    const bool paranoid = state.range(1) != 0;
+    Simulator sim(1);
+    sim.setKernelMode(KernelMode::Parallel);
+    sim.setSimThreads(threads);
+    sim.setPartitionMode(paranoid ? PartitionMode::Paranoid
+                                  : PartitionMode::Auto);
+    for (int i = 0; i < kPairs; ++i) {
+        auto &ch = sim.makeChannel<uint64_t>(
+            "ch" + std::to_string(i), 64);
+        sim.add<Producer>(ch, kMixWork, /*footprint=*/true);
+        sim.add<Consumer>(ch, /*footprint=*/true);
+    }
+    for (auto _ : state)
+        stepChunk(sim);
+    state.SetItemsProcessed(int64_t(sim.cycle()));
+    const KernelStats ks = sim.kernelStats();
+    state.counters["threads"] = double(ks.threads);
+    state.counters["islands"] = double(ks.islands.size());
+    state.counters["vidisan"] = ks.vidisan ? 1.0 : 0.0;
+    state.counters["cycles"] = double(sim.cycle());
+    state.counters["module_evals"] = double(ks.module_evals);
+}
+BENCHMARK(BM_AutoPartitionActiveCycles)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({4, 1});
 
 /**
  * Idle skip: one timer waking every 1000 cycles, everything else

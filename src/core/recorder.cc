@@ -21,6 +21,7 @@ recordRun(AppBuilder &app, VidiMode mode, uint64_t seed,
     Simulator sim(seed);
     sim.setKernelMode(resolveKernelMode(cfg.kernel));
     sim.setSimThreads(resolveSimThreads(cfg.sim_threads));
+    sim.setPartitionMode(resolvePartitionMode(cfg.partition));
     HostMemory host;
     // The PCIe bus must tick before every consumer: register it first.
     PcieBus &pcie = sim.add<PcieBus>("pcie", cfg.pcie_bytes_per_sec,

@@ -114,6 +114,18 @@ struct VidiConfig
      */
     unsigned sim_threads = 0;
 
+    /**
+     * How the Parallel kernel's partitioner promotes modules out of the
+     * residual island. Manual (the default) honors only the hand-
+     * audited setPartitionSafe() opt-in; Auto additionally promotes
+     * modules with a complete declareFootprint() contract; Paranoid is
+     * Auto plus the VidiSan shadow checker force-armed. Promotion never
+     * changes simulation results — only which modules may evaluate
+     * concurrently. The VIDI_PARTITION environment variable ("manual" /
+     * "auto" / "paranoid") overrides this field.
+     */
+    PartitionMode partition = PartitionMode::Manual;
+
     /// @name Fault injection & recovery (robustness validation)
     /// @{
     /**
@@ -200,8 +212,9 @@ struct VidiConfig
  *   VIDI_RETRY_BACKOFF_MS  -> retry_backoff_ms
  *   VIDI_THREADS           -> sim_threads
  *
- * (VIDI_KERNEL is handled separately by resolveKernelMode(), which
- * consults the environment on every run.) Unset or non-numeric
+ * (VIDI_KERNEL and VIDI_PARTITION are handled separately by
+ * resolveKernelMode()/resolvePartitionMode(), which consult the
+ * environment on every run.) Unset or non-numeric
  * variables leave the field untouched. Both the CLI tools and the
  * vidi_serve daemon call this once at startup so deployments can tune
  * supervision without recompiling.

@@ -114,6 +114,20 @@ struct ModuleNode
     ModuleRole role = ModuleRole::Plain;
     /** Channels this module declared via sensitive(), in order. */
     std::vector<const ChannelBase *> declared;
+
+    /// @name Partition-safety contract (interference analysis inputs)
+    /// @{
+    bool partition_safe = false;     ///< setPartitionSafe() assertion
+    bool footprint_declared = false; ///< has a declareFootprint() contract
+    /** Channels claimed via claim()/sensitive()/declareFootprint(). */
+    std::vector<const ChannelBase *> claims;
+    /** Directional footprint entries (empty without a contract). */
+    std::vector<FootprintChannel> footprint;
+    /** Declared shared-state tokens. */
+    std::vector<std::string> state_tokens;
+    /** Directly coupled peers (couple() edges). */
+    std::vector<const Module *> coupled;
+    /// @}
 };
 
 /** One channel of the elaborated design with its observed access sets. */

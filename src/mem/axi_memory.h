@@ -49,7 +49,15 @@ class AxiMemory : public Module
      * Make this memory's data beats consume bandwidth from a shared
      * PCIe bus (used when the module models the CPU-side pcim target).
      */
-    void setPcieBus(PcieBus *bus) { pcie_ = bus; }
+    void
+    setPcieBus(PcieBus *bus)
+    {
+        pcie_ = bus;
+        // Paced data beats draw tokens from the shared arbiter — part of
+        // this module's interference footprint from now on.
+        if (bus != nullptr)
+            declareFootprint().couples(*bus);
+    }
 
     /**
      * Make this module serialize its backing DramModel in its own

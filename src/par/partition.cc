@@ -43,11 +43,35 @@ class UnionFind
     std::vector<size_t> parent_;
 };
 
+/** Whether @p m carries a completeness contract under @p mode. */
+bool
+promoted(const Module *m, PartitionMode mode)
+{
+    if (m->partitionSafe())
+        return true;
+    return mode != PartitionMode::Manual && m->footprintDeclared();
+}
+
 } // namespace
+
+const char *
+safetyProvenanceName(SafetyProvenance p)
+{
+    switch (p) {
+    case SafetyProvenance::Residual:
+        return "residual";
+    case SafetyProvenance::Manual:
+        return "manual";
+    case SafetyProvenance::AutoProven:
+        return "auto-proven";
+    }
+    return "?";
+}
 
 Partition
 computePartition(const std::vector<const Module *> &modules,
-                 const std::vector<const ChannelBase *> &channels)
+                 const std::vector<const ChannelBase *> &channels,
+                 PartitionMode mode)
 {
     const size_t nmod = modules.size();
     const size_t nchan = channels.size();
@@ -77,13 +101,25 @@ computePartition(const std::vector<const Module *> &modules,
         }
     }
 
-    // Fuse every non-partition-safe module into one residual component:
-    // their channel accesses are undeclared, so they may only be
-    // scheduled together (where registration-order execution makes any
-    // sharing safe, exactly as in the sequential kernel).
+    // Declared shared-state tokens co-locate their declarers: the token
+    // names one mutable object (e.g. "host-dram") that every declarer
+    // may touch outside the channel plane.
+    std::map<std::string, size_t> token_anchor;
+    for (size_t i = 0; i < nmod; ++i) {
+        for (const std::string &tok : modules[i]->sharedStateTokens()) {
+            auto [it, fresh] = token_anchor.emplace(tok, i);
+            if (!fresh)
+                uf.merge(it->second, i);
+        }
+    }
+
+    // Fuse every module without a completeness contract into one
+    // residual component: their channel accesses are undeclared, so they
+    // may only be scheduled together (where registration-order execution
+    // makes any sharing safe, exactly as in the sequential kernel).
     size_t residual_anchor = Partition::kNone;
     for (size_t i = 0; i < nmod; ++i) {
-        if (modules[i]->partitionSafe())
+        if (promoted(modules[i], mode))
             continue;
         if (residual_anchor == Partition::kNone)
             residual_anchor = i;
@@ -152,7 +188,71 @@ computePartition(const std::vector<const Module *> &modules,
         part.residual = part.module_island[residual_anchor];
         part.islands[part.residual].residual = true;
     }
+
+    part.mode = mode;
+    part.module_safety.assign(nmod, SafetyProvenance::Residual);
+    part.residual_witness.assign(nmod, std::string());
+    for (size_t i = 0; i < nmod; ++i) {
+        if (modules[i]->partitionSafe())
+            part.module_safety[i] = SafetyProvenance::Manual;
+        else if (promoted(modules[i], mode))
+            part.module_safety[i] = SafetyProvenance::AutoProven;
+    }
+
+    // Witness computation: a promoted module inside the residual island
+    // got dragged in through some declared edge; name the first direct
+    // one (a claimed channel also claimed by an undeclared module, or an
+    // undeclared coupled peer) so diagnostics can cite it.
+    if (part.residual != Partition::kNone) {
+        for (size_t i = 0; i < nmod; ++i) {
+            if (part.module_safety[i] == SafetyProvenance::Residual ||
+                part.module_island[i] != part.residual)
+                continue;
+            std::string witness;
+            for (const ChannelBase *ch : modules[i]->claimedChannels()) {
+                auto cit = chan_of.find(ch);
+                if (cit == chan_of.end())
+                    continue;
+                for (size_t m = 0; m < nmod && witness.empty(); ++m) {
+                    if (part.module_safety[m] != SafetyProvenance::Residual)
+                        continue;
+                    const auto &claims = modules[m]->claimedChannels();
+                    if (std::find(claims.begin(), claims.end(), ch) !=
+                        claims.end())
+                        witness = "channel '" + ch->name() +
+                                  "' shared with undeclared module '" +
+                                  modules[m]->name() + "'";
+                }
+                if (!witness.empty())
+                    break;
+            }
+            if (witness.empty()) {
+                for (const Module *peer : modules[i]->coupledModules()) {
+                    auto mit = mod_of.find(peer);
+                    if (mit == mod_of.end())
+                        continue;
+                    if (part.module_safety[mit->second] ==
+                        SafetyProvenance::Residual) {
+                        witness = "coupled to undeclared module '" +
+                                  peer->name() + "'";
+                        break;
+                    }
+                }
+            }
+            if (witness.empty())
+                witness = "transitively coupled into the residual island";
+            part.residual_witness[i] = std::move(witness);
+        }
+    }
     return part;
+}
+
+size_t
+Partition::residualModules() const
+{
+    if (residual == kNone)
+        return 0;
+    return islands[residual].modules.size();
 }
 
 std::string

@@ -39,13 +39,31 @@
 #define VIDI_PAR_PARTITION_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "sim/kernel_mode.h"
 
 namespace vidi {
 
 class ChannelBase;
 class Module;
+
+/**
+ * Why a module sits where it sits in the island cut.
+ *
+ * - Residual: no completeness contract at all — fused into the residual
+ *   island because its accesses are undeclared.
+ * - Manual: promoted by the hand-audited setPartitionSafe() assertion.
+ * - AutoProven: promoted (under PartitionMode::Auto/Paranoid) by a
+ *   declareFootprint() contract that the interference analysis can
+ *   prove and VidiSan can enforce.
+ */
+enum class SafetyProvenance : uint8_t { Residual, Manual, AutoProven };
+
+/** Human-readable provenance name ("residual"/"manual"/"auto-proven"). */
+const char *safetyProvenanceName(SafetyProvenance p);
 
 /** One island of the partition. */
 struct IslandDef
@@ -75,7 +93,25 @@ struct Partition
     /** Index of the residual island, or kNone if all modules opted in. */
     size_t residual = kNone;
 
+    /** Promotion mode this cut was computed under. */
+    PartitionMode mode = PartitionMode::Manual;
+
+    /** Safety provenance of each module, by registration index. */
+    std::vector<SafetyProvenance> module_safety;
+
+    /**
+     * For each *promoted* module that nevertheless ended up inside the
+     * residual island: a human-readable witness for what dragged it in
+     * (the shared channel or undeclared coupled peer). Empty for
+     * residual-provenance modules and for modules outside the residual
+     * island.
+     */
+    std::vector<std::string> residual_witness;
+
     size_t islandCount() const { return islands.size(); }
+
+    /** Modules in the residual island, or 0 when there is none. */
+    size_t residualModules() const;
 
     /** One-line summary, e.g. "3 islands (16 modules, 16 channels; ...". */
     std::string summary() const;
@@ -86,9 +122,14 @@ struct Partition
  *
  * @param modules design modules in registration order
  * @param channels design channels in creation order
+ * @param mode which completeness contracts promote a module out of the
+ *        residual island: Manual honors only setPartitionSafe();
+ *        Auto/Paranoid additionally promote declareFootprint() modules
+ *        and co-locate modules sharing a declared state token.
  */
 Partition computePartition(const std::vector<const Module *> &modules,
-                           const std::vector<const ChannelBase *> &channels);
+                           const std::vector<const ChannelBase *> &channels,
+                           PartitionMode mode = PartitionMode::Manual);
 
 } // namespace vidi
 

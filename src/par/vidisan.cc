@@ -1,0 +1,258 @@
+#include "par/vidisan.h"
+
+#include "channel/channel.h"
+#include "par/partition.h"
+#include "sim/module.h"
+
+namespace vidi {
+
+namespace vidisan {
+
+std::atomic<int> g_armed{0};
+
+namespace {
+
+/**
+ * Per-thread execution context, published by the Simulator's island
+ * runner. Null `san` means "not inside island execution" (drivers,
+ * tests, the sequential kernel) — accesses there are ordered by
+ * construction and are not checked.
+ */
+struct TlsContext
+{
+    VidiSan *san = nullptr;
+    size_t island = ~size_t(0);
+    const Module *module = nullptr;
+    SimPhase phase = SimPhase::None;
+};
+
+thread_local TlsContext t_ctx;
+
+} // namespace
+
+void
+channelAccess(const ChannelBase &ch, SignalSide side, bool write)
+{
+    if (t_ctx.san != nullptr)
+        t_ctx.san->onChannelAccess(ch, side, write, t_ctx.island);
+}
+
+void
+stateAccess(const char *token, bool write)
+{
+    if (t_ctx.san != nullptr)
+        t_ctx.san->onStateAccess(token, write, t_ctx.island);
+}
+
+} // namespace vidisan
+
+const char *
+simPhaseName(SimPhase phase)
+{
+    switch (phase) {
+    case SimPhase::None:
+        return "none";
+    case SimPhase::Eval:
+        return "eval";
+    case SimPhase::Tick:
+        return "tick";
+    case SimPhase::TickLate:
+        return "tickLate";
+    }
+    return "?";
+}
+
+std::string
+VidiSanAccess::toString() const
+{
+    if (!valid)
+        return "(none observed)";
+    std::string out = "module '" + (module.empty() ? "?" : module) +
+                      "' on island " + std::to_string(island) + ", phase " +
+                      simPhaseName(phase) + ", cycle " +
+                      std::to_string(cycle) + ", " +
+                      (write ? "write" : "read") + ", clock " +
+                      std::to_string(clock);
+    return out;
+}
+
+std::string
+VidiSanReport::toString() const
+{
+    std::string out = "VidiSan: domain race on ";
+    out += is_state ? "shared state '" : "channel '";
+    out += subject;
+    out += "'";
+    if (!side.empty())
+        out += " (" + side + ")";
+    out += "\n  licensed to island " + std::to_string(owner_island);
+    if (!owner_anchor.empty())
+        out += " (anchor '" + owner_anchor + "')";
+    out += "\n  offending access:  " + offender.toString();
+    out += "\n  last licensed access: " + prior.toString();
+    out += "\n  island vector clock: [";
+    for (size_t i = 0; i < clocks.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += std::to_string(clocks[i]);
+    }
+    out += "]";
+    out += "\n  (data-race-free at the C++ level — the phase barrier "
+           "orders it — but the observed value depends on island "
+           "schedule: determinism is broken)";
+    return out;
+}
+
+DomainRaceError::DomainRaceError(VidiSanReport report)
+    : std::runtime_error(report.toString()), report_(std::move(report))
+{
+}
+
+VidiSan::VidiSan() = default;
+
+VidiSan::~VidiSan()
+{
+    disarm();
+}
+
+void
+VidiSan::arm(const Partition &part,
+             const std::vector<const Module *> &modules,
+             const std::vector<const ChannelBase *> &channels)
+{
+    clocks_.assign(part.islands.size(), 0);
+    anchors_.clear();
+    anchors_.reserve(part.islands.size());
+    for (const IslandDef &isl : part.islands) {
+        anchors_.push_back(isl.modules.empty()
+                               ? std::string("(channels)")
+                               : modules[isl.modules.front()]->name());
+    }
+
+    channel_owner_.clear();
+    for (size_t ci = 0; ci < channels.size(); ++ci) {
+        if (ci < part.channel_island.size() &&
+            part.channel_island[ci] != Partition::kNone)
+            channel_owner_[channels[ci]] = part.channel_island[ci];
+    }
+
+    token_owner_.clear();
+    token_shadow_.clear();
+    channel_shadow_.clear();
+    for (size_t mi = 0; mi < modules.size(); ++mi) {
+        for (const std::string &tok : modules[mi]->sharedStateTokens())
+            token_owner_.emplace(tok, part.module_island[mi]);
+    }
+
+    if (!armed_) {
+        vidisan::g_armed.fetch_add(1, std::memory_order_relaxed);
+        armed_ = true;
+    }
+}
+
+void
+VidiSan::disarm()
+{
+    if (armed_) {
+        vidisan::g_armed.fetch_sub(1, std::memory_order_relaxed);
+        armed_ = false;
+    }
+}
+
+VidiSan::IslandScope::IslandScope(VidiSan *san, size_t island)
+{
+    if (san == nullptr)
+        return;
+    vidisan::t_ctx.san = san;
+    vidisan::t_ctx.island = island;
+    vidisan::t_ctx.module = nullptr;
+    vidisan::t_ctx.phase = SimPhase::None;
+}
+
+VidiSan::IslandScope::~IslandScope()
+{
+    vidisan::t_ctx = vidisan::TlsContext{};
+}
+
+void
+VidiSan::setContext(const Module *m, SimPhase phase)
+{
+    vidisan::t_ctx.module = m;
+    vidisan::t_ctx.phase = phase;
+}
+
+void
+VidiSan::advanceClock(size_t island)
+{
+    if (island < clocks_.size())
+        ++clocks_[island];
+}
+
+VidiSanAccess
+VidiSan::siteHere(bool write, size_t island) const
+{
+    VidiSanAccess a;
+    a.module = vidisan::t_ctx.module != nullptr
+                   ? vidisan::t_ctx.module->name()
+                   : std::string("?");
+    a.island = island;
+    a.phase = vidisan::t_ctx.phase;
+    a.cycle = cycle_;
+    a.clock = island < clocks_.size() ? clocks_[island] : 0;
+    a.write = write;
+    a.valid = true;
+    return a;
+}
+
+void
+VidiSan::raise(const std::string &subject, bool is_state, const char *side,
+               size_t owner, const VidiSanAccess &prior, bool write,
+               size_t island)
+{
+    VidiSanReport r;
+    r.subject = subject;
+    r.is_state = is_state;
+    r.side = side;
+    r.owner_island = owner;
+    r.owner_anchor = owner < anchors_.size() ? anchors_[owner] : "";
+    r.offender = siteHere(write, island);
+    r.prior = prior;
+    r.clocks = clocks_;
+    throw DomainRaceError(std::move(r));
+}
+
+void
+VidiSan::onChannelAccess(const ChannelBase &ch, SignalSide side, bool write,
+                         size_t island)
+{
+    const auto it = channel_owner_.find(&ch);
+    if (it == channel_owner_.end())
+        return; // channel outside the armed design (fixture-local)
+    const size_t owner = it->second;
+    const char *side_name = side == SignalSide::Forward ? "fwd" : "rev";
+    std::lock_guard<std::mutex> lock(mutex_);
+    VidiSanAccess &shadow = channel_shadow_[&ch];
+    if (owner == island) {
+        shadow = siteHere(write, island);
+        return;
+    }
+    raise(ch.name(), false, side_name, owner, shadow, write, island);
+}
+
+void
+VidiSan::onStateAccess(const char *token, bool write, size_t island)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // An undeclared token is licensed to its first accessor's island —
+    // the conservative choice that still catches any second island.
+    const auto it = token_owner_.emplace(token, island).first;
+    const size_t owner = it->second;
+    VidiSanAccess &shadow = token_shadow_[it->first];
+    if (owner == island) {
+        shadow = siteHere(write, island);
+        return;
+    }
+    raise(it->first, true, "", owner, shadow, write, island);
+}
+
+} // namespace vidi

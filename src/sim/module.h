@@ -58,6 +58,21 @@ class StateWriter;
  */
 enum class EvalMode : uint8_t { Never, OnDemand, EveryCycle };
 
+/** Direction(s) of channel access a footprint entry licenses. */
+enum class FootprintDir : uint8_t
+{
+    Read = 1,       ///< may read the channel's signals/payload
+    Write = 2,      ///< may drive the channel's signals/payload
+    ReadWrite = 3,  ///< both
+};
+
+/** One declared channel of a module's static footprint. */
+struct FootprintChannel
+{
+    const ChannelBase *channel = nullptr;
+    FootprintDir dir = FootprintDir::ReadWrite;
+};
+
 /**
  * A named, clocked hardware module.
  *
@@ -182,6 +197,85 @@ class Module
     {
         return couples_;
     }
+
+    /**
+     * Whether this module declared its static footprint via
+     * declareFootprint(). A declared footprint is a *complete,
+     * machine-checkable* contract (unlike the bare setPartitionSafe()
+     * assertion, it carries access directions and named shared state),
+     * so the interference analysis (src/lint/interference.h) can prove
+     * it against the calibration run and VIDI_PARTITION=auto can
+     * promote the module out of the residual island without a hand
+     * audit.
+     */
+    bool footprintDeclared() const { return footprint_declared_; }
+
+    /** Declared channel footprint with access directions, in order. */
+    const std::vector<FootprintChannel> &
+    footprintChannels() const
+    {
+        return footprint_;
+    }
+
+    /**
+     * Named shared-state tokens this module declared (non-channel
+     * mutable state reached by direct object reference, e.g.
+     * "host-dram"). Modules declaring the same token are co-located by
+     * the partitioner; VidiSan licenses runtime accesses to a token
+     * only from the declarers' island.
+     */
+    const std::vector<std::string> &
+    sharedStateTokens() const
+    {
+        return state_tokens_;
+    }
+
+    /**
+     * Fluent collector returned by declareFootprint(). Each call merges
+     * into the module's footprint: directions OR together on repeated
+     * channels, state tokens and couplings deduplicate.
+     */
+    class FootprintBuilder
+    {
+      public:
+        /** This module may read @p ch (signals or payload). */
+        FootprintBuilder &reads(ChannelBase &ch);
+        /** This module may drive @p ch. */
+        FootprintBuilder &writes(ChannelBase &ch);
+        /** This module may both read and drive @p ch. */
+        FootprintBuilder &readsWrites(ChannelBase &ch);
+        /** This module touches the named shared (non-channel) state. */
+        FootprintBuilder &state(std::string token);
+        /** This module calls into / shares buffers with @p peer. */
+        FootprintBuilder &couples(Module &peer);
+
+      private:
+        friend class Module;
+        explicit FootprintBuilder(Module &m) : m_(m) {}
+        Module &m_;
+    };
+
+    /**
+     * Declare this module's *complete* static footprint: every channel
+     * it may read or drive (with direction), every named shared-state
+     * object it touches, and every module it is directly coupled to.
+     * Channel entries imply claim(); couplings imply couple().
+     *
+     * Calling this — even with no entries — asserts completeness: the
+     * module touches nothing beyond what it declares. The interference
+     * analysis checks the assertion against the calibration run
+     * (observed ⊆ declared, per direction) and VidiSan enforces it at
+     * runtime, which is what licenses VIDI_PARTITION=auto to promote
+     * the module out of the residual island without setPartitionSafe().
+     *
+     * Public (unlike sensitive()/claim()) because contract facts split
+     * between two owners: a module's own constructor declares the
+     * channels it touches, while the *assembly site* that wires modules
+     * together declares couplings and shared-state tokens only it knows
+     * about (register-file callbacks into a kernel, which DRAM instance
+     * a slave decodes into).
+     */
+    FootprintBuilder declareFootprint();
     /// @}
 
   protected:
@@ -225,9 +319,14 @@ class Module
     bool needs_eval_ = true;
     bool has_sensitivities_ = false;
     bool partition_safe_ = false;
+    bool footprint_declared_ = false;
     uint64_t eval_count_ = 0;
     std::vector<const ChannelBase *> claims_;
     std::vector<const Module *> couples_;
+    std::vector<FootprintChannel> footprint_;
+    std::vector<std::string> state_tokens_;
+
+    void addFootprint(ChannelBase &ch, FootprintDir dir);
 };
 
 } // namespace vidi

@@ -6,6 +6,7 @@
 #include "checkpoint/state_io.h"
 #include "par/island_pool.h"
 #include "par/partition.h"
+#include "par/vidisan.h"
 #include "sim/access_tracker.h"
 #include "sim/logging.h"
 
@@ -13,7 +14,9 @@ namespace vidi {
 
 Simulator::Simulator(uint64_t seed)
     : mode_(resolveKernelMode(KernelMode::ActivityDriven)),
-      sim_threads_(resolveSimThreads(1)), rng_(seed)
+      sim_threads_(resolveSimThreads(1)),
+      partition_mode_(resolvePartitionMode(PartitionMode::Manual)),
+      vidisan_requested_(resolveVidiSanArmed(false)), rng_(seed)
 {
 }
 
@@ -25,6 +28,15 @@ Simulator::setKernelMode(KernelMode mode)
     if (mode == mode_)
         return;
     mode_ = mode;
+    invalidatePartition();
+}
+
+void
+Simulator::setPartitionMode(PartitionMode mode)
+{
+    if (mode == partition_mode_)
+        return;
+    partition_mode_ = mode;
     invalidatePartition();
 }
 
@@ -236,7 +248,8 @@ Simulator::ensurePartition()
     chans.reserve(channels_.size());
     for (const auto &ch : channels_)
         chans.push_back(ch.get());
-    partition_ = std::make_unique<Partition>(computePartition(mods, chans));
+    partition_ = std::make_unique<Partition>(
+        computePartition(mods, chans, partition_mode_));
 
     islands_.clear();
     islands_.resize(partition_->islands.size());
@@ -259,6 +272,14 @@ Simulator::ensurePartition()
     for (size_t ci = 0; ci < channels_.size(); ++ci)
         channels_[ci]->setSettleFlag(
             &islands_[partition_->channel_island[ci]].dirty);
+
+    // Arm the domain race sanitizer when requested (VIDI_SANITIZE=vidi /
+    // -DVIDI_SANITIZE=vidi) or implied (paranoid promotion mode).
+    if (vidisan_requested_ || partition_mode_ == PartitionMode::Paranoid) {
+        vidisan_ = std::make_unique<VidiSan>();
+        vidisan_->arm(*partition_, mods, chans);
+        vidisan_->setCycle(cycle_);
+    }
 }
 
 void
@@ -277,6 +298,7 @@ Simulator::invalidatePartition()
     settle_dirty_ = true;
     partition_.reset();
     islands_.clear();
+    vidisan_.reset(); // disarms the global hook gate
 }
 
 void
@@ -332,6 +354,7 @@ Simulator::settleIsland(IslandState &isl)
     // The sequential activity schedule, restricted to one island. The
     // island owns the settle flags of all its channels, so the loop is
     // fully island-local.
+    const bool san = vidisan_ != nullptr;
     unsigned iters = 0;
     bool first = true;
     while (true) {
@@ -352,6 +375,8 @@ Simulator::settleIsland(IslandState &isl)
             }
             if (run) {
                 m->needs_eval_ = false;
+                if (san)
+                    VidiSan::setContext(m, SimPhase::Eval);
                 m->eval();
                 ++m->eval_count_;
                 ++isl.d_module_evals;
@@ -369,15 +394,31 @@ Simulator::settleIsland(IslandState &isl)
 void
 Simulator::runIslandCycle(IslandState &isl)
 {
+    // Tag this thread with the executing island (and, per callback, the
+    // module/phase) so VidiSan can attribute every channel access. The
+    // scope is a no-op when the sanitizer is off.
+    const bool san = vidisan_ != nullptr;
+    VidiSan::IslandScope scope(vidisan_.get(),
+                               size_t(&isl - islands_.data()));
     try {
         flushIslandSkips(isl);
         settleIsland(isl);
+        if (san)
+            VidiSan::setContext(nullptr, SimPhase::None);
         for (ChannelBase *ch : isl.channels)
             ch->latch(cycle_);
-        for (Module *m : isl.modules)
+        for (Module *m : isl.modules) {
+            if (san)
+                VidiSan::setContext(m, SimPhase::Tick);
             m->tick();
-        for (Module *m : isl.modules)
+        }
+        for (Module *m : isl.modules) {
+            if (san)
+                VidiSan::setContext(m, SimPhase::TickLate);
             m->tickLate();
+        }
+        if (san)
+            VidiSan::setContext(nullptr, SimPhase::None);
         for (ChannelBase *ch : isl.channels)
             ch->postTick();
         ++isl.cycles_executed;
@@ -424,6 +465,8 @@ Simulator::stepOnceParallel()
     // has no wake baseline yet, or if its cached wake cycle arrived.
     // Every other island extends its pending skip span — per-island
     // quiescence, composing with the bulk skip in parallelTrySkip().
+    if (vidisan_)
+        vidisan_->setCycle(cycle_);
     active_.clear();
     for (size_t i = 0; i < islands_.size(); ++i) {
         IslandState &isl = islands_[i];
@@ -462,6 +505,10 @@ Simulator::stepOnceParallel()
         if (isl.error && !first_error)
             first_error = isl.error;
         isl.error = nullptr;
+        // Vector clocks advance at the barrier for each executed island;
+        // the commit order is canonical, so clocks are deterministic.
+        if (vidisan_)
+            vidisan_->advanceClock(i);
     }
     if (first_error)
         std::rethrow_exception(first_error);
@@ -592,6 +639,8 @@ Simulator::kernelStats() const
     KernelStats s;
     s.mode = mode_;
     s.threads = sim_threads_;
+    s.partition_mode = partition_mode_;
+    s.vidisan = vidisan_ != nullptr;
     s.cycles = cycle_;
     s.eval_passes = total_eval_passes_;
     s.module_evals = module_evals_;
@@ -601,7 +650,8 @@ Simulator::kernelStats() const
     for (auto &m : modules_)
         s.per_module_evals.emplace_back(m->name(), m->eval_count_);
     s.islands.reserve(islands_.size());
-    for (const IslandState &isl : islands_) {
+    for (size_t ii = 0; ii < islands_.size(); ++ii) {
+        const IslandState &isl = islands_[ii];
         IslandStats is;
         is.anchor = isl.modules.empty() ? std::string("(channels)")
                                         : isl.modules.front()->name();
@@ -612,6 +662,24 @@ Simulator::kernelStats() const
         is.module_evals = isl.module_evals;
         is.cycles_executed = isl.cycles_executed;
         is.cycles_skipped = isl.cycles_skipped;
+        // Per-member safety provenance: how each module earned (or
+        // failed to earn) its island seat, with the witness that pinned
+        // promoted modules inside the residual island.
+        if (partition_ && ii < partition_->islands.size()) {
+            const IslandDef &def = partition_->islands[ii];
+            is.members.reserve(def.modules.size());
+            for (const size_t mi : def.modules) {
+                std::string entry = modules_[mi]->name();
+                entry += " [";
+                entry +=
+                    safetyProvenanceName(partition_->module_safety[mi]);
+                entry += "]";
+                if (!partition_->residual_witness[mi].empty())
+                    entry += " (witness: " +
+                             partition_->residual_witness[mi] + ")";
+                is.members.push_back(std::move(entry));
+            }
+        }
         s.islands.push_back(std::move(is));
     }
     return s;
@@ -647,6 +715,11 @@ KernelStats::toString() const
     };
     if (mode == KernelMode::Parallel) {
         line("threads:            ", threads);
+        out += "partition mode:     ";
+        out += partitionModeName(partition_mode);
+        if (vidisan)
+            out += " (vidisan armed)";
+        out += "\n";
         line("islands:            ", islands.size());
     }
     line("cycles:             ", cycles);
@@ -666,6 +739,8 @@ KernelStats::toString() const
                    std::to_string(i.eval_passes) + " passes, " +
                    std::to_string(i.cycles_executed) + " executed, " +
                    std::to_string(i.cycles_skipped) + " skipped\n";
+            for (const std::string &member : i.members)
+                out += "    - " + member + "\n";
         }
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%.2f", islandImbalance());

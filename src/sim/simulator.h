@@ -64,6 +64,7 @@ namespace vidi {
 
 class IslandPool;
 struct Partition;
+class VidiSan;
 
 /**
  * Scheduling counters of one island of the Parallel kernel.
@@ -78,6 +79,11 @@ struct IslandStats
     uint64_t module_evals = 0;
     uint64_t cycles_executed = 0; ///< cycles with real phase work
     uint64_t cycles_skipped = 0;  ///< island-locally skipped cycles
+    /** Island members annotated with their safety provenance
+     *  ("manual" / "auto-proven" / "residual") and, for promoted
+     *  modules fused into the residual island, the witness that
+     *  dragged them in. */
+    std::vector<std::string> members;
 };
 
 /**
@@ -86,6 +92,8 @@ struct IslandStats
 struct KernelStats
 {
     KernelMode mode = KernelMode::ActivityDriven;
+    PartitionMode partition_mode = PartitionMode::Manual;
+    bool vidisan = false;        ///< shadow checker armed (Parallel only)
     unsigned threads = 1;        ///< worker-pool width (Parallel only)
     uint64_t cycles = 0;         ///< current cycle count
     uint64_t eval_passes = 0;    ///< settling passes executed
@@ -217,6 +225,19 @@ class Simulator
     unsigned simThreads() const { return sim_threads_; }
 
     /**
+     * Select how the Parallel partitioner promotes modules out of the
+     * residual island (see PartitionMode). Paranoid additionally arms
+     * the VidiSan shadow checker for every parallel step. Affects
+     * scheduling only, never results.
+     */
+    void setPartitionMode(PartitionMode mode);
+    PartitionMode partitionMode() const { return partition_mode_; }
+
+    /** The VidiSan instance checking this simulator's parallel steps,
+     *  or nullptr when not armed. */
+    VidiSan *vidisan() const { return vidisan_.get(); }
+
+    /**
      * The island cut the Parallel kernel would use, computed on demand
      * from the registered modules' footprint declarations.
      */
@@ -313,6 +334,11 @@ class Simulator
     uint64_t skip_events_ = 0;
     KernelMode mode_;
     unsigned sim_threads_ = 1;
+    PartitionMode partition_mode_;
+    /** Arm VidiSan for parallel steps even outside Paranoid mode
+     *  (compiled in by -DVIDI_SANITIZE=vidi or requested via the
+     *  VIDI_SANITIZE=vidi environment variable). */
+    bool vidisan_requested_;
     /** Raised by any channel markDirty(); cleared per settling pass. */
     bool settle_dirty_ = false;
     /** True once a cycle has executed since reset (skips need a baseline). */
@@ -327,6 +353,7 @@ class Simulator
     std::vector<IslandState> islands_;
     std::vector<size_t> active_; ///< islands executing this cycle
     std::unique_ptr<IslandPool> pool_;
+    std::unique_ptr<VidiSan> vidisan_;
 };
 
 } // namespace vidi

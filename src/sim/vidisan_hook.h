@@ -1,0 +1,73 @@
+/**
+ * @file
+ * VidiSan fast-path hooks for the channel accessors.
+ *
+ * VidiSan is the *domain race* sanitizer of the Parallel kernel: it
+ * checks, at runtime, that every channel/state access made during island
+ * execution stays inside the island the partitioner licensed it for.
+ * A cross-island access is data-race-free at the C++ level (the phase
+ * barrier plus staged commits order everything), which is exactly why
+ * TSan cannot see it — but it breaks the determinism contract: the value
+ * observed would depend on which island happened to run first. VidiSan
+ * catches that class.
+ *
+ * This header carries only the hot-path gate so channel.h does not pull
+ * in the full checker. Like the AccessTracker hooks, the disarmed cost
+ * is one predictable-not-taken branch — here on a process-wide atomic
+ * counter of armed checkers (the parallel kernel runs on several
+ * threads, so a plain global pointer would itself be a race).
+ */
+
+#ifndef VIDI_SIM_VIDISAN_HOOK_H
+#define VIDI_SIM_VIDISAN_HOOK_H
+
+#include <atomic>
+
+#include "sim/access_tracker.h" // SignalSide
+
+namespace vidi {
+
+class ChannelBase;
+
+namespace vidisan {
+
+/** Number of armed VidiSan instances in the process. */
+extern std::atomic<int> g_armed;
+
+inline bool
+armed()
+{
+    return g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+/// @name Slow paths (src/par/vidisan.cc)
+/// @{
+void channelAccess(const ChannelBase &ch, SignalSide side, bool write);
+void stateAccess(const char *token, bool write);
+/// @}
+
+inline void
+maybeChannelAccess(const ChannelBase &ch, SignalSide side, bool write)
+{
+    if (armed())
+        channelAccess(ch, side, write);
+}
+
+/**
+ * Report an access to a named shared-state object (the counterpart of
+ * Module::FootprintBuilder::state()). Modules with out-of-band shared
+ * state call this from their eval()/tick() bodies; with no armed
+ * checker it costs one branch.
+ */
+inline void
+maybeStateAccess(const char *token, bool write = true)
+{
+    if (armed())
+        stateAccess(token, write);
+}
+
+} // namespace vidisan
+
+} // namespace vidi
+
+#endif // VIDI_SIM_VIDISAN_HOOK_H

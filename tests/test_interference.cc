@@ -1,0 +1,819 @@
+/**
+ * @file
+ * Tests for the interference analysis (static partition-safety proofs)
+ * and the VidiSan domain race sanitizer (its runtime backstop).
+ *
+ * The suite is organized around the three seeded defects the analysis
+ * and sanitizer must catch, each with an exact witness:
+ *
+ *  (a) an *undeclared-channel writer* — a contracted module escaping its
+ *      own declareFootprint() — caught statically (Unsafe verdict with
+ *      the channel and access pair cited) AND at runtime by VidiSan;
+ *  (b) a *stale footprint* — the declaration says read-only, the code
+ *      now writes — caught statically;
+ *  (c) a *false-sharing pair* — two islands mutating a shared object no
+ *      footprint mentions — invisible to the static analysis (its
+ *      documented blind spot) and caught by VidiSan alone.
+ *
+ * Plus the A/B gate for auto promotion: every Table 1 application must
+ * come out all-proven (residual island shrinks to nothing under
+ * VIDI_PARTITION=auto) while the serialized trace stays byte-identical
+ * to the manual cut at 1, 2 and 4 threads.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/app_registry.h"
+#include "channel/channel.h"
+#include "core/recorder.h"
+#include "lint/design_graph.h"
+#include "lint/interference.h"
+#include "lint/lint_report.h"
+#include "lint/linter.h"
+#include "par/partition.h"
+#include "par/vidisan.h"
+#include "sim/access_tracker.h"
+#include "sim/kernel_mode.h"
+#include "sim/simulator.h"
+#include "sim/vidisan_hook.h"
+
+namespace vidi {
+namespace {
+
+// ---------------------------------------------------------------------
+// Fixture modules
+// ---------------------------------------------------------------------
+
+/** Producer with a complete footprint contract (no setPartitionSafe). */
+class FpProducer : public Module
+{
+  public:
+    FpProducer(std::string name, Channel<uint64_t> &out)
+        : Module(std::move(name)), out_(&out)
+    {
+        declareFootprint().readsWrites(out);
+    }
+
+    void eval() override { out_->push(next_); }
+
+    void
+    tick() override
+    {
+        if (out_->fired())
+            ++next_;
+    }
+
+    void saveState(StateWriter &w) const override { w.u64(next_); }
+    void loadState(StateReader &r) override { next_ = r.u64(); }
+
+  private:
+    Channel<uint64_t> *out_;
+    uint64_t next_ = 0;
+};
+
+/** Always-ready sink with a complete footprint contract. */
+class FpConsumer : public Module
+{
+  public:
+    FpConsumer(std::string name, Channel<uint64_t> &in)
+        : Module(std::move(name)), in_(&in)
+    {
+        declareFootprint().readsWrites(in);
+    }
+
+    void eval() override { in_->setReady(true); }
+
+    void
+    tick() override
+    {
+        if (in_->fired())
+            sum_ += in_->data() * 2654435761u + 1;
+    }
+
+    void saveState(StateWriter &w) const override { w.u64(sum_); }
+    void loadState(StateReader &r) override { sum_ = r.u64(); }
+
+    uint64_t sum() const { return sum_; }
+
+  private:
+    Channel<uint64_t> *in_;
+    uint64_t sum_ = 0;
+};
+
+/**
+ * Seeded defect (a): contracted on its own channel, but tick() also
+ * writes a channel owned by another island — the exact bug class a
+ * stale hand-audit lets through.
+ */
+class RogueWriter : public Module
+{
+  public:
+    RogueWriter(std::string name, Channel<uint64_t> &own,
+                Channel<uint64_t> &victim)
+        : Module(std::move(name)), own_(&own), victim_(&victim)
+    {
+        declareFootprint().readsWrites(own);
+    }
+
+    void eval() override { own_->setReady(true); }
+
+    void
+    tick() override
+    {
+        ++ticks_;
+        if (ticks_ == 3)
+            victim_->setReady(true);  // undeclared cross-island write
+    }
+
+    void saveState(StateWriter &w) const override { w.u64(ticks_); }
+    void loadState(StateReader &r) override { ticks_ = r.u64(); }
+
+  private:
+    Channel<uint64_t> *own_;
+    Channel<uint64_t> *victim_;
+    uint64_t ticks_ = 0;
+};
+
+/**
+ * Seeded defect (b): the footprint still says "reads only", but the
+ * module has since grown a write — a stale declaration.
+ */
+class StaleFootprint : public Module
+{
+  public:
+    StaleFootprint(std::string name, Channel<uint64_t> &ch)
+        : Module(std::move(name)), ch_(&ch)
+    {
+        declareFootprint().reads(ch);
+    }
+
+    void eval() override { ch_->setReady(true); }  // a write, undeclared
+
+  private:
+    Channel<uint64_t> *ch_;
+};
+
+/**
+ * Seeded defect (c): a contracted module whose tick() mutates a shared
+ * object through an out-of-band pointer nothing declares. The module
+ * reports the access through the vidisan state hook exactly as an
+ * instrumented model would.
+ */
+class TokenToucher : public Module
+{
+  public:
+    TokenToucher(std::string name, Channel<uint64_t> &ch, const char *token)
+        : Module(std::move(name)), ch_(&ch), token_(token)
+    {
+        declareFootprint().readsWrites(ch);  // token deliberately absent
+    }
+
+    void eval() override { ch_->setReady(true); }
+
+    void tick() override { vidisan::maybeStateAccess(token_, true); }
+
+  private:
+    Channel<uint64_t> *ch_;
+    const char *token_;
+};
+
+/** Uncontracted module observing a channel it never claims. */
+class SilentPeeker : public Module
+{
+  public:
+    SilentPeeker(std::string name, Channel<uint64_t> &ch)
+        : Module(std::move(name)), ch_(&ch)
+    {
+        // No sensitive(), no footprint: the access below is invisible to
+        // the partitioner and must be caught by the analysis.
+    }
+
+    void
+    eval() override
+    {
+        if (ch_->valid())
+            ++seen_;
+    }
+
+  private:
+    Channel<uint64_t> *ch_;
+    uint64_t seen_ = 0;
+};
+
+/** Legacy module claiming a channel without any contract. */
+class LegacyClaimer : public Module
+{
+  public:
+    LegacyClaimer(std::string name, Channel<uint64_t> &ch)
+        : Module(std::move(name)), ch_(&ch)
+    {
+        sensitive(ch);
+    }
+
+    void
+    eval() override
+    {
+        if (ch_->valid())
+            ++seen_;
+    }
+
+  private:
+    Channel<uint64_t> *ch_;
+    uint64_t seen_ = 0;
+};
+
+/** N contracted producer→consumer pairs on private channels. */
+void
+buildContractedPairs(Simulator &sim, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        auto &ch = sim.makeChannel<uint64_t>("pair" + std::to_string(i), 64);
+        sim.add<FpProducer>("prod" + std::to_string(i), ch);
+        sim.add<FpConsumer>("cons" + std::to_string(i), ch);
+    }
+}
+
+/** Calibrate a bare fixture design and run the interference analysis. */
+InterferenceResult
+analyzeFixture(Simulator &sim, LintReport *report = nullptr,
+               int cycles = 6)
+{
+    sim.setKernelMode(KernelMode::FullEval);
+    ElabTracker tracker;
+    {
+        AccessTrackerScope scope(tracker);
+        for (int i = 0; i < cycles; ++i)
+            sim.step();
+    }
+    const DesignGraph g = elaborateDesign(sim, nullptr, tracker);
+    LintReport local;
+    InterferenceResult result;
+    passInterference(g, report != nullptr ? *report : local, &result);
+    return result;
+}
+
+const ModuleInterference *
+findModule(const InterferenceResult &r, const std::string &name)
+{
+    for (const auto &m : r.modules) {
+        if (m.module == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+size_t
+countCode(const LintReport &r, const std::string &code)
+{
+    size_t n = 0;
+    for (const auto &f : r.findings()) {
+        if (f.code == code)
+            ++n;
+    }
+    return n;
+}
+
+/** Scoped environment override with restoration. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        had_ = old != nullptr;
+        old_ = had_ ? old : "";
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_;
+    std::string old_;
+};
+
+// ---------------------------------------------------------------------
+// Static analysis: verdicts and witnesses
+// ---------------------------------------------------------------------
+
+TEST(Interference, AutoPromotionShrinksResidualToNothing)
+{
+    Simulator sim;
+    buildContractedPairs(sim, 3);
+    const InterferenceResult r = analyzeFixture(sim);
+
+    EXPECT_EQ(r.proven, 6u);
+    EXPECT_EQ(r.unsafe, 0u);
+    EXPECT_EQ(r.unknown, 0u);
+    // Manual promotion sees no setPartitionSafe() and degenerates to one
+    // residual island; auto promotion proves all six contracts and cuts
+    // three independent islands with no residual at all.
+    EXPECT_EQ(r.manual_islands, 1u);
+    EXPECT_EQ(r.manual_residual_modules, 6u);
+    EXPECT_EQ(r.auto_islands, 3u);
+    EXPECT_EQ(r.auto_residual_modules, 0u);
+
+    const ModuleInterference *m = findModule(r, "prod0");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->verdict, InterferenceVerdict::Proven);
+    EXPECT_EQ(m->provenance, SafetyProvenance::AutoProven);
+    EXPECT_TRUE(m->witnesses.empty());
+}
+
+TEST(Interference, UndeclaredChannelWriterIsUnsafeWithWitness)
+{
+    // Seeded defect (a), static half: the rogue's write to the victim
+    // channel escapes its declaration; the verdict must cite the exact
+    // channel and the access pair.
+    Simulator sim;
+    auto &own = sim.makeChannel<uint64_t>("own", 64);
+    auto &victim = sim.makeChannel<uint64_t>("victim", 64);
+    sim.add<FpProducer>("victim_prod", victim);
+    sim.add<FpConsumer>("victim_cons", victim);
+    sim.add<FpProducer>("own_prod", own);
+    sim.add<RogueWriter>("rogue", own, victim);
+
+    LintReport report;
+    const InterferenceResult r = analyzeFixture(sim, &report);
+
+    const ModuleInterference *rogue = findModule(r, "rogue");
+    ASSERT_NE(rogue, nullptr);
+    EXPECT_EQ(rogue->verdict, InterferenceVerdict::Unsafe);
+    ASSERT_FALSE(rogue->witnesses.empty());
+    EXPECT_EQ(rogue->witnesses[0].channel, "victim");
+    // The witness names the access pair: the rogue's own escaped access
+    // and another toucher of the channel.
+    EXPECT_NE(rogue->witnesses[0].detail.find("victim"),
+              std::string::npos);
+    EXPECT_NE(rogue->witnesses[0].detail.find("also touched by"),
+              std::string::npos);
+
+    // The pass turns the verdict into a CI-gating Error.
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_GE(countCode(report, "unproven-promotion"), 1u);
+}
+
+TEST(Interference, StaleReadOnlyFootprintIsUnsafe)
+{
+    // Seeded defect (b): declaration says reads-only, code writes READY.
+    Simulator sim;
+    auto &ch = sim.makeChannel<uint64_t>("stale_ch", 64);
+    sim.add<FpProducer>("prod", ch);
+    sim.add<StaleFootprint>("stale", ch);
+
+    LintReport report;
+    const InterferenceResult r = analyzeFixture(sim, &report);
+
+    const ModuleInterference *stale = findModule(r, "stale");
+    ASSERT_NE(stale, nullptr);
+    EXPECT_EQ(stale->verdict, InterferenceVerdict::Unsafe);
+    ASSERT_FALSE(stale->witnesses.empty());
+    EXPECT_EQ(stale->witnesses[0].channel, "stale_ch");
+    EXPECT_NE(stale->witnesses[0].detail.find("read-only"),
+              std::string::npos);
+    EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(Interference, UncontractedReachIntoAutoIslandIsAnError)
+{
+    // An uncontracted module silently reading a channel the auto cut
+    // assigns to a proven island: promotion would put the two on
+    // different threads, so the claimers must be downgraded with a
+    // residual-reach witness.
+    Simulator sim;
+    auto &ch = sim.makeChannel<uint64_t>("reached", 64);
+    sim.add<FpProducer>("prod", ch);
+    sim.add<FpConsumer>("cons", ch);
+    sim.add<SilentPeeker>("peeker", ch);
+
+    LintReport report;
+    const InterferenceResult r = analyzeFixture(sim, &report);
+
+    const ModuleInterference *prod = findModule(r, "prod");
+    ASSERT_NE(prod, nullptr);
+    EXPECT_EQ(prod->verdict, InterferenceVerdict::Unsafe);
+    ASSERT_FALSE(prod->witnesses.empty());
+    EXPECT_TRUE(prod->witnesses[0].residual_reach);
+    EXPECT_NE(prod->witnesses[0].detail.find("peeker"),
+              std::string::npos);
+    EXPECT_GE(countCode(report, "cross-island-residual-access"), 1u);
+}
+
+TEST(Interference, UnknownVerdictNamesTheMissingFact)
+{
+    Simulator sim;
+    auto &ch = sim.makeChannel<uint64_t>("legacy_ch", 64);
+    sim.add<FpProducer>("prod", ch);
+    sim.add<LegacyClaimer>("legacy", ch);
+
+    const InterferenceResult r = analyzeFixture(sim);
+    const ModuleInterference *legacy = findModule(r, "legacy");
+    ASSERT_NE(legacy, nullptr);
+    EXPECT_EQ(legacy->verdict, InterferenceVerdict::Unknown);
+    EXPECT_FALSE(legacy->has_contract);
+    // The one missing fact: the footprint it would need to declare,
+    // synthesized from the calibration observation.
+    EXPECT_NE(legacy->missing.find("declareFootprint"), std::string::npos);
+    EXPECT_NE(legacy->missing.find("legacy_ch"), std::string::npos);
+}
+
+TEST(Interference, DegenerateWarningIsDedupedPerIsland)
+{
+    // Two proven modules fused into the residual island by a legacy
+    // claimer on their channel: one warning for the island naming both,
+    // not one warning per module.
+    Simulator sim;
+    auto &ch = sim.makeChannel<uint64_t>("fused_ch", 64);
+    sim.add<FpProducer>("prod", ch);
+    sim.add<FpConsumer>("cons", ch);
+    sim.add<LegacyClaimer>("legacy", ch);
+
+    LintReport report;
+    analyzeFixture(sim, &report);
+
+    ASSERT_EQ(countCode(report, "parallel-degenerate"), 1u);
+    for (const auto &f : report.findings()) {
+        if (f.code != "parallel-degenerate")
+            continue;
+        EXPECT_NE(f.message.find("prod"), std::string::npos);
+        EXPECT_NE(f.message.find("cons"), std::string::npos);
+    }
+}
+
+TEST(Interference, PassIsSilentOnContractFreeDesigns)
+{
+    Simulator sim;
+    auto &ch = sim.makeChannel<uint64_t>("plain", 64);
+    sim.add<LegacyClaimer>("a", ch);
+    sim.add<LegacyClaimer>("b", ch);
+
+    LintReport report;
+    const InterferenceResult r = analyzeFixture(sim, &report);
+    EXPECT_EQ(r.proven + r.unsafe, 0u);
+    EXPECT_TRUE(report.findings().empty());
+}
+
+TEST(Interference, EdgesCoverSharedChannels)
+{
+    Simulator sim;
+    buildContractedPairs(sim, 2);
+    const InterferenceResult r = analyzeFixture(sim);
+    ASSERT_EQ(r.edges.size(), 2u);
+    EXPECT_EQ(r.edges[0].a, "prod0");
+    EXPECT_EQ(r.edges[0].b, "cons0");
+    EXPECT_EQ(r.edges[0].channel, "pair0");
+}
+
+// ---------------------------------------------------------------------
+// Partition modes and resolvers
+// ---------------------------------------------------------------------
+
+TEST(InterferenceMode, StateTokensCoLocateUnderAuto)
+{
+    Simulator sim;
+    auto &a = sim.makeChannel<uint64_t>("a", 64);
+    auto &b = sim.makeChannel<uint64_t>("b", 64);
+    auto &t0 = sim.add<TokenToucher>("t0", a, "shared.obj");
+    auto &t1 = sim.add<TokenToucher>("t1", b, "shared.obj");
+    t0.declareFootprint().state("shared.obj");
+    t1.declareFootprint().state("shared.obj");
+
+    std::vector<const Module *> mods;
+    for (const auto &m : sim.modules())
+        mods.push_back(m.get());
+    std::vector<const ChannelBase *> chans;
+    for (const auto &c : sim.channels())
+        chans.push_back(c.get());
+
+    const Partition manual =
+        computePartition(mods, chans, PartitionMode::Manual);
+    EXPECT_EQ(manual.islandCount(), 1u);
+    EXPECT_EQ(manual.residualModules(), 2u);
+    EXPECT_EQ(manual.module_safety[0], SafetyProvenance::Residual);
+
+    const Partition auto_cut =
+        computePartition(mods, chans, PartitionMode::Auto);
+    // Both promoted, and the shared token fuses them into ONE island —
+    // never two islands racing on the shared object.
+    EXPECT_EQ(auto_cut.islandCount(), 1u);
+    EXPECT_EQ(auto_cut.residual, Partition::kNone);
+    EXPECT_EQ(auto_cut.module_safety[0], SafetyProvenance::AutoProven);
+    EXPECT_EQ(auto_cut.module_island[0], auto_cut.module_island[1]);
+}
+
+TEST(InterferenceMode, PartitionModeEnvResolver)
+{
+    {
+        EnvGuard g("VIDI_PARTITION", "auto");
+        EXPECT_EQ(resolvePartitionMode(PartitionMode::Manual),
+                  PartitionMode::Auto);
+    }
+    {
+        EnvGuard g("VIDI_PARTITION", "paranoid");
+        EXPECT_EQ(resolvePartitionMode(PartitionMode::Manual),
+                  PartitionMode::Paranoid);
+    }
+    {
+        EnvGuard g("VIDI_PARTITION", "manual");
+        EXPECT_EQ(resolvePartitionMode(PartitionMode::Auto),
+                  PartitionMode::Manual);
+    }
+    {
+        EnvGuard g("VIDI_PARTITION", "bogus");
+        EXPECT_EQ(resolvePartitionMode(PartitionMode::Auto),
+                  PartitionMode::Auto);
+    }
+    {
+        EnvGuard g("VIDI_PARTITION", nullptr);
+        EXPECT_EQ(resolvePartitionMode(PartitionMode::Paranoid),
+                  PartitionMode::Paranoid);
+    }
+}
+
+TEST(InterferenceMode, VidiSanEnvResolver)
+{
+    {
+        EnvGuard g("VIDI_SANITIZE", "vidi");
+        EXPECT_TRUE(resolveVidiSanArmed(false));
+    }
+    {
+        EnvGuard g("VIDI_SANITIZE", "address");
+        EXPECT_FALSE(resolveVidiSanArmed(false));
+    }
+    {
+        EnvGuard g("VIDI_SANITIZE", nullptr);
+#ifdef VIDI_SANITIZE_VIDI
+        EXPECT_TRUE(resolveVidiSanArmed(false));
+#else
+        EXPECT_FALSE(resolveVidiSanArmed(false));
+#endif
+        EXPECT_TRUE(resolveVidiSanArmed(true));
+    }
+}
+
+TEST(InterferenceMode, ProvenanceNamesAreStable)
+{
+    // The stats dump and the lint report share these strings; pin them.
+    EXPECT_STREQ(safetyProvenanceName(SafetyProvenance::Residual),
+                 "residual");
+    EXPECT_STREQ(safetyProvenanceName(SafetyProvenance::Manual), "manual");
+    EXPECT_STREQ(safetyProvenanceName(SafetyProvenance::AutoProven),
+                 "auto-proven");
+    EXPECT_STREQ(partitionModeName(PartitionMode::Manual), "manual");
+    EXPECT_STREQ(partitionModeName(PartitionMode::Auto), "auto");
+    EXPECT_STREQ(partitionModeName(PartitionMode::Paranoid), "paranoid");
+}
+
+// ---------------------------------------------------------------------
+// VidiSan: the runtime backstop
+// ---------------------------------------------------------------------
+
+/** Parallel+paranoid simulator over @p threads worker threads. */
+void
+configureParanoid(Simulator &sim, unsigned threads)
+{
+    sim.setKernelMode(KernelMode::Parallel);
+    sim.setSimThreads(threads);
+    sim.setPartitionMode(PartitionMode::Paranoid);
+}
+
+TEST(InterferenceSan, DomainRaceReportNamesChannelAndBothSites)
+{
+    // Seeded defect (a), runtime half: the rogue's undeclared write must
+    // abort with a structured report naming the module, the channel, the
+    // cycle and the licensed owner — deterministically, at any thread
+    // count.
+    for (const unsigned threads : {1u, 2u}) {
+        Simulator sim;
+        auto &own = sim.makeChannel<uint64_t>("own", 64);
+        auto &victim = sim.makeChannel<uint64_t>("victim", 64);
+        sim.add<FpProducer>("victim_prod", victim);
+        sim.add<FpConsumer>("victim_cons", victim);
+        sim.add<FpProducer>("own_prod", own);
+        sim.add<RogueWriter>("rogue", own, victim);
+        configureParanoid(sim, threads);
+
+        try {
+            for (int i = 0; i < 10; ++i)
+                sim.step();
+            FAIL() << "domain race not caught (threads=" << threads << ")";
+        } catch (const DomainRaceError &e) {
+            const VidiSanReport &r = e.report();
+            EXPECT_EQ(r.subject, "victim");
+            EXPECT_FALSE(r.is_state);
+            EXPECT_EQ(r.offender.module, "rogue");
+            EXPECT_TRUE(r.offender.write);
+            EXPECT_NE(r.offender.island, r.owner_island);
+            // Two auto islands: {victim_prod, victim_cons} on "victim"
+            // and {own_prod, rogue} on "own".
+            EXPECT_EQ(r.clocks.size(), 2u);
+            const std::string what = e.what();
+            EXPECT_NE(what.find("domain race"), std::string::npos);
+            EXPECT_NE(what.find("victim"), std::string::npos);
+            EXPECT_NE(what.find("rogue"), std::string::npos);
+        }
+    }
+}
+
+TEST(InterferenceSan, FalseSharingIsInvisibleStaticallyAndCaughtLive)
+{
+    // Seeded defect (c): two islands mutate one undeclared shared object.
+    {
+        // Static half: both contracts look complete — the analysis
+        // cannot see the out-of-band object and must report Proven (the
+        // documented blind spot VidiSan exists for).
+        Simulator sim;
+        auto &a = sim.makeChannel<uint64_t>("a", 64);
+        auto &b = sim.makeChannel<uint64_t>("b", 64);
+        sim.add<TokenToucher>("t0", a, "false.shared");
+        sim.add<TokenToucher>("t1", b, "false.shared");
+        const InterferenceResult r = analyzeFixture(sim);
+        EXPECT_EQ(r.unsafe, 0u);
+        EXPECT_EQ(r.proven, 2u);
+        EXPECT_EQ(r.auto_islands, 2u);
+    }
+
+    // Runtime half: the token is licensed to its first accessor's
+    // island; the second island's write is a domain race.
+    Simulator sim;
+    auto &a = sim.makeChannel<uint64_t>("a", 64);
+    auto &b = sim.makeChannel<uint64_t>("b", 64);
+    sim.add<TokenToucher>("t0", a, "false.shared");
+    sim.add<TokenToucher>("t1", b, "false.shared");
+    configureParanoid(sim, 2);
+
+    try {
+        for (int i = 0; i < 10; ++i)
+            sim.step();
+        FAIL() << "false sharing not caught";
+    } catch (const DomainRaceError &e) {
+        EXPECT_TRUE(e.report().is_state);
+        EXPECT_EQ(e.report().subject, "false.shared");
+    }
+}
+
+TEST(InterferenceSan, CleanContractedDesignRunsParanoidUnperturbed)
+{
+    // Paranoid mode on a provable design: no aborts, and the observable
+    // results are bit-identical to the sequential manual-mode run.
+    auto run = [](KernelMode kernel, PartitionMode pmode,
+                  unsigned threads) {
+        Simulator sim;
+        buildContractedPairs(sim, 3);
+        sim.setKernelMode(kernel);
+        sim.setSimThreads(threads);
+        sim.setPartitionMode(pmode);
+        for (int i = 0; i < 50; ++i)
+            sim.step();
+        std::vector<uint64_t> sums;
+        for (const auto &m : sim.modules()) {
+            if (const auto *c = dynamic_cast<const FpConsumer *>(m.get()))
+                sums.push_back(c->sum());
+        }
+        return sums;
+    };
+
+    const auto base =
+        run(KernelMode::ActivityDriven, PartitionMode::Manual, 1);
+    EXPECT_EQ(run(KernelMode::Parallel, PartitionMode::Paranoid, 1), base);
+    EXPECT_EQ(run(KernelMode::Parallel, PartitionMode::Paranoid, 2), base);
+    EXPECT_EQ(run(KernelMode::Parallel, PartitionMode::Paranoid, 4), base);
+}
+
+TEST(InterferenceSan, StatsAnnotateProvenanceAndArming)
+{
+    Simulator sim;
+    buildContractedPairs(sim, 2);
+    auto &extra = sim.makeChannel<uint64_t>("legacy_ch", 64);
+    sim.add<LegacyClaimer>("legacy", extra);
+    configureParanoid(sim, 2);
+    for (int i = 0; i < 5; ++i)
+        sim.step();
+
+    ASSERT_NE(sim.vidisan(), nullptr);
+    EXPECT_TRUE(sim.vidisan()->armed());
+
+    const KernelStats stats = sim.kernelStats();
+    EXPECT_EQ(stats.partition_mode, PartitionMode::Paranoid);
+    EXPECT_TRUE(stats.vidisan);
+    const std::string text = stats.toString();
+    // The partition dump names each member's safety provenance.
+    EXPECT_NE(text.find("auto-proven"), std::string::npos);
+    EXPECT_NE(text.find("[residual]"), std::string::npos);
+    EXPECT_NE(text.find("partition mode:"), std::string::npos);
+    EXPECT_NE(text.find("paranoid (vidisan armed)"), std::string::npos);
+}
+
+TEST(InterferenceSan, DisarmedOutsideParanoidWithoutOptIn)
+{
+    EnvGuard g("VIDI_SANITIZE", nullptr);
+    Simulator sim;
+    buildContractedPairs(sim, 2);
+    sim.setKernelMode(KernelMode::Parallel);
+    sim.setSimThreads(2);
+    sim.setPartitionMode(PartitionMode::Auto);
+    for (int i = 0; i < 5; ++i)
+        sim.step();
+#ifndef VIDI_SANITIZE_VIDI
+    EXPECT_EQ(sim.vidisan(), nullptr);
+    EXPECT_FALSE(sim.kernelStats().vidisan);
+#else
+    EXPECT_NE(sim.vidisan(), nullptr);
+#endif
+}
+
+// ---------------------------------------------------------------------
+// The 10-application A/B gate
+// ---------------------------------------------------------------------
+
+class InterferenceAB : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    static std::unique_ptr<AppBuilder>
+    appByName(const std::string &name)
+    {
+        auto apps = makeTable1Apps();
+        for (auto &app : apps) {
+            if (app->name() == name)
+                return std::move(app);
+        }
+        return nullptr;
+    }
+};
+
+TEST_P(InterferenceAB, EveryModuleProvenAndResidualShrinks)
+{
+    // The acceptance bar for auto promotion: the whole application —
+    // trace plane, host program and FPGA side — carries provable
+    // contracts, so the residual island shrinks to nothing and
+    // `vidi_lint --interference` gates CI with zero false positives.
+    auto app = appByName(GetParam());
+    ASSERT_NE(app, nullptr);
+    LintOptions opts;
+    opts.scale = 0.05;
+    opts.interference = true;
+    const AppLintResult result = lintApp(*app, opts);
+
+    ASSERT_TRUE(result.has_interference);
+    const InterferenceResult &r = result.interference;
+    EXPECT_EQ(r.unsafe, 0u) << result.toString();
+    EXPECT_EQ(r.unknown, 0u) << result.toString();
+    EXPECT_EQ(r.proven, r.modules.size());
+    EXPECT_EQ(r.auto_residual_modules, 0u);
+    EXPECT_GT(r.manual_residual_modules, 0u);
+    EXPECT_FALSE(result.report.hasErrors()) << result.report.toString();
+}
+
+TEST_P(InterferenceAB, AutoTracesBitIdenticalToManualAcrossThreads)
+{
+    // Promotion must be a pure performance knob: VIDI_PARTITION=auto may
+    // change the island cut, never a single trace byte.
+    auto app = appByName(GetParam());
+    ASSERT_NE(app, nullptr);
+    app->setScale(0.05);
+
+    VidiConfig manual_cfg;
+    manual_cfg.kernel = KernelMode::Parallel;
+    manual_cfg.sim_threads = 2;
+    manual_cfg.partition = PartitionMode::Manual;
+    const RecordResult manual =
+        recordRun(*app, VidiMode::R2_Record, 7, manual_cfg);
+    ASSERT_TRUE(manual.completed);
+    const std::vector<uint8_t> manual_bytes = manual.trace.serialize();
+
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        VidiConfig cfg;
+        cfg.kernel = KernelMode::Parallel;
+        cfg.sim_threads = threads;
+        cfg.partition = PartitionMode::Auto;
+        const RecordResult auto_rec =
+            recordRun(*app, VidiMode::R2_Record, 7, cfg);
+        ASSERT_TRUE(auto_rec.completed) << "threads=" << threads;
+        EXPECT_EQ(auto_rec.cycles, manual.cycles) << "threads=" << threads;
+        EXPECT_EQ(auto_rec.digest, manual.digest) << "threads=" << threads;
+        EXPECT_EQ(auto_rec.trace.serialize(), manual_bytes)
+            << "threads=" << threads;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, InterferenceAB,
+                         ::testing::Values("DMA", "3D", "BNN", "DigitR",
+                                           "FaceD", "SpamF", "OpFlw",
+                                           "SSSP", "SHA", "MNet"));
+
+} // namespace
+} // namespace vidi

@@ -12,6 +12,12 @@
  *   --dynamic     also arm the per-channel protocol checkers and the
  *                 per-interface AXI ordering checkers during the
  *                 calibration run and merge their violations
+ *   --interference
+ *                 also run the interference analysis: per-module
+ *                 partition-safety verdicts (proven / unsafe-with-witness
+ *                 / unknown), the pairwise interference graph, and the
+ *                 auto-vs-manual island-cut preview. An unprovable
+ *                 promotion is an Error (nonzero exit)
  *   --scale <s>   calibration workload scale (default 0.1)
  *   --seed <n>    calibration run seed (default 1)
  *   --mask <hex>  monitored-channel mask, as VidiConfig::monitor_mask
@@ -22,7 +28,10 @@
  *                 crash-safe atomic write (temp file + fsync + rename)
  *
  * Exit status: 0 when no Error-severity findings, 1 when at least one
- * (the CI gate), 2 for usage errors.
+ * (the CI gate), 2 for usage or runtime errors. The gate is identical
+ * in text and --json mode — JSON consumers can rely on "exit 1 implies
+ * a parseable report with at least one Error finding", while a crash
+ * (exit 2) never masquerades as a lint failure.
  */
 
 #include <cstdio>
@@ -44,8 +53,8 @@ int
 usage()
 {
     std::fputs("usage:\n"
-               "  vidi_lint <app> [--json] [--dynamic] [--scale s] "
-               "[--seed n] [--mask hex] [--out path]\n"
+               "  vidi_lint <app> [--json] [--dynamic] [--interference] "
+               "[--scale s] [--seed n] [--mask hex] [--out path]\n"
                "  vidi_lint --all [same options]\n"
                "  vidi_lint --list\n",
                stderr);
@@ -78,6 +87,8 @@ parseArgs(int argc, char **argv, CliArgs &out)
             out.json = true;
         } else if (arg == "--dynamic") {
             out.opts.dynamic_checks = true;
+        } else if (arg == "--interference") {
+            out.opts.interference = true;
         } else if (arg == "--scale") {
             const char *v = value();
             if (v == nullptr)
@@ -174,7 +185,10 @@ main(int argc, char **argv)
                             text_out.size());
         return any_errors ? 1 : 0;
     } catch (const std::exception &e) {
+        // Runtime failures exit 2, like usage errors: exit 1 is reserved
+        // for "the lint ran and found Errors", so --json consumers never
+        // mistake a crash (with no parseable report) for a lint failure.
         std::fprintf(stderr, "vidi_lint: %s\n", e.what());
-        return 1;
+        return 2;
     }
 }
