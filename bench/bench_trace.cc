@@ -1,0 +1,180 @@
+/**
+ * @file
+ * VTC2 trace-container microbenchmarks (google-benchmark).
+ *
+ * Pins the three numbers the container exists for, across PRs:
+ *
+ *  - compression: serialized VTC2 bytes vs the 64 B line format over
+ *    the full Table 1 corpus (the ISSUE-9 acceptance bar is >=3x);
+ *  - encode/decode throughput in payload bytes per second;
+ *  - seek latency: positioning a TraceReader at a mid-trace cycle via
+ *    the sparse index versus linearly decoding to the same cycle.
+ *
+ * BENCH_TRACE.json (tools/bench_report) distils the results; the smoke
+ * ctest (`bench_trace --benchmark_min_time=0`) keeps the harness alive
+ * between PRs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.h"
+#include "core/recorder.h"
+#include "tracefmt/vtc2.h"
+
+namespace {
+
+using namespace vidi;
+
+constexpr double kScale = 0.05;
+
+/** The Table 1 corpus, recorded once and shared by every benchmark. */
+const std::vector<Trace> &
+corpus()
+{
+    static const std::vector<Trace> traces = [] {
+        std::vector<Trace> out;
+        for (auto &app : makeTable1Apps()) {
+            app->setScale(kScale);
+            RecordResult rec =
+                recordRun(*app, VidiMode::R2_Record, /*seed=*/1);
+            if (rec.completed)
+                out.push_back(std::move(rec.trace));
+        }
+        return out;
+    }();
+    return traces;
+}
+
+/** Pre-serialized images matching corpus(), for the decode benches. */
+const std::vector<std::vector<uint8_t>> &
+images()
+{
+    static const std::vector<std::vector<uint8_t>> imgs = [] {
+        std::vector<std::vector<uint8_t>> out;
+        for (const Trace &t : corpus())
+            out.push_back(serializeVtc2(t));
+        return out;
+    }();
+    return imgs;
+}
+
+/** Index of the corpus trace with the most packets (seek target). */
+size_t
+largestTrace()
+{
+    size_t best = 0;
+    for (size_t i = 0; i < corpus().size(); ++i) {
+        if (corpus()[i].packets.size() > corpus()[best].packets.size())
+            best = i;
+    }
+    return best;
+}
+
+void
+BM_Vtc2Encode(benchmark::State &state)
+{
+    uint64_t payload = 0, vtc2_bytes = 0, v1_bytes = 0;
+    for (const std::vector<uint8_t> &img : images()) {
+        const Vtc2Stats s = inspectVtc2(img.data(), img.size(), "bench");
+        payload += s.payload_bytes;
+        vtc2_bytes += s.file_bytes;
+        v1_bytes += s.v1LineBytes();
+    }
+    for (auto _ : state) {
+        for (const Trace &t : corpus()) {
+            const std::vector<uint8_t> img = serializeVtc2(t);
+            benchmark::DoNotOptimize(img.data());
+        }
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(payload));
+    state.counters["vtc2_bytes"] = double(vtc2_bytes);
+    state.counters["v1_line_bytes"] = double(v1_bytes);
+    state.counters["compression_ratio"] =
+        vtc2_bytes != 0 ? double(v1_bytes) / double(vtc2_bytes) : 0.0;
+    state.counters["apps"] = double(corpus().size());
+}
+
+void
+BM_Vtc2Decode(benchmark::State &state)
+{
+    uint64_t payload = 0;
+    for (const std::vector<uint8_t> &img : images())
+        payload +=
+            inspectVtc2(img.data(), img.size(), "bench").payload_bytes;
+    for (auto _ : state) {
+        for (const std::vector<uint8_t> &img : images()) {
+            const Trace t = parseVtc2(img.data(), img.size(), "bench");
+            benchmark::DoNotOptimize(t.packets.data());
+        }
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(payload));
+}
+
+/**
+ * The seek image: the largest corpus trace at a finer frame
+ * granularity, so the smoke-scale recording still yields the dozens of
+ * frames a production-size trace would have and the index bisect has
+ * real work to measure.
+ */
+const std::vector<uint8_t> &
+seekImage()
+{
+    static const std::vector<uint8_t> img = [] {
+        Vtc2Options opt;
+        opt.packets_per_frame = 64;
+        return serializeVtc2(corpus()[largestTrace()], opt);
+    }();
+    return img;
+}
+
+/** Index-assisted positioning at the largest trace's middle cycle. */
+void
+BM_SeekToMidCycle(benchmark::State &state)
+{
+    const size_t big = largestTrace();
+    const Trace &trace = corpus()[big];
+    const uint64_t target = trace.cycleKey(trace.packets.size() / 2);
+    TraceReader reader(seekImage(), "bench");
+    CyclePacket pkt;
+    for (auto _ : state) {
+        reader.seekToCycle(target);
+        reader.next(pkt);
+        benchmark::DoNotOptimize(pkt.starts);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+    state.counters["frames"] = double(reader.frameCount());
+    state.counters["packets"] = double(trace.packets.size());
+}
+
+/** The same position reached by linear decoding — what seeks replace. */
+void
+BM_LinearToMidCycle(benchmark::State &state)
+{
+    const size_t big = largestTrace();
+    const Trace &trace = corpus()[big];
+    const uint64_t target = trace.cycleKey(trace.packets.size() / 2);
+    TraceReader reader(seekImage(), "bench");
+    CyclePacket pkt;
+    for (auto _ : state) {
+        reader.seekToPacket(0);
+        uint64_t cycle = 0;
+        while (reader.next(pkt, nullptr, &cycle) && cycle < target) {
+        }
+        benchmark::DoNotOptimize(pkt.starts);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+
+} // namespace
+
+BENCHMARK(BM_Vtc2Encode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Vtc2Decode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SeekToMidCycle)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LinearToMidCycle)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -7,16 +7,47 @@ namespace vidi {
 std::vector<uint8_t>
 patternBytes(uint64_t content_seed, size_t len)
 {
+    // Real device payloads (sensor frames, feature vectors, weight
+    // blobs, packets) are locally repetitive with sparse novelty; raw
+    // xoshiro output is white noise, the one distribution they never
+    // resemble, and makes every byte of trace/DRAM content an
+    // adversarial worst case. Emit that texture instead — flat runs,
+    // repeated motifs, occasional fresh entropy — while staying a pure
+    // function of the seed so digests are reproducible.
     SimRandom rng(content_seed);
-    std::vector<uint8_t> out(len);
-    size_t i = 0;
-    while (i + 8 <= len) {
-        const uint64_t v = rng.next();
-        std::memcpy(out.data() + i, &v, 8);
-        i += 8;
+    std::vector<uint8_t> out;
+    out.reserve(len + 64);
+    uint8_t motif[48];
+    for (auto &b : motif)
+        b = static_cast<uint8_t>(rng.next());
+    while (out.size() < len) {
+        const uint64_t kind = rng.below(16);
+        if (kind == 0) {
+            // Novelty burst: the entropy real payloads carry in
+            // headers, checksums and sensor noise.
+            const size_t n = 4 + static_cast<size_t>(rng.below(13));
+            for (size_t i = 0; i < n; ++i)
+                out.push_back(static_cast<uint8_t>(rng.next()));
+        } else if (kind <= 3) {
+            // Flat run: zero padding or a saturated/constant fill.
+            const uint8_t v =
+                kind == 1 ? 0 : static_cast<uint8_t>(rng.next());
+            out.insert(out.end(), 8 + rng.below(57), v);
+        } else {
+            // Local repeat: a slice of the motif bank, which drifts by
+            // single-byte mutations as the stream progresses.
+            const size_t off =
+                static_cast<size_t>(rng.below(sizeof(motif)));
+            const size_t n =
+                8 + static_cast<size_t>(rng.below(sizeof(motif) - 7));
+            for (size_t i = 0; i < n; ++i)
+                out.push_back(motif[(off + i) % sizeof(motif)]);
+            if (rng.chance(1, 4))
+                motif[rng.below(sizeof(motif))] =
+                    static_cast<uint8_t>(rng.next());
+        }
     }
-    for (; i < len; ++i)
-        out[i] = static_cast<uint8_t>(rng.next());
+    out.resize(len);
     return out;
 }
 

@@ -155,13 +155,20 @@ struct LiveSession::Impl
     uint64_t next_ckpt = ~0ull;
     uint64_t drain_deadline = 0;
     bool workload_completed = false;
+    /**
+     * Time-travel leg: never commit checkpoints or overwrite the
+     * recorded trace — the forward replay must leave the session
+     * directory exactly as it found it.
+     */
+    bool read_only = false;
     CheckpointStats stats;
     CommitThrottle throttle;
 
     RecordResult rec;
     ReplayResult rep;
 
-    Impl(Session &&s, AppBuilder &app, bool resume)
+    Impl(Session &&s, AppBuilder &app, bool resume,
+         uint64_t hydrate_at = ~0ull)
         : session(std::move(s)),
           cfg(session.manifest().cfg),
           record(VidiMode(session.manifest().mode) != VidiMode::R3_Replay),
@@ -204,7 +211,12 @@ struct LiveSession::Impl
         if (resume) {
             CheckpointImage image;
             std::string path;
-            if (session.latestCheckpoint(&image, &path)) {
+            const bool found =
+                hydrate_at == ~0ull
+                    ? session.latestCheckpoint(&image, &path)
+                    : session.nearestCheckpoint(hydrate_at, &image,
+                                                &path);
+            if (found) {
                 restoreImage(image, sim, *shim, host, path);
                 stats.resumed = true;
                 stats.resumed_at_cycle = image.cycle;
@@ -305,6 +317,30 @@ LiveSession::hydrate(std::unique_ptr<AppBuilder> app,
     return live;
 }
 
+std::unique_ptr<LiveSession>
+LiveSession::hydrateAt(AppBuilder &app, const std::string &dir,
+                       uint64_t cycle)
+{
+    Session session = Session::open(dir);
+    if (app.name() != session.manifest().app)
+        fatal("LiveSession::hydrateAt(%s): manifest names app '%s' but "
+              "'%s' was supplied", dir.c_str(),
+              session.manifest().app.c_str(), app.name().c_str());
+    auto impl =
+        std::make_unique<Impl>(std::move(session), app, true, cycle);
+    impl->read_only = true;
+    return std::unique_ptr<LiveSession>(new LiveSession(std::move(impl)));
+}
+
+std::unique_ptr<LiveSession>
+LiveSession::hydrateAt(std::unique_ptr<AppBuilder> app,
+                       const std::string &dir, uint64_t cycle)
+{
+    std::unique_ptr<LiveSession> live = hydrateAt(*app, dir, cycle);
+    live->impl_->owned_builder = std::move(app);
+    return live;
+}
+
 uint64_t
 LiveSession::cycle() const
 {
@@ -335,13 +371,43 @@ LiveSession::checkpointsCommitted() const
     return impl_->stats.checkpoints;
 }
 
+bool
+LiveSession::resumedFromCheckpoint() const
+{
+    return impl_->stats.resumed;
+}
+
+uint64_t
+LiveSession::resumedAtCycle() const
+{
+    return impl_->stats.resumed_at_cycle;
+}
+
+uint64_t
+LiveSession::packetsDecoded() const
+{
+    return impl_->shim->packetsDecoded();
+}
+
+CheckpointImage
+LiveSession::stateImage()
+{
+    Impl &i = *impl_;
+    return captureImage(i.sim, *i.shim, i.host,
+                        i.session.manifest().mode,
+                        i.session.manifest().seed);
+}
+
 void
 LiveSession::maybeCommit()
 {
     Impl &i = *impl_;
     if (i.sim.cycle() < i.next_ckpt)
         return;
-    if (i.throttle.due()) {
+    // Read-only legs never commit, but the rung must still advance or
+    // the stepping deadline pins at the current cycle and the replay
+    // loop cannot make progress.
+    if (!i.read_only && i.throttle.due()) {
         i.commit();
         i.throttle.committed();
     }
@@ -463,7 +529,8 @@ LiveSession::finalizeRecord()
     r.encoder_pool_misses = i.shim->encoder()->poolMisses();
     r.kernel = i.sim.kernelStats();
     r.checkpoint = i.stats;
-    if (r.completed && !i.session.manifest().trace_path.empty())
+    if (r.completed && !i.read_only &&
+        !i.session.manifest().trace_path.empty())
         saveTrace(i.session.manifest().trace_path, r.trace);
     phase_ = Phase::Finished;
 }
@@ -489,7 +556,7 @@ LiveSession::finalizeReplay()
 void
 LiveSession::evict()
 {
-    if (phase_ == Phase::Finished)
+    if (phase_ == Phase::Finished || impl_->read_only)
         return;
     impl_->commit();
     impl_->throttle.committed();

@@ -87,6 +87,23 @@ class LiveSession
     static std::unique_ptr<LiveSession> hydrate(
         std::unique_ptr<AppBuilder> app, const std::string &dir);
 
+    /**
+     * Rebuild the session at @p dir positioned at the newest committed
+     * checkpoint whose cycle is <= @p cycle, falling back to a fresh
+     * start from cycle 0 when no such checkpoint validates. The result
+     * is a *read-only* leg for time-travel debugging: it never commits
+     * checkpoints of its own and evict() is a no-op, so replaying
+     * forward cannot disturb the session directory it restored from.
+     */
+    static std::unique_ptr<LiveSession> hydrateAt(AppBuilder &app,
+                                                  const std::string &dir,
+                                                  uint64_t cycle);
+
+    /** As above, with the session taking ownership of the builder. */
+    static std::unique_ptr<LiveSession> hydrateAt(
+        std::unique_ptr<AppBuilder> app, const std::string &dir,
+        uint64_t cycle);
+
     ~LiveSession();
 
     Phase phase() const { return phase_; }
@@ -114,6 +131,24 @@ class LiveSession
 
     /** Checkpoints committed so far (monotonic, includes evictions). */
     uint64_t checkpointsCommitted() const;
+
+    /** True when construction restored state from a checkpoint. */
+    bool resumedFromCheckpoint() const;
+
+    /** Cycle of the checkpoint restored at construction (0 if none). */
+    uint64_t resumedAtCycle() const;
+
+    /** Trace packets the replay decoder has consumed (0 for record). */
+    uint64_t packetsDecoded() const;
+
+    /**
+     * Snapshot the complete session state (shim + host DRAM +
+     * simulator) without committing it anywhere. Two sessions that
+     * reached the same point by different routes — linear replay vs a
+     * checkpoint restore plus a forward leg — must produce byte-equal
+     * images; the time-travel tests pivot on exactly that.
+     */
+    CheckpointImage stateImage();
 
     /// @name Results
     /// @{

@@ -15,7 +15,6 @@ namespace {
 constexpr char kManifestMagic[8] = {'V', 'I', 'D', 'I', 'S', 'S', 'N',
                                     '1'};
 constexpr uint32_t kJournalRecordMagic = 0x314e4a56;  // "VJN1"
-constexpr size_t kRetainCheckpoints = 2;
 
 } // namespace
 
@@ -84,6 +83,7 @@ encodeManifest(const SessionManifest &m)
     w.u64(m.seed);
     w.pod(m.scale);
     w.u64(m.checkpoint_every);
+    w.u64(m.checkpoint_retain);
     w.str(m.trace_path);
     saveVidiConfig(w, m.cfg);
 
@@ -128,6 +128,7 @@ decodeManifest(const std::vector<uint8_t> &bytes, const std::string &path)
     m.seed = r.u64();
     m.scale = r.pod<double>();
     m.checkpoint_every = r.u64();
+    m.checkpoint_retain = r.u64();
     m.trace_path = r.str();
     m.cfg = loadVidiConfig(r);
     r.expectEnd();
@@ -243,12 +244,13 @@ Session::appendJournal(const JournalEntry &entry)
 void
 Session::pruneRetired()
 {
-    if (journal_.size() <= kRetainCheckpoints)
-        return;
+    const size_t retain = size_t(manifest_.checkpoint_retain);
+    if (retain == 0 || journal_.size() <= retain)
+        return;  // retain == 0: keep the full checkpoint ladder
     // Journal records are permanent (append-only); only the retired
     // checkpoint *files* are deleted. Recovery tolerates the missing
     // files because it probes before trusting.
-    for (size_t i = 0; i + kRetainCheckpoints < journal_.size(); ++i)
+    for (size_t i = 0; i + retain < journal_.size(); ++i)
         removeFileIfExists(filePath(journal_[i].file));
 }
 
@@ -276,16 +278,24 @@ Session::commitCheckpoint(uint64_t cycle, const CheckpointImage &image,
 }
 
 bool
-Session::latestCheckpoint(CheckpointImage *image, std::string *path,
-                          std::string *diagnosis) const
+Session::scanForCheckpoint(uint64_t max_cycle, CheckpointImage *image,
+                           std::string *path,
+                           std::string *diagnosis) const
 {
+    // Entries older than the retention window are *expected* to be
+    // missing (their files were pruned); only losses inside the window
+    // are worth a diagnosis line. retain == 0 keeps everything, so any
+    // miss is anomalous.
+    const size_t retain = manifest_.checkpoint_retain == 0
+                              ? journal_.size()
+                              : size_t(manifest_.checkpoint_retain);
     for (size_t i = journal_.size(); i-- > 0;) {
         const JournalEntry &e = journal_[i];
+        if (e.cycle > max_cycle)
+            continue;
         const std::string p = filePath(e.file);
         if (!fileExists(p)) {
-            // Retention-pruned (expected for old entries) or lost.
-            if (diagnosis != nullptr && i + kRetainCheckpoints >=
-                                            journal_.size())
+            if (diagnosis != nullptr && i + retain >= journal_.size())
                 *diagnosis += p + ": missing\n";
             continue;
         }
@@ -303,6 +313,20 @@ Session::latestCheckpoint(CheckpointImage *image, std::string *path,
         return true;
     }
     return false;
+}
+
+bool
+Session::latestCheckpoint(CheckpointImage *image, std::string *path,
+                          std::string *diagnosis) const
+{
+    return scanForCheckpoint(~0ull, image, path, diagnosis);
+}
+
+bool
+Session::nearestCheckpoint(uint64_t cycle, CheckpointImage *image,
+                           std::string *path, std::string *diagnosis) const
+{
+    return scanForCheckpoint(cycle, image, path, diagnosis);
 }
 
 } // namespace vidi

@@ -24,7 +24,9 @@
  * Recovery therefore walks the journal newest-to-oldest and returns the
  * first entry whose file still validates end-to-end (probeCheckpoint),
  * so damage to the newest checkpoint silently falls back to the one
- * before it. Only the last two checkpoints are retained.
+ * before it. By default only the last two checkpoints are retained;
+ * manifests with checkpoint_retain == 0 keep every checkpoint, which
+ * gives time-travel debugging a ladder of restore points.
  */
 
 #ifndef VIDI_CHECKPOINT_SESSION_H
@@ -51,6 +53,13 @@ struct SessionManifest
     uint64_t seed = 1;     ///< recording seed
     double scale = 0.1;    ///< workload scale passed to the builder
     uint64_t checkpoint_every = 0;  ///< cycles between checkpoints
+    /**
+     * Checkpoints kept on disk after each commit. 0 keeps every
+     * checkpoint — time-travel debug sessions need the full ladder so
+     * any cycle has a nearby restore point; the default of 2 bounds
+     * disk for ordinary crash-resume sessions.
+     */
+    uint64_t checkpoint_retain = 2;
     /** Record: trace output path. Replay: trace input path. */
     std::string trace_path;
     VidiConfig cfg;        ///< full shim configuration
@@ -121,6 +130,19 @@ class Session
                           std::string *path = nullptr,
                           std::string *diagnosis = nullptr) const;
 
+    /**
+     * Newest committed checkpoint at or before @p cycle that still
+     * validates end-to-end — the time-travel restore point for a jump
+     * to @p cycle. Damaged or missing candidates fall back to the next
+     * older entry, exactly like latestCheckpoint().
+     *
+     * @return false when no usable checkpoint at or before @p cycle
+     *         exists (the caller replays forward from cycle 0)
+     */
+    bool nearestCheckpoint(uint64_t cycle, CheckpointImage *image,
+                           std::string *path = nullptr,
+                           std::string *diagnosis = nullptr) const;
+
   private:
     Session(std::string dir, SessionManifest manifest,
             std::vector<JournalEntry> journal);
@@ -129,6 +151,9 @@ class Session
     std::string journalPath() const;
     void appendJournal(const JournalEntry &entry);
     void pruneRetired();
+    bool scanForCheckpoint(uint64_t max_cycle, CheckpointImage *image,
+                           std::string *path,
+                           std::string *diagnosis) const;
 
     std::string dir_;
     SessionManifest manifest_;

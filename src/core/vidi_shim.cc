@@ -130,6 +130,14 @@ VidiShim::collectTrace(TraceDamageReport *report) const
     rep.payload_bytes_lost += store_->droppedPayloadBytes();
     if (report == nullptr && !rep.clean())
         fatal("VidiShim::collectTrace: %s", rep.toString().c_str());
+    // Attach the encoder's emission-cycle log. Only safe when the decoded
+    // stream is intact and complete: after damage the surviving packets no
+    // longer line up 1:1 with the emission order, so the annotation would
+    // mislabel packets — leave it off and let consumers fall back to
+    // sequence numbering.
+    if (rep.clean() &&
+        encoder_->emitCycles().size() == trace.packets.size())
+        trace.cycles = encoder_->emitCycles();
     return trace;
 }
 
@@ -223,6 +231,12 @@ VidiShim::replayDamage() const
     TraceDamageReport report = store_->damage();
     report.packets_decoded = decoder_->packetsDecoded();
     return report;
+}
+
+uint64_t
+VidiShim::packetsDecoded() const
+{
+    return decoder_ != nullptr ? decoder_->packetsDecoded() : 0;
 }
 
 void

@@ -125,6 +125,9 @@ class VidiShim
 
     /** Damage observed on the replay fetch path (CRC lines etc.). */
     TraceDamageReport replayDamage() const;
+
+    /** Cycle packets the replay decoder has consumed so far. */
+    uint64_t packetsDecoded() const;
     /// @}
 
     TraceStore *store() { return store_; }

@@ -46,6 +46,8 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan))
             break;
           case FaultKind::FileTruncate:
           case FaultKind::FileHeaderFlip:
+          case FaultKind::FrameBitFlip:
+          case FaultKind::FrameTornTail:
             file_events_.push_back(e);
             break;
           case FaultKind::CrashAtCycle:
@@ -135,6 +137,48 @@ FaultInjector::corruptFileHeader(uint8_t *data, size_t len)
             ++injected_[size_t(FaultKind::FileHeaderFlip)];
         }
     }
+}
+
+void
+FaultInjector::corruptFrames(uint8_t *image, size_t image_len,
+                             const uint64_t *offsets,
+                             const uint64_t *body_bytes, size_t nframes,
+                             size_t header_bytes)
+{
+    if (nframes == 0)
+        return;
+    for (const FaultEvent &e : file_events_) {
+        if (e.kind != FaultKind::FrameBitFlip)
+            continue;
+        const size_t frame = size_t(e.at % nframes);
+        if (body_bytes[frame] == 0)
+            continue;
+        const uint64_t byte = offsets[frame] + header_bytes +
+                              e.a % body_bytes[frame];
+        if (byte >= image_len)
+            continue;
+        image[byte] ^= uint8_t(1u << (e.b % 8));
+        ++injected_[size_t(FaultKind::FrameBitFlip)];
+    }
+}
+
+uint64_t
+FaultInjector::tornFrameLength(uint64_t len, const uint64_t *offsets,
+                               const uint64_t *body_bytes, size_t nframes,
+                               size_t header_bytes)
+{
+    if (nframes == 0)
+        return len;
+    for (const FaultEvent &e : file_events_) {
+        if (e.kind != FaultKind::FrameTornTail)
+            continue;
+        const size_t last = nframes - 1;
+        const uint64_t span = header_bytes + body_bytes[last];
+        const uint64_t cut = offsets[last] + span * e.a / 1000;
+        ++injected_[size_t(FaultKind::FrameTornTail)];
+        return std::min(len, cut);
+    }
+    return len;
 }
 
 bool

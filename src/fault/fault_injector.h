@@ -89,6 +89,25 @@ class FaultInjector
 
     /** Flip scheduled header bits in the first @p len bytes. */
     void corruptFileHeader(uint8_t *data, size_t len);
+
+    /**
+     * Apply scheduled FrameBitFlip faults to a serialized VTC2 image:
+     * each event picks a frame (index modulo @p nframes) and flips one
+     * bit inside that frame's stored body. @p offsets / @p body_bytes
+     * describe the frames (from serializeVtc2's Vtc2FrameInfo report).
+     */
+    void corruptFrames(uint8_t *image, size_t image_len,
+                       const uint64_t *offsets, const uint64_t *body_bytes,
+                       size_t nframes, size_t header_bytes);
+
+    /**
+     * Post-tear length for a VTC2 image: a pending FrameTornTail fault
+     * cuts the file a seeded permille into its final frame, shearing
+     * off the frame tail, the index and the footer in one torn write.
+     */
+    uint64_t tornFrameLength(uint64_t len, const uint64_t *offsets,
+                             const uint64_t *body_bytes, size_t nframes,
+                             size_t header_bytes);
     /// @}
 
     /// @name Process-crash faults (each fires at most once)

@@ -23,6 +23,8 @@ toString(FaultKind kind)
         return "crash-during-checkpoint-write";
       case FaultKind::CrashDuringTraceAppend:
         return "crash-during-trace-append";
+      case FaultKind::FrameBitFlip: return "frame-bit-flip";
+      case FaultKind::FrameTornTail: return "frame-torn-tail";
     }
     return "unknown-fault";
 }
@@ -80,6 +82,19 @@ FaultPlan::generate(const FaultSpec &spec)
     for (uint32_t i = 0; i < spec.file_header_flips; ++i) {
         plan.events_.push_back({FaultKind::FileHeaderFlip,
                                 rng.below(64), rng.below(8), 0});
+    }
+
+    // VTC2 frame faults: frame index, body byte and bit are drawn wide
+    // and wrapped against the actual frame geometry at apply time.
+    for (uint32_t i = 0; i < spec.frame_bit_flips; ++i) {
+        plan.events_.push_back({FaultKind::FrameBitFlip,
+                                rng.below(uint64_t(1) << 32),
+                                rng.below(uint64_t(1) << 32),
+                                rng.below(8)});
+    }
+    if (spec.frame_torn_tail) {
+        plan.events_.push_back({FaultKind::FrameTornTail, 0,
+                                rng.range(100, 900), 0});
     }
 
     // Crash faults draw last so enabling them never perturbs the
@@ -155,6 +170,8 @@ saveFaultSpec(StateWriter &w, const FaultSpec &f)
     w.u64(f.crash_at_cycle);
     w.b(f.crash_during_checkpoint);
     w.b(f.crash_during_trace_append);
+    w.u32(f.frame_bit_flips);
+    w.b(f.frame_torn_tail);
 }
 
 FaultSpec
@@ -177,6 +194,8 @@ loadFaultSpec(StateReader &r)
     f.crash_at_cycle = r.u64();
     f.crash_during_checkpoint = r.b();
     f.crash_during_trace_append = r.b();
+    f.frame_bit_flips = r.u32();
+    f.frame_torn_tail = r.b();
     return f;
 }
 
@@ -215,6 +234,10 @@ constexpr FaultKnob kFaultKnobs[] = {
      [](FaultSpec &f, uint64_t v) { f.file_truncate = v != 0; }},
     {"file_header_flips",
      [](FaultSpec &f, uint64_t v) { f.file_header_flips = uint32_t(v); }},
+    {"frame_bit_flips",
+     [](FaultSpec &f, uint64_t v) { f.frame_bit_flips = uint32_t(v); }},
+    {"frame_torn_tail",
+     [](FaultSpec &f, uint64_t v) { f.frame_torn_tail = v != 0; }},
     {"crash_at_cycle",
      [](FaultSpec &f, uint64_t v) { f.crash_at_cycle = v; }},
     {"crash_during_checkpoint",

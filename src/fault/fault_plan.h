@@ -38,6 +38,10 @@ enum class FaultKind : uint8_t
                     ///< a permille-@c a prefix of the temp file
     CrashDuringTraceAppend,     ///< process dies once @c at storage
                     ///< lines were appended to the trace
+    FrameBitFlip,   ///< flip bit @c b of body byte @c a of VTC2 frame
+                    ///< @c at (indices wrap at apply time)
+    FrameTornTail,  ///< cut the VTC2 file @c a permille into its final
+                    ///< frame (torn write)
 };
 
 const char *toString(FaultKind kind);
@@ -87,6 +91,10 @@ struct FaultSpec
     /// @{
     bool file_truncate = false;
     uint32_t file_header_flips = 0;
+    /** VTC2 only: bit flips landing inside frame bodies. */
+    uint32_t frame_bit_flips = 0;
+    /** VTC2 only: tear the file mid-way through its final frame. */
+    bool frame_torn_tail = false;
     /// @}
 
     /// @name Process-crash faults (checkpoint/resume validation)
@@ -104,8 +112,8 @@ struct FaultSpec
     {
         return line_bit_flips || line_drops || line_dups || pcie_stalls ||
                pcie_throttles || file_truncate || file_header_flips ||
-               crash_at_cycle || crash_during_checkpoint ||
-               crash_during_trace_append;
+               frame_bit_flips || frame_torn_tail || crash_at_cycle ||
+               crash_during_checkpoint || crash_during_trace_append;
     }
 };
 

@@ -470,6 +470,16 @@ VidiServer::statusText() const
     text += " creations=" + std::to_string(s.sessions.creations);
     text += " rehydrations=" + std::to_string(s.sessions.rehydrations);
     text += " evictions=" + std::to_string(s.sessions.evictions);
+    // Per-tenant on-disk footprint: what eviction actually costs. The
+    // trace component is the spilled VTC2 container (or a recorded
+    // output), reported separately so compression wins are visible.
+    uint64_t disk_total = 0;
+    for (const SessionManager::DiskUsage &u : sessions_.diskUsage()) {
+        disk_total += u.bytes;
+        text += " disk[" + u.tenant + "]=" + std::to_string(u.bytes);
+        text += "/trace=" + std::to_string(u.trace_bytes);
+    }
+    text += " disk_total=" + std::to_string(disk_total);
     return text;
 }
 

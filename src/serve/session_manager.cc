@@ -1,11 +1,16 @@
 #include "serve/session_manager.h"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
+
+#include <dirent.h>
+#include <sys/stat.h>
 
 #include "apps/app_registry.h"
 #include "apps/echo_server.h"
 #include "checkpoint/atomic_file.h"
+#include "trace/trace_file.h"
 
 namespace vidi {
 
@@ -119,9 +124,30 @@ SessionManager::acquireFresh(const std::string &tenant,
     old.reset();
     std::unique_ptr<LiveSession> live;
     std::string error;
+    SessionManifest effective = manifest;
     try {
+        // Replay inputs are spilled into the session directory as VTC2
+        // before the session is built: the directory then carries the
+        // compressed container (what eviction leaves on disk) instead
+        // of referencing the tenant's bulky line-format original.
+        // Damaged inputs skip the spill — they replay from the
+        // original path so the v1 damage contract is untouched.
+        if (VidiMode(effective.mode) == VidiMode::R3_Replay &&
+            !effective.trace_path.empty() &&
+            traceFormatForPath(effective.trace_path) !=
+                TraceFileFormat::Vtc2) {
+            TraceDamageReport report;
+            const Trace trace = loadTrace(effective.trace_path, report);
+            if (report.clean()) {
+                makeDirs(dirFor(tenant));
+                const std::string spilled =
+                    dirFor(tenant) + "/trace.vtc2";
+                saveTrace(spilled, trace);
+                effective.trace_path = spilled;
+            }
+        }
         live = LiveSession::create(std::move(app), dirFor(tenant),
-                                   manifest);
+                                   effective);
     } catch (const std::exception &e) {
         error = e.what();
     }
@@ -261,6 +287,51 @@ SessionManager::drainAll()
         kv.second.live.reset();
         ++evictions_;
     }
+}
+
+std::vector<SessionManager::DiskUsage>
+SessionManager::diskUsage() const
+{
+    // Pure filesystem scan — no lock needed: the directories are
+    // crash-consistent by construction, so a concurrent commit at
+    // worst shifts a size by one checkpoint.
+    std::vector<DiskUsage> usage;
+    DIR *root = opendir(root_dir_.c_str());
+    if (root == nullptr)
+        return usage;
+    while (const dirent *tenant_ent = readdir(root)) {
+        const std::string tenant = tenant_ent->d_name;
+        if (!validTenant(tenant))
+            continue;  // skips "." / ".." and stray files
+        const std::string dir = dirFor(tenant);
+        DIR *d = opendir(dir.c_str());
+        if (d == nullptr)
+            continue;
+        DiskUsage u;
+        u.tenant = tenant;
+        while (const dirent *ent = readdir(d)) {
+            const std::string name = ent->d_name;
+            if (name == "." || name == "..")
+                continue;
+            struct stat st;
+            if (stat((dir + "/" + name).c_str(), &st) != 0 ||
+                !S_ISREG(st.st_mode))
+                continue;
+            u.bytes += uint64_t(st.st_size);
+            if (name.size() >= 5 &&
+                (name.compare(name.size() - 5, 5, ".vtc2") == 0 ||
+                 name.compare(name.size() - 5, 5, ".vtrc") == 0))
+                u.trace_bytes += uint64_t(st.st_size);
+        }
+        closedir(d);
+        usage.push_back(std::move(u));
+    }
+    closedir(root);
+    std::sort(usage.begin(), usage.end(),
+              [](const DiskUsage &a, const DiskUsage &b) {
+                  return a.tenant < b.tenant;
+              });
+    return usage;
 }
 
 SessionManager::Stats

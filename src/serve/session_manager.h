@@ -31,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "checkpoint/live_session.h"
 #include "serve/protocol.h"
@@ -101,6 +102,22 @@ class SessionManager
         uint64_t evictions = 0;     ///< includes drainAll commits
     };
     Stats stats() const;
+
+    /** One tenant's on-disk footprint under the session root. */
+    struct DiskUsage
+    {
+        std::string tenant;
+        uint64_t bytes = 0;   ///< all session-directory files
+        uint64_t trace_bytes = 0;  ///< of which trace containers
+    };
+
+    /**
+     * Scan the session root and report every tenant directory's
+     * on-disk bytes (checkpoints, journal, manifest, spilled VTC2
+     * traces), sorted by tenant name. Evicted tenants are included —
+     * their directories are exactly what this measures.
+     */
+    std::vector<DiskUsage> diskUsage() const;
 
     std::string dirFor(const std::string &tenant) const;
 

@@ -278,9 +278,21 @@ class Module
     FootprintBuilder declareFootprint();
     /// @}
 
+    /** The simulator that owns this module (set on registration). */
+    const Simulator *owner() const { return owner_sim_; }
+
   protected:
     /** Select how the activity-driven kernel schedules eval(). */
     void setEvalMode(EvalMode m) { eval_mode_ = m; }
+
+    /**
+     * The owning simulator's current cycle. Valid from any phase hook
+     * (eval/tick/tickLate): the cycle counter only advances between
+     * cycles, so the value is phase-stable — including under the
+     * Parallel kernel, where it is frozen for the whole phase barrier
+     * window. Panics when the module was never registered.
+     */
+    uint64_t nowCycle() const;
 
     /**
      * Declare that eval() reads @p ch: the channel will mark this module
@@ -315,6 +327,7 @@ class Module
     friend class Simulator;
 
     std::string name_;
+    const Simulator *owner_sim_ = nullptr;  ///< owner; set by Simulator::add
     EvalMode eval_mode_ = EvalMode::EveryCycle;
     bool needs_eval_ = true;
     bool has_sensitivities_ = false;

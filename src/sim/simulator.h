@@ -136,6 +136,7 @@ class Simulator
     {
         auto mod = std::make_unique<M>(std::forward<Args>(args)...);
         M &ref = *mod;
+        ref.Module::owner_sim_ = this;
         invalidatePartition();
         modules_.push_back(std::move(mod));
         return ref;

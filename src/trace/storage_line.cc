@@ -111,6 +111,8 @@ toString(DamageKind kind)
       case DamageKind::UnalignedSkip: return "unaligned line skipped";
       case DamageKind::TruncatedTail: return "truncated tail";
       case DamageKind::Discontinuity: return "recorded discontinuity";
+      case DamageKind::CorruptFrame: return "corrupt frame";
+      case DamageKind::TruncatedFrame: return "truncated frame";
     }
     return "unknown damage";
 }
@@ -145,8 +147,10 @@ TraceDamageReport::note(DamageKind kind, uint64_t first_seq, uint64_t lines,
       case DamageKind::MissingLines: lines_missing += lines; break;
       case DamageKind::DuplicateLine: lines_duplicate += lines; break;
       case DamageKind::UnalignedSkip: lines_skipped += lines; break;
+      case DamageKind::CorruptFrame: lines_corrupt += lines; break;
       case DamageKind::TruncatedTail:
       case DamageKind::Discontinuity:
+      case DamageKind::TruncatedFrame:
         break;
     }
     payload_bytes_lost += bytes;

@@ -116,6 +116,8 @@ enum class DamageKind : uint8_t
                       ///< resynchronize on
     TruncatedTail,    ///< stream ended inside a line or a packet
     Discontinuity,    ///< recorded drop-with-report cut in the stream
+    CorruptFrame,     ///< VTC2 frame failed its header or body CRC
+    TruncatedFrame,   ///< VTC2 stream ended inside a frame (torn tail)
 };
 
 const char *toString(DamageKind kind);

@@ -28,6 +28,30 @@ class Trace
     TraceMeta meta;
     std::vector<CyclePacket> packets;
 
+    /**
+     * Optional cycle annotations: cycles[i] is the simulator cycle at
+     * which packets[i] was emitted by the recording encoder. Empty when
+     * unknown (legacy v1 files, damaged recordings, validation traces) —
+     * consumers must treat an empty vector as "cycle key = packet
+     * index". When non-empty the vector has exactly packets.size()
+     * non-decreasing entries. Advisory metadata: it never reaches the
+     * replay data path and is deliberately excluded from equality, so
+     * record/replay trace comparisons stay byte-stream semantics.
+     */
+    std::vector<uint64_t> cycles;
+
+    /** Whether per-packet cycle annotations are present. */
+    bool hasCycles() const { return !cycles.empty(); }
+
+    /**
+     * Cycle key of packet @p i: the recorded emission cycle when
+     * annotations are present, the packet index otherwise.
+     */
+    uint64_t cycleKey(size_t i) const
+    {
+        return hasCycles() ? cycles[i] : uint64_t(i);
+    }
+
     /** Total serialized size in bytes (the paper's "TS" column). */
     uint64_t serializedBytes() const;
 
@@ -83,7 +107,16 @@ class Trace
      */
     std::vector<uint64_t> endOrderSignature() const;
 
-    bool operator==(const Trace &) const = default;
+    /**
+     * Equality compares the recorded byte-stream semantics (meta +
+     * packets) only; the advisory cycle annotations are excluded so a
+     * v1/VTC2 round trip and record-vs-replay comparisons are unaffected
+     * by whether annotations survived.
+     */
+    bool operator==(const Trace &o) const
+    {
+        return meta == o.meta && packets == o.packets;
+    }
 };
 
 } // namespace vidi

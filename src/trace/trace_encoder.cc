@@ -169,6 +169,7 @@ TraceEncoder::tickLate()
         panic("TraceEncoder(%s): releasing %zu bytes with only %zu "
               "reserved", name().c_str(), released, reserved_bytes_);
     reserved_bytes_ -= released;
+    emit_cycles_.push_back(nowCycle());
     ++packets_emitted_;
 }
 
@@ -179,6 +180,7 @@ TraceEncoder::reset()
     for (auto &s : staged_)
         s.start = s.end = false;
     any_staged_ = false;
+    emit_cycles_.clear();
     packets_emitted_ = 0;
     events_logged_ = 0;
     reserve_failures_ = 0;
@@ -207,6 +209,11 @@ TraceEncoder::saveState(StateWriter &w) const
     w.u64(reserve_failures_);
     w.u64(pool_hits_);
     w.u64(pool_misses_);
+    // The emit-cycle log rides along so a resumed recording still has the
+    // complete per-packet cycle annotation when the run finalizes.
+    w.u64(emit_cycles_.size());
+    for (uint64_t c : emit_cycles_)
+        w.u64(c);
 }
 
 void
@@ -234,6 +241,15 @@ TraceEncoder::loadState(StateReader &r)
     reserve_failures_ = r.u64();
     pool_hits_ = r.u64();
     pool_misses_ = r.u64();
+    const uint64_t nc = r.u64();
+    if (nc != packets_emitted_)
+        fatal("checkpoint state [%s]: emit-cycle log has %llu entries for "
+              "%llu emitted packets",
+              r.context().c_str(), (unsigned long long)nc,
+              (unsigned long long)packets_emitted_);
+    emit_cycles_.assign(size_t(nc), 0);
+    for (uint64_t &c : emit_cycles_)
+        c = r.u64();
 }
 
 } // namespace vidi

@@ -92,6 +92,16 @@ class TraceEncoder : public Module
         return any_staged_ ? now : kIdleForever;
     }
 
+    /**
+     * The simulator cycle at which each emitted packet was serialized:
+     * emitCycles()[i] is the emission cycle of packet i. Non-decreasing,
+     * exactly packetsEmitted() entries. This side log never reaches the
+     * trace store byte stream (the recorded format stays byte-identical
+     * to the paper's); it is the source of the per-packet cycle
+     * annotations the VTC2 container indexes on.
+     */
+    const std::vector<uint64_t> &emitCycles() const { return emit_cycles_; }
+
     /// @name Statistics
     /// @{
     uint64_t packetsEmitted() const { return packets_emitted_; }
@@ -129,6 +139,9 @@ class TraceEncoder : public Module
     // Reused serialization buffer; reaches steady-state capacity after
     // the first few packets (pool_hits_/pool_misses_ track reuse).
     std::vector<uint8_t> scratch_;
+
+    // Emission cycle of every packet, parallel to the packet sequence.
+    std::vector<uint64_t> emit_cycles_;
 
     uint64_t packets_emitted_ = 0;
     uint64_t events_logged_ = 0;

@@ -6,6 +6,7 @@
 #include "checkpoint/atomic_file.h"
 #include "fault/fault_injector.h"
 #include "sim/logging.h"
+#include "tracefmt/vtc2.h"
 
 namespace vidi {
 
@@ -38,8 +39,10 @@ takePod(const std::vector<uint8_t> &in, size_t &off, T &v)
     return true;
 }
 
+} // namespace
+
 std::vector<uint8_t>
-serializeMeta(const TraceMeta &meta)
+serializeTraceMeta(const TraceMeta &meta)
 {
     std::vector<uint8_t> out;
     appendPod<uint32_t>(out, uint32_t(meta.channelCount()));
@@ -55,7 +58,7 @@ serializeMeta(const TraceMeta &meta)
 }
 
 TraceMeta
-parseMeta(const std::vector<uint8_t> &bytes, const std::string &path)
+parseTraceMeta(const std::vector<uint8_t> &bytes, const std::string &path)
 {
     TraceMeta meta;
     size_t off = 0;
@@ -93,17 +96,55 @@ parseMeta(const std::vector<uint8_t> &bytes, const std::string &path)
     return meta;
 }
 
-} // namespace
+TraceFileFormat
+traceFormatForPath(const std::string &path)
+{
+    const std::string suffix = ".vtc2";
+    if (path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+            0)
+        return TraceFileFormat::Vtc2;
+    return TraceFileFormat::V1Lines;
+}
 
 void
-saveTrace(const std::string &path, const Trace &trace, FaultInjector *fault)
+saveTrace(const std::string &path, const Trace &trace,
+          TraceFileFormat format, FaultInjector *fault)
 {
+    if (format == TraceFileFormat::Vtc2) {
+        std::vector<Vtc2FrameInfo> frames;
+        std::vector<uint8_t> image = serializeVtc2(trace, {}, &frames);
+        size_t write_len = image.size();
+        if (fault != nullptr) {
+            std::vector<uint64_t> offsets, bodies;
+            offsets.reserve(frames.size());
+            bodies.reserve(frames.size());
+            for (const Vtc2FrameInfo &f : frames) {
+                offsets.push_back(f.offset);
+                bodies.push_back(f.body_bytes);
+            }
+            fault->corruptFileHeader(image.data(),
+                                     std::min<size_t>(image.size(), 64));
+            fault->corruptFrames(image.data(), image.size(),
+                                 offsets.data(), bodies.data(),
+                                 frames.size(), kVtc2FrameHeaderBytes);
+            uint64_t cut = fault->truncatedFileLength(image.size());
+            cut = std::min(cut,
+                           fault->tornFrameLength(
+                               image.size(), offsets.data(),
+                               bodies.data(), frames.size(),
+                               kVtc2FrameHeaderBytes));
+            write_len = size_t(cut);
+        }
+        writeFileAtomic(path, image.data(), write_len);
+        return;
+    }
     // Build the whole file image in memory first, so fault injection can
     // maul it exactly like bit rot or a torn write would.
     std::vector<uint8_t> image;
     append(image, kMagic, sizeof(kMagic));
 
-    const std::vector<uint8_t> meta = serializeMeta(trace.meta);
+    const std::vector<uint8_t> meta = serializeTraceMeta(trace.meta);
     appendPod<uint32_t>(image, uint32_t(meta.size()));
     appendPod<uint32_t>(image, crc32(meta.data(), meta.size()));
     append(image, meta.data(), meta.size());
@@ -129,10 +170,21 @@ saveTrace(const std::string &path, const Trace &trace, FaultInjector *fault)
     writeFileAtomic(path, image.data(), write_len);
 }
 
+void
+saveTrace(const std::string &path, const Trace &trace, FaultInjector *fault)
+{
+    saveTrace(path, trace, traceFormatForPath(path), fault);
+}
+
 Trace
 loadTrace(const std::string &path, TraceDamageReport &report)
 {
     const std::vector<uint8_t> image = readFileBytes(path);
+
+    // Dispatch on the file magic, not the name: either container loads
+    // from any path.
+    if (isVtc2Image(image.data(), image.size()))
+        return parseVtc2(image.data(), image.size(), path, report);
 
     size_t off = 0;
     if (image.size() < sizeof(kMagic) ||
@@ -152,7 +204,7 @@ loadTrace(const std::string &path, TraceDamageReport &report)
     const std::vector<uint8_t> meta_bytes(image.begin() + off,
                                           image.begin() + off + meta_len);
     off += meta_len;
-    const TraceMeta meta = parseMeta(meta_bytes, path);
+    const TraceMeta meta = parseTraceMeta(meta_bytes, path);
 
     uint64_t payload_len = 0, line_count = 0;
     if (!takePod(image, off, payload_len) ||

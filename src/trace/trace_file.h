@@ -35,26 +35,62 @@ namespace vidi {
 
 class FaultInjector;
 
+/** On-disk trace container formats. */
+enum class TraceFileFormat : uint8_t
+{
+    V1Lines,  ///< legacy "VIDITRC2" 64-byte storage lines
+    Vtc2,     ///< seekable block-compressed "VIDIVTC2" (see tracefmt/)
+};
+
 /**
- * Write @p trace to @p path; raises SimFatal on I/O failure.
+ * Format implied by a file name: ".vtc2" selects the VTC2 container,
+ * anything else the legacy line format. (Readers never rely on this —
+ * loadTrace dispatches on the file magic.)
+ */
+TraceFileFormat traceFormatForPath(const std::string &path);
+
+/**
+ * Serialize the metadata section shared byte-for-byte by both container
+ * formats (channel table + divergence-detection flag).
+ */
+std::vector<uint8_t> serializeTraceMeta(const TraceMeta &meta);
+
+/**
+ * Parse a metadata section; raises SimFatal naming @p context when the
+ * bytes are malformed.
+ */
+TraceMeta parseTraceMeta(const std::vector<uint8_t> &bytes,
+                         const std::string &context);
+
+/**
+ * Write @p trace to @p path in the format traceFormatForPath() implies;
+ * raises SimFatal on I/O failure.
  *
  * @param fault when non-null, the file image is mauled on the way out
- *        (truncation, header bit flips) — the write-side fault hook.
+ *        (truncation, header bit flips; frame-granularity faults for
+ *        VTC2) — the write-side fault hook.
  */
 void saveTrace(const std::string &path, const Trace &trace,
                FaultInjector *fault = nullptr);
 
+/** Write @p trace in an explicitly chosen container format. */
+void saveTrace(const std::string &path, const Trace &trace,
+               TraceFileFormat format, FaultInjector *fault = nullptr);
+
 /**
  * Read a trace from @p path, strictly: any damage to the header or the
- * line stream raises SimFatal (carrying the damage report's text).
+ * stream raises SimFatal (carrying the damage report's text). The
+ * container format is detected from the file magic, so both "VIDITRC2"
+ * line files and "VIDIVTC2" containers load transparently.
  */
 Trace loadTrace(const std::string &path);
 
 /**
  * Read a trace from @p path, tolerantly: body damage is survived by
- * resynchronizing on line anchors and accounted in @p report. Only an
- * unreadable or corrupt header (magic, metadata CRC) raises SimFatal —
- * without the metadata the stream cannot be interpreted at all.
+ * resynchronizing (on line anchors for v1, on frame sync markers for
+ * VTC2) and accounted in @p report. Only an unreadable or corrupt
+ * header (magic, metadata CRC) raises SimFatal — without the metadata
+ * the stream cannot be interpreted at all.
  */
 Trace loadTrace(const std::string &path, TraceDamageReport &report);
 

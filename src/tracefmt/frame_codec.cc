@@ -1,0 +1,271 @@
+#include "tracefmt/frame_codec.h"
+
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "sim/logging.h"
+#include "tracefmt/varint.h"
+#include "trace/bitvec.h"
+
+namespace vidi {
+
+namespace {
+
+/** Content tag bytes (see file header in frame_codec.h). */
+constexpr uint8_t kTagSame = 0;
+constexpr uint8_t kTagDelta = 1;
+constexpr uint8_t kTagRaw = 2;
+
+/**
+ * Frame-local per-channel delta state: last content seen per channel,
+ * kept separately for the start and end content streams.
+ */
+struct DeltaState
+{
+    explicit DeltaState(size_t nchan)
+        : start_prev(nchan), end_prev(nchan)
+    {}
+
+    std::vector<std::vector<uint8_t>> start_prev;
+    std::vector<std::vector<uint8_t>> end_prev;
+};
+
+void
+encodeContent(std::vector<uint8_t> &out, std::vector<uint8_t> &prev,
+              const uint8_t *data, size_t n)
+{
+    if (prev.size() == n && std::memcmp(prev.data(), data, n) == 0) {
+        out.push_back(kTagSame);
+        return;
+    }
+    // The XOR form only pays off when the beats genuinely resemble
+    // each other: XORing two unrelated payloads scrambles structure the
+    // frame's LZ pass could otherwise match against earlier raw bytes.
+    size_t same = 0;
+    if (prev.size() == n) {
+        for (size_t i = 0; i < n; ++i)
+            same += (data[i] == prev[i]);
+    }
+    if (prev.size() == n && same * 2 >= n) {
+        out.push_back(kTagDelta);
+        const size_t base = out.size();
+        out.resize(base + n);
+        for (size_t i = 0; i < n; ++i)
+            out[base + i] = uint8_t(data[i] ^ prev[i]);
+    } else {
+        out.push_back(kTagRaw);
+        out.insert(out.end(), data, data + n);
+    }
+    prev.assign(data, data + n);
+}
+
+bool
+decodeContent(const uint8_t *&p, const uint8_t *end,
+              std::vector<uint8_t> &prev, size_t n, ContentBuf &out)
+{
+    if (p == end)
+        return false;
+    const uint8_t tag = *p++;
+    switch (tag) {
+      case kTagSame:
+        if (prev.size() != n)
+            return false;
+        out = ContentBuf(prev.data(), prev.data() + n);
+        return true;
+      case kTagDelta: {
+        if (prev.size() != n || size_t(end - p) < n)
+            return false;
+        for (size_t i = 0; i < n; ++i)
+            prev[i] = uint8_t(prev[i] ^ p[i]);
+        p += n;
+        out = ContentBuf(prev.data(), prev.data() + n);
+        return true;
+      }
+      case kTagRaw:
+        if (size_t(end - p) < n)
+            return false;
+        prev.assign(p, p + n);
+        p += n;
+        out = ContentBuf(prev.data(), prev.data() + n);
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeFrameBody(const TraceMeta &meta, const CyclePacket *pkts,
+                size_t count, const uint64_t *cycles, uint64_t first_cycle)
+{
+    if (count == 0)
+        panic("encodeFrameBody: empty frame");
+
+    std::vector<uint8_t> out;
+    putVarint(out, count);
+
+    // Mask dictionary in first-appearance order.
+    std::map<std::pair<uint64_t, uint64_t>, uint64_t> dict;
+    std::vector<std::pair<uint64_t, uint64_t>> entries;
+    std::vector<uint64_t> indices(count);
+    for (size_t i = 0; i < count; ++i) {
+        const auto key = std::make_pair(pkts[i].starts, pkts[i].ends);
+        auto [it, fresh] = dict.emplace(key, entries.size());
+        if (fresh)
+            entries.push_back(key);
+        indices[i] = it->second;
+    }
+    putVarint(out, entries.size());
+    for (const auto &[starts, ends] : entries) {
+        putVarint(out, starts);
+        putVarint(out, ends);
+    }
+    for (uint64_t idx : indices)
+        putVarint(out, idx);
+
+    if (cycles != nullptr) {
+        uint64_t prev = first_cycle;
+        for (size_t i = 0; i < count; ++i) {
+            if (cycles[i] < prev)
+                panic("encodeFrameBody: emission cycles go backwards "
+                      "(%llu after %llu)",
+                      (unsigned long long)cycles[i],
+                      (unsigned long long)prev);
+            putVarint(out, cycles[i] - prev);
+            prev = cycles[i];
+        }
+    }
+
+    DeltaState state(meta.channelCount());
+    for (size_t i = 0; i < count; ++i) {
+        const CyclePacket &pkt = pkts[i];
+        size_t ci = 0;
+        bitvec::forEach(pkt.starts, [&](size_t ch) {
+            if (ci >= pkt.start_contents.size())
+                panic("encodeFrameBody: missing start content for channel "
+                      "%zu", ch);
+            const ContentBuf &c = pkt.start_contents[ci++];
+            if (c.size() != meta.channels[ch].data_bytes)
+                panic("encodeFrameBody: channel %zu content size %zu != "
+                      "%u", ch, c.size(), meta.channels[ch].data_bytes);
+            encodeContent(out, state.start_prev[ch], c.data(), c.size());
+        });
+        if (meta.record_output_content) {
+            size_t ei = 0;
+            bitvec::forEach(pkt.ends, [&](size_t ch) {
+                if (meta.channels[ch].input)
+                    return;
+                if (ei >= pkt.end_contents.size())
+                    panic("encodeFrameBody: missing end content for "
+                          "channel %zu", ch);
+                const ContentBuf &c = pkt.end_contents[ei++];
+                if (c.size() != meta.channels[ch].data_bytes)
+                    panic("encodeFrameBody: channel %zu end content size "
+                          "%zu != %u",
+                          ch, c.size(), meta.channels[ch].data_bytes);
+                encodeContent(out, state.end_prev[ch], c.data(), c.size());
+            });
+        }
+    }
+    return out;
+}
+
+bool
+decodeFrameBody(const TraceMeta &meta, const uint8_t *body, size_t len,
+                size_t expected_count, bool has_cycles,
+                uint64_t first_cycle, std::vector<CyclePacket> &pkts,
+                std::vector<uint64_t> &cycles)
+{
+    const uint8_t *p = body;
+    const uint8_t *const end = body + len;
+    const size_t nchan = meta.channelCount();
+    const uint64_t chan_mask =
+        nchan < 64 ? (uint64_t(1) << nchan) - 1 : ~uint64_t(0);
+
+    uint64_t count = 0;
+    if (!getVarint(p, end, count) || count != expected_count || count == 0)
+        return false;
+
+    uint64_t dict_count = 0;
+    if (!getVarint(p, end, dict_count) || dict_count == 0 ||
+        dict_count > count)
+        return false;
+    std::vector<std::pair<uint64_t, uint64_t>> dict(
+        static_cast<size_t>(dict_count));
+    for (auto &[starts, ends] : dict) {
+        if (!getVarint(p, end, starts) || !getVarint(p, end, ends))
+            return false;
+        if (((starts | ends) & ~chan_mask) != 0)
+            return false;
+    }
+
+    std::vector<uint64_t> indices(static_cast<size_t>(count));
+    for (uint64_t &idx : indices) {
+        if (!getVarint(p, end, idx) || idx >= dict_count)
+            return false;
+    }
+
+    std::vector<uint64_t> frame_cycles;
+    if (has_cycles) {
+        frame_cycles.resize(size_t(count));
+        uint64_t prev = first_cycle;
+        for (uint64_t &c : frame_cycles) {
+            uint64_t delta = 0;
+            if (!getVarint(p, end, delta))
+                return false;
+            prev += delta;
+            c = prev;
+        }
+    }
+
+    const size_t base = pkts.size();
+    pkts.resize(base + size_t(count));
+    DeltaState state(nchan);
+    for (size_t i = 0; i < size_t(count); ++i) {
+        CyclePacket &pkt = pkts[base + i];
+        pkt.starts = dict[size_t(indices[i])].first;
+        pkt.ends = dict[size_t(indices[i])].second;
+        bool ok = true;
+        bitvec::forEach(pkt.starts, [&](size_t ch) {
+            if (!ok)
+                return;
+            ContentBuf c;
+            if (!decodeContent(p, end, state.start_prev[ch],
+                               meta.channels[ch].data_bytes, c)) {
+                ok = false;
+                return;
+            }
+            pkt.start_contents.push_back(std::move(c));
+        });
+        if (ok && meta.record_output_content) {
+            bitvec::forEach(pkt.ends, [&](size_t ch) {
+                if (!ok || meta.channels[ch].input)
+                    return;
+                ContentBuf c;
+                if (!decodeContent(p, end, state.end_prev[ch],
+                                   meta.channels[ch].data_bytes, c)) {
+                    ok = false;
+                    return;
+                }
+                pkt.end_contents.push_back(std::move(c));
+            });
+        }
+        if (!ok) {
+            pkts.resize(base);
+            return false;
+        }
+    }
+    if (p != end) {
+        // Trailing garbage means the body is not what the encoder wrote.
+        pkts.resize(base);
+        return false;
+    }
+    if (has_cycles)
+        cycles.insert(cycles.end(), frame_cycles.begin(),
+                      frame_cycles.end());
+    return true;
+}
+
+} // namespace vidi

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * VTC2 frame body codec: delta/varint packet encoding.
+ *
+ * A frame body holds a bounded run of cycle packets re-encoded for
+ * compressibility (the container wraps the body with a sync marker,
+ * sizes, CRCs and optional LZ compression — see vtc2.h):
+ *
+ *   varint packet_count
+ *   varint dict_count                 mask dictionary, first-appearance
+ *   dict_count × { varint starts, varint ends }
+ *   packet_count × varint dict_index  per-packet mask reference
+ *   [packet_count × varint cycle_delta]   when cycles are present;
+ *       delta from the previous packet's cycle (frame first_cycle for
+ *       packet 0, so the first delta is always 0)
+ *   per packet, contents in serializePacket order, each prefixed by a
+ *   tag byte keyed on the previous content seen on the same channel
+ *   *within this frame*:
+ *       0 identical to previous        (no bytes follow)
+ *       1 XOR delta against previous   (data_bytes bytes)
+ *       2 raw                          (data_bytes bytes; first content
+ *         on the channel, or the encoder judged the XOR less LZ-friendly
+ *         than the literal bytes)
+ *
+ * Frames decode independently: all delta state (masks, cycles, channel
+ * contents) is frame-local, which is what makes seeking to an arbitrary
+ * frame and resynchronizing past a damaged one possible.
+ */
+
+#ifndef VIDI_TRACEFMT_FRAME_CODEC_H
+#define VIDI_TRACEFMT_FRAME_CODEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/packets.h"
+
+namespace vidi {
+
+/**
+ * Encode @p count packets starting at @p pkts into a frame body.
+ *
+ * @param meta boundary description (channel payload sizes)
+ * @param pkts first packet of the frame
+ * @param count packets in the frame (≥ 1)
+ * @param cycles per-packet emission cycles (parallel to @p pkts), or
+ *        nullptr when the trace carries no cycle annotations
+ * @param first_cycle cycle base the first delta is taken against
+ *        (ignored when @p cycles is null)
+ */
+std::vector<uint8_t> encodeFrameBody(const TraceMeta &meta,
+                                     const CyclePacket *pkts, size_t count,
+                                     const uint64_t *cycles,
+                                     uint64_t first_cycle);
+
+/**
+ * Decode a frame body produced by encodeFrameBody().
+ *
+ * Fully bounds-checked: any structural inconsistency (truncation,
+ * dictionary index out of range, event bits beyond the channel count,
+ * packet count mismatch with @p expected_count) returns false without
+ * touching memory outside the inputs. On success appends the decoded
+ * packets to @p pkts and, when @p has_cycles, the reconstructed absolute
+ * cycles to @p cycles.
+ */
+bool decodeFrameBody(const TraceMeta &meta, const uint8_t *body, size_t len,
+                     size_t expected_count, bool has_cycles,
+                     uint64_t first_cycle, std::vector<CyclePacket> &pkts,
+                     std::vector<uint64_t> &cycles);
+
+} // namespace vidi
+
+#endif // VIDI_TRACEFMT_FRAME_CODEC_H

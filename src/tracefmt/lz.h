@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Self-contained LZ77 byte codec for VTC2 frame bodies.
+ *
+ * LZ4-block-style format (token byte with literal/match length nibbles,
+ * 16-bit match offsets, greedy hash-table matcher), implemented here so
+ * the container has no external dependency. The format is internal to
+ * VTC2 — frames record which codec compressed them — so there is no
+ * interoperability requirement with the real LZ4 bitstream.
+ *
+ * Sequence layout, repeated until the input is consumed:
+ *
+ *   token      u8   high nibble = literal count, low nibble = match
+ *                   length - kMinMatch; 15 means "extended below"
+ *   [lit ext]  u8*  literal count extension: 255-bytes then a final < 255
+ *   literals   u8*  literal bytes
+ *   offset     u16  little-endian match distance (1..65535); ABSENT in
+ *                   the terminal sequence, which carries literals only
+ *   [match ext]u8*  match length extension, same scheme as literals
+ *
+ * Decompression is fully bounds-checked: malformed input yields false,
+ * never a read or write outside the given buffers. The compressor bails
+ * out (returns an empty vector) when the output would not shrink below
+ * the input size, so callers store such bodies raw.
+ */
+
+#ifndef VIDI_TRACEFMT_LZ_H
+#define VIDI_TRACEFMT_LZ_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vidi {
+
+/** Shortest back-reference worth encoding. */
+inline constexpr size_t kLzMinMatch = 4;
+
+/**
+ * Compress @p len bytes of @p data.
+ *
+ * @return the compressed stream, or an empty vector when compression
+ *         would not make the data strictly smaller (including len == 0).
+ */
+std::vector<uint8_t> lzCompress(const uint8_t *data, size_t len);
+
+/**
+ * Decompress @p src into exactly @p dst_len bytes at @p dst.
+ *
+ * @return true on success; false when the stream is malformed or does
+ *         not decode to exactly @p dst_len bytes.
+ */
+bool lzDecompress(const uint8_t *src, size_t src_len, uint8_t *dst,
+                  size_t dst_len);
+
+} // namespace vidi
+
+#endif // VIDI_TRACEFMT_LZ_H

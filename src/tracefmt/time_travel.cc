@@ -1,0 +1,67 @@
+#include "tracefmt/time_travel.h"
+
+#include <algorithm>
+
+namespace vidi {
+
+TimeTravel::TimeTravel(AppBuilder &app, const std::string &dir,
+                       uint64_t cycle)
+    : session_(LiveSession::hydrateAt(app, dir, cycle)), target_(cycle),
+      start_cycle_(session_->cycle())
+{
+}
+
+TimeTravel::TimeTravel(std::unique_ptr<AppBuilder> app,
+                       const std::string &dir, uint64_t cycle)
+    : session_(LiveSession::hydrateAt(std::move(app), dir, cycle)),
+      target_(cycle), start_cycle_(session_->cycle())
+{
+}
+
+TimeTravelStop
+TimeTravel::stop() const
+{
+    TimeTravelStop s;
+    s.target_cycle = target_;
+    s.stop_cycle = session_->cycle();
+    s.packets_decoded = session_->packetsDecoded();
+    s.used_checkpoint = session_->resumedFromCheckpoint();
+    s.checkpoint_cycle = session_->resumedAtCycle();
+    s.stepped_cycles = session_->cycle() - start_cycle_;
+    s.finished = session_->finished();
+    return s;
+}
+
+TimeTravelStop
+TimeTravel::advanceToCycle(uint64_t cycle)
+{
+    target_ = std::max(target_, cycle);
+    while (!session_->finished() && session_->cycle() < cycle) {
+        const uint64_t before = session_->cycle();
+        session_->step(cycle - before);
+        // step() never overshoots its budget, so the position lands at
+        // or short of the target. A step that makes no progress at all
+        // means the simulator went quiescent short of the target; bail
+        // out rather than spin.
+        if (session_->cycle() == before && !session_->finished())
+            break;
+    }
+    return stop();
+}
+
+TimeTravelStop
+TimeTravel::advanceToPacket(uint64_t seq)
+{
+    while (!session_->finished() && session_->packetsDecoded() < seq) {
+        const uint64_t before = session_->cycle();
+        // Single-cycle steps so the leg halts on the first cycle at
+        // which the decoder has consumed the requested packet.
+        session_->step(1);
+        if (session_->cycle() == before && !session_->finished())
+            break;
+    }
+    target_ = std::max(target_, session_->cycle());
+    return stop();
+}
+
+} // namespace vidi

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Time-travel debugging: jump a session to an arbitrary cycle.
+ *
+ * A TimeTravel leg composes the two position systems this repo already
+ * maintains — the VTC2 cycle index over the trace (vtc2.h) and the
+ * PR-4 checkpoint ladder in a session directory (checkpoint/session.h)
+ * — into one operation: "put me at cycle N". It restores the newest
+ * checkpoint at or before N (falling back to a fresh build from the
+ * manifest when none validates) and replays forward with bounded
+ * steps, stopping exactly at N. Because the simulator is deterministic
+ * and Simulator::stepUntil never overshoots a deadline, the state
+ * reached this way is bit-identical to a linear replay paused at N —
+ * the time-travel tests assert exactly that on full state images.
+ *
+ * The leg is read-only: the underlying LiveSession is built with
+ * hydrateAt(), which never commits checkpoints or rewrites the trace,
+ * so jumping around cannot disturb the session directory.
+ */
+
+#ifndef VIDI_TRACEFMT_TIME_TRAVEL_H
+#define VIDI_TRACEFMT_TIME_TRAVEL_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "checkpoint/live_session.h"
+
+namespace vidi {
+
+/** Where a time-travel leg came to rest, and how it got there. */
+struct TimeTravelStop
+{
+    uint64_t target_cycle = 0;     ///< requested stop cycle
+    uint64_t stop_cycle = 0;       ///< cycle actually reached
+    uint64_t packets_decoded = 0;  ///< replay packets consumed so far
+    bool used_checkpoint = false;  ///< restored from a checkpoint
+    uint64_t checkpoint_cycle = 0; ///< cycle of the restored checkpoint
+    uint64_t stepped_cycles = 0;   ///< forward-leg cycles replayed
+    bool finished = false;         ///< run ended at or before the stop
+};
+
+/**
+ * One positioned debugging leg over an existing session directory.
+ *
+ * Construction hydrates (checkpoint restore or fresh build) but does
+ * not advance; run() replays forward to the target. The leg can then
+ * be extended with advanceToCycle()/advanceToPacket() — time only
+ * moves forward within one leg; construct a new leg to go back.
+ */
+class TimeTravel
+{
+  public:
+    /**
+     * Hydrate @p dir at the newest checkpoint at or before @p cycle.
+     * Same builder-lifetime contract as LiveSession::create: @p app
+     * must outlive the leg for the non-owning overload.
+     */
+    TimeTravel(AppBuilder &app, const std::string &dir, uint64_t cycle);
+
+    /** As above, with the leg taking ownership of the builder. */
+    TimeTravel(std::unique_ptr<AppBuilder> app, const std::string &dir,
+               uint64_t cycle);
+
+    /** Replay forward from the hydration point to the target cycle. */
+    TimeTravelStop run() { return advanceToCycle(target_); }
+
+    /**
+     * Extend the leg to @p cycle (>= the current position). Stops
+     * early only when the run finishes or the simulator goes fully
+     * quiescent; the returned descriptor records where it came to
+     * rest.
+     */
+    TimeTravelStop advanceToCycle(uint64_t cycle);
+
+    /**
+     * Extend the leg one cycle at a time until at least @p seq replay
+     * packets have been consumed (or the run ends). Replay sessions
+     * only — record sessions decode nothing and stop immediately.
+     */
+    TimeTravelStop advanceToPacket(uint64_t seq);
+
+    /** Current position without advancing. */
+    TimeTravelStop stop() const;
+
+    /** The underlying read-only session (state images, results). */
+    LiveSession &session() { return *session_; }
+
+  private:
+    std::unique_ptr<LiveSession> session_;
+    uint64_t target_ = 0;
+    uint64_t start_cycle_ = 0;  ///< position right after hydration
+};
+
+} // namespace vidi
+
+#endif // VIDI_TRACEFMT_TIME_TRAVEL_H

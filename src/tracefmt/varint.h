@@ -1,0 +1,66 @@
+/**
+ * @file
+ * LEB128-style unsigned varints for the VTC2 frame codec.
+ *
+ * Little-endian base-128: each byte carries 7 payload bits, the high bit
+ * marks continuation. Values ≤ 127 cost one byte, which is what makes
+ * cycle deltas and dictionary indices cheap in a frame body.
+ */
+
+#ifndef VIDI_TRACEFMT_VARINT_H
+#define VIDI_TRACEFMT_VARINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vidi {
+
+/** Append the varint encoding of @p v to @p out. */
+inline void
+putVarint(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(uint8_t(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(uint8_t(v));
+}
+
+/** Serialized size of @p v in bytes (1..10). */
+inline size_t
+varintBytes(uint64_t v)
+{
+    size_t n = 1;
+    while (v >= 0x80) {
+        v >>= 7;
+        ++n;
+    }
+    return n;
+}
+
+/**
+ * Decode one varint from [@p p, @p end).
+ *
+ * @return true and advance @p p past the value; false (leaving @p p
+ *         unspecified) on truncation or an over-long (> 10 byte)
+ *         encoding. Never reads past @p end — safe on hostile input.
+ */
+inline bool
+getVarint(const uint8_t *&p, const uint8_t *end, uint64_t &v)
+{
+    v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        if (p == end)
+            return false;
+        const uint8_t byte = *p++;
+        v |= uint64_t(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace vidi
+
+#endif // VIDI_TRACEFMT_VARINT_H

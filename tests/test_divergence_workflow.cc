@@ -24,8 +24,8 @@ cfg()
 }
 
 /** Content/seed pair that hits the race window (found by sweep). */
-constexpr uint64_t kRacyContent = 0xd3a000 + 1000ull * 7;
-constexpr uint64_t kRacySeed = 31337 + 7;
+constexpr uint64_t kRacyContent = 0xd3a000 + 1000ull * 3;
+constexpr uint64_t kRacySeed = 31337 + 3;
 constexpr size_t kOclR = 4;  // boundary index of ocl.R
 
 TEST(DivergenceWorkflow, PollingFlipIsDetectedOnStatusChannel)

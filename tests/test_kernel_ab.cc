@@ -130,11 +130,11 @@ TEST(KernelAB, DivergenceDetectionIsIdentical)
     // the same output-content divergences on the same transactions.
     DmaAppBuilder buggy(/*patched=*/false);
     buggy.setScale(1.0);
-    buggy.setContentSeed(0xd3a000 + 1000ull * 7);
+    buggy.setContentSeed(0xd3a000 + 1000ull * 3);
     const DivergenceResult full = detectDivergences(
-        buggy, 31337 + 7, cfgMode(KernelMode::FullEval, 400'000'000));
+        buggy, 31337 + 3, cfgMode(KernelMode::FullEval, 400'000'000));
     const DivergenceResult act =
-        detectDivergences(buggy, 31337 + 7,
+        detectDivergences(buggy, 31337 + 3,
                           cfgMode(KernelMode::ActivityDriven,
                                   400'000'000));
     ASSERT_TRUE(full.replay.completed);

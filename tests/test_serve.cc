@@ -35,6 +35,7 @@
 #include "serve/server.h"
 #include "serve/session_manager.h"
 #include "serve/wire.h"
+#include "trace/trace_file.h"
 
 namespace vidi {
 namespace {
@@ -311,6 +312,78 @@ TEST(SessionManagerTest, LruEvictionAndRehydration)
     EXPECT_GE(mgr.stats().rehydrations, 1u);
 }
 
+TEST(SessionManagerTest, ReplayInputSpillsToVtc2)
+{
+    const Reference &ref = dmaReference();
+    const std::string dir = scratchDir("mgr_spill");
+    const std::string v1path = dir + "/input.vtrc";
+    writeFileAtomic(v1path, ref.trace_bytes);
+
+    SessionManager mgr(dir + "/sessions", /*max_live=*/1);
+    SessionManifest m;
+    m.app = "DMA";
+    m.mode = uint8_t(VidiMode::R3_Replay);
+    m.seed = 0;
+    m.scale = kScale;
+    m.checkpoint_every = ref.cycles / 4;
+    m.trace_path = v1path;
+    m.cfg.checkpoint_min_interval_ms = 0;
+
+    auto lease = mgr.acquireFresh("rt", m);
+    ASSERT_NE(lease.session, nullptr) << lease.error;
+
+    // The line-format input was spilled into the session directory as a
+    // VTC2 container — what eviction leaves on disk — and the session
+    // replays from the spill, which holds the identical packet stream
+    // in fewer bytes.
+    const std::string spilled = mgr.dirFor("rt") + "/trace.vtc2";
+    ASSERT_TRUE(fileExists(spilled));
+    EXPECT_EQ(lease.session->manifest().trace_path, spilled);
+    EXPECT_TRUE(loadTrace(spilled) == loadTrace(v1path));
+    EXPECT_LT(readFileBytes(spilled).size(), ref.trace_bytes.size());
+
+    // Part-way in, capacity pressure from a second tenant evicts the
+    // replay; rehydration must resume from the compressed container.
+    lease.session->step(ref.cycles / 3);
+    mgr.release("rt", SessionDisposition::Idle);
+    auto other = mgr.acquireFresh("other", dmaManifest(0));
+    ASSERT_NE(other.session, nullptr) << other.error;
+    mgr.release("other", SessionDisposition::Finished);
+    EXPECT_GE(mgr.stats().evictions, 1u);
+
+    auto back = mgr.acquireExisting("rt");
+    ASSERT_NE(back.session, nullptr) << back.error;
+    EXPECT_TRUE(back.rehydrated);
+    EXPECT_GT(back.session->cycle(), 0u);
+    while (!back.session->finished())
+        back.session->step();
+    const ReplayResult churned = back.session->takeReplayResult();
+    mgr.release("rt", SessionDisposition::Finished);
+
+    // Bit-identical to an uninterrupted local replay of the original
+    // line-format trace.
+    auto app = makeApp("DMA");
+    app->setScale(kScale);
+    const ReplayResult local = replayFromFile(*app, v1path);
+    ASSERT_TRUE(local.completed);
+    EXPECT_TRUE(churned.completed);
+    EXPECT_EQ(churned.cycles, local.cycles);
+    EXPECT_EQ(churned.replayed_transactions, local.replayed_transactions);
+    EXPECT_EQ(churned.digest, local.digest);
+
+    // The per-tenant disk accounting sees the evicted directory.
+    bool found = false;
+    for (const SessionManager::DiskUsage &u : mgr.diskUsage()) {
+        if (u.tenant != "rt")
+            continue;
+        found = true;
+        EXPECT_GT(u.bytes, 0u);
+        EXPECT_GT(u.trace_bytes, 0u);
+        EXPECT_LE(u.trace_bytes, u.bytes);
+    }
+    EXPECT_TRUE(found);
+}
+
 // --- Daemon end-to-end ------------------------------------------------
 
 class ServeEndToEnd : public ::testing::Test
@@ -525,6 +598,8 @@ TEST_F(ServeEndToEnd, OverloadAndInvalidRequestsAreStructured)
     ASSERT_TRUE(client.submitOnce(status, &reply, &err)) << err;
     EXPECT_EQ(reply.status, JobStatus::Ok);
     EXPECT_NE(reply.detail.find("overloaded=1"), std::string::npos)
+        << reply.detail;
+    EXPECT_NE(reply.detail.find("disk_total="), std::string::npos)
         << reply.detail;
 
     // And the client's bounded retry gives up with a clear error

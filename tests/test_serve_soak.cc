@@ -220,5 +220,59 @@ INSTANTIATE_TEST_SUITE_P(Apps, ServeSoak,
                              return std::string(info.param);
                          });
 
+/**
+ * The daemon spills replay inputs to VTC2 and evicted tenants resume
+ * from the compressed container; this is the same churn at the engine
+ * layer: a replay session whose trace lives in a VTC2 container is
+ * evicted and rehydrated every few steps and must still finish
+ * identically to an uninterrupted replay of the same recording.
+ */
+TEST(ServeSoakReplay, Vtc2ReplayChurnsBitIdentically)
+{
+    const std::string name = "DMA";
+    const std::string dir = tempDir(name, "vtc2_replay");
+    const std::string trace = dir + "/trace.vtc2";
+    makeDirs(dir);
+
+    auto rec_app = makeApp(name);
+    rec_app->setScale(kScale);
+    const RecordResult rec = recordToFile(*rec_app, trace, kSeed);
+    ASSERT_TRUE(rec.completed);
+
+    SessionManifest m;
+    m.app = name;
+    m.mode = uint8_t(VidiMode::R3_Replay);
+    m.seed = 0;
+    m.scale = kScale;
+    m.checkpoint_every = std::max<uint64_t>(rec.cycles / 5, 1);
+    m.trace_path = trace;
+    m.cfg.checkpoint_min_interval_ms = 0;
+
+    const uint64_t step_budget = std::max<uint64_t>(rec.cycles / 7, 1);
+    std::unique_ptr<LiveSession> live =
+        LiveSession::create(makeApp(name), dir + "/session", m);
+    uint64_t steps = 0;
+    while (!live->finished()) {
+        ASSERT_LT(steps, 10'000u) << "replay churn failed to converge";
+        ++steps;
+        live->step(step_budget);
+        if (steps % 2 == 0 && !live->finished()) {
+            live->evict();
+            live.reset();
+            live = LiveSession::hydrate(makeApp(name), dir + "/session");
+        }
+    }
+    const ReplayResult churned = live->takeReplayResult();
+
+    auto replay_app = makeApp(name);
+    replay_app->setScale(kScale);
+    const ReplayResult local = replayFromFile(*replay_app, trace);
+    ASSERT_TRUE(local.completed);
+    EXPECT_TRUE(churned.completed);
+    EXPECT_EQ(churned.cycles, local.cycles);
+    EXPECT_EQ(churned.replayed_transactions, local.replayed_transactions);
+    EXPECT_EQ(churned.digest, local.digest);
+}
+
 } // namespace
 } // namespace vidi

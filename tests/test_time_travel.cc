@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Time-travel debugging tests: the ISSUE-9 seek gate (jump legs
+ * bit-identical to linear replay at cycle 0, midpoints and the final
+ * cycle, across the Table 1 corpus), nearest-checkpoint selection with
+ * damage fallback, the checkpoint_retain retention window, and the
+ * read-only guarantee of hydrateAt legs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+
+#include "apps/app_registry.h"
+#include "checkpoint/atomic_file.h"
+#include "checkpoint/live_session.h"
+#include "checkpoint/session.h"
+#include "core/runtime.h"
+#include "tracefmt/time_travel.h"
+
+namespace vidi {
+namespace {
+
+std::string
+tempPath(const std::string &leaf)
+{
+    return ::testing::TempDir() + "vidi_timetravel_" + leaf;
+}
+
+std::unique_ptr<AppBuilder>
+makeApp(const std::string &name, double scale)
+{
+    for (auto &builder : makeTable1Apps()) {
+        if (builder->name() == name) {
+            builder->setScale(scale);
+            return std::move(builder);
+        }
+    }
+    ADD_FAILURE() << "unknown app " << name;
+    return nullptr;
+}
+
+std::set<std::string>
+listDir(const std::string &dir)
+{
+    std::set<std::string> names;
+    DIR *d = opendir(dir.c_str());
+    if (d == nullptr)
+        return names;
+    while (const dirent *ent = readdir(d)) {
+        const std::string name = ent->d_name;
+        if (name != "." && name != "..")
+            names.insert(name);
+    }
+    closedir(d);
+    return names;
+}
+
+/** A replayed-to-completion session dir with a full checkpoint ladder. */
+struct DebugSession
+{
+    std::string dir;
+    uint64_t final_cycles = 0;
+    uint64_t packets = 0;
+    uint64_t checkpoint_every = 0;
+};
+
+DebugSession
+buildDebugSession(const std::string &app_name, double scale,
+                  const std::string &tag)
+{
+    DebugSession ds;
+    ds.dir = tempPath(tag + "_session");
+    const std::string trace_path = tempPath(tag + ".vtc2");
+
+    auto rec_app = makeApp(app_name, scale);
+    const RecordResult rec = recordToFile(*rec_app, trace_path, 1);
+    EXPECT_TRUE(rec.completed) << app_name;
+    ds.packets = rec.trace.packets.size();
+
+    SessionManifest m;
+    m.app = app_name;
+    m.mode = uint8_t(VidiMode::R3_Replay);
+    m.seed = 0;
+    m.scale = scale;
+    m.checkpoint_every = std::max<uint64_t>(1, rec.cycles / 4);
+    m.checkpoint_retain = 0;  // keep the whole ladder
+    m.trace_path = trace_path;
+    m.cfg.checkpoint_min_interval_ms = 0;  // commit at every rung
+    ds.checkpoint_every = m.checkpoint_every;
+
+    auto live = LiveSession::create(makeApp(app_name, scale), ds.dir, m);
+    while (!live->finished())
+        live->step();
+    const ReplayResult rr = live->takeReplayResult();
+    EXPECT_TRUE(rr.completed) << app_name;
+    ds.final_cycles = rr.cycles;
+    return ds;
+}
+
+/** The shared DMA session most single-behavior tests ride on. */
+const DebugSession &
+dmaSession()
+{
+    static const DebugSession ds = buildDebugSession("DMA", 0.05, "dma");
+    return ds;
+}
+
+/**
+ * The acceptance gate: for every Table 1 app, a jump leg to cycle N
+ * (checkpoint restore + forward replay) must land on byte-identical
+ * state to a linear leg replayed from cycle 0 — at N = 0, a midpoint
+ * and the final cycle.
+ */
+TEST(TimeTravel, SeekCorrectnessGate)
+{
+    const double scale = 0.03;
+    size_t idx = 0;
+    for (auto &proto : makeTable1Apps()) {
+        const std::string name = proto->name();
+        const DebugSession ds =
+            buildDebugSession(name, scale, "gate" + std::to_string(idx++));
+
+        const uint64_t targets[] = {0, ds.final_cycles / 2,
+                                    ds.final_cycles};
+        for (const uint64_t target : targets) {
+            auto jump_app = makeApp(name, scale);
+            TimeTravel jump(*jump_app, ds.dir, target);
+            const TimeTravelStop js = jump.run();
+
+            auto lin_app = makeApp(name, scale);
+            TimeTravel linear(*lin_app, ds.dir, 0);
+            const TimeTravelStop ls = linear.advanceToCycle(target);
+
+            EXPECT_EQ(js.target_cycle, target);
+            EXPECT_EQ(js.stop_cycle, ls.stop_cycle)
+                << name << " @" << target;
+            EXPECT_EQ(js.packets_decoded, ls.packets_decoded)
+                << name << " @" << target;
+            EXPECT_EQ(js.finished, ls.finished) << name << " @" << target;
+            if (target >= ds.checkpoint_every) {
+                EXPECT_TRUE(js.used_checkpoint) << name << " @" << target;
+                EXPECT_LE(js.checkpoint_cycle, target);
+                EXPECT_LT(js.stepped_cycles, ls.stepped_cycles + 1);
+            }
+
+            CheckpointImage jimg = jump.session().stateImage();
+            CheckpointImage limg = linear.session().stateImage();
+            EXPECT_EQ(jimg.cycle, limg.cycle) << name << " @" << target;
+            EXPECT_EQ(jimg.mode, limg.mode);
+            EXPECT_EQ(jimg.seed, limg.seed);
+            // The whole point: shim + host DRAM + simulator state is
+            // byte-equal between the two routes.
+            ASSERT_EQ(jimg.body, limg.body) << name << " @" << target;
+        }
+    }
+}
+
+TEST(TimeTravel, AdvanceToPacket)
+{
+    const DebugSession &ds = dmaSession();
+    ASSERT_GT(ds.packets, 4u);
+    auto app = makeApp("DMA", 0.05);
+    TimeTravel leg(*app, ds.dir, 0);
+    const uint64_t want = ds.packets / 2;
+    const TimeTravelStop s = leg.advanceToPacket(want);
+    EXPECT_GE(s.packets_decoded, want);
+    EXPECT_GE(leg.session().packetsDecoded(), want);
+    EXPECT_FALSE(s.finished);
+
+    // Past the end of the stream: the leg stops when the run ends.
+    const TimeTravelStop end = leg.advanceToPacket(~uint64_t(0));
+    EXPECT_TRUE(end.finished);
+    EXPECT_EQ(end.packets_decoded, ds.packets);
+}
+
+TEST(TimeTravel, ReadOnlyLegDisturbsNothing)
+{
+    const DebugSession &ds = dmaSession();
+    const std::set<std::string> files_before = listDir(ds.dir);
+    const std::vector<uint8_t> journal_before =
+        readFileBytes(ds.dir + "/journal.vjnl");
+
+    auto app = makeApp("DMA", 0.05);
+    TimeTravel leg(*app, ds.dir, ds.final_cycles / 2);
+    const TimeTravelStop s = leg.run();
+    EXPECT_TRUE(s.used_checkpoint);
+    // Neither stepping nor an explicit evict() may commit anything.
+    leg.session().evict();
+    EXPECT_EQ(leg.session().checkpointsCommitted(), 0u);
+
+    EXPECT_EQ(listDir(ds.dir), files_before);
+    EXPECT_EQ(readFileBytes(ds.dir + "/journal.vjnl"), journal_before);
+}
+
+CheckpointImage
+dummyImage(uint64_t cycle)
+{
+    CheckpointImage img;
+    img.mode = uint8_t(VidiMode::R3_Replay);
+    img.seed = 0;
+    img.cycle = cycle;
+    img.body.assign(64, uint8_t(cycle));
+    return img;
+}
+
+TEST(Session, NearestCheckpointSelection)
+{
+    SessionManifest m;
+    m.app = "DMA";
+    m.mode = uint8_t(VidiMode::R3_Replay);
+    m.checkpoint_every = 10;
+    m.checkpoint_retain = 0;
+    Session session = Session::create(tempPath("nearest"), m);
+    for (const uint64_t c : {10u, 20u, 30u})
+        session.commitCheckpoint(c, dummyImage(c));
+
+    CheckpointImage img;
+    std::string path;
+    ASSERT_TRUE(session.nearestCheckpoint(25, &img, &path));
+    EXPECT_EQ(img.cycle, 20u);
+    ASSERT_TRUE(session.nearestCheckpoint(30, &img));
+    EXPECT_EQ(img.cycle, 30u);
+    ASSERT_TRUE(session.nearestCheckpoint(~uint64_t(0), &img));
+    EXPECT_EQ(img.cycle, 30u);
+    EXPECT_FALSE(session.nearestCheckpoint(5, &img));
+    ASSERT_TRUE(session.latestCheckpoint(&img));
+    EXPECT_EQ(img.cycle, 30u);
+
+    // Damage the newest candidate: selection falls back one rung and
+    // says why.
+    ASSERT_TRUE(session.nearestCheckpoint(35, &img, &path));
+    std::vector<uint8_t> bytes = readFileBytes(path);
+    bytes[bytes.size() / 2] ^= 0xff;
+    writeFileAtomic(path, bytes);
+    std::string diagnosis;
+    ASSERT_TRUE(session.nearestCheckpoint(35, &img, nullptr, &diagnosis));
+    EXPECT_EQ(img.cycle, 20u);
+    EXPECT_FALSE(diagnosis.empty());
+}
+
+TEST(Session, RetentionWindowPrunesFiles)
+{
+    SessionManifest m;
+    m.app = "DMA";
+    m.mode = uint8_t(VidiMode::R3_Replay);
+    m.checkpoint_every = 10;
+    m.checkpoint_retain = 2;
+    Session session = Session::create(tempPath("retain2"), m);
+    for (const uint64_t c : {10u, 20u, 30u})
+        session.commitCheckpoint(c, dummyImage(c));
+
+    // The journal remembers all three commits; only the newest two
+    // files survive on disk.
+    ASSERT_EQ(session.journal().size(), 3u);
+    EXPECT_FALSE(fileExists(session.filePath(session.journal()[0].file)));
+    EXPECT_TRUE(fileExists(session.filePath(session.journal()[1].file)));
+    EXPECT_TRUE(fileExists(session.filePath(session.journal()[2].file)));
+
+    // A target served only by the pruned rung has no restore point.
+    CheckpointImage img;
+    std::string diagnosis;
+    EXPECT_FALSE(session.nearestCheckpoint(15, &img, nullptr, &diagnosis));
+    ASSERT_TRUE(session.nearestCheckpoint(25, &img));
+    EXPECT_EQ(img.cycle, 20u);
+}
+
+TEST(Session, RetainZeroKeepsEveryCheckpoint)
+{
+    SessionManifest m;
+    m.app = "DMA";
+    m.mode = uint8_t(VidiMode::R3_Replay);
+    m.checkpoint_every = 10;
+    m.checkpoint_retain = 0;
+    Session session = Session::create(tempPath("retain0"), m);
+    for (const uint64_t c : {10u, 20u, 30u, 40u})
+        session.commitCheckpoint(c, dummyImage(c));
+    ASSERT_EQ(session.journal().size(), 4u);
+    for (const JournalEntry &e : session.journal())
+        EXPECT_TRUE(fileExists(session.filePath(e.file))) << e.cycle;
+}
+
+TEST(Session, ManifestRetainRoundTrip)
+{
+    SessionManifest m;
+    m.app = "DMA";
+    m.mode = uint8_t(VidiMode::R3_Replay);
+    m.checkpoint_every = 123;
+    m.checkpoint_retain = 7;
+    const std::string dir = tempPath("manifest_retain");
+    Session::create(dir, m);
+    const Session reopened = Session::open(dir);
+    EXPECT_EQ(reopened.manifest().checkpoint_retain, 7u);
+    EXPECT_EQ(reopened.manifest().checkpoint_every, 123u);
+}
+
+} // namespace
+} // namespace vidi

@@ -37,6 +37,18 @@
  *   vidi_trace resume <dir>                      resume the interrupted
  *       record or replay session at <dir> from its newest committed
  *       checkpoint (or from cycle 0 when none committed)
+ *   vidi_trace compact <in> <out> [--to-v1]      transcode a trace
+ *       between the v1 line container (.vtrc) and the seekable
+ *       block-compressed VTC2 container (.vtc2); the decoded packet
+ *       stream is verified bit-identical after the rewrite
+ *   vidi_trace debug <app> --at-cycle N [options] time-travel debugging:
+ *       record the app, replay it into a checkpointed session, then
+ *       restore the nearest checkpoint at or before N and replay
+ *       forward to exactly cycle N. --watch c1,c2 prints every
+ *       transition of the named channels over the forward leg (from
+ *       the VTC2 cycle index); --until cycle=M / --until seq=M extends
+ *       the leg; --session <dir> reuses an existing replay session
+ *       instead of re-recording
  *
  * This is the offline-analysis side of the paper's §4.2 tooling,
  * packaged the way a downstream user would invoke it.
@@ -63,6 +75,8 @@
 #include <vector>
 
 #include "apps/app_registry.h"
+#include "checkpoint/atomic_file.h"
+#include "checkpoint/live_session.h"
 #include "checkpoint/session.h"
 #include "checkpoint/session_runner.h"
 #include "core/recorder.h"
@@ -74,6 +88,8 @@
 #include "trace/trace_file.h"
 #include "trace/trace_profile.h"
 #include "trace/trace_stats.h"
+#include "tracefmt/time_travel.h"
+#include "tracefmt/vtc2.h"
 
 namespace {
 
@@ -113,6 +129,15 @@ usage()
         "      inspect a session: manifest, journal, resume point\n"
         "  vidi_trace resume <dir>\n"
         "      resume an interrupted record/replay session\n"
+        "  vidi_trace compact <in> <out> [--to-v1]\n"
+        "      transcode v1 lines <-> VTC2 (seekable, compressed);\n"
+        "      verifies the decoded packet stream is bit-identical\n"
+        "  vidi_trace debug <app> --at-cycle N [--watch c1,c2]\n"
+        "             [--until cycle=M|seq=M] [--session <dir>]\n"
+        "             [--scale S] [--seed K] [--checkpoint-every N]\n"
+        "             [--workdir <dir>]\n"
+        "      time-travel: restore the nearest checkpoint <= N and\n"
+        "      replay forward to exactly cycle N\n"
         "exit codes: 0 ok, 1 usage, 2 runtime failure, 3 trace damage "
         "or verify mismatch\n",
         stderr);
@@ -252,6 +277,119 @@ cmdLint(const std::string &path, bool json)
     return 0;
 }
 
+int
+cmdCompact(const std::string &in_path, const std::string &out_path,
+           bool to_v1)
+{
+    TraceDamageReport report;
+    const Trace in = loadTrace(in_path, report);
+    if (!report.clean()) {
+        std::printf("%s: %s\n", in_path.c_str(),
+                    report.toString().c_str());
+        std::fputs("compact: refusing to transcode a damaged trace "
+                   "(repair first: the rewrite would launder the "
+                   "damage report away)\n",
+                   stderr);
+        return 3;
+    }
+    const TraceFileFormat format =
+        to_v1 ? TraceFileFormat::V1Lines : TraceFileFormat::Vtc2;
+    saveTrace(out_path, in, format, nullptr);
+
+    // The rewrite is only trustworthy if the decoded packet stream
+    // survives the round trip bit-identically.
+    const Trace out = loadTrace(out_path);
+    if (!(out == in)) {
+        std::fputs("compact: round-trip mismatch — decoded packet "
+                   "streams differ\n",
+                   stderr);
+        return 3;
+    }
+
+    const uint64_t in_bytes = readFileBytes(in_path).size();
+    const uint64_t out_bytes = readFileBytes(out_path).size();
+    std::printf("%s (%llu B) -> %s (%llu B): %.2fx, %zu packets "
+                "bit-identical%s\n",
+                in_path.c_str(),
+                static_cast<unsigned long long>(in_bytes),
+                out_path.c_str(),
+                static_cast<unsigned long long>(out_bytes),
+                out_bytes == 0 ? 0.0
+                               : double(in_bytes) / double(out_bytes),
+                out.packets.size(),
+                !to_v1 && out.hasCycles()
+                    ? ", cycle index attached"
+                    : "");
+    return 0;
+}
+
+/** Channel index by name (or decimal index) against a TraceMeta. */
+size_t
+resolveMetaChannel(const TraceMeta &meta, const std::string &arg)
+{
+    for (size_t i = 0; i < meta.channelCount(); ++i) {
+        if (meta.channels[i].name == arg)
+            return i;
+    }
+    char *end = nullptr;
+    const unsigned long idx = std::strtoul(arg.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && idx < meta.channelCount())
+        return idx;
+    fatal("unknown channel '%s'", arg.c_str());
+}
+
+/**
+ * Print every transition of the watched channels over [from, to],
+ * straight from the VTC2 cycle index — no re-simulation needed.
+ */
+void
+printWatch(const std::string &trace_path,
+           const std::vector<std::string> &watch, uint64_t from,
+           uint64_t to)
+{
+    std::vector<uint8_t> image = readFileBytes(trace_path);
+    if (!isVtc2Image(image.data(), image.size())) {
+        std::printf("--watch: %s is not a VTC2 container (no cycle "
+                    "index); run `vidi_trace compact` first\n",
+                    trace_path.c_str());
+        return;
+    }
+    TraceReader reader(std::move(image), trace_path);
+    uint64_t mask = 0;
+    for (const std::string &name : watch)
+        mask |= uint64_t(1)
+                << resolveMetaChannel(reader.meta(), name);
+    if (!reader.hasCycles())
+        std::printf("--watch: trace carries no cycle annotations; "
+                    "cycle keys below are packet sequence numbers\n");
+
+    reader.seekToCycle(from);
+    CyclePacket pkt;
+    uint64_t seq = 0, cycle = 0;
+    uint64_t shown = 0;
+    while (reader.next(pkt, &seq, &cycle)) {
+        if (cycle > to)
+            break;
+        if (((pkt.starts | pkt.ends) & mask) == 0)
+            continue;
+        std::string line = "  cycle " + std::to_string(cycle) +
+                           " seq " + std::to_string(seq) + ":";
+        bitvec::forEach(pkt.starts & mask, [&](size_t c) {
+            line += " start(" + reader.meta().channels[c].name + ")";
+        });
+        bitvec::forEach(pkt.ends & mask, [&](size_t c) {
+            line += " end(" + reader.meta().channels[c].name + ")";
+        });
+        std::printf("%s\n", line.c_str());
+        ++shown;
+    }
+    std::printf("  %llu transition packet(s) on watched channels in "
+                "cycles [%llu, %llu]\n",
+                static_cast<unsigned long long>(shown),
+                static_cast<unsigned long long>(from),
+                static_cast<unsigned long long>(to));
+}
+
 /** Find a registry app by name; fatal with the known names otherwise. */
 AppBuilder *
 findApp(const std::vector<std::unique_ptr<AppBuilder>> &apps,
@@ -369,6 +507,121 @@ cmdResume(const std::string &dir)
     return 0;
 }
 
+struct DebugArgs
+{
+    std::string app;
+    uint64_t at_cycle = 0;
+    std::vector<std::string> watch;
+    enum class UntilKind : uint8_t { None, Cycle, Seq } until_kind =
+        UntilKind::None;
+    uint64_t until_value = 0;
+    std::string session_dir;  ///< reuse an existing replay session
+    std::string workdir;      ///< where the default flow builds one
+    double scale = 0.1;
+    uint64_t seed = 1;
+    uint64_t checkpoint_every = 100'000;
+};
+
+void
+printStop(const char *label, const TimeTravelStop &s)
+{
+    std::printf("%s: cycle %llu (target %llu), %llu packet(s) decoded",
+                label, static_cast<unsigned long long>(s.stop_cycle),
+                static_cast<unsigned long long>(s.target_cycle),
+                static_cast<unsigned long long>(s.packets_decoded));
+    if (s.used_checkpoint)
+        std::printf("; restored checkpoint at cycle %llu + %llu "
+                    "forward cycle(s)",
+                    static_cast<unsigned long long>(s.checkpoint_cycle),
+                    static_cast<unsigned long long>(s.stepped_cycles));
+    else
+        std::printf("; no checkpoint at or before target — replayed "
+                    "%llu cycle(s) from 0",
+                    static_cast<unsigned long long>(s.stepped_cycles));
+    if (s.finished)
+        std::printf(" [run finished]");
+    std::printf("\n");
+}
+
+int
+cmdDebug(const DebugArgs &a)
+{
+    const auto apps = makeTable1Apps();
+    AppBuilder *app = findApp(apps, a.app);
+
+    std::string session_dir = a.session_dir;
+    if (session_dir.empty()) {
+        // Default flow: record the app, then replay it into a
+        // checkpointed session that keeps its *full* checkpoint ladder
+        // (retain = 0) so any target cycle has a nearby restore point.
+        const std::string work =
+            a.workdir.empty() ? a.app + ".debug" : a.workdir;
+        makeDirs(work);
+        const std::string trace_path = work + "/trace.vtc2";
+        VidiConfig cfg;
+        applyEnvOverrides(cfg);
+        app->setScale(a.scale);
+        const RecordResult rec =
+            recordToFile(*app, trace_path, a.seed, cfg);
+        if (!rec.completed)
+            fatal("debug: %s did not complete within the cycle budget",
+                  a.app.c_str());
+        std::printf("recorded %s: %llu cycles -> %s\n", a.app.c_str(),
+                    static_cast<unsigned long long>(rec.cycles),
+                    trace_path.c_str());
+
+        session_dir = work + "/replay";
+        SessionManifest m;
+        m.app = app->name();
+        m.mode = uint8_t(VidiMode::R3_Replay);
+        m.seed = 0;
+        m.scale = a.scale;
+        m.checkpoint_every = a.checkpoint_every;
+        m.checkpoint_retain = 0;  // keep every checkpoint
+        m.trace_path = trace_path;
+        m.cfg = cfg;
+        // Commit at every cadence boundary — the wall-clock commit
+        // throttle would thin the ladder on a fast replay.
+        m.cfg.checkpoint_min_interval_ms = 0;
+        auto live = LiveSession::create(*app, session_dir, m);
+        while (!live->finished())
+            live->step();
+        const ReplayResult rr = live->takeReplayResult();
+        if (!rr.completed)
+            fatal("debug: replay stalled: %s", rr.diagnostic.c_str());
+        std::printf("replay session ready: %llu cycles, %llu "
+                    "checkpoint(s) in %s\n",
+                    static_cast<unsigned long long>(rr.cycles),
+                    static_cast<unsigned long long>(
+                        rr.checkpoint.checkpoints),
+                    session_dir.c_str());
+    }
+
+    TimeTravel leg(*app, session_dir, a.at_cycle);
+    TimeTravelStop s = leg.run();
+    printStop("debug", s);
+    const uint64_t leg_start =
+        s.used_checkpoint ? s.checkpoint_cycle : 0;
+
+    if (a.until_kind == DebugArgs::UntilKind::Cycle) {
+        s = leg.advanceToCycle(a.until_value);
+        printStop("until", s);
+    } else if (a.until_kind == DebugArgs::UntilKind::Seq) {
+        s = leg.advanceToPacket(a.until_value);
+        printStop("until", s);
+    }
+
+    if (!a.watch.empty()) {
+        const Session session = Session::open(session_dir);
+        std::printf("watch [%llu, %llu]:\n",
+                    static_cast<unsigned long long>(leg_start),
+                    static_cast<unsigned long long>(s.stop_cycle));
+        printWatch(session.manifest().trace_path, a.watch, leg_start,
+                   s.stop_cycle);
+    }
+    return 0;
+}
+
 /** Record @p app once under @p mode and print the kernel counters. */
 RecordResult
 statsRun(AppBuilder &app, double scale, KernelMode mode)
@@ -389,6 +642,29 @@ statsRun(AppBuilder &app, double scale, KernelMode mode)
                 pool_total == 0 ? 0.0
                                 : 100.0 * double(r.encoder_pool_hits) /
                                       double(pool_total));
+    if (!r.trace.packets.empty()) {
+        // Container figures: what this recording costs on disk in each
+        // format, and what the VTC2 index provides for seeking.
+        const std::vector<uint8_t> img = serializeVtc2(r.trace);
+        const Vtc2Stats ts = inspectVtc2(img.data(), img.size(), "stats");
+        const uint64_t v1 = ts.v1LineBytes();
+        std::printf("trace container:    vtc2 %llu B vs v1 lines %llu B "
+                    "(%.2fx)\n",
+                    static_cast<unsigned long long>(ts.file_bytes),
+                    static_cast<unsigned long long>(v1),
+                    ts.file_bytes == 0
+                        ? 0.0
+                        : double(v1) / double(ts.file_bytes));
+        std::printf("trace index:        %llu frame(s) (%llu "
+                    "compressed), %llu index entr%s, cycle keys %s\n",
+                    static_cast<unsigned long long>(ts.frames),
+                    static_cast<unsigned long long>(
+                        ts.compressed_frames),
+                    static_cast<unsigned long long>(ts.index_entries),
+                    ts.index_entries == 1 ? "y" : "ies",
+                    ts.has_cycles ? "emission cycles"
+                                  : "packet sequence");
+    }
     return r;
 }
 
@@ -509,6 +785,70 @@ main(int argc, char **argv)
                     ? std::strtoull(pos[3].c_str(), nullptr, 0)
                     : 1,
                 session_dir, every);
+        }
+        if (cmd == "compact" && (argc == 4 || argc == 5)) {
+            const bool to_v1 =
+                argc == 5 && std::strcmp(argv[4], "--to-v1") == 0;
+            if (argc == 5 && !to_v1)
+                return usage();
+            return cmdCompact(argv[2], argv[3], to_v1);
+        }
+        if (cmd == "debug" && argc >= 3) {
+            DebugArgs a;
+            a.app = argv[2];
+            bool have_at = false;
+            for (int i = 3; i < argc; ++i) {
+                const std::string arg = argv[i];
+                if (++i >= argc)
+                    return usage();  // every debug flag takes a value
+                const std::string val = argv[i];
+                if (arg == "--at-cycle") {
+                    a.at_cycle = std::strtoull(val.c_str(), nullptr, 0);
+                    have_at = true;
+                } else if (arg == "--watch") {
+                    size_t pos = 0;
+                    while (pos <= val.size()) {
+                        const size_t comma = val.find(',', pos);
+                        const std::string name = val.substr(
+                            pos, comma == std::string::npos
+                                     ? std::string::npos
+                                     : comma - pos);
+                        if (!name.empty())
+                            a.watch.push_back(name);
+                        if (comma == std::string::npos)
+                            break;
+                        pos = comma + 1;
+                    }
+                } else if (arg == "--until") {
+                    if (val.compare(0, 6, "cycle=") == 0) {
+                        a.until_kind = DebugArgs::UntilKind::Cycle;
+                        a.until_value = std::strtoull(
+                            val.c_str() + 6, nullptr, 0);
+                    } else if (val.compare(0, 4, "seq=") == 0) {
+                        a.until_kind = DebugArgs::UntilKind::Seq;
+                        a.until_value = std::strtoull(
+                            val.c_str() + 4, nullptr, 0);
+                    } else {
+                        return usage();
+                    }
+                } else if (arg == "--session") {
+                    a.session_dir = val;
+                } else if (arg == "--workdir") {
+                    a.workdir = val;
+                } else if (arg == "--scale") {
+                    a.scale = std::strtod(val.c_str(), nullptr);
+                } else if (arg == "--seed") {
+                    a.seed = std::strtoull(val.c_str(), nullptr, 0);
+                } else if (arg == "--checkpoint-every") {
+                    a.checkpoint_every =
+                        std::strtoull(val.c_str(), nullptr, 0);
+                } else {
+                    return usage();
+                }
+            }
+            if (!have_at)
+                return usage();
+            return cmdDebug(a);
         }
         if (cmd == "checkpoint" && argc == 3)
             return cmdCheckpoint(argv[2]);
