@@ -15,6 +15,11 @@
  *    graceful-degradation path's price tag.
  *  - BM_ServeStatus: control-plane round trip — the floor for one
  *    frame each way with no simulation behind it.
+ *  - BM_ServeWorkerCrashMTTR: process-isolation recovery arc — a real
+ *    SIGSEGV in a worker, then a resume; reports the daemon-measured
+ *    detect -> respawn -> rehydrated mean time to recovery.
+ *  - BM_ServeQuotaCheck: the per-job disk-quota admission scan over a
+ *    populated tenant directory.
  *
  * BENCH_SERVE.json records the headline numbers; the acceptance bar is
  * that daemon overhead (status round trip) stays under a millisecond
@@ -30,8 +35,11 @@
 #include <thread>
 #include <vector>
 
+#include "checkpoint/atomic_file.h"
+#include "fault/fault_plan.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "serve/session_manager.h"
 
 namespace {
 
@@ -241,8 +249,87 @@ BM_ServeStatus(benchmark::State &state)
     server.wait();
 }
 
+/** Worker-crash recovery arc: real SIGSEGV -> respawn -> rehydrate. */
+void
+BM_ServeWorkerCrashMTTR(benchmark::State &state)
+{
+    ServeOptions opts = serveOptions("mttr", /*workers=*/2,
+                                     /*max_live=*/4);
+    opts.worker_procs = 2;
+    opts.heartbeat_interval_ms = 20;
+    opts.heartbeat_timeout_ms = 1'000;
+    opts.kill_grace_ms = 100;
+    opts.crash_loop_max = 0;  // this bench *is* a crash loop, on purpose
+    VidiServer server(opts);
+    std::string err;
+    if (!server.start(&err)) {
+        state.SkipWithError(err.c_str());
+        return;
+    }
+    ClientOptions copts;
+    copts.socket_path = opts.socket_path;
+    VidiClient client(copts);
+
+    uint64_t round = 0;
+    for (auto _ : state) {
+        JobRequest crash = echoRecord(
+            "mttr", "bench-mttr-c-" + std::to_string(round));
+        crash.checkpoint_every = 200;
+        applyFaultKnob(crash.fault, "worker_segv", 400);
+        JobReply reply;
+        if (!client.submit(crash, &reply, &err) ||
+            reply.status != JobStatus::Crashed) {
+            state.SkipWithError("injected segv did not crash a worker");
+            break;
+        }
+        JobRequest resume;
+        resume.kind = JobKind::Resume;
+        resume.tenant = "mttr";
+        resume.job_id = "bench-mttr-r-" + std::to_string(round);
+        if (!client.submit(resume, &reply, &err) ||
+            reply.status != JobStatus::Ok) {
+            state.SkipWithError("post-crash resume did not complete");
+            break;
+        }
+        ++round;
+    }
+    const VidiServer::Stats stats = server.stats();
+    server.requestShutdown();
+    server.wait();
+
+    state.counters["mttr_ms"] =
+        stats.mttr_samples != 0
+            ? double(stats.mttr_total_ms) / double(stats.mttr_samples)
+            : 0.0;
+    state.counters["mttr_last_ms"] = double(stats.mttr_last_ms);
+    state.counters["worker_crashes"] = double(stats.worker_crashes);
+    state.counters["worker_respawns"] = double(stats.worker_respawns);
+}
+
+/** Admission-path disk-quota scan over a populated tenant directory. */
+void
+BM_ServeQuotaCheck(benchmark::State &state)
+{
+    const std::string root = scratchDir("quota") + "/sessions";
+    SessionManager mgr(root, /*max_live=*/2);
+    makeDirs(mgr.dirFor("hog"));
+    const std::string blob(4096, 'x');
+    for (int i = 0; i < 8; ++i)
+        writeFileAtomic(mgr.dirFor("hog") + "/f" + std::to_string(i),
+                        blob.data(), blob.size());
+    uint64_t bytes = 0;
+    for (auto _ : state) {
+        bytes = mgr.tenantDiskBytes("hog");
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.counters["tenant_bytes"] = double(bytes);
+}
+
 BENCHMARK(BM_ServeThroughput)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ServeWorkerCrashMTTR)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ServeQuotaCheck)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ServeEvictRehydrate)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_ServeStatus)->Unit(benchmark::kMicrosecond);

@@ -74,7 +74,11 @@ std::string
 writeTmp(const std::string &path, const void *data, size_t len)
 {
     const std::string tmp = path + ".tmp";
-    Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
+    // O_CLOEXEC throughout this file: checkpoint fds must never leak
+    // into fork/exec'd vidi_serve worker processes, where they would
+    // outlive the writer and defeat atomic-rename crash semantics.
+    Fd fd(::open(tmp.c_str(),
+                 O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
     if (!fd.ok())
         fatal("cannot open %s for writing: %s", tmp.c_str(),
               std::strerror(errno));
@@ -91,7 +95,7 @@ void
 fsyncParentDir(const std::string &path)
 {
     const std::string dir = parentDir(path);
-    Fd fd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY));
+    Fd fd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
     if (!fd.ok())
         fatal("cannot open directory %s for fsync: %s", dir.c_str(),
               std::strerror(errno));
@@ -120,7 +124,8 @@ writeFileTorn(const std::string &path, const void *data, size_t len,
         permille = 1000;
     const size_t torn_len = size_t(uint64_t(len) * permille / 1000);
     const std::string tmp = path + ".tmp";
-    Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
+    Fd fd(::open(tmp.c_str(),
+                 O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
     if (!fd.ok())
         fatal("cannot open %s for writing: %s", tmp.c_str(),
               std::strerror(errno));
@@ -131,7 +136,8 @@ writeFileTorn(const std::string &path, const void *data, size_t len,
 void
 appendFileDurable(const std::string &path, const void *data, size_t len)
 {
-    Fd fd(::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644));
+    Fd fd(::open(path.c_str(),
+                 O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644));
     if (!fd.ok())
         fatal("cannot open %s for appending: %s", path.c_str(),
               std::strerror(errno));
@@ -144,7 +150,7 @@ appendFileDurable(const std::string &path, const void *data, size_t len)
 std::vector<uint8_t>
 readFileBytes(const std::string &path)
 {
-    Fd fd(::open(path.c_str(), O_RDONLY));
+    Fd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
     if (!fd.ok())
         fatal("cannot open %s for reading: %s", path.c_str(),
               std::strerror(errno));

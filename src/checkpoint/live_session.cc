@@ -182,6 +182,13 @@ struct LiveSession::Impl
             cfg.fault.crash_at_cycle = 0;
             cfg.fault.crash_during_checkpoint = false;
             cfg.fault.crash_during_trace_append = false;
+            // Same for worker-process faults: a rehydrating vidi_serve
+            // worker replays past the fault cycle, and re-firing there
+            // would crash-loop the tenant forever.
+            cfg.fault.worker_segv_at_cycle = 0;
+            cfg.fault.worker_kill_at_cycle = 0;
+            cfg.fault.worker_exit_at_cycle = 0;
+            cfg.fault.worker_hang_at_cycle = 0;
         }
 
         sim.setKernelMode(resolveKernelMode(cfg.kernel));

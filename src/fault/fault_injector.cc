@@ -59,8 +59,18 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan))
           case FaultKind::CrashDuringTraceAppend:
             crash_append_line_ = e.at;
             break;
+          case FaultKind::WorkerSegv:
+          case FaultKind::WorkerKill:
+          case FaultKind::WorkerExit:
+          case FaultKind::WorkerHang:
+            worker_faults_.push_back(e);
+            break;
         }
     }
+    std::sort(worker_faults_.begin(), worker_faults_.end(),
+              [](const FaultEvent &x, const FaultEvent &y) {
+                  return x.at < y.at;
+              });
 }
 
 bool
@@ -209,6 +219,23 @@ FaultInjector::crashAtTraceAppend(uint64_t lines)
         return false;
     crash_append_line_ = kNoCrash;
     ++injected_[size_t(FaultKind::CrashDuringTraceAppend)];
+    return true;
+}
+
+uint64_t
+FaultInjector::pendingWorkerFaultCycle() const
+{
+    return worker_faults_.empty() ? ~0ull : worker_faults_.front().at;
+}
+
+bool
+FaultInjector::workerFaultDue(uint64_t cycle, FaultKind *kind)
+{
+    if (worker_faults_.empty() || cycle < worker_faults_.front().at)
+        return false;
+    *kind = worker_faults_.front().kind;
+    worker_faults_.erase(worker_faults_.begin());
+    ++injected_[size_t(*kind)];
     return true;
 }
 

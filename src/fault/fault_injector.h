@@ -131,6 +131,21 @@ class FaultInjector
     bool crashAtTraceAppend(uint64_t lines);
     /// @}
 
+    /// @name Worker-process faults (consumed by the serve worker child)
+    /// These schedule *real* process deaths — only vidi_serve's worker
+    /// child asks for them; every other engine path leaves them inert.
+    /// @{
+    /** Cycle of the earliest pending worker fault; UINT64_MAX if none. */
+    uint64_t pendingWorkerFaultCycle() const;
+
+    /**
+     * Consume the earliest worker-process fault due by @p cycle.
+     *
+     * @return true with @p kind set to the fault to execute
+     */
+    bool workerFaultDue(uint64_t cycle, FaultKind *kind);
+    /// @}
+
     /** Faults of @p kind actually applied so far. */
     uint64_t injectedCount(FaultKind kind) const;
 
@@ -155,6 +170,8 @@ class FaultInjector
     uint64_t crash_cycle_ = kNoCrash;        ///< consumed -> kNoCrash
     uint64_t crash_ckpt_permille_ = 0;       ///< consumed -> 0
     uint64_t crash_append_line_ = kNoCrash;  ///< consumed -> kNoCrash
+
+    std::vector<FaultEvent> worker_faults_;  ///< sorted by cycle
 
     uint64_t injected_[16] = {};
 };

@@ -25,6 +25,10 @@ toString(FaultKind kind)
         return "crash-during-trace-append";
       case FaultKind::FrameBitFlip: return "frame-bit-flip";
       case FaultKind::FrameTornTail: return "frame-torn-tail";
+      case FaultKind::WorkerSegv: return "worker-segv";
+      case FaultKind::WorkerKill: return "worker-kill";
+      case FaultKind::WorkerExit: return "worker-exit";
+      case FaultKind::WorkerHang: return "worker-hang";
     }
     return "unknown-fault";
 }
@@ -114,6 +118,26 @@ FaultPlan::generate(const FaultSpec &spec)
                                 rng.range(1, 64), 0, 0});
     }
 
+    // Worker-process faults draw after the crash class (and consume no
+    // randomness) for the same reason: enabling them never perturbs any
+    // earlier schedule for a given seed.
+    if (spec.worker_segv_at_cycle != 0) {
+        plan.events_.push_back({FaultKind::WorkerSegv,
+                                spec.worker_segv_at_cycle, 0, 0});
+    }
+    if (spec.worker_kill_at_cycle != 0) {
+        plan.events_.push_back({FaultKind::WorkerKill,
+                                spec.worker_kill_at_cycle, 0, 0});
+    }
+    if (spec.worker_exit_at_cycle != 0) {
+        plan.events_.push_back({FaultKind::WorkerExit,
+                                spec.worker_exit_at_cycle, 0, 0});
+    }
+    if (spec.worker_hang_at_cycle != 0) {
+        plan.events_.push_back({FaultKind::WorkerHang,
+                                spec.worker_hang_at_cycle, 0, 0});
+    }
+
     std::stable_sort(plan.events_.begin(), plan.events_.end(),
                      [](const FaultEvent &x, const FaultEvent &y) {
                          if (x.kind != y.kind)
@@ -172,6 +196,10 @@ saveFaultSpec(StateWriter &w, const FaultSpec &f)
     w.b(f.crash_during_trace_append);
     w.u32(f.frame_bit_flips);
     w.b(f.frame_torn_tail);
+    w.u64(f.worker_segv_at_cycle);
+    w.u64(f.worker_kill_at_cycle);
+    w.u64(f.worker_exit_at_cycle);
+    w.u64(f.worker_hang_at_cycle);
 }
 
 FaultSpec
@@ -196,6 +224,10 @@ loadFaultSpec(StateReader &r)
     f.crash_during_trace_append = r.b();
     f.frame_bit_flips = r.u32();
     f.frame_torn_tail = r.b();
+    f.worker_segv_at_cycle = r.u64();
+    f.worker_kill_at_cycle = r.u64();
+    f.worker_exit_at_cycle = r.u64();
+    f.worker_hang_at_cycle = r.u64();
     return f;
 }
 
@@ -246,6 +278,14 @@ constexpr FaultKnob kFaultKnobs[] = {
      [](FaultSpec &f, uint64_t v) {
          f.crash_during_trace_append = v != 0;
      }},
+    {"worker_segv",
+     [](FaultSpec &f, uint64_t v) { f.worker_segv_at_cycle = v; }},
+    {"worker_kill",
+     [](FaultSpec &f, uint64_t v) { f.worker_kill_at_cycle = v; }},
+    {"worker_exit",
+     [](FaultSpec &f, uint64_t v) { f.worker_exit_at_cycle = v; }},
+    {"worker_hang",
+     [](FaultSpec &f, uint64_t v) { f.worker_hang_at_cycle = v; }},
 };
 
 } // namespace

@@ -42,6 +42,13 @@ enum class FaultKind : uint8_t
                     ///< @c at (indices wrap at apply time)
     FrameTornTail,  ///< cut the VTC2 file @c a permille into its final
                     ///< frame (torn write)
+    WorkerSegv,     ///< serve worker raises a *real* SIGSEGV at cycle
+                    ///< @c at (process-containment validation)
+    WorkerKill,     ///< serve worker raises SIGKILL at cycle @c at —
+                    ///< the OOM-killer stand-in
+    WorkerExit,     ///< serve worker _exit(0)s mid-job at cycle @c at
+    WorkerHang,     ///< serve worker wedges (SIGTERM blocked) at cycle
+                    ///< @c at so the watchdog must escalate to SIGKILL
 };
 
 const char *toString(FaultKind kind);
@@ -107,13 +114,32 @@ struct FaultSpec
     bool crash_during_trace_append = false;
     /// @}
 
+    /// @name Worker-process faults (vidi_serve process isolation)
+    /// Unlike the simulated crash class above, these kill the hosting
+    /// *process* for real — they only ever fire inside a vidi_serve
+    /// worker child, which queries them through
+    /// FaultInjector::workerFaultDue. In every other engine path the
+    /// events are inert. A value of 0 disables the fault.
+    /// @{
+    /** Raise a real SIGSEGV at this cycle. */
+    uint64_t worker_segv_at_cycle = 0;
+    /** Raise SIGKILL at this cycle (uncatchable, like an OOM kill). */
+    uint64_t worker_kill_at_cycle = 0;
+    /** _exit(0) mid-job at this cycle (clean exit, wrong time). */
+    uint64_t worker_exit_at_cycle = 0;
+    /** Wedge with SIGTERM blocked at this cycle (watchdog escalation). */
+    uint64_t worker_hang_at_cycle = 0;
+    /// @}
+
     /** True when any fault is scheduled. */
     bool any() const
     {
         return line_bit_flips || line_drops || line_dups || pcie_stalls ||
                pcie_throttles || file_truncate || file_header_flips ||
                frame_bit_flips || frame_torn_tail || crash_at_cycle ||
-               crash_during_checkpoint || crash_during_trace_append;
+               crash_during_checkpoint || crash_during_trace_append ||
+               worker_segv_at_cycle || worker_kill_at_cycle ||
+               worker_exit_at_cycle || worker_hang_at_cycle;
     }
 };
 

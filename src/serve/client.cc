@@ -12,6 +12,10 @@ bool
 VidiClient::submitOnce(const JobRequest &request, JobReply *reply,
                        std::string *err)
 {
+    // A daemon restarting (or a worker-process crash tearing the
+    // connection down) mid-reply must surface as EPIPE, not kill the
+    // client process.
+    wire::ignoreSigpipe();
     wire::Fd conn = wire::connectUnix(opts_.socket_path, err);
     if (!conn.valid())
         return false;

@@ -35,6 +35,8 @@ toString(JobStatus status)
       case JobStatus::Timeout: return "timeout";
       case JobStatus::Crashed: return "crashed";
       case JobStatus::TraceDamage: return "trace-damage";
+      case JobStatus::QuotaExceeded: return "quota-exceeded";
+      case JobStatus::Quarantined: return "quarantined";
     }
     return "unknown";
 }
@@ -44,12 +46,14 @@ isRetryable(JobStatus status)
 {
     return status == JobStatus::Overloaded ||
            status == JobStatus::InFlight ||
-           status == JobStatus::ShuttingDown;
+           status == JobStatus::ShuttingDown ||
+           status == JobStatus::Quarantined;
 }
 
 namespace {
 
-constexpr uint8_t kRequestVersion = 2;
+// v3: FaultSpec grew the worker-process fault fields.
+constexpr uint8_t kRequestVersion = 3;
 constexpr uint8_t kReplyVersion = 1;
 
 /** Decode under the StateReader's SimFatal contract -> bool + err. */

@@ -19,8 +19,8 @@
  *    one tenant's session and watch the daemon isolate the blast
  *    radius.
  *  - JobStatus separates *retryable* outcomes (Overloaded, InFlight,
- *    ShuttingDown) from terminal ones; the client library only retries
- *    the former.
+ *    ShuttingDown, Quarantined) from terminal ones; the client library
+ *    only retries the former.
  */
 
 #ifndef VIDI_SERVE_PROTOCOL_H
@@ -60,9 +60,14 @@ enum class JobStatus : uint8_t
     Failed,         ///< job ran and failed; error_class says how
     Timeout,        ///< supervisor wall-clock budget expired; session
                     ///< checkpointed and resumable
-    Crashed,        ///< injected crash fault killed the session worker;
+    Crashed,        ///< the session worker died (simulated crash fault
+                    ///< in-thread, or a real worker-process death);
                     ///< session resumable from its last checkpoint
     TraceDamage,    ///< verify found damage / replay diverged
+    QuotaExceeded,  ///< tenant over its disk quota; free space first,
+                    ///< do not retry as-is
+    Quarantined,    ///< tenant tripped the crash-loop circuit breaker;
+                    ///< retryable once the quarantine window passes
 };
 
 const char *toString(JobStatus status);

@@ -20,6 +20,51 @@ namespace {
 /** The one server routed to by the process signal handlers. */
 std::atomic<VidiServer *> g_signal_server{nullptr};
 
+/** Monotonic milliseconds for the crash-loop breaker's injected time. */
+uint64_t
+nowMs()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch())
+                        .count());
+}
+
+/** Session manifest for a fresh Record/Replay job (shared between the
+ *  in-thread and worker-process execution paths). */
+SessionManifest
+makeManifest(const ServeOptions &opts, const JobRequest &request)
+{
+    SessionManifest manifest;
+    manifest.app = request.app;
+    manifest.mode = uint8_t(request.kind == JobKind::Record
+                                ? VidiMode::R2_Record
+                                : VidiMode::R3_Replay);
+    manifest.seed = request.seed;
+    manifest.scale = request.scale;
+    manifest.checkpoint_every = request.checkpoint_every;
+    manifest.trace_path = request.trace_path;
+    manifest.cfg = opts.base_cfg;
+    // The request's FaultSpec is the server-side injection hook:
+    // faults are scoped to this tenant's session and nothing else.
+    manifest.cfg.fault = request.fault;
+    // Parallel-kernel thread budget: explicit request beats the
+    // server template, and either is clamped per worker. A config
+    // value of 0 would mean "auto" (hardware concurrency) inside
+    // the session — with `workers` concurrent sessions that is an
+    // oversubscription footgun, so 0 resolves to 1 here and only
+    // an explicit opt-in pays for threads.
+    unsigned sim_threads = request.sim_threads != 0
+                               ? request.sim_threads
+                               : opts.base_cfg.sim_threads;
+    if (sim_threads == 0)
+        sim_threads = 1;
+    if (opts.max_sim_threads != 0 && sim_threads > opts.max_sim_threads)
+        sim_threads = opts.max_sim_threads;
+    manifest.cfg.sim_threads = sim_threads;
+    return manifest;
+}
+
 void
 onTermSignal(int)
 {
@@ -32,7 +77,8 @@ onTermSignal(int)
 
 VidiServer::VidiServer(ServeOptions opts)
     : opts_(std::move(opts)),
-      sessions_(opts_.root_dir, opts_.max_live_sessions)
+      sessions_(opts_.root_dir, opts_.max_live_sessions),
+      breaker_(opts_.crash_loop_max, opts_.crash_loop_window_ms)
 {
 }
 
@@ -51,18 +97,52 @@ VidiServer::~VidiServer()
 bool
 VidiServer::start(std::string *err)
 {
+    // A worker child dying mid-reply must cost the daemon an EPIPE
+    // error, never a process kill.
+    wire::ignoreSigpipe();
     makeDirs(opts_.root_dir);
-    if (::pipe(wake_pipe_) != 0) {
+    // O_CLOEXEC: fork/exec'd workers must not inherit the shutdown
+    // pipe (or, below, the listener) — an inherited listener would pin
+    // the socket past daemon death and could steal connections.
+    if (::pipe2(wake_pipe_, O_CLOEXEC | O_NONBLOCK) != 0) {
         if (err != nullptr)
-            *err = std::string("pipe: ") + std::strerror(errno);
+            *err = std::string("pipe2: ") + std::strerror(errno);
         return false;
     }
-    ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
-    ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
 
     listen_fd_ = wire::listenUnix(opts_.socket_path, 64, err);
     if (!listen_fd_.valid())
         return false;
+
+    if (opts_.worker_procs != 0) {
+        WorkerPoolOptions popts;
+        popts.procs = opts_.worker_procs;
+        popts.exec_path = opts_.worker_exec;
+        popts.heartbeat_timeout_ms = opts_.heartbeat_timeout_ms;
+        popts.kill_grace_ms = opts_.kill_grace_ms;
+        popts.respawn_backoff_ms = opts_.respawn_backoff_ms;
+        popts.limits.mem_mb = opts_.worker_mem_mb;
+        popts.limits.cpu_secs = opts_.worker_cpu_secs;
+        // CLOEXEC only guards exec; plain-fork children shed the
+        // daemon's control-plane fds explicitly so a worker can
+        // neither serve traffic nor pin the socket past a restart.
+        const int listen_copy = listen_fd_.get();
+        const int wake0 = wake_pipe_[0];
+        const int wake1 = wake_pipe_[1];
+        popts.child_prelude = [listen_copy, wake0, wake1] {
+            ::close(listen_copy);
+            ::close(wake0);
+            ::close(wake1);
+        };
+        pool_ = std::make_unique<WorkerPool>(std::move(popts));
+        // Spawn before the server threads exist: the initial forks
+        // happen while this process is as close to single-threaded as
+        // it will ever be again.
+        if (!pool_->start(err)) {
+            pool_.reset();
+            return false;
+        }
+    }
 
     started_ = true;
     acceptor_ = std::thread([this] { acceptLoop(); });
@@ -107,7 +187,10 @@ VidiServer::wait()
             worker.join();
     }
     workers_.clear();
-    // All leases returned: every live session is idle and drainable.
+    // All leases returned: every live session is idle and drainable,
+    // and every pool slot is free — retire the worker processes.
+    if (pool_ != nullptr)
+        pool_->stop();
     sessions_.drainAll();
     ::unlink(opts_.socket_path.c_str());
     started_ = false;
@@ -155,7 +238,8 @@ VidiServer::acceptLoop()
             break;
         if ((fds[0].revents & POLLIN) == 0)
             continue;
-        wire::Fd conn(::accept(listen_fd_.get(), nullptr, nullptr));
+        wire::Fd conn(::accept4(listen_fd_.get(), nullptr, nullptr,
+                                SOCK_CLOEXEC));
         if (!conn.valid())
             continue;
         // Hand the fd to the I/O pool: the acceptor itself never reads
@@ -374,8 +458,20 @@ VidiServer::execute(const JobRequest &request)
       case JobKind::Replay:
       case JobKind::Resume:
         return executeSession(request);
-      case JobKind::Verify:
-        return superviseVerify(request.trace_path);
+      case JobKind::Verify: {
+        if (pool_ == nullptr)
+            return superviseVerify(request.trace_path);
+        // Verify loads an untrusted trace — in process mode that parse
+        // belongs in a worker too, so a malformed container that takes
+        // the decoder down costs a Crashed reply, not the daemon.
+        WorkerJob job;
+        job.kind = JobKind::Verify;
+        job.tenant = request.tenant;
+        job.trace_path = request.trace_path;
+        job.timeout_ms = resolveTimeoutMs(request);
+        job.heartbeat_ms = opts_.heartbeat_interval_ms;
+        return pool_->run(job).reply;
+      }
       default: {
         JobReply reply;
         reply.status = JobStatus::InvalidRequest;
@@ -388,41 +484,56 @@ VidiServer::execute(const JobRequest &request)
 JobReply
 VidiServer::executeSession(const JobRequest &request)
 {
-    SessionManager::Lease lease;
-    if (request.kind == JobKind::Resume) {
-        lease = sessions_.acquireExisting(request.tenant);
-    } else {
-        SessionManifest manifest;
-        manifest.app = request.app;
-        manifest.mode = uint8_t(request.kind == JobKind::Record
-                                    ? VidiMode::R2_Record
-                                    : VidiMode::R3_Replay);
-        manifest.seed = request.seed;
-        manifest.scale = request.scale;
-        manifest.checkpoint_every = request.checkpoint_every;
-        manifest.trace_path = request.trace_path;
-        manifest.cfg = opts_.base_cfg;
-        // The request's FaultSpec is the server-side injection hook:
-        // faults are scoped to this tenant's session and nothing else.
-        manifest.cfg.fault = request.fault;
-        // Parallel-kernel thread budget: explicit request beats the
-        // server template, and either is clamped per worker. A config
-        // value of 0 would mean "auto" (hardware concurrency) inside
-        // the session — with `workers` concurrent sessions that is an
-        // oversubscription footgun, so 0 resolves to 1 here and only
-        // an explicit opt-in pays for threads.
-        unsigned sim_threads = request.sim_threads != 0
-                                   ? request.sim_threads
-                                   : opts_.base_cfg.sim_threads;
-        if (sim_threads == 0)
-            sim_threads = 1;
-        if (opts_.max_sim_threads != 0 &&
-            sim_threads > opts_.max_sim_threads) {
-            sim_threads = opts_.max_sim_threads;
-        }
-        manifest.cfg.sim_threads = sim_threads;
-        lease = sessions_.acquireFresh(request.tenant, manifest);
+    // Policy gate shared by both execution paths. Order matters: the
+    // breaker is cheapest and protects the pool; the quota scan touches
+    // the filesystem (cached) and must not run for a quarantined
+    // tenant's retry storm.
+    JobReply reply;
+    const uint64_t quarantine_ms =
+        breaker_.quarantinedForMs(request.tenant, nowMs());
+    if (quarantine_ms != 0) {
+        reply.status = JobStatus::Quarantined;
+        reply.error_class = "crash-loop";
+        reply.detail =
+            "tenant quarantined after repeated worker crashes; retry "
+            "in " +
+            std::to_string(quarantine_ms) + " ms";
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.quarantined;
+        return reply;
     }
+    if (opts_.tenant_disk_quota_bytes != 0) {
+        const uint64_t used = tenantDiskBytesCached(request.tenant);
+        if (used >= opts_.tenant_disk_quota_bytes) {
+            reply.status = JobStatus::QuotaExceeded;
+            reply.error_class = "disk-quota";
+            reply.detail =
+                "tenant disk usage " + std::to_string(used) +
+                " bytes is at or over the " +
+                std::to_string(opts_.tenant_disk_quota_bytes) +
+                "-byte quota";
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.quota_rejected;
+            return reply;
+        }
+    }
+    reply = pool_ != nullptr ? executeSessionProc(request)
+                             : executeSessionInThread(request);
+    // The job may have grown (or created) the tenant's footprint; the
+    // next admission check must rescan rather than trust the TTL.
+    invalidateQuotaCache(request.tenant);
+    return reply;
+}
+
+JobReply
+VidiServer::executeSessionInThread(const JobRequest &request)
+{
+    SessionManager::Lease lease;
+    if (request.kind == JobKind::Resume)
+        lease = sessions_.acquireExisting(request.tenant);
+    else
+        lease = sessions_.acquireFresh(request.tenant,
+                                       makeManifest(opts_, request));
 
     if (lease.session == nullptr) {
         JobReply reply;
@@ -433,6 +544,93 @@ VidiServer::executeSession(const JobRequest &request)
         return reply;
     }
 
+    SuperviseOutcome outcome = superviseSession(
+        *lease.session, request.step_budget, resolveTimeoutMs(request));
+    if (lease.rehydrated)
+        outcome.reply.detail += " [rehydrated]";
+    sessions_.release(request.tenant, outcome.disposition);
+    return outcome.reply;
+}
+
+JobReply
+VidiServer::executeSessionProc(const JobRequest &request)
+{
+    JobReply reply;
+    const bool fresh = request.kind != JobKind::Resume;
+    if (fresh && makeServeApp(request.app) == nullptr) {
+        // Validate the app name in the parent: a typo should cost an
+        // inline InvalidRequest, not a worker round-trip.
+        reply.status = JobStatus::InvalidRequest;
+        reply.detail = "unknown app '" + request.app + "'";
+        return reply;
+    }
+
+    // The directory lease is the process-mode concurrency token: no
+    // LiveSession lives in daemon memory, so any worker (including a
+    // respawned one after a crash) can pick the tenant up from disk.
+    std::string err;
+    const JobStatus lease =
+        sessions_.acquireDir(request.tenant, !fresh, &err);
+    if (lease != JobStatus::Ok) {
+        reply.status = lease;
+        reply.detail = err;
+        return reply;
+    }
+
+    WorkerJob job;
+    job.kind = request.kind;
+    job.tenant = request.tenant;
+    job.dir = sessions_.dirFor(request.tenant);
+    job.fresh = fresh;
+    if (fresh)
+        job.manifest = makeManifest(opts_, request);
+    job.step_budget = request.step_budget;
+    job.timeout_ms = resolveTimeoutMs(request);
+    job.heartbeat_ms = opts_.heartbeat_interval_ms;
+    job.trace_path = request.trace_path;
+    job.fault = request.fault;
+
+    WorkerPool::RunResult res = pool_->run(job);
+    sessions_.releaseDir(request.tenant);
+
+    if (res.worker_died) {
+        breaker_.recordCrash(request.tenant, nowMs());
+        // MTTR arc opens at death *detection*: respawn_ms has already
+        // elapsed inside run(), so back-date the mark accordingly.
+        const auto detect =
+            std::chrono::steady_clock::now() -
+            std::chrono::milliseconds(res.respawn_ms);
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.worker_crashes;
+        if (res.hung)
+            ++stats_.worker_hangs;
+        crash_at_[request.tenant] = detect;
+    } else if (request.kind == JobKind::Resume &&
+               (res.reply.status == JobStatus::Ok ||
+                res.reply.status == JobStatus::Running ||
+                res.reply.status == JobStatus::Timeout)) {
+        // The tenant is rehydrated and stepping again: close any open
+        // crash arc. detect -> respawned -> rehydrated is the full
+        // mean-time-to-recovery the bench reports.
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = crash_at_.find(request.tenant);
+        if (it != crash_at_.end()) {
+            const uint64_t mttr = uint64_t(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - it->second)
+                    .count());
+            stats_.mttr_last_ms = mttr;
+            stats_.mttr_total_ms += mttr;
+            ++stats_.mttr_samples;
+            crash_at_.erase(it);
+        }
+    }
+    return res.reply;
+}
+
+uint64_t
+VidiServer::resolveTimeoutMs(const JobRequest &request) const
+{
     // Client-supplied budgets are clamped server-side: an unchecked
     // huge u64 would overflow the JobClock's signed millisecond
     // deadline arithmetic into a past (or garbage) deadline.
@@ -443,12 +641,36 @@ VidiServer::executeSession(const JobRequest &request)
         timeout_ms > opts_.max_job_timeout_ms) {
         timeout_ms = opts_.max_job_timeout_ms;
     }
-    SuperviseOutcome outcome =
-        superviseSession(*lease.session, request.step_budget, timeout_ms);
-    if (lease.rehydrated)
-        outcome.reply.detail += " [rehydrated]";
-    sessions_.release(request.tenant, outcome.disposition);
-    return outcome.reply;
+    return timeout_ms;
+}
+
+uint64_t
+VidiServer::tenantDiskBytesCached(const std::string &tenant)
+{
+    constexpr auto kTtl = std::chrono::milliseconds(250);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = quota_cache_.find(tenant);
+        if (it != quota_cache_.end() &&
+            std::chrono::steady_clock::now() - it->second.stamp < kTtl)
+            return it->second.bytes;
+    }
+    // Directory scan outside the lock; invalid tenant names scan
+    // nothing and report zero.
+    const uint64_t bytes = sessions_.tenantDiskBytes(tenant);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (quota_cache_.size() > 1024)
+        quota_cache_.clear();  // bound the map against tenant churn
+    quota_cache_[tenant] =
+        QuotaEntry{bytes, std::chrono::steady_clock::now()};
+    return bytes;
+}
+
+void
+VidiServer::invalidateQuotaCache(const std::string &tenant)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    quota_cache_.erase(tenant);
 }
 
 std::string
@@ -470,6 +692,16 @@ VidiServer::statusText() const
     text += " creations=" + std::to_string(s.sessions.creations);
     text += " rehydrations=" + std::to_string(s.sessions.rehydrations);
     text += " evictions=" + std::to_string(s.sessions.evictions);
+    text += " worker_crashes=" + std::to_string(s.worker_crashes);
+    text += " worker_hangs=" + std::to_string(s.worker_hangs);
+    text += " worker_respawns=" + std::to_string(s.worker_respawns);
+    text += " quarantined=" + std::to_string(s.quarantined);
+    text += " quota_rejected=" + std::to_string(s.quota_rejected);
+    text += " mttr_last_ms=" + std::to_string(s.mttr_last_ms);
+    text += " mttr_avg_ms=" +
+            std::to_string(s.mttr_samples != 0
+                               ? s.mttr_total_ms / s.mttr_samples
+                               : 0);
     // Per-tenant on-disk footprint: what eviction actually costs. The
     // trace component is the spilled VTC2 container (or a recorded
     // output), reported separately so compression wins are visible.
@@ -493,6 +725,8 @@ VidiServer::stats() const
         s.queue_depth = queue_.size();
     }
     s.sessions = sessions_.stats();
+    if (pool_ != nullptr)
+        s.worker_respawns = pool_->stats().respawned;
     return s;
 }
 

@@ -28,6 +28,12 @@
  * untouched, and the poisoned tenant can resume from its last committed
  * checkpoint.
  *
+ * With worker_procs != 0 the session stage instead leases a supervised
+ * worker *process* (WorkerPool, worker.h) per job, extending that
+ * containment to real faults — SIGSEGV, SIGABRT, OOM kills, wedged
+ * eval loops — with per-tenant crash-loop quarantine and disk quotas
+ * on top. See DESIGN.md §14 for the worker lifecycle state machine.
+ *
  * Shutdown (SIGTERM / Shutdown request / requestShutdown): stop
  * accepting, reject still-queued jobs with retryable ShuttingDown
  * replies, finish in-flight jobs, then commit every live session's
@@ -38,10 +44,12 @@
 #define VIDI_SERVE_SERVER_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -52,6 +60,7 @@
 #include "serve/protocol.h"
 #include "serve/session_manager.h"
 #include "serve/wire.h"
+#include "serve/worker_pool.h"
 
 namespace vidi {
 
@@ -84,6 +93,36 @@ struct ServeOptions
     unsigned max_sim_threads = 4;
     size_t reply_cache_capacity = 256;  ///< idempotency window (jobs)
     VidiConfig base_cfg;      ///< shim config template for sessions
+
+    /// @name Worker-process isolation (0 = legacy in-thread execution)
+    /// @{
+    /**
+     * Run session jobs in a pool of this many supervised worker
+     * *processes* instead of in the daemon's own threads: a real
+     * SIGSEGV/SIGABRT/OOM kill in one tenant's design then costs
+     * exactly one structured Crashed reply, never the daemon.
+     */
+    size_t worker_procs = 0;
+    /**
+     * Fork/exec this binary (`<path> worker --fd 3 ...`) for workers
+     * instead of plain fork — a clean single-threaded child address
+     * space, the fully fork-safe variant. Empty = plain fork.
+     */
+    std::string worker_exec;
+    uint64_t worker_mem_mb = 0;    ///< RLIMIT_AS per worker (0 = off)
+    uint64_t worker_cpu_secs = 0;  ///< RLIMIT_CPU per worker (0 = off)
+    uint64_t heartbeat_interval_ms = 100;  ///< child send cadence
+    uint64_t heartbeat_timeout_ms = 2'000; ///< hung-worker watchdog
+    uint64_t kill_grace_ms = 200;    ///< SIGTERM -> SIGKILL escalation
+    uint64_t respawn_backoff_ms = 10;  ///< pool respawn backoff base
+    /** Per-tenant disk quota over the session directory (bytes;
+     *  0 = unlimited). Over-quota jobs get QuotaExceeded. */
+    uint64_t tenant_disk_quota_bytes = 0;
+    /** Crashes within crash_loop_window_ms that quarantine a tenant
+     *  (0 disables the circuit breaker). */
+    uint32_t crash_loop_max = 3;
+    uint64_t crash_loop_window_ms = 10'000;
+    /// @}
 };
 
 class VidiServer
@@ -127,6 +166,14 @@ class VidiServer
         uint64_t inflight_hits = 0;   ///< duplicate while executing
         uint64_t dropped_conns = 0;   ///< closed: conn backlog full/drain
         uint64_t queue_depth = 0;
+        uint64_t worker_crashes = 0;  ///< real worker-process deaths
+        uint64_t worker_hangs = 0;    ///< of which watchdog escalations
+        uint64_t worker_respawns = 0; ///< replacement workers forked
+        uint64_t quarantined = 0;     ///< jobs rejected by the breaker
+        uint64_t quota_rejected = 0;  ///< jobs rejected by disk quota
+        uint64_t mttr_samples = 0;    ///< completed crash->recovery arcs
+        uint64_t mttr_last_ms = 0;    ///< newest detect->rehydrated time
+        uint64_t mttr_total_ms = 0;   ///< sum over all samples
         SessionManager::Stats sessions;
     };
     Stats stats() const;
@@ -157,12 +204,19 @@ class VidiServer
     void handleConnection(wire::Fd conn);
     JobReply execute(const JobRequest &request);
     JobReply executeSession(const JobRequest &request);
+    JobReply executeSessionInThread(const JobRequest &request);
+    JobReply executeSessionProc(const JobRequest &request);
+    uint64_t resolveTimeoutMs(const JobRequest &request) const;
+    uint64_t tenantDiskBytesCached(const std::string &tenant);
+    void invalidateQuotaCache(const std::string &tenant);
     void finishJob(const JobKey &key, JobReply reply, wire::Fd conn);
     void cacheReplyLocked(const JobKey &key, const JobReply &reply);
     std::string statusText() const;
 
     ServeOptions opts_;
     SessionManager sessions_;
+    std::unique_ptr<WorkerPool> pool_;  ///< non-null in process mode
+    CrashLoopBreaker breaker_;
 
     wire::Fd listen_fd_;
     int wake_pipe_[2] = {-1, -1};  ///< self-pipe: shutdown wakeup
@@ -187,6 +241,22 @@ class VidiServer
     std::deque<JobKey> reply_order_;  ///< FIFO cache eviction
     std::map<JobKey, bool> in_flight_;
     Stats stats_;
+
+    /**
+     * Quota accounting cache (under mu_): the per-job disk check is a
+     * directory scan, so results are reused for a short TTL and
+     * invalidated whenever a job finishes for that tenant (which is
+     * the only way its footprint changes).
+     */
+    struct QuotaEntry
+    {
+        uint64_t bytes = 0;
+        std::chrono::steady_clock::time_point stamp;
+    };
+    std::map<std::string, QuotaEntry> quota_cache_;
+    /** Tenants with a crash awaiting a successful resume (MTTR arcs). */
+    std::map<std::string, std::chrono::steady_clock::time_point>
+        crash_at_;
 };
 
 } // namespace vidi

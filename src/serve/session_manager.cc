@@ -41,6 +41,23 @@ serveAppNames()
     return names;
 }
 
+void
+spillReplayInput(const std::string &dir, SessionManifest *manifest)
+{
+    if (VidiMode(manifest->mode) != VidiMode::R3_Replay ||
+        manifest->trace_path.empty() ||
+        traceFormatForPath(manifest->trace_path) == TraceFileFormat::Vtc2)
+        return;
+    TraceDamageReport report;
+    const Trace trace = loadTrace(manifest->trace_path, report);
+    if (!report.clean())
+        return;
+    makeDirs(dir);
+    const std::string spilled = dir + "/trace.vtc2";
+    saveTrace(spilled, trace);
+    manifest->trace_path = spilled;
+}
+
 SessionManager::SessionManager(std::string root_dir, size_t max_live)
     : root_dir_(std::move(root_dir)), max_live_(max_live)
 {
@@ -126,26 +143,11 @@ SessionManager::acquireFresh(const std::string &tenant,
     std::string error;
     SessionManifest effective = manifest;
     try {
-        // Replay inputs are spilled into the session directory as VTC2
-        // before the session is built: the directory then carries the
-        // compressed container (what eviction leaves on disk) instead
-        // of referencing the tenant's bulky line-format original.
-        // Damaged inputs skip the spill — they replay from the
-        // original path so the v1 damage contract is untouched.
-        if (VidiMode(effective.mode) == VidiMode::R3_Replay &&
-            !effective.trace_path.empty() &&
-            traceFormatForPath(effective.trace_path) !=
-                TraceFileFormat::Vtc2) {
-            TraceDamageReport report;
-            const Trace trace = loadTrace(effective.trace_path, report);
-            if (report.clean()) {
-                makeDirs(dirFor(tenant));
-                const std::string spilled =
-                    dirFor(tenant) + "/trace.vtc2";
-                saveTrace(spilled, trace);
-                effective.trace_path = spilled;
-            }
-        }
+        // Replay inputs spill into the session directory as VTC2 before
+        // the session is built (see spillReplayInput): eviction then
+        // leaves the compressed container on disk instead of a
+        // reference to the tenant's bulky line-format original.
+        spillReplayInput(dirFor(tenant), &effective);
         live = LiveSession::create(std::move(app), dirFor(tenant),
                                    effective);
     } catch (const std::exception &e) {
@@ -239,6 +241,74 @@ SessionManager::release(const std::string &tenant,
         return;
     }
     evictToCap(lk);
+}
+
+JobStatus
+SessionManager::acquireDir(const std::string &tenant,
+                           bool require_existing, std::string *err)
+{
+    if (!validTenant(tenant)) {
+        if (err != nullptr)
+            *err = "invalid tenant name '" + tenant + "'";
+        return JobStatus::InvalidRequest;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = entries_.find(tenant);
+    if (it != entries_.end() && it->second.busy) {
+        if (err != nullptr)
+            *err = "tenant session busy";
+        return JobStatus::Overloaded;
+    }
+    if (require_existing && (it == entries_.end() ||
+                             it->second.live == nullptr) &&
+        !fileExists(dirFor(tenant) + "/manifest.vssn")) {
+        if (err != nullptr)
+            *err = "no session for tenant '" + tenant + "'";
+        return JobStatus::InvalidRequest;
+    }
+    Entry &entry = entries_[tenant];
+    entry.busy = true;
+    entry.last_used = ++use_clock_;
+    return JobStatus::Ok;
+}
+
+void
+SessionManager::releaseDir(const std::string &tenant)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = entries_.find(tenant);
+    if (it == entries_.end() || !it->second.busy)
+        return;
+    // Process mode keeps no in-memory session: the directory is the
+    // whole truth, so the lease entry simply goes away. (A mixed-mode
+    // entry that does hold a live session just un-leases.)
+    if (it->second.live == nullptr)
+        entries_.erase(it);
+    else
+        it->second.busy = false;
+}
+
+uint64_t
+SessionManager::tenantDiskBytes(const std::string &tenant) const
+{
+    if (!validTenant(tenant))
+        return 0;
+    const std::string dir = dirFor(tenant);
+    DIR *d = opendir(dir.c_str());
+    if (d == nullptr)
+        return 0;
+    uint64_t bytes = 0;
+    while (const dirent *ent = readdir(d)) {
+        const std::string name = ent->d_name;
+        if (name == "." || name == "..")
+            continue;
+        struct stat st;
+        if (stat((dir + "/" + name).c_str(), &st) == 0 &&
+            S_ISREG(st.st_mode))
+            bytes += uint64_t(st.st_size);
+    }
+    closedir(d);
+    return bytes;
 }
 
 void

@@ -50,6 +50,19 @@ std::unique_ptr<AppBuilder> makeServeApp(const std::string &app);
 /** Comma-separated list of the names makeServeApp accepts. */
 std::string serveAppNames();
 
+/**
+ * Spill a line-format replay input named by @p manifest->trace_path
+ * into @p dir as trace.vtc2 and repoint the manifest at the spill, so
+ * the session directory carries the compressed container instead of
+ * referencing the tenant's bulky original. Damaged inputs are left
+ * untouched (they replay from the original path so the v1 damage
+ * contract holds). The whole VTC2 image is serialized in memory and
+ * committed with one atomic write — batched trace I/O, not a
+ * line-by-line trickle. Shared by the in-thread acquire path and the
+ * worker-process child.
+ */
+void spillReplayInput(const std::string &dir, SessionManifest *manifest);
+
 class SessionManager
 {
   public:
@@ -86,6 +99,23 @@ class SessionManager
 
     /** Return a leased session with the supervisor's disposition. */
     void release(const std::string &tenant, SessionDisposition disposition);
+
+    /**
+     * Process-mode lease: exclusive ownership of the tenant's session
+     * *directory* with no in-memory session — the worker child builds
+     * and commits the session itself, so the daemon only has to keep
+     * two jobs from racing on one directory. Fails Overloaded when the
+     * tenant is busy (either lease flavor); with @p require_existing,
+     * InvalidRequest when no committed session directory exists.
+     */
+    JobStatus acquireDir(const std::string &tenant, bool require_existing,
+                         std::string *err);
+
+    /** Release an acquireDir lease. */
+    void releaseDir(const std::string &tenant);
+
+    /** One tenant's on-disk bytes (the quota accounting scan). */
+    uint64_t tenantDiskBytes(const std::string &tenant) const;
 
     /**
      * Evict every idle live session to disk (SIGTERM drain). Call with

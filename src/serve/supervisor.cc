@@ -62,7 +62,8 @@ fillFromReplay(JobReply &reply, const ReplayResult &result)
 
 SuperviseOutcome
 superviseSession(LiveSession &live, uint64_t step_budget,
-                 uint64_t timeout_ms)
+                 uint64_t timeout_ms, const SliceHook &hook,
+                 const SliceCeiling &ceiling)
 {
     SuperviseOutcome out;
     JobReply &reply = out.reply;
@@ -75,6 +76,8 @@ superviseSession(LiveSession &live, uint64_t step_budget,
     try {
         uint64_t stepped = 0;
         while (!live.finished() && stepped < budget) {
+            if (hook)
+                hook(live.cycle());
             if (clock.expired()) {
                 // Commit before declaring the timeout so the reply's
                 // promise of resumability is already durable on disk.
@@ -90,8 +93,16 @@ superviseSession(LiveSession &live, uint64_t step_budget,
                 out.disposition = SessionDisposition::Idle;
                 return out;
             }
-            const uint64_t chunk =
+            uint64_t chunk =
                 std::min(budget - stepped, clock.sliceCycles());
+            if (ceiling) {
+                // Stop the slice on the ceiling cycle so the next hook
+                // call observes it exactly (a due ceiling — stop <=
+                // cycle — was already consumed by the hook above).
+                const uint64_t stop = ceiling();
+                if (stop > live.cycle())
+                    chunk = std::min(chunk, stop - live.cycle());
+            }
             const uint64_t before = live.cycle();
             live.step(chunk);
             // Draining makes no cycle progress on the final flush step,

@@ -23,6 +23,7 @@
 #define VIDI_SERVE_SUPERVISOR_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "serve/protocol.h"
@@ -47,13 +48,31 @@ struct SuperviseOutcome
 };
 
 /**
+ * Called with the session's current cycle before every supervision
+ * slice. Worker-process children ride it for heartbeats and injected
+ * worker faults; an empty hook costs nothing.
+ */
+using SliceHook = std::function<void(uint64_t cycle)>;
+
+/**
+ * Optional: the next absolute cycle the hook must observe exactly
+ * (~0ull = none). Slices are clamped so a boundary lands on it —
+ * without this a cycle-addressed worker fault inside the first 8 Ki
+ * slice of a short run would never fire: the whole session completes
+ * between two hook calls.
+ */
+using SliceCeiling = std::function<uint64_t()>;
+
+/**
  * Run @p live for one job: up to @p step_budget cycles (0 = to
  * completion) under a wall-clock budget of @p timeout_ms (0 = none).
  * Fills every outcome field of the reply except job_id/cached, which
  * belong to the transport layer.
  */
 SuperviseOutcome superviseSession(LiveSession &live, uint64_t step_budget,
-                                  uint64_t timeout_ms);
+                                  uint64_t timeout_ms,
+                                  const SliceHook &hook = {},
+                                  const SliceCeiling &ceiling = {});
 
 /** Verify the trace at @p trace_path (storage-line CRC/seq walk). */
 JobReply superviseVerify(const std::string &trace_path);

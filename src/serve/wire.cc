@@ -1,8 +1,10 @@
 #include "serve/wire.h"
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -154,11 +156,45 @@ connectUnix(const std::string &path, std::string *err)
     }
     if (::connect(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
-        if (err != nullptr)
-            *err = errnoString("connect");
-        return Fd();
+        if (errno != EINTR) {
+            if (err != nullptr)
+                *err = errnoString("connect");
+            return Fd();
+        }
+        // A signal interrupted connect(); POSIX says the handshake
+        // continues asynchronously. Wait for completion and read the
+        // definitive outcome from SO_ERROR instead of failing the call.
+        pollfd p{fd.get(), POLLOUT, 0};
+        int rc;
+        do {
+            rc = ::poll(&p, 1, -1);
+        } while (rc < 0 && errno == EINTR);
+        int so_err = 0;
+        socklen_t len = sizeof(so_err);
+        if (rc < 0 ||
+            ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &so_err,
+                         &len) != 0 ||
+            so_err != 0) {
+            if (so_err != 0)
+                errno = so_err;
+            if (err != nullptr)
+                *err = errnoString("connect");
+            return Fd();
+        }
     }
     return fd;
+}
+
+void
+ignoreSigpipe()
+{
+    static const bool installed = [] {
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = SIG_IGN;
+        return ::sigaction(SIGPIPE, &sa, nullptr) == 0;
+    }();
+    (void)installed;
 }
 
 bool

@@ -78,6 +78,14 @@ Fd listenUnix(const std::string &path, int backlog, std::string *err);
 /** Connect to the Unix socket at @p path. */
 Fd connectUnix(const std::string &path, std::string *err);
 
+/**
+ * Ignore SIGPIPE process-wide (idempotent). writeAll already passes
+ * MSG_NOSIGNAL on sockets, but the daemon and worker children also
+ * write to pipes/socketpairs racing a peer's death — those must degrade
+ * to EPIPE errors, never signal-kill the process.
+ */
+void ignoreSigpipe();
+
 /** Apply send+receive timeouts (0 = blocking) to @p fd. */
 bool setIoTimeout(int fd, uint64_t timeout_ms, std::string *err);
 

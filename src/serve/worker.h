@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The vidi_serve worker-process protocol and child main loop.
+ *
+ * Process isolation moves session execution out of the daemon: each
+ * session job runs in a forked (or fork/exec'd) worker child that
+ * speaks StateWriter-serialized frames over its half of a socketpair.
+ * A SIGSEGV, SIGABRT or OOM kill in one tenant's design then costs
+ * exactly one structured Crashed reply — the daemon's address space is
+ * never in the blast radius.
+ *
+ * Protocol (all frames use the wire.h framing):
+ *
+ *   parent -> child   one WorkerJob per job
+ *   child  -> parent  tag-0 heartbeat frames (u64 current cycle) at the
+ *                     job's heartbeat cadence, then exactly one tag-1
+ *                     frame carrying the encoded JobReply
+ *
+ * The parent treats silence past the heartbeat timeout as a hung
+ * worker and escalates SIGTERM -> SIGKILL; EOF or a dead child is
+ * classified from the waitpid status by fillWorkerDeathReply.
+ */
+
+#ifndef VIDI_SERVE_WORKER_H
+#define VIDI_SERVE_WORKER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checkpoint/session.h"
+#include "serve/protocol.h"
+
+namespace vidi {
+
+/** Resource caps applied inside a worker child (0 = unlimited). */
+struct WorkerLimits
+{
+    uint64_t mem_mb = 0;    ///< RLIMIT_AS, MiB
+    uint64_t cpu_secs = 0;  ///< RLIMIT_CPU, seconds
+};
+
+/**
+ * One fully resolved session job, shipped parent -> child. The parent
+ * does all request validation and policy (tenant names, quotas, app
+ * existence, timeout clamping); the child just executes.
+ */
+struct WorkerJob
+{
+    JobKind kind = JobKind::Record;
+    std::string tenant;
+    std::string dir;           ///< tenant session directory
+    bool fresh = true;         ///< create from manifest vs hydrate dir
+    SessionManifest manifest;  ///< meaningful when fresh
+    uint64_t step_budget = 0;
+    uint64_t timeout_ms = 0;
+    uint64_t heartbeat_ms = 100;
+    std::string trace_path;    ///< Verify input
+    /** Worker-process faults fire in-child from this spec. */
+    FaultSpec fault;
+
+    std::vector<uint8_t> encode() const;
+    static bool decode(const std::vector<uint8_t> &payload, WorkerJob *out,
+                       std::string *err);
+};
+
+/// Child->parent frame tags (first payload byte).
+constexpr uint8_t kWorkerFrameHeartbeat = 0;  ///< + u64 cycle (LE)
+constexpr uint8_t kWorkerFrameReply = 1;      ///< + JobReply::encode()
+
+std::vector<uint8_t> encodeHeartbeat(uint64_t cycle);
+std::vector<uint8_t> encodeWorkerReply(const JobReply &reply);
+
+/**
+ * Map a dead worker's waitpid status onto the JobStatus taxonomy:
+ * always Crashed (the session directory's last committed checkpoint
+ * stays valid, so the reply can promise resumability), with
+ * error_class distinguishing how it died — "worker-segv",
+ * "worker-abort", "worker-hang" (any death the watchdog forced),
+ * "worker-killed" (SIGKILL not from the watchdog, e.g. the OOM
+ * killer), "worker-cpu" (RLIMIT_CPU), "worker-exit" (clean exit at
+ * the wrong time), "worker-signal"/"worker-term" for the rest.
+ * @p last_cycle is the newest heartbeat cycle, i.e. the best bound on
+ * where the job died.
+ */
+void fillWorkerDeathReply(JobReply &reply, int wstatus,
+                          bool watchdog_killed, uint64_t last_cycle);
+
+/**
+ * The worker child's main loop: apply @p limits, then serve WorkerJobs
+ * from @p fd until the parent closes its end (clean retirement via
+ * _exit(0)). Resets inherited signal dispositions first — the daemon's
+ * SIGTERM handler points at a server object that does not exist in the
+ * child, and the supervisor's escalation depends on default SIGTERM
+ * behavior.
+ */
+[[noreturn]] void workerMain(int fd, const WorkerLimits &limits);
+
+} // namespace vidi
+
+#endif // VIDI_SERVE_WORKER_H

@@ -1,0 +1,351 @@
+#include "serve/worker_pool.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace vidi {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t
+elapsedMs(Clock::time_point since)
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                        Clock::now() - since)
+                        .count());
+}
+
+uint64_t
+decodeHeartbeatCycle(const std::vector<uint8_t> &payload)
+{
+    if (payload.size() < 9)
+        return 0;
+    uint64_t cycle = 0;
+    for (int i = 0; i < 8; ++i)
+        cycle |= uint64_t(payload[1 + i]) << (8 * i);
+    return cycle;
+}
+
+/** waitpid with WNOHANG polling for up to @p grace_ms. @return true
+ *  when the child was reaped. */
+bool
+reapWithin(pid_t pid, uint64_t grace_ms, int *wstatus)
+{
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(grace_ms);
+    for (;;) {
+        const pid_t rc = ::waitpid(pid, wstatus, WNOHANG);
+        if (rc == pid)
+            return true;
+        if (rc < 0 && errno != EINTR)
+            return true;  // already reaped elsewhere / gone
+        if (Clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+}
+
+} // namespace
+
+WorkerPool::WorkerPool(WorkerPoolOptions opts) : opts_(std::move(opts))
+{
+}
+
+WorkerPool::~WorkerPool()
+{
+    stop();
+}
+
+bool
+WorkerPool::spawnSlot(Slot *slot, std::string *err)
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+        if (err != nullptr)
+            *err = std::string("socketpair: ") + std::strerror(errno);
+        return false;
+    }
+
+    // Prepare exec argv before forking: the child must not allocate.
+    std::vector<std::string> args;
+    if (!opts_.exec_path.empty()) {
+        args = {opts_.exec_path, "worker", "--fd", "3"};
+        if (opts_.limits.mem_mb != 0) {
+            args.push_back("--mem-mb");
+            args.push_back(std::to_string(opts_.limits.mem_mb));
+        }
+        if (opts_.limits.cpu_secs != 0) {
+            args.push_back("--cpu-secs");
+            args.push_back(std::to_string(opts_.limits.cpu_secs));
+        }
+    }
+    std::vector<char *> argv;
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        if (err != nullptr)
+            *err = std::string("fork: ") + std::strerror(errno);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return false;
+    }
+    if (pid == 0) {
+        // Worker child.
+        ::close(fds[0]);
+        if (opts_.child_prelude)
+            opts_.child_prelude();
+        if (!opts_.exec_path.empty()) {
+            // Re-exec for a clean single-threaded address space. The
+            // job fd must survive the exec: dup2 to a fixed number
+            // clears CLOEXEC on the duplicate.
+            if (::dup2(fds[1], 3) == 3)
+                ::execv(argv[0], argv.data());
+            ::_exit(127);  // exec failed: die loudly, parent classifies
+        }
+        workerMain(fds[1], opts_.limits);  // never returns
+    }
+    ::close(fds[1]);
+    slot->pid = pid;
+    slot->fd = wire::Fd(fds[0]);
+    return true;
+}
+
+void
+WorkerPool::killAndReap(Slot *slot, int *wstatus)
+{
+    *wstatus = 0;
+    // Closing the parent end first gives a live, healthy child the
+    // clean retirement path (recvFrame EOF -> _exit(0)).
+    slot->fd.reset();
+    if (slot->pid > 0) {
+        ::kill(slot->pid, SIGTERM);
+        if (!reapWithin(slot->pid, opts_.kill_grace_ms, wstatus)) {
+            ::kill(slot->pid, SIGKILL);
+            pid_t rc;
+            do {
+                rc = ::waitpid(slot->pid, wstatus, 0);
+            } while (rc < 0 && errno == EINTR);
+        }
+    }
+    slot->pid = -1;
+}
+
+bool
+WorkerPool::start(std::string *err)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (size_t i = 0; i < std::max<size_t>(opts_.procs, 1); ++i) {
+        auto slot = std::make_unique<Slot>();
+        if (!spawnSlot(slot.get(), err))
+            return false;
+        ++stats_.spawned;
+        free_.push_back(slot.get());
+        slots_.push_back(std::move(slot));
+    }
+    return true;
+}
+
+void
+WorkerPool::stop()
+{
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+        cv_.notify_all();
+    }
+    // The server joins its session workers before stopping the pool,
+    // so every slot is back on the free list by now; retire them all.
+    for (auto &slot : slots_) {
+        int wstatus = 0;
+        killAndReap(slot.get(), &wstatus);
+    }
+}
+
+WorkerPool::RunResult
+WorkerPool::run(const WorkerJob &job)
+{
+    RunResult res;
+    Slot *slot = nullptr;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return !free_.empty() || stopping_; });
+        if (stopping_) {
+            res.reply.status = JobStatus::ShuttingDown;
+            res.reply.detail = "worker pool stopping";
+            return res;
+        }
+        slot = free_.back();
+        free_.pop_back();
+    }
+
+    // Dead-on-arrival check: the worker may have died idle (its rlimit
+    // fired between jobs, or an earlier respawn failed). Refill first.
+    std::string spawn_err;
+    if (slot->pid > 0) {
+        int wstatus = 0;
+        if (::waitpid(slot->pid, &wstatus, WNOHANG) == slot->pid) {
+            slot->fd.reset();
+            slot->pid = -1;
+        }
+    }
+    if (slot->pid <= 0) {
+        if (spawnSlot(slot, &spawn_err)) {
+            std::unique_lock<std::mutex> lk(mu_);
+            ++stats_.spawned;
+            ++stats_.respawned;
+        } else {
+            res.reply.status = JobStatus::Overloaded;
+            res.reply.error_class = "worker-spawn";
+            res.reply.detail =
+                "no worker available: " + spawn_err + "; retry";
+            std::unique_lock<std::mutex> lk(mu_);
+            free_.push_back(slot);
+            cv_.notify_one();
+            return res;
+        }
+    }
+
+    std::string err;
+    bool got_reply = false;
+    bool watchdog = false;
+    uint64_t last_cycle = 0;
+    if (wire::sendFrame(slot->fd.get(), job.encode(), &err)) {
+        const auto hb_timeout = std::chrono::milliseconds(
+            std::max<uint64_t>(opts_.heartbeat_timeout_ms, 1));
+        auto hb_deadline = Clock::now() + hb_timeout;
+        std::vector<uint8_t> payload;
+        for (;;) {
+            const auto now = Clock::now();
+            if (now >= hb_deadline) {
+                watchdog = true;  // hung: no heartbeat inside the window
+                break;
+            }
+            const int wait_ms = int(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    hb_deadline - now)
+                    .count() +
+                1);
+            pollfd p{slot->fd.get(), POLLIN, 0};
+            const int rc = ::poll(&p, 1, wait_ms);
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;  // poll failure: treat as a dead worker
+            }
+            if (rc == 0)
+                continue;  // loop re-checks the deadline
+            if (wire::recvFrame(slot->fd.get(), &payload, &err) != 1)
+                break;  // EOF or garbage: the child is dead or dying
+            if (payload.empty())
+                break;
+            if (payload[0] == kWorkerFrameHeartbeat) {
+                last_cycle = decodeHeartbeatCycle(payload);
+                hb_deadline = Clock::now() + hb_timeout;
+                continue;
+            }
+            if (payload[0] == kWorkerFrameReply) {
+                payload.erase(payload.begin());
+                got_reply =
+                    JobReply::decode(payload, &res.reply, &err);
+            }
+            break;
+        }
+    }
+
+    if (!got_reply) {
+        const auto detect = Clock::now();
+        int wstatus = 0;
+        killAndReap(slot, &wstatus);
+        fillWorkerDeathReply(res.reply, wstatus, watchdog, last_cycle);
+        res.worker_died = true;
+        res.hung = watchdog;
+
+        // Respawn: immediate for a first failure (fast MTTR), doubling
+        // backoff for consecutive ones so a crash loop in the spawn
+        // path itself cannot fork-bomb the host.
+        ++slot->failures;
+        if (slot->failures > 1) {
+            const uint64_t shift =
+                std::min<uint32_t>(slot->failures - 2, 7);
+            const uint64_t delay_ms = std::min<uint64_t>(
+                opts_.respawn_backoff_ms << shift, 1'000);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay_ms));
+        }
+        if (spawnSlot(slot, &spawn_err)) {
+            std::unique_lock<std::mutex> lk(mu_);
+            ++stats_.spawned;
+            ++stats_.respawned;
+        }
+        res.respawn_ms = elapsedMs(detect);
+        std::unique_lock<std::mutex> lk(mu_);
+        ++stats_.crashes;
+        if (watchdog)
+            ++stats_.hangs;
+    } else {
+        slot->failures = 0;
+    }
+
+    std::unique_lock<std::mutex> lk(mu_);
+    free_.push_back(slot);
+    cv_.notify_one();
+    return res;
+}
+
+WorkerPool::Stats
+WorkerPool::stats() const
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    return stats_;
+}
+
+void
+CrashLoopBreaker::recordCrash(const std::string &tenant, uint64_t now_ms)
+{
+    if (max_crashes_ == 0)
+        return;
+    std::unique_lock<std::mutex> lk(mu_);
+    std::deque<uint64_t> &times = crashes_[tenant];
+    times.push_back(now_ms);
+    while (!times.empty() && times.front() + window_ms_ <= now_ms)
+        times.pop_front();
+    if (times.size() >= max_crashes_) {
+        quarantined_until_[tenant] = now_ms + window_ms_;
+        times.clear();
+    }
+}
+
+uint64_t
+CrashLoopBreaker::quarantinedForMs(const std::string &tenant,
+                                   uint64_t now_ms)
+{
+    if (max_crashes_ == 0)
+        return 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = quarantined_until_.find(tenant);
+    if (it == quarantined_until_.end())
+        return 0;
+    if (it->second <= now_ms) {
+        quarantined_until_.erase(it);
+        return 0;
+    }
+    return it->second - now_ms;
+}
+
+} // namespace vidi

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Supervised worker-process pool + crash-loop circuit breaker.
+ *
+ * The pool owns N long-lived worker children (fork, or fork/exec of
+ * the serving binary's hidden `worker` subcommand) and leases one per
+ * session job. Supervision per job:
+ *
+ *   - heartbeat watchdog: the child heartbeats every job.heartbeat_ms;
+ *     silence past heartbeat_timeout_ms means a hung worker, and the
+ *     parent escalates SIGTERM -> (kill_grace_ms) -> SIGKILL;
+ *   - waitpid reaping: any death (signal, exit, watchdog kill) is
+ *     mapped onto the JobStatus taxonomy by fillWorkerDeathReply,
+ *     so the tenant gets exactly one structured Crashed reply;
+ *   - respawn: a dead slot is refilled immediately; consecutive
+ *     failures without an intervening successful job back off
+ *     exponentially so a broken environment cannot fork-bomb the host.
+ *
+ * The CrashLoopBreaker is the per-tenant policy layer above the pool:
+ * N crashes inside a sliding window quarantine the tenant for one
+ * window — further jobs get a *retryable* Quarantined reply instead of
+ * burning workers (and the daemon never dies with them).
+ */
+
+#ifndef VIDI_SERVE_WORKER_POOL_H
+#define VIDI_SERVE_WORKER_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/wire.h"
+#include "serve/worker.h"
+
+namespace vidi {
+
+struct WorkerPoolOptions
+{
+    size_t procs = 1;
+    /**
+     * When non-empty, fork/exec this binary as `<path> worker --fd 3
+     * ...` instead of plain fork. Exec'd workers get a clean,
+     * single-threaded address space — the fully fork-safe variant for
+     * a multithreaded daemon.
+     */
+    std::string exec_path;
+    uint64_t heartbeat_timeout_ms = 2'000;
+    uint64_t kill_grace_ms = 200;     ///< SIGTERM -> SIGKILL escalation
+    uint64_t respawn_backoff_ms = 10; ///< backoff base, doubles per
+                                      ///< consecutive failure (cap 1 s)
+    WorkerLimits limits;
+    /** Runs first in every fork child (close inherited daemon fds). */
+    std::function<void()> child_prelude;
+};
+
+class WorkerPool
+{
+  public:
+    explicit WorkerPool(WorkerPoolOptions opts);
+    ~WorkerPool();
+
+    /** Spawn the initial workers; false + @p err when none could be. */
+    bool start(std::string *err);
+
+    /** EOF-retire every worker, escalating on stragglers. Idempotent. */
+    void stop();
+
+    struct RunResult
+    {
+        JobReply reply;
+        bool worker_died = false;  ///< real process death (vs a reply)
+        bool hung = false;         ///< death forced by the watchdog
+        uint64_t respawn_ms = 0;   ///< death detected -> replacement up
+    };
+
+    /** Lease a worker, run @p job on it, supervise until reply/death. */
+    RunResult run(const WorkerJob &job);
+
+    struct Stats
+    {
+        uint64_t spawned = 0;    ///< total children ever forked
+        uint64_t respawned = 0;  ///< of which replacements after death
+        uint64_t crashes = 0;    ///< jobs ended by worker death
+        uint64_t hangs = 0;      ///< of which watchdog escalations
+    };
+    Stats stats() const;
+
+  private:
+    struct Slot
+    {
+        pid_t pid = -1;
+        wire::Fd fd;            ///< parent end of the socketpair
+        uint32_t failures = 0;  ///< consecutive deaths (backoff input)
+    };
+
+    bool spawnSlot(Slot *slot, std::string *err);
+    void killAndReap(Slot *slot, int *wstatus);
+
+    WorkerPoolOptions opts_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<std::unique_ptr<Slot>> slots_;
+    std::vector<Slot *> free_;
+    bool stopping_ = false;
+    Stats stats_;
+};
+
+/**
+ * Per-tenant crash-loop circuit breaker with injected time (ms on any
+ * monotonic clock), so the policy is unit-testable without sleeping.
+ * @p max_crashes == 0 disables the breaker entirely.
+ */
+class CrashLoopBreaker
+{
+  public:
+    CrashLoopBreaker(uint32_t max_crashes, uint64_t window_ms)
+        : max_crashes_(max_crashes), window_ms_(window_ms)
+    {
+    }
+
+    /** Record one worker crash attributed to @p tenant. */
+    void recordCrash(const std::string &tenant, uint64_t now_ms);
+
+    /** Remaining quarantine for @p tenant; 0 = serve normally. */
+    uint64_t quarantinedForMs(const std::string &tenant, uint64_t now_ms);
+
+  private:
+    const uint32_t max_crashes_;
+    const uint64_t window_ms_;
+    std::mutex mu_;
+    std::map<std::string, std::deque<uint64_t>> crashes_;
+    std::map<std::string, uint64_t> quarantined_until_;
+};
+
+} // namespace vidi
+
+#endif // VIDI_SERVE_WORKER_POOL_H

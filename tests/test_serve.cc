@@ -17,13 +17,18 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "apps/app_registry.h"
 #include "checkpoint/atomic_file.h"
@@ -35,6 +40,8 @@
 #include "serve/server.h"
 #include "serve/session_manager.h"
 #include "serve/wire.h"
+#include "serve/worker.h"
+#include "serve/worker_pool.h"
 #include "trace/trace_file.h"
 
 namespace vidi {
@@ -215,10 +222,177 @@ TEST(Protocol, RetryableStatuses)
     EXPECT_TRUE(isRetryable(JobStatus::Overloaded));
     EXPECT_TRUE(isRetryable(JobStatus::InFlight));
     EXPECT_TRUE(isRetryable(JobStatus::ShuttingDown));
+    // Quarantine lifts after the window: retrying is the whole point.
+    EXPECT_TRUE(isRetryable(JobStatus::Quarantined));
     EXPECT_FALSE(isRetryable(JobStatus::Ok));
     EXPECT_FALSE(isRetryable(JobStatus::Failed));
     EXPECT_FALSE(isRetryable(JobStatus::Crashed));
     EXPECT_FALSE(isRetryable(JobStatus::Timeout));
+    // Over quota stays over quota until someone frees disk; a blind
+    // retry loop must settle, not spin.
+    EXPECT_FALSE(isRetryable(JobStatus::QuotaExceeded));
+}
+
+// --- Worker process layer ---------------------------------------------
+
+TEST(Wire, ListenerAndConnectionsAreCloseOnExec)
+{
+    const std::string path = scratchDir("cloexec") + "/s.sock";
+    std::string err;
+    const wire::Fd listener = wire::listenUnix(path, 4, &err);
+    ASSERT_TRUE(listener.valid()) << err;
+    const wire::Fd conn = wire::connectUnix(path, &err);
+    ASSERT_TRUE(conn.valid()) << err;
+    // An exec'd worker process must not inherit daemon sockets: a leak
+    // would pin the listener past daemon death and let a worker hold
+    // client connections open.
+    EXPECT_NE(::fcntl(listener.get(), F_GETFD) & FD_CLOEXEC, 0);
+    EXPECT_NE(::fcntl(conn.get(), F_GETFD) & FD_CLOEXEC, 0);
+}
+
+TEST(Wire, ClosedPeerIsAnErrorNotASignal)
+{
+    wire::ignoreSigpipe();
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const wire::Fd a(fds[0]);
+    wire::Fd b(fds[1]);
+    b.reset();  // peer gone, as after a worker crash
+    std::string err;
+    // Large enough to defeat kernel buffering on the first write.
+    const std::vector<uint8_t> payload(1 << 20, 0x5a);
+    EXPECT_FALSE(wire::sendFrame(a.get(), payload, &err));
+}
+
+TEST(WorkerProtocol, JobRoundTrip)
+{
+    WorkerJob job;
+    job.kind = JobKind::Replay;
+    job.tenant = "t9";
+    job.dir = "/tmp/t9";
+    job.fresh = true;
+    job.manifest.app = "DMA";
+    job.manifest.mode = uint8_t(VidiMode::R3_Replay);
+    job.manifest.seed = 11;
+    job.manifest.scale = 0.5;
+    job.manifest.checkpoint_every = 256;
+    job.manifest.trace_path = "/tmp/in.vtrc";
+    job.step_budget = 1'000;
+    job.timeout_ms = 2'500;
+    job.heartbeat_ms = 20;
+    job.trace_path = "/tmp/v.vtrc";
+    job.fault.worker_segv_at_cycle = 400;
+    job.fault.worker_hang_at_cycle = 500;
+
+    WorkerJob decoded;
+    std::string err;
+    ASSERT_TRUE(WorkerJob::decode(job.encode(), &decoded, &err)) << err;
+    EXPECT_EQ(decoded.kind, job.kind);
+    EXPECT_EQ(decoded.tenant, job.tenant);
+    EXPECT_EQ(decoded.dir, job.dir);
+    EXPECT_EQ(decoded.fresh, job.fresh);
+    EXPECT_EQ(decoded.manifest.app, job.manifest.app);
+    EXPECT_EQ(decoded.manifest.mode, job.manifest.mode);
+    EXPECT_EQ(decoded.manifest.seed, job.manifest.seed);
+    EXPECT_EQ(decoded.manifest.scale, job.manifest.scale);
+    EXPECT_EQ(decoded.manifest.checkpoint_every,
+              job.manifest.checkpoint_every);
+    EXPECT_EQ(decoded.manifest.trace_path, job.manifest.trace_path);
+    EXPECT_EQ(decoded.step_budget, job.step_budget);
+    EXPECT_EQ(decoded.timeout_ms, job.timeout_ms);
+    EXPECT_EQ(decoded.heartbeat_ms, job.heartbeat_ms);
+    EXPECT_EQ(decoded.trace_path, job.trace_path);
+    EXPECT_EQ(decoded.fault.worker_segv_at_cycle, 400u);
+    EXPECT_EQ(decoded.fault.worker_hang_at_cycle, 500u);
+
+    std::vector<uint8_t> truncated = job.encode();
+    truncated.resize(truncated.size() / 2);
+    EXPECT_FALSE(WorkerJob::decode(truncated, &decoded, &err));
+}
+
+/** Run @p die in a forked child and return its wait status. */
+int
+waitStatusOf(void (*die)())
+{
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        die();
+        ::_exit(99);  // unreachable for fatal deaths
+    }
+    int wstatus = 0;
+    pid_t rc;
+    do {
+        rc = ::waitpid(pid, &wstatus, 0);
+    } while (rc < 0 && errno == EINTR);
+    EXPECT_EQ(rc, pid);
+    return wstatus;
+}
+
+TEST(WorkerDeath, WaitStatusMapsOntoJobStatusTaxonomy)
+{
+    // A real SIGSEGV (default disposition restored so a sanitizer
+    // handler cannot soften it into report-and-exit).
+    const int segv = waitStatusOf([] {
+        struct sigaction dfl;
+        std::memset(&dfl, 0, sizeof(dfl));
+        dfl.sa_handler = SIG_DFL;
+        ::sigaction(SIGSEGV, &dfl, nullptr);
+        ::raise(SIGSEGV);
+    });
+    JobReply reply;
+    fillWorkerDeathReply(reply, segv, /*watchdog_killed=*/false,
+                         /*last_cycle=*/42);
+    EXPECT_EQ(reply.status, JobStatus::Crashed);
+    EXPECT_EQ(reply.error_class, "worker-segv");
+    EXPECT_EQ(reply.cycle, 42u);
+    EXPECT_FALSE(reply.completed);
+    EXPECT_NE(reply.detail.find("resumable"), std::string::npos)
+        << reply.detail;
+
+    const int killed = waitStatusOf([] { ::raise(SIGKILL); });
+    fillWorkerDeathReply(reply, killed, false, 7);
+    EXPECT_EQ(reply.status, JobStatus::Crashed);
+    EXPECT_EQ(reply.error_class, "worker-killed");
+
+    const int exited = waitStatusOf([] { ::_exit(3); });
+    fillWorkerDeathReply(reply, exited, false, 7);
+    EXPECT_EQ(reply.status, JobStatus::Crashed);
+    EXPECT_EQ(reply.error_class, "worker-exit");
+
+    // The watchdog's verdict dominates whatever signal finally landed:
+    // the job died because it stopped heartbeating.
+    fillWorkerDeathReply(reply, killed, /*watchdog_killed=*/true, 7);
+    EXPECT_EQ(reply.error_class, "worker-hang");
+    EXPECT_NE(reply.detail.find("hung"), std::string::npos)
+        << reply.detail;
+}
+
+TEST(CrashLoopBreakerTest, SlidingWindowQuarantine)
+{
+    CrashLoopBreaker breaker(/*max_crashes=*/3, /*window_ms=*/1'000);
+    EXPECT_EQ(breaker.quarantinedForMs("t", 0), 0u);
+    breaker.recordCrash("t", 0);
+    breaker.recordCrash("t", 100);
+    EXPECT_EQ(breaker.quarantinedForMs("t", 150), 0u);
+    // Third crash inside the window trips the breaker for one window.
+    breaker.recordCrash("t", 200);
+    EXPECT_EQ(breaker.quarantinedForMs("t", 300), 900u);
+    EXPECT_EQ(breaker.quarantinedForMs("other", 300), 0u);
+    // Quarantine expires on its own; no reset call required.
+    EXPECT_EQ(breaker.quarantinedForMs("t", 1'200), 0u);
+
+    // Crashes spaced wider than the window never accumulate.
+    breaker.recordCrash("slow", 0);
+    breaker.recordCrash("slow", 2'000);
+    breaker.recordCrash("slow", 4'000);
+    EXPECT_EQ(breaker.quarantinedForMs("slow", 4'001), 0u);
+
+    // max_crashes == 0 disables the policy outright.
+    CrashLoopBreaker off(0, 1'000);
+    off.recordCrash("t", 0);
+    off.recordCrash("t", 1);
+    off.recordCrash("t", 2);
+    EXPECT_EQ(off.quarantinedForMs("t", 3), 0u);
 }
 
 // --- SessionManager ---------------------------------------------------
@@ -391,7 +565,8 @@ class ServeEndToEnd : public ::testing::Test
   protected:
     void
     startServer(const std::string &leaf, size_t workers,
-                size_t queue_capacity, size_t max_live)
+                size_t queue_capacity, size_t max_live,
+                const std::function<void(ServeOptions &)> &tweak = {})
     {
         dir_ = scratchDir(leaf);
         ServeOptions opts;
@@ -401,9 +576,21 @@ class ServeEndToEnd : public ::testing::Test
         opts.queue_capacity = queue_capacity;
         opts.max_live_sessions = max_live;
         opts.base_cfg.checkpoint_min_interval_ms = 0;
+        if (tweak)
+            tweak(opts);
         server_ = std::make_unique<VidiServer>(opts);
         std::string err;
         ASSERT_TRUE(server_->start(&err)) << err;
+    }
+
+    /** Fast supervision timings for worker-process tests. */
+    static void
+    processMode(ServeOptions &opts, size_t procs)
+    {
+        opts.worker_procs = procs;
+        opts.heartbeat_interval_ms = 20;
+        opts.heartbeat_timeout_ms = 400;
+        opts.kill_grace_ms = 100;
     }
 
     ClientOptions
@@ -837,6 +1024,246 @@ TEST_F(ServeEndToEnd, VerifyAndTraceDamageReplies)
     EXPECT_EQ(reply.cycle, 0u);
     ASSERT_GT(ref.cycles, 0u);
 
+    server_->requestShutdown();
+    server_->wait();
+}
+
+// --- Process-isolated workers -----------------------------------------
+
+TEST_F(ServeEndToEnd, ProcessCrashMatrix)
+{
+    const Reference &ref = dmaReference();
+    startServer("procmatrix", /*workers=*/3, /*queue=*/16,
+                /*max_live=*/8,
+                [](ServeOptions &o) { processMode(o, 2); });
+    std::string err;
+
+    const std::string input = dir_ + "/matrix-input.vtrc";
+    writeFileAtomic(input, ref.trace_bytes.data(),
+                    ref.trace_bytes.size());
+
+    // Replay cells need their own reference: a replay leg completes
+    // when the recorded stimulus drains, legitimately earlier than the
+    // record run it came from — so crash recovery is judged against an
+    // uninterrupted replay, not against ref.
+    JobReply replay_ref;
+    {
+        VidiClient client(clientOptions());
+        JobRequest clean = recordRequest("r-ref", "replay-ref", 0);
+        clean.kind = JobKind::Replay;
+        clean.trace_path = input;
+        ASSERT_TRUE(client.submit(clean, &replay_ref, &err)) << err;
+        ASSERT_EQ(replay_ref.status, JobStatus::Ok)
+            << replay_ref.detail;
+        ASSERT_GT(replay_ref.cycle, 0u);
+    }
+
+    // {real death} x {job kind}: every cell must cost exactly one
+    // structured Crashed reply for the victim, zero impact on a tenant
+    // running concurrently, and leave the victim's session resumable
+    // bit-identically.
+    struct Death
+    {
+        const char *knob;
+        const char *expect_class;
+    };
+    const Death deaths[] = {
+        {"worker_segv", "worker-segv"},
+        {"worker_kill", "worker-killed"},
+        {"worker_exit", "worker-exit"},
+        {"worker_hang", "worker-hang"},
+    };
+    const JobKind kinds[] = {JobKind::Record, JobKind::Replay,
+                             JobKind::Resume};
+
+    int cell = 0;
+    for (const Death &death : deaths) {
+        for (const JobKind kind : kinds) {
+            SCOPED_TRACE(std::string(death.knob) + " x kind " +
+                         std::to_string(int(kind)));
+            const std::string id = "cell-" + std::to_string(cell++);
+            const std::string victim_name = "v-" + id;
+            VidiClient client(clientOptions());
+
+            JobRequest victim;
+            if (kind == JobKind::Resume) {
+                // Seed a partial recording, then crash during resume.
+                JobRequest seed = recordRequest(
+                    victim_name, id + "-seed", ref.cycles / 4);
+                seed.step_budget = ref.cycles / 4;
+                JobReply seeded;
+                ASSERT_TRUE(client.submit(seed, &seeded, &err)) << err;
+                ASSERT_EQ(seeded.status, JobStatus::Running)
+                    << seeded.detail;
+                victim.kind = JobKind::Resume;
+                victim.tenant = victim_name;
+                victim.trace_path = seed.trace_path;
+            } else {
+                victim = recordRequest(victim_name, "", ref.cycles / 4);
+                if (kind == JobKind::Replay) {
+                    victim.kind = JobKind::Replay;
+                    victim.trace_path = input;
+                }
+            }
+            victim.job_id = id + "-victim";
+            ASSERT_TRUE(
+                applyFaultKnob(victim.fault, death.knob, ref.cycles / 2));
+
+            // The concurrent healthy tenant shares the worker pool with
+            // the dying job.
+            JobRequest healthy =
+                recordRequest("h-" + id, id + "-healthy", 0);
+            JobReply victim_reply;
+            JobReply healthy_reply;
+            bool victim_ok = false;
+            bool healthy_ok = false;
+            std::string victim_err;
+            std::string healthy_err;
+            std::thread victim_thread([&] {
+                VidiClient c(clientOptions());
+                victim_ok =
+                    c.submit(victim, &victim_reply, &victim_err);
+            });
+            std::thread healthy_thread([&] {
+                VidiClient c(clientOptions());
+                healthy_ok =
+                    c.submit(healthy, &healthy_reply, &healthy_err);
+            });
+            victim_thread.join();
+            healthy_thread.join();
+
+            ASSERT_TRUE(victim_ok) << victim_err;
+            ASSERT_TRUE(healthy_ok) << healthy_err;
+            EXPECT_EQ(victim_reply.status, JobStatus::Crashed)
+                << victim_reply.detail;
+            EXPECT_EQ(victim_reply.error_class, death.expect_class)
+                << victim_reply.detail;
+            EXPECT_NE(victim_reply.detail.find("resumable"),
+                      std::string::npos)
+                << victim_reply.detail;
+            EXPECT_EQ(healthy_reply.status, JobStatus::Ok)
+                << healthy_reply.detail;
+            EXPECT_EQ(healthy_reply.digest, ref.digest);
+
+            // Post-crash recovery: a fresh worker rehydrates from the
+            // newest checkpoint and completes bit-identically.
+            JobRequest resume;
+            resume.job_id = id + "-recover";
+            resume.kind = JobKind::Resume;
+            resume.tenant = victim_name;
+            JobReply recovered;
+            ASSERT_TRUE(client.submit(resume, &recovered, &err)) << err;
+            EXPECT_EQ(recovered.status, JobStatus::Ok)
+                << recovered.detail;
+            const uint64_t want_cycle =
+                kind == JobKind::Replay ? replay_ref.cycle : ref.cycles;
+            const uint64_t want_digest =
+                kind == JobKind::Replay ? replay_ref.digest : ref.digest;
+            EXPECT_EQ(recovered.cycle, want_cycle);
+            EXPECT_EQ(recovered.digest, want_digest);
+            if (kind != JobKind::Replay) {
+                EXPECT_EQ(readFileBytes(dir_ + "/" + victim_name +
+                                        ".vtrc"),
+                          ref.trace_bytes);
+            }
+        }
+    }
+
+    const VidiServer::Stats stats = server_->stats();
+    EXPECT_EQ(stats.worker_crashes, 12u);
+    EXPECT_EQ(stats.worker_hangs, 3u);
+    EXPECT_GE(stats.worker_respawns, 12u);
+    // Every crash arc was closed by a successful resume: MTTR samples
+    // exist and are sane.
+    EXPECT_EQ(stats.mttr_samples, 12u);
+    EXPECT_GT(stats.mttr_last_ms + 1, 0u);  // recorded (possibly 0 ms)
+
+    server_->requestShutdown();
+    server_->wait();
+}
+
+TEST_F(ServeEndToEnd, CrashLoopCircuitBreakerQuarantinesTenant)
+{
+    const Reference &ref = dmaReference();
+    startServer("quarantine", /*workers=*/2, /*queue=*/16,
+                /*max_live=*/8, [](ServeOptions &o) {
+                    processMode(o, 1);
+                    o.crash_loop_max = 2;
+                    o.crash_loop_window_ms = 60'000;
+                });
+    VidiClient client(clientOptions());
+    std::string err;
+    JobReply reply;
+
+    // Two real crashes inside the window trip the breaker...
+    for (int i = 0; i < 2; ++i) {
+        JobRequest request = recordRequest(
+            "loop", "loop-" + std::to_string(i), ref.cycles / 4);
+        ASSERT_TRUE(applyFaultKnob(request.fault, "worker_segv",
+                                   ref.cycles / 2));
+        ASSERT_TRUE(client.submit(request, &reply, &err)) << err;
+        ASSERT_EQ(reply.status, JobStatus::Crashed) << reply.detail;
+    }
+
+    // ...so the third job is refused up front with a *retryable*
+    // Quarantined reply (submitOnce: the client library would rightly
+    // keep retrying it).
+    JobRequest third = recordRequest("loop", "loop-2", 0);
+    ASSERT_TRUE(client.submitOnce(third, &reply, &err)) << err;
+    EXPECT_EQ(reply.status, JobStatus::Quarantined) << reply.detail;
+    EXPECT_EQ(reply.error_class, "crash-loop");
+    EXPECT_NE(reply.detail.find("retry"), std::string::npos)
+        << reply.detail;
+
+    // Quarantine is per tenant: everyone else is served normally.
+    JobRequest other = recordRequest("bystander", "loop-by", 0);
+    ASSERT_TRUE(client.submit(other, &reply, &err)) << err;
+    EXPECT_EQ(reply.status, JobStatus::Ok) << reply.detail;
+    EXPECT_EQ(reply.digest, ref.digest);
+
+    EXPECT_GE(server_->stats().quarantined, 1u);
+    server_->requestShutdown();
+    server_->wait();
+}
+
+TEST_F(ServeEndToEnd, DiskQuotaRejectsWithStructuredReply)
+{
+    const Reference &ref = dmaReference();
+    startServer("quota", /*workers=*/1, /*queue=*/8, /*max_live=*/2,
+                [](ServeOptions &o) { o.tenant_disk_quota_bytes = 1; });
+    VidiClient client(clientOptions());
+    std::string err;
+    JobReply reply;
+
+    // The scratch root survives across runs, and with a 1-byte quota
+    // any leftover session bytes would reject the *first* job — so the
+    // hog tenant gets a name no earlier run can have used.
+    static int runs = 0;
+    const std::string hog = "hog" + std::to_string(::getpid()) + "x" +
+                            std::to_string(runs++);
+
+    // First job: the tenant owns no bytes yet, so it runs — and leaves
+    // a session directory behind.
+    JobRequest first = recordRequest(hog, "quota-1", ref.cycles / 4);
+    ASSERT_TRUE(client.submit(first, &reply, &err)) << err;
+    ASSERT_EQ(reply.status, JobStatus::Ok) << reply.detail;
+
+    // Second job: the footprint now exceeds the (1-byte) quota, so the
+    // reply is a structured terminal QuotaExceeded, not a hang or a
+    // silent half-run.
+    JobRequest second = recordRequest(hog, "quota-2", 0);
+    ASSERT_TRUE(client.submit(second, &reply, &err)) << err;
+    EXPECT_EQ(reply.status, JobStatus::QuotaExceeded) << reply.detail;
+    EXPECT_EQ(reply.error_class, "disk-quota");
+    EXPECT_NE(reply.detail.find("quota"), std::string::npos);
+
+    // Quotas are per tenant.
+    JobRequest other = recordRequest("frugal" + hog, "quota-3", 0);
+    ASSERT_TRUE(client.submit(other, &reply, &err)) << err;
+    EXPECT_EQ(reply.status, JobStatus::Ok) << reply.detail;
+    EXPECT_EQ(reply.digest, ref.digest);
+
+    EXPECT_GE(server_->stats().quota_rejected, 1u);
     server_->requestShutdown();
     server_->wait();
 }
